@@ -1,0 +1,101 @@
+// Functional baseline comparison: the BRSMN against the O(n^2) crossbar
+// oracle (cost table + agreement check) and against the Cheng-Chen
+// permutation network on permutation workloads.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/benes.hpp"
+#include "baselines/cheng_chen.hpp"
+#include "baselines/crossbar_multicast.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "sim/gate_model.hpp"
+
+namespace {
+
+void print_cost_table() {
+  std::printf(
+      "Hardware comparison — crossbar vs recursively constructed designs\n\n");
+  std::printf("%8s %16s %16s %16s\n", "n", "crossbar-gates", "brsmn-gates",
+              "crossover");
+  for (std::size_t n = 8; n <= 1u << 14; n <<= 2) {
+    const brsmn::baselines::CrossbarMulticast xbar(n);
+    const auto ours = brsmn::model::brsmn_gates(n);
+    std::printf("%8zu %16" PRIu64 " %16" PRIu64 " %16s\n", n, xbar.gates(),
+                ours, xbar.gates() > ours ? "brsmn wins" : "crossbar wins");
+  }
+  std::printf(
+      "\nExpected: the n^2 crossbar overtakes n log^2 n in cost once n "
+      "grows past the constant-factor crossover.\n\n");
+}
+
+void print_setup_table() {
+  std::printf(
+      "Setup-time comparison — centralized looping (Benes) vs distributed "
+      "self-routing (BRSMN)\n\n");
+  std::printf("%8s %20s %20s\n", "n", "benes-seq-steps",
+              "brsmn-gate-delays");
+  brsmn::Rng rng(11);
+  for (std::size_t n = 16; n <= 1u << 12; n <<= 2) {
+    const brsmn::baselines::BenesNetwork benes(n);
+    brsmn::RoutingStats stats;
+    benes.route(rng.permutation(n), &stats);
+    std::printf("%8zu %20zu %20llu\n", n, stats.tree_bwd_ops,
+                static_cast<unsigned long long>(
+                    brsmn::model::brsmn_routing_delay(n)));
+  }
+  std::printf(
+      "\nExpected: Benes setup grows ~ n log n (sequential), BRSMN routing "
+      "time ~ log^2 n (all switches set in parallel).\n\n");
+}
+
+void BM_BrsmnOnPermutations(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(5);
+  const auto perm = rng.permutation(n);
+  brsmn::MulticastAssignment a(n);
+  for (std::size_t i = 0; i < n; ++i) a.connect(i, perm[i]);
+  for (auto _ : state) benchmark::DoNotOptimize(net.route(a));
+}
+BENCHMARK(BM_BrsmnOnPermutations)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_ChengChenOnPermutations(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::baselines::ChengChenPermutation net(n);
+  brsmn::Rng rng(5);
+  const auto perm = rng.permutation(n);
+  for (auto _ : state) benchmark::DoNotOptimize(net.route(perm));
+}
+BENCHMARK(BM_ChengChenOnPermutations)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_BenesLoopingSetup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const brsmn::baselines::BenesNetwork net(n);
+  brsmn::Rng rng(5);
+  const auto perm = rng.permutation(n);
+  for (auto _ : state) benchmark::DoNotOptimize(net.route(perm));
+}
+BENCHMARK(BM_BenesLoopingSetup)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_CrossbarOracle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const brsmn::baselines::CrossbarMulticast xbar(n);
+  brsmn::Rng rng(6);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(xbar.route(a));
+}
+BENCHMARK(BM_CrossbarOracle)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cost_table();
+  print_setup_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 4b: input tags scattered in the first RBN, then
+// quasisorted in the second RBN of a binary splitting network — printed
+// with the actual fabric switch settings — plus BSN routing benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/bsn.hpp"
+#include "sim/render.hpp"
+
+namespace {
+
+std::string tag_row(const std::vector<brsmn::LineValue>& lines) {
+  std::string s;
+  for (const auto& lv : lines) s.push_back(brsmn::tag_char(lv.tag));
+  return s;
+}
+
+std::vector<brsmn::LineValue> lines_from(const std::vector<brsmn::Tag>& tags) {
+  std::vector<brsmn::LineValue> lines(tags.size());
+  std::uint64_t id = 1;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (brsmn::is_empty(tags[i])) continue;
+    brsmn::Packet p{i, id, id, {tags[i]}};
+    ++id;
+    lines[i] = brsmn::occupied_line(tags[i], std::move(p));
+  }
+  return lines;
+}
+
+void print_fig4b() {
+  // A BSN(8) input mixing all four tag values (same flavor as Fig. 4b).
+  const std::vector<brsmn::Tag> tags{
+      brsmn::Tag::Alpha, brsmn::Tag::Eps, brsmn::Tag::Zero,
+      brsmn::Tag::One,   brsmn::Tag::Eps, brsmn::Tag::Alpha,
+      brsmn::Tag::Eps,   brsmn::Tag::One};
+  brsmn::Bsn bsn(8);
+  std::uint64_t id = 100;
+  const auto result = bsn.route(lines_from(tags), id);
+  std::printf("Fig. 4b — tags through a binary splitting network (n = 8)\n");
+  std::printf("  inputs     : %s   (a = alpha, e = eps)\n",
+              tag_row(lines_from(tags)).c_str());
+  std::printf("  scattered  : %s   (alphas split into 0/1 pairs)\n",
+              tag_row(result.scattered).c_str());
+  std::printf("  quasisorted: %s   (z = dummy 0, w = dummy 1)\n",
+              tag_row(result.outputs).c_str());
+  std::printf("scatter fabric settings:\n%s",
+              brsmn::render::fabric_settings(bsn.scatter_fabric()).c_str());
+  std::printf("quasisort fabric settings:\n%s\n",
+              brsmn::render::fabric_settings(bsn.quasisort_fabric()).c_str());
+}
+
+std::vector<brsmn::Tag> admissible_tags(std::size_t n, std::uint64_t seed) {
+  brsmn::Rng rng(seed);
+  std::vector<brsmn::Tag> tags(n);
+  std::size_t n0 = 0, n1 = 0, na = 0;
+  for (auto& t : tags) {
+    const auto r = rng.uniform(0, 7);
+    if (r < 2 && n0 + na < n / 2) {
+      t = brsmn::Tag::Zero;
+      ++n0;
+    } else if (r < 4 && n1 + na < n / 2) {
+      t = brsmn::Tag::One;
+      ++n1;
+    } else if (r < 5 && n0 + na < n / 2 && n1 + na < n / 2) {
+      t = brsmn::Tag::Alpha;
+      ++na;
+    } else {
+      t = brsmn::Tag::Eps;
+    }
+  }
+  return tags;
+}
+
+void BM_BsnRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Bsn bsn(n);
+  const auto tags = admissible_tags(n, 5);
+  for (auto _ : state) {
+    std::uint64_t id = 1;
+    benchmark::DoNotOptimize(bsn.route(lines_from(tags), id));
+  }
+}
+BENCHMARK(BM_BsnRoute)->RangeMultiplier(4)->Range(16, 16384);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

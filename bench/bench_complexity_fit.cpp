@@ -1,0 +1,40 @@
+// Shape verification for Table 2: each quantity normalized by its claimed
+// growth order must stay (roughly) flat across n, and the routing-time
+// advantage of the new design over the log^3-time designs must widen.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/analytic_models.hpp"
+#include "sim/gate_model.hpp"
+
+int main() {
+  using brsmn::baselines::brsmn_row;
+  using brsmn::baselines::feedback_row;
+  using brsmn::baselines::nassimi_sahni;
+
+  std::printf(
+      "Normalized growth (flat column => the claimed order is the true "
+      "order)\n\n");
+  std::printf("%8s %18s %18s %18s %18s %14s\n", "n", "brsmn/(n lg^2 n)",
+              "fb/(n lg n)", "depth/lg^2 n", "route/lg^2 n",
+              "NS/BRSMN route");
+  for (std::size_t n = 8; n <= 1u << 20; n <<= 2) {
+    const double lg = std::log2(static_cast<double>(n));
+    const auto ours = brsmn_row(n);
+    const auto fb = feedback_row(n);
+    const auto ns = nassimi_sahni(n);
+    std::printf("%8zu %18.3f %18.3f %18.3f %18.3f %14.3f\n", n,
+                static_cast<double>(ours.cost) /
+                    (static_cast<double>(n) * lg * lg),
+                static_cast<double>(fb.cost) /
+                    (static_cast<double>(n) * lg),
+                static_cast<double>(ours.depth) / (lg * lg),
+                static_cast<double>(ours.routing_time) / (lg * lg),
+                static_cast<double>(ns.routing_time) /
+                    static_cast<double>(ours.routing_time));
+  }
+  std::printf(
+      "\nExpected: columns 2-5 flatten; the last column grows ~ lg n / "
+      "const (the paper's routing-time win).\n");
+  return 0;
+}

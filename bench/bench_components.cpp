@@ -1,0 +1,107 @@
+// Component ablation: where does the routing work go? Benchmarks the
+// scatter configuration (Table 4), the ε-dividing sweep (Table 6), the
+// quasisort configuration (Table 3) and raw fabric propagation
+// separately.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/bit_sorter.hpp"
+#include "core/quasisort.hpp"
+#include "core/rbn.hpp"
+#include "core/scatter.hpp"
+
+namespace {
+
+std::vector<brsmn::Tag> scatter_tags(std::size_t n, std::uint64_t seed) {
+  brsmn::Rng rng(seed);
+  std::vector<brsmn::Tag> tags(n);
+  std::size_t n0 = 0, n1 = 0, na = 0;
+  for (auto& t : tags) {
+    const auto r = rng.uniform(0, 9);
+    if (r < 2 && n0 + na < n / 2) {
+      t = brsmn::Tag::Zero;
+      ++n0;
+    } else if (r < 4 && n1 + na < n / 2) {
+      t = brsmn::Tag::One;
+      ++n1;
+    } else if (r < 6 && n0 + na < n / 2 && n1 + na < n / 2) {
+      t = brsmn::Tag::Alpha;
+      ++na;
+    } else {
+      t = brsmn::Tag::Eps;
+    }
+  }
+  return tags;
+}
+
+void BM_ScatterConfigure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Rbn rbn(n);
+  const auto tags = scatter_tags(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brsmn::configure_scatter(rbn, tags, 0));
+  }
+}
+BENCHMARK(BM_ScatterConfigure)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_EpsDivide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Rng rng(7);
+  std::vector<brsmn::Tag> tags(n, brsmn::Tag::Eps);
+  for (std::size_t i = 0; i < n / 4; ++i) tags[i] = brsmn::Tag::Zero;
+  for (std::size_t i = n / 4; i < n / 2; ++i) tags[i] = brsmn::Tag::One;
+  std::shuffle(tags.begin(), tags.end(), rng.engine());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brsmn::divide_eps(tags));
+  }
+}
+BENCHMARK(BM_EpsDivide)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_QuasisortConfigure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Rbn rbn(n);
+  brsmn::Rng rng(7);
+  std::vector<brsmn::Tag> tags(n, brsmn::Tag::Eps);
+  for (std::size_t i = 0; i < n / 4; ++i) tags[i] = brsmn::Tag::Zero;
+  for (std::size_t i = n / 4; i < n / 2; ++i) tags[i] = brsmn::Tag::One;
+  std::shuffle(tags.begin(), tags.end(), rng.engine());
+  const auto divided = brsmn::divide_eps(tags);
+  for (auto _ : state) {
+    brsmn::configure_quasisort(rbn, divided);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_QuasisortConfigure)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_BitSorterConfigure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Rbn rbn(n);
+  brsmn::Rng rng(3);
+  std::vector<int> keys(n);
+  for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+  for (auto _ : state) {
+    brsmn::configure_bit_sorter(rbn, keys, 0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_BitSorterConfigure)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_FabricPropagateTagsOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Rbn rbn(n);
+  brsmn::Rng rng(3);
+  std::vector<int> keys(n);
+  for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+  brsmn::configure_bit_sorter(rbn, keys, 0);
+  for (auto _ : state) {
+    auto out = rbn.propagate(keys, brsmn::unicast_switch<int>);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FabricPropagateTagsOnly)->RangeMultiplier(4)->Range(16, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Feedback-implementation ablation (Section 7.3 / Fig. 13): identical
+// routing results at 1/Θ(log n) the hardware, paid for with
+// 2(log n - 1) + 1 sequential passes over one fabric.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "sim/gate_model.hpp"
+
+namespace {
+
+void print_ablation() {
+  std::printf(
+      "Feedback ablation — hardware vs time (identical routed results)\n\n");
+  std::printf("%8s %12s %12s %10s %14s %14s %8s\n", "n", "unrolled-sw",
+              "feedback-sw", "saving", "unrolled-delay", "feedback-delay",
+              "passes");
+  for (std::size_t n = 8; n <= 1u << 14; n <<= 2) {
+    brsmn::FeedbackBrsmn fb(n);
+    const auto u_sw = brsmn::model::brsmn_switches(n);
+    const auto f_sw = brsmn::model::feedback_switches(n);
+    std::printf("%8zu %12zu %12zu %9.2fx %14" PRIu64 " %14" PRIu64 " %8zu\n",
+                n, u_sw, f_sw,
+                static_cast<double>(u_sw) / static_cast<double>(f_sw),
+                brsmn::model::brsmn_routing_delay(n),
+                brsmn::model::feedback_routing_delay(n),
+                fb.passes_per_route());
+  }
+  std::printf("\n");
+}
+
+void BM_UnrolledVsFeedback(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool feedback = state.range(1) != 0;
+  brsmn::Rng rng(17);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  if (feedback) {
+    brsmn::FeedbackBrsmn net(n);
+    for (auto _ : state) benchmark::DoNotOptimize(net.route(a));
+  } else {
+    brsmn::Brsmn net(n);
+    for (auto _ : state) benchmark::DoNotOptimize(net.route(a));
+  }
+}
+BENCHMARK(BM_UnrolledVsFeedback)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}})
+    ->ArgNames({"n", "feedback"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

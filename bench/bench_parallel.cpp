@@ -1,0 +1,54 @@
+// Thread-scaling of batch routing (ParallelRouter): independent
+// assignments shard across worker threads, each with a private fabric.
+#include <benchmark/benchmark.h>
+
+#include "api/parallel_router.hpp"
+#include "hw/adder_tree.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+std::vector<brsmn::MulticastAssignment> make_batch(std::size_t n,
+                                                   std::size_t count) {
+  brsmn::Rng rng(77);
+  std::vector<brsmn::MulticastAssignment> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(brsmn::random_multicast(n, 0.85, rng));
+  }
+  return batch;
+}
+
+void BM_BatchRouting(benchmark::State& state) {
+  const std::size_t n = 512;
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto batch = make_batch(n, 32);
+  brsmn::api::ParallelRouter router(n, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_batch(batch));
+  }
+  state.counters["assignments/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * batch.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchRouting)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineAdderTreeCycles(benchmark::State& state) {
+  // Wall-clock of the gate-level forward-phase simulation (Fig. 12).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const brsmn::hw::PipelinedAdderTree tree(n);
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = i % 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.run(keys, 1));
+  }
+  state.counters["cycles"] =
+      static_cast<double>(tree.expected_cycles(1));
+  state.counters["gates"] = static_cast<double>(tree.gate_count());
+}
+BENCHMARK(BM_PipelineAdderTreeCycles)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

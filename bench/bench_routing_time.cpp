@@ -1,0 +1,65 @@
+// Routing time (Table 2 third column / Section 7.2): the modelled gate
+// delay per routed assignment, plus wall-clock time of the simulator's
+// self-routing pipeline as a sanity proxy.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "sim/gate_model.hpp"
+
+namespace {
+
+void BM_BrsmnRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  std::uint64_t gate_delay = 0;
+  for (auto _ : state) {
+    auto result = net.route(a);
+    gate_delay = result.stats.gate_delay;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gate_delay"] = static_cast<double>(gate_delay);
+  state.counters["per_line_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BrsmnRoute)->RangeMultiplier(4)->Range(8, 4096);
+
+void BM_FeedbackRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::FeedbackBrsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  std::uint64_t gate_delay = 0;
+  for (auto _ : state) {
+    auto result = net.route(a);
+    gate_delay = result.stats.gate_delay;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gate_delay"] = static_cast<double>(gate_delay);
+}
+BENCHMARK(BM_FeedbackRoute)->RangeMultiplier(4)->Range(8, 4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Routing time in gate delays (pipelined 1-bit adders, Fig. 12): "
+      "grows as log^2 n\n");
+  std::printf("%8s %16s %16s\n", "n", "unrolled", "feedback");
+  for (std::size_t n = 8; n <= 1u << 16; n <<= 2) {
+    std::printf("%8zu %16" PRIu64 " %16" PRIu64 "\n", n,
+                brsmn::model::brsmn_routing_delay(n),
+                brsmn::model::feedback_routing_delay(n));
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 2: "Comparisons of recursively constructed multicast
+// networks" — cost, depth and routing time for Nassimi-Sahni, Lee-Oruç,
+// the new BRSMN design, and its feedback version.
+//
+// The BRSMN rows are *measured*: switch/gate counts come from the
+// implemented networks and the routing time is the gate delay the
+// simulator accumulates while actually routing an assignment. The two
+// prior designs were never released; their rows are their published
+// closed forms (see baselines/analytic_models.hpp).
+#include <cinttypes>
+#include <cstdio>
+
+#include "baselines/analytic_models.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/multicast_assignment.hpp"
+#include "sim/gate_model.hpp"
+
+namespace {
+
+void print_header() {
+  std::printf(
+      "Table 2 — recursively constructed multicast networks "
+      "(unit: logic gates / gate delays)\n");
+  std::printf(
+      "asymptotics: N-S and L-O cost n log^2 n, routing log^3 n; "
+      "new design cost n log^2 n, routing log^2 n; feedback cost n log n\n\n");
+  std::printf("%6s  %-20s %14s %10s %14s\n", "n", "network", "cost(gates)",
+              "depth", "routing(delays)");
+}
+
+void print_row(std::size_t n, const brsmn::baselines::ComplexityRow& row) {
+  std::printf("%6zu  %-20s %14" PRIu64 " %10" PRIu64 " %14" PRIu64 "\n", n,
+              row.network.c_str(), row.cost, row.depth, row.routing_time);
+}
+
+}  // namespace
+
+int main() {
+  print_header();
+  for (std::size_t n : {8u, 16u, 64u, 256u, 1024u, 4096u}) {
+    for (const auto& row : brsmn::baselines::table2(n)) {
+      print_row(n, row);
+    }
+    // Cross-check the measured quantities against the model rows: route a
+    // real assignment and report the accumulated gate delay.
+    brsmn::Brsmn net(n);
+    const auto measured = net.route(brsmn::full_broadcast(n));
+    brsmn::FeedbackBrsmn fb(n);
+    const auto measured_fb = fb.route(brsmn::full_broadcast(n));
+    std::printf(
+        "%6s  measured: unrolled %zu switches, %" PRIu64
+        " delays; feedback %zu switches, %" PRIu64 " delays, %zu passes\n\n",
+        "", net.switch_count(), measured.stats.gate_delay,
+        fb.switch_count(), measured_fb.stats.gate_delay,
+        measured_fb.stats.fabric_passes);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Routing throughput of the simulator over the workload families the
+// paper's introduction motivates: dense multicast, partial permutations,
+// and k-source broadcasts.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+
+namespace {
+
+void BM_MulticastDensitySweep(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  // Pre-generate a pool of assignments so generation cost stays out of
+  // the loop.
+  std::vector<brsmn::MulticastAssignment> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(brsmn::random_multicast(n, density, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()]));
+  }
+  state.counters["connections"] =
+      static_cast<double>(pool[0].total_connections());
+}
+BENCHMARK(BM_MulticastDensitySweep)->Arg(10)->Arg(50)->Arg(90)->Arg(100);
+
+void BM_PermutationWorkload(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(2);
+  std::vector<brsmn::MulticastAssignment> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(brsmn::random_permutation(n, 1.0, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()]));
+  }
+}
+BENCHMARK(BM_PermutationWorkload)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_BroadcastSources(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  const auto a = brsmn::broadcast_assignment(n, sources);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(a));
+  }
+}
+BENCHMARK(BM_BroadcastSources)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_FeedbackThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::FeedbackBrsmn net(n);
+  brsmn::Rng rng(3);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(a));
+  }
+}
+BENCHMARK(BM_FeedbackThroughput)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// An epoch-based multicast cell switch built on the public facade:
+// cells with real payloads enter input ports, headers are serialized to
+// the 3-bit-per-tag wire format of Table 1, and each epoch the fabric
+// self-routes everything. Payload integrity is checked end to end.
+//
+// Build & run:  ./build/examples/cell_switch
+#include <cstdio>
+#include <numeric>
+
+#include "api/header_codec.hpp"
+#include "api/multicast_switch.hpp"
+#include "common/rng.hpp"
+#include "core/multicast_assignment.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t source, int epoch) {
+  std::vector<std::uint8_t> p(48);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<std::uint8_t>(source * 31 + epoch * 7 + i);
+  }
+  return p;
+}
+
+std::uint32_t checksum(const std::vector<std::uint8_t>& p) {
+  return std::accumulate(p.begin(), p.end(), 0u);
+}
+
+}  // namespace
+
+int main() {
+  using namespace brsmn;
+  constexpr std::size_t kPorts = 64;
+  constexpr int kEpochs = 8;
+
+  api::MulticastSwitch fabric(kPorts, api::MulticastSwitch::Engine::kFeedback);
+  Rng rng(4242);
+
+  std::printf("multicast cell switch: %zu ports, feedback engine\n", kPorts);
+  std::printf("header size on the wire: %zu bits per cell (3 bits per "
+              "routing tag, Table 1)\n\n",
+              api::header_bits(kPorts));
+
+  std::size_t total_cells = 0, total_deliveries = 0, corrupt = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const auto demand = random_multicast(kPorts, 0.75, rng);
+    for (std::size_t in = 0; in < kPorts; ++in) {
+      const auto& dests = demand.destinations(in);
+      if (dests.empty()) continue;
+      // Serialize the header exactly as the hardware would see it, then
+      // decode it back — the switch routes from the same information.
+      const auto wire = api::encode_header(dests, kPorts);
+      const auto parsed = api::decode_header(wire);
+      fabric.submit(in, make_payload(in, epoch), parsed);
+      ++total_cells;
+    }
+    const auto deliveries = fabric.route_epoch();
+    for (const auto& d : deliveries) {
+      if (checksum(d.payload) != checksum(make_payload(d.source, epoch))) {
+        ++corrupt;
+      }
+    }
+    total_deliveries += deliveries.size();
+    std::printf("epoch %d: %2zu cells in, %2zu deliveries out, "
+                "%zu fabric passes\n",
+                epoch, static_cast<std::size_t>(demand.active_inputs()),
+                deliveries.size(), fabric.last_stats().fabric_passes);
+  }
+
+  std::printf("\ntotals: %zu cells, %zu deliveries, %zu corrupted payloads\n",
+              total_cells, total_deliveries, corrupt);
+  std::printf(corrupt == 0 ? "payload integrity verified end to end.\n"
+                           : "PAYLOAD CORRUPTION DETECTED!\n");
+  return corrupt == 0 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Collective-communication patterns from the paper's introduction —
+// barrier release, matrix-multiply row/column broadcasts and FFT
+// butterflies — expressed as multicast assignments and routed through
+// one BRSMN.
+//
+// Build & run:  ./build/examples/collective_ops
+#include <cstdio>
+
+#include "core/brsmn.hpp"
+
+namespace {
+
+using brsmn::Brsmn;
+using brsmn::MulticastAssignment;
+
+void report(const char* name, Brsmn& network,
+            const MulticastAssignment& a) {
+  const auto result = network.route(a);
+  std::size_t delivered = 0;
+  for (const auto& d : result.delivered) delivered += d.has_value();
+  std::printf("%-28s %4zu connections  %4zu splits  %6llu gate delays\n",
+              name, delivered, result.stats.broadcast_ops,
+              static_cast<unsigned long long>(result.stats.gate_delay));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSide = 16;                // 16 x 16 processor grid
+  constexpr std::size_t kN = kSide * kSide;        // 256-port network
+  Brsmn network(kN);
+
+  std::printf("collective operations on a %zu-port BRSMN "
+              "(%zu x %zu processor grid)\n\n", kN, kSide, kSide);
+
+  // 1. Barrier release: the coordinator notifies everyone.
+  MulticastAssignment barrier(kN);
+  for (std::size_t out = 0; out < kN; ++out) barrier.connect(0, out);
+  report("barrier broadcast", network, barrier);
+
+  // 2. Matrix multiply, row phase: processor (r, 0) broadcasts its A-block
+  // to row r.
+  MulticastAssignment rows(kN);
+  for (std::size_t r = 0; r < kSide; ++r) {
+    for (std::size_t c = 0; c < kSide; ++c) {
+      rows.connect(r * kSide, r * kSide + c);
+    }
+  }
+  report("matmul row broadcasts", network, rows);
+
+  // 3. Matrix multiply, column phase: processor (0, c) broadcasts its
+  // B-block down column c.
+  MulticastAssignment cols(kN);
+  for (std::size_t c = 0; c < kSide; ++c) {
+    for (std::size_t r = 0; r < kSide; ++r) {
+      cols.connect(c, r * kSide + c);
+    }
+  }
+  report("matmul column broadcasts", network, cols);
+
+  // 4. FFT butterfly exchanges, one stage per address bit.
+  for (std::size_t bit = 1; bit < kN; bit <<= 1) {
+    MulticastAssignment fft(kN);
+    for (std::size_t i = 0; i < kN; ++i) fft.connect(i, i ^ bit);
+    char label[64];
+    std::snprintf(label, sizeof label, "fft butterfly (stride %zu)", bit);
+    report(label, network, fft);
+  }
+
+  std::printf("\nevery collective completed conflict-free on one fabric — "
+              "no blocking, no retries.\n");
+  return 0;
+}

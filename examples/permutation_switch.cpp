@@ -1,0 +1,54 @@
+// Permutation switching: the BRSMN handles classic permutation traffic as
+// the special case of multicast with singleton destination sets, and the
+// Cheng-Chen self-routing permutation network [14] — the design the
+// paper builds on — handles it with log n cascaded reverse banyan sorts.
+//
+// Build & run:  ./build/examples/permutation_switch
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/cheng_chen.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+
+int main() {
+  using namespace brsmn;
+  constexpr std::size_t kN = 64;
+  Rng rng(7);
+
+  Brsmn multicast_net(kN);
+  baselines::ChengChenPermutation perm_net(kN);
+
+  std::printf("permutation switching, n = %zu\n", kN);
+  std::printf("  BRSMN:      %zu switches (multicast-capable)\n",
+              multicast_net.switch_count());
+  std::printf("  Cheng-Chen: %zu switches (%d cascaded RBN sorts, "
+              "permutations only)\n\n",
+              perm_net.switch_count(), perm_net.passes());
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto perm = rng.permutation(kN);
+
+    // Route through the Cheng-Chen network directly.
+    const auto cc_out = perm_net.route(perm);
+
+    // Route the same permutation through the BRSMN as a multicast.
+    MulticastAssignment a(kN);
+    for (std::size_t i = 0; i < kN; ++i) a.connect(i, perm[i]);
+    const auto result = multicast_net.route(a);
+
+    bool agree = true;
+    for (std::size_t out = 0; out < kN; ++out) {
+      agree = agree && result.delivered[out].has_value() &&
+              *result.delivered[out] == cc_out[out];
+    }
+    std::printf("trial %d: both networks realized the permutation "
+                "identically: %s (0 packet splits: %s)\n",
+                trial, agree ? "yes" : "NO",
+                result.stats.broadcast_ops == 0 ? "yes" : "NO");
+  }
+
+  std::printf("\npermutations never split packets — the multicast machinery "
+              "degenerates exactly to bit sorting.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "api/header_codec.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/tag_sequence.hpp"
+
+namespace brsmn::api {
+
+std::size_t header_bits(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  return 3 * (n - 1);
+}
+
+std::vector<bool> encode_header(std::span<const std::size_t> dests,
+                                std::size_t n) {
+  const std::vector<Tag> seq = encode_sequence(dests, n);
+  std::vector<bool> bits;
+  bits.reserve(3 * seq.size());
+  for (const Tag t : seq) {
+    const std::uint8_t enc = encode(t);
+    bits.push_back(enc & 0b100);
+    bits.push_back(enc & 0b010);
+    bits.push_back(enc & 0b001);
+  }
+  return bits;
+}
+
+std::vector<Tag> header_to_sequence(const std::vector<bool>& bits) {
+  BRSMN_EXPECTS(bits.size() % 3 == 0);
+  const std::size_t count = bits.size() / 3;
+  BRSMN_EXPECTS_MSG(is_pow2(count + 1),
+                    "header must hold n-1 tags for a power-of-two n");
+  std::vector<Tag> seq;
+  seq.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t enc =
+        static_cast<std::uint8_t>((bits[3 * i] ? 0b100 : 0) |
+                                  (bits[3 * i + 1] ? 0b010 : 0) |
+                                  (bits[3 * i + 2] ? 0b001 : 0));
+    seq.push_back(collapse_eps(decode(enc)));
+  }
+  return seq;
+}
+
+std::vector<std::size_t> decode_header(const std::vector<bool>& bits) {
+  return decode_sequence(header_to_sequence(bits));
+}
+
+}  // namespace brsmn::api

@@ -1,0 +1,34 @@
+// Wire-format multicast headers (paper Section 7.1 + Table 1).
+//
+// A multidestination message's header is its routing-tag sequence of
+// n-1 tags, each encoded in the 3-bit b0 b1 b2 format of Table 1, for a
+// total of 3(n-1) header bits. This module serializes destination sets
+// to header bits and back, which is what a hardware implementation would
+// actually clock into the fabric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/tag.hpp"
+
+namespace brsmn::api {
+
+/// Header bits for the destination set `dests` in an n x n network:
+/// 3(n-1) bits, each tag MSB (b0) first.
+std::vector<bool> encode_header(std::span<const std::size_t> dests,
+                                std::size_t n);
+
+/// Parse header bits back into the tag sequence they encode.
+/// bits.size() must be a multiple of 3 and encode a valid sequence
+/// length (n-1 tags for a power-of-two n).
+std::vector<Tag> header_to_sequence(const std::vector<bool>& bits);
+
+/// Full decode: header bits -> destination set.
+std::vector<std::size_t> decode_header(const std::vector<bool>& bits);
+
+/// Header size in bits for an n x n network.
+std::size_t header_bits(std::size_t n);
+
+}  // namespace brsmn::api

@@ -1,0 +1,72 @@
+// The adoption-grade facade: an epoch-based multicast cell switch.
+//
+// Clients submit cells (payload + destination set) at input ports;
+// route_epoch() pushes the whole batch through the self-routing fabric
+// and returns the per-output deliveries. This is the interface a packet
+// scheduler or an interconnect simulator would program against — the
+// BRSMN machinery (tag trees, scatter/quasisort, feedback passes) stays
+// behind it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+
+namespace brsmn::api {
+
+/// One cell delivered at an output port after an epoch.
+struct Delivery {
+  std::size_t output = 0;
+  std::size_t source = 0;
+  std::vector<std::uint8_t> payload;  ///< copy of the submitted payload
+};
+
+class MulticastSwitch {
+ public:
+  /// Which routing engine backs the switch.
+  enum class Engine {
+    kUnrolled,  ///< the full O(n log^2 n)-cost pipeline (Fig. 1)
+    kFeedback,  ///< the O(n log n)-cost feedback fabric (Fig. 13)
+  };
+
+  explicit MulticastSwitch(std::size_t ports,
+                           Engine engine = Engine::kUnrolled);
+
+  std::size_t ports() const noexcept { return ports_; }
+  Engine engine() const noexcept { return engine_; }
+
+  /// Queue a cell at `input` for the current epoch.
+  /// Throws ContractViolation if the input already holds a cell this
+  /// epoch, if `destinations` is empty, or if any destination is already
+  /// claimed by another queued cell (multicast assignments must have
+  /// disjoint destination sets).
+  void submit(std::size_t input, std::vector<std::uint8_t> payload,
+              const std::vector<std::size_t>& destinations);
+
+  /// Number of cells currently queued.
+  std::size_t pending() const noexcept { return pending_; }
+
+  /// Route everything queued; returns the deliveries sorted by output
+  /// port and clears the queue. An epoch with no cells returns {}.
+  std::vector<Delivery> route_epoch();
+
+  /// Stats of the most recent route_epoch().
+  const RoutingStats& last_stats() const noexcept { return last_stats_; }
+
+ private:
+  std::size_t ports_;
+  Engine engine_;
+  MulticastAssignment assignment_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::vector<bool> occupied_;
+  std::size_t pending_ = 0;
+  RoutingStats last_stats_;
+  std::unique_ptr<Brsmn> unrolled_;
+  std::unique_ptr<FeedbackBrsmn> feedback_;
+};
+
+}  // namespace brsmn::api

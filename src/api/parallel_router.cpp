@@ -1,0 +1,56 @@
+#include "api/parallel_router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::api {
+
+ParallelRouter::ParallelRouter(std::size_t n, unsigned threads)
+    : n_(n),
+      threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+std::vector<RouteResult> ParallelRouter::route_batch(
+    const std::vector<MulticastAssignment>& batch) {
+  for (const auto& a : batch) BRSMN_EXPECTS(a.size() == n_);
+  std::vector<RouteResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, batch.size()));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    Brsmn engine(n_);  // one fabric per worker: no shared mutable state
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.size()) return;
+      try {
+        results[i] = engine.route(batch[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace brsmn::api

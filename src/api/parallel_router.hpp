@@ -1,0 +1,37 @@
+// Batch routing across CPU threads.
+//
+// Routing one assignment is inherently sequential (each level feeds the
+// next), but independent assignments — successive switching epochs, or
+// Monte-Carlo sweeps in the benchmark harness — are embarrassingly
+// parallel. ParallelRouter keeps one Brsmn engine per worker thread and
+// shards a batch over them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/brsmn.hpp"
+
+namespace brsmn::api {
+
+class ParallelRouter {
+ public:
+  /// A pool of `threads` engines for an n x n network; threads == 0
+  /// selects std::thread::hardware_concurrency().
+  explicit ParallelRouter(std::size_t n, unsigned threads = 0);
+
+  std::size_t network_size() const noexcept { return n_; }
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Route every assignment in `batch`; results come back in order.
+  /// All assignments must have size network_size(). Contract violations
+  /// raised by a worker propagate to the caller.
+  std::vector<RouteResult> route_batch(
+      const std::vector<MulticastAssignment>& batch);
+
+ private:
+  std::size_t n_;
+  unsigned threads_;
+};
+
+}  // namespace brsmn::api

@@ -1,0 +1,49 @@
+#include "baselines/analytic_models.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "sim/gate_model.hpp"
+
+namespace brsmn::baselines {
+
+namespace {
+
+std::uint64_t ulog(std::size_t n) {
+  return static_cast<std::uint64_t>(log2_exact(n));
+}
+
+}  // namespace
+
+ComplexityRow nassimi_sahni(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const std::uint64_t lg = ulog(n);
+  // k = log n: O(k n^{1+1/k} log n) switches -> ~ 2 n log^2 n gate units;
+  // routing on the embedded parallel computer costs O(k log^2 n) = log^3 n.
+  return {"Nassimi-Sahni", 2 * n * lg * lg, lg * lg, lg * lg * lg};
+}
+
+ComplexityRow lee_oruc(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const std::uint64_t lg = ulog(n);
+  return {"Lee-Oruc", 2 * n * lg * lg, lg * lg, lg * lg * lg};
+}
+
+ComplexityRow brsmn_row(std::size_t n) {
+  return {"BRSMN (this paper)", model::brsmn_gates(n),
+          static_cast<std::uint64_t>(model::brsmn_depth_stages(n)) *
+              kSwitchStageDelay,
+          model::brsmn_routing_delay(n)};
+}
+
+ComplexityRow feedback_row(std::size_t n) {
+  return {"BRSMN feedback", model::feedback_gates(n),
+          static_cast<std::uint64_t>(model::feedback_depth_stages(n)) *
+              kSwitchStageDelay,
+          model::feedback_routing_delay(n)};
+}
+
+std::vector<ComplexityRow> table2(std::size_t n) {
+  return {nassimi_sahni(n), lee_oruc(n), brsmn_row(n), feedback_row(n)};
+}
+
+}  // namespace brsmn::baselines

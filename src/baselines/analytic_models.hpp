@@ -1,0 +1,44 @@
+// Analytic complexity models for the prior multicast networks of Table 2.
+//
+// Nassimi & Sahni [4] and Lee & Oruç [9] were never released as
+// implementations; the paper compares against their published complexity
+// orders. We model each row of Table 2 as a closed-form gate count /
+// depth / routing-time function with unit constants, so the benchmark
+// harness can plot all four rows on the same axes (shape comparison, the
+// same information Table 2 conveys).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brsmn::baselines {
+
+struct ComplexityRow {
+  std::string network;
+  std::uint64_t cost = 0;          ///< gates (unit constant)
+  std::uint64_t depth = 0;         ///< gate depth
+  std::uint64_t routing_time = 0;  ///< gate delays
+};
+
+/// Nassimi-Sahni generalized connection network at k = log n:
+/// cost n log^2 n, depth log^2 n, routing time log^3 n.
+ComplexityRow nassimi_sahni(std::size_t n);
+
+/// Lee-Oruç generalized connector: cost n log^2 n, depth log^2 n,
+/// routing time log^3 n.
+ComplexityRow lee_oruc(std::size_t n);
+
+/// This paper's design: cost n log^2 n, depth log^2 n, routing log^2 n.
+/// Computed from the implemented model (sim/gate_model) rather than the
+/// asymptotic formula, so benches can compare measured vs analytic.
+ComplexityRow brsmn_row(std::size_t n);
+
+/// Feedback version: cost n log n, same depth/routing orders.
+ComplexityRow feedback_row(std::size_t n);
+
+/// All four rows of Table 2 for one n, in the paper's order.
+std::vector<ComplexityRow> table2(std::size_t n);
+
+}  // namespace brsmn::baselines

@@ -1,0 +1,132 @@
+#include "baselines/benes.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn::baselines {
+
+namespace {
+
+struct Node {
+  std::size_t source = 0;
+  std::size_t dest = 0;  ///< top-level destination, immutable
+};
+
+/// Recursive looping router. `items` sit on the 2^k input lines of a
+/// sub-network whose local destination key is dest >> shift (distinct
+/// across items). Returns the items arranged so that position p holds the
+/// item with local key p.
+std::vector<Node> route_rec(std::vector<Node> items, int shift,
+                            RoutingStats* stats) {
+  const std::size_t n = items.size();
+  auto key = [shift](const Node& m) { return m.dest >> shift; };
+  if (n == 2) {
+    if (stats) ++stats->switch_traversals;
+    std::vector<Node> out(2);
+    out[key(items[0]) & 1] = items[0];
+    out[key(items[1]) & 1] = items[1];
+    return out;
+  }
+
+  // Looping 2-coloring: lines sharing an input switch (x, x^1) must take
+  // different sub-networks, and so must the two lines whose keys share an
+  // output switch (key/2 equal). Cycles alternate the two constraint
+  // kinds; walking each cycle once colors everything consistently.
+  std::vector<std::size_t> line_of_key(n);
+  for (std::size_t line = 0; line < n; ++line) {
+    line_of_key[key(items[line])] = line;
+  }
+  auto output_partner = [&](std::size_t line) {
+    return line_of_key[key(items[line]) ^ 1];
+  };
+
+  std::vector<int> color(n, -1);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    std::size_t v = start;
+    color[v] = 0;
+    if (stats) ++stats->tree_bwd_ops;
+    for (;;) {
+      const std::size_t u = v ^ 1;  // input-switch partner
+      if (color[u] != -1) break;
+      color[u] = 1 - color[v];
+      if (stats) ++stats->tree_bwd_ops;
+      const std::size_t w = output_partner(u);
+      if (color[w] != -1) break;
+      color[w] = 1 - color[u];
+      if (stats) ++stats->tree_bwd_ops;
+      v = w;
+    }
+  }
+
+  // First stage: input switch k forwards its color-0 line to upper
+  // sub-network position k, its color-1 line to lower position k.
+  std::vector<Node> upper(n / 2), lower(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const Node& a = items[2 * k];
+    const Node& b = items[2 * k + 1];
+    BRSMN_ENSURES_MSG(color[2 * k] != color[2 * k + 1],
+                      "looping produced an inconsistent coloring");
+    (color[2 * k] == 0 ? upper : lower)[k] = a;
+    (color[2 * k] == 0 ? lower : upper)[k] = b;
+    if (stats) ++stats->switch_traversals;
+  }
+
+  const std::vector<Node> up_out = route_rec(std::move(upper), shift + 1,
+                                             stats);
+  const std::vector<Node> low_out = route_rec(std::move(lower), shift + 1,
+                                              stats);
+
+  // Last stage: output switch j receives upper output j and lower output
+  // j, both with local key/2 == j, and splits them by the key's low bit.
+  std::vector<Node> out(n);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    const Node& a = up_out[j];
+    const Node& b = low_out[j];
+    BRSMN_ENSURES((key(a) >> 1) == j && (key(b) >> 1) == j);
+    BRSMN_ENSURES_MSG((key(a) & 1) != (key(b) & 1),
+                      "two items claim one Benes output");
+    out[2 * j + (key(a) & 1)] = a;
+    out[2 * j + (key(b) & 1)] = b;
+    if (stats) ++stats->switch_traversals;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenesNetwork::BenesNetwork(std::size_t n) : n_(n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+int BenesNetwork::depth() const noexcept {
+  return 2 * log2_exact(n_) - 1;
+}
+
+std::size_t BenesNetwork::switch_count() const noexcept {
+  return (n_ / 2) * static_cast<std::size_t>(depth());
+}
+
+std::vector<std::size_t> BenesNetwork::route(
+    const std::vector<std::size_t>& dest, RoutingStats* stats) const {
+  BRSMN_EXPECTS(dest.size() == n_);
+  {
+    std::vector<bool> used(n_, false);
+    for (const std::size_t d : dest) {
+      BRSMN_EXPECTS_MSG(d < n_ && !used[d],
+                        "Benes routing requires a full permutation");
+      used[d] = true;
+    }
+  }
+  std::vector<Node> items(n_);
+  for (std::size_t i = 0; i < n_; ++i) items[i] = {i, dest[i]};
+  const std::vector<Node> out = route_rec(std::move(items), 0, stats);
+  std::vector<std::size_t> per_output(n_);
+  for (std::size_t d = 0; d < n_; ++d) {
+    BRSMN_ENSURES(out[d].dest == d);
+    per_output[d] = out[d].source;
+  }
+  return per_output;
+}
+
+}  // namespace brsmn::baselines

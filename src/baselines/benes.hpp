@@ -1,0 +1,43 @@
+// Beneš rearrangeable permutation network with the classic looping
+// route-assignment algorithm.
+//
+// This is the canonical *centrally routed* counterpart to the paper's
+// self-routing designs: hardware cost O(n log n) (2 log n - 1 stages of
+// n/2 switches — cheaper than any self-routing design known then), but
+// switch settings must be computed by a sequential looping algorithm
+// touching Θ(n log n) state per assignment. The benchmark harness uses
+// it to quantify the setup-time gap that motivates self-routing
+// (Section 1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace brsmn::baselines {
+
+class BenesNetwork {
+ public:
+  explicit BenesNetwork(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// 2 log2(n) - 1 switch stages.
+  int depth() const noexcept;
+
+  /// (n/2)(2 log2(n) - 1) switches.
+  std::size_t switch_count() const noexcept;
+
+  /// Route the full permutation `dest` (dest[i] = output of input i).
+  /// Returns per-output sources. `stats`, when given, counts the looping
+  /// algorithm's sequential steps in tree_bwd_ops (the centralized setup
+  /// work) and value movements in switch_traversals.
+  std::vector<std::size_t> route(const std::vector<std::size_t>& dest,
+                                 RoutingStats* stats = nullptr) const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace brsmn::baselines

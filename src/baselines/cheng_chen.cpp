@@ -1,0 +1,87 @@
+#include "baselines/cheng_chen.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/bit_sorter.hpp"
+
+namespace brsmn::baselines {
+
+namespace {
+
+struct Item {
+  std::size_t dest = 0;
+  std::size_t source = 0;
+};
+
+}  // namespace
+
+ChengChenPermutation::ChengChenPermutation(std::size_t n) : n_(n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+  fabrics_.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) fabrics_.emplace_back(n);
+}
+
+int ChengChenPermutation::passes() const noexcept {
+  return static_cast<int>(fabrics_.size());
+}
+
+std::size_t ChengChenPermutation::switch_count() const {
+  return fabrics_.size() * fabrics_.front().topology().switch_count();
+}
+
+std::vector<std::size_t> ChengChenPermutation::route(
+    const std::vector<std::size_t>& dest, RoutingStats* stats) {
+  BRSMN_EXPECTS(dest.size() == n_);
+  const int m = log2_exact(n_);
+  {
+    std::vector<bool> used(n_, false);
+    for (std::size_t d : dest) {
+      BRSMN_EXPECTS_MSG(d < n_ && !used[d], "input is not a full permutation");
+      used[d] = true;
+    }
+  }
+
+  std::vector<Item> items(n_);
+  for (std::size_t i = 0; i < n_; ++i) items[i] = {dest[i], i};
+
+  // Radix sort on destination bits, most significant first. Pass p sorts
+  // each block of size n/2^{p-1} on destination bit p-1; each block holds
+  // exactly the items destined to its address range, so half its keys are
+  // 0 — Theorem 1 with s = block/2 yields ascending order.
+  for (int p = 1; p <= m; ++p) {
+    Rbn& fabric = fabrics_[static_cast<std::size_t>(p - 1)];
+    fabric.reset();
+    const int top_stage = m - p + 1;
+    const std::size_t block_size = std::size_t{1} << top_stage;
+    std::vector<int> keys(block_size);
+    for (std::size_t b = 0; b < n_ / block_size; ++b) {
+      for (std::size_t i = 0; i < block_size; ++i) {
+        keys[i] = msb_at(items[b * block_size + i].dest, p - 1, m);
+      }
+      configure_bit_sorter(fabric, top_stage, b, keys, block_size / 2, stats);
+    }
+    items = fabric.propagate(std::move(items),
+                             [stats](const SwitchContext& ctx, SwitchSetting s,
+                                     Item a, Item b) {
+                               if (stats) ++stats->switch_traversals;
+                               return unicast_switch(ctx, s, a, b);
+                             });
+    if (stats) {
+      ++stats->fabric_passes;
+      stats->gate_delay += config_sweep_delay(top_stage) + datapath_delay(m);
+    }
+  }
+
+  std::vector<std::size_t> per_output(n_);
+  for (std::size_t line = 0; line < n_; ++line) {
+    BRSMN_ENSURES_MSG(items[line].dest == line,
+                      "permutation not realized at outputs");
+    per_output[line] = items[line].source;
+  }
+  return per_output;
+}
+
+}  // namespace brsmn::baselines

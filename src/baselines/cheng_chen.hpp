@@ -1,0 +1,44 @@
+// Cheng-Chen style self-routing permutation network (paper reference
+// [14]): the RBN bit-sorting machinery applied log n times, one pass per
+// destination-address bit, sorts any (full) permutation to its targets.
+//
+// This is both a functional baseline (the permutation special case of
+// multicast) and the component the paper builds on: our scatter and
+// quasisorting networks reuse exactly this fabric. Here we implement the
+// permutation router as log n cascaded RBN bit sorts on successive
+// destination bits — a radix sort from the most significant bit down,
+// sorting within each already-sorted block.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/rbn.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn::baselines {
+
+class ChengChenPermutation {
+ public:
+  explicit ChengChenPermutation(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Number of RBN fabrics cascaded: log2(n).
+  int passes() const noexcept;
+
+  /// Total 2x2 switches: log n fabrics of (n/2) log n switches.
+  std::size_t switch_count() const;
+
+  /// Route a full permutation: dest[i] is the output for input i, every
+  /// output used exactly once. Returns per-output source (all engaged).
+  std::vector<std::size_t> route(const std::vector<std::size_t>& dest,
+                                 RoutingStats* stats = nullptr);
+
+ private:
+  std::size_t n_;
+  std::vector<Rbn> fabrics_;  // one per destination bit
+};
+
+}  // namespace brsmn::baselines

@@ -1,0 +1,115 @@
+#include "baselines/copy_network.hpp"
+
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/concentrator.hpp"
+
+namespace brsmn::baselines {
+
+namespace {
+
+/// A packet holding a contiguous destination interval [lo, hi], both
+/// bounds local to the current sub-network.
+struct IntervalPacket {
+  std::size_t source = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+using Line = std::optional<IntervalPacket>;
+
+/// Recursive broadcast-banyan interval routing. lines.size() is the
+/// sub-network size; on return, out[p] holds the source whose interval
+/// contained position p.
+void route_banyan(std::vector<Line> lines,
+                  std::vector<std::optional<std::size_t>>& out,
+                  std::size_t out_base, RoutingStats* stats) {
+  const std::size_t n = lines.size();
+  if (n == 1) {
+    if (lines[0]) {
+      BRSMN_ENSURES(lines[0]->lo == 0 && lines[0]->hi == 0);
+      out[out_base] = lines[0]->source;
+    }
+    return;
+  }
+  const std::size_t half = n / 2;
+  std::vector<Line> upper(half), lower(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    if (stats) ++stats->switch_traversals;
+    Line up_out, low_out;
+    for (Line* in : {&lines[i], &lines[i + half]}) {
+      if (!*in) continue;
+      const IntervalPacket& p = **in;
+      if (p.hi < half) {
+        BRSMN_ENSURES_MSG(!up_out, "copy-network collision (upper)");
+        up_out = p;
+      } else if (p.lo >= half) {
+        BRSMN_ENSURES_MSG(!low_out, "copy-network collision (lower)");
+        low_out = IntervalPacket{p.source, p.lo - half, p.hi - half};
+      } else {
+        // Boundary-spanning interval: the switch broadcasts, splitting
+        // the interval at the half boundary (Lee's boundary cell).
+        BRSMN_ENSURES_MSG(!up_out && !low_out,
+                          "copy-network collision (split)");
+        up_out = IntervalPacket{p.source, p.lo, half - 1};
+        low_out = IntervalPacket{p.source, 0, p.hi - half};
+        if (stats) ++stats->broadcast_ops;
+      }
+    }
+    upper[i] = up_out;
+    lower[i] = low_out;
+  }
+  route_banyan(std::move(upper), out, out_base, stats);
+  route_banyan(std::move(lower), out, out_base + half, stats);
+}
+
+}  // namespace
+
+CopyNetwork::CopyNetwork(std::size_t n) : n_(n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+std::size_t CopyNetwork::switch_count() const noexcept {
+  // Concentrator RBN plus broadcast banyan, (n/2) log n switches each.
+  return 2 * (n_ / 2) * static_cast<std::size_t>(log2_exact(n_));
+}
+
+std::vector<std::optional<std::size_t>> CopyNetwork::route(
+    const std::vector<std::size_t>& copies, RoutingStats* stats) const {
+  BRSMN_EXPECTS(copies.size() == n_);
+  const std::size_t total =
+      std::accumulate(copies.begin(), copies.end(), std::size_t{0});
+  BRSMN_EXPECTS_MSG(total <= n_, "total copies exceed the output count");
+
+  // 1) Concentrate active packets to the top lines.
+  std::size_t actives = 0;
+  std::vector<std::optional<std::size_t>> packet(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (copies[i] > 0) {
+      packet[i] = i;
+      ++actives;
+    }
+  }
+  Concentrator concentrator(n_);
+  packet = concentrator.route(std::move(packet), stats);
+
+  // 2) Running-sum interval assignment over the concentrated order.
+  std::vector<Line> lines(n_);
+  std::size_t next = 0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    if (!packet[q]) continue;
+    BRSMN_ENSURES_MSG(q < actives, "concentration failed");
+    const std::size_t src = *packet[q];
+    lines[q] = IntervalPacket{src, next, next + copies[src] - 1};
+    next += copies[src];
+  }
+
+  // 3) Broadcast-banyan interval routing.
+  std::vector<std::optional<std::size_t>> out(n_);
+  route_banyan(std::move(lines), out, 0, stats);
+  return out;
+}
+
+}  // namespace brsmn::baselines

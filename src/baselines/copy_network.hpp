@@ -1,0 +1,49 @@
+// A nonblocking copy network in the style of T.T. Lee [6] (reference [6]
+// of the paper): given per-input copy counts with total <= n, produce the
+// requested number of packet copies on distinct output lines.
+//
+// Pipeline:
+//   1. concentration — active packets are compacted to the top lines by a
+//      reverse-banyan bit sort (keys: idle = 1);
+//   2. running-sum interval assignment — concentrated packet q claims the
+//      contiguous output interval [S_q, S_q + c_q) (Lee's running adder +
+//      dummy address encoders);
+//   3. broadcast-banyan interval routing — log n stages; the stage-k
+//      switch joining lines (i, i + n'/2) of its sub-network sends a
+//      packet up/down by comparing its interval to the half boundary,
+//      splitting boundary-spanning intervals into both halves.
+// Concentration + monotone intervals make step 3 conflict-free; the
+// implementation asserts that no switch output is ever claimed twice.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace brsmn::baselines {
+
+class CopyNetwork {
+ public:
+  explicit CopyNetwork(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Concentrator (an RBN) + broadcast banyan: (n/2) log n switches each.
+  std::size_t switch_count() const noexcept;
+
+  /// Produce `copies[i]` copies of input i's packet. Returns, for each
+  /// output line, the source input whose copy landed there (nullopt for
+  /// idle lines). Copies occupy the first sum(copies) lines, grouped by
+  /// (concentration-order) source.
+  /// Precondition: sum(copies) <= n.
+  std::vector<std::optional<std::size_t>> route(
+      const std::vector<std::size_t>& copies,
+      RoutingStats* stats = nullptr) const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace brsmn::baselines

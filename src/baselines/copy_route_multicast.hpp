@@ -1,0 +1,42 @@
+// A full "copy then route" multicast network: copy network (Lee [6]
+// style) cascaded with a Beneš permutation network (looping-routed).
+// This is the architecture class of Lee & Oruç's generalized connectors
+// [9] that Table 2 compares against: O(n log n)-ish hardware, but
+// routing requires a centralized, sequential setup — the contrast the
+// BRSMN's self-routing eliminates.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "baselines/benes.hpp"
+#include "baselines/copy_network.hpp"
+#include "core/multicast_assignment.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn::baselines {
+
+class CopyRouteMulticast {
+ public:
+  explicit CopyRouteMulticast(std::size_t n);
+
+  std::size_t size() const noexcept { return copy_.size(); }
+
+  /// Copy network plus Beneš switches.
+  std::size_t switch_count() const noexcept {
+    return copy_.switch_count() + benes_.switch_count();
+  }
+
+  /// Route a multicast assignment: same delivery contract as
+  /// Brsmn::route (verified against it in tests).
+  std::vector<std::optional<std::size_t>> route(
+      const MulticastAssignment& assignment,
+      RoutingStats* stats = nullptr) const;
+
+ private:
+  CopyNetwork copy_;
+  BenesNetwork benes_;
+};
+
+}  // namespace brsmn::baselines

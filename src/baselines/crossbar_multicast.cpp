@@ -1,0 +1,23 @@
+#include "baselines/crossbar_multicast.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn::baselines {
+
+CrossbarMulticast::CrossbarMulticast(std::size_t n) : n_(n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+std::vector<std::optional<std::size_t>> CrossbarMulticast::route(
+    const MulticastAssignment& assignment) const {
+  BRSMN_EXPECTS(assignment.size() == n_);
+  std::vector<std::optional<std::size_t>> delivered(n_);
+  const auto inv = assignment.output_to_input();
+  for (std::size_t out = 0; out < n_; ++out) {
+    if (inv[out] != MulticastAssignment::kUnassigned) delivered[out] = inv[out];
+  }
+  return delivered;
+}
+
+}  // namespace brsmn::baselines

@@ -1,0 +1,39 @@
+// A naive n x n crossbar multicast switch: the behavioural ground truth
+// the BRSMN is compared against in tests and benchmarks.
+//
+// Functionally trivial (every output selects its input directly) but
+// expensive: n^2 crosspoints, so O(n^2) gates — the cost the recursive
+// designs of Table 2 exist to avoid.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/multicast_assignment.hpp"
+
+namespace brsmn::baselines {
+
+class CrossbarMulticast {
+ public:
+  explicit CrossbarMulticast(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Crosspoint count: n^2.
+  std::size_t crosspoints() const noexcept { return n_ * n_; }
+
+  /// Gate cost, one gate per crosspoint plus a fanin tree per output.
+  std::uint64_t gates() const noexcept {
+    return static_cast<std::uint64_t>(n_) * n_ * 2;
+  }
+
+  /// Route an assignment; same delivery contract as Brsmn::route.
+  std::vector<std::optional<std::size_t>> route(
+      const MulticastAssignment& assignment) const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace brsmn::baselines

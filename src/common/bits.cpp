@@ -1,0 +1,14 @@
+#include "common/bits.hpp"
+
+namespace brsmn {
+
+std::string to_binary(std::uint64_t addr, int m) {
+  BRSMN_EXPECTS(m > 0 && m <= 64);
+  std::string s(static_cast<std::size_t>(m), '0');
+  for (int i = 0; i < m; ++i) {
+    if (msb_at(addr, i, m)) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+}  // namespace brsmn

@@ -1,0 +1,37 @@
+// Bit/address utilities shared by all network modules.
+//
+// Network sizes are always powers of two (n = 2^m); addresses are m-bit
+// binary numbers a_0 a_1 ... a_{m-1} with a_0 the most significant bit
+// (paper, Section 2).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+/// True iff `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// log2 of a power of two. Precondition: is_pow2(n).
+constexpr int log2_exact(std::uint64_t n) {
+  BRSMN_EXPECTS(is_pow2(n));
+  return std::bit_width(n) - 1;
+}
+
+/// The i-th most significant bit (i in [0, m)) of an m-bit address.
+/// Matches the paper's a_0 a_1 ... a_{m-1} numbering: bit 0 is the MSB.
+constexpr int msb_at(std::uint64_t addr, int i, int m) {
+  BRSMN_EXPECTS(m > 0 && i >= 0 && i < m);
+  return static_cast<int>((addr >> (m - 1 - i)) & 1u);
+}
+
+/// Render `addr` as an m-bit binary string, MSB first.
+std::string to_binary(std::uint64_t addr, int m);
+
+}  // namespace brsmn

@@ -1,0 +1,15 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace brsmn::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace brsmn::detail

@@ -1,0 +1,55 @@
+// Contract-checking macros (Core Guidelines I.6/I.8 style Expects/Ensures).
+//
+// Violations throw brsmn::ContractViolation rather than aborting so that
+// property tests can assert that malformed inputs are rejected.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace brsmn {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace brsmn
+
+/// Precondition check: callers must satisfy `cond`.
+#define BRSMN_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::brsmn::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__, "");                          \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define BRSMN_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::brsmn::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__, (msg));                       \
+  } while (0)
+
+/// Postcondition / invariant check: the implementation must satisfy `cond`.
+#define BRSMN_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::brsmn::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                     __LINE__, "");                          \
+  } while (0)
+
+#define BRSMN_ENSURES_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::brsmn::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                     __LINE__, (msg));                       \
+  } while (0)

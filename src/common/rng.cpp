@@ -1,0 +1,34 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  BRSMN_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::vector<std::size_t> Rng::subset(std::size_t n, std::size_t size) {
+  BRSMN_EXPECTS(size <= n);
+  std::vector<std::size_t> all = permutation(n);
+  all.resize(size);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace brsmn

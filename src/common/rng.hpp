@@ -1,0 +1,36 @@
+// Deterministic random generation helpers for tests, benchmarks, and
+// workload generators. A fixed seed gives a fully reproducible run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace brsmn {
+
+/// Thin wrapper around a seeded mt19937_64 with the handful of draws the
+/// workload generators need. Copyable; copies continue the same stream
+/// independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// A uniformly random subset of {0, ..., n-1} of the given size.
+  std::vector<std::size_t> subset(std::size_t n, std::size_t size);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace brsmn

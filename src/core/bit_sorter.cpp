@@ -1,0 +1,67 @@
+#include "core/bit_sorter.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "core/merge_lemmas.hpp"
+
+namespace brsmn {
+
+void configure_bit_sorter(Rbn& rbn, int top_stage, std::size_t top_block,
+                          std::span<const int> keys, std::size_t s_root,
+                          RoutingStats* stats) {
+  BRSMN_EXPECTS(top_stage >= 1 && top_stage <= rbn.stages());
+  const std::size_t nsub = std::size_t{1} << top_stage;
+  BRSMN_EXPECTS(keys.size() == nsub);
+  BRSMN_EXPECTS(s_root < nsub);
+
+  // Forward phase (Table 3): ones[j][b] = number of 1-keys entering the
+  // local sub-RBN of size 2^j at local block b. Level 0 is the inputs.
+  std::vector<std::vector<std::size_t>> ones(
+      static_cast<std::size_t>(top_stage) + 1);
+  ones[0].resize(nsub);
+  for (std::size_t i = 0; i < nsub; ++i) {
+    BRSMN_EXPECTS(keys[i] == 0 || keys[i] == 1);
+    ones[0][i] = static_cast<std::size_t>(keys[i]);
+  }
+  for (int j = 1; j <= top_stage; ++j) {
+    const auto& child = ones[static_cast<std::size_t>(j - 1)];
+    auto& cur = ones[static_cast<std::size_t>(j)];
+    cur.resize(child.size() / 2);
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      cur[b] = child[2 * b] + child[2 * b + 1];
+      if (stats) ++stats->tree_fwd_ops;
+    }
+  }
+
+  // Backward + switch-setting phases: start[j][b] is the required start
+  // of the 1-run at the outputs of local sub-RBN (j, b).
+  std::vector<std::vector<std::size_t>> start(
+      static_cast<std::size_t>(top_stage) + 1);
+  for (int j = 0; j <= top_stage; ++j) {
+    start[static_cast<std::size_t>(j)].resize(nsub >> j);
+  }
+  start[static_cast<std::size_t>(top_stage)][0] = s_root;
+  for (int j = top_stage; j >= 1; --j) {
+    const std::size_t n_prime = std::size_t{1} << j;
+    for (std::size_t b = 0; b < (nsub >> j); ++b) {
+      const std::size_t s = start[static_cast<std::size_t>(j)][b];
+      const std::size_t l0 = ones[static_cast<std::size_t>(j - 1)][2 * b];
+      const std::size_t l1 = ones[static_cast<std::size_t>(j - 1)][2 * b + 1];
+      const auto plan = lemmas::lemma1(n_prime, s, l0, l1);
+      start[static_cast<std::size_t>(j - 1)][2 * b] = plan.s0;
+      start[static_cast<std::size_t>(j - 1)][2 * b + 1] = plan.s1;
+      const std::size_t global_block =
+          (top_block << (top_stage - j)) + b;
+      rbn.set_block(j, global_block, plan.settings);
+      if (stats) ++stats->tree_bwd_ops;
+    }
+  }
+}
+
+void configure_bit_sorter(Rbn& rbn, std::span<const int> keys,
+                          std::size_t s_root, RoutingStats* stats) {
+  configure_bit_sorter(rbn, rbn.stages(), 0, keys, s_root, stats);
+}
+
+}  // namespace brsmn

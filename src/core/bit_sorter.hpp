@@ -1,0 +1,38 @@
+// The RBN as a self-routing bit-sorting network (paper Theorem 1 and the
+// distributed algorithm of Table 3).
+//
+// Given one key bit per input, the network routes all 1-keyed inputs to a
+// circular compact run at the outputs with any requested start position;
+// with s = n/2 and exactly n/2 ones this is ascending 0/1 sort, the
+// building block of the quasisorting network and of Cheng-Chen style
+// self-routing permutation networks.
+//
+// The implementation mirrors the distributed algorithm exactly: tree node
+// (stage j, block b) combines its children's 1-counts in the forward
+// phase, and in the backward phase derives its children's start positions
+// and its own merging-stage switch settings from Lemma 1 alone.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/rbn.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn {
+
+/// Configure the switches of the sub-RBN rooted at (top_stage, top_block)
+/// of `rbn` so that inputs with key 1 exit in the circular compact run
+/// starting at `s_root` (local to the sub-network).
+///
+/// Preconditions: keys.size() == 2^top_stage == the sub-network size,
+/// every key is 0 or 1, and s_root < keys.size().
+void configure_bit_sorter(Rbn& rbn, int top_stage, std::size_t top_block,
+                          std::span<const int> keys, std::size_t s_root,
+                          RoutingStats* stats = nullptr);
+
+/// Whole-network convenience overload (top block of the last stage).
+void configure_bit_sorter(Rbn& rbn, std::span<const int> keys,
+                          std::size_t s_root, RoutingStats* stats = nullptr);
+
+}  // namespace brsmn

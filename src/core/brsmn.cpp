@@ -1,0 +1,171 @@
+#include "core/brsmn.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/tag_sequence.hpp"
+
+namespace brsmn {
+
+std::vector<std::optional<std::size_t>> expected_delivery(
+    const MulticastAssignment& a) {
+  std::vector<std::optional<std::size_t>> expected(a.size());
+  const auto inv = a.output_to_input();
+  for (std::size_t out = 0; out < a.size(); ++out) {
+    if (inv[out] != MulticastAssignment::kUnassigned) expected[out] = inv[out];
+  }
+  return expected;
+}
+
+std::vector<LineValue> initial_lines(const MulticastAssignment& a,
+                                     std::uint64_t& next_copy_id) {
+  std::vector<LineValue> lines(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& dests = a.destinations(i);
+    if (dests.empty()) continue;
+    Packet p;
+    p.source = i;
+    p.copy_id = next_copy_id++;
+    p.parent_id = p.copy_id;
+    p.stream = encode_sequence(dests, a.size());
+    const Tag head = p.stream.front();
+    lines[i] = occupied_line(head, std::move(p));
+  }
+  return lines;
+}
+
+void advance_streams(std::vector<LineValue>& lines) {
+  for (LineValue& lv : lines) {
+    if (lv.empty()) {
+      lv.tag = Tag::Eps;  // drop dummy ε0/ε1 designations between levels
+      continue;
+    }
+    BRSMN_ENSURES_MSG(lv.tag == Tag::Zero || lv.tag == Tag::One,
+                      "a packet must leave a BSN tagged 0 or 1");
+    Packet& p = *lv.packet;
+    BRSMN_ENSURES(p.stream.size() >= 3);  // a_0 plus two subtree sequences
+    const std::span<const Tag> rest(p.stream.data() + 1, p.stream.size() - 1);
+    p.stream = split_stream(rest, lv.tag);
+    lv.tag = p.stream.front();
+  }
+}
+
+void deliver_final_level(const std::vector<LineValue>& lines,
+                         std::vector<std::optional<std::size_t>>& delivered,
+                         RoutingStats* stats) {
+  const std::size_t n = lines.size();
+  BRSMN_EXPECTS(delivered.size() == n);
+  auto deliver = [&delivered](std::size_t out, const Packet& p) {
+    BRSMN_ENSURES_MSG(!delivered[out].has_value(),
+                      "two packets delivered to one output");
+    delivered[out] = p.source;
+  };
+  for (std::size_t j = 0; 2 * j < n; ++j) {
+    const LineValue& up = lines[2 * j];
+    const LineValue& low = lines[2 * j + 1];
+    if (stats) ++stats->switch_traversals;
+    for (const LineValue* lv : {&up, &low}) {
+      if (lv->empty()) continue;
+      const Packet& p = *lv->packet;
+      BRSMN_ENSURES_MSG(p.stream.size() == 1 && p.stream.front() == lv->tag,
+                        "final level expects a single remaining tag");
+      switch (lv->tag) {
+        case Tag::Zero: deliver(2 * j, p); break;
+        case Tag::One: deliver(2 * j + 1, p); break;
+        case Tag::Alpha:
+          deliver(2 * j, p);
+          deliver(2 * j + 1, p);
+          if (stats) ++stats->broadcast_ops;
+          break;
+        default:
+          BRSMN_ENSURES_MSG(false, "invalid final-level tag");
+      }
+    }
+  }
+  if (stats) stats->gate_delay += final_level_delay();
+}
+
+Brsmn::Brsmn(std::size_t n) : n_(n), m_(log2_exact(n)) {
+  BRSMN_EXPECTS(n >= 2);
+  for (int k = 1; k <= m_ - 1; ++k) {
+    const std::size_t bsn_size = n_ >> (k - 1);
+    std::vector<Bsn> level;
+    level.reserve(std::size_t{1} << (k - 1));
+    for (std::size_t b = 0; b < (std::size_t{1} << (k - 1)); ++b) {
+      level.emplace_back(bsn_size);
+    }
+    levels_.push_back(std::move(level));
+  }
+}
+
+RouteResult Brsmn::route(const MulticastAssignment& assignment,
+                         const RouteOptions& options) {
+  BRSMN_EXPECTS(assignment.size() == n_);
+  RouteResult result;
+  result.delivered.assign(n_, std::nullopt);
+
+  std::uint64_t next_copy_id = 1;
+  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+  for (int k = 1; k <= m_ - 1; ++k) {
+    if (options.capture_levels) result.level_inputs.push_back(lines);
+    const std::size_t splits_before = result.stats.broadcast_ops;
+    const std::size_t bsn_size = n_ >> (k - 1);
+    auto& level = levels_[static_cast<std::size_t>(k - 1)];
+    for (std::size_t b = 0; b < level.size(); ++b) {
+      std::vector<LineValue> slice(
+          std::make_move_iterator(lines.begin() +
+                                  static_cast<std::ptrdiff_t>(b * bsn_size)),
+          std::make_move_iterator(lines.begin() + static_cast<std::ptrdiff_t>(
+                                                      (b + 1) * bsn_size)));
+      Bsn::Result r = level[b].route(std::move(slice), next_copy_id,
+                                     &result.stats);
+      std::move(r.outputs.begin(), r.outputs.end(),
+                lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
+    }
+    // All BSNs of one level route concurrently: charge the level's delay
+    // once, not per block.
+    result.stats.gate_delay += bsn_routing_delay(log2_exact(bsn_size));
+    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                          splits_before);
+    advance_streams(lines);
+  }
+
+  if (options.capture_levels) result.level_inputs.push_back(lines);
+  const std::size_t splits_before_final = result.stats.broadcast_ops;
+  deliver_final_level(lines, result.delivered, &result.stats);
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before_final);
+
+  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+                    "BRSMN routed assignment incorrectly");
+  return result;
+}
+
+std::size_t Brsmn::switch_count() const {
+  // Levels 1..m-1: each level has n/2 * stages-of-its-BSNs switches; a
+  // BSN(n') is two RBN(n') fabrics of (n'/2) log2(n') switches each.
+  std::size_t count = 0;
+  for (int k = 1; k <= m_ - 1; ++k) {
+    const std::size_t bsn_size = n_ >> (k - 1);
+    const std::size_t per_bsn =
+        2 * (bsn_size / 2) * static_cast<std::size_t>(log2_exact(bsn_size));
+    count += (std::size_t{1} << (k - 1)) * per_bsn;
+  }
+  count += n_ / 2;  // final 2x2-switch level
+  return count;
+}
+
+std::size_t Brsmn::depth() const {
+  std::size_t depth = 0;
+  for (int k = 1; k <= m_ - 1; ++k) {
+    depth += 2 * static_cast<std::size_t>(log2_exact(n_ >> (k - 1)));
+  }
+  return depth + 1;
+}
+
+const std::vector<Bsn>& Brsmn::level_bsns(int level) const {
+  BRSMN_EXPECTS(level >= 1 && level <= m_ - 1);
+  return levels_[static_cast<std::size_t>(level - 1)];
+}
+
+}  // namespace brsmn

@@ -1,0 +1,97 @@
+// The binary radix sorting multicast network (paper Section 2, Figs. 1/2).
+//
+// BRSMN(n) = BSN(n) [level 1] -> 2 x BSN(n/2) [level 2] -> ... ->
+// n/2 2x2 switches [level log n]. Level k splits every connection on its
+// k-th most significant destination bit; after level k each packet copy
+// sits in the size-(n/2^k) block that owns its remaining destinations.
+//
+// Routing is fully self-routing: switch settings derive only from the
+// routing-tag sequences carried by the packets (Section 7.1), via the
+// distributed forward/backward algorithms of Section 6.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/bsn.hpp"
+#include "core/line_value.hpp"
+#include "core/multicast_assignment.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn {
+
+struct RouteOptions {
+  /// Capture the line state entering every level (for rendering/tests).
+  bool capture_levels = false;
+};
+
+struct RouteResult {
+  /// For each network output, the source input delivered there (nullopt
+  /// when the output receives no message).
+  std::vector<std::optional<std::size_t>> delivered;
+  RoutingStats stats;
+  /// Packet splits performed at each level (k = 1 .. log n): where in the
+  /// radix the multicast trees branch. Always filled.
+  std::vector<std::size_t> broadcasts_per_level;
+  /// When capture_levels: level_inputs[k-1] is the line state entering
+  /// level k (k = 1 .. log n), and final_lines the state after delivery.
+  std::vector<std::vector<LineValue>> level_inputs;
+};
+
+/// The expected delivery vector of an assignment, for verification.
+std::vector<std::optional<std::size_t>> expected_delivery(
+    const MulticastAssignment& a);
+
+/// Build the initial line state of a routing pass: input i carries a
+/// packet with the routing-tag sequence of its destination set.
+/// `next_copy_id` is advanced past the ids handed out.
+std::vector<LineValue> initial_lines(const MulticastAssignment& a,
+                                     std::uint64_t& next_copy_id);
+
+/// Consume each occupied line's head tag and split its remaining stream
+/// for the branch indicated by the line's exit tag (which must be Zero or
+/// One); the new head tag becomes the line tag. Dummy ε0/ε1 tags revert
+/// to plain ε. Applied between BRSMN levels.
+void advance_streams(std::vector<LineValue>& lines);
+
+/// Apply the final level of 2x2 switches: lines (2j, 2j+1) deliver their
+/// packets to outputs 2j / 2j+1 / both, per the head tag. Fills
+/// `delivered` and asserts no output conflict.
+void deliver_final_level(const std::vector<LineValue>& lines,
+                         std::vector<std::optional<std::size_t>>& delivered,
+                         RoutingStats* stats);
+
+class Brsmn {
+ public:
+  /// An n x n BRSMN, n a power of two >= 2.
+  explicit Brsmn(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// log2(n) levels, the last being the 2x2-switch level.
+  int levels() const noexcept { return m_; }
+
+  /// Route a multicast assignment. Postcondition (verified): every output
+  /// in I_i receives input i's message and no other output receives
+  /// anything.
+  RouteResult route(const MulticastAssignment& assignment,
+                    const RouteOptions& options = {});
+
+  /// Total number of 2x2 switches in the unrolled network.
+  std::size_t switch_count() const;
+
+  /// Network depth in switch stages (Section 7.4: D(n) = O(log^2 n)).
+  std::size_t depth() const;
+
+  /// The BSNs of one level (1-based, level < levels()), exposed for
+  /// inspection after route().
+  const std::vector<Bsn>& level_bsns(int level) const;
+
+ private:
+  std::size_t n_;
+  int m_;
+  std::vector<std::vector<Bsn>> levels_;  // levels_[k-1], k = 1..m-1
+};
+
+}  // namespace brsmn

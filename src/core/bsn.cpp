@@ -1,0 +1,97 @@
+#include "core/bsn.hpp"
+
+#include "common/contracts.hpp"
+#include "core/quasisort.hpp"
+#include "core/scatter.hpp"
+
+namespace brsmn {
+
+TagCounts count_tags(const std::vector<LineValue>& lines) {
+  TagCounts c;
+  for (const auto& lv : lines) {
+    switch (lv.tag) {
+      case Tag::Zero: ++c.zeros; break;
+      case Tag::One: ++c.ones; break;
+      case Tag::Alpha: ++c.alphas; break;
+      case Tag::Eps:
+      case Tag::Eps0:
+      case Tag::Eps1: ++c.epses; break;
+    }
+  }
+  return c;
+}
+
+Bsn::Bsn(std::size_t n) : scatter_(n), quasisort_(n) {
+  BRSMN_EXPECTS_MSG(n >= 4, "the smallest BSN used by a BRSMN is 4 x 4");
+}
+
+Bsn::Result Bsn::route(std::vector<LineValue> inputs,
+                       std::uint64_t& next_copy_id, RoutingStats* stats) {
+  const std::size_t n = size();
+  BRSMN_EXPECTS(inputs.size() == n);
+
+  const TagCounts in = count_tags(inputs);
+  BRSMN_EXPECTS_MSG(in.zeros + in.alphas <= n / 2,
+                    "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
+  BRSMN_EXPECTS_MSG(in.ones + in.alphas <= n / 2,
+                    "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
+  std::vector<Tag> tags(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tags[i] = inputs[i].tag;
+    BRSMN_EXPECTS_MSG(inputs[i].empty() == !inputs[i].packet.has_value(),
+                      "occupied lines must carry a packet, eps lines none");
+    if (inputs[i].packet) {
+      BRSMN_EXPECTS_MSG(!inputs[i].packet->stream.empty() &&
+                            inputs[i].packet->stream.front() == tags[i],
+                        "line tag must equal the packet's current a_0");
+    }
+  }
+
+  // Pass 1: scatter — eliminate every α (paper Theorem 2).
+  const ScatterNodeValue root = configure_scatter(scatter_, tags, 0, stats);
+  // Eq. (3): n_alpha <= n_eps, so eps dominates at the root (when the two
+  // counts tie, the surplus is 0 and the type label is immaterial).
+  BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
+                    "Eq. (3) guarantees eps dominates at the BSN root");
+  ScatterExec exec{next_copy_id, stats};
+  Result result;
+  result.scattered = scatter_.propagate(
+      std::move(inputs),
+      [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
+              LineValue b) {
+        return apply_scatter_switch(ctx, s, std::move(a), std::move(b), exec);
+      });
+  next_copy_id = exec.next_copy_id;
+
+  const TagCounts mid = count_tags(result.scattered);
+  BRSMN_ENSURES_MSG(mid.alphas == 0, "scatter must eliminate all alphas");
+  BRSMN_ENSURES(mid.zeros == in.zeros + in.alphas);   // Eq. (4)
+  BRSMN_ENSURES(mid.ones == in.ones + in.alphas);     // Eq. (4)
+  BRSMN_ENSURES(mid.epses == in.epses - in.alphas);   // Eq. (4)
+
+  // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
+  std::vector<Tag> scattered_tags(n);
+  for (std::size_t i = 0; i < n; ++i) scattered_tags[i] = result.scattered[i].tag;
+  const std::vector<Tag> divided = divide_eps(scattered_tags, stats);
+  std::vector<LineValue> sorted_in = result.scattered;
+  for (std::size_t i = 0; i < n; ++i) sorted_in[i].tag = divided[i];
+  configure_quasisort(quasisort_, divided, stats);
+  result.outputs = quasisort_.propagate(
+      std::move(sorted_in),
+      [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
+              LineValue b) {
+        if (stats) ++stats->switch_traversals;
+        return unicast_switch(ctx, s, std::move(a), std::move(b));
+      });
+
+  // Postcondition: zeros (real or dummy) occupy the upper half, ones the
+  // lower half.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int key = quasisort_key(result.outputs[i].tag);
+    BRSMN_ENSURES_MSG(key == (i < n / 2 ? 0 : 1),
+                      "quasisort output not split by halves");
+  }
+  return result;
+}
+
+}  // namespace brsmn

@@ -1,0 +1,53 @@
+#include "core/compact_sequence.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+bool in_gamma_run(std::size_t p, std::size_t n, std::size_t s, std::size_t l) {
+  BRSMN_EXPECTS(n > 0 && p < n && s < n && l <= n);
+  return (p + n - s) % n < l;
+}
+
+std::vector<bool> make_compact_indicator(std::size_t n, std::size_t s,
+                                         std::size_t l) {
+  std::vector<bool> v(n);
+  for (std::size_t p = 0; p < n; ++p) v[p] = in_gamma_run(p, n, s, l);
+  return v;
+}
+
+bool matches_compact(const std::vector<bool>& is_gamma, std::size_t s,
+                     std::size_t l) {
+  const std::size_t n = is_gamma.size();
+  BRSMN_EXPECTS(n > 0 && s < n && l <= n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (is_gamma[p] != in_gamma_run(p, n, s, l)) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> compact_start(const std::vector<bool>& is_gamma) {
+  const std::size_t n = is_gamma.size();
+  BRSMN_EXPECTS(n > 0);
+  const std::size_t l = static_cast<std::size_t>(
+      std::count(is_gamma.begin(), is_gamma.end(), true));
+  if (l == 0 || l == n) return 0;
+  // The unique start is the γ position whose circular predecessor is β.
+  std::optional<std::size_t> start;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (is_gamma[p] && !is_gamma[(p + n - 1) % n]) {
+      if (start) return std::nullopt;  // two run starts: not compact
+      start = p;
+    }
+  }
+  if (!start) return std::nullopt;
+  return matches_compact(is_gamma, *start, l) ? start : std::nullopt;
+}
+
+bool is_compact(const std::vector<bool>& is_gamma) {
+  return compact_start(is_gamma).has_value();
+}
+
+}  // namespace brsmn

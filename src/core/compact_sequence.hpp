@@ -1,0 +1,40 @@
+// Circular compact sequences C^n_{s,l;β,γ} (paper Eq. 5).
+//
+// An n-bit sequence over two symbols is *circularly compact* when all l
+// γ-symbols occupy the l consecutive positions s, s+1, ..., s+l-1 (mod n)
+// and the remaining n-l positions hold β. The paper's key results state
+// when two half-size compact sequences can be merged into a full-size one
+// by a single merging-network stage (Lemmas 1-5).
+//
+// This module is symbol-agnostic: sequences are described by a boolean
+// "is γ at position p" view so the same machinery serves 0/1 sorting
+// (γ = 1), scatter networks (γ = ε or γ = α, β = χ), and tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace brsmn {
+
+/// True iff position `p` lies in the γ-run of C^n_{s,l}: (p - s) mod n < l.
+bool in_gamma_run(std::size_t p, std::size_t n, std::size_t s, std::size_t l);
+
+/// Materialize the indicator vector of C^n_{s,l} (true = γ).
+std::vector<bool> make_compact_indicator(std::size_t n, std::size_t s,
+                                         std::size_t l);
+
+/// True iff `is_gamma` equals C^n_{s,l} for the given s (l is implied by
+/// the popcount, which must equal l).
+bool matches_compact(const std::vector<bool>& is_gamma, std::size_t s,
+                     std::size_t l);
+
+/// Recognizer: if `is_gamma` is circularly compact, returns the canonical
+/// start position of its γ-run (any position when l == 0 or l == n, in
+/// which case 0 is returned); otherwise nullopt.
+std::optional<std::size_t> compact_start(const std::vector<bool>& is_gamma);
+
+/// Convenience: is the sequence circularly compact at all?
+bool is_compact(const std::vector<bool>& is_gamma);
+
+}  // namespace brsmn

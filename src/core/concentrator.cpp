@@ -1,0 +1,36 @@
+#include "core/concentrator.hpp"
+
+#include "common/contracts.hpp"
+#include "core/bit_sorter.hpp"
+
+namespace brsmn {
+
+Concentrator::Concentrator(std::size_t n) : fabric_(n) {}
+
+std::vector<std::optional<std::size_t>> Concentrator::route(
+    std::vector<std::optional<std::size_t>> lines, RoutingStats* stats) {
+  const std::size_t n = size();
+  BRSMN_EXPECTS(lines.size() == n);
+  std::vector<int> keys(n);
+  std::size_t actives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = lines[i] ? 0 : 1;
+    actives += static_cast<std::size_t>(lines[i].has_value());
+  }
+  // Idle lines (key 1) form the compact run starting right after the
+  // actives, so actives land on [0, #active).
+  configure_bit_sorter(fabric_, keys, actives % n, stats);
+  auto out = fabric_.propagate(
+      std::move(lines),
+      [stats](const SwitchContext& ctx, SwitchSetting s,
+              std::optional<std::size_t> a, std::optional<std::size_t> b) {
+        if (stats) ++stats->switch_traversals;
+        return unicast_switch(ctx, s, std::move(a), std::move(b));
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    BRSMN_ENSURES(out[i].has_value() == (i < actives));
+  }
+  return out;
+}
+
+}  // namespace brsmn

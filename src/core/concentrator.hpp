@@ -1,0 +1,46 @@
+// A self-routing (n, k)-concentrator built from the RBN bit sorter.
+//
+// Concentrators route whichever k of the n inputs are active to k
+// distinct outputs — here to the compact prefix [0, k) — with no central
+// control: the keys (active = 0, idle = 1) drive Theorem 1 directly.
+// Concentrators are the classic companion component of generalized
+// connectors (the paper's reference [4] builds from (1,m)-generators and
+// (n, n/m)-concentrators); this library uses one in the copy-network
+// baseline and exposes it as a public building block.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/rbn.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn {
+
+class Concentrator {
+ public:
+  explicit Concentrator(std::size_t n);
+
+  std::size_t size() const noexcept { return fabric_.size(); }
+
+  /// One RBN: (n/2) log2 n switches.
+  std::size_t switch_count() const noexcept {
+    return fabric_.topology().switch_count();
+  }
+
+  /// Concentrate: active lines (engaged optionals) exit on outputs
+  /// [0, #active), idle lines fill the rest. Relative order of the
+  /// active packets is NOT preserved (the compact run is circular).
+  std::vector<std::optional<std::size_t>> route(
+      std::vector<std::optional<std::size_t>> lines,
+      RoutingStats* stats = nullptr);
+
+  /// The fabric, exposed for inspection after route().
+  const Rbn& fabric() const noexcept { return fabric_; }
+
+ private:
+  Rbn fabric_;
+};
+
+}  // namespace brsmn

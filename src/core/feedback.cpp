@@ -1,0 +1,99 @@
+#include "core/feedback.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/quasisort.hpp"
+#include "core/scatter.hpp"
+
+namespace brsmn {
+
+FeedbackBrsmn::FeedbackBrsmn(std::size_t n) : fabric_(n) {}
+
+std::size_t FeedbackBrsmn::passes_per_route() const {
+  return 2 * (static_cast<std::size_t>(levels()) - 1) + 1;
+}
+
+RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
+                                 const RouteOptions& options) {
+  const std::size_t n = size();
+  const int m = levels();
+  BRSMN_EXPECTS(assignment.size() == n);
+
+  RouteResult result;
+  result.delivered.assign(n, std::nullopt);
+  std::uint64_t next_copy_id = 1;
+  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+  for (int k = 1; k <= m - 1; ++k) {
+    if (options.capture_levels) result.level_inputs.push_back(lines);
+    const std::size_t splits_before = result.stats.broadcast_ops;
+    const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
+    const std::size_t bsn_size = std::size_t{1} << top_stage;
+    const std::size_t blocks = n / bsn_size;
+
+    // Pass 2k-1: the fabric acts as the level-k scatter networks. Stages
+    // above top_stage stay parallel, i.e. identity feedback wiring.
+    fabric_.reset();
+    std::vector<Tag> tags(n);
+    for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
+      configure_scatter(fabric_, top_stage, b, slice, 0, &result.stats);
+    }
+    ScatterExec exec{next_copy_id, &result.stats};
+    lines = fabric_.propagate(
+        std::move(lines),
+        [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
+                LineValue b) {
+          return apply_scatter_switch(ctx, s, std::move(a), std::move(b),
+                                      exec);
+        });
+    next_copy_id = exec.next_copy_id;
+    ++result.stats.fabric_passes;
+    // One scatter configuration sweep (all blocks concurrent) plus a full
+    // traversal of the m-stage fabric.
+    result.stats.gate_delay += config_sweep_delay(top_stage) + datapath_delay(m);
+
+    // Pass 2k: the fabric acts as the level-k quasisorting networks.
+    fabric_.reset();
+    for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
+      const std::vector<Tag> divided = divide_eps(slice, &result.stats);
+      for (std::size_t i = 0; i < bsn_size; ++i) {
+        lines[b * bsn_size + i].tag = divided[i];
+      }
+      configure_quasisort(fabric_, top_stage, b, divided, &result.stats);
+    }
+    RoutingStats* stats = &result.stats;
+    lines = fabric_.propagate(
+        std::move(lines),
+        [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
+                LineValue b) {
+          ++stats->switch_traversals;
+          return unicast_switch(ctx, s, std::move(a), std::move(b));
+        });
+    ++result.stats.fabric_passes;
+    // ε-divide sweep + quasisort sweep + full fabric traversal.
+    result.stats.gate_delay +=
+        2 * config_sweep_delay(top_stage) + datapath_delay(m);
+
+    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                          splits_before);
+    advance_streams(lines);
+  }
+
+  // Final pass: the 2x2-switch level, realized by stage 1 of the fabric.
+  if (options.capture_levels) result.level_inputs.push_back(lines);
+  const std::size_t splits_before_final = result.stats.broadcast_ops;
+  deliver_final_level(lines, result.delivered, &result.stats);
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before_final);
+  ++result.stats.fabric_passes;
+
+  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+                    "feedback BRSMN routed assignment incorrectly");
+  return result;
+}
+
+}  // namespace brsmn

@@ -1,0 +1,51 @@
+// The feedback implementation of the BRSMN (paper Section 7.3, Fig. 13).
+//
+// Instead of unrolling log n levels of BSNs, a single physical n x n RBN
+// is reused: every output feeds back to the input with the same address.
+// Pass 2k-1 configures the fabric as the level-k scatter networks and
+// pass 2k as the level-k quasisorting networks; the level-k BSNs of size
+// n' = n/2^{k-1} are exactly the contiguous sub-RBNs of the fabric
+// (stages 1..log n'), with the remaining stages set to parallel
+// (identity). The final level of 2x2 switches is one more pass. Total:
+// 2(log n - 1) + 1 passes over one fabric of (n/2) log n switches, giving
+// the O(n log n) cost row of Table 2.
+#pragma once
+
+#include <cstddef>
+
+#include "core/brsmn.hpp"
+#include "core/rbn.hpp"
+
+namespace brsmn {
+
+class FeedbackBrsmn {
+ public:
+  /// An n x n feedback BRSMN, n a power of two >= 2.
+  explicit FeedbackBrsmn(std::size_t n);
+
+  std::size_t size() const noexcept { return fabric_.size(); }
+  int levels() const noexcept { return fabric_.stages(); }
+
+  /// Passes over the physical fabric per routed assignment:
+  /// 2(log n - 1) + 1.
+  std::size_t passes_per_route() const;
+
+  /// Physical switches: (n/2) log2(n) — one RBN, reused.
+  std::size_t switch_count() const {
+    return fabric_.topology().switch_count();
+  }
+
+  /// Route a multicast assignment; produces results identical to
+  /// Brsmn::route on the same assignment (verified by tests). When
+  /// capture_levels is set, level_inputs[k-1] holds the line state
+  /// entering level k, exactly as for the unrolled network.
+  RouteResult route(const MulticastAssignment& assignment,
+                    const RouteOptions& options = {});
+
+  const Rbn& fabric() const noexcept { return fabric_; }
+
+ private:
+  Rbn fabric_;
+};
+
+}  // namespace brsmn

@@ -1,0 +1,10 @@
+// line_value.hpp is header-only; this TU compile-checks the aggregate
+// definitions under the library's warning set.
+#include "core/line_value.hpp"
+
+namespace brsmn {
+
+static_assert(std::is_default_constructible_v<LineValue>);
+static_assert(std::is_move_constructible_v<Packet>);
+
+}  // namespace brsmn

@@ -1,0 +1,129 @@
+#include "core/multicast_assignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+MulticastAssignment::MulticastAssignment(std::size_t n)
+    : n_(n), dest_(n), output_claimed_(n, false) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+MulticastAssignment::MulticastAssignment(
+    std::size_t n, std::vector<std::vector<std::size_t>> destination_sets)
+    : MulticastAssignment(n) {
+  BRSMN_EXPECTS(destination_sets.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t out : destination_sets[i]) connect(i, out);
+  }
+}
+
+const std::vector<std::size_t>& MulticastAssignment::destinations(
+    std::size_t input) const {
+  BRSMN_EXPECTS(input < n_);
+  return dest_[input];
+}
+
+void MulticastAssignment::connect(std::size_t input, std::size_t output) {
+  BRSMN_EXPECTS(input < n_ && output < n_);
+  BRSMN_EXPECTS_MSG(!output_claimed_[output],
+                    "destination sets must be pairwise disjoint");
+  output_claimed_[output] = true;
+  auto& d = dest_[input];
+  d.insert(std::upper_bound(d.begin(), d.end(), output), output);
+}
+
+bool MulticastAssignment::output_claimed(std::size_t output) const {
+  BRSMN_EXPECTS(output < n_);
+  return output_claimed_[output];
+}
+
+std::size_t MulticastAssignment::active_inputs() const {
+  std::size_t count = 0;
+  for (const auto& d : dest_) count += !d.empty();
+  return count;
+}
+
+std::size_t MulticastAssignment::total_connections() const {
+  std::size_t count = 0;
+  for (const auto& d : dest_) count += d.size();
+  return count;
+}
+
+std::vector<std::size_t> MulticastAssignment::output_to_input() const {
+  std::vector<std::size_t> inv(n_, kUnassigned);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t out : dest_[i]) inv[out] = i;
+  }
+  return inv;
+}
+
+bool MulticastAssignment::is_permutation_assignment() const {
+  return std::all_of(dest_.begin(), dest_.end(),
+                     [](const auto& d) { return d.size() <= 1; });
+}
+
+std::string MulticastAssignment::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i) os << ", ";
+    os << '{';
+    for (std::size_t k = 0; k < dest_[i].size(); ++k) {
+      if (k) os << ',';
+      os << dest_[i][k];
+    }
+    os << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+MulticastAssignment paper_example_assignment() {
+  return MulticastAssignment(
+      8, {{0, 1}, {}, {3, 4, 7}, {2}, {}, {}, {}, {5, 6}});
+}
+
+MulticastAssignment random_multicast(std::size_t n, double density, Rng& rng) {
+  BRSMN_EXPECTS(density >= 0.0 && density <= 1.0);
+  MulticastAssignment a(n);
+  for (std::size_t out = 0; out < n; ++out) {
+    if (rng.chance(density)) {
+      a.connect(rng.uniform(0, n - 1), out);
+    }
+  }
+  return a;
+}
+
+MulticastAssignment random_permutation(std::size_t n, double density,
+                                       Rng& rng) {
+  BRSMN_EXPECTS(density >= 0.0 && density <= 1.0);
+  MulticastAssignment a(n);
+  const auto connections =
+      static_cast<std::size_t>(density * static_cast<double>(n) + 0.5);
+  const auto inputs = rng.permutation(n);
+  const auto outputs = rng.permutation(n);
+  for (std::size_t k = 0; k < connections && k < n; ++k) {
+    a.connect(inputs[k], outputs[k]);
+  }
+  return a;
+}
+
+MulticastAssignment broadcast_assignment(std::size_t n, std::size_t sources) {
+  BRSMN_EXPECTS(sources >= 1 && sources <= n);
+  MulticastAssignment a(n);
+  for (std::size_t out = 0; out < n; ++out) {
+    a.connect(out % sources, out);
+  }
+  return a;
+}
+
+MulticastAssignment full_broadcast(std::size_t n) {
+  return broadcast_assignment(n, 1);
+}
+
+}  // namespace brsmn

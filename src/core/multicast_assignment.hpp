@@ -1,0 +1,79 @@
+// Multicast assignments (paper Section 2): a family {I_0, ..., I_{n-1}}
+// of pairwise-disjoint destination sets, I_i being the network outputs
+// input i must reach. Includes validation and the workload generators
+// used by tests, examples and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace brsmn {
+
+class MulticastAssignment {
+ public:
+  /// The empty assignment on an n x n network (n a power of two >= 2).
+  explicit MulticastAssignment(std::size_t n);
+
+  /// Build from explicit destination sets; validates disjointness and
+  /// range. destination_sets.size() must equal n.
+  MulticastAssignment(std::size_t n,
+                      std::vector<std::vector<std::size_t>> destination_sets);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Destination set of input i (sorted ascending).
+  const std::vector<std::size_t>& destinations(std::size_t input) const;
+
+  /// Add `output` to input i's destination set. Throws if the output is
+  /// already claimed by any input.
+  void connect(std::size_t input, std::size_t output);
+
+  /// True when some input's destination set already contains `output`.
+  bool output_claimed(std::size_t output) const;
+
+  /// Number of inputs with a non-empty destination set.
+  std::size_t active_inputs() const;
+
+  /// Total number of (input, output) connections.
+  std::size_t total_connections() const;
+
+  /// For each output, the input connected to it (or npos).
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> output_to_input() const;
+
+  /// True when every destination set has at most one element.
+  bool is_permutation_assignment() const;
+
+  /// Renders the paper's set notation, e.g. "{{0,1}, {}, {3,4,7}, ...}".
+  std::string to_string() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> dest_;
+  std::vector<bool> output_claimed_;
+};
+
+/// The worked example of Section 2 / Fig. 2:
+/// {{0,1}, ∅, {3,4,7}, {2}, ∅, ∅, ∅, {5,6}} on an 8 x 8 network.
+MulticastAssignment paper_example_assignment();
+
+/// Each output is, independently with probability `density`, assigned to
+/// a uniformly random input: the natural dense-multicast workload.
+MulticastAssignment random_multicast(std::size_t n, double density, Rng& rng);
+
+/// A (partial) permutation: a random subset of ceil(density * n) outputs
+/// matched to distinct random inputs.
+MulticastAssignment random_permutation(std::size_t n, double density,
+                                       Rng& rng);
+
+/// `sources` inputs evenly broadcast all n outputs between them (the
+/// video-distribution / barrier pattern of the paper's introduction).
+MulticastAssignment broadcast_assignment(std::size_t n, std::size_t sources);
+
+/// Input 0 broadcasts to every output: the extreme single-source case.
+MulticastAssignment full_broadcast(std::size_t n);
+
+}  // namespace brsmn

@@ -1,0 +1,125 @@
+#include "core/quasisort.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/bit_sorter.hpp"
+
+namespace brsmn {
+
+int quasisort_key(Tag t) {
+  switch (t) {
+    case Tag::Zero:
+    case Tag::Eps0: return 0;
+    case Tag::One:
+    case Tag::Eps1: return 1;
+    default: break;
+  }
+  BRSMN_EXPECTS_MSG(false, "quasisort key requires a divided tag");
+  return 0;
+}
+
+std::vector<Tag> divide_eps(std::span<const Tag> tags, RoutingStats* stats) {
+  const std::size_t n = tags.size();
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+
+  // Forward phase: per tree node, the number of ε inputs and (for the
+  // root's initialization) the number of real 1 inputs.
+  struct Fwd {
+    std::size_t n_eps = 0;
+    std::size_t n_one = 0;
+  };
+  std::vector<std::vector<Fwd>> fwd(static_cast<std::size_t>(m) + 1);
+  fwd[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BRSMN_EXPECTS(tags[i] == Tag::Zero || tags[i] == Tag::One ||
+                  tags[i] == Tag::Eps);
+    fwd[0][i] = {tags[i] == Tag::Eps ? std::size_t{1} : 0,
+                 tags[i] == Tag::One ? std::size_t{1} : 0};
+  }
+  for (int j = 1; j <= m; ++j) {
+    const auto& child = fwd[static_cast<std::size_t>(j - 1)];
+    auto& cur = fwd[static_cast<std::size_t>(j)];
+    cur.resize(child.size() / 2);
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      cur[b] = {child[2 * b].n_eps + child[2 * b + 1].n_eps,
+                child[2 * b].n_one + child[2 * b + 1].n_one};
+      if (stats) ++stats->tree_fwd_ops;
+    }
+  }
+
+  const std::size_t n_one = fwd[static_cast<std::size_t>(m)][0].n_one;
+  const std::size_t n_eps = fwd[static_cast<std::size_t>(m)][0].n_eps;
+  const std::size_t n_zero = n - n_one - n_eps;
+  BRSMN_EXPECTS_MSG(n_zero <= n / 2 && n_one <= n / 2,
+                    "quasisort input must have at most n/2 zeros and ones");
+
+  // Backward phase: split each node's ε budget into dummy-0s and dummy-1s.
+  struct Bwd {
+    std::size_t n_eps0 = 0;
+    std::size_t n_eps1 = 0;
+  };
+  std::vector<std::vector<Bwd>> bwd(static_cast<std::size_t>(m) + 1);
+  for (int j = 0; j <= m; ++j) bwd[static_cast<std::size_t>(j)].resize(n >> j);
+  // Root initialization: n_eps1 = n/2 - n_1, n_eps0 = n_eps - n_eps1.
+  bwd[static_cast<std::size_t>(m)][0] = {n_eps - (n / 2 - n_one),
+                                         n / 2 - n_one};
+  for (int j = m; j >= 1; --j) {
+    for (std::size_t b = 0; b < (n >> j); ++b) {
+      const Bwd cur = bwd[static_cast<std::size_t>(j)][b];
+      const std::size_t upper_eps =
+          fwd[static_cast<std::size_t>(j - 1)][2 * b].n_eps;
+      const std::size_t lower_eps =
+          fwd[static_cast<std::size_t>(j - 1)][2 * b + 1].n_eps;
+      Bwd up, low;
+      up.n_eps0 = std::min(cur.n_eps0, upper_eps);
+      up.n_eps1 = upper_eps - up.n_eps0;
+      low.n_eps0 = cur.n_eps0 - up.n_eps0;
+      // Erratum fix (DESIGN.md): Table 6 prints n''_eps1 = n''_eps - n'_eps1;
+      // invariant (9) requires n''_eps1 = n''_eps - n''_eps0.
+      low.n_eps1 = lower_eps - low.n_eps0;
+      BRSMN_ENSURES(up.n_eps0 + up.n_eps1 == upper_eps);
+      BRSMN_ENSURES(low.n_eps0 + low.n_eps1 == lower_eps);
+      BRSMN_ENSURES(up.n_eps0 + low.n_eps0 == cur.n_eps0);
+      BRSMN_ENSURES(up.n_eps1 + low.n_eps1 == cur.n_eps1);
+      bwd[static_cast<std::size_t>(j - 1)][2 * b] = up;
+      bwd[static_cast<std::size_t>(j - 1)][2 * b + 1] = low;
+      if (stats) ++stats->tree_bwd_ops;
+    }
+  }
+  // Leaf assignment: an ε leaf with budget n_eps0 == 1 becomes a dummy 0.
+  std::vector<Tag> divided(tags.begin(), tags.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tags[i] != Tag::Eps) continue;
+    const Bwd leaf = bwd[0][i];
+    BRSMN_ENSURES(leaf.n_eps0 + leaf.n_eps1 == 1);
+    divided[i] = leaf.n_eps0 == 1 ? Tag::Eps0 : Tag::Eps1;
+  }
+  return divided;
+}
+
+void configure_quasisort(Rbn& rbn, int top_stage, std::size_t top_block,
+                         std::span<const Tag> divided_tags,
+                         RoutingStats* stats) {
+  const std::size_t nsub = std::size_t{1} << top_stage;
+  BRSMN_EXPECTS(divided_tags.size() == nsub);
+  std::vector<int> keys(nsub);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < nsub; ++i) {
+    keys[i] = quasisort_key(divided_tags[i]);
+    ones += static_cast<std::size_t>(keys[i]);
+  }
+  BRSMN_EXPECTS_MSG(ones == nsub / 2,
+                    "quasisort requires exactly n/2 (real+dummy) ones");
+  // Ascending sort: the 1-run starts at the midpoint (C^n_{n/2,n/2;0,1}).
+  configure_bit_sorter(rbn, top_stage, top_block, keys, nsub / 2, stats);
+}
+
+void configure_quasisort(Rbn& rbn, std::span<const Tag> divided_tags,
+                         RoutingStats* stats) {
+  configure_quasisort(rbn, rbn.stages(), 0, divided_tags, stats);
+}
+
+}  // namespace brsmn

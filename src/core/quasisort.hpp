@@ -1,0 +1,45 @@
+// The RBN as a quasisorting network (paper Section 5.2) and the
+// distributed ε-dividing algorithm (Section 6.2, Table 6).
+//
+// A quasisorting network receives tags in {0, 1, ε} with at most n/2
+// zeros and at most n/2 ones, and must route every 0 to the upper half
+// and every 1 to the lower half of its outputs. It does so by promoting
+// ε lines to dummy zeros (ε0) or dummy ones (ε1) until both totals are
+// exactly n/2, then running the bit-sorting network of Theorem 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rbn.hpp"
+#include "core/stats.hpp"
+#include "core/tag.hpp"
+
+namespace brsmn {
+
+/// Distributed ε-dividing algorithm (Table 6, with the n''_{ε1} erratum
+/// fixed — see DESIGN.md): returns the input tags with every Eps replaced
+/// by Eps0 or Eps1 so that |{Zero, Eps0}| == |{One, Eps1}| == n/2.
+///
+/// Preconditions: tags.size() is a power of two; every tag is Zero, One,
+/// or Eps; at most n/2 zeros and at most n/2 ones.
+std::vector<Tag> divide_eps(std::span<const Tag> tags,
+                            RoutingStats* stats = nullptr);
+
+/// Configure the sub-RBN at (top_stage, top_block) as a quasisorting
+/// network for `divided_tags` (the output of divide_eps): a Theorem-1 bit
+/// sort on the key b2 (Zero/Eps0 -> 0, One/Eps1 -> 1) with the 1-run
+/// starting at the midpoint, i.e. ascending order.
+void configure_quasisort(Rbn& rbn, int top_stage, std::size_t top_block,
+                         std::span<const Tag> divided_tags,
+                         RoutingStats* stats = nullptr);
+
+/// Whole-network convenience overload.
+void configure_quasisort(Rbn& rbn, std::span<const Tag> divided_tags,
+                         RoutingStats* stats = nullptr);
+
+/// The 0/1 sort key of a divided tag (the b2 bit of Table 1's encoding).
+int quasisort_key(Tag t);
+
+}  // namespace brsmn

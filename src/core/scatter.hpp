@@ -1,0 +1,66 @@
+// The RBN as a scatter network (paper Section 5.1, Theorems 2-3, and the
+// distributed algorithm of Table 4).
+//
+// The scatter network eliminates α tags: every α is paired with an ε at
+// some broadcast-set switch and split into a 0 and a 1. The distributed
+// algorithm tracks, per sub-RBN, only the *dominating* symbol among
+// {α, ε} and its surplus count l = |n_α - n_ε|; Lemma 1 handles nodes
+// whose children agree on the dominating type (ε/α-addition) and Lemmas
+// 2-5 handle disagreeing children (ε/α-elimination).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "core/line_value.hpp"
+#include "core/rbn.hpp"
+#include "core/stats.hpp"
+#include "core/tag.hpp"
+
+namespace brsmn {
+
+/// The forward-phase value of a scatter tree node: the dominating symbol
+/// type (Alpha or Eps) and the surplus count of that symbol.
+struct ScatterNodeValue {
+  Tag type = Tag::Eps;  ///< Tag::Alpha or Tag::Eps
+  std::size_t surplus = 0;
+};
+
+/// Configure the sub-RBN at (top_stage, top_block) as a scatter network
+/// for the given input tags; the surviving dominant-symbol run is placed
+/// starting at `s_root` (local position). Returns the root node value: if
+/// the result type is Eps the outputs carry only {0, 1, ε}; if Alpha
+/// (possible only when n_α > n_ε, i.e. outside BSN usage), only {0,1,α}.
+///
+/// Preconditions: tags.size() == 2^top_stage; every tag is in
+/// {Zero, One, Alpha, Eps}; s_root < tags.size().
+ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
+                                   std::size_t top_block,
+                                   std::span<const Tag> tags,
+                                   std::size_t s_root,
+                                   RoutingStats* stats = nullptr);
+
+/// Whole-network convenience overload.
+ScatterNodeValue configure_scatter(Rbn& rbn, std::span<const Tag> tags,
+                                   std::size_t s_root,
+                                   RoutingStats* stats = nullptr);
+
+/// Tracks packet-copy identity across scatter broadcasts.
+struct ScatterExec {
+  std::uint64_t next_copy_id = 1;
+  RoutingStats* stats = nullptr;
+};
+
+/// Switch function for propagating LineValues through a configured scatter
+/// fabric. Unicast settings move values unchanged; broadcast settings
+/// require an (α, ε) input pair (asserted) and emit the 0-copy on the
+/// upper output and the 1-copy on the lower output, duplicating the
+/// packet's remaining tag stream (Fig. 3c/3d).
+std::pair<LineValue, LineValue> apply_scatter_switch(const SwitchContext& ctx,
+                                                     SwitchSetting setting,
+                                                     LineValue up,
+                                                     LineValue low,
+                                                     ScatterExec& exec);
+
+}  // namespace brsmn

@@ -1,0 +1,67 @@
+// Instrumentation counters shared by the routing engines.
+//
+// The simulator charges abstract "gate delays" following the paper's
+// pipelined implementation (Section 7.2): every routing phase on a
+// sub-RBN of size 2^m costs a forward and a backward sweep of a
+// depth-m tree of bit-serial 1-bit adders. sim/gate_model.hpp converts
+// these counters into the delay/cost figures of Table 2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brsmn {
+
+struct RoutingStats {
+  std::size_t switch_traversals = 0;  ///< values moved through a 2x2 switch
+  std::size_t broadcast_ops = 0;      ///< switches that duplicated a packet
+  std::size_t tree_fwd_ops = 0;       ///< forward-phase node computations
+  std::size_t tree_bwd_ops = 0;       ///< backward-phase node computations
+  std::size_t fabric_passes = 0;      ///< full passes over a physical fabric
+  std::uint64_t gate_delay = 0;       ///< accumulated routing time (gate delays)
+
+  RoutingStats& operator+=(const RoutingStats& o) {
+    switch_traversals += o.switch_traversals;
+    broadcast_ops += o.broadcast_ops;
+    tree_fwd_ops += o.tree_fwd_ops;
+    tree_bwd_ops += o.tree_bwd_ops;
+    fabric_passes += o.fabric_passes;
+    gate_delay += o.gate_delay;
+    return *this;
+  }
+};
+
+/// Gate-delay charge for one forward+backward configuration sweep over a
+/// sub-RBN of size 2^m (paper Section 7.2/7.4): the pipelined tree of
+/// 1-bit adders delivers the first bit after m unit delays and streams the
+/// remaining m bits at one delay each, in both directions.
+///
+/// Delay is a critical-path quantity: sub-networks configured in parallel
+/// are charged once. The route orchestrators (Bsn/Brsmn/FeedbackBrsmn)
+/// therefore charge these per level/pass, never per block.
+constexpr std::uint64_t config_sweep_delay(int m) {
+  // forward first-bit latency m, plus m+1 streamed bits; same backward.
+  return 2 * (static_cast<std::uint64_t>(m) + static_cast<std::uint64_t>(m) + 1);
+}
+
+/// Gate depth of one 2x2 switch's datapath (a mux layer plus the tag
+/// rewrite of Fig. 3).
+inline constexpr std::uint64_t kSwitchStageDelay = 2;
+
+/// Datapath traversal delay of `stages` cascaded switch stages.
+constexpr std::uint64_t datapath_delay(int stages) {
+  return kSwitchStageDelay * static_cast<std::uint64_t>(stages);
+}
+
+/// Total routing delay of one BSN of size 2^m: a scatter configuration
+/// sweep, the ε-divide sweep and the quasisort (Lemma 1) sweep, plus two
+/// fabric traversals of m stages each.
+constexpr std::uint64_t bsn_routing_delay(int m) {
+  return 3 * config_sweep_delay(m) + 2 * datapath_delay(m);
+}
+
+/// Delay of the final 2x2-switch level (settings derive from local tags
+/// only — constant time).
+constexpr std::uint64_t final_level_delay() { return kSwitchStageDelay; }
+
+}  // namespace brsmn

@@ -1,0 +1,22 @@
+#include "core/stream_splitter.hpp"
+
+namespace brsmn {
+
+std::optional<StreamSplitter::Emit> StreamSplitter::push(Tag t) {
+  ++consumed_;
+  if (!head_) {
+    head_ = t;
+    return std::nullopt;
+  }
+  const Branch branch = to_upper_ ? Branch::Upper : Branch::Lower;
+  to_upper_ = !to_upper_;
+  return Emit{branch, t};
+}
+
+void StreamSplitter::reset() {
+  head_.reset();
+  to_upper_ = true;
+  consumed_ = 0;
+}
+
+}  // namespace brsmn

@@ -1,0 +1,49 @@
+// Online routing-tag stream splitting with constant state (Section 7.1).
+//
+// The paper routes header tags through a BSN by "passing a_i alternately
+// to the upper and the lower subnetworks", and notes that this is why
+// "only a constant number of buffers are needed to store the tag
+// sequence at each input of a BSN". StreamSplitter is that mechanism: it
+// consumes one tag per clock and immediately forwards it to the correct
+// branch, holding only the head tag and a one-bit phase — O(1) state,
+// verified equivalent to the batch split_stream() in tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/tag.hpp"
+
+namespace brsmn {
+
+class StreamSplitter {
+ public:
+  /// Which branch an emitted tag belongs to.
+  enum class Branch { Upper, Lower };
+
+  struct Emit {
+    Branch branch;
+    Tag tag;
+  };
+
+  /// Feed the next tag of the sequence (a_0 first). Returns nothing for
+  /// a_0 itself (it is consumed as the local routing tag) and the branch
+  /// assignment for every subsequent tag.
+  std::optional<Emit> push(Tag t);
+
+  /// The consumed head tag a_0 (engaged after the first push).
+  std::optional<Tag> head() const { return head_; }
+
+  /// Tags pushed so far.
+  std::size_t consumed() const { return consumed_; }
+
+  /// Reset for the next message.
+  void reset();
+
+ private:
+  std::optional<Tag> head_;
+  bool to_upper_ = true;  // a_1 goes to the upper branch
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace brsmn

@@ -1,0 +1,119 @@
+#include "core/tag_sequence.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+namespace {
+
+std::size_t bit_reverse(std::size_t v, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Tag> order_level(std::span<const Tag> level) {
+  BRSMN_EXPECTS(is_pow2(level.size()));
+  const int bits = log2_exact(level.size());
+  std::vector<Tag> out(level.size());
+  for (std::size_t p = 0; p < level.size(); ++p) {
+    out[p] = level[bit_reverse(p, bits)];
+  }
+  return out;
+}
+
+std::vector<Tag> encode_sequence(const TagTree& tree) {
+  std::vector<Tag> seq;
+  seq.reserve(tree.network_size() - 1);
+  for (int level = 1; level <= tree.levels(); ++level) {
+    const std::vector<Tag> tags = tree.level_tags(level);
+    const std::vector<Tag> ordered = order_level(tags);
+    seq.insert(seq.end(), ordered.begin(), ordered.end());
+  }
+  BRSMN_ENSURES(seq.size() == tree.network_size() - 1);
+  return seq;
+}
+
+std::vector<Tag> encode_sequence(std::span<const std::size_t> dests,
+                                 std::size_t n) {
+  return encode_sequence(TagTree(dests, n));
+}
+
+std::vector<Tag> split_stream(std::span<const Tag> rest, Tag branch) {
+  BRSMN_EXPECTS(branch == Tag::Zero || branch == Tag::One);
+  BRSMN_EXPECTS(rest.size() % 2 == 0);
+  std::vector<Tag> out;
+  out.reserve(rest.size() / 2);
+  for (std::size_t i = branch == Tag::Zero ? 0 : 1; i < rest.size(); i += 2) {
+    out.push_back(rest[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> decode_sequence(std::span<const Tag> seq) {
+  const std::size_t n = seq.size() + 1;
+  BRSMN_EXPECTS_MSG(is_pow2(n) && n >= 2,
+                    "sequence length must be a power of two minus one");
+  const Tag a0 = collapse_eps(seq[0]);
+  if (n == 2) {
+    switch (a0) {
+      case Tag::Zero: return {0};
+      case Tag::One: return {1};
+      case Tag::Alpha: return {0, 1};
+      case Tag::Eps: return {};
+      default: break;
+    }
+    BRSMN_EXPECTS_MSG(false, "invalid leaf tag");
+  }
+  const std::span<const Tag> rest = seq.subspan(1);
+  const std::vector<Tag> left = split_stream(rest, Tag::Zero);
+  const std::vector<Tag> right = split_stream(rest, Tag::One);
+  const std::vector<std::size_t> dl = decode_sequence(left);
+  const std::vector<std::size_t> dr = decode_sequence(right);
+  switch (a0) {
+    case Tag::Zero:
+      BRSMN_EXPECTS_MSG(!dl.empty() && dr.empty(),
+                        "tag 0 requires a left-only subtree");
+      break;
+    case Tag::One:
+      BRSMN_EXPECTS_MSG(dl.empty() && !dr.empty(),
+                        "tag 1 requires a right-only subtree");
+      break;
+    case Tag::Alpha:
+      BRSMN_EXPECTS_MSG(!dl.empty() && !dr.empty(),
+                        "tag alpha requires two non-empty subtrees");
+      break;
+    case Tag::Eps:
+      BRSMN_EXPECTS_MSG(dl.empty() && dr.empty(),
+                        "tag eps requires an empty subtree");
+      break;
+    default:
+      BRSMN_EXPECTS_MSG(false, "invalid tag in sequence");
+  }
+  std::vector<std::size_t> dests = dl;
+  for (std::size_t d : dr) dests.push_back(d + n / 2);
+  return dests;
+}
+
+std::string sequence_string(std::span<const Tag> seq) {
+  std::string s;
+  s.reserve(seq.size());
+  for (Tag t : seq) s.push_back(tag_char(t));
+  return s;
+}
+
+std::vector<Tag> parse_sequence(const std::string& s) {
+  std::vector<Tag> seq;
+  seq.reserve(s.size());
+  for (char c : s) seq.push_back(tag_from_char(c));
+  return seq;
+}
+
+}  // namespace brsmn

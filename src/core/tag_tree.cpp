@@ -1,0 +1,85 @@
+#include "core/tag_tree.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+TagTree::TagTree(std::span<const std::size_t> dests, std::size_t n)
+    : n_(n), m_(log2_exact(n)), nodes_(n, Tag::Eps) {
+  BRSMN_EXPECTS(n >= 2);
+  // Occupancy over the full address tree: node k covers a contiguous
+  // address range; leaves n..2n-1 are the addresses themselves.
+  std::vector<bool> occ(2 * n, false);
+  for (std::size_t d : dests) {
+    BRSMN_EXPECTS(d < n);
+    BRSMN_EXPECTS_MSG(!occ[n + d], "duplicate destination");
+    occ[n + d] = true;
+  }
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    occ[k] = occ[2 * k] || occ[2 * k + 1];
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    if (!occ[k]) {
+      nodes_[k] = Tag::Eps;
+    } else if (occ[2 * k] && occ[2 * k + 1]) {
+      nodes_[k] = Tag::Alpha;
+    } else {
+      nodes_[k] = occ[2 * k] ? Tag::Zero : Tag::One;
+    }
+  }
+}
+
+Tag TagTree::node(std::size_t k) const {
+  BRSMN_EXPECTS(k >= 1 && k < n_);
+  return nodes_[k];
+}
+
+Tag TagTree::level_tag(int level, std::size_t pos) const {
+  BRSMN_EXPECTS(level >= 1 && level <= m_);
+  const std::size_t width = std::size_t{1} << (level - 1);
+  BRSMN_EXPECTS(pos < width);
+  return node(width + pos);
+}
+
+std::vector<Tag> TagTree::level_tags(int level) const {
+  const std::size_t width = std::size_t{1} << (level - 1);
+  std::vector<Tag> tags(width);
+  for (std::size_t p = 0; p < width; ++p) tags[p] = level_tag(level, p);
+  return tags;
+}
+
+std::vector<std::size_t> TagTree::destinations() const {
+  std::vector<std::size_t> dests;
+  // Descend from each bottom-level node, honoring the tag semantics.
+  // A node k at the bottom level (width n/2) covers addresses 2*(k - n/2)
+  // and 2*(k - n/2) + 1; higher levels were already consistent by
+  // construction, so walking the bottom level suffices.
+  const std::size_t bottom = n_ / 2;
+  for (std::size_t k = bottom; k < n_; ++k) {
+    const std::size_t base = 2 * (k - bottom);
+    switch (nodes_[k]) {
+      case Tag::Zero: dests.push_back(base); break;
+      case Tag::One: dests.push_back(base + 1); break;
+      case Tag::Alpha:
+        dests.push_back(base);
+        dests.push_back(base + 1);
+        break;
+      default: break;
+    }
+  }
+  return dests;
+}
+
+std::string TagTree::to_string() const {
+  std::ostringstream os;
+  for (int level = 1; level <= m_; ++level) {
+    if (level > 1) os << '\n';
+    for (Tag t : level_tags(level)) os << tag_char(t);
+  }
+  return os.str();
+}
+
+}  // namespace brsmn

@@ -1,0 +1,58 @@
+// The complete binary tag tree of a multicast (paper Section 7.1,
+// Figs. 9/11).
+//
+// For a destination set D ⊆ {0,...,n-1}, the tag tree has log2(n) levels;
+// the node reached by descending the path p (a prefix of address bits)
+// describes the sub-multicast of destinations with that prefix:
+//   ε — no destination has prefix p
+//   0 — all such destinations continue with bit 0
+//   1 — all such destinations continue with bit 1
+//   α — some continue with 0 and some with 1 (a split happens here)
+// The tree is unique for a given multicast and is the source of the
+// routing-tag sequence (tag_sequence.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tag.hpp"
+
+namespace brsmn {
+
+class TagTree {
+ public:
+  /// Build the tag tree of destination set `dests` in an n x n network.
+  /// n must be a power of two >= 2; destinations must be < n and unique.
+  TagTree(std::span<const std::size_t> dests, std::size_t n);
+
+  std::size_t network_size() const noexcept { return n_; }
+
+  /// Number of levels = log2(n).
+  int levels() const noexcept { return m_; }
+
+  /// Tag of the heap-indexed node k, 1 <= k < n (node 1 is the root,
+  /// children of k are 2k and 2k+1).
+  Tag node(std::size_t k) const;
+
+  /// Tag of the `pos`-th node (0-based, left to right) of `level`
+  /// (1-based): the paper's t_{level, pos+1}.
+  Tag level_tag(int level, std::size_t pos) const;
+
+  /// All tags of one level, left to right (the paper's SEQ_i).
+  std::vector<Tag> level_tags(int level) const;
+
+  /// Reconstruct the destination set this tree encodes.
+  std::vector<std::size_t> destinations() const;
+
+  /// Compact rendering, one level per line, using tag_char().
+  std::string to_string() const;
+
+ private:
+  std::size_t n_;
+  int m_;
+  std::vector<Tag> nodes_;  // heap order, nodes_[k] for 1 <= k < n
+};
+
+}  // namespace brsmn

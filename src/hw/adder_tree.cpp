@@ -1,0 +1,95 @@
+#include "hw/adder_tree.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn::hw {
+
+PipelinedAdderTree::PipelinedAdderTree(std::size_t leaves)
+    : leaves_(leaves), depth_(log2_exact(leaves)) {
+  BRSMN_EXPECTS(leaves >= 2);
+}
+
+std::size_t PipelinedAdderTree::gate_count() const noexcept {
+  return (leaves_ - 1) * (BitSerialAdder::gate_count() + kDffGates);
+}
+
+std::size_t PipelinedAdderTree::expected_cycles(int input_bits) const {
+  // Pipeline fill (depth) + drain of the root's input_bits + depth sum
+  // bits.
+  return static_cast<std::size_t>(depth_) +
+         static_cast<std::size_t>(input_bits) +
+         static_cast<std::size_t>(depth_);
+}
+
+PipelinedAdderTree::Result PipelinedAdderTree::run(
+    const std::vector<std::uint64_t>& leaf_values, int input_bits) const {
+  BRSMN_EXPECTS(leaf_values.size() == leaves_);
+  BRSMN_EXPECTS(input_bits >= 1 && input_bits + depth_ <= 63);
+  for (const auto v : leaf_values) {
+    BRSMN_EXPECTS((v >> input_bits) == 0);
+  }
+
+  const int out_bits = input_bits + depth_;
+
+  // Synchronous state: one carry (inside the adder) and one output
+  // register bit per internal node, indexed [level-1][node].
+  std::vector<std::vector<BitSerialAdder>> adders(
+      static_cast<std::size_t>(depth_));
+  std::vector<std::vector<bool>> out_reg(static_cast<std::size_t>(depth_));
+  for (int j = 1; j <= depth_; ++j) {
+    adders[static_cast<std::size_t>(j - 1)].resize(leaves_ >> j);
+    out_reg[static_cast<std::size_t>(j - 1)].assign(leaves_ >> j, false);
+  }
+
+  Result result;
+  result.node_sums.assign(static_cast<std::size_t>(depth_) + 1, {});
+  result.node_sums[0] = leaf_values;
+  for (int j = 1; j <= depth_; ++j) {
+    result.node_sums[static_cast<std::size_t>(j)].assign(leaves_ >> j, 0);
+  }
+
+  const std::size_t total_ticks = expected_cycles(input_bits);
+  for (std::size_t t = 0; t < total_ticks; ++t) {
+    // Compute every node's next output bit from the *current* registers
+    // (leaf bits arrive combinationally at level 1).
+    std::vector<std::vector<bool>> next(out_reg);
+    for (int j = 1; j <= depth_; ++j) {
+      auto& level_adders = adders[static_cast<std::size_t>(j - 1)];
+      for (std::size_t b = 0; b < level_adders.size(); ++b) {
+        bool in0 = false, in1 = false;
+        if (j == 1) {
+          const std::uint64_t v0 = leaf_values[2 * b];
+          const std::uint64_t v1 = leaf_values[2 * b + 1];
+          in0 = t < static_cast<std::size_t>(input_bits) && ((v0 >> t) & 1u);
+          in1 = t < static_cast<std::size_t>(input_bits) && ((v1 >> t) & 1u);
+        } else {
+          in0 = out_reg[static_cast<std::size_t>(j - 2)][2 * b];
+          in1 = out_reg[static_cast<std::size_t>(j - 2)][2 * b + 1];
+        }
+        next[static_cast<std::size_t>(j - 1)][b] =
+            level_adders[b].step(in0, in1);
+      }
+    }
+    out_reg.swap(next);
+
+    // Collect: after tick t, the level-j registers hold bit t-(j-1) of
+    // their node's sum.
+    for (int j = 1; j <= depth_; ++j) {
+      const auto bit_index =
+          static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(j - 1);
+      if (bit_index < 0 || bit_index >= out_bits) continue;
+      for (std::size_t b = 0; b < out_reg[static_cast<std::size_t>(j - 1)].size();
+           ++b) {
+        if (out_reg[static_cast<std::size_t>(j - 1)][b]) {
+          result.node_sums[static_cast<std::size_t>(j)][b] |=
+              std::uint64_t{1} << bit_index;
+        }
+      }
+    }
+  }
+  result.cycles = total_ticks;
+  return result;
+}
+
+}  // namespace brsmn::hw

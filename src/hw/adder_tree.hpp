@@ -1,0 +1,60 @@
+// Cycle-accurate pipelined adder tree (paper Section 7.2).
+//
+// The forward phase of every distributed routing algorithm (Tables 3, 4,
+// 6) computes, for each tree node, the sum of a 0/1 count over its
+// leaves. In hardware each node is one BitSerialAdder plus an output
+// register; values stream LSB-first, so the tree is a pipeline of depth
+// log2(leaves) and the complete root value (bit width W + depth) drains
+// in depth + W + depth cycles — the closed form behind
+// config_sweep_delay().
+//
+// This module simulates that pipeline cycle by cycle and is
+// cross-checked against the behavioral algorithms in tests/test_hw.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+
+class PipelinedAdderTree {
+ public:
+  /// A tree over `leaves` inputs (a power of two >= 2).
+  explicit PipelinedAdderTree(std::size_t leaves);
+
+  std::size_t leaves() const noexcept { return leaves_; }
+
+  /// Pipeline depth: log2(leaves).
+  int depth() const noexcept { return depth_; }
+
+  /// Gate cost: one bit-serial adder and one output flip-flop per
+  /// internal node (leaves - 1 of them).
+  std::size_t gate_count() const noexcept;
+
+  struct Result {
+    /// node_sums[j] holds the sums of all sub-trees of height j:
+    /// node_sums[0] echoes the leaf values, node_sums[depth][0] is the
+    /// total. These are exactly the l-values of the forward phases.
+    std::vector<std::vector<std::uint64_t>> node_sums;
+    /// Cycles until the root's last bit was emitted.
+    std::size_t cycles = 0;
+  };
+
+  /// Stream the leaf values (each of `input_bits` significant bits)
+  /// through the pipeline and collect every node's sum.
+  Result run(const std::vector<std::uint64_t>& leaf_values,
+             int input_bits) const;
+
+  /// The closed-form cycle count run() reports:
+  /// depth (fill) + input_bits + depth (carry growth) output bits.
+  std::size_t expected_cycles(int input_bits) const;
+
+ private:
+  std::size_t leaves_;
+  int depth_;
+};
+
+}  // namespace brsmn::hw

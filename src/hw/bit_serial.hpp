@@ -1,0 +1,91 @@
+// Gate-level building blocks of the self-routing circuitry
+// (paper Section 7.2, Fig. 12).
+//
+// The distributed algorithms' forward phases are sums over trees; the
+// paper implements each tree node as a single 1-bit full adder with a
+// carry flip-flop, fed least-significant-bit first, so a log n-bit adder
+// shrinks to one bit of hardware and the whole tree is a pipeline: node
+// outputs lag their inputs by one cycle, and the first result bit leaves
+// the root after depth cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brsmn::hw {
+
+/// Gate cost constants used for calibration of model::GateParams: a full
+/// adder is two XORs, two ANDs and an OR; a D flip-flop is ~4 NAND
+/// equivalents.
+inline constexpr std::size_t kFullAdderGates = 5;
+inline constexpr std::size_t kDffGates = 4;
+
+/// Combinational 1-bit full adder.
+struct FullAdderOut {
+  bool sum;
+  bool carry;
+};
+constexpr FullAdderOut full_adder(bool a, bool b, bool cin) {
+  return {(a != b) != cin, (a && b) || (cin && (a != b))};
+}
+
+/// A 1-bit adder used in pipelined fashion (Fig. 12): the carry is
+/// registered, so feeding two operands LSB-first one bit per cycle
+/// produces their sum LSB-first, one bit per cycle.
+class BitSerialAdder {
+ public:
+  /// Clock in one bit of each operand; returns the sum bit.
+  bool step(bool a, bool b) {
+    const FullAdderOut out = full_adder(a, b, carry_);
+    carry_ = out.carry;
+    return out.sum;
+  }
+
+  void reset() { carry_ = false; }
+
+  bool carry() const { return carry_; }
+
+  /// Hardware cost: the adder plus its carry register.
+  static constexpr std::size_t gate_count() {
+    return kFullAdderGates + kDffGates;
+  }
+
+ private:
+  bool carry_ = false;
+};
+
+/// Combinational 1-bit full subtractor (a - b - borrow_in).
+struct FullSubtractorOut {
+  bool diff;
+  bool borrow;
+};
+constexpr FullSubtractorOut full_subtractor(bool a, bool b, bool bin) {
+  return {(a != b) != bin, (!a && b) || (!(a != b) && bin)};
+}
+
+/// A 1-bit subtractor used in pipelined fashion, the dual of
+/// BitSerialAdder: streaming two operands LSB-first yields a - b
+/// LSB-first; after the last bit, borrow() set means a < b. The scatter
+/// network's forward phase uses a pair of these to compute |l0 - l1| and
+/// the dominating type (ε/α-elimination, Table 4).
+class BitSerialSubtractor {
+ public:
+  bool step(bool a, bool b) {
+    const FullSubtractorOut out = full_subtractor(a, b, borrow_);
+    borrow_ = out.borrow;
+    return out.diff;
+  }
+
+  void reset() { borrow_ = false; }
+
+  bool borrow() const { return borrow_; }
+
+  static constexpr std::size_t gate_count() {
+    return kFullAdderGates + kDffGates;
+  }
+
+ private:
+  bool borrow_ = false;
+};
+
+}  // namespace brsmn::hw

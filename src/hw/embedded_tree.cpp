@@ -1,0 +1,44 @@
+#include "hw/embedded_tree.hpp"
+
+#include "common/contracts.hpp"
+
+namespace brsmn::hw {
+
+SwitchCoord forward_node_switch(const topo::RbnTopology& topo, int stage,
+                                std::size_t block) {
+  BRSMN_EXPECTS(stage >= 1 && stage <= topo.stages());
+  BRSMN_EXPECTS(block < topo.blocks_in_stage(stage));
+  const std::size_t base = topo.block_base(stage, block);
+  return {stage, topo.stage_switch(stage, base)};
+}
+
+SwitchCoord backward_node_switch(const topo::RbnTopology& topo, int stage,
+                                 std::size_t block) {
+  BRSMN_EXPECTS(stage >= 1 && stage <= topo.stages());
+  BRSMN_EXPECTS(block < topo.blocks_in_stage(stage));
+  const std::size_t half = topo.block_size(stage) / 2;
+  const std::size_t base = topo.block_base(stage, block);
+  return {stage, topo.stage_switch(stage, base + half - 1)};
+}
+
+EmbeddingLoad embedding_load(const topo::RbnTopology& topo) {
+  EmbeddingLoad load;
+  const auto stages = static_cast<std::size_t>(topo.stages());
+  load.forward_nodes.assign(stages,
+                            std::vector<std::size_t>(topo.switches_per_stage(), 0));
+  load.backward_nodes = load.forward_nodes;
+  for (int stage = 1; stage <= topo.stages(); ++stage) {
+    for (std::size_t block = 0; block < topo.blocks_in_stage(stage);
+         ++block) {
+      const SwitchCoord f = forward_node_switch(topo, stage, block);
+      const SwitchCoord b = backward_node_switch(topo, stage, block);
+      ++load.forward_nodes[static_cast<std::size_t>(f.stage - 1)]
+                          [f.switch_index];
+      ++load.backward_nodes[static_cast<std::size_t>(b.stage - 1)]
+                           [b.switch_index];
+    }
+  }
+  return load;
+}
+
+}  // namespace brsmn::hw

@@ -1,0 +1,47 @@
+// The forward/backward tree embedding of Fig. 8b.
+//
+// The distributed algorithms run on the complete binary tree of sub-RBNs
+// (Fig. 8a). For "balanced hardware distribution" the paper embeds two
+// copies of the tree into the fabric itself: the node of sub-RBN (j, b)
+// is hosted by the FIRST switch of block b's stage-j merging network in
+// the forward tree, and by the LAST switch in the backward tree, with
+// the switches in between consuming those nodes' results. This module
+// computes the embedding and the per-switch load it induces; tests prove
+// the O(1)-circuitry-per-switch claim (each physical switch hosts at
+// most one forward and one backward node).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/rbn_topology.hpp"
+
+namespace brsmn::hw {
+
+/// A tree node's physical location: a stage and a switch within it.
+struct SwitchCoord {
+  int stage = 0;            ///< 1-based stage
+  std::size_t switch_index = 0;  ///< stage-switch index, in [0, n/2)
+
+  friend bool operator==(const SwitchCoord&, const SwitchCoord&) = default;
+};
+
+/// The switch hosting the forward-tree node of sub-RBN (stage, block):
+/// the first switch of the block's merging network.
+SwitchCoord forward_node_switch(const topo::RbnTopology& topo, int stage,
+                                std::size_t block);
+
+/// The switch hosting the backward-tree node of sub-RBN (stage, block):
+/// the last switch of the block's merging network.
+SwitchCoord backward_node_switch(const topo::RbnTopology& topo, int stage,
+                                 std::size_t block);
+
+/// Per-switch hosting load over the whole fabric: how many forward and
+/// backward tree nodes each switch hosts. Indexed [stage-1][switch].
+struct EmbeddingLoad {
+  std::vector<std::vector<std::size_t>> forward_nodes;
+  std::vector<std::vector<std::size_t>> backward_nodes;
+};
+EmbeddingLoad embedding_load(const topo::RbnTopology& topo);
+
+}  // namespace brsmn::hw

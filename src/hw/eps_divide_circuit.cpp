@@ -1,0 +1,127 @@
+#include "hw/eps_divide_circuit.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/stats.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+
+namespace {
+
+std::uint64_t serial_add(std::uint64_t a, std::uint64_t b, int bits) {
+  BitSerialAdder adder;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (adder.step((a >> i) & 1u, (b >> i) & 1u)) {
+      sum |= std::uint64_t{1} << i;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t serial_sub(std::uint64_t a, std::uint64_t b, int bits,
+                         bool* underflow = nullptr) {
+  BitSerialSubtractor sub;
+  std::uint64_t diff = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (sub.step((a >> i) & 1u, (b >> i) & 1u)) {
+      diff |= std::uint64_t{1} << i;
+    }
+  }
+  if (underflow) *underflow = sub.borrow();
+  return diff;
+}
+
+/// min(a, b) in hardware: subtract and let the borrow drive a mux.
+std::uint64_t serial_min(std::uint64_t a, std::uint64_t b, int bits) {
+  bool borrow = false;
+  serial_sub(a, b, bits, &borrow);
+  return borrow ? a : b;  // borrow means a < b
+}
+
+}  // namespace
+
+GateLevelEpsDivide::GateLevelEpsDivide(std::size_t n)
+    : n_(n), m_(log2_exact(n)) {
+  BRSMN_EXPECTS(n >= 2);
+}
+
+GateLevelEpsDivide::Result GateLevelEpsDivide::compute(
+    const std::vector<Tag>& tags) const {
+  BRSMN_EXPECTS(tags.size() == n_);
+  const int bits = m_ + 1;
+
+  // Forward phase: per node, ε count (b0 AND b1 of the Table 1 encoding)
+  // and real-1 count (b2).
+  struct Fwd {
+    std::uint64_t eps = 0;
+    std::uint64_t ones = 0;
+  };
+  std::vector<std::vector<Fwd>> fwd(static_cast<std::size_t>(m_) + 1);
+  fwd[0].resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    BRSMN_EXPECTS(tags[i] == Tag::Zero || tags[i] == Tag::One ||
+                  tags[i] == Tag::Eps);
+    const std::uint8_t enc = encode(tags[i]);
+    fwd[0][i] = {counts_as_eps(enc) ? std::uint64_t{1} : 0,
+                 tags[i] == Tag::One ? std::uint64_t{1} : 0};
+  }
+  for (int j = 1; j <= m_; ++j) {
+    const auto& child = fwd[static_cast<std::size_t>(j - 1)];
+    auto& cur = fwd[static_cast<std::size_t>(j)];
+    cur.resize(child.size() / 2);
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      cur[b] = {serial_add(child[2 * b].eps, child[2 * b + 1].eps, bits),
+                serial_add(child[2 * b].ones, child[2 * b + 1].ones, bits)};
+    }
+  }
+
+  // Backward phase: root budget, then the Table 6 updates (erratum
+  // fixed, see DESIGN.md) with serial subtractors and a borrow-mux min.
+  const Fwd root = fwd[static_cast<std::size_t>(m_)][0];
+  bool underflow = false;
+  const std::uint64_t root_eps1 =
+      serial_sub(n_ / 2, root.ones, bits, &underflow);
+  BRSMN_EXPECTS_MSG(!underflow, "more than n/2 ones");
+  const std::uint64_t root_eps0 =
+      serial_sub(root.eps, root_eps1, bits, &underflow);
+  BRSMN_EXPECTS_MSG(!underflow, "more than n/2 zeros");
+
+  struct Bwd {
+    std::uint64_t eps0 = 0;
+    std::uint64_t eps1 = 0;
+  };
+  std::vector<std::vector<Bwd>> bwd(static_cast<std::size_t>(m_) + 1);
+  for (int j = 0; j <= m_; ++j) {
+    bwd[static_cast<std::size_t>(j)].resize(n_ >> j);
+  }
+  bwd[static_cast<std::size_t>(m_)][0] = {root_eps0, root_eps1};
+  for (int j = m_; j >= 1; --j) {
+    for (std::size_t b = 0; b < (n_ >> j); ++b) {
+      const Bwd cur = bwd[static_cast<std::size_t>(j)][b];
+      const std::uint64_t upper_eps =
+          fwd[static_cast<std::size_t>(j - 1)][2 * b].eps;
+      const std::uint64_t lower_eps =
+          fwd[static_cast<std::size_t>(j - 1)][2 * b + 1].eps;
+      Bwd up, low;
+      up.eps0 = serial_min(cur.eps0, upper_eps, bits);
+      up.eps1 = serial_sub(upper_eps, up.eps0, bits);
+      low.eps0 = serial_sub(cur.eps0, up.eps0, bits);
+      low.eps1 = serial_sub(lower_eps, low.eps0, bits);
+      bwd[static_cast<std::size_t>(j - 1)][2 * b] = up;
+      bwd[static_cast<std::size_t>(j - 1)][2 * b + 1] = low;
+    }
+  }
+
+  Result result;
+  result.divided = tags;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (tags[i] != Tag::Eps) continue;
+    result.divided[i] = bwd[0][i].eps0 ? Tag::Eps0 : Tag::Eps1;
+  }
+  result.cycles = config_sweep_delay(m_);
+  return result;
+}
+
+}  // namespace brsmn::hw

@@ -1,0 +1,40 @@
+// The gate-level ε-dividing circuit (paper Table 6 + Section 7.2).
+//
+// Forward phase per tree node: two bit-serial adders (one summing ε
+// counts — the b0∧b1 predicate — and one summing real 1s — the b2 bit).
+// Backward phase per node: a subtractor-with-borrow implements
+// min(n_ε0, n'_ε) and the remaining three updates are serial
+// subtractions. Leaves read a single budget bit to pick ε0 or ε1.
+//
+// Tested to produce exactly divide_eps()'s output in the
+// config_sweep_delay cycle budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tag.hpp"
+
+namespace brsmn::hw {
+
+class GateLevelEpsDivide {
+ public:
+  explicit GateLevelEpsDivide(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  struct Result {
+    std::vector<Tag> divided;  ///< ε replaced by ε0/ε1, identical to divide_eps
+    std::size_t cycles = 0;
+  };
+
+  /// Run the circuit on tags in {0, 1, ε} with at most n/2 zeros and
+  /// at most n/2 ones.
+  Result compute(const std::vector<Tag>& tags) const;
+
+ private:
+  std::size_t n_;
+  int m_;
+};
+
+}  // namespace brsmn::hw

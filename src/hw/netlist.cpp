@@ -1,0 +1,206 @@
+#include "hw/netlist.hpp"
+
+#include "common/bits.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+
+int Netlist::check_comb_operand(int id) const {
+  BRSMN_EXPECTS_MSG(id >= 0 && id < static_cast<int>(gates_.size()),
+                    "operand does not exist yet (combinational gates may "
+                    "only reference earlier gates)");
+  return id;
+}
+
+int Netlist::add_input() {
+  gates_.push_back({GateKind::Input, -1, -1});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_and(int a, int b) {
+  gates_.push_back({GateKind::And, check_comb_operand(a),
+                    check_comb_operand(b)});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_or(int a, int b) {
+  gates_.push_back({GateKind::Or, check_comb_operand(a),
+                    check_comb_operand(b)});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_xor(int a, int b) {
+  gates_.push_back({GateKind::Xor, check_comb_operand(a),
+                    check_comb_operand(b)});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_not(int a) {
+  gates_.push_back({GateKind::Not, check_comb_operand(a), -1});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_dff() {
+  gates_.push_back({GateKind::Dff, -1, -1});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+void Netlist::connect_dff(int dff, int data) {
+  BRSMN_EXPECTS(dff >= 0 && dff < static_cast<int>(gates_.size()));
+  BRSMN_EXPECTS(gates_[static_cast<std::size_t>(dff)].kind_tag ==
+                GateKind::Dff);
+  BRSMN_EXPECTS(data >= 0 && data < static_cast<int>(gates_.size()));
+  gates_[static_cast<std::size_t>(dff)].a = data;
+}
+
+std::size_t Netlist::combinational_gates() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_) {
+    count += g.kind_tag == GateKind::And || g.kind_tag == GateKind::Or ||
+             g.kind_tag == GateKind::Xor || g.kind_tag == GateKind::Not;
+  }
+  return count;
+}
+
+std::size_t Netlist::flip_flops() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_) count += g.kind_tag == GateKind::Dff;
+  return count;
+}
+
+std::size_t Netlist::gate_equivalents() const {
+  return combinational_gates() + flip_flops() * kDffGates;
+}
+
+GateKind Netlist::kind(int id) const {
+  BRSMN_EXPECTS(id >= 0 && id < static_cast<int>(gates_.size()));
+  return gates_[static_cast<std::size_t>(id)].kind_tag;
+}
+
+Netlist::Sim::Sim(const Netlist& netlist)
+    : netlist_(&netlist),
+      values_(netlist.size(), false),
+      dff_state_(netlist.size(), false) {
+  for (std::size_t i = 0; i < netlist.gates_.size(); ++i) {
+    if (netlist.gates_[i].kind_tag == GateKind::Dff) {
+      BRSMN_EXPECTS_MSG(netlist.gates_[i].a >= 0,
+                        "DFF left unconnected before simulation");
+    }
+  }
+}
+
+void Netlist::Sim::set_input(int id, bool v) {
+  BRSMN_EXPECTS(netlist_->kind(id) == GateKind::Input);
+  values_[static_cast<std::size_t>(id)] = v;
+}
+
+void Netlist::Sim::step() {
+  const auto& gates = netlist_->gates_;
+  // Combinational evaluation in creation order (operands always refer to
+  // earlier gates); DFF gates present last cycle's state.
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.kind_tag) {
+      case GateKind::Input: break;  // externally driven
+      case GateKind::Dff: values_[i] = dff_state_[i]; break;
+      case GateKind::And:
+        values_[i] = values_[static_cast<std::size_t>(g.a)] &&
+                     values_[static_cast<std::size_t>(g.b)];
+        break;
+      case GateKind::Or:
+        values_[i] = values_[static_cast<std::size_t>(g.a)] ||
+                     values_[static_cast<std::size_t>(g.b)];
+        break;
+      case GateKind::Xor:
+        values_[i] = values_[static_cast<std::size_t>(g.a)] !=
+                     values_[static_cast<std::size_t>(g.b)];
+        break;
+      case GateKind::Not:
+        values_[i] = !values_[static_cast<std::size_t>(g.a)];
+        break;
+    }
+  }
+  // Clock edge: latch every DFF's data input.
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].kind_tag == GateKind::Dff) {
+      dff_state_[i] = values_[static_cast<std::size_t>(gates[i].a)];
+    }
+  }
+}
+
+bool Netlist::Sim::value(int id) const {
+  BRSMN_EXPECTS(id >= 0 && id < static_cast<int>(values_.size()));
+  return values_[static_cast<std::size_t>(id)];
+}
+
+FullAdderPorts build_full_adder(Netlist& nl) {
+  FullAdderPorts p;
+  p.a = nl.add_input();
+  p.b = nl.add_input();
+  p.cin = nl.add_input();
+  const int axb = nl.add_xor(p.a, p.b);
+  p.sum = nl.add_xor(axb, p.cin);
+  const int ab = nl.add_and(p.a, p.b);
+  const int cin_axb = nl.add_and(p.cin, axb);
+  p.carry = nl.add_or(ab, cin_axb);
+  return p;
+}
+
+SerialAdderPorts build_bit_serial_adder(Netlist& nl) {
+  SerialAdderPorts p;
+  p.a = nl.add_input();
+  p.b = nl.add_input();
+  const int carry_ff = nl.add_dff();
+  const int axb = nl.add_xor(p.a, p.b);
+  p.sum = nl.add_xor(axb, carry_ff);
+  const int ab = nl.add_and(p.a, p.b);
+  const int c_axb = nl.add_and(carry_ff, axb);
+  const int carry_next = nl.add_or(ab, c_axb);
+  nl.connect_dff(carry_ff, carry_next);
+  return p;
+}
+
+namespace {
+
+/// Build a bit-serial adder whose operands are existing gates (not fresh
+/// inputs), used for the internal tree nodes.
+int build_internal_adder(Netlist& nl, int a, int b) {
+  const int carry_ff = nl.add_dff();
+  const int axb = nl.add_xor(a, b);
+  const int sum = nl.add_xor(axb, carry_ff);
+  const int ab = nl.add_and(a, b);
+  const int c_axb = nl.add_and(carry_ff, axb);
+  const int carry_next = nl.add_or(ab, c_axb);
+  nl.connect_dff(carry_ff, carry_next);
+  // Output register: the pipeline stage boundary.
+  const int out_ff = nl.add_dff();
+  nl.connect_dff(out_ff, sum);
+  return out_ff;
+}
+
+}  // namespace
+
+AdderTreePorts build_adder_tree(Netlist& nl, std::size_t leaves) {
+  BRSMN_EXPECTS(is_pow2(leaves) && leaves >= 2);
+  AdderTreePorts ports;
+  ports.leaves.reserve(leaves);
+  std::vector<int> level;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const int in = nl.add_input();
+    ports.leaves.push_back(in);
+    level.push_back(in);
+  }
+  while (level.size() > 1) {
+    std::vector<int> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t b = 0; b < level.size() / 2; ++b) {
+      next.push_back(build_internal_adder(nl, level[2 * b],
+                                          level[2 * b + 1]));
+    }
+    level = std::move(next);
+  }
+  ports.root = level.front();
+  return ports;
+}
+
+}  // namespace brsmn::hw

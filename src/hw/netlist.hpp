@@ -1,0 +1,105 @@
+// Structural gate netlists for the routing circuitry.
+//
+// The cost model charges per-switch gate constants; this module makes
+// those constants *auditable* by building the circuits from actual
+// two-input gates and flip-flops and simulating them cycle by cycle.
+// tests/test_netlist.cpp proves (1) the netlist full adder / bit-serial
+// adder / pipelined adder tree behave identically to the behavioral
+// models, and (2) their gate censuses equal the constants
+// (kFullAdderGates, kDffGates) the Table 2 cost column is built from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::hw {
+
+enum class GateKind : std::uint8_t {
+  Input,  ///< externally driven
+  And,
+  Or,
+  Xor,
+  Not,
+  Dff,  ///< state element; output is last cycle's latched value
+};
+
+/// A flat netlist: gates reference earlier gates (combinational) or any
+/// gate (a DFF's data input may be connected after creation, enabling
+/// feedback loops through state).
+class Netlist {
+ public:
+  int add_input();
+  int add_and(int a, int b);
+  int add_or(int a, int b);
+  int add_xor(int a, int b);
+  int add_not(int a);
+  /// Create a flip-flop with an unconnected data input.
+  int add_dff();
+  /// Connect a DFF's data input (may reference any gate).
+  void connect_dff(int dff, int data);
+
+  std::size_t size() const noexcept { return gates_.size(); }
+
+  /// Census: two-input/inverter combinational gates.
+  std::size_t combinational_gates() const;
+  /// Census: flip-flops.
+  std::size_t flip_flops() const;
+  /// Gate-equivalent count with kDffGates per flip-flop — directly
+  /// comparable to the cost-model constants.
+  std::size_t gate_equivalents() const;
+
+  GateKind kind(int id) const;
+
+  /// Cycle-accurate evaluator for one netlist.
+  class Sim {
+   public:
+    explicit Sim(const Netlist& netlist);
+    /// Drive an input for the current cycle.
+    void set_input(int id, bool v);
+    /// Evaluate all combinational gates, then clock every DFF.
+    void step();
+    /// Value of any gate after the last step() (DFFs: latched state).
+    bool value(int id) const;
+
+   private:
+    const Netlist* netlist_;
+    std::vector<bool> values_;
+    std::vector<bool> dff_state_;
+  };
+
+ private:
+  struct Gate {
+    GateKind kind_tag = GateKind::Input;
+    int a = -1;
+    int b = -1;
+  };
+  std::vector<Gate> gates_;
+  int check_comb_operand(int id) const;
+};
+
+/// A 1-bit full adder built from 5 gates (2 XOR, 2 AND, 1 OR).
+struct FullAdderPorts {
+  int a = -1, b = -1, cin = -1;  ///< inputs
+  int sum = -1, carry = -1;      ///< outputs
+};
+FullAdderPorts build_full_adder(Netlist& nl);
+
+/// A bit-serial adder: full adder + carry flip-flop (Fig. 12).
+struct SerialAdderPorts {
+  int a = -1, b = -1;  ///< stream inputs
+  int sum = -1;        ///< combinational sum bit
+};
+SerialAdderPorts build_bit_serial_adder(Netlist& nl);
+
+/// The pipelined adder tree over `leaves` inputs: each internal node is
+/// a bit-serial adder plus an output flip-flop.
+struct AdderTreePorts {
+  std::vector<int> leaves;  ///< stream inputs
+  int root = -1;            ///< root node's registered output
+};
+AdderTreePorts build_adder_tree(Netlist& nl, std::size_t leaves);
+
+}  // namespace brsmn::hw

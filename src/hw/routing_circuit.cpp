@@ -1,0 +1,96 @@
+#include "hw/routing_circuit.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+
+namespace {
+
+/// Bit-serial addition of two values, LSB first, over `bits` cycles —
+/// the backward-phase node hardware. Returns the sum (truncated to
+/// `bits` bits, which is enough: s + l0 < 2^(bits)).
+std::uint64_t serial_add(std::uint64_t a, std::uint64_t b, int bits) {
+  BitSerialAdder adder;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (adder.step((a >> i) & 1u, (b >> i) & 1u)) {
+      sum |= std::uint64_t{1} << i;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+GateLevelBitSorter::GateLevelBitSorter(std::size_t n)
+    : n_(n), m_(log2_exact(n)), forward_tree_(n) {
+  BRSMN_EXPECTS(n >= 2);
+}
+
+std::size_t GateLevelBitSorter::gate_count() const noexcept {
+  // Forward tree + one backward serial adder per internal node + an
+  // (m+1)-bit comparator (~3 gates per bit) per switch.
+  const std::size_t nodes = n_ - 1;
+  const std::size_t comparator_gates =
+      3 * static_cast<std::size_t>(m_ + 1) * (n_ / 2) *
+      static_cast<std::size_t>(m_);
+  return forward_tree_.gate_count() + nodes * BitSerialAdder::gate_count() +
+         comparator_gates;
+}
+
+GateLevelBitSorter::Result GateLevelBitSorter::compute(
+    const std::vector<int>& keys, std::size_t s_root) const {
+  BRSMN_EXPECTS(keys.size() == n_);
+  BRSMN_EXPECTS(s_root < n_);
+
+  // Forward phase: the pipelined adder tree gives every node's 1-count.
+  std::vector<std::uint64_t> leaf_bits(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    BRSMN_EXPECTS(keys[i] == 0 || keys[i] == 1);
+    leaf_bits[i] = static_cast<std::uint64_t>(keys[i]);
+  }
+  const PipelinedAdderTree::Result fwd = forward_tree_.run(leaf_bits, 1);
+
+  // Backward phase: per node, one serial addition s + l0; its low j-1
+  // bits are s1 and bit j-1 is b (Lemma 1). The start positions flow
+  // down the tree; the cycle cost is symmetric to the forward sweep.
+  Result result;
+  result.settings.assign(static_cast<std::size_t>(m_), {});
+  std::vector<std::uint64_t> start{s_root};
+  const int bits = m_ + 1;
+  for (int j = m_; j >= 1; --j) {
+    auto& stage = result.settings[static_cast<std::size_t>(j - 1)];
+    stage.assign(n_ / 2, SwitchSetting::Parallel);
+    const std::size_t half = std::size_t{1} << (j - 1);
+    std::vector<std::uint64_t> next(start.size() * 2);
+    for (std::size_t block = 0; block < start.size(); ++block) {
+      const std::uint64_t s = start[block];
+      const std::uint64_t l0 =
+          fwd.node_sums[static_cast<std::size_t>(j - 1)][2 * block];
+      const std::uint64_t sum = serial_add(s, l0, bits);
+      const std::uint64_t s1 = sum & (half - 1);
+      const bool b = (sum >> (j - 1)) & 1u;
+      next[2 * block] = s & (half - 1);  // s0: drop the top bit
+      next[2 * block + 1] = s1;
+      // Switch-setting phase: switch i of the block compares its local
+      // index against s1 (W^{half}_{0, s1; b-bar, b}).
+      const SwitchSetting run = b ? SwitchSetting::Cross
+                                  : SwitchSetting::Parallel;
+      const SwitchSetting rest = opposite_unicast(run);
+      for (std::size_t i = 0; i < half; ++i) {
+        stage[block * half + i] = i < s1 ? run : rest;
+      }
+    }
+    start = std::move(next);
+  }
+
+  // Cycles: the forward pipeline, plus the symmetric backward pipeline
+  // (depth-m fill + m+1 streamed bits; the comparators are combinational).
+  result.cycles = fwd.cycles + static_cast<std::size_t>(m_) +
+                  static_cast<std::size_t>(bits);
+  return result;
+}
+
+}  // namespace brsmn::hw

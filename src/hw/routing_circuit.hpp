@@ -1,0 +1,50 @@
+// The complete gate-level self-routing circuit for the RBN bit sorter
+// (paper Sections 6.1 + 7.2): the forward phase is the pipelined adder
+// tree of Fig. 12; the backward phase computes each node's child start
+// positions with one more bit-serial adder per node (s1 = (s + l0) mod
+// n'/2 and the b bit are both read off the serial sum); the switch-
+// setting phase is a per-switch comparator against s1.
+//
+// The circuit must — and is tested to — produce bit-for-bit the same
+// settings grid as the behavioral algorithm (core/bit_sorter.hpp), in
+// exactly the cycle count charged by config_sweep_delay().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/switch_setting.hpp"
+#include "hw/adder_tree.hpp"
+
+namespace brsmn::hw {
+
+class GateLevelBitSorter {
+ public:
+  /// A circuit instance for an n-input RBN (n a power of two >= 2).
+  explicit GateLevelBitSorter(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Total gates: the forward adder tree, one backward bit-serial adder
+  /// per tree node, and a comparator per switch.
+  std::size_t gate_count() const noexcept;
+
+  struct Result {
+    /// settings[stage-1][switch] over the whole fabric, identical to
+    /// what configure_bit_sorter installs.
+    std::vector<std::vector<SwitchSetting>> settings;
+    /// Total cycles: forward pipeline + backward pipeline. Matches
+    /// config_sweep_delay(log2 n).
+    std::size_t cycles = 0;
+  };
+
+  /// Run the circuit: keys in {0,1}, s_root < n.
+  Result compute(const std::vector<int>& keys, std::size_t s_root) const;
+
+ private:
+  std::size_t n_;
+  int m_;
+  PipelinedAdderTree forward_tree_;
+};
+
+}  // namespace brsmn::hw

@@ -1,0 +1,169 @@
+#include "hw/scatter_circuit.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/merge_lemmas.hpp"
+#include "core/stats.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+
+namespace {
+
+/// Bit-serial a + b over `bits` cycles (backward-phase node hardware).
+std::uint64_t serial_add(std::uint64_t a, std::uint64_t b, int bits) {
+  BitSerialAdder adder;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (adder.step((a >> i) & 1u, (b >> i) & 1u)) {
+      sum |= std::uint64_t{1} << i;
+    }
+  }
+  return sum;
+}
+
+/// Bit-serial a - b; `underflow` reports a < b (the subtractor's final
+/// borrow). Forward-phase elimination hardware.
+std::uint64_t serial_sub(std::uint64_t a, std::uint64_t b, int bits,
+                         bool& underflow) {
+  BitSerialSubtractor sub;
+  std::uint64_t diff = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (sub.step((a >> i) & 1u, (b >> i) & 1u)) {
+      diff |= std::uint64_t{1} << i;
+    }
+  }
+  underflow = sub.borrow();
+  return diff;
+}
+
+/// Forward node value as the hardware sees it: one type bit (true = ε
+/// dominates) and the surplus count.
+struct NodeVal {
+  bool eps_type = true;
+  std::uint64_t surplus = 0;
+};
+
+}  // namespace
+
+GateLevelScatter::GateLevelScatter(std::size_t n)
+    : n_(n), m_(log2_exact(n)) {
+  BRSMN_EXPECTS(n >= 2);
+}
+
+GateLevelScatter::Result GateLevelScatter::compute(
+    const std::vector<Tag>& tags, std::size_t s_root) const {
+  BRSMN_EXPECTS(tags.size() == n_);
+  BRSMN_EXPECTS(s_root < n_);
+  const int bits = m_ + 1;
+
+  // Forward phase. Leaves decode their tag's Table 1 bits with the
+  // Section 7.2 counting predicates.
+  std::vector<std::vector<NodeVal>> node(static_cast<std::size_t>(m_) + 1);
+  node[0].resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint8_t enc = encode(tags[i]);
+    BRSMN_EXPECTS(tags[i] == Tag::Zero || tags[i] == Tag::One ||
+                  tags[i] == Tag::Alpha || tags[i] == Tag::Eps);
+    if (counts_as_alpha(enc)) {
+      node[0][i] = {false, 1};
+    } else if (counts_as_eps(enc)) {
+      node[0][i] = {true, 1};
+    } else {
+      node[0][i] = {true, 0};  // χ leaf: no surplus, ε label by convention
+    }
+  }
+  for (int j = 1; j <= m_; ++j) {
+    const auto& child = node[static_cast<std::size_t>(j - 1)];
+    auto& cur = node[static_cast<std::size_t>(j)];
+    cur.resize(child.size() / 2);
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      const NodeVal& c0 = child[2 * b];
+      const NodeVal& c1 = child[2 * b + 1];
+      if (c0.eps_type == c1.eps_type) {
+        cur[b] = {c0.eps_type, serial_add(c0.surplus, c1.surplus, bits)};
+      } else {
+        // Both subtractions run in parallel; the borrow selects.
+        bool borrow01 = false, borrow10 = false;
+        const std::uint64_t d01 =
+            serial_sub(c0.surplus, c1.surplus, bits, borrow01);
+        const std::uint64_t d10 =
+            serial_sub(c1.surplus, c0.surplus, bits, borrow10);
+        cur[b] = borrow01 ? NodeVal{c1.eps_type, d10}
+                          : NodeVal{c0.eps_type, d01};
+        BRSMN_ENSURES(!(borrow01 && borrow10));
+      }
+    }
+  }
+
+  // Backward + switch-setting phases (Table 4 with serial arithmetic).
+  Result result;
+  result.settings.assign(static_cast<std::size_t>(m_), {});
+  std::vector<std::uint64_t> start{s_root};
+  for (int j = m_; j >= 1; --j) {
+    const std::size_t n_prime = std::size_t{1} << j;
+    const std::size_t half = n_prime / 2;
+    auto& stage = result.settings[static_cast<std::size_t>(j - 1)];
+    stage.assign(n_ / 2, SwitchSetting::Parallel);
+    std::vector<std::uint64_t> next(start.size() * 2);
+    for (std::size_t b = 0; b < start.size(); ++b) {
+      const std::uint64_t s = start[b];
+      const NodeVal& c0 = node[static_cast<std::size_t>(j - 1)][2 * b];
+      const NodeVal& c1 = node[static_cast<std::size_t>(j - 1)][2 * b + 1];
+      std::vector<SwitchSetting> block_settings;
+      std::uint64_t s0 = 0, s1 = 0;
+      if (c0.eps_type == c1.eps_type) {
+        const std::uint64_t sum = serial_add(s, c0.surplus, bits);
+        s0 = s & (half - 1);
+        s1 = sum & (half - 1);
+        const bool bbit = (sum >> (j - 1)) & 1u;
+        const SwitchSetting run =
+            bbit ? SwitchSetting::Cross : SwitchSetting::Parallel;
+        block_settings =
+            binary_compact_setting(n_prime, 0, s1, opposite_unicast(run),
+                                   run);
+      } else {
+        const NodeVal& parent = node[static_cast<std::size_t>(j)][b];
+        const std::uint64_t l = parent.surplus;
+        const std::uint64_t sum = serial_add(s, l, bits);
+        // α sits where the non-ε-typed child is.
+        const SwitchSetting bcast = !c0.eps_type
+                                        ? SwitchSetting::UpperBcast
+                                        : SwitchSetting::LowerBcast;
+        std::uint64_t run_start = 0, run_len = 0;
+        SwitchSetting ucast = SwitchSetting::Parallel;
+        // l0 >= l1 iff the parent kept c0's type (the forward borrow).
+        const bool upper_longer = parent.eps_type == c0.eps_type;
+        if (upper_longer) {
+          s0 = s & (half - 1);
+          s1 = sum & (half - 1);
+          run_start = s1;
+          run_len = c1.surplus;
+          ucast = SwitchSetting::Parallel;
+        } else {
+          s0 = sum & (half - 1);
+          s1 = s & (half - 1);
+          run_start = s0;
+          run_len = c0.surplus;
+          ucast = SwitchSetting::Cross;
+        }
+        block_settings = lemmas::elimination_settings(
+            n_prime, s, l, run_start, run_len, ucast, bcast);
+      }
+      next[2 * b] = s0;
+      next[2 * b + 1] = s1;
+      for (std::size_t i = 0; i < half; ++i) {
+        stage[b * half + i] = block_settings[i];
+      }
+    }
+    start = std::move(next);
+  }
+
+  const NodeVal& root = node[static_cast<std::size_t>(m_)][0];
+  result.root = {root.eps_type ? Tag::Eps : Tag::Alpha,
+                 static_cast<std::size_t>(root.surplus)};
+  result.cycles = config_sweep_delay(m_);
+  return result;
+}
+
+}  // namespace brsmn::hw

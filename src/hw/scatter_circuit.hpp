@@ -1,0 +1,46 @@
+// The gate-level self-routing circuit for the RBN scatter network
+// (paper Table 4 + Section 7.2).
+//
+// Forward phase per tree node: one type-compare gate, a bit-serial adder
+// (ε/α-addition) and a pair of bit-serial subtractors run in parallel
+// (ε/α-elimination; the borrow flag selects the dominating child and
+// |l0 - l1|). Backward phase per node: a bit-serial adder produces
+// s + l0 or s + l, whose low bits are the child start positions and
+// whose high bits select the Lemma 1-5 case. The per-switch setting
+// decode is combinational (a comparator window against the run bounds).
+//
+// Tested to produce bit-for-bit the settings of configure_scatter in the
+// config_sweep_delay cycle budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scatter.hpp"
+#include "core/switch_setting.hpp"
+#include "core/tag.hpp"
+
+namespace brsmn::hw {
+
+class GateLevelScatter {
+ public:
+  explicit GateLevelScatter(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  struct Result {
+    std::vector<std::vector<SwitchSetting>> settings;  ///< [stage-1][switch]
+    ScatterNodeValue root;  ///< dominating type and surplus at the root
+    std::size_t cycles = 0;
+  };
+
+  /// Run the circuit on input tags in {0, 1, α, ε}, placing the surplus
+  /// run at s_root.
+  Result compute(const std::vector<Tag>& tags, std::size_t s_root) const;
+
+ private:
+  std::size_t n_;
+  int m_;
+};
+
+}  // namespace brsmn::hw

@@ -1,0 +1,55 @@
+#include "sim/config_io.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "sim/render.hpp"
+
+namespace brsmn::sim {
+
+namespace {
+
+SwitchSetting setting_from_config_char(char c) {
+  switch (c) {
+    case '=': return SwitchSetting::Parallel;
+    case 'x': return SwitchSetting::Cross;
+    case '^': return SwitchSetting::UpperBcast;
+    case 'v': return SwitchSetting::LowerBcast;
+    default: break;
+  }
+  BRSMN_EXPECTS_MSG(false, "invalid setting character");
+  return SwitchSetting::Parallel;
+}
+
+}  // namespace
+
+std::string serialize_settings(const Rbn& rbn) {
+  std::ostringstream os;
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    if (stage > 1) os << '/';
+    for (std::size_t sw = 0; sw < rbn.topology().switches_per_stage(); ++sw) {
+      os << render::setting_char(rbn.setting(stage, sw));
+    }
+  }
+  return os.str();
+}
+
+void deserialize_settings(Rbn& rbn, const std::string& config) {
+  const std::size_t per_stage = rbn.topology().switches_per_stage();
+  const std::size_t stages = static_cast<std::size_t>(rbn.stages());
+  BRSMN_EXPECTS_MSG(config.size() == stages * per_stage + (stages - 1),
+                    "configuration length does not match fabric geometry");
+  std::size_t pos = 0;
+  for (std::size_t stage = 1; stage <= stages; ++stage) {
+    if (stage > 1) {
+      BRSMN_EXPECTS_MSG(config[pos] == '/', "missing stage separator");
+      ++pos;
+    }
+    for (std::size_t sw = 0; sw < per_stage; ++sw, ++pos) {
+      rbn.set(static_cast<int>(stage), sw,
+              setting_from_config_char(config[pos]));
+    }
+  }
+}
+
+}  // namespace brsmn::sim

@@ -1,0 +1,26 @@
+// Fabric-configuration serialization.
+//
+// A routed assignment reduces to switch settings — 2 bits per switch. In
+// a hardware deployment these are exactly the bits a controller would
+// shift into the fabric; here they make configurations printable,
+// diffable and replayable (route once, re-apply many times without
+// re-running the routing algorithms).
+#pragma once
+
+#include <string>
+
+#include "core/rbn.hpp"
+
+namespace brsmn::sim {
+
+/// Serialize all switch settings of a fabric: stages in order, one
+/// character per switch ('=', 'x', '^', 'v' as in render::setting_char),
+/// stages separated by '/'. Example for an 8-line fabric:
+/// "=x^v/====/xx==".
+std::string serialize_settings(const Rbn& rbn);
+
+/// Re-apply a serialized configuration to a fabric of matching geometry.
+/// Throws ContractViolation on shape or character errors.
+void deserialize_settings(Rbn& rbn, const std::string& config);
+
+}  // namespace brsmn::sim

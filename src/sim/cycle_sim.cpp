@@ -1,0 +1,47 @@
+#include "sim/cycle_sim.hpp"
+
+#include "common/contracts.hpp"
+
+namespace brsmn::sim {
+
+CycleSimulator::CycleSimulator(const Rbn& fabric) : fabric_(&fabric) {}
+
+void CycleSimulator::inject(std::vector<LineValue> lines) {
+  BRSMN_EXPECTS(lines.size() == size());
+  BRSMN_EXPECTS_MSG(!injected_this_cycle_,
+                    "one wave per cycle: call step() before injecting again");
+  waves_.push_back(Wave{1, std::move(lines)});
+  injected_this_cycle_ = true;
+}
+
+std::size_t CycleSimulator::step(ScatterExec& exec) {
+  for (auto it = waves_.begin(); it != waves_.end();) {
+    Wave& wave = *it;
+    wave.lines = fabric_->propagate(
+        std::move(wave.lines), wave.next_stage, wave.next_stage,
+        [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
+                LineValue b) {
+          return apply_scatter_switch(ctx, s, std::move(a), std::move(b),
+                                      exec);
+        });
+    ++wave.next_stage;
+    if (wave.next_stage > stages()) {
+      done_.push_back(std::move(wave.lines));
+      it = waves_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++cycle_;
+  injected_this_cycle_ = false;
+  return waves_.size();
+}
+
+std::optional<std::vector<LineValue>> CycleSimulator::collect() {
+  if (done_.empty()) return std::nullopt;
+  std::vector<LineValue> lines = std::move(done_.front());
+  done_.pop_front();
+  return lines;
+}
+
+}  // namespace brsmn::sim

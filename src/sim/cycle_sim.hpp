@@ -1,0 +1,65 @@
+// Cycle-accurate datapath simulation of an RBN fabric.
+//
+// Rbn::propagate moves values through all stages at once; CycleSimulator
+// instead inserts a pipeline register after every switch stage and
+// advances one stage per clock, so a value injected at cycle t emerges
+// at cycle t + stages — the "network depth" column of Table 2 measured
+// rather than asserted. Multiple waves may be in flight simultaneously
+// (one per stage), modelling the pipelined operation the paper assumes
+// for back-to-back assignments.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/line_value.hpp"
+#include "core/rbn.hpp"
+#include "core/scatter.hpp"
+
+namespace brsmn::sim {
+
+class CycleSimulator {
+ public:
+  /// Wraps a configured fabric. The fabric's settings are sampled when a
+  /// wave enters a stage, so reconfiguring mid-flight affects only
+  /// not-yet-traversed stages (as it would in hardware).
+  explicit CycleSimulator(const Rbn& fabric);
+
+  std::size_t size() const noexcept { return fabric_->size(); }
+  int stages() const noexcept { return fabric_->stages(); }
+
+  /// Inject a wave of line values at the inputs this cycle. Throws if a
+  /// wave was already injected this cycle (call step() first).
+  void inject(std::vector<LineValue> lines);
+
+  /// Advance one clock: every in-flight wave moves through one stage.
+  /// Completed waves are queued for collect(). Returns the number of
+  /// waves still in flight.
+  std::size_t step(ScatterExec& exec);
+
+  /// Waves that have fully traversed the fabric, in completion order.
+  std::optional<std::vector<LineValue>> collect();
+
+  /// Cycles elapsed since construction.
+  std::size_t now() const noexcept { return cycle_; }
+
+  /// Waves currently inside the fabric.
+  std::size_t in_flight() const noexcept { return waves_.size(); }
+
+ private:
+  struct Wave {
+    int next_stage;  // 1-based stage the wave will traverse next
+    std::vector<LineValue> lines;
+  };
+
+  const Rbn* fabric_;
+  std::vector<Wave> waves_;
+  std::deque<std::vector<LineValue>> done_;
+  bool injected_this_cycle_ = false;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace brsmn::sim

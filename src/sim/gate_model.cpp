@@ -1,0 +1,76 @@
+#include "sim/gate_model.hpp"
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn::model {
+
+std::size_t rbn_switches(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  return (n / 2) * static_cast<std::size_t>(log2_exact(n));
+}
+
+std::size_t bsn_switches(std::size_t n) { return 2 * rbn_switches(n); }
+
+std::size_t brsmn_switches(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+  std::size_t count = 0;
+  for (int k = 1; k <= m - 1; ++k) {
+    const std::size_t bsn_size = n >> (k - 1);
+    count += (std::size_t{1} << (k - 1)) * bsn_switches(bsn_size);
+  }
+  return count + n / 2;
+}
+
+std::size_t feedback_switches(std::size_t n) { return rbn_switches(n); }
+
+std::uint64_t brsmn_gates(std::size_t n, const GateParams& p) {
+  return static_cast<std::uint64_t>(brsmn_switches(n)) * p.gates_per_switch();
+}
+
+std::uint64_t feedback_gates(std::size_t n, const GateParams& p) {
+  return static_cast<std::uint64_t>(feedback_switches(n)) *
+         p.gates_per_switch();
+}
+
+std::size_t brsmn_depth_stages(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+  std::size_t depth = 0;
+  for (int k = 1; k <= m - 1; ++k) {
+    depth += 2 * static_cast<std::size_t>(m - k + 1);
+  }
+  return depth + 1;
+}
+
+std::size_t feedback_depth_stages(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const std::size_t m = static_cast<std::size_t>(log2_exact(n));
+  // 2(m-1) full passes over m physical stages, plus the final 2x2 pass.
+  return 2 * (m - 1) * m + 1;
+}
+
+std::uint64_t brsmn_routing_delay(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+  std::uint64_t delay = 0;
+  for (int k = 1; k <= m - 1; ++k) {
+    delay += bsn_routing_delay(m - k + 1);
+  }
+  return delay + final_level_delay();
+}
+
+std::uint64_t feedback_routing_delay(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const int m = log2_exact(n);
+  std::uint64_t delay = 0;
+  for (int k = 1; k <= m - 1; ++k) {
+    const int top_stage = m - k + 1;
+    delay += config_sweep_delay(top_stage) + datapath_delay(m);        // scatter
+    delay += 2 * config_sweep_delay(top_stage) + datapath_delay(m);    // quasisort
+  }
+  return delay + final_level_delay();
+}
+
+}  // namespace brsmn::model

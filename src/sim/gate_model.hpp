@@ -1,0 +1,72 @@
+// Hardware cost / depth / routing-time models (paper Sections 7.2-7.4).
+//
+// The paper measures three quantities, reported in Table 2:
+//   cost          — number of logic gates,
+//   depth         — gate depth of the datapath a bit traverses,
+//   routing time  — gate delays from tags-at-inputs to all switches set.
+//
+// We charge per-switch constants calibrated to the paper's description: a
+// 2x2 switch datapath is a handful of gates; the self-routing circuit adds
+// a constant number of 1-bit pipelined adders and comparison logic
+// (Fig. 12). Absolute constants are tunable via GateParams; Table 2 is
+// about growth shape, which is invariant to them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/stats.hpp"
+
+namespace brsmn::model {
+
+struct GateParams {
+  /// Datapath gates per 2x2 switch (4 two-input muxes plus tag rewrite).
+  std::size_t datapath_gates_per_switch = 12;
+  /// Self-routing circuit gates per switch: a constant number of 1-bit
+  /// adders, registers and comparators (Section 7.4).
+  std::size_t routing_gates_per_switch = 28;
+
+  std::size_t gates_per_switch() const {
+    return datapath_gates_per_switch + routing_gates_per_switch;
+  }
+};
+
+// --- switch counts -------------------------------------------------------
+
+/// (n/2) log2 n switches in an n x n RBN.
+std::size_t rbn_switches(std::size_t n);
+
+/// A BSN is two cascaded RBNs.
+std::size_t bsn_switches(std::size_t n);
+
+/// Unrolled BRSMN: sum of all level BSNs plus the final 2x2 level.
+std::size_t brsmn_switches(std::size_t n);
+
+/// Feedback implementation: one physical RBN.
+std::size_t feedback_switches(std::size_t n);
+
+// --- gate cost (Table 2 "cost" column) -----------------------------------
+
+std::uint64_t brsmn_gates(std::size_t n, const GateParams& p = {});
+std::uint64_t feedback_gates(std::size_t n, const GateParams& p = {});
+
+// --- depth (Table 2 "depth" column), in switch stages ---------------------
+
+/// Stages traversed by a bit through the unrolled BRSMN:
+/// sum_k 2 log(n/2^{k-1}) + 1 = O(log^2 n).
+std::size_t brsmn_depth_stages(std::size_t n);
+
+/// The feedback network time-multiplexes the same stage count (each pass
+/// traverses all log n physical stages).
+std::size_t feedback_depth_stages(std::size_t n);
+
+// --- routing time (Table 2 "routing time" column), in gate delays ---------
+
+/// Closed form of the delay the simulator accumulates in
+/// RoutingStats::gate_delay for an unrolled BRSMN(n).
+std::uint64_t brsmn_routing_delay(std::size_t n);
+
+/// Same for the feedback implementation.
+std::uint64_t feedback_routing_delay(std::size_t n);
+
+}  // namespace brsmn::model

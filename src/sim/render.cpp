@@ -1,0 +1,64 @@
+#include "sim/render.hpp"
+
+#include <sstream>
+
+#include "core/tag_sequence.hpp"
+
+namespace brsmn::render {
+
+char setting_char(SwitchSetting s) {
+  switch (s) {
+    case SwitchSetting::Parallel: return '=';
+    case SwitchSetting::Cross: return 'x';
+    case SwitchSetting::UpperBcast: return '^';
+    case SwitchSetting::LowerBcast: return 'v';
+  }
+  return '?';
+}
+
+std::string levels(const RouteResult& result) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < result.level_inputs.size(); ++k) {
+    os << "level " << (k + 1) << " |";
+    for (std::size_t line = 0; line < result.level_inputs[k].size(); ++line) {
+      const LineValue& lv = result.level_inputs[k][line];
+      os << ' ' << line << ':';
+      if (lv.packet) {
+        os << '[' << tag_char(lv.tag) << " src=" << lv.packet->source << ' '
+           << sequence_string(lv.packet->stream) << ']';
+      } else {
+        os << "(-)";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string delivery(const RouteResult& result) {
+  std::ostringstream os;
+  os << "outputs:";
+  for (std::size_t out = 0; out < result.delivered.size(); ++out) {
+    os << ' ' << out << "<-";
+    if (result.delivered[out]) {
+      os << *result.delivered[out];
+    } else {
+      os << '-';
+    }
+  }
+  return os.str();
+}
+
+std::string fabric_settings(const Rbn& rbn) {
+  std::ostringstream os;
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    os << "stage " << stage << ": ";
+    for (std::size_t sw = 0; sw < rbn.topology().switches_per_stage(); ++sw) {
+      os << setting_char(rbn.setting(stage, sw));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace brsmn::render

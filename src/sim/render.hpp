@@ -1,0 +1,27 @@
+// ASCII rendering of assignments, fabric settings and routing traces.
+// Used by the examples to reproduce the paper's worked figures (Fig. 2:
+// the 8x8 routing example; Fig. 9c: tag-sequence handling).
+#pragma once
+
+#include <string>
+
+#include "core/brsmn.hpp"
+#include "core/rbn.hpp"
+
+namespace brsmn::render {
+
+/// One line per captured level: line index, tag and packet source, e.g.
+///   level 1 |  0:[0 src=0 00eaeee]  1:(eps)  ...
+std::string levels(const RouteResult& result);
+
+/// The delivered vector, e.g. "outputs: 0<-0 1<-0 2<-3 ...".
+std::string delivery(const RouteResult& result);
+
+/// Switch settings of a fabric, one stage per line ('=', 'x', '^', 'v').
+std::string fabric_settings(const Rbn& rbn);
+
+/// Compact character for a setting: '=' parallel, 'x' cross,
+/// '^' upper broadcast, 'v' lower broadcast.
+char setting_char(SwitchSetting s);
+
+}  // namespace brsmn::render

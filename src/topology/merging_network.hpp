@@ -1,0 +1,45 @@
+// Physical wiring of an n x n merging network (paper Fig. 5/6).
+//
+// A merging network is a single stage of n/2 2x2 switches whose input and
+// output links both follow the (reverse-banyan orientation of the) perfect
+// shuffle interconnection: switch port a is wired to external line
+// unshuffle(a) on both sides. This orientation is pinned by the paper's
+// property |line(a) - line(exchange(a))| = n/2 (Section 4).
+//
+// The consequence used throughout the paper is that external lines j and
+// j + n/2 (j < n/2) meet at one switch on both sides, so the whole stage
+// behaves as n/2 independent "logical" switches over line pairs
+// (j, j + n/2). This module exposes both views and the mapping between
+// them; tests/test_topology.cpp proves they coincide.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/shuffle.hpp"
+
+namespace brsmn::topo {
+
+/// Identifies one port of one physical switch inside a merging network.
+struct SwitchPort {
+  std::size_t switch_index;  ///< physical switch, in [0, n/2)
+  std::size_t port;          ///< 0 = upper port, 1 = lower port
+
+  friend bool operator==(const SwitchPort&, const SwitchPort&) = default;
+};
+
+/// The physical switch port that external input line `line` of an n x n
+/// merging network is wired to.
+SwitchPort input_port(std::size_t line, std::size_t n);
+
+/// The external output line wired to physical switch `sw`, port `port`.
+std::size_t output_line(SwitchPort sp, std::size_t n);
+
+/// Logical switch index for an external line: logical switch j joins lines
+/// (j, j + n/2); both lines map to the same value j in [0, n/2).
+std::size_t logical_switch(std::size_t line, std::size_t n);
+
+/// Physical switch index realizing logical switch `j` of an n x n merging
+/// network (the switch where lines j and j + n/2 meet).
+std::size_t physical_switch_of_logical(std::size_t j, std::size_t n);
+
+}  // namespace brsmn::topo

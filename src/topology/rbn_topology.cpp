@@ -1,0 +1,52 @@
+#include "topology/rbn_topology.hpp"
+
+namespace brsmn::topo {
+
+RbnTopology::RbnTopology(std::size_t n) : n_(n), m_(log2_exact(n)) {
+  BRSMN_EXPECTS(n >= 2);
+}
+
+std::size_t RbnTopology::block_size(int stage) const {
+  BRSMN_EXPECTS(stage >= 1 && stage <= m_);
+  return std::size_t{1} << stage;
+}
+
+std::size_t RbnTopology::blocks_in_stage(int stage) const {
+  return n_ / block_size(stage);
+}
+
+std::size_t RbnTopology::block_of(int stage, std::size_t line) const {
+  BRSMN_EXPECTS(line < n_);
+  return line / block_size(stage);
+}
+
+std::size_t RbnTopology::block_base(int stage, std::size_t block) const {
+  BRSMN_EXPECTS(block < blocks_in_stage(stage));
+  return block * block_size(stage);
+}
+
+std::size_t RbnTopology::partner(int stage, std::size_t line) const {
+  BRSMN_EXPECTS(line < n_);
+  const std::size_t half = block_size(stage) / 2;
+  const std::size_t base = block_base(stage, block_of(stage, line));
+  const std::size_t offset = line - base;
+  return offset < half ? line + half : line - half;
+}
+
+bool RbnTopology::is_upper(int stage, std::size_t line) const {
+  BRSMN_EXPECTS(line < n_);
+  const std::size_t half = block_size(stage) / 2;
+  const std::size_t base = block_base(stage, block_of(stage, line));
+  return (line - base) < half;
+}
+
+std::size_t RbnTopology::stage_switch(int stage, std::size_t line) const {
+  BRSMN_EXPECTS(line < n_);
+  const std::size_t half = block_size(stage) / 2;
+  const std::size_t block = block_of(stage, line);
+  const std::size_t base = block_base(stage, block);
+  const std::size_t offset = (line - base) % half;
+  return block * half + offset;
+}
+
+}  // namespace brsmn::topo

@@ -1,0 +1,70 @@
+// Static structure of an n x n reverse banyan network (paper Fig. 5).
+//
+// RBN(n) = [RBN(n/2) over lines 0..n/2-1  ||  RBN(n/2) over lines n/2..n-1]
+//          followed by an n x n merging network.
+//
+// Unrolled, RBN(n) has m = log2(n) stages. Stage j (1-based) consists of
+// n/2^j independent merging networks ("blocks") of size 2^j; block b covers
+// the contiguous line range [b*2^j, (b+1)*2^j). Every stage contains exactly
+// n/2 switches, for a total of (n/2)*log2(n).
+//
+// The recursive decomposition also induces the complete binary tree of
+// sub-RBNs used by the distributed routing algorithms (paper Fig. 8): node
+// (j, b) is the sub-RBN of size 2^j over block b's lines, with children
+// (j-1, 2b) and (j-1, 2b+1) and, at j = 0, the individual input lines.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bits.hpp"
+
+namespace brsmn::topo {
+
+/// Immutable description of the stage/block geometry of an RBN(n).
+class RbnTopology {
+ public:
+  /// Precondition: n is a power of two, n >= 2.
+  explicit RbnTopology(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Number of stages m = log2(n).
+  int stages() const noexcept { return m_; }
+
+  /// Switches per stage (= n/2).
+  std::size_t switches_per_stage() const noexcept { return n_ / 2; }
+
+  /// Total 2x2 switches in the network: (n/2) * log2(n).
+  std::size_t switch_count() const noexcept {
+    return switches_per_stage() * static_cast<std::size_t>(m_);
+  }
+
+  /// Size of each merging-network block in stage j (1-based): 2^j lines.
+  std::size_t block_size(int stage) const;
+
+  /// Number of blocks in stage j: n / 2^j.
+  std::size_t blocks_in_stage(int stage) const;
+
+  /// Block index containing `line` at stage j.
+  std::size_t block_of(int stage, std::size_t line) const;
+
+  /// First line of block b at stage j.
+  std::size_t block_base(int stage, std::size_t block) const;
+
+  /// The line paired with `line` by its stage-j merging network:
+  /// line and partner differ by block_size/2 within their block.
+  std::size_t partner(int stage, std::size_t line) const;
+
+  /// True if `line` enters the upper port of its logical stage-j switch.
+  bool is_upper(int stage, std::size_t line) const;
+
+  /// Logical switch index within the whole stage (block-major): block
+  /// base/2 + offset. Lines `line` and `partner(stage,line)` share it.
+  std::size_t stage_switch(int stage, std::size_t line) const;
+
+ private:
+  std::size_t n_;
+  int m_;
+};
+
+}  // namespace brsmn::topo

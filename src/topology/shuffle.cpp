@@ -1,0 +1,12 @@
+// shuffle.hpp is header-only; this TU exists to give the functions a home
+// for explicit compile checking of the constexpr definitions.
+#include "topology/shuffle.hpp"
+
+namespace brsmn::topo {
+
+static_assert(shuffle(0b001, 8) == 0b010);
+static_assert(shuffle(0b100, 8) == 0b001);
+static_assert(unshuffle(shuffle(5, 8), 8) == 5);
+static_assert(exchange(6) == 7);
+
+}  // namespace brsmn::topo

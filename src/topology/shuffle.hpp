@@ -1,0 +1,36 @@
+// Perfect shuffle / exchange interconnection functions (paper Section 4,
+// following Hwang [15]).
+//
+// On m-bit addresses a = a_{m-1} ... a_1 a_0 (a_{m-1} the MSB here, i.e. the
+// usual machine-integer orientation):
+//   shuffle(a)   = a_{m-2} ... a_0 a_{m-1}   (cyclic left shift)
+//   unshuffle(a) = a_0 a_{m-1} ... a_1       (cyclic right shift)
+//   exchange(a)  = a_{m-1} ... a_1 (1-a_0)   (flip the LSB)
+#pragma once
+
+#include <cstddef>
+
+#include "common/bits.hpp"
+
+namespace brsmn::topo {
+
+/// Cyclic left shift of the log2(n)-bit address `a`, 0 <= a < n.
+constexpr std::size_t shuffle(std::size_t a, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && a < n);
+  if (n == 1) return a;
+  const std::size_t top = a >> (log2_exact(n) - 1);
+  return ((a << 1) & (n - 1)) | top;
+}
+
+/// Cyclic right shift; inverse of shuffle.
+constexpr std::size_t unshuffle(std::size_t a, std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && a < n);
+  if (n == 1) return a;
+  const std::size_t low = a & 1;
+  return (a >> 1) | (low << (log2_exact(n) - 1));
+}
+
+/// Flip the least significant bit: the other port of the same 2x2 switch.
+constexpr std::size_t exchange(std::size_t a) { return a ^ 1u; }
+
+}  // namespace brsmn::topo

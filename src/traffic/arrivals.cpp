@@ -1,0 +1,43 @@
+#include "traffic/arrivals.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::traffic {
+
+std::vector<Offer> draw_arrivals(std::size_t ports,
+                                 const ArrivalConfig& config, Rng& rng) {
+  BRSMN_EXPECTS(ports >= 2);
+  BRSMN_EXPECTS(config.arrival_probability >= 0.0 &&
+                config.arrival_probability <= 1.0);
+  BRSMN_EXPECTS(config.fanout.min_fanout >= 1 &&
+                config.fanout.min_fanout <= config.fanout.max_fanout &&
+                config.fanout.max_fanout <= ports);
+  BRSMN_EXPECTS(config.hotspot_fraction >= 0.0 &&
+                config.hotspot_fraction <= 1.0);
+
+  const std::size_t hotspot_size = std::max<std::size_t>(1, ports / 8);
+  std::vector<Offer> offers;
+  for (std::size_t input = 0; input < ports; ++input) {
+    if (!rng.chance(config.arrival_probability)) continue;
+    const std::size_t fanout =
+        rng.uniform(config.fanout.min_fanout, config.fanout.max_fanout);
+    std::vector<bool> picked(ports, false);
+    Offer offer;
+    offer.input = input;
+    while (offer.destinations.size() < fanout) {
+      const std::size_t d = rng.chance(config.hotspot_fraction)
+                                ? rng.uniform(0, hotspot_size - 1)
+                                : rng.uniform(0, ports - 1);
+      if (picked[d]) continue;
+      picked[d] = true;
+      offer.destinations.push_back(d);
+    }
+    std::sort(offer.destinations.begin(), offer.destinations.end());
+    offers.push_back(std::move(offer));
+  }
+  return offers;
+}
+
+}  // namespace brsmn::traffic

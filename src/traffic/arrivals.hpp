@@ -1,0 +1,41 @@
+// Synthetic multicast traffic generators for the queued-switch
+// simulator: Bernoulli arrivals with configurable fanout distributions,
+// uniform or hotspot destination patterns. These model the workloads the
+// paper's introduction cites (conference calls, video distribution,
+// collective operations) at the cell level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace brsmn::traffic {
+
+/// How a generated cell picks its number of destinations.
+struct FanoutDistribution {
+  /// Minimum / maximum fanout (inclusive); the draw is uniform.
+  std::size_t min_fanout = 1;
+  std::size_t max_fanout = 1;
+};
+
+struct ArrivalConfig {
+  /// Probability that a given input receives a new cell this epoch.
+  double arrival_probability = 0.5;
+  FanoutDistribution fanout;
+  /// Fraction of destinations drawn from the hotspot region [0, ports/8)
+  /// instead of uniformly; 0 = pure uniform traffic.
+  double hotspot_fraction = 0.0;
+};
+
+/// One offered cell: the input it arrives at and its destination set.
+struct Offer {
+  std::size_t input = 0;
+  std::vector<std::size_t> destinations;
+};
+
+/// Draw one epoch's worth of arrivals for an n-port switch.
+std::vector<Offer> draw_arrivals(std::size_t ports,
+                                 const ArrivalConfig& config, Rng& rng);
+
+}  // namespace brsmn::traffic

@@ -1,0 +1,118 @@
+#include "traffic/queued_switch.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::traffic {
+
+QueuedMulticastSwitch::QueuedMulticastSwitch(const Config& config)
+    : config_(config),
+      fabric_(config.ports),
+      queues_(config.ports) {}
+
+void QueuedMulticastSwitch::offer(const Offer& offer) {
+  BRSMN_EXPECTS(offer.input < ports());
+  BRSMN_EXPECTS(!offer.destinations.empty());
+  QueuedCell cell;
+  cell.remaining = offer.destinations;
+  cell.arrival = epoch_;
+  queues_[offer.input].push_back(std::move(cell));
+}
+
+void QueuedMulticastSwitch::offer_all(const std::vector<Offer>& offers) {
+  for (const Offer& o : offers) offer(o);
+}
+
+QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
+  const std::size_t n = ports();
+  EpochReport report;
+
+  // Schedule: walk inputs round-robin from rr_pointer_, admitting from
+  // each head cell the destinations not yet claimed this epoch.
+  MulticastAssignment assignment(n);
+  std::vector<bool> claimed(n, false);
+  // For each admitted input, which destinations were served.
+  std::vector<std::vector<std::size_t>> served(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t input = (rr_pointer_ + k) % n;
+    if (queues_[input].empty()) continue;
+    QueuedCell& head = queues_[input].front();
+    std::vector<std::size_t> take;
+    for (const std::size_t d : head.remaining) {
+      if (!claimed[d]) take.push_back(d);
+    }
+    if (take.empty()) continue;
+    if (!config_.fanout_splitting && take.size() != head.remaining.size()) {
+      continue;  // whole-cell discipline: all or nothing
+    }
+    for (const std::size_t d : take) {
+      claimed[d] = true;
+      assignment.connect(input, d);
+    }
+    served[input] = std::move(take);
+    ++report.admitted_cells;
+  }
+  rr_pointer_ = (rr_pointer_ + 1) % n;
+
+  // Route through the self-routing fabric (verifies delivery itself).
+  if (report.admitted_cells > 0) {
+    const RouteResult result = fabric_.route(assignment);
+    for (const auto& d : result.delivered) {
+      report.delivered_copies += d.has_value();
+    }
+  }
+
+  // Retire served destinations; complete cells whose last copy left.
+  for (std::size_t input = 0; input < n; ++input) {
+    if (served[input].empty()) continue;
+    QueuedCell& head = queues_[input].front();
+    auto& rem = head.remaining;
+    for (const std::size_t d : served[input]) {
+      rem.erase(std::find(rem.begin(), rem.end(), d));
+    }
+    if (rem.empty()) {
+      const std::size_t wait = epoch_ - head.arrival;
+      latency_total_ += wait;
+      latency_max_ = std::max(latency_max_, wait);
+      ++completed_;
+      ++report.completed_cells;
+      queues_[input].pop_front();
+    }
+  }
+  delivered_ += report.delivered_copies;
+  ++epoch_;
+  return report;
+}
+
+std::size_t QueuedMulticastSwitch::backlog_cells() const {
+  std::size_t count = 0;
+  for (const auto& q : queues_) count += q.size();
+  return count;
+}
+
+std::size_t QueuedMulticastSwitch::backlog_copies() const {
+  std::size_t count = 0;
+  for (const auto& q : queues_) {
+    for (const auto& cell : q) count += cell.remaining.size();
+  }
+  return count;
+}
+
+std::size_t QueuedMulticastSwitch::max_queue_length() const {
+  std::size_t longest = 0;
+  for (const auto& q : queues_) longest = std::max(longest, q.size());
+  return longest;
+}
+
+LatencySummary QueuedMulticastSwitch::latency() const {
+  LatencySummary s;
+  s.completed_cells = completed_;
+  s.max = latency_max_;
+  s.mean = completed_ == 0 ? 0.0
+                           : static_cast<double>(latency_total_) /
+                                 static_cast<double>(completed_);
+  return s;
+}
+
+}  // namespace brsmn::traffic

@@ -1,0 +1,90 @@
+#include "helpers.hpp"
+
+#include "common/contracts.hpp"
+
+namespace brsmn::testing {
+
+bool apply_merging_stage(std::span<const Sym> in,
+                         std::span<const SwitchSetting> settings,
+                         std::vector<Sym>& out) {
+  const std::size_t n = in.size();
+  const std::size_t half = n / 2;
+  BRSMN_EXPECTS(settings.size() == half);
+  out.assign(n, Sym::Chi);
+  for (std::size_t j = 0; j < half; ++j) {
+    const Sym up = in[j];
+    const Sym low = in[j + half];
+    switch (settings[j]) {
+      case SwitchSetting::Parallel:
+        out[j] = up;
+        out[j + half] = low;
+        break;
+      case SwitchSetting::Cross:
+        out[j] = low;
+        out[j + half] = up;
+        break;
+      case SwitchSetting::UpperBcast:
+        if (up != Sym::Alpha || low != Sym::Eps) return false;
+        out[j] = Sym::Chi;
+        out[j + half] = Sym::Chi;
+        break;
+      case SwitchSetting::LowerBcast:
+        if (low != Sym::Alpha || up != Sym::Eps) return false;
+        out[j] = Sym::Chi;
+        out[j + half] = Sym::Chi;
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<Sym> compact_symbols(std::size_t half, std::size_t start,
+                                 std::size_t len, Sym special) {
+  BRSMN_EXPECTS(len <= half && (start < half || (half == 0 && start == 0)));
+  std::vector<Sym> seq(half, Sym::Chi);
+  for (std::size_t k = 0; k < len; ++k) {
+    seq[(start + k) % half] = special;
+  }
+  return seq;
+}
+
+std::vector<bool> symbol_indicator(std::span<const Sym> seq, Sym special) {
+  std::vector<bool> ind(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) ind[i] = seq[i] == special;
+  return ind;
+}
+
+std::vector<Tag> random_scatter_tags(std::size_t n, Rng& rng) {
+  static constexpr Tag kChoices[] = {Tag::Zero, Tag::One, Tag::Alpha,
+                                     Tag::Eps};
+  std::vector<Tag> tags(n);
+  for (auto& t : tags) t = kChoices[rng.uniform(0, 3)];
+  return tags;
+}
+
+std::vector<Tag> random_bsn_tags(std::size_t n, Rng& rng) {
+  // Draw until the constraint holds; bias the draw toward ε to make
+  // acceptance fast for all n.
+  for (;;) {
+    std::vector<Tag> tags(n);
+    std::size_t n0 = 0, n1 = 0, na = 0;
+    for (auto& t : tags) {
+      const auto r = rng.uniform(0, 9);
+      if (r < 2) {
+        t = Tag::Zero;
+        ++n0;
+      } else if (r < 4) {
+        t = Tag::One;
+        ++n1;
+      } else if (r < 6) {
+        t = Tag::Alpha;
+        ++na;
+      } else {
+        t = Tag::Eps;
+      }
+    }
+    if (n0 + na <= n / 2 && n1 + na <= n / 2) return tags;
+  }
+}
+
+}  // namespace brsmn::testing

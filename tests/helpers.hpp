@@ -1,0 +1,41 @@
+// Shared test utilities: direct (non-library) simulations used as oracles
+// for the library's algorithms, and random input generators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/switch_setting.hpp"
+#include "core/tag.hpp"
+
+namespace brsmn::testing {
+
+/// Symbols for lemma-level merge tests: χ plus the two special values.
+enum class Sym { Chi, Alpha, Eps };
+
+/// Apply one n x n merging stage directly over logical switch pairs
+/// (j, j + n/2): the oracle the library's Rbn propagation is checked
+/// against. Broadcast neutralization turns an (α, ε) pair into (χ, χ).
+/// Returns false (and leaves `out` unspecified) if a broadcast switch is
+/// fed anything but an aligned (α, ε) or (ε, α) pair.
+bool apply_merging_stage(std::span<const Sym> in,
+                         std::span<const SwitchSetting> settings,
+                         std::vector<Sym>& out);
+
+/// Build the half-size symbol sequence C^{half}_{start,len;χ,special}.
+std::vector<Sym> compact_symbols(std::size_t half, std::size_t start,
+                                 std::size_t len, Sym special);
+
+/// Indicator of positions equal to `special`.
+std::vector<bool> symbol_indicator(std::span<const Sym> seq, Sym special);
+
+/// A random vector of scatter-network tags ({0,1,α,ε}) of length n.
+std::vector<Tag> random_scatter_tags(std::size_t n, Rng& rng);
+
+/// A random tag vector satisfying the BSN input constraints (Eq. 2):
+/// n0 + nα <= n/2 and n1 + nα <= n/2.
+std::vector<Tag> random_bsn_tags(std::size_t n, Rng& rng);
+
+}  // namespace brsmn::testing

@@ -1,0 +1,89 @@
+// Table 2 rows: same cost/depth orders across the first three rows, a
+// log-factor routing-time advantage for the new design, and a log-factor
+// cost advantage for the feedback version.
+#include "baselines/analytic_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::baselines {
+namespace {
+
+TEST(AnalyticModels, Table2HasFourRowsInPaperOrder) {
+  const auto rows = table2(256);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].network, "Nassimi-Sahni");
+  EXPECT_EQ(rows[1].network, "Lee-Oruc");
+  EXPECT_EQ(rows[2].network, "BRSMN (this paper)");
+  EXPECT_EQ(rows[3].network, "BRSMN feedback");
+}
+
+TEST(AnalyticModels, PriorDesignsShareCostOrder) {
+  for (std::size_t n : {64u, 1024u, 16384u}) {
+    const auto ns = nassimi_sahni(n);
+    const auto lo = lee_oruc(n);
+    EXPECT_EQ(ns.cost, lo.cost);
+    EXPECT_EQ(ns.depth, lo.depth);
+    EXPECT_EQ(ns.routing_time, lo.routing_time);
+  }
+}
+
+TEST(AnalyticModels, NewDesignWinsRoutingTimeByGrowingFactor) {
+  // routing(prior)/routing(new) ~ log n / const: strictly growing, and
+  // the new design must win outright at scale.
+  double prev = 0;
+  for (std::size_t n : {1024u, 16384u, 262144u, 4194304u}) {
+    const double ratio =
+        static_cast<double>(nassimi_sahni(n).routing_time) /
+        static_cast<double>(brsmn_row(n).routing_time);
+    EXPECT_GT(ratio, prev) << n;
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 1.0);
+}
+
+TEST(AnalyticModels, FeedbackWinsCostByGrowingFactor) {
+  double prev = 0;
+  for (std::size_t n : {256u, 4096u, 65536u}) {
+    const double ratio = static_cast<double>(brsmn_row(n).cost) /
+                         static_cast<double>(feedback_row(n).cost);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 3.0);
+}
+
+TEST(AnalyticModels, AllRowsSameDepthOrder) {
+  // depth/log^2 n bounded for every row.
+  for (std::size_t n : {1024u, 65536u}) {
+    const double lg2 = std::pow(std::log2(static_cast<double>(n)), 2);
+    for (const auto& row : table2(n)) {
+      const double norm = static_cast<double>(row.depth) / lg2;
+      EXPECT_GT(norm, 0.1) << row.network;
+      EXPECT_LT(norm, 8.0) << row.network;
+    }
+  }
+}
+
+TEST(AnalyticModels, RoutingTimeOrders) {
+  // Prior designs: log^3. New designs: log^2. Check normalized flatness.
+  for (std::size_t n : {4096u, 65536u}) {
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_NEAR(static_cast<double>(nassimi_sahni(n).routing_time),
+                lg * lg * lg, 1e-9);
+    const double new_norm =
+        static_cast<double>(brsmn_row(n).routing_time) / (lg * lg);
+    EXPECT_LT(new_norm, 20.0);
+  }
+}
+
+TEST(AnalyticModels, RejectBadSizes) {
+  EXPECT_THROW(nassimi_sahni(3), ContractViolation);
+  EXPECT_THROW(lee_oruc(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::baselines

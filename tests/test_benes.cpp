@@ -1,0 +1,88 @@
+// The Beneš baseline: the looping algorithm realizes every permutation
+// (exhaustive at n = 4 and 8, randomized beyond) at the canonical cost.
+#include "baselines/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::baselines {
+namespace {
+
+class BenesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BenesTest, RoutesRandomPermutations) {
+  const std::size_t n = GetParam();
+  const BenesNetwork net(n);
+  Rng rng(808 + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto perm = rng.permutation(n);
+    const auto out = net.route(perm);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[perm[i]], i);
+    }
+  }
+}
+
+TEST_P(BenesTest, CanonicalCounts) {
+  const std::size_t n = GetParam();
+  const BenesNetwork net(n);
+  const auto m = static_cast<std::size_t>(log2_exact(n));
+  EXPECT_EQ(net.depth(), static_cast<int>(2 * m - 1));
+  EXPECT_EQ(net.switch_count(), (n / 2) * (2 * m - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenesTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Benes, ExhaustiveAllPermutationsSmall) {
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    const BenesNetwork net(n);
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    do {
+      const auto out = net.route(perm);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[perm[i]], i) << "n=" << n;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(Benes, SetupWorkIsCentralizedAndSuperlinear) {
+  // The looping algorithm touches every line at every recursion level:
+  // Θ(n log n) sequential steps — the cost self-routing avoids.
+  RoutingStats small_stats, big_stats;
+  Rng rng(5);
+  const BenesNetwork small(64), big(1024);
+  small.route(rng.permutation(64), &small_stats);
+  big.route(rng.permutation(1024), &big_stats);
+  EXPECT_GE(small_stats.tree_bwd_ops, 64u * 5 / 2);
+  EXPECT_GE(big_stats.tree_bwd_ops, 1024u * 9 / 2);
+  // Superlinear growth: ops(1024)/ops(64) > 1024/64.
+  EXPECT_GT(big_stats.tree_bwd_ops * 64, small_stats.tree_bwd_ops * 1024);
+}
+
+TEST(Benes, RejectsNonPermutations) {
+  const BenesNetwork net(8);
+  EXPECT_THROW(net.route({0, 0, 1, 2, 3, 4, 5, 6}), ContractViolation);
+  EXPECT_THROW(net.route({0, 1, 2}), ContractViolation);
+  std::vector<std::size_t> oob{0, 1, 2, 3, 4, 5, 6, 8};
+  EXPECT_THROW(net.route(oob), ContractViolation);
+  EXPECT_THROW(BenesNetwork(12), ContractViolation);
+}
+
+TEST(Benes, CheaperHardwareThanSelfRoutingDesigns) {
+  // The classic trade: Benes beats even the feedback BRSMN on switch
+  // count (2 log n - 1 vs 2 log n stages worth), but needs central setup.
+  const BenesNetwork net(256);
+  EXPECT_EQ(net.switch_count(), 128u * 15);
+}
+
+}  // namespace
+}  // namespace brsmn::baselines

@@ -1,0 +1,147 @@
+// Theorem 1 as a property: for any 0/1 keys and any requested start
+// position, the configured RBN routes the 1-keys to a circular compact
+// run — and, with s = n/2 on balanced keys, performs an ascending sort.
+#include "core/bit_sorter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/compact_sequence.hpp"
+
+namespace brsmn {
+namespace {
+
+struct Keyed {
+  int key = 0;
+  std::size_t origin = 0;
+};
+
+std::vector<Keyed> sort_through_rbn(Rbn& rbn, const std::vector<int>& keys,
+                                    std::size_t s) {
+  configure_bit_sorter(rbn, keys, s);
+  std::vector<Keyed> lines(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) lines[i] = {keys[i], i};
+  return rbn.propagate(std::move(lines), unicast_switch<Keyed>);
+}
+
+class BitSorterTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitSorterTest, Theorem1AnyKeysAnyStart) {
+  const std::size_t n = GetParam();
+  Rng rng(101 + n);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> keys(n);
+    for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+    const std::size_t s = rng.uniform(0, n - 1);
+    const auto out = sort_through_rbn(rbn, keys, s);
+    std::vector<bool> ones(n);
+    for (std::size_t i = 0; i < n; ++i) ones[i] = out[i].key == 1;
+    const std::size_t l = static_cast<std::size_t>(
+        std::count(keys.begin(), keys.end(), 1));
+    EXPECT_TRUE(matches_compact(ones, s % n, l)) << "n=" << n << " s=" << s;
+  }
+}
+
+TEST_P(BitSorterTest, ExhaustiveAllKeysAllStartsSmall) {
+  const std::size_t n = GetParam();
+  if (n > 8) GTEST_SKIP() << "exhaustive check limited to small n";
+  Rbn rbn(n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<int> keys(n);
+    std::size_t l = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = (mask >> i) & 1u ? 1 : 0;
+      l += static_cast<std::size_t>(keys[i]);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto out = sort_through_rbn(rbn, keys, s);
+      std::vector<bool> ones(n);
+      for (std::size_t i = 0; i < n; ++i) ones[i] = out[i].key == 1;
+      ASSERT_TRUE(matches_compact(ones, s, l))
+          << "n=" << n << " mask=" << mask << " s=" << s;
+    }
+  }
+}
+
+TEST_P(BitSorterTest, BalancedKeysMidStartIsAscendingSort) {
+  const std::size_t n = GetParam();
+  Rng rng(7);
+  Rbn rbn(n);
+  std::vector<int> keys(n);
+  std::fill(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(n / 2),
+            1);
+  std::shuffle(keys.begin(), keys.end(), rng.engine());
+  const auto out = sort_through_rbn(rbn, keys, n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].key, i < n / 2 ? 0 : 1) << i;
+  }
+}
+
+TEST_P(BitSorterTest, PermutesInputsWithoutLossOrDuplication) {
+  const std::size_t n = GetParam();
+  Rng rng(55);
+  Rbn rbn(n);
+  std::vector<int> keys(n);
+  for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+  const auto out = sort_through_rbn(rbn, keys, 0);
+  std::vector<std::size_t> origins(n);
+  for (std::size_t i = 0; i < n; ++i) origins[i] = out[i].origin;
+  std::sort(origins.begin(), origins.end());
+  std::vector<std::size_t> want(n);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(origins, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitSorterTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 128, 1024));
+
+TEST(BitSorter, SubnetworkSortsWithinItsBlock) {
+  // Configure only the lower half of a 16-line fabric (top stage 3,
+  // block 1): lines 8..15 sort among themselves, lines 0..7 pass through
+  // untouched (their stages stay parallel).
+  Rbn rbn(16);
+  std::vector<int> keys{1, 0, 1, 0, 1, 1, 0, 0};
+  configure_bit_sorter(rbn, 3, 1, keys, 0);
+  std::vector<Keyed> lines(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    lines[i] = {i >= 8 ? keys[i - 8] : -1, i};
+  }
+  const auto out = rbn.propagate(std::move(lines), 1, 3,
+                                 unicast_switch<Keyed>);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].origin, i) << "upper half must be untouched";
+  }
+  std::vector<bool> ones(8);
+  for (std::size_t i = 0; i < 8; ++i) ones[i] = out[8 + i].key == 1;
+  EXPECT_TRUE(matches_compact(ones, 0, 4));
+}
+
+TEST(BitSorter, StatsCountTreeOps) {
+  Rbn rbn(16);
+  RoutingStats stats;
+  std::vector<int> keys(16, 0);
+  configure_bit_sorter(rbn, keys, 0, &stats);
+  // A 16-input tree has 8 + 4 + 2 + 1 = 15 internal nodes, each doing one
+  // forward and one backward computation.
+  EXPECT_EQ(stats.tree_fwd_ops, 15u);
+  EXPECT_EQ(stats.tree_bwd_ops, 15u);
+}
+
+TEST(BitSorter, RejectsInvalidArguments) {
+  Rbn rbn(8);
+  std::vector<int> keys(8, 0);
+  EXPECT_THROW(configure_bit_sorter(rbn, keys, 8), ContractViolation);
+  keys[3] = 2;
+  EXPECT_THROW(configure_bit_sorter(rbn, keys, 0), ContractViolation);
+  EXPECT_THROW(
+      configure_bit_sorter(rbn, std::vector<int>(4, 0), 0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

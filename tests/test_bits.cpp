@@ -1,0 +1,70 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Bits, IsPow2RecognizesPowers) {
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_TRUE(is_pow2(std::uint64_t{1} << i)) << i;
+  }
+}
+
+TEST(Bits, IsPow2RejectsNonPowers) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_FALSE(is_pow2(1023));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bits, Log2ExactMatchesShift) {
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_EQ(log2_exact(std::uint64_t{1} << i), i);
+  }
+}
+
+TEST(Bits, Log2ExactRejectsNonPowers) {
+  EXPECT_THROW(log2_exact(0), ContractViolation);
+  EXPECT_THROW(log2_exact(6), ContractViolation);
+}
+
+TEST(Bits, MsbAtUsesPaperOrientation) {
+  // Address 011 (= 3) in a 3-bit space: a_0 = 0, a_1 = 1, a_2 = 1.
+  EXPECT_EQ(msb_at(3, 0, 3), 0);
+  EXPECT_EQ(msb_at(3, 1, 3), 1);
+  EXPECT_EQ(msb_at(3, 2, 3), 1);
+  // Address 100 (= 4): a_0 = 1, a_1 = 0, a_2 = 0.
+  EXPECT_EQ(msb_at(4, 0, 3), 1);
+  EXPECT_EQ(msb_at(4, 1, 3), 0);
+  EXPECT_EQ(msb_at(4, 2, 3), 0);
+}
+
+TEST(Bits, MsbAtRangeChecked) {
+  EXPECT_THROW(msb_at(0, 3, 3), ContractViolation);
+  EXPECT_THROW(msb_at(0, -1, 3), ContractViolation);
+  EXPECT_THROW(msb_at(0, 0, 0), ContractViolation);
+}
+
+TEST(Bits, ToBinaryMsbFirst) {
+  EXPECT_EQ(to_binary(3, 3), "011");
+  EXPECT_EQ(to_binary(4, 3), "100");
+  EXPECT_EQ(to_binary(0, 4), "0000");
+  EXPECT_EQ(to_binary(15, 4), "1111");
+}
+
+TEST(Bits, ToBinaryRoundTripsMsbAt) {
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    const std::string s = to_binary(a, 5);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(s[static_cast<std::size_t>(i)] - '0', msb_at(a, i, 5));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,157 @@
+// End-to-end BRSMN routing: the paper's worked example, exhaustive
+// verification at n = 4, and randomized cross-checks against the
+// crossbar oracle up to n = 512.
+#include "core/brsmn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/crossbar_multicast.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Brsmn, PaperExampleFig2) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment());
+  const std::vector<std::optional<std::size_t>> want{0, 0, 3, 2,
+                                                     2, 7, 7, 2};
+  EXPECT_EQ(result.delivered, want);
+}
+
+TEST(Brsmn, EmptyAssignmentDeliversNothing) {
+  for (std::size_t n : {2u, 8u, 64u}) {
+    Brsmn net(n);
+    const auto result = net.route(MulticastAssignment(n));
+    for (const auto& d : result.delivered) EXPECT_FALSE(d.has_value());
+    EXPECT_EQ(result.stats.broadcast_ops, 0u);
+  }
+}
+
+TEST(Brsmn, FullBroadcastReachesEveryOutput) {
+  for (std::size_t n : {2u, 4u, 16u, 128u}) {
+    Brsmn net(n);
+    const auto result = net.route(full_broadcast(n));
+    for (const auto& d : result.delivered) {
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(*d, 0u);
+    }
+    // A broadcast to n outputs requires exactly n - 1 packet splits.
+    EXPECT_EQ(result.stats.broadcast_ops, n - 1);
+  }
+}
+
+TEST(Brsmn, ExhaustiveAllAssignmentsN4) {
+  // Every assignment on a 4 x 4 network: each output independently maps
+  // to one of the 4 inputs or stays unassigned — 5^4 = 625 assignments.
+  Brsmn net(4);
+  const baselines::CrossbarMulticast oracle(4);
+  for (int code = 0; code < 625; ++code) {
+    MulticastAssignment a(4);
+    int c = code;
+    for (std::size_t out = 0; out < 4; ++out, c /= 5) {
+      const int pick = c % 5;
+      if (pick < 4) a.connect(static_cast<std::size_t>(pick), out);
+    }
+    const auto result = net.route(a);
+    ASSERT_EQ(result.delivered, oracle.route(a)) << a.to_string();
+  }
+}
+
+class BrsmnRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BrsmnRandomTest, MatchesOracleOnRandomMulticasts) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  const baselines::CrossbarMulticast oracle(n);
+  Rng rng(2024 + n);
+  for (double density : {0.15, 0.5, 0.9, 1.0}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto a = random_multicast(n, density, rng);
+      const auto result = net.route(a);
+      ASSERT_EQ(result.delivered, oracle.route(a))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST_P(BrsmnRandomTest, MatchesOracleOnRandomPermutations) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  const baselines::CrossbarMulticast oracle(n);
+  Rng rng(4048 + n);
+  for (double density : {0.3, 1.0}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto a = random_permutation(n, density, rng);
+      const auto result = net.route(a);
+      ASSERT_EQ(result.delivered, oracle.route(a));
+    }
+  }
+}
+
+TEST_P(BrsmnRandomTest, BroadcastHeavyAssignments) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  const baselines::CrossbarMulticast oracle(n);
+  for (std::size_t sources : {std::size_t{1}, std::size_t{2}, n / 2, n}) {
+    const auto a = broadcast_assignment(n, sources);
+    const auto result = net.route(a);
+    ASSERT_EQ(result.delivered, oracle.route(a)) << sources;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BrsmnRandomTest,
+                         ::testing::Values(4, 8, 16, 32, 128, 512));
+
+TEST(Brsmn, StructuralCounts) {
+  // BRSMN(8): level1 BSN(8) = 2*(4*3) = 24, level2 2xBSN(4) = 2*2*(2*2)
+  // = 16, final level 4 switches: 44 total. Depth 2*3 + 2*2 + 1 = 11.
+  Brsmn net(8);
+  EXPECT_EQ(net.size(), 8u);
+  EXPECT_EQ(net.levels(), 3);
+  EXPECT_EQ(net.switch_count(), 44u);
+  EXPECT_EQ(net.depth(), 11u);
+}
+
+TEST(Brsmn, RouteRejectsSizeMismatch) {
+  Brsmn net(8);
+  EXPECT_THROW(net.route(MulticastAssignment(4)), ContractViolation);
+}
+
+TEST(Brsmn, StatsAccumulateAcrossLevels) {
+  Brsmn net(16);
+  const auto result = net.route(full_broadcast(16));
+  EXPECT_GT(result.stats.switch_traversals, 0u);
+  EXPECT_GT(result.stats.tree_fwd_ops, 0u);
+  EXPECT_GT(result.stats.tree_bwd_ops, 0u);
+  EXPECT_GT(result.stats.gate_delay, 0u);
+}
+
+TEST(Brsmn, CaptureLevelsRecordsEveryLevel) {
+  Brsmn net(16);
+  const auto result =
+      net.route(full_broadcast(16), RouteOptions{.capture_levels = true});
+  EXPECT_EQ(result.level_inputs.size(), 4u);  // log2(16) levels
+  for (const auto& level : result.level_inputs) {
+    EXPECT_EQ(level.size(), 16u);
+  }
+  // Copies double every level for a full broadcast: 1, 2, 4, 8.
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::size_t occupied = 0;
+    for (const auto& lv : result.level_inputs[k]) occupied += !lv.empty();
+    EXPECT_EQ(occupied, std::size_t{1} << k);
+  }
+}
+
+TEST(Brsmn, MinimumNetworkIsSingleSwitch) {
+  Brsmn net(2);
+  MulticastAssignment a(2);
+  a.connect(1, 0);
+  const auto result = net.route(a);
+  EXPECT_EQ(result.delivered,
+            (std::vector<std::optional<std::size_t>>{1, std::nullopt}));
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,223 @@
+// The binary splitting network (Section 3): Eq. (4) censuses, half-split
+// outputs, packet duplication, and an exhaustive sweep of all admissible
+// 4-line tag vectors.
+#include "core/bsn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/compact_sequence.hpp"
+#include "helpers.hpp"
+
+namespace brsmn {
+namespace {
+
+std::vector<LineValue> bsn_lines(const std::vector<Tag>& tags) {
+  std::vector<LineValue> lines(tags.size());
+  std::uint64_t id = 1;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (is_empty(tags[i])) continue;
+    Packet p;
+    p.source = i;
+    p.copy_id = id++;
+    p.parent_id = p.copy_id;
+    p.stream = {tags[i]};
+    lines[i] = occupied_line(tags[i], std::move(p));
+  }
+  return lines;
+}
+
+class BsnTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BsnTest, Equation4CensusAndHalfSplit) {
+  const std::size_t n = GetParam();
+  Rng rng(606 + n);
+  Bsn bsn(n);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto tags = brsmn::testing::random_bsn_tags(n, rng);
+    const TagCounts in = count_tags(bsn_lines(tags));
+    std::uint64_t next_id = 100;
+    const auto result = bsn.route(bsn_lines(tags), next_id);
+
+    const TagCounts mid = count_tags(result.scattered);
+    EXPECT_EQ(mid.alphas, 0u);
+    EXPECT_EQ(mid.zeros, in.zeros + in.alphas);
+    EXPECT_EQ(mid.ones, in.ones + in.alphas);
+    EXPECT_EQ(mid.epses, in.epses - in.alphas);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Tag t = result.outputs[i].tag;
+      if (i < n / 2) {
+        EXPECT_TRUE(t == Tag::Zero || t == Tag::Eps0) << i;
+      } else {
+        EXPECT_TRUE(t == Tag::One || t == Tag::Eps1) << i;
+      }
+    }
+  }
+}
+
+TEST_P(BsnTest, EverySourceLandsInItsHalves) {
+  const std::size_t n = GetParam();
+  Rng rng(707 + n);
+  Bsn bsn(n);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto tags = brsmn::testing::random_bsn_tags(n, rng);
+    std::uint64_t next_id = 100;
+    const auto result = bsn.route(bsn_lines(tags), next_id);
+    std::map<std::size_t, std::vector<bool>> halves;  // source -> upper?
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.outputs[i].packet) {
+        halves[result.outputs[i].packet->source].push_back(i < n / 2);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = halves.find(i);
+      switch (tags[i]) {
+        case Tag::Zero:
+          ASSERT_TRUE(it != halves.end());
+          EXPECT_EQ(it->second, std::vector<bool>{true}) << i;
+          break;
+        case Tag::One:
+          ASSERT_TRUE(it != halves.end());
+          EXPECT_EQ(it->second, std::vector<bool>{false}) << i;
+          break;
+        case Tag::Alpha: {
+          ASSERT_TRUE(it != halves.end());
+          auto v = it->second;
+          std::sort(v.begin(), v.end());
+          EXPECT_EQ(v, (std::vector<bool>{false, true})) << i;
+          break;
+        }
+        default:
+          EXPECT_TRUE(it == halves.end()) << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BsnTest,
+                         ::testing::Values(4, 8, 16, 64, 256));
+
+TEST(Bsn, ExhaustiveAllAdmissibleTagVectorsN4) {
+  Bsn bsn(4);
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps};
+  int admissible = 0;
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        for (int d = 0; d < 4; ++d) {
+          const std::vector<Tag> tags{choices[a], choices[b], choices[c],
+                                      choices[d]};
+          const std::size_t n0 = static_cast<std::size_t>(
+              std::count(tags.begin(), tags.end(), Tag::Zero));
+          const std::size_t n1 = static_cast<std::size_t>(
+              std::count(tags.begin(), tags.end(), Tag::One));
+          const std::size_t na = static_cast<std::size_t>(
+              std::count(tags.begin(), tags.end(), Tag::Alpha));
+          if (n0 + na > 2 || n1 + na > 2) continue;
+          ++admissible;
+          std::uint64_t next_id = 10;
+          const auto result = bsn.route(bsn_lines(tags), next_id);
+          for (std::size_t i = 0; i < 4; ++i) {
+            const Tag t = result.outputs[i].tag;
+            if (i < 2) {
+              ASSERT_TRUE(t == Tag::Zero || t == Tag::Eps0)
+                  << a << b << c << d;
+            } else {
+              ASSERT_TRUE(t == Tag::One || t == Tag::Eps1)
+                  << a << b << c << d;
+            }
+          }
+        }
+  EXPECT_GT(admissible, 50);
+}
+
+TEST(Bsn, ExhaustiveAllAdmissibleTagVectorsN8) {
+  // Every admissible 8-line tag vector (4^8 = 65536 combinations,
+  // filtered by Eq. 2): the BSN must half-split all of them.
+  Bsn bsn(8);
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps};
+  std::size_t admissible = 0;
+  for (unsigned code = 0; code < 65536; ++code) {
+    std::vector<Tag> tags(8);
+    std::size_t n0 = 0, n1 = 0, na = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      tags[i] = choices[(code >> (2 * i)) & 3u];
+      n0 += tags[i] == Tag::Zero;
+      n1 += tags[i] == Tag::One;
+      na += tags[i] == Tag::Alpha;
+    }
+    if (n0 + na > 4 || n1 + na > 4) continue;
+    ++admissible;
+    std::uint64_t id = 1;
+    // route() itself asserts Eq. (4) and the half split; any violation
+    // throws and fails the test.
+    const auto result = bsn.route(bsn_lines(tags), id);
+    ASSERT_EQ(result.outputs.size(), 8u);
+  }
+  EXPECT_GT(admissible, 10000u);
+}
+
+TEST(Bsn, RejectsConstraintViolations) {
+  Bsn bsn(4);
+  std::uint64_t id = 1;
+  // Three zeros: n0 + na > n/2.
+  EXPECT_THROW(bsn.route(bsn_lines({Tag::Zero, Tag::Zero, Tag::Zero,
+                                    Tag::Eps}),
+                         id),
+               ContractViolation);
+  // Two alphas: n0 + na = 2 alphas -> both constraints are 2 <= 2, fine;
+  // but two alphas plus a one violates n1 + na <= 2.
+  EXPECT_THROW(bsn.route(bsn_lines({Tag::Alpha, Tag::Alpha, Tag::One,
+                                    Tag::Eps}),
+                         id),
+               ContractViolation);
+}
+
+TEST(Bsn, RejectsTagStreamMismatch) {
+  Bsn bsn(4);
+  auto lines = bsn_lines({Tag::Zero, Tag::Eps, Tag::Eps, Tag::Eps});
+  lines[0].packet->stream = {Tag::One};  // tag says Zero, stream says One
+  std::uint64_t id = 1;
+  EXPECT_THROW(bsn.route(std::move(lines), id), ContractViolation);
+}
+
+TEST(Bsn, MinimumSizeIsFour) {
+  EXPECT_THROW(Bsn(2), ContractViolation);
+}
+
+TEST(Bsn, ScatteredEpsRunIsCompactAtRequestedStart) {
+  // Bsn::route configures its scatter pass with s_root = 0, so the
+  // surviving ε-run must sit compactly at the top of the scattered
+  // output (Theorem 3 with s = 0).
+  Rng rng(99);
+  for (const std::size_t n : {4u, 8u, 32u, 128u}) {
+    Bsn bsn(n);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto tags = brsmn::testing::random_bsn_tags(n, rng);
+      std::uint64_t id = 1;
+      const auto result = bsn.route(bsn_lines(tags), id);
+      std::vector<bool> eps_run(n);
+      std::size_t eps_count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        eps_run[i] = is_empty(result.scattered[i].tag);
+        eps_count += eps_run[i];
+      }
+      ASSERT_TRUE(matches_compact(eps_run, 0, eps_count)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Bsn, CopyIdsAdvancePerBroadcast) {
+  Bsn bsn(4);
+  std::uint64_t id = 50;
+  bsn.route(bsn_lines({Tag::Alpha, Tag::Eps, Tag::Eps, Tag::Eps}), id);
+  EXPECT_EQ(id, 52u);  // one broadcast -> two new copies
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,82 @@
+// The Cheng-Chen style self-routing permutation baseline: log n cascaded
+// RBN bit sorts realize any full permutation.
+#include "baselines/cheng_chen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::baselines {
+namespace {
+
+class ChengChenTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChengChenTest, RoutesRandomPermutations) {
+  const std::size_t n = GetParam();
+  ChengChenPermutation net(n);
+  Rng rng(510 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto perm = rng.permutation(n);
+    const auto per_output = net.route(perm);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(per_output[perm[i]], i);
+    }
+  }
+}
+
+TEST_P(ChengChenTest, IdentityAndReversal) {
+  const std::size_t n = GetParam();
+  ChengChenPermutation net(n);
+  std::vector<std::size_t> identity(n);
+  std::iota(identity.begin(), identity.end(), 0u);
+  EXPECT_EQ(net.route(identity), identity);
+  std::vector<std::size_t> reversal(n);
+  for (std::size_t i = 0; i < n; ++i) reversal[i] = n - 1 - i;
+  const auto out = net.route(reversal);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], n - 1 - i);
+}
+
+TEST_P(ChengChenTest, StructureMatchesPaper) {
+  const std::size_t n = GetParam();
+  ChengChenPermutation net(n);
+  const auto m = static_cast<std::size_t>(net.passes());
+  EXPECT_EQ(m, static_cast<std::size_t>(log2_exact(n)));
+  EXPECT_EQ(net.switch_count(), m * (n / 2) * m);  // log n fabrics
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChengChenTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(ChengChen, ExhaustiveAllPermutationsN4) {
+  ChengChenPermutation net(4);
+  std::vector<std::size_t> perm{0, 1, 2, 3};
+  do {
+    const auto out = net.route(perm);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(out[perm[i]], i);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(ChengChen, RejectsNonPermutations) {
+  ChengChenPermutation net(4);
+  EXPECT_THROW(net.route({0, 0, 1, 2}), ContractViolation);
+  EXPECT_THROW(net.route({0, 1, 2}), ContractViolation);
+  EXPECT_THROW(net.route({0, 1, 2, 4}), ContractViolation);
+}
+
+TEST(ChengChen, StatsTrackPasses) {
+  ChengChenPermutation net(16);
+  RoutingStats stats;
+  std::vector<std::size_t> identity(16);
+  std::iota(identity.begin(), identity.end(), 0u);
+  net.route(identity, &stats);
+  EXPECT_EQ(stats.fabric_passes, 4u);
+  EXPECT_GT(stats.gate_delay, 0u);
+}
+
+}  // namespace
+}  // namespace brsmn::baselines

@@ -1,0 +1,114 @@
+#include "core/compact_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(CompactSequence, InGammaRunNoWrap) {
+  // C^8_{2,3}: γ at 2,3,4.
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(in_gamma_run(p, 8, 2, 3), p >= 2 && p <= 4) << p;
+  }
+}
+
+TEST(CompactSequence, InGammaRunWraps) {
+  // C^8_{6,4}: γ at 6,7,0,1.
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(in_gamma_run(p, 8, 6, 4), p >= 6 || p <= 1) << p;
+  }
+}
+
+TEST(CompactSequence, Equation5BothBranches) {
+  // Eq. (5): s + l <= n gives beta^s gamma^l beta^{n-s-l}.
+  const auto a = make_compact_indicator(6, 1, 3);
+  EXPECT_EQ(a, (std::vector<bool>{false, true, true, true, false, false}));
+  // s + l > n gives gamma^{l-n+s} beta^{n-l} gamma^{n-s}.
+  const auto b = make_compact_indicator(6, 4, 4);
+  EXPECT_EQ(b, (std::vector<bool>{true, true, false, false, true, true}));
+}
+
+TEST(CompactSequence, EmptyAndFullRuns) {
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(make_compact_indicator(5, s, 0),
+              std::vector<bool>(5, false));
+    EXPECT_EQ(make_compact_indicator(5, s, 5), std::vector<bool>(5, true));
+  }
+}
+
+TEST(CompactSequence, MatchesCompactAgreesWithConstruction) {
+  for (std::size_t n : {2u, 3u, 8u}) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t l = 0; l <= n; ++l) {
+        EXPECT_TRUE(matches_compact(make_compact_indicator(n, s, l), s, l));
+      }
+    }
+  }
+}
+
+TEST(CompactSequence, RecognizerFindsCanonicalStart) {
+  for (std::size_t n : {2u, 5u, 8u, 16u}) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t l = 1; l < n; ++l) {
+        const auto ind = make_compact_indicator(n, s, l);
+        const auto start = compact_start(ind);
+        ASSERT_TRUE(start.has_value()) << n << ' ' << s << ' ' << l;
+        EXPECT_EQ(*start, s);
+      }
+    }
+  }
+}
+
+TEST(CompactSequence, RecognizerAcceptsDegenerate) {
+  EXPECT_EQ(compact_start(std::vector<bool>(7, false)), 0u);
+  EXPECT_EQ(compact_start(std::vector<bool>(7, true)), 0u);
+}
+
+TEST(CompactSequence, RecognizerRejectsFragmented) {
+  EXPECT_FALSE(is_compact({true, false, true, false}));
+  EXPECT_FALSE(is_compact({true, false, false, true, true, false, true,
+                           false}));
+}
+
+TEST(CompactSequence, ExhaustiveRecognizerMatchesDefinitionN8) {
+  // For every 8-bit pattern, the recognizer must agree with "exists (s,l)
+  // such that pattern == C^8_{s,l}".
+  for (unsigned pattern = 0; pattern < 256; ++pattern) {
+    std::vector<bool> ind(8);
+    for (std::size_t p = 0; p < 8; ++p) ind[p] = (pattern >> p) & 1u;
+    bool expected = false;
+    for (std::size_t s = 0; s < 8 && !expected; ++s) {
+      for (std::size_t l = 0; l <= 8 && !expected; ++l) {
+        expected = ind == make_compact_indicator(8, s, l);
+      }
+    }
+    EXPECT_EQ(is_compact(ind), expected) << pattern;
+  }
+}
+
+TEST(CompactSequence, RotationPreservesCompactness) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 16;
+    const auto s = rng.uniform(0, n - 1);
+    const auto l = rng.uniform(1, n - 1);
+    auto ind = make_compact_indicator(n, s, l);
+    std::rotate(ind.begin(), ind.begin() + 5, ind.end());
+    EXPECT_TRUE(is_compact(ind));
+  }
+}
+
+TEST(CompactSequence, ContractsRejectBadArgs) {
+  EXPECT_THROW(in_gamma_run(0, 0, 0, 0), ContractViolation);
+  EXPECT_THROW(in_gamma_run(5, 4, 0, 0), ContractViolation);
+  EXPECT_THROW(in_gamma_run(0, 4, 4, 0), ContractViolation);
+  EXPECT_THROW(in_gamma_run(0, 4, 0, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

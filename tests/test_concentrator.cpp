@@ -1,0 +1,93 @@
+#include "core/concentrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+class ConcentratorTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConcentratorTest, ActivesLandOnThePrefix) {
+  const std::size_t n = GetParam();
+  Concentrator con(n);
+  Rng rng(61 + n);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::optional<std::size_t>> lines(n);
+    std::size_t actives = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        lines[i] = i;
+        ++actives;
+      }
+    }
+    const auto out = con.route(std::move(lines));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].has_value(), i < actives) << i;
+    }
+  }
+}
+
+TEST_P(ConcentratorTest, NoPacketLostOrDuplicated) {
+  const std::size_t n = GetParam();
+  Concentrator con(n);
+  Rng rng(71 + n);
+  std::vector<std::optional<std::size_t>> lines(n);
+  std::vector<std::size_t> want;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) {
+      lines[i] = i;
+      want.push_back(i);
+    }
+  }
+  const auto out = con.route(std::move(lines));
+  std::vector<std::size_t> got;
+  for (const auto& o : out) {
+    if (o) got.push_back(*o);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConcentratorTest,
+                         ::testing::Values(2, 4, 8, 64, 512));
+
+TEST(Concentrator, ExhaustiveAllActivityPatternsN8) {
+  Concentrator con(8);
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    std::vector<std::optional<std::size_t>> lines(8);
+    std::size_t actives = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      if ((mask >> i) & 1u) {
+        lines[i] = i;
+        ++actives;
+      }
+    }
+    const auto out = con.route(std::move(lines));
+    for (std::size_t i = 0; i < 8; ++i) {
+      ASSERT_EQ(out[i].has_value(), i < actives) << mask;
+    }
+  }
+}
+
+TEST(Concentrator, AllIdleAndAllActive) {
+  Concentrator con(4);
+  const auto idle = con.route(std::vector<std::optional<std::size_t>>(4));
+  for (const auto& o : idle) EXPECT_FALSE(o.has_value());
+  std::vector<std::optional<std::size_t>> full{0, 1, 2, 3};
+  const auto out = con.route(std::move(full));
+  for (const auto& o : out) EXPECT_TRUE(o.has_value());
+}
+
+TEST(Concentrator, SizeChecks) {
+  Concentrator con(8);
+  EXPECT_THROW(con.route(std::vector<std::optional<std::size_t>>(4)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,69 @@
+#include "sim/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/bit_sorter.hpp"
+
+namespace brsmn::sim {
+namespace {
+
+TEST(ConfigIo, SerializeFormat) {
+  Rbn rbn(8);
+  rbn.set(1, 1, SwitchSetting::Cross);
+  rbn.set(2, 2, SwitchSetting::UpperBcast);
+  rbn.set(3, 3, SwitchSetting::LowerBcast);
+  EXPECT_EQ(serialize_settings(rbn), "=x==/==^=/===v");
+}
+
+TEST(ConfigIo, RoundTripRandomConfigs) {
+  Rng rng(12);
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    Rbn a(n);
+    for (int stage = 1; stage <= a.stages(); ++stage) {
+      for (std::size_t sw = 0; sw < n / 2; ++sw) {
+        a.set(stage, sw,
+              setting_from_int(static_cast<int>(rng.uniform(0, 3))));
+      }
+    }
+    Rbn b(n);
+    deserialize_settings(b, serialize_settings(a));
+    for (int stage = 1; stage <= a.stages(); ++stage) {
+      for (std::size_t sw = 0; sw < n / 2; ++sw) {
+        ASSERT_EQ(a.setting(stage, sw), b.setting(stage, sw));
+      }
+    }
+  }
+}
+
+TEST(ConfigIo, ReplayedConfigurationRoutesIdentically) {
+  // Route once, serialize, replay into a fresh fabric, and verify the
+  // replayed fabric permutes values identically — no re-running of the
+  // routing algorithms needed.
+  const std::size_t n = 32;
+  Rng rng(9);
+  std::vector<int> keys(n);
+  for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+  Rbn original(n);
+  configure_bit_sorter(original, keys, 4);
+  const auto want = original.propagate(keys, unicast_switch<int>);
+
+  Rbn replay(n);
+  deserialize_settings(replay, serialize_settings(original));
+  EXPECT_EQ(replay.propagate(keys, unicast_switch<int>), want);
+}
+
+TEST(ConfigIo, RejectsMalformedConfigs) {
+  Rbn rbn(8);
+  EXPECT_THROW(deserialize_settings(rbn, "===="), ContractViolation);
+  EXPECT_THROW(deserialize_settings(rbn, "====/====/==="),
+               ContractViolation);
+  EXPECT_THROW(deserialize_settings(rbn, "====?====/===="),
+               ContractViolation);
+  EXPECT_THROW(deserialize_settings(rbn, "===Q/====/===="),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::sim

@@ -1,0 +1,45 @@
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace brsmn {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(BRSMN_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(BRSMN_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, MessageIncludesExpressionAndLocation) {
+  try {
+    BRSMN_EXPECTS_MSG(false, "extra context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    EXPECT_NE(what.find("extra context"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresReportsPostcondition) {
+  try {
+    BRSMN_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  EXPECT_THROW(BRSMN_ENSURES_MSG(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,183 @@
+// The copy network: exact copy counts, contiguity, conflict-freedom
+// (exhaustively for n = 8, randomized beyond), and the copy+route
+// composition matching the BRSMN on arbitrary multicasts.
+#include "baselines/copy_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <functional>
+
+#include "baselines/copy_route_multicast.hpp"
+#include "baselines/crossbar_multicast.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+
+namespace brsmn::baselines {
+namespace {
+
+std::vector<std::size_t> copy_histogram(
+    const std::vector<std::optional<std::size_t>>& out, std::size_t n) {
+  std::vector<std::size_t> got(n, 0);
+  for (const auto& o : out) {
+    if (o) ++got[*o];
+  }
+  return got;
+}
+
+TEST(CopyNetwork, ExhaustiveAllCopyVectorsN8) {
+  const CopyNetwork net(8);
+  std::vector<std::size_t> c(8, 0);
+  std::size_t cases = 0;
+  // Enumerate all copy-count vectors with sum <= 8.
+  const std::function<void(std::size_t, std::size_t)> rec =
+      [&](std::size_t idx, std::size_t sum) {
+        if (idx == 8) {
+          ++cases;
+          const auto out = net.route(c);
+          ASSERT_EQ(copy_histogram(out, 8), c);
+          return;
+        }
+        for (std::size_t v = 0; v + sum <= 8; ++v) {
+          c[idx] = v;
+          rec(idx + 1, sum + v);
+        }
+        c[idx] = 0;
+      };
+  rec(0, 0);
+  EXPECT_EQ(cases, 12870u);  // C(16, 8) weak compositions
+}
+
+class CopyNetworkTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CopyNetworkTest, RandomCopyVectors) {
+  const std::size_t n = GetParam();
+  const CopyNetwork net(n);
+  Rng rng(13 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> copies(n, 0);
+    std::size_t budget = n;
+    for (std::size_t i = 0; i < n && budget > 0; ++i) {
+      if (rng.chance(0.4)) {
+        const auto v = rng.uniform(1, std::min<std::uint64_t>(budget, 6));
+        copies[i] = v;
+        budget -= v;
+      }
+    }
+    const auto out = net.route(copies);
+    EXPECT_EQ(copy_histogram(out, n), copies);
+    // Copies fill a prefix of the outputs (concentration + running sums).
+    const std::size_t total =
+        std::accumulate(copies.begin(), copies.end(), std::size_t{0});
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(out[p].has_value(), p < total) << p;
+    }
+  }
+}
+
+TEST_P(CopyNetworkTest, CopiesOfOneSourceAreContiguous) {
+  const std::size_t n = GetParam();
+  const CopyNetwork net(n);
+  Rng rng(17 + n);
+  std::vector<std::size_t> copies(n, 0);
+  copies[rng.uniform(0, n - 1)] = n / 2;
+  const auto out = net.route(copies);
+  std::optional<std::size_t> first, last;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (out[p]) {
+      if (!first) first = p;
+      last = p;
+    }
+  }
+  ASSERT_TRUE(first && last);
+  EXPECT_EQ(*last - *first + 1, n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CopyNetworkTest,
+                         ::testing::Values(2, 4, 16, 64, 256, 1024));
+
+TEST(CopyNetwork, FullBroadcastSingleSource) {
+  const CopyNetwork net(16);
+  std::vector<std::size_t> copies(16, 0);
+  copies[9] = 16;
+  const auto out = net.route(copies);
+  for (const auto& o : out) {
+    ASSERT_TRUE(o.has_value());
+    EXPECT_EQ(*o, 9u);
+  }
+}
+
+TEST(CopyNetwork, RejectsOverCommitment) {
+  const CopyNetwork net(4);
+  EXPECT_THROW(net.route({2, 2, 1, 0}), ContractViolation);
+  EXPECT_THROW(net.route({2, 2}), ContractViolation);
+}
+
+TEST(CopyNetwork, StatsCountBroadcasts) {
+  const CopyNetwork net(8);
+  RoutingStats stats;
+  net.route({8, 0, 0, 0, 0, 0, 0, 0}, &stats);
+  // A full broadcast splits once per banyan stage boundary crossed:
+  // 7 splits produce 8 copies.
+  EXPECT_EQ(stats.broadcast_ops, 7u);
+}
+
+// --- the composed copy + route multicast baseline ------------------------
+
+class CopyRouteTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CopyRouteTest, MatchesOracleOnRandomMulticasts) {
+  const std::size_t n = GetParam();
+  const CopyRouteMulticast net(n);
+  const CrossbarMulticast oracle(n);
+  Rng rng(23 + n);
+  for (double density : {0.2, 0.8, 1.0}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto a = random_multicast(n, density, rng);
+      ASSERT_EQ(net.route(a), oracle.route(a)) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(CopyRouteTest, MatchesBrsmnExactly) {
+  const std::size_t n = GetParam();
+  const CopyRouteMulticast baseline(n);
+  Brsmn brsmn_net(n);
+  Rng rng(29 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = random_multicast(n, 0.9, rng);
+    ASSERT_EQ(baseline.route(a), brsmn_net.route(a).delivered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CopyRouteTest,
+                         ::testing::Values(4, 8, 32, 128, 512));
+
+TEST(CopyRoute, ExhaustiveAllAssignmentsN4) {
+  const CopyRouteMulticast net(4);
+  const CrossbarMulticast oracle(4);
+  for (int code = 0; code < 625; ++code) {
+    MulticastAssignment a(4);
+    int c = code;
+    for (std::size_t out = 0; out < 4; ++out, c /= 5) {
+      const int pick = c % 5;
+      if (pick < 4) a.connect(static_cast<std::size_t>(pick), out);
+    }
+    ASSERT_EQ(net.route(a), oracle.route(a)) << a.to_string();
+  }
+}
+
+TEST(CopyRoute, CentralizedSetupCostDominatesSelfRouting) {
+  // The composed baseline's looping setup is Θ(n log n) sequential steps,
+  // versus the BRSMN's O(log^2 n) gate delays.
+  const std::size_t n = 1024;
+  const CopyRouteMulticast net(n);
+  Rng rng(3);
+  RoutingStats stats;
+  net.route(random_multicast(n, 1.0, rng), &stats);
+  EXPECT_GT(stats.tree_bwd_ops, n);  // the looping steps alone exceed n
+}
+
+}  // namespace
+}  // namespace brsmn::baselines

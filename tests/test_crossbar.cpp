@@ -1,0 +1,43 @@
+#include "baselines/crossbar_multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::baselines {
+namespace {
+
+TEST(Crossbar, RoutesPaperExample) {
+  const CrossbarMulticast xbar(8);
+  const auto d = xbar.route(paper_example_assignment());
+  const std::vector<std::optional<std::size_t>> want{0, 0, 3, 2,
+                                                     2, 7, 7, 2};
+  EXPECT_EQ(d, want);
+}
+
+TEST(Crossbar, EmptyAndFull) {
+  const CrossbarMulticast xbar(4);
+  for (const auto& d : xbar.route(MulticastAssignment(4))) {
+    EXPECT_FALSE(d.has_value());
+  }
+  for (const auto& d : xbar.route(full_broadcast(4))) {
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 0u);
+  }
+}
+
+TEST(Crossbar, QuadraticCost) {
+  const CrossbarMulticast xbar(64);
+  EXPECT_EQ(xbar.crosspoints(), 64u * 64u);
+  EXPECT_EQ(xbar.gates(), 2u * 64u * 64u);
+}
+
+TEST(Crossbar, SizeChecks) {
+  EXPECT_THROW(CrossbarMulticast(3), ContractViolation);
+  const CrossbarMulticast xbar(8);
+  EXPECT_THROW(xbar.route(MulticastAssignment(4)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::baselines

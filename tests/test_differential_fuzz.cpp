@@ -1,0 +1,111 @@
+// Cross-engine differential fuzzing: four independent implementations —
+// the unrolled BRSMN, the feedback BRSMN, the copy+route baseline and
+// the crossbar oracle — must agree on every assignment, across sizes,
+// densities, seeds and workload shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/copy_route_multicast.hpp"
+#include "baselines/crossbar_multicast.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+
+namespace brsmn {
+namespace {
+
+using FuzzParam = std::tuple<std::size_t /*n*/, int /*density %*/,
+                             std::uint64_t /*seed*/>;
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(DifferentialFuzz, AllEnginesAgree) {
+  const auto [n, density_pct, seed] = GetParam();
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  const baselines::CopyRouteMulticast copy_route(n);
+  const baselines::CrossbarMulticast oracle(n);
+  Rng rng(seed);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto a =
+        random_multicast(n, static_cast<double>(density_pct) / 100.0, rng);
+    const auto want = oracle.route(a);
+    ASSERT_EQ(unrolled.route(a).delivered, want) << a.to_string();
+    ASSERT_EQ(feedback.route(a).delivered, want);
+    ASSERT_EQ(copy_route.route(a), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialFuzz,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 16, 64, 256),
+                       ::testing::Values(10, 50, 95),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    [](const ::testing::TestParamInfo<FuzzParam>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_d" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(DifferentialFuzz, LargeScaleSpotChecks) {
+  const std::size_t n = 2048;
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  const baselines::CrossbarMulticast oracle(n);
+  Rng rng(4242);
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto a = random_multicast(n, 0.9, rng);
+    const auto want = oracle.route(a);
+    ASSERT_EQ(unrolled.route(a).delivered, want);
+    ASSERT_EQ(feedback.route(a).delivered, want);
+  }
+}
+
+TEST(DifferentialFuzz, PermutationHeavySweep) {
+  Rng rng(31337);
+  for (const std::size_t n : {8u, 64u, 512u}) {
+    Brsmn unrolled(n);
+    const baselines::CopyRouteMulticast copy_route(n);
+    const baselines::CrossbarMulticast oracle(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto a = random_permutation(n, 0.9, rng);
+      const auto want = oracle.route(a);
+      ASSERT_EQ(unrolled.route(a).delivered, want);
+      ASSERT_EQ(copy_route.route(a), want);
+    }
+  }
+}
+
+TEST(DifferentialFuzz, SplitHistogramSumsToBroadcasts) {
+  Rng rng(17);
+  for (const std::size_t n : {8u, 64u, 256u}) {
+    Brsmn net(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto r = net.route(random_multicast(n, 0.8, rng));
+      std::size_t sum = 0;
+      for (const std::size_t s : r.broadcasts_per_level) sum += s;
+      EXPECT_EQ(sum, r.stats.broadcast_ops);
+      EXPECT_EQ(r.broadcasts_per_level.size(),
+                static_cast<std::size_t>(net.levels()));
+    }
+  }
+}
+
+TEST(DifferentialFuzz, TotalSplitsEqualConnectionsMinusActives) {
+  // Each active input's multicast tree has exactly |I_i| leaves, grown
+  // from one packet by |I_i| - 1 splits.
+  Rng rng(23);
+  for (const std::size_t n : {16u, 128u}) {
+    Brsmn net(n);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto a = random_multicast(n, 0.7, rng);
+      const auto r = net.route(a);
+      EXPECT_EQ(r.stats.broadcast_ops,
+                a.total_connections() - a.active_inputs());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace brsmn

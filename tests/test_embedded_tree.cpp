@@ -1,0 +1,75 @@
+// The Fig. 8b tree embedding: every physical switch hosts at most one
+// forward node and at most one backward node — the paper's "balanced
+// hardware distribution" that keeps per-switch routing circuitry O(1).
+#include "hw/embedded_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+class EmbeddedTreeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EmbeddedTreeTest, AtMostOneNodePerSwitchPerTree) {
+  const topo::RbnTopology topo(GetParam());
+  const EmbeddingLoad load = embedding_load(topo);
+  for (const auto& stage : load.forward_nodes) {
+    for (const std::size_t count : stage) EXPECT_LE(count, 1u);
+  }
+  for (const auto& stage : load.backward_nodes) {
+    for (const std::size_t count : stage) EXPECT_LE(count, 1u);
+  }
+}
+
+TEST_P(EmbeddedTreeTest, EveryTreeNodeIsHosted) {
+  const topo::RbnTopology topo(GetParam());
+  const EmbeddingLoad load = embedding_load(topo);
+  std::size_t forward_total = 0, backward_total = 0, want = 0;
+  for (int stage = 1; stage <= topo.stages(); ++stage) {
+    want += topo.blocks_in_stage(stage);
+  }
+  for (const auto& stage : load.forward_nodes) {
+    for (const std::size_t count : stage) forward_total += count;
+  }
+  for (const auto& stage : load.backward_nodes) {
+    for (const std::size_t count : stage) backward_total += count;
+  }
+  EXPECT_EQ(forward_total, want);  // n - 1 tree nodes in total
+  EXPECT_EQ(backward_total, want);
+  EXPECT_EQ(want, GetParam() - 1);
+}
+
+TEST_P(EmbeddedTreeTest, ForwardAndBackwardHostsDifferForBigBlocks) {
+  const topo::RbnTopology topo(GetParam());
+  for (int stage = 2; stage <= topo.stages(); ++stage) {
+    for (std::size_t block = 0; block < topo.blocks_in_stage(stage);
+         ++block) {
+      EXPECT_NE(forward_node_switch(topo, stage, block),
+                backward_node_switch(topo, stage, block));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EmbeddedTreeTest,
+                         ::testing::Values(2, 4, 8, 64, 1024));
+
+TEST(EmbeddedTree, KnownCoordinatesN8) {
+  const topo::RbnTopology topo(8);
+  // Stage 3 has one block spanning all 8 lines: first switch 0, last 3.
+  EXPECT_EQ(forward_node_switch(topo, 3, 0), (SwitchCoord{3, 0}));
+  EXPECT_EQ(backward_node_switch(topo, 3, 0), (SwitchCoord{3, 3}));
+  // Stage 1 blocks are single switches: forward == backward host.
+  EXPECT_EQ(forward_node_switch(topo, 1, 2), backward_node_switch(topo, 1, 2));
+}
+
+TEST(EmbeddedTree, RangeChecks) {
+  const topo::RbnTopology topo(8);
+  EXPECT_THROW(forward_node_switch(topo, 0, 0), ContractViolation);
+  EXPECT_THROW(forward_node_switch(topo, 4, 0), ContractViolation);
+  EXPECT_THROW(backward_node_switch(topo, 2, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::hw

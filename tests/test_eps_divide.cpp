@@ -1,0 +1,135 @@
+// The distributed ε-dividing algorithm (Table 6): invariants (6)-(9) and
+// the balance postcondition, including the erratum fix documented in
+// DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/quasisort.hpp"
+
+namespace brsmn {
+namespace {
+
+std::vector<Tag> random_quasisort_tags(std::size_t n, Rng& rng) {
+  for (;;) {
+    std::vector<Tag> tags(n);
+    std::size_t n0 = 0, n1 = 0;
+    for (auto& t : tags) {
+      const auto r = rng.uniform(0, 3);
+      if (r == 0) {
+        t = Tag::Zero;
+        ++n0;
+      } else if (r == 1) {
+        t = Tag::One;
+        ++n1;
+      } else {
+        t = Tag::Eps;
+      }
+    }
+    if (n0 <= n / 2 && n1 <= n / 2) return tags;
+  }
+}
+
+class EpsDivideTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EpsDivideTest, BalancesZerosAndOnes) {
+  const std::size_t n = GetParam();
+  Rng rng(77 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto tags = random_quasisort_tags(n, rng);
+    const auto divided = divide_eps(tags);
+    std::size_t zeros = 0, ones = 0;
+    for (Tag t : divided) {
+      if (quasisort_key(t) == 0) {
+        ++zeros;
+      } else {
+        ++ones;
+      }
+    }
+    EXPECT_EQ(zeros, n / 2);
+    EXPECT_EQ(ones, n / 2);
+  }
+}
+
+TEST_P(EpsDivideTest, OnlyEpsLinesChange) {
+  const std::size_t n = GetParam();
+  Rng rng(88 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto tags = random_quasisort_tags(n, rng);
+    const auto divided = divide_eps(tags);
+    ASSERT_EQ(divided.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tags[i] == Tag::Eps) {
+        EXPECT_TRUE(divided[i] == Tag::Eps0 || divided[i] == Tag::Eps1) << i;
+      } else {
+        EXPECT_EQ(divided[i], tags[i]) << i;
+      }
+    }
+  }
+}
+
+TEST_P(EpsDivideTest, DummyCountsMatchDeficits) {
+  const std::size_t n = GetParam();
+  Rng rng(99 + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto tags = random_quasisort_tags(n, rng);
+    const std::size_t n0 = static_cast<std::size_t>(
+        std::count(tags.begin(), tags.end(), Tag::Zero));
+    const std::size_t n1 = static_cast<std::size_t>(
+        std::count(tags.begin(), tags.end(), Tag::One));
+    const auto divided = divide_eps(tags);
+    const std::size_t d0 = static_cast<std::size_t>(
+        std::count(divided.begin(), divided.end(), Tag::Eps0));
+    const std::size_t d1 = static_cast<std::size_t>(
+        std::count(divided.begin(), divided.end(), Tag::Eps1));
+    EXPECT_EQ(d0, n / 2 - n0);
+    EXPECT_EQ(d1, n / 2 - n1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EpsDivideTest,
+                         ::testing::Values(2, 4, 8, 32, 128, 1024));
+
+TEST(EpsDivide, AllEpsSplitsEvenly) {
+  const std::vector<Tag> tags(16, Tag::Eps);
+  const auto divided = divide_eps(tags);
+  EXPECT_EQ(std::count(divided.begin(), divided.end(), Tag::Eps0), 8);
+  EXPECT_EQ(std::count(divided.begin(), divided.end(), Tag::Eps1), 8);
+}
+
+TEST(EpsDivide, NoEpsIsIdentity) {
+  const std::vector<Tag> tags{Tag::Zero, Tag::One, Tag::Zero, Tag::One};
+  EXPECT_EQ(divide_eps(tags), tags);
+}
+
+TEST(EpsDivide, FullZerosGetOnlyDummyOnes) {
+  const std::vector<Tag> tags{Tag::Zero, Tag::Zero, Tag::Eps, Tag::Eps};
+  const auto divided = divide_eps(tags);
+  EXPECT_EQ(divided[2], Tag::Eps1);
+  EXPECT_EQ(divided[3], Tag::Eps1);
+}
+
+TEST(EpsDivide, RejectsOverfullInputs) {
+  // 3 zeros in a 4-line network violates n0 <= n/2.
+  const std::vector<Tag> bad{Tag::Zero, Tag::Zero, Tag::Zero, Tag::Eps};
+  EXPECT_THROW(divide_eps(bad), ContractViolation);
+}
+
+TEST(EpsDivide, RejectsInvalidTags) {
+  const std::vector<Tag> bad{Tag::Alpha, Tag::Eps, Tag::Eps, Tag::Eps};
+  EXPECT_THROW(divide_eps(bad), ContractViolation);
+  const std::vector<Tag> bad2{Tag::Eps0, Tag::Eps, Tag::Eps, Tag::Eps};
+  EXPECT_THROW(divide_eps(bad2), ContractViolation);
+}
+
+TEST(EpsDivide, StatsCountTreeSweeps) {
+  RoutingStats stats;
+  divide_eps(std::vector<Tag>(8, Tag::Eps), &stats);
+  EXPECT_EQ(stats.tree_fwd_ops, 7u);  // 4 + 2 + 1 internal nodes
+  EXPECT_EQ(stats.tree_bwd_ops, 7u);
+}
+
+}  // namespace
+}  // namespace brsmn

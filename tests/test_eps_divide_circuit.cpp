@@ -1,0 +1,86 @@
+// Gate-level ε-divide ≡ behavioral divide_eps, plus the min-by-borrow
+// hardware idiom.
+#include "hw/eps_divide_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/quasisort.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+std::vector<Tag> random_tags(std::size_t n, Rng& rng) {
+  for (;;) {
+    std::vector<Tag> tags(n);
+    std::size_t n0 = 0, n1 = 0;
+    for (auto& t : tags) {
+      const auto r = rng.uniform(0, 3);
+      if (r == 0) {
+        t = Tag::Zero;
+        ++n0;
+      } else if (r == 1) {
+        t = Tag::One;
+        ++n1;
+      } else {
+        t = Tag::Eps;
+      }
+    }
+    if (n0 <= n / 2 && n1 <= n / 2) return tags;
+  }
+}
+
+class EpsDivideCircuitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EpsDivideCircuitTest, MatchesBehavioralAlgorithm) {
+  const std::size_t n = GetParam();
+  const GateLevelEpsDivide circuit(n);
+  Rng rng(303 + n);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto tags = random_tags(n, rng);
+    EXPECT_EQ(circuit.compute(tags).divided, divide_eps(tags));
+  }
+}
+
+TEST_P(EpsDivideCircuitTest, CycleBudget) {
+  const std::size_t n = GetParam();
+  const GateLevelEpsDivide circuit(n);
+  const auto result = circuit.compute(std::vector<Tag>(n, Tag::Eps));
+  EXPECT_EQ(result.cycles, config_sweep_delay(log2_exact(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EpsDivideCircuitTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 512));
+
+TEST(EpsDivideCircuit, ExhaustiveAllTagVectorsN4) {
+  const GateLevelEpsDivide circuit(4);
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Eps};
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 3; ++c)
+        for (int d = 0; d < 3; ++d) {
+          const std::vector<Tag> tags{choices[a], choices[b], choices[c],
+                                      choices[d]};
+          std::size_t n0 = 0, n1 = 0;
+          for (Tag t : tags) {
+            n0 += t == Tag::Zero;
+            n1 += t == Tag::One;
+          }
+          if (n0 > 2 || n1 > 2) continue;
+          ASSERT_EQ(circuit.compute(tags).divided, divide_eps(tags))
+              << a << b << c << d;
+        }
+}
+
+TEST(EpsDivideCircuit, RejectsOverfullAndInvalid) {
+  const GateLevelEpsDivide circuit(4);
+  EXPECT_THROW(circuit.compute({Tag::Zero, Tag::Zero, Tag::Zero, Tag::Eps}),
+               ContractViolation);
+  EXPECT_THROW(circuit.compute({Tag::Alpha, Tag::Eps, Tag::Eps, Tag::Eps}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::hw

@@ -1,0 +1,80 @@
+// White-box invariants over the configured fabrics after a route: the
+// quasisort pass is unicast-only, every broadcast setting in a scatter
+// fabric performs a real packet split, and per-level split counts tie
+// the settings to the traffic.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+
+namespace brsmn {
+namespace {
+
+std::size_t count_broadcast_settings(const Rbn& fabric) {
+  std::size_t count = 0;
+  for (int stage = 1; stage <= fabric.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < fabric.topology().switches_per_stage();
+         ++sw) {
+      const SwitchSetting s = fabric.setting(stage, sw);
+      count += s == SwitchSetting::UpperBcast ||
+               s == SwitchSetting::LowerBcast;
+    }
+  }
+  return count;
+}
+
+class FabricInvariantTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FabricInvariantTest, QuasisortFabricsAreUnicastOnly) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  Rng rng(41 + n);
+  net.route(random_multicast(n, 0.9, rng));
+  for (int level = 1; level <= net.levels() - 1; ++level) {
+    for (const Bsn& bsn : net.level_bsns(level)) {
+      EXPECT_EQ(count_broadcast_settings(bsn.quasisort_fabric()), 0u)
+          << "level " << level;
+    }
+  }
+}
+
+TEST_P(FabricInvariantTest, ScatterBroadcastSettingsEqualPacketSplits) {
+  // Every broadcast-set switch in a scatter fabric neutralizes one real
+  // (α, ε) pair, so the settings census must equal the per-level split
+  // counters (minus the final 2x2 level, which has no scatter fabric).
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  Rng rng(43 + n);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto result = net.route(random_multicast(n, 0.8, rng));
+    for (int level = 1; level <= net.levels() - 1; ++level) {
+      std::size_t settings_count = 0;
+      for (const Bsn& bsn : net.level_bsns(level)) {
+        settings_count += count_broadcast_settings(bsn.scatter_fabric());
+      }
+      EXPECT_EQ(settings_count,
+                result.broadcasts_per_level[static_cast<std::size_t>(
+                    level - 1)])
+          << "level " << level;
+    }
+  }
+}
+
+TEST_P(FabricInvariantTest, PermutationsConfigureNoBroadcastsAnywhere) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  Rng rng(47 + n);
+  const auto result = net.route(random_permutation(n, 1.0, rng));
+  EXPECT_EQ(result.stats.broadcast_ops, 0u);
+  for (int level = 1; level <= net.levels() - 1; ++level) {
+    for (const Bsn& bsn : net.level_bsns(level)) {
+      EXPECT_EQ(count_broadcast_settings(bsn.scatter_fabric()), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FabricInvariantTest,
+                         ::testing::Values(8, 16, 64, 256));
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,106 @@
+// The feedback implementation (Section 7.3): identical behaviour to the
+// unrolled network at a Θ(log n) hardware saving, in 2(log n - 1) + 1
+// passes over a single physical RBN.
+#include "core/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "sim/gate_model.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Feedback, PaperExampleFig2) {
+  FeedbackBrsmn net(8);
+  const auto result = net.route(paper_example_assignment());
+  const std::vector<std::optional<std::size_t>> want{0, 0, 3, 2,
+                                                     2, 7, 7, 2};
+  EXPECT_EQ(result.delivered, want);
+}
+
+class FeedbackEquivalenceTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FeedbackEquivalenceTest, MatchesUnrolledOnRandomMulticasts) {
+  const std::size_t n = GetParam();
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  Rng rng(911 + n);
+  for (double density : {0.2, 0.7, 1.0}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto a = random_multicast(n, density, rng);
+      const auto r1 = unrolled.route(a);
+      const auto r2 = feedback.route(a);
+      ASSERT_EQ(r1.delivered, r2.delivered);
+      // Work counters agree too: same broadcasts happen, just on shared
+      // hardware.
+      EXPECT_EQ(r1.stats.broadcast_ops, r2.stats.broadcast_ops);
+    }
+  }
+}
+
+TEST_P(FeedbackEquivalenceTest, PassCountIsTwoLogNMinusOne) {
+  const std::size_t n = GetParam();
+  FeedbackBrsmn net(n);
+  const std::size_t m = static_cast<std::size_t>(net.levels());
+  EXPECT_EQ(net.passes_per_route(), 2 * (m - 1) + 1);
+  const auto result = net.route(full_broadcast(n));
+  EXPECT_EQ(result.stats.fabric_passes, net.passes_per_route());
+}
+
+TEST_P(FeedbackEquivalenceTest, HardwareSavingIsLogFactor) {
+  const std::size_t n = GetParam();
+  if (n < 8) GTEST_SKIP();
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  EXPECT_EQ(feedback.switch_count(), model::feedback_switches(n));
+  EXPECT_EQ(unrolled.switch_count(), model::brsmn_switches(n));
+  EXPECT_LT(feedback.switch_count(), unrolled.switch_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FeedbackEquivalenceTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Feedback, CaptureLevelsMatchesUnrolled) {
+  const std::size_t n = 16;
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  Rng rng(5);
+  const auto a = random_multicast(n, 0.8, rng);
+  const RouteOptions opts{.capture_levels = true};
+  const auto r1 = unrolled.route(a, opts);
+  const auto r2 = feedback.route(a, opts);
+  ASSERT_EQ(r1.level_inputs.size(), r2.level_inputs.size());
+  for (std::size_t k = 0; k < r1.level_inputs.size(); ++k) {
+    for (std::size_t line = 0; line < n; ++line) {
+      const auto& a1 = r1.level_inputs[k][line];
+      const auto& a2 = r2.level_inputs[k][line];
+      EXPECT_EQ(a1.tag, a2.tag) << "level " << k << " line " << line;
+      EXPECT_EQ(a1.packet.has_value(), a2.packet.has_value());
+      if (a1.packet && a2.packet) {
+        EXPECT_EQ(a1.packet->source, a2.packet->source);
+        EXPECT_EQ(a1.packet->stream, a2.packet->stream);
+      }
+    }
+  }
+}
+
+TEST(Feedback, StressManyAssignmentsSmallN) {
+  FeedbackBrsmn net(8);
+  Brsmn ref(8);
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_multicast(8, 0.8, rng);
+    ASSERT_EQ(net.route(a).delivered, ref.route(a).delivered);
+  }
+}
+
+TEST(Feedback, RouteRejectsSizeMismatch) {
+  FeedbackBrsmn net(8);
+  EXPECT_THROW(net.route(MulticastAssignment(16)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,116 @@
+// The cost/depth/routing-time model of Sections 7.2/7.4: closed forms
+// agree with the implemented networks' own counts and with the delays the
+// simulator actually accumulates, and the growth orders match Table 2.
+#include "sim/gate_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+
+namespace brsmn {
+namespace {
+
+class GateModelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GateModelTest, SwitchCountsMatchImplementedNetworks) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  FeedbackBrsmn fb(n);
+  EXPECT_EQ(model::brsmn_switches(n), net.switch_count());
+  EXPECT_EQ(model::feedback_switches(n), fb.switch_count());
+  EXPECT_EQ(model::brsmn_depth_stages(n), net.depth());
+}
+
+TEST_P(GateModelTest, MeasuredRoutingDelayMatchesClosedForm) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  const auto result = net.route(full_broadcast(n));
+  EXPECT_EQ(result.stats.gate_delay, model::brsmn_routing_delay(n));
+  FeedbackBrsmn fb(n);
+  const auto r2 = fb.route(full_broadcast(n));
+  EXPECT_EQ(r2.stats.gate_delay, model::feedback_routing_delay(n));
+}
+
+TEST_P(GateModelTest, DelayIsAssignmentIndependent) {
+  // Self-routing time depends only on n, not on the traffic: the
+  // forward/backward sweeps always run over the full tree.
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  const auto empty = net.route(MulticastAssignment(n));
+  const auto dense = net.route(full_broadcast(n));
+  EXPECT_EQ(empty.stats.gate_delay, dense.stats.gate_delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GateModelTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(GateModel, RbnSwitchFormula) {
+  EXPECT_EQ(model::rbn_switches(2), 1u);
+  EXPECT_EQ(model::rbn_switches(8), 12u);
+  EXPECT_EQ(model::rbn_switches(1024), 512u * 10);
+  EXPECT_EQ(model::bsn_switches(8), 24u);
+}
+
+TEST(GateModel, CostGrowthMatchesNLog2N) {
+  // cost(n) / (n log^2 n) must be bounded and roughly flat: check that
+  // the normalized ratio varies by less than 2x over three octaves.
+  double lo = 1e30, hi = 0;
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    const double lg = std::log2(static_cast<double>(n));
+    const double ratio =
+        static_cast<double>(model::brsmn_gates(n)) /
+        (static_cast<double>(n) * lg * lg);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 2.0);
+}
+
+TEST(GateModel, FeedbackCostGrowthMatchesNLogN) {
+  double lo = 1e30, hi = 0;
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    const double lg = std::log2(static_cast<double>(n));
+    const double ratio = static_cast<double>(model::feedback_gates(n)) /
+                         (static_cast<double>(n) * lg);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 1.01);  // exactly (n/2) log n * const
+}
+
+TEST(GateModel, RoutingDelayGrowthMatchesLog2N) {
+  double lo = 1e30, hi = 0;
+  for (std::size_t n : {256u, 4096u, 65536u, 1048576u}) {
+    const double lg = std::log2(static_cast<double>(n));
+    const double ratio =
+        static_cast<double>(model::brsmn_routing_delay(n)) / (lg * lg);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi / lo, 2.0);
+}
+
+TEST(GateModel, FeedbackSavesLogFactorAsymptotically) {
+  // gates(unrolled)/gates(feedback) ~ log(n)/2: must grow with n.
+  double prev = 0;
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const double ratio = static_cast<double>(model::brsmn_gates(n)) /
+                         static_cast<double>(model::feedback_gates(n));
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 4.0);
+}
+
+TEST(GateModel, GateParamsScaleCost) {
+  model::GateParams cheap;
+  cheap.datapath_gates_per_switch = 1;
+  cheap.routing_gates_per_switch = 0;
+  EXPECT_EQ(model::brsmn_gates(8, cheap), model::brsmn_switches(8));
+}
+
+}  // namespace
+}  // namespace brsmn

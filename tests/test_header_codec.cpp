@@ -1,0 +1,82 @@
+// Wire-format headers: 3 bits per tag (Table 1), 3(n-1) bits per header,
+// lossless round trip to destination sets.
+#include "api/header_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/tag_sequence.hpp"
+
+namespace brsmn::api {
+namespace {
+
+TEST(HeaderCodec, HeaderSize) {
+  EXPECT_EQ(header_bits(2), 3u);
+  EXPECT_EQ(header_bits(8), 21u);
+  EXPECT_EQ(header_bits(1024), 3u * 1023u);
+  EXPECT_THROW(header_bits(3), ContractViolation);
+}
+
+TEST(HeaderCodec, KnownSequenceBits) {
+  // {3,4,7} in n = 8 has sequence a1ae011; α = 100, 1 = 001, ε = 110,
+  // 0 = 000.
+  const auto bits = encode_header(std::vector<std::size_t>{3, 4, 7}, 8);
+  ASSERT_EQ(bits.size(), 21u);
+  const bool want[] = {1, 0, 0,  0, 0, 1,  1, 0, 0,  1, 1, 0,
+                       0, 0, 0,  0, 0, 1,  0, 0, 1};
+  for (std::size_t i = 0; i < 21; ++i) {
+    EXPECT_EQ(bits[i], want[i]) << i;
+  }
+}
+
+TEST(HeaderCodec, SequenceRecovery) {
+  const std::vector<std::size_t> dests{3, 4, 7};
+  const auto bits = encode_header(dests, 8);
+  EXPECT_EQ(header_to_sequence(bits), encode_sequence(dests, 8));
+}
+
+class HeaderRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HeaderRoundTrip, EncodeDecode) {
+  const std::size_t n = GetParam();
+  Rng rng(404 + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto dests = rng.subset(n, rng.uniform(0, n));
+    const auto bits = encode_header(dests, n);
+    EXPECT_EQ(bits.size(), header_bits(n));
+    auto got = decode_header(bits);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, dests);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeaderRoundTrip,
+                         ::testing::Values(2, 4, 8, 64, 512));
+
+TEST(HeaderCodec, RejectsMalformedBits) {
+  // Wrong bit count.
+  EXPECT_THROW(header_to_sequence(std::vector<bool>(4, false)),
+               ContractViolation);
+  // 3 bits per tag but tag count + 1 not a power of two.
+  EXPECT_THROW(header_to_sequence(std::vector<bool>(6, false)),
+               ContractViolation);
+  // An invalid 3-bit pattern (010).
+  std::vector<bool> bad{0, 1, 0, 1, 1, 0, 1, 1, 0};
+  EXPECT_THROW(header_to_sequence(bad), ContractViolation);
+}
+
+TEST(HeaderCodec, DecodeValidatesTreeStructure) {
+  // Valid tag encodings but an inconsistent tree (root ε, child 0).
+  auto bits = encode_header(std::vector<std::size_t>{0}, 4);
+  // Overwrite the root tag (first 3 bits) with ε = 110.
+  bits[0] = true;
+  bits[1] = true;
+  bits[2] = false;
+  EXPECT_THROW(decode_header(bits), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::api

@@ -1,0 +1,154 @@
+// Gate-level routing circuitry (Section 7.2 / Fig. 12): the bit-serial
+// adder and the cycle-accurate pipelined adder tree, cross-checked
+// against plain arithmetic, against the behavioral forward phases, and
+// against the closed-form delay model.
+#include "hw/adder_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+TEST(FullAdder, TruthTable) {
+  EXPECT_EQ(full_adder(false, false, false).sum, false);
+  EXPECT_EQ(full_adder(false, false, false).carry, false);
+  EXPECT_EQ(full_adder(true, false, false).sum, true);
+  EXPECT_EQ(full_adder(true, true, false).sum, false);
+  EXPECT_EQ(full_adder(true, true, false).carry, true);
+  EXPECT_EQ(full_adder(true, true, true).sum, true);
+  EXPECT_EQ(full_adder(true, true, true).carry, true);
+  EXPECT_EQ(full_adder(false, true, true).sum, false);
+  EXPECT_EQ(full_adder(false, true, true).carry, true);
+}
+
+TEST(BitSerialAdder, AddsStreamsLsbFirst) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.uniform(0, (1u << 20) - 1);
+    const std::uint64_t b = rng.uniform(0, (1u << 20) - 1);
+    BitSerialAdder adder;
+    std::uint64_t sum = 0;
+    for (int bit = 0; bit < 22; ++bit) {
+      const bool s = adder.step((a >> bit) & 1u, (b >> bit) & 1u);
+      if (s) sum |= std::uint64_t{1} << bit;
+    }
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+TEST(BitSerialAdder, ResetClearsCarry) {
+  BitSerialAdder adder;
+  adder.step(true, true);  // sets carry
+  EXPECT_TRUE(adder.carry());
+  adder.reset();
+  EXPECT_FALSE(adder.carry());
+  EXPECT_TRUE(adder.step(true, false));
+}
+
+class AdderTreeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderTreeTest, RootSumMatchesArithmetic) {
+  const std::size_t n = GetParam();
+  const PipelinedAdderTree tree(n);
+  Rng rng(100 + n);
+  for (int input_bits : {1, 4, 8}) {
+    std::vector<std::uint64_t> leaves(n);
+    std::uint64_t want = 0;
+    for (auto& v : leaves) {
+      v = rng.uniform(0, (std::uint64_t{1} << input_bits) - 1);
+      want += v;
+    }
+    const auto result = tree.run(leaves, input_bits);
+    EXPECT_EQ(result.node_sums[static_cast<std::size_t>(tree.depth())][0],
+              want)
+        << "n=" << n << " bits=" << input_bits;
+  }
+}
+
+TEST_P(AdderTreeTest, EveryInternalNodeSumCorrect) {
+  const std::size_t n = GetParam();
+  const PipelinedAdderTree tree(n);
+  Rng rng(200 + n);
+  std::vector<std::uint64_t> leaves(n);
+  for (auto& v : leaves) v = rng.uniform(0, 15);
+  const auto result = tree.run(leaves, 4);
+  for (int j = 1; j <= tree.depth(); ++j) {
+    const std::size_t width = n >> j;
+    for (std::size_t b = 0; b < width; ++b) {
+      std::uint64_t want = 0;
+      for (std::size_t i = b << j; i < (b + 1) << j; ++i) want += leaves[i];
+      EXPECT_EQ(result.node_sums[static_cast<std::size_t>(j)][b], want)
+          << "level " << j << " node " << b;
+    }
+  }
+}
+
+TEST_P(AdderTreeTest, CycleCountMatchesClosedForm) {
+  const std::size_t n = GetParam();
+  const PipelinedAdderTree tree(n);
+  const auto result = tree.run(std::vector<std::uint64_t>(n, 1), 1);
+  EXPECT_EQ(result.cycles, tree.expected_cycles(1));
+  EXPECT_EQ(result.cycles, static_cast<std::size_t>(2 * tree.depth() + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdderTreeTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(AdderTree, ForwardPhaseCountsMatchBehavioralAlgorithm) {
+  // The tree's node sums on 0/1 keys are exactly the l-values the
+  // bit-sorter forward phase computes (paper Table 3).
+  const std::size_t n = 64;
+  Rng rng(42);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.uniform(0, 1);
+  const PipelinedAdderTree tree(n);
+  const auto result = tree.run(keys, 1);
+  // Behavioral forward phase: pairwise sums level by level.
+  std::vector<std::uint64_t> level(keys);
+  for (int j = 1; j <= tree.depth(); ++j) {
+    std::vector<std::uint64_t> next(level.size() / 2);
+    for (std::size_t b = 0; b < next.size(); ++b) {
+      next[b] = level[2 * b] + level[2 * b + 1];
+    }
+    EXPECT_EQ(result.node_sums[static_cast<std::size_t>(j)], next);
+    level = std::move(next);
+  }
+}
+
+TEST(AdderTree, FillLatencyMatchesConfigSweepModel) {
+  // One forward sweep of the pipelined tree on 1-bit inputs costs
+  // 2m + 1 cycles; config_sweep_delay charges a forward and a backward
+  // sweep, 2(2m + 1).
+  for (std::size_t n : {4u, 16u, 256u}) {
+    const PipelinedAdderTree tree(n);
+    const auto m = tree.depth();
+    EXPECT_EQ(2 * tree.expected_cycles(1), config_sweep_delay(m));
+  }
+}
+
+TEST(AdderTree, GateCountLinearInLeaves) {
+  const PipelinedAdderTree small(4), big(1024);
+  EXPECT_EQ(small.gate_count(),
+            3 * (BitSerialAdder::gate_count() + kDffGates));
+  EXPECT_EQ(big.gate_count(),
+            1023 * (BitSerialAdder::gate_count() + kDffGates));
+}
+
+TEST(AdderTree, InputValidation) {
+  const PipelinedAdderTree tree(8);
+  EXPECT_THROW(tree.run(std::vector<std::uint64_t>(4, 0), 1),
+               ContractViolation);
+  EXPECT_THROW(tree.run(std::vector<std::uint64_t>(8, 2), 1),
+               ContractViolation);
+  EXPECT_THROW(PipelinedAdderTree(3), ContractViolation);
+  EXPECT_THROW(PipelinedAdderTree(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::hw

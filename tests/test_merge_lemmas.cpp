@@ -1,0 +1,175 @@
+// Exhaustive validation of Lemmas 1-5: for every admissible parameter
+// combination at small n, place the two half-size compact sequences at
+// the plan's start positions, push them through a directly simulated
+// merging stage, and check the output is exactly the target compact
+// sequence (with broadcasts consuming precisely the aligned α/ε pairs).
+#include "core/merge_lemmas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "core/compact_sequence.hpp"
+#include "helpers.hpp"
+
+namespace brsmn {
+namespace {
+
+using testing::Sym;
+using testing::apply_merging_stage;
+using testing::compact_symbols;
+using testing::symbol_indicator;
+
+std::vector<Sym> concat(std::vector<Sym> a, const std::vector<Sym>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+std::size_t count_sym(const std::vector<Sym>& v, Sym s) {
+  return static_cast<std::size_t>(std::count(v.begin(), v.end(), s));
+}
+
+class LemmaTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LemmaTest, Lemma1MergesSameSymbolRuns) {
+  const std::size_t n = GetParam();
+  const std::size_t half = n / 2;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t l0 = 0; l0 <= half; ++l0) {
+      for (std::size_t l1 = 0; l1 <= half; ++l1) {
+        const auto plan = lemmas::lemma1(n, s, l0, l1);
+        ASSERT_EQ(plan.settings.size(), half);
+        const auto in = concat(compact_symbols(half, plan.s0, l0, Sym::Eps),
+                               compact_symbols(half, plan.s1, l1, Sym::Eps));
+        std::vector<Sym> out;
+        ASSERT_TRUE(apply_merging_stage(in, plan.settings, out));
+        EXPECT_TRUE(
+            matches_compact(symbol_indicator(out, Sym::Eps), s, l0 + l1))
+            << "n=" << n << " s=" << s << " l0=" << l0 << " l1=" << l1;
+      }
+    }
+  }
+}
+
+TEST_P(LemmaTest, Lemma1UsesOnlyUnicastSettings) {
+  const std::size_t n = GetParam();
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto plan = lemmas::lemma1(n, s, n / 4, n / 2);
+    for (const auto setting : plan.settings) {
+      EXPECT_TRUE(setting == SwitchSetting::Parallel ||
+                  setting == SwitchSetting::Cross);
+    }
+  }
+}
+
+struct ElimCase {
+  // Which lemma, symbol layout and survivor type.
+  lemmas::MergePlan (*fn)(std::size_t, std::size_t, std::size_t, std::size_t);
+  Sym upper_sym;
+  Sym lower_sym;
+  bool upper_longer;  // true: l1 <= l0 (lemmas 2/4), false: l0 <= l1
+};
+
+void check_elimination(const ElimCase& c, std::size_t n) {
+  const std::size_t half = n / 2;
+  const Sym survivor_sym = c.upper_longer ? c.upper_sym : c.lower_sym;
+  const Sym consumed_sym = c.upper_longer ? c.lower_sym : c.upper_sym;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t lbig = 0; lbig <= half; ++lbig) {
+      for (std::size_t lsmall = 0; lsmall <= lbig; ++lsmall) {
+        const std::size_t l0 = c.upper_longer ? lbig : lsmall;
+        const std::size_t l1 = c.upper_longer ? lsmall : lbig;
+        const std::size_t l = lbig - lsmall;
+        const auto plan = c.fn(n, s, l0, l1);
+        ASSERT_EQ(plan.settings.size(), half);
+        const auto in =
+            concat(compact_symbols(half, plan.s0, l0, c.upper_sym),
+                   compact_symbols(half, plan.s1, l1, c.lower_sym));
+        std::vector<Sym> out;
+        ASSERT_TRUE(apply_merging_stage(in, plan.settings, out))
+            << "misaligned broadcast: n=" << n << " s=" << s << " l0=" << l0
+            << " l1=" << l1;
+        // The shorter run is fully neutralized...
+        EXPECT_EQ(count_sym(out, consumed_sym), 0u);
+        // ...and the surplus survives as the target compact run.
+        EXPECT_TRUE(
+            matches_compact(symbol_indicator(out, survivor_sym), s, l))
+            << "n=" << n << " s=" << s << " l0=" << l0 << " l1=" << l1;
+      }
+    }
+  }
+}
+
+TEST_P(LemmaTest, Lemma2UpperAlphaSurvives) {
+  check_elimination({&lemmas::lemma2, Sym::Alpha, Sym::Eps, true},
+                    GetParam());
+}
+
+TEST_P(LemmaTest, Lemma3LowerEpsSurvives) {
+  check_elimination({&lemmas::lemma3, Sym::Alpha, Sym::Eps, false},
+                    GetParam());
+}
+
+TEST_P(LemmaTest, Lemma4UpperEpsSurvives) {
+  check_elimination({&lemmas::lemma4, Sym::Eps, Sym::Alpha, true},
+                    GetParam());
+}
+
+TEST_P(LemmaTest, Lemma5LowerAlphaSurvives) {
+  check_elimination({&lemmas::lemma5, Sym::Eps, Sym::Alpha, false},
+                    GetParam());
+}
+
+TEST_P(LemmaTest, EliminationBroadcastCountEqualsConsumedRun) {
+  const std::size_t n = GetParam();
+  const std::size_t half = n / 2;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t l0 = 0; l0 <= half; ++l0) {
+      for (std::size_t l1 = 0; l1 <= l0; ++l1) {
+        const auto plan = lemmas::lemma2(n, s, l0, l1);
+        const auto bcasts = static_cast<std::size_t>(std::count(
+            plan.settings.begin(), plan.settings.end(),
+            SwitchSetting::UpperBcast));
+        EXPECT_EQ(bcasts, l1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LemmaTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(MergeLemmas, PreconditionsEnforced) {
+  EXPECT_THROW(lemmas::lemma1(6, 0, 1, 1), ContractViolation);   // not pow2
+  EXPECT_THROW(lemmas::lemma1(8, 8, 1, 1), ContractViolation);   // s >= n
+  EXPECT_THROW(lemmas::lemma1(8, 0, 5, 0), ContractViolation);   // l0 > n/2
+  EXPECT_THROW(lemmas::lemma2(8, 0, 1, 2), ContractViolation);   // l1 > l0
+  EXPECT_THROW(lemmas::lemma3(8, 0, 2, 1), ContractViolation);   // l0 > l1
+  EXPECT_THROW(lemmas::lemma4(8, 0, 1, 2), ContractViolation);
+  EXPECT_THROW(lemmas::lemma5(8, 0, 2, 1), ContractViolation);
+}
+
+TEST(MergeLemmas, Lemma1WorkedExample) {
+  // n = 4, s = 1, l0 = l1 = 1: γ-run of 2 starting at 1 needs the stage
+  // fully parallel (derived by hand in DESIGN review).
+  const auto plan = lemmas::lemma1(4, 1, 1, 1);
+  EXPECT_EQ(plan.s0, 1u);
+  EXPECT_EQ(plan.s1, 0u);
+  EXPECT_EQ(plan.settings,
+            (std::vector<SwitchSetting>{SwitchSetting::Parallel,
+                                        SwitchSetting::Parallel}));
+}
+
+TEST(MergeLemmas, Lemma1WrappedWorkedExample) {
+  // n = 4, s = 3, l = 2 (wraps): fully crossing.
+  const auto plan = lemmas::lemma1(4, 3, 1, 1);
+  EXPECT_EQ(plan.s0, 1u);
+  EXPECT_EQ(plan.s1, 0u);
+  EXPECT_EQ(plan.settings,
+            (std::vector<SwitchSetting>{SwitchSetting::Cross,
+                                        SwitchSetting::Cross}));
+}
+
+}  // namespace
+}  // namespace brsmn

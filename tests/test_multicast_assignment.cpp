@@ -1,0 +1,114 @@
+#include "core/multicast_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(MulticastAssignment, PaperExampleShape) {
+  const auto a = paper_example_assignment();
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.destinations(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(a.destinations(1).empty());
+  EXPECT_EQ(a.destinations(2), (std::vector<std::size_t>{3, 4, 7}));
+  EXPECT_EQ(a.destinations(3), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(a.destinations(7), (std::vector<std::size_t>{5, 6}));
+  EXPECT_EQ(a.active_inputs(), 4u);
+  EXPECT_EQ(a.total_connections(), 8u);
+  EXPECT_FALSE(a.is_permutation_assignment());
+}
+
+TEST(MulticastAssignment, ConnectKeepsSetsSortedAndDisjoint) {
+  MulticastAssignment a(8);
+  a.connect(3, 5);
+  a.connect(3, 1);
+  a.connect(3, 7);
+  EXPECT_EQ(a.destinations(3), (std::vector<std::size_t>{1, 5, 7}));
+  EXPECT_THROW(a.connect(2, 5), ContractViolation);  // claimed by input 3
+  EXPECT_THROW(a.connect(3, 5), ContractViolation);  // even by itself
+}
+
+TEST(MulticastAssignment, RangeChecks) {
+  MulticastAssignment a(4);
+  EXPECT_THROW(a.connect(4, 0), ContractViolation);
+  EXPECT_THROW(a.connect(0, 4), ContractViolation);
+  EXPECT_THROW(a.destinations(4), ContractViolation);
+  EXPECT_THROW(MulticastAssignment(3), ContractViolation);
+}
+
+TEST(MulticastAssignment, OutputToInputInverts) {
+  const auto a = paper_example_assignment();
+  const auto inv = a.output_to_input();
+  EXPECT_EQ(inv[0], 0u);
+  EXPECT_EQ(inv[1], 0u);
+  EXPECT_EQ(inv[2], 3u);
+  EXPECT_EQ(inv[3], 2u);
+  EXPECT_EQ(inv[4], 2u);
+  EXPECT_EQ(inv[5], 7u);
+  EXPECT_EQ(inv[6], 7u);
+  EXPECT_EQ(inv[7], 2u);
+}
+
+TEST(MulticastAssignment, ToStringMatchesPaperNotation) {
+  const auto a = paper_example_assignment();
+  EXPECT_EQ(a.to_string(),
+            "{{0,1}, {}, {3,4,7}, {2}, {}, {}, {}, {5,6}}");
+}
+
+TEST(MulticastAssignment, RandomMulticastIsValidAndDense) {
+  Rng rng(5);
+  const auto a = random_multicast(64, 1.0, rng);
+  EXPECT_EQ(a.total_connections(), 64u);  // every output assigned
+  const auto b = random_multicast(64, 0.0, rng);
+  EXPECT_EQ(b.total_connections(), 0u);
+}
+
+TEST(MulticastAssignment, RandomPermutationHasSingletonSets) {
+  Rng rng(6);
+  const auto a = random_permutation(32, 1.0, rng);
+  EXPECT_TRUE(a.is_permutation_assignment());
+  EXPECT_EQ(a.total_connections(), 32u);
+  const auto b = random_permutation(32, 0.5, rng);
+  EXPECT_TRUE(b.is_permutation_assignment());
+  EXPECT_EQ(b.total_connections(), 16u);
+}
+
+TEST(MulticastAssignment, BroadcastAssignmentsCoverAllOutputs) {
+  const auto a = broadcast_assignment(16, 4);
+  std::set<std::size_t> covered;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (auto d : a.destinations(i)) covered.insert(d);
+    if (i < 4) {
+      EXPECT_EQ(a.destinations(i).size(), 4u);
+    } else {
+      EXPECT_TRUE(a.destinations(i).empty());
+    }
+  }
+  EXPECT_EQ(covered.size(), 16u);
+  const auto full = full_broadcast(8);
+  EXPECT_EQ(full.destinations(0).size(), 8u);
+}
+
+TEST(MulticastAssignment, GeneratorDeterminism) {
+  Rng r1(42), r2(42);
+  const auto a = random_multicast(128, 0.7, r1);
+  const auto b = random_multicast(128, 0.7, r2);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(a.destinations(i), b.destinations(i));
+  }
+}
+
+TEST(MulticastAssignment, ExplicitConstructorValidates) {
+  EXPECT_NO_THROW(MulticastAssignment(4, {{0}, {1, 2}, {}, {3}}));
+  EXPECT_THROW(MulticastAssignment(4, {{0}, {0}, {}, {}}),
+               ContractViolation);
+  EXPECT_THROW(MulticastAssignment(4, {{0}, {1}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

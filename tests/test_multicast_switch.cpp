@@ -1,0 +1,127 @@
+// The epoch-based MulticastSwitch facade: payload integrity, conflict
+// rejection, epoch lifecycle, both engines.
+#include "api/multicast_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::api {
+namespace {
+
+std::vector<std::uint8_t> payload_for(std::size_t source) {
+  return {static_cast<std::uint8_t>(source), 0xAB,
+          static_cast<std::uint8_t>(source * 7)};
+}
+
+class SwitchEngineTest
+    : public ::testing::TestWithParam<MulticastSwitch::Engine> {};
+
+TEST_P(SwitchEngineTest, DeliversPayloadsToAllDestinations) {
+  MulticastSwitch sw(8, GetParam());
+  sw.submit(0, payload_for(0), {0, 1});
+  sw.submit(2, payload_for(2), {3, 4, 7});
+  sw.submit(3, payload_for(3), {2});
+  sw.submit(7, payload_for(7), {5, 6});
+  EXPECT_EQ(sw.pending(), 4u);
+
+  const auto deliveries = sw.route_epoch();
+  ASSERT_EQ(deliveries.size(), 8u);
+  const std::size_t want_source[] = {0, 0, 3, 2, 2, 7, 7, 2};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(deliveries[i].output, i);
+    EXPECT_EQ(deliveries[i].source, want_source[i]);
+    EXPECT_EQ(deliveries[i].payload, payload_for(want_source[i]));
+  }
+  EXPECT_EQ(sw.pending(), 0u);
+}
+
+TEST_P(SwitchEngineTest, EpochsAreIndependent) {
+  MulticastSwitch sw(8, GetParam());
+  sw.submit(1, payload_for(1), {0, 1, 2, 3});
+  const auto first = sw.route_epoch();
+  EXPECT_EQ(first.size(), 4u);
+  // The next epoch may reuse the same outputs freely.
+  sw.submit(5, payload_for(5), {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto second = sw.route_epoch();
+  EXPECT_EQ(second.size(), 8u);
+  for (const auto& d : second) EXPECT_EQ(d.source, 5u);
+}
+
+TEST_P(SwitchEngineTest, RandomEpochsDeliverExactly) {
+  MulticastSwitch sw(64, GetParam());
+  Rng rng(7);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const auto a = random_multicast(64, 0.7, rng);
+    std::size_t want = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (!a.destinations(i).empty()) {
+        sw.submit(i, payload_for(i), a.destinations(i));
+        want += a.destinations(i).size();
+      }
+    }
+    const auto deliveries = sw.route_epoch();
+    EXPECT_EQ(deliveries.size(), want);
+    for (const auto& d : deliveries) {
+      EXPECT_EQ(d.payload, payload_for(d.source));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SwitchEngineTest,
+                         ::testing::Values(MulticastSwitch::Engine::kUnrolled,
+                                           MulticastSwitch::Engine::kFeedback));
+
+TEST(MulticastSwitch, RejectsConflictsAndMisuse) {
+  MulticastSwitch sw(8);
+  sw.submit(0, {1}, {3});
+  // Same input twice in one epoch.
+  EXPECT_THROW(sw.submit(0, {2}, {4}), ContractViolation);
+  // Destination already claimed.
+  EXPECT_THROW(sw.submit(1, {2}, {3}), ContractViolation);
+  // Empty destination set.
+  EXPECT_THROW(sw.submit(2, {2}, {}), ContractViolation);
+  // Out of range.
+  EXPECT_THROW(sw.submit(8, {2}, {0}), ContractViolation);
+  EXPECT_THROW(sw.submit(2, {2}, {8}), ContractViolation);
+}
+
+TEST(MulticastSwitch, EmptyEpochIsANoOp) {
+  MulticastSwitch sw(8);
+  EXPECT_TRUE(sw.route_epoch().empty());
+  EXPECT_EQ(sw.last_stats().switch_traversals, 0u);
+}
+
+TEST(MulticastSwitch, StatsReflectLastEpoch) {
+  MulticastSwitch sw(16);
+  sw.submit(3, {9}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  sw.route_epoch();
+  EXPECT_EQ(sw.last_stats().broadcast_ops, 15u);
+}
+
+TEST(MulticastSwitch, SubmitIsAtomicOnPartialConflict) {
+  MulticastSwitch sw(8);
+  sw.submit(0, {1}, {3});
+  // Input 1 asks for {4, 3}: 4 is free, 3 is taken — nothing of the cell
+  // may register.
+  EXPECT_THROW(sw.submit(1, {2}, {4, 3}), ContractViolation);
+  EXPECT_THROW(sw.submit(2, {2}, {5, 5}), ContractViolation);
+  const auto deliveries = sw.route_epoch();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].output, 3u);
+}
+
+TEST(MulticastSwitch, FailedSubmitLeavesEpochUsable) {
+  MulticastSwitch sw(8);
+  sw.submit(0, {1}, {3});
+  EXPECT_THROW(sw.submit(1, {2}, {3}), ContractViolation);
+  // Input 1's failed submission must not appear in the epoch.
+  const auto deliveries = sw.route_epoch();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].source, 0u);
+  EXPECT_EQ(deliveries[0].output, 3u);
+}
+
+}  // namespace
+}  // namespace brsmn::api

@@ -1,0 +1,147 @@
+// Structural netlists: functional equivalence with the behavioral
+// hardware models, and the gate-census audit behind the cost model's
+// per-switch constants.
+#include "hw/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "hw/adder_tree.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+TEST(Netlist, FullAdderMatchesTruthTable) {
+  Netlist nl;
+  const FullAdderPorts fa = build_full_adder(nl);
+  Netlist::Sim sim(nl);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        sim.set_input(fa.a, a);
+        sim.set_input(fa.b, b);
+        sim.set_input(fa.cin, cin);
+        sim.step();
+        const FullAdderOut want = full_adder(a, b, cin);
+        EXPECT_EQ(sim.value(fa.sum), want.sum) << a << b << cin;
+        EXPECT_EQ(sim.value(fa.carry), want.carry) << a << b << cin;
+      }
+    }
+  }
+}
+
+TEST(Netlist, FullAdderGateCensusMatchesConstant) {
+  Netlist nl;
+  build_full_adder(nl);
+  EXPECT_EQ(nl.combinational_gates(), kFullAdderGates);
+  EXPECT_EQ(nl.flip_flops(), 0u);
+}
+
+TEST(Netlist, BitSerialAdderMatchesBehavioralModel) {
+  Netlist nl;
+  const SerialAdderPorts ports = build_bit_serial_adder(nl);
+  EXPECT_EQ(nl.gate_equivalents(), BitSerialAdder::gate_count());
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = rng.uniform(0, (1u << 16) - 1);
+    const std::uint64_t b = rng.uniform(0, (1u << 16) - 1);
+    Netlist::Sim sim(nl);
+    BitSerialAdder behavioral;
+    for (int bit = 0; bit < 18; ++bit) {
+      sim.set_input(ports.a, (a >> bit) & 1u);
+      sim.set_input(ports.b, (b >> bit) & 1u);
+      sim.step();
+      EXPECT_EQ(sim.value(ports.sum),
+                behavioral.step((a >> bit) & 1u, (b >> bit) & 1u))
+          << "bit " << bit;
+    }
+  }
+}
+
+class NetlistTreeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetlistTreeTest, AdderTreeStreamsRootSum) {
+  const std::size_t n = GetParam();
+  Netlist nl;
+  const AdderTreePorts ports = build_adder_tree(nl, n);
+  const PipelinedAdderTree model(n);
+
+  Rng rng(41 + n);
+  std::vector<std::uint64_t> leaves(n);
+  std::uint64_t want = 0;
+  for (auto& v : leaves) {
+    v = rng.uniform(0, 1);
+    want += v;
+  }
+
+  const int in_bits = 1;
+  const int depth = model.depth();
+  const int out_bits = in_bits + depth;
+  Netlist::Sim sim(nl);
+  std::uint64_t sum = 0;
+  // Reading value(root) right after step t yields root sum bit t - depth:
+  // exactly expected_cycles() steps drain the full sum.
+  const std::size_t total = model.expected_cycles(in_bits);
+  for (std::size_t t = 0; t < total; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.set_input(ports.leaves[i],
+                    t < static_cast<std::size_t>(in_bits) &&
+                        ((leaves[i] >> t) & 1u));
+    }
+    sim.step();
+    const auto bit_index = static_cast<std::ptrdiff_t>(t) - depth;
+    if (bit_index >= 0 && bit_index < out_bits && sim.value(ports.root)) {
+      sum |= std::uint64_t{1} << bit_index;
+    }
+  }
+  EXPECT_EQ(sum, want);
+}
+
+TEST_P(NetlistTreeTest, GateEquivalentsMatchCostModel) {
+  const std::size_t n = GetParam();
+  Netlist nl;
+  build_adder_tree(nl, n);
+  const PipelinedAdderTree model(n);
+  // (n-1) nodes x (5 combinational + carry DFF + output DFF) must equal
+  // the behavioral model's charged gate count.
+  EXPECT_EQ(nl.gate_equivalents(), model.gate_count());
+  EXPECT_EQ(nl.combinational_gates(), (n - 1) * kFullAdderGates);
+  EXPECT_EQ(nl.flip_flops(), (n - 1) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetlistTreeTest,
+                         ::testing::Values(2, 4, 8, 32, 128));
+
+TEST(Netlist, RejectsForwardCombinationalReferences) {
+  Netlist nl;
+  const int a = nl.add_input();
+  EXPECT_THROW(nl.add_and(a, 5), ContractViolation);
+  EXPECT_THROW(nl.add_not(-1), ContractViolation);
+}
+
+TEST(Netlist, RejectsUnconnectedDff) {
+  Netlist nl;
+  nl.add_dff();
+  EXPECT_THROW(Netlist::Sim sim(nl), ContractViolation);
+}
+
+TEST(Netlist, DffDelaysByOneCycle) {
+  Netlist nl;
+  const int in = nl.add_input();
+  const int ff = nl.add_dff();
+  nl.connect_dff(ff, in);
+  Netlist::Sim sim(nl);
+  sim.set_input(in, true);
+  sim.step();
+  EXPECT_FALSE(sim.value(ff));  // presented value is last cycle's state
+  sim.set_input(in, false);
+  sim.step();
+  EXPECT_TRUE(sim.value(ff));
+  sim.step();
+  EXPECT_FALSE(sim.value(ff));
+}
+
+}  // namespace
+}  // namespace brsmn::hw

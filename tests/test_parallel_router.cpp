@@ -1,0 +1,78 @@
+// Parallel batch routing: results identical to serial routing, in order,
+// across thread counts; worker errors propagate.
+#include "api/parallel_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::api {
+namespace {
+
+std::vector<MulticastAssignment> make_batch(std::size_t n, std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MulticastAssignment> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(random_multicast(n, 0.8, rng));
+  }
+  return batch;
+}
+
+class ParallelRouterTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelRouterTest, MatchesSerialRouting) {
+  const std::size_t n = 64;
+  const auto batch = make_batch(n, 40, 5);
+  ParallelRouter router(n, GetParam());
+  const auto results = router.route_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  Brsmn serial(n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i].delivered, serial.route(batch[i]).delivered) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelRouterTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelRouter, DefaultsToHardwareConcurrency) {
+  ParallelRouter router(16);
+  EXPECT_GE(router.threads(), 1u);
+}
+
+TEST(ParallelRouter, EmptyBatch) {
+  ParallelRouter router(16, 4);
+  EXPECT_TRUE(router.route_batch({}).empty());
+}
+
+TEST(ParallelRouter, MoreThreadsThanWork) {
+  ParallelRouter router(16, 16);
+  const auto batch = make_batch(16, 3, 9);
+  EXPECT_EQ(router.route_batch(batch).size(), 3u);
+}
+
+TEST(ParallelRouter, SizeMismatchRejected) {
+  ParallelRouter router(16, 2);
+  std::vector<MulticastAssignment> batch{MulticastAssignment(8)};
+  EXPECT_THROW(router.route_batch(batch), ContractViolation);
+  EXPECT_THROW(ParallelRouter(6, 2), ContractViolation);
+}
+
+TEST(ParallelRouter, LargeBatchStress) {
+  const std::size_t n = 128;
+  const auto batch = make_batch(n, 64, 31);
+  ParallelRouter router(n, 4);
+  const auto results = router.route_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::size_t want = batch[i].total_connections();
+    std::size_t got = 0;
+    for (const auto& d : results[i].delivered) got += d.has_value();
+    EXPECT_EQ(got, want) << i;
+  }
+}
+
+}  // namespace
+}  // namespace brsmn::api

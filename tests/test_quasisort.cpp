@@ -1,0 +1,129 @@
+// The RBN as a quasisorting network (Section 5.2): real zeros to the
+// upper half, real ones to the lower half, ε filling the rest.
+#include "core/quasisort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+std::vector<Tag> random_quasisort_tags(std::size_t n, Rng& rng) {
+  for (;;) {
+    std::vector<Tag> tags(n);
+    std::size_t n0 = 0, n1 = 0;
+    for (auto& t : tags) {
+      const auto r = rng.uniform(0, 3);
+      if (r == 0) {
+        t = Tag::Zero;
+        ++n0;
+      } else if (r == 1) {
+        t = Tag::One;
+        ++n1;
+      } else {
+        t = Tag::Eps;
+      }
+    }
+    if (n0 <= n / 2 && n1 <= n / 2) return tags;
+  }
+}
+
+struct Labeled {
+  Tag tag = Tag::Eps;
+  std::size_t origin = 0;
+};
+
+std::vector<Labeled> quasisort(Rbn& rbn, const std::vector<Tag>& tags) {
+  const auto divided = divide_eps(tags);
+  configure_quasisort(rbn, divided);
+  std::vector<Labeled> lines(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) lines[i] = {divided[i], i};
+  return rbn.propagate(std::move(lines), unicast_switch<Labeled>);
+}
+
+class QuasisortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuasisortTest, ZerosUpperOnesLower) {
+  const std::size_t n = GetParam();
+  Rng rng(31 + n);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto tags = random_quasisort_tags(n, rng);
+    const auto out = quasisort(rbn, tags);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(quasisort_key(out[i].tag), i < n / 2 ? 0 : 1) << i;
+    }
+  }
+}
+
+TEST_P(QuasisortTest, RealTagsSurviveWithTheirOrigins) {
+  const std::size_t n = GetParam();
+  Rng rng(41 + n);
+  Rbn rbn(n);
+  const auto tags = random_quasisort_tags(n, rng);
+  const auto out = quasisort(rbn, tags);
+  for (const auto& line : out) {
+    EXPECT_EQ(collapse_eps(line.tag), collapse_eps(tags[line.origin]))
+        << "tag must travel with its origin";
+  }
+}
+
+TEST_P(QuasisortTest, OutputIsPermutationOfInputs) {
+  const std::size_t n = GetParam();
+  Rng rng(51 + n);
+  Rbn rbn(n);
+  const auto tags = random_quasisort_tags(n, rng);
+  const auto out = quasisort(rbn, tags);
+  std::vector<std::size_t> origins(n);
+  for (std::size_t i = 0; i < n; ++i) origins[i] = out[i].origin;
+  std::sort(origins.begin(), origins.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(origins[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuasisortTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 512));
+
+TEST(Quasisort, ExhaustiveAllTagVectorsN4) {
+  Rbn rbn(4);
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Eps};
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 3; ++c)
+        for (int d = 0; d < 3; ++d) {
+          const std::vector<Tag> tags{choices[a], choices[b], choices[c],
+                                      choices[d]};
+          const std::size_t n0 = static_cast<std::size_t>(
+              std::count(tags.begin(), tags.end(), Tag::Zero));
+          const std::size_t n1 = static_cast<std::size_t>(
+              std::count(tags.begin(), tags.end(), Tag::One));
+          if (n0 > 2 || n1 > 2) continue;
+          const auto out = quasisort(rbn, tags);
+          for (std::size_t i = 0; i < 4; ++i) {
+            ASSERT_EQ(quasisort_key(out[i].tag), i < 2 ? 0 : 1)
+                << a << b << c << d;
+          }
+        }
+}
+
+TEST(Quasisort, KeyMapping) {
+  EXPECT_EQ(quasisort_key(Tag::Zero), 0);
+  EXPECT_EQ(quasisort_key(Tag::Eps0), 0);
+  EXPECT_EQ(quasisort_key(Tag::One), 1);
+  EXPECT_EQ(quasisort_key(Tag::Eps1), 1);
+  EXPECT_THROW(quasisort_key(Tag::Alpha), ContractViolation);
+  EXPECT_THROW(quasisort_key(Tag::Eps), ContractViolation);
+}
+
+TEST(Quasisort, ConfigureRejectsUnbalancedKeys) {
+  Rbn rbn(4);
+  // Hand-built "divided" tags with 3 zeros cannot be quasisorted.
+  const std::vector<Tag> bad{Tag::Zero, Tag::Zero, Tag::Zero, Tag::One};
+  EXPECT_THROW(configure_quasisort(rbn, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,141 @@
+#include "core/rbn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Rbn, StartsAllParallel) {
+  const Rbn rbn(16);
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < 8; ++sw) {
+      EXPECT_EQ(rbn.setting(stage, sw), SwitchSetting::Parallel);
+    }
+  }
+}
+
+TEST(Rbn, SetAndGet) {
+  Rbn rbn(8);
+  rbn.set(2, 3, SwitchSetting::Cross);
+  EXPECT_EQ(rbn.setting(2, 3), SwitchSetting::Cross);
+  rbn.reset();
+  EXPECT_EQ(rbn.setting(2, 3), SwitchSetting::Parallel);
+}
+
+TEST(Rbn, RangeChecks) {
+  Rbn rbn(8);
+  EXPECT_THROW(rbn.setting(0, 0), ContractViolation);
+  EXPECT_THROW(rbn.setting(4, 0), ContractViolation);
+  EXPECT_THROW(rbn.setting(1, 4), ContractViolation);
+  EXPECT_THROW(rbn.set(1, 4, SwitchSetting::Cross), ContractViolation);
+}
+
+TEST(Rbn, SetBlockRoundTrip) {
+  Rbn rbn(16);
+  const std::vector<SwitchSetting> settings{
+      SwitchSetting::Cross, SwitchSetting::Parallel, SwitchSetting::Cross,
+      SwitchSetting::UpperBcast};
+  rbn.set_block(3, 1, settings);
+  EXPECT_EQ(rbn.block_settings(3, 1), settings);
+  // Other blocks untouched.
+  EXPECT_EQ(rbn.block_settings(3, 0),
+            std::vector<SwitchSetting>(4, SwitchSetting::Parallel));
+}
+
+TEST(Rbn, SetBlockSizeChecked) {
+  Rbn rbn(16);
+  EXPECT_THROW(
+      rbn.set_block(3, 0, std::vector<SwitchSetting>(3,
+                                                     SwitchSetting::Cross)),
+      ContractViolation);
+}
+
+TEST(Rbn, AllParallelIsIdentity) {
+  const Rbn rbn(32);
+  std::vector<int> lines(32);
+  std::iota(lines.begin(), lines.end(), 0);
+  const auto out = rbn.propagate(lines, unicast_switch<int>);
+  EXPECT_EQ(out, lines);
+}
+
+TEST(Rbn, SingleStageCrossSwapsPartners) {
+  Rbn rbn(8);
+  // Stage 3 (the full 8-line merging network): cross logical switch 1,
+  // i.e. swap lines 1 and 5.
+  rbn.set(3, 1, SwitchSetting::Cross);
+  std::vector<int> lines{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = rbn.propagate(std::move(lines), 3, 3, unicast_switch<int>);
+  EXPECT_EQ(out, (std::vector<int>{0, 5, 2, 3, 4, 1, 6, 7}));
+}
+
+TEST(Rbn, Stage1CrossSwapsAdjacentPairs) {
+  Rbn rbn(8);
+  for (std::size_t sw = 0; sw < 4; ++sw) rbn.set(1, sw, SwitchSetting::Cross);
+  std::vector<int> lines{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = rbn.propagate(std::move(lines), 1, 1, unicast_switch<int>);
+  EXPECT_EQ(out, (std::vector<int>{1, 0, 3, 2, 5, 4, 7, 6}));
+}
+
+TEST(Rbn, UnicastPropagationPreservesMultiset) {
+  Rbn rbn(16);
+  // Arbitrary unicast settings everywhere.
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < 8; ++sw) {
+      rbn.set(stage, sw,
+              (stage + static_cast<int>(sw)) % 2 ? SwitchSetting::Cross
+                                                 : SwitchSetting::Parallel);
+    }
+  }
+  std::vector<int> lines(16);
+  std::iota(lines.begin(), lines.end(), 0);
+  auto out = rbn.propagate(lines, unicast_switch<int>);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, lines);
+}
+
+TEST(Rbn, UnicastFnRejectsBroadcast) {
+  Rbn rbn(4);
+  rbn.set(1, 0, SwitchSetting::UpperBcast);
+  std::vector<int> lines{0, 1, 2, 3};
+  EXPECT_THROW(rbn.propagate(std::move(lines), unicast_switch<int>),
+               ContractViolation);
+}
+
+TEST(Rbn, PropagateValidatesLineCountAndStageRange) {
+  const Rbn rbn(8);
+  EXPECT_THROW(rbn.propagate(std::vector<int>(7), unicast_switch<int>),
+               ContractViolation);
+  EXPECT_THROW(
+      rbn.propagate(std::vector<int>(8), 2, 1, unicast_switch<int>),
+      ContractViolation);
+  EXPECT_THROW(
+      rbn.propagate(std::vector<int>(8), 1, 4, unicast_switch<int>),
+      ContractViolation);
+}
+
+TEST(Rbn, SwitchContextReportsLinesAndStage) {
+  Rbn rbn(8);
+  std::vector<int> seen_stage_counts(4, 0);
+  std::vector<int> lines(8, 0);
+  rbn.propagate(lines, [&](const SwitchContext& ctx, SwitchSetting, int a,
+                           int b) {
+    EXPECT_GE(ctx.stage, 1);
+    EXPECT_LE(ctx.stage, 3);
+    EXPECT_LT(ctx.switch_index, 4u);
+    EXPECT_LT(ctx.upper_line, ctx.lower_line);
+    EXPECT_EQ(ctx.lower_line - ctx.upper_line,
+              (std::size_t{1} << ctx.stage) / 2);
+    ++seen_stage_counts[static_cast<std::size_t>(ctx.stage)];
+    return std::pair<int, int>{a, b};
+  });
+  EXPECT_EQ(seen_stage_counts[1], 4);
+  EXPECT_EQ(seen_stage_counts[2], 4);
+  EXPECT_EQ(seen_stage_counts[3], 4);
+}
+
+}  // namespace
+}  // namespace brsmn

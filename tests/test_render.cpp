@@ -1,0 +1,69 @@
+#include "sim/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/feedback.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Render, SettingChars) {
+  EXPECT_EQ(render::setting_char(SwitchSetting::Parallel), '=');
+  EXPECT_EQ(render::setting_char(SwitchSetting::Cross), 'x');
+  EXPECT_EQ(render::setting_char(SwitchSetting::UpperBcast), '^');
+  EXPECT_EQ(render::setting_char(SwitchSetting::LowerBcast), 'v');
+}
+
+TEST(Render, DeliveryString) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment());
+  EXPECT_EQ(render::delivery(result),
+            "outputs: 0<-0 1<-0 2<-3 3<-2 4<-2 5<-7 6<-7 7<-2");
+}
+
+TEST(Render, LevelsShowSourcesAndStreams) {
+  Brsmn net(8);
+  const auto result =
+      net.route(paper_example_assignment(), RouteOptions{.capture_levels = true});
+  const std::string s = render::levels(result);
+  EXPECT_NE(s.find("level 1 |"), std::string::npos);
+  EXPECT_NE(s.find("level 3 |"), std::string::npos);
+  EXPECT_NE(s.find("src=2"), std::string::npos);
+  // Input 2's routing tag sequence appears at level 1.
+  EXPECT_NE(s.find("a1ae011"), std::string::npos);
+}
+
+TEST(Render, EmptyRouteRendersAllIdle) {
+  Brsmn net(4);
+  const auto result =
+      net.route(MulticastAssignment(4), RouteOptions{.capture_levels = true});
+  EXPECT_EQ(render::delivery(result), "outputs: 0<-- 1<-- 2<-- 3<--");
+  const std::string s = render::levels(result);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), 0);  // no occupied lines
+}
+
+TEST(Render, FeedbackRouteRendersIdentically) {
+  Brsmn unrolled(8);
+  FeedbackBrsmn feedback(8);
+  const auto a = paper_example_assignment();
+  const RouteOptions opts{.capture_levels = true};
+  const auto r1 = unrolled.route(a, opts);
+  const auto r2 = feedback.route(a, opts);
+  EXPECT_EQ(render::delivery(r1), render::delivery(r2));
+  EXPECT_EQ(render::levels(r1), render::levels(r2));
+}
+
+TEST(Render, FabricSettingsOneRowPerStage) {
+  Rbn rbn(8);
+  rbn.set(2, 1, SwitchSetting::Cross);
+  const std::string s = render::fabric_settings(rbn);
+  EXPECT_EQ(s,
+            "stage 1: ====\n"
+            "stage 2: =x==\n"
+            "stage 3: ====\n");
+}
+
+}  // namespace
+}  // namespace brsmn

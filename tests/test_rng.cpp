@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  bool diverged = false;
+  for (int i = 0; i < 100 && !diverged; ++i) {
+    diverged = a.uniform(0, 1'000'000) != b.uniform(0, 1'000'000);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+  EXPECT_THROW(rng.uniform(6, 5), ContractViolation);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 256u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Rng, SubsetSortedUniqueInRange) {
+  Rng rng(5);
+  const auto s = rng.subset(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SubsetFullAndEmpty) {
+  Rng rng(5);
+  EXPECT_TRUE(rng.subset(10, 0).empty());
+  auto full = rng.subset(10, 10);
+  std::vector<std::size_t> want(10);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(full, want);
+  EXPECT_THROW(rng.subset(4, 5), ContractViolation);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace brsmn

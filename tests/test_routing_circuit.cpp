@@ -1,0 +1,97 @@
+// The gate-level routing circuit must be bit-for-bit equivalent to the
+// behavioral distributed algorithm, at the modelled cycle cost.
+#include "hw/routing_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/bit_sorter.hpp"
+#include "core/compact_sequence.hpp"
+#include "core/stats.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+class RoutingCircuitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoutingCircuitTest, SettingsMatchBehavioralAlgorithm) {
+  const std::size_t n = GetParam();
+  const GateLevelBitSorter circuit(n);
+  Rng rng(510 + n);
+  Rbn behavioral(n);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<int> keys(n);
+    for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
+    const std::size_t s = rng.uniform(0, n - 1);
+    configure_bit_sorter(behavioral, keys, s);
+    const auto result = circuit.compute(keys, s);
+    for (int stage = 1; stage <= behavioral.stages(); ++stage) {
+      for (std::size_t sw = 0; sw < n / 2; ++sw) {
+        ASSERT_EQ(result.settings[static_cast<std::size_t>(stage - 1)][sw],
+                  behavioral.setting(stage, sw))
+            << "stage " << stage << " switch " << sw << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingCircuitTest, CycleCountMatchesDelayModel) {
+  const std::size_t n = GetParam();
+  const GateLevelBitSorter circuit(n);
+  const auto result = circuit.compute(std::vector<int>(n, 0), 0);
+  EXPECT_EQ(result.cycles, config_sweep_delay(log2_exact(n)));
+}
+
+TEST_P(RoutingCircuitTest, CircuitSettingsActuallySort) {
+  const std::size_t n = GetParam();
+  const GateLevelBitSorter circuit(n);
+  Rng rng(99 + n);
+  Rbn fabric(n);
+  std::vector<int> keys(n);
+  std::size_t l = 0;
+  for (auto& k : keys) {
+    k = static_cast<int>(rng.uniform(0, 1));
+    l += static_cast<std::size_t>(k);
+  }
+  const std::size_t s = rng.uniform(0, n - 1);
+  const auto result = circuit.compute(keys, s);
+  for (int stage = 1; stage <= fabric.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < n / 2; ++sw) {
+      fabric.set(stage, sw,
+                 result.settings[static_cast<std::size_t>(stage - 1)][sw]);
+    }
+  }
+  const auto out = fabric.propagate(keys, unicast_switch<int>);
+  std::vector<bool> ones(n);
+  for (std::size_t i = 0; i < n; ++i) ones[i] = out[i] == 1;
+  EXPECT_TRUE(matches_compact(ones, s, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoutingCircuitTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(RoutingCircuit, GateCountScalesNLogN) {
+  const GateLevelBitSorter small(64), big(1024);
+  // Gates per line grow with log n (the comparators), but only by the
+  // log factor: the ratio of per-line gate counts stays within ~2x.
+  const double per_line_small =
+      static_cast<double>(small.gate_count()) / 64.0;
+  const double per_line_big =
+      static_cast<double>(big.gate_count()) / 1024.0;
+  EXPECT_GT(per_line_big, per_line_small);
+  EXPECT_LT(per_line_big / per_line_small, 3.5);
+}
+
+TEST(RoutingCircuit, InputValidation) {
+  const GateLevelBitSorter circuit(8);
+  EXPECT_THROW(circuit.compute(std::vector<int>(4, 0), 0),
+               ContractViolation);
+  EXPECT_THROW(circuit.compute(std::vector<int>(8, 0), 8),
+               ContractViolation);
+  EXPECT_THROW(circuit.compute(std::vector<int>(8, 2), 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::hw

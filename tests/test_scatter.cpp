@@ -1,0 +1,205 @@
+// Theorems 2 and 3 as properties: the scatter network compacts the
+// dominating symbol's surplus at any requested start and, when ε
+// dominates (the BSN case), eliminates every α, each one splitting into
+// a 0-copy and a 1-copy with the original packet's stream.
+#include "core/scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/compact_sequence.hpp"
+#include "helpers.hpp"
+
+namespace brsmn {
+namespace {
+
+std::vector<LineValue> lines_from_tags(const std::vector<Tag>& tags) {
+  std::vector<LineValue> lines(tags.size());
+  std::uint64_t id = 1;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (is_empty(tags[i])) continue;
+    Packet p;
+    p.source = i;
+    p.copy_id = id++;
+    p.parent_id = p.copy_id;
+    p.stream = {tags[i]};
+    lines[i] = occupied_line(tags[i], std::move(p));
+  }
+  return lines;
+}
+
+std::vector<LineValue> run_scatter(Rbn& rbn, const std::vector<Tag>& tags,
+                                   std::size_t s,
+                                   ScatterNodeValue* root_out = nullptr,
+                                   RoutingStats* stats = nullptr) {
+  const ScatterNodeValue root = configure_scatter(rbn, tags, s, stats);
+  if (root_out) *root_out = root;
+  ScatterExec exec{1000, stats};
+  return rbn.propagate(
+      lines_from_tags(tags),
+      [&exec](const SwitchContext& ctx, SwitchSetting st, LineValue a,
+              LineValue b) {
+        return apply_scatter_switch(ctx, st, std::move(a), std::move(b),
+                                    exec);
+      });
+}
+
+class ScatterTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScatterTest, Theorem3DominantRunCompactAtAnyStart) {
+  const std::size_t n = GetParam();
+  Rng rng(303 + n);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto tags = testing::random_scatter_tags(n, rng);
+    const std::size_t s = rng.uniform(0, n - 1);
+    ScatterNodeValue root;
+    const auto out = run_scatter(rbn, tags, s, &root);
+    const std::size_t n_alpha = static_cast<std::size_t>(
+        std::count(tags.begin(), tags.end(), Tag::Alpha));
+    const std::size_t n_eps = static_cast<std::size_t>(
+        std::count(tags.begin(), tags.end(), Tag::Eps));
+    const Tag dominant = n_alpha >= n_eps ? Tag::Alpha : Tag::Eps;
+    const std::size_t surplus =
+        n_alpha >= n_eps ? n_alpha - n_eps : n_eps - n_alpha;
+    if (surplus > 0) {
+      EXPECT_EQ(root.type, dominant);
+    }
+    EXPECT_EQ(root.surplus, surplus);
+    std::vector<bool> run(n);
+    for (std::size_t i = 0; i < n; ++i) run[i] = out[i].tag == dominant;
+    EXPECT_TRUE(matches_compact(run, s, surplus))
+        << "n=" << n << " trial=" << trial;
+    // The non-dominant special symbol is fully consumed.
+    const Tag minority = dominant == Tag::Alpha ? Tag::Eps : Tag::Alpha;
+    EXPECT_EQ(std::count_if(out.begin(), out.end(),
+                            [&](const LineValue& lv) {
+                              return lv.tag == minority;
+                            }),
+              0);
+  }
+}
+
+TEST_P(ScatterTest, Theorem2OutputCensus) {
+  const std::size_t n = GetParam();
+  Rng rng(404 + n);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto tags = testing::random_bsn_tags(n, rng);
+    std::map<Tag, std::size_t> in;
+    for (Tag t : tags) ++in[t];
+    const auto out = run_scatter(rbn, tags, 0);
+    std::map<Tag, std::size_t> census;
+    for (const auto& lv : out) ++census[lv.tag];
+    EXPECT_EQ(census[Tag::Alpha], 0u);
+    EXPECT_EQ(census[Tag::Zero], in[Tag::Zero] + in[Tag::Alpha]);
+    EXPECT_EQ(census[Tag::One], in[Tag::One] + in[Tag::Alpha]);
+    EXPECT_EQ(census[Tag::Eps], in[Tag::Eps] - in[Tag::Alpha]);
+    EXPECT_LE(census[Tag::Zero], n / 2);
+    EXPECT_LE(census[Tag::One], n / 2);
+  }
+}
+
+TEST_P(ScatterTest, AlphaSplitsIntoZeroAndOneCopies) {
+  const std::size_t n = GetParam();
+  Rng rng(505 + n);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto tags = testing::random_bsn_tags(n, rng);
+    const auto out = run_scatter(rbn, tags, 0);
+    // Group output packets by source.
+    std::map<std::size_t, std::vector<Tag>> by_source;
+    for (const auto& lv : out) {
+      if (lv.packet) by_source[lv.packet->source].push_back(lv.tag);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = by_source.find(i);
+      if (is_empty(tags[i])) {
+        EXPECT_TRUE(it == by_source.end());
+      } else if (tags[i] == Tag::Alpha) {
+        ASSERT_TRUE(it != by_source.end());
+        std::vector<Tag> got = it->second;
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, (std::vector<Tag>{Tag::Zero, Tag::One})) << i;
+      } else {
+        ASSERT_TRUE(it != by_source.end());
+        EXPECT_EQ(it->second, std::vector<Tag>{tags[i]}) << i;
+      }
+    }
+  }
+}
+
+TEST_P(ScatterTest, CopiesKeepTheOriginalStream) {
+  const std::size_t n = GetParam();
+  Rng rng(606 + n);
+  Rbn rbn(n);
+  const auto tags = testing::random_bsn_tags(n, rng);
+  const auto out = run_scatter(rbn, tags, 0);
+  for (const auto& lv : out) {
+    if (!lv.packet) continue;
+    ASSERT_EQ(lv.packet->stream.size(), 1u);
+    EXPECT_EQ(lv.packet->stream.front(), tags[lv.packet->source]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScatterTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Scatter, ExhaustiveAllTagVectorsN4) {
+  Rbn rbn(4);
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps};
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        for (int d = 0; d < 4; ++d) {
+          const std::vector<Tag> tags{choices[a], choices[b], choices[c],
+                                      choices[d]};
+          for (std::size_t s = 0; s < 4; ++s) {
+            ScatterNodeValue root;
+            const auto out = run_scatter(rbn, tags, s, &root);
+            std::vector<bool> run(4);
+            for (std::size_t i = 0; i < 4; ++i) {
+              run[i] = out[i].tag == (root.surplus ? root.type : Tag::Alpha);
+            }
+            if (root.surplus) {
+              ASSERT_TRUE(matches_compact(run, s, root.surplus))
+                  << a << b << c << d << " s=" << s;
+            }
+          }
+        }
+}
+
+TEST(Scatter, BroadcastSwitchValidatesInputs) {
+  ScatterExec exec{1, nullptr};
+  SwitchContext ctx{1, 0, 0, 1};
+  // Upper broadcast with a non-alpha upper input must throw.
+  EXPECT_THROW(apply_scatter_switch(ctx, SwitchSetting::UpperBcast,
+                                    LineValue{}, LineValue{}, exec),
+               ContractViolation);
+  // Upper broadcast dropping a live lower packet must throw.
+  Packet alpha_pkt{0, 1, 1, {Tag::Alpha}};
+  Packet live{1, 2, 2, {Tag::Zero}};
+  EXPECT_THROW(
+      apply_scatter_switch(ctx, SwitchSetting::UpperBcast,
+                           occupied_line(Tag::Alpha, alpha_pkt),
+                           occupied_line(Tag::Zero, live), exec),
+      ContractViolation);
+}
+
+TEST(Scatter, StatsCountBroadcasts) {
+  Rbn rbn(8);
+  RoutingStats stats;
+  // 2 alphas, 3 eps: 2 broadcasts must happen.
+  const std::vector<Tag> tags{Tag::Alpha, Tag::Zero, Tag::Eps, Tag::One,
+                              Tag::Alpha, Tag::Eps,  Tag::Eps, Tag::Zero};
+  run_scatter(rbn, tags, 0, nullptr, &stats);
+  EXPECT_EQ(stats.broadcast_ops, 2u);
+  EXPECT_EQ(stats.switch_traversals, 8u / 2 * 3);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,119 @@
+// The gate-level scatter circuit must equal the behavioral Table 4
+// algorithm, switch for switch, across random and exhaustive inputs.
+#include "hw/scatter_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/stats.hpp"
+#include "helpers.hpp"
+#include "hw/bit_serial.hpp"
+
+namespace brsmn::hw {
+namespace {
+
+void expect_settings_match(const std::vector<Tag>& tags, std::size_t s) {
+  const std::size_t n = tags.size();
+  Rbn behavioral(n);
+  configure_scatter(behavioral, tags, s);
+  const GateLevelScatter circuit(n);
+  const auto result = circuit.compute(tags, s);
+  for (int stage = 1; stage <= behavioral.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < n / 2; ++sw) {
+      ASSERT_EQ(result.settings[static_cast<std::size_t>(stage - 1)][sw],
+                behavioral.setting(stage, sw))
+          << "stage " << stage << " sw " << sw << " s=" << s;
+    }
+  }
+}
+
+class ScatterCircuitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScatterCircuitTest, SettingsMatchBehavioralAlgorithm) {
+  const std::size_t n = GetParam();
+  Rng rng(77 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    expect_settings_match(brsmn::testing::random_scatter_tags(n, rng),
+                          rng.uniform(0, n - 1));
+  }
+}
+
+TEST_P(ScatterCircuitTest, RootValueMatches) {
+  const std::size_t n = GetParam();
+  Rng rng(99 + n);
+  Rbn behavioral(n);
+  const GateLevelScatter circuit(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto tags = brsmn::testing::random_scatter_tags(n, rng);
+    const ScatterNodeValue want = configure_scatter(behavioral, tags, 0);
+    const auto got = circuit.compute(tags, 0).root;
+    EXPECT_EQ(got.surplus, want.surplus);
+    if (want.surplus > 0) {
+      EXPECT_EQ(got.type, want.type);
+    }
+  }
+}
+
+TEST_P(ScatterCircuitTest, CycleBudget) {
+  const std::size_t n = GetParam();
+  const GateLevelScatter circuit(n);
+  const auto result =
+      circuit.compute(std::vector<Tag>(n, Tag::Eps), 0);
+  EXPECT_EQ(result.cycles, config_sweep_delay(log2_exact(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScatterCircuitTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(ScatterCircuit, ExhaustiveAllTagVectorsN4) {
+  const Tag choices[] = {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps};
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 4; ++c)
+        for (int d = 0; d < 4; ++d)
+          for (std::size_t s = 0; s < 4; ++s) {
+            expect_settings_match(
+                {choices[a], choices[b], choices[c], choices[d]}, s);
+          }
+}
+
+TEST(ScatterCircuit, RejectsDummyTags) {
+  const GateLevelScatter circuit(4);
+  EXPECT_THROW(
+      circuit.compute({Tag::Eps0, Tag::Eps, Tag::Eps, Tag::Eps}, 0),
+      ContractViolation);
+}
+
+TEST(ScatterCircuit, SubtractorTruthTable) {
+  EXPECT_EQ(full_subtractor(false, false, false).diff, false);
+  EXPECT_EQ(full_subtractor(false, false, false).borrow, false);
+  EXPECT_EQ(full_subtractor(false, true, false).diff, true);
+  EXPECT_EQ(full_subtractor(false, true, false).borrow, true);
+  EXPECT_EQ(full_subtractor(true, true, true).diff, true);
+  EXPECT_EQ(full_subtractor(true, true, true).borrow, true);
+  EXPECT_EQ(full_subtractor(true, false, true).diff, false);
+  EXPECT_EQ(full_subtractor(true, false, true).borrow, false);
+}
+
+TEST(ScatterCircuit, SerialSubtractorComputesDifferences) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.uniform(0, 1023);
+    const std::uint64_t b = rng.uniform(0, 1023);
+    BitSerialSubtractor sub;
+    std::uint64_t diff = 0;
+    for (int i = 0; i < 11; ++i) {
+      if (sub.step((a >> i) & 1u, (b >> i) & 1u)) {
+        diff |= std::uint64_t{1} << i;
+      }
+    }
+    EXPECT_EQ(sub.borrow(), a < b);
+    if (a >= b) {
+      EXPECT_EQ(diff, a - b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace brsmn::hw

@@ -1,0 +1,79 @@
+// The O(1)-state online tag splitter must agree with the batch
+// split_stream() on every sequence, and its state really is constant.
+#include "core/stream_splitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/tag_sequence.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(StreamSplitter, HeadIsConsumedNotEmitted) {
+  StreamSplitter splitter;
+  EXPECT_FALSE(splitter.head().has_value());
+  EXPECT_FALSE(splitter.push(Tag::Alpha).has_value());
+  EXPECT_EQ(splitter.head(), Tag::Alpha);
+  EXPECT_EQ(splitter.consumed(), 1u);
+}
+
+TEST(StreamSplitter, AlternatesUpperLower) {
+  StreamSplitter splitter;
+  splitter.push(Tag::Alpha);
+  const auto e1 = splitter.push(Tag::Zero);
+  const auto e2 = splitter.push(Tag::One);
+  const auto e3 = splitter.push(Tag::Eps);
+  ASSERT_TRUE(e1 && e2 && e3);
+  EXPECT_EQ(e1->branch, StreamSplitter::Branch::Upper);
+  EXPECT_EQ(e1->tag, Tag::Zero);
+  EXPECT_EQ(e2->branch, StreamSplitter::Branch::Lower);
+  EXPECT_EQ(e3->branch, StreamSplitter::Branch::Upper);
+}
+
+TEST(StreamSplitter, ResetStartsOver) {
+  StreamSplitter splitter;
+  splitter.push(Tag::Zero);
+  splitter.push(Tag::One);
+  splitter.reset();
+  EXPECT_FALSE(splitter.head().has_value());
+  EXPECT_EQ(splitter.consumed(), 0u);
+  splitter.push(Tag::One);
+  EXPECT_EQ(splitter.head(), Tag::One);
+}
+
+class SplitterEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SplitterEquivalence, MatchesBatchSplitStream) {
+  const std::size_t n = GetParam();
+  Rng rng(31 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto dests = rng.subset(n, rng.uniform(1, n));
+    const auto seq = encode_sequence(dests, n);
+
+    StreamSplitter splitter;
+    std::vector<Tag> upper, lower;
+    for (const Tag t : seq) {
+      if (const auto emit = splitter.push(t)) {
+        (emit->branch == StreamSplitter::Branch::Upper ? upper : lower)
+            .push_back(emit->tag);
+      }
+    }
+    const std::span<const Tag> rest(seq.data() + 1, seq.size() - 1);
+    EXPECT_EQ(upper, split_stream(rest, Tag::Zero));
+    EXPECT_EQ(lower, split_stream(rest, Tag::One));
+    EXPECT_EQ(splitter.head(), seq.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SplitterEquivalence,
+                         ::testing::Values(4, 8, 32, 256, 1024));
+
+TEST(StreamSplitter, ConstantStateFootprint) {
+  // The whole point of the interleaved ordering (Section 7.1): the
+  // splitter never buffers more than the head tag and a phase bit.
+  EXPECT_LE(sizeof(StreamSplitter), 2 * sizeof(std::size_t) + 16);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,119 @@
+#include "core/switch_setting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "core/compact_sequence.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(SwitchSetting, IntConversionRoundTrip) {
+  for (int r = 0; r <= 3; ++r) {
+    EXPECT_EQ(setting_to_int(setting_from_int(r)), r);
+  }
+  EXPECT_THROW(setting_from_int(-1), ContractViolation);
+  EXPECT_THROW(setting_from_int(4), ContractViolation);
+}
+
+TEST(SwitchSetting, OppositeUnicast) {
+  EXPECT_EQ(opposite_unicast(SwitchSetting::Parallel), SwitchSetting::Cross);
+  EXPECT_EQ(opposite_unicast(SwitchSetting::Cross), SwitchSetting::Parallel);
+  EXPECT_THROW(opposite_unicast(SwitchSetting::UpperBcast),
+               ContractViolation);
+  EXPECT_THROW(opposite_unicast(SwitchSetting::LowerBcast),
+               ContractViolation);
+}
+
+TEST(SwitchSetting, Names) {
+  std::ostringstream os;
+  os << SwitchSetting::Parallel << '/' << SwitchSetting::UpperBcast;
+  EXPECT_EQ(os.str(), "parallel/upper-bcast");
+}
+
+TEST(BinaryCompactSetting, PlacesCircularRun) {
+  // W^{4}_{1,2; parallel, cross} over n' = 8: cross at 1,2.
+  const auto s = binary_compact_setting(8, 1, 2, SwitchSetting::Parallel,
+                                        SwitchSetting::Cross);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], SwitchSetting::Parallel);
+  EXPECT_EQ(s[1], SwitchSetting::Cross);
+  EXPECT_EQ(s[2], SwitchSetting::Cross);
+  EXPECT_EQ(s[3], SwitchSetting::Parallel);
+}
+
+TEST(BinaryCompactSetting, WrapsCircularly) {
+  const auto s = binary_compact_setting(8, 3, 2, SwitchSetting::Parallel,
+                                        SwitchSetting::UpperBcast);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3], SwitchSetting::UpperBcast);
+  EXPECT_EQ(s[0], SwitchSetting::UpperBcast);
+  EXPECT_EQ(s[1], SwitchSetting::Parallel);
+  EXPECT_EQ(s[2], SwitchSetting::Parallel);
+}
+
+TEST(BinaryCompactSetting, MatchesCompactSequenceForAllParams) {
+  for (std::size_t n_prime : {2u, 4u, 8u, 32u}) {
+    const std::size_t half = n_prime / 2;
+    for (std::size_t s = 0; s < half; ++s) {
+      for (std::size_t l = 0; l <= half; ++l) {
+        const auto settings = binary_compact_setting(
+            n_prime, s, l, SwitchSetting::Parallel, SwitchSetting::Cross);
+        std::vector<bool> is_run(half);
+        for (std::size_t i = 0; i < half; ++i) {
+          is_run[i] = settings[i] == SwitchSetting::Cross;
+        }
+        EXPECT_TRUE(matches_compact(is_run, s % half, l))
+            << n_prime << ' ' << s << ' ' << l;
+      }
+    }
+  }
+}
+
+TEST(BinaryCompactSetting, DegenerateRuns) {
+  const auto none = binary_compact_setting(8, 2, 0, SwitchSetting::Cross,
+                                           SwitchSetting::Parallel);
+  EXPECT_EQ(none, std::vector<SwitchSetting>(4, SwitchSetting::Cross));
+  const auto all = binary_compact_setting(8, 2, 4, SwitchSetting::Cross,
+                                          SwitchSetting::Parallel);
+  EXPECT_EQ(all, std::vector<SwitchSetting>(4, SwitchSetting::Parallel));
+}
+
+TEST(TrinaryCompactSetting, ThreeRegions) {
+  // W^{4}_{1,2,1; cross, upper, parallel}: [0,1)=cross, [1,3)=upper,
+  // [3,4)=parallel.
+  const auto s =
+      trinary_compact_setting(8, 1, 2, SwitchSetting::Cross,
+                              SwitchSetting::UpperBcast,
+                              SwitchSetting::Parallel);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], SwitchSetting::Cross);
+  EXPECT_EQ(s[1], SwitchSetting::UpperBcast);
+  EXPECT_EQ(s[2], SwitchSetting::UpperBcast);
+  EXPECT_EQ(s[3], SwitchSetting::Parallel);
+}
+
+TEST(TrinaryCompactSetting, EmptyRegions) {
+  const auto a =
+      trinary_compact_setting(8, 0, 0, SwitchSetting::Cross,
+                              SwitchSetting::UpperBcast,
+                              SwitchSetting::Parallel);
+  EXPECT_EQ(a, std::vector<SwitchSetting>(4, SwitchSetting::Parallel));
+  const auto b =
+      trinary_compact_setting(8, 0, 4, SwitchSetting::Cross,
+                              SwitchSetting::UpperBcast,
+                              SwitchSetting::Parallel);
+  EXPECT_EQ(b, std::vector<SwitchSetting>(4, SwitchSetting::UpperBcast));
+}
+
+TEST(TrinaryCompactSetting, RejectsOverflow) {
+  EXPECT_THROW(trinary_compact_setting(8, 3, 2, SwitchSetting::Cross,
+                                       SwitchSetting::UpperBcast,
+                                       SwitchSetting::Parallel),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

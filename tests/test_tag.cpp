@@ -1,0 +1,90 @@
+#include "core/tag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(Tag, Table1EncodingExact) {
+  // Paper Table 1: tag -> b0 b1 b2.
+  EXPECT_EQ(encode(Tag::Zero), 0b000);
+  EXPECT_EQ(encode(Tag::One), 0b001);
+  EXPECT_EQ(encode(Tag::Alpha), 0b100);
+  EXPECT_EQ(encode(Tag::Eps0), 0b110);
+  EXPECT_EQ(encode(Tag::Eps1), 0b111);
+  // Plain ε is 11X; the don't-care resolves to 0.
+  EXPECT_EQ(encode(Tag::Eps), 0b110);
+}
+
+TEST(Tag, DecodeInvertsEncode) {
+  for (Tag t : {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps0, Tag::Eps1}) {
+    EXPECT_EQ(decode(encode(t)), t);
+  }
+  EXPECT_EQ(collapse_eps(decode(encode(Tag::Eps))), Tag::Eps);
+}
+
+TEST(Tag, DecodeRejectsInvalidPatterns) {
+  for (std::uint8_t bits : {0b010, 0b011, 0b101}) {
+    EXPECT_THROW(decode(bits), ContractViolation) << int(bits);
+  }
+}
+
+TEST(Tag, Section72CountingPredicates) {
+  // α counted by b0 AND NOT b1; ε by b0 AND b1; ones by b2.
+  EXPECT_TRUE(counts_as_alpha(encode(Tag::Alpha)));
+  for (Tag t : {Tag::Zero, Tag::One, Tag::Eps, Tag::Eps0, Tag::Eps1}) {
+    EXPECT_FALSE(counts_as_alpha(encode(t))) << tag_name(t);
+  }
+  for (Tag t : {Tag::Eps, Tag::Eps0, Tag::Eps1}) {
+    EXPECT_TRUE(counts_as_eps(encode(t))) << tag_name(t);
+  }
+  for (Tag t : {Tag::Zero, Tag::One, Tag::Alpha}) {
+    EXPECT_FALSE(counts_as_eps(encode(t))) << tag_name(t);
+  }
+  // b2 counts real and dummy ones — the quasisort forward phase.
+  EXPECT_TRUE(counts_as_one(encode(Tag::One)));
+  EXPECT_TRUE(counts_as_one(encode(Tag::Eps1)));
+  EXPECT_FALSE(counts_as_one(encode(Tag::Zero)));
+  EXPECT_FALSE(counts_as_one(encode(Tag::Eps0)));
+}
+
+TEST(Tag, CollapseEps) {
+  EXPECT_EQ(collapse_eps(Tag::Eps0), Tag::Eps);
+  EXPECT_EQ(collapse_eps(Tag::Eps1), Tag::Eps);
+  EXPECT_EQ(collapse_eps(Tag::Eps), Tag::Eps);
+  EXPECT_EQ(collapse_eps(Tag::Zero), Tag::Zero);
+  EXPECT_EQ(collapse_eps(Tag::Alpha), Tag::Alpha);
+}
+
+TEST(Tag, EmptyAndChiClassification) {
+  EXPECT_TRUE(is_empty(Tag::Eps));
+  EXPECT_TRUE(is_empty(Tag::Eps0));
+  EXPECT_TRUE(is_empty(Tag::Eps1));
+  EXPECT_FALSE(is_empty(Tag::Zero));
+  EXPECT_FALSE(is_empty(Tag::Alpha));
+  EXPECT_TRUE(is_chi(Tag::Zero));
+  EXPECT_TRUE(is_chi(Tag::One));
+  EXPECT_FALSE(is_chi(Tag::Alpha));
+  EXPECT_FALSE(is_chi(Tag::Eps));
+}
+
+TEST(Tag, CharRoundTrip) {
+  for (Tag t : {Tag::Zero, Tag::One, Tag::Alpha, Tag::Eps, Tag::Eps0,
+                Tag::Eps1}) {
+    EXPECT_EQ(tag_from_char(tag_char(t)), t);
+  }
+  EXPECT_THROW(tag_from_char('?'), ContractViolation);
+}
+
+TEST(Tag, StreamOutput) {
+  std::ostringstream os;
+  os << Tag::Alpha << ' ' << Tag::Eps0;
+  EXPECT_EQ(os.str(), "alpha eps0");
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,118 @@
+#include "core/tag_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+TEST(TagTree, Fig9aTree) {
+  // Multicast {0, 1} in an 8 x 8 network (paper Fig. 9a): levels are
+  // "0", "0 eps", "alpha eps eps eps".
+  const TagTree tree(std::vector<std::size_t>{0, 1}, 8);
+  EXPECT_EQ(tree.level_tags(1), (std::vector<Tag>{Tag::Zero}));
+  EXPECT_EQ(tree.level_tags(2), (std::vector<Tag>{Tag::Zero, Tag::Eps}));
+  EXPECT_EQ(tree.level_tags(3),
+            (std::vector<Tag>{Tag::Alpha, Tag::Eps, Tag::Eps, Tag::Eps}));
+}
+
+TEST(TagTree, Fig9bTree) {
+  // Multicast {3, 4, 7} (paper Fig. 9b): "alpha", "1 alpha",
+  // "eps 1 0 1".
+  const TagTree tree(std::vector<std::size_t>{3, 4, 7}, 8);
+  EXPECT_EQ(tree.level_tags(1), (std::vector<Tag>{Tag::Alpha}));
+  EXPECT_EQ(tree.level_tags(2), (std::vector<Tag>{Tag::One, Tag::Alpha}));
+  EXPECT_EQ(tree.level_tags(3),
+            (std::vector<Tag>{Tag::Eps, Tag::One, Tag::Zero, Tag::One}));
+}
+
+TEST(TagTree, EmptyMulticastIsAllEps) {
+  const TagTree tree(std::vector<std::size_t>{}, 8);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_EQ(tree.node(k), Tag::Eps);
+  EXPECT_TRUE(tree.destinations().empty());
+}
+
+TEST(TagTree, FullBroadcastIsAllAlpha) {
+  std::vector<std::size_t> all(16);
+  for (std::size_t i = 0; i < 16; ++i) all[i] = i;
+  const TagTree tree(all, 16);
+  for (std::size_t k = 1; k < 16; ++k) EXPECT_EQ(tree.node(k), Tag::Alpha);
+}
+
+TEST(TagTree, SingletonIsUnicastPath) {
+  // Destination 5 = 101: root 1, then 0, then 1 along the path; ε off it.
+  const TagTree tree(std::vector<std::size_t>{5}, 8);
+  EXPECT_EQ(tree.node(1), Tag::One);    // root: toward lower half
+  EXPECT_EQ(tree.node(2), Tag::Eps);    // left subtree empty
+  EXPECT_EQ(tree.node(3), Tag::Zero);   // prefix 1 -> next bit 0
+  EXPECT_EQ(tree.node(6), Tag::One);    // prefix 10 -> last bit 1
+  EXPECT_EQ(tree.destinations(), (std::vector<std::size_t>{5}));
+}
+
+TEST(TagTree, NodeTagsRespectChildSemantics) {
+  // For every internal node above the bottom level: α -> both children
+  // non-ε; 0 -> left non-ε and right ε; 1 -> mirrored; ε -> both ε.
+  Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 32;
+    const auto dests = rng.subset(n, rng.uniform(0, n));
+    const TagTree tree(dests, n);
+    for (std::size_t k = 1; k < n / 2; ++k) {
+      const Tag t = tree.node(k);
+      const bool left = tree.node(2 * k) != Tag::Eps;
+      const bool right = tree.node(2 * k + 1) != Tag::Eps;
+      switch (t) {
+        case Tag::Alpha: EXPECT_TRUE(left && right) << k; break;
+        case Tag::Zero: EXPECT_TRUE(left && !right) << k; break;
+        case Tag::One: EXPECT_TRUE(!left && right) << k; break;
+        case Tag::Eps: EXPECT_TRUE(!left && !right) << k; break;
+        default: FAIL();
+      }
+    }
+  }
+}
+
+class TagTreeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TagTreeRoundTrip, DestinationsRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(900 + n);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto dests = rng.subset(n, rng.uniform(0, n));
+    const TagTree tree(dests, n);
+    auto got = tree.destinations();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, dests);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TagTreeRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 128, 1024));
+
+TEST(TagTree, ToStringRendersLevels) {
+  const TagTree tree(std::vector<std::size_t>{3, 4, 7}, 8);
+  EXPECT_EQ(tree.to_string(), "a\n1a\ne101");
+}
+
+TEST(TagTree, RejectsBadInput) {
+  EXPECT_THROW(TagTree(std::vector<std::size_t>{8}, 8), ContractViolation);
+  EXPECT_THROW(TagTree(std::vector<std::size_t>{1, 1}, 8),
+               ContractViolation);
+  EXPECT_THROW(TagTree(std::vector<std::size_t>{}, 3), ContractViolation);
+}
+
+TEST(TagTree, LevelTagAccessorsRangeChecked) {
+  const TagTree tree(std::vector<std::size_t>{0}, 8);
+  EXPECT_THROW(tree.level_tag(0, 0), ContractViolation);
+  EXPECT_THROW(tree.level_tag(4, 0), ContractViolation);
+  EXPECT_THROW(tree.level_tag(2, 2), ContractViolation);
+  EXPECT_THROW(tree.node(0), ContractViolation);
+  EXPECT_THROW(tree.node(8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn

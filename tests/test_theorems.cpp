@@ -1,0 +1,147 @@
+// The paper's theorems, stated as directly as possible and swept over
+// (size, seed) grids — the contract the whole library rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/bit_sorter.hpp"
+#include "core/bsn.hpp"
+#include "core/compact_sequence.hpp"
+#include "core/quasisort.hpp"
+#include "core/scatter.hpp"
+#include "helpers.hpp"
+
+namespace brsmn {
+namespace {
+
+using GridParam = std::tuple<std::size_t /*n*/, std::uint64_t /*seed*/>;
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& p) {
+  return "n" + std::to_string(std::get<0>(p.param)) + "_s" +
+         std::to_string(std::get<1>(p.param));
+}
+
+class TheoremGrid : public ::testing::TestWithParam<GridParam> {};
+
+// Theorem 1: for any β-γ values on the inputs of an RBN, a circular
+// compact sequence with ANY starting position can be achieved at the
+// outputs under a proper switch setting.
+TEST_P(TheoremGrid, Theorem1BitSorting) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> keys(n);
+    std::size_t l = 0;
+    for (auto& k : keys) {
+      k = static_cast<int>(rng.uniform(0, 1));
+      l += static_cast<std::size_t>(k);
+    }
+    for (const std::size_t s :
+         {std::size_t{0}, n / 3, n - 1, rng.uniform(0, n - 1)}) {
+      configure_bit_sorter(rbn, keys, s);
+      const auto out = rbn.propagate(keys, unicast_switch<int>);
+      std::vector<bool> ones(n);
+      for (std::size_t i = 0; i < n; ++i) ones[i] = out[i] == 1;
+      ASSERT_TRUE(matches_compact(ones, s, l)) << "s=" << s;
+    }
+  }
+}
+
+// Theorem 3: for ANY mix of χ/α/ε inputs, the dominating special symbol's
+// surplus can be compacted at any requested start, the other special
+// symbol fully eliminated.
+TEST_P(TheoremGrid, Theorem3GeneralScatter) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed + 1000);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto tags = testing::random_scatter_tags(n, rng);
+    const std::size_t s = rng.uniform(0, n - 1);
+    const ScatterNodeValue root = configure_scatter(rbn, tags, s);
+    std::vector<LineValue> lines(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_empty(tags[i])) continue;
+      Packet p{i, i + 1, i + 1, {tags[i]}};
+      lines[i] = occupied_line(tags[i], std::move(p));
+    }
+    ScatterExec exec{500, nullptr};
+    const auto out = rbn.propagate(
+        std::move(lines),
+        [&exec](const SwitchContext& ctx, SwitchSetting st, LineValue a,
+                LineValue b) {
+          return apply_scatter_switch(ctx, st, std::move(a), std::move(b),
+                                      exec);
+        });
+    const Tag dom = root.surplus == 0 ? Tag::Eps : root.type;
+    std::vector<bool> run(n);
+    std::size_t alphas = 0, epses = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      run[i] = root.surplus > 0 && out[i].tag == dom;
+      alphas += out[i].tag == Tag::Alpha;
+      epses += out[i].tag == Tag::Eps;
+    }
+    if (root.surplus > 0) {
+      ASSERT_TRUE(matches_compact(run, s, root.surplus));
+      // The minority symbol is gone.
+      ASSERT_EQ(dom == Tag::Alpha ? epses : alphas, 0u);
+    } else {
+      ASSERT_EQ(alphas + epses, 0u);
+    }
+  }
+}
+
+// Theorem 2 (the BSN case): with Eq. (2) satisfied, the scatter output
+// census follows Eq. (4) exactly; composing quasisort yields the half
+// split. Exercised through Bsn::route, which asserts both internally.
+TEST_P(TheoremGrid, Theorem2BsnComposition) {
+  const auto [n, seed] = GetParam();
+  if (n < 4) GTEST_SKIP() << "BSNs start at 4 x 4";
+  Rng rng(seed + 2000);
+  Bsn bsn(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto tags = testing::random_bsn_tags(n, rng);
+    std::vector<LineValue> lines(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_empty(tags[i])) continue;
+      Packet p{i, i + 1, i + 1, {tags[i]}};
+      lines[i] = occupied_line(tags[i], std::move(p));
+    }
+    std::uint64_t id = 1000;
+    ASSERT_NO_THROW(bsn.route(std::move(lines), id));
+  }
+}
+
+// Section 5.2: the ε-dividing algorithm makes quasisorting a Theorem-1
+// sort: real 0s/1s end in their halves for any admissible census.
+TEST_P(TheoremGrid, QuasisortHalfSplit) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed + 3000);
+  Rbn rbn(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Tag> tags(n, Tag::Eps);
+    const std::size_t zeros = rng.uniform(0, n / 2);
+    const std::size_t ones = rng.uniform(0, n / 2);
+    for (std::size_t i = 0; i < zeros; ++i) tags[i] = Tag::Zero;
+    for (std::size_t i = zeros; i < zeros + ones; ++i) tags[i] = Tag::One;
+    std::shuffle(tags.begin(), tags.end(), rng.engine());
+    const auto divided = divide_eps(tags);
+    configure_quasisort(rbn, divided);
+    const auto out = rbn.propagate(divided, unicast_switch<Tag>);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(quasisort_key(out[i]), i < n / 2 ? 0 : 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TheoremGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8, 16, 32, 64,
+                                                      128, 256, 512, 1024),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    grid_name);
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "topology/merging_network.hpp"
+#include "topology/rbn_topology.hpp"
+#include "topology/shuffle.hpp"
+
+namespace brsmn::topo {
+namespace {
+
+class ShuffleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShuffleTest, ShuffleIsCyclicLeftShift) {
+  const std::size_t n = GetParam();
+  const int m = log2_exact(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t expect = 0;
+    for (int bit = 0; bit < m; ++bit) {
+      const std::size_t b = (a >> bit) & 1;
+      expect |= b << ((bit + 1) % m);
+    }
+    EXPECT_EQ(shuffle(a, n), expect) << "a=" << a << " n=" << n;
+  }
+}
+
+TEST_P(ShuffleTest, UnshuffleInvertsShuffle) {
+  const std::size_t n = GetParam();
+  for (std::size_t a = 0; a < n; ++a) {
+    EXPECT_EQ(unshuffle(shuffle(a, n), n), a);
+    EXPECT_EQ(shuffle(unshuffle(a, n), n), a);
+  }
+}
+
+TEST_P(ShuffleTest, ShuffleIsAPermutation) {
+  const std::size_t n = GetParam();
+  std::set<std::size_t> seen;
+  for (std::size_t a = 0; a < n; ++a) seen.insert(shuffle(a, n));
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST_P(ShuffleTest, ExchangedPortsLandHalfApart) {
+  // The paper's key wiring property: the external lines wired to the two
+  // ports of one switch lie n/2 apart. The port -> line map of the
+  // reverse-banyan merging stage is the cyclic right shift (unshuffle
+  // in this library's naming), which sends the flipped LSB to the MSB.
+  const std::size_t n = GetParam();
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto d = static_cast<std::ptrdiff_t>(unshuffle(a, n)) -
+                   static_cast<std::ptrdiff_t>(unshuffle(exchange(a), n));
+    EXPECT_EQ(static_cast<std::size_t>(std::abs(d)), n / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShuffleTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Shuffle, ExchangeFlipsLsb) {
+  EXPECT_EQ(exchange(0), 1u);
+  EXPECT_EQ(exchange(1), 0u);
+  EXPECT_EQ(exchange(6), 7u);
+  EXPECT_EQ(exchange(7), 6u);
+}
+
+class MergingWiringTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergingWiringTest, EveryLineHasUniquePort) {
+  const std::size_t n = GetParam();
+  std::set<std::pair<std::size_t, std::size_t>> ports;
+  for (std::size_t line = 0; line < n; ++line) {
+    const SwitchPort sp = input_port(line, n);
+    EXPECT_LT(sp.switch_index, n / 2);
+    EXPECT_LT(sp.port, 2u);
+    ports.insert({sp.switch_index, sp.port});
+  }
+  EXPECT_EQ(ports.size(), n);
+}
+
+TEST_P(MergingWiringTest, OutputWiringInvertsInputWiring) {
+  const std::size_t n = GetParam();
+  for (std::size_t line = 0; line < n; ++line) {
+    EXPECT_EQ(output_line(input_port(line, n), n), line);
+  }
+}
+
+TEST_P(MergingWiringTest, PhysicalWiringInducesLogicalPairs) {
+  // Lines j and j + n/2 must meet at one physical switch, with j on the
+  // upper port — the justification for the library's logical switch view.
+  const std::size_t n = GetParam();
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    const SwitchPort up = input_port(j, n);
+    const SwitchPort low = input_port(j + n / 2, n);
+    EXPECT_EQ(up.switch_index, low.switch_index);
+    EXPECT_EQ(up.port, 0u);
+    EXPECT_EQ(low.port, 1u);
+    EXPECT_EQ(logical_switch(j, n), j);
+    EXPECT_EQ(logical_switch(j + n / 2, n), j);
+    EXPECT_EQ(physical_switch_of_logical(j, n), up.switch_index);
+  }
+}
+
+TEST_P(MergingWiringTest, LogicalToPhysicalIsABijection) {
+  const std::size_t n = GetParam();
+  std::set<std::size_t> phys;
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    phys.insert(physical_switch_of_logical(j, n));
+  }
+  EXPECT_EQ(phys.size(), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergingWiringTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 512));
+
+class RbnTopologyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RbnTopologyTest, GeometryBasics) {
+  const std::size_t n = GetParam();
+  const RbnTopology t(n);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_EQ(t.stages(), log2_exact(n));
+  EXPECT_EQ(t.switches_per_stage(), n / 2);
+  EXPECT_EQ(t.switch_count(),
+            (n / 2) * static_cast<std::size_t>(log2_exact(n)));
+}
+
+TEST_P(RbnTopologyTest, BlocksPartitionLines) {
+  const std::size_t n = GetParam();
+  const RbnTopology t(n);
+  for (int stage = 1; stage <= t.stages(); ++stage) {
+    EXPECT_EQ(t.block_size(stage) * t.blocks_in_stage(stage), n);
+    for (std::size_t line = 0; line < n; ++line) {
+      const std::size_t b = t.block_of(stage, line);
+      EXPECT_GE(line, t.block_base(stage, b));
+      EXPECT_LT(line, t.block_base(stage, b) + t.block_size(stage));
+    }
+  }
+}
+
+TEST_P(RbnTopologyTest, PartnerIsInvolutionHalfApart) {
+  const std::size_t n = GetParam();
+  const RbnTopology t(n);
+  for (int stage = 1; stage <= t.stages(); ++stage) {
+    for (std::size_t line = 0; line < n; ++line) {
+      const std::size_t p = t.partner(stage, line);
+      EXPECT_NE(p, line);
+      EXPECT_EQ(t.partner(stage, p), line);
+      EXPECT_EQ(t.block_of(stage, p), t.block_of(stage, line));
+      const auto diff = line > p ? line - p : p - line;
+      EXPECT_EQ(diff, t.block_size(stage) / 2);
+      EXPECT_EQ(t.is_upper(stage, line), line < p);
+    }
+  }
+}
+
+TEST_P(RbnTopologyTest, StageSwitchSharedExactlyByPartners) {
+  const std::size_t n = GetParam();
+  const RbnTopology t(n);
+  for (int stage = 1; stage <= t.stages(); ++stage) {
+    std::map<std::size_t, std::set<std::size_t>> by_switch;
+    for (std::size_t line = 0; line < n; ++line) {
+      by_switch[t.stage_switch(stage, line)].insert(line);
+    }
+    EXPECT_EQ(by_switch.size(), n / 2);
+    for (const auto& [sw, lines] : by_switch) {
+      EXPECT_LT(sw, n / 2);
+      ASSERT_EQ(lines.size(), 2u);
+      const auto a = *lines.begin();
+      EXPECT_EQ(t.partner(stage, a), *std::next(lines.begin()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbnTopologyTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 128, 1024));
+
+TEST(RbnTopology, RejectsBadSizes) {
+  EXPECT_THROW(RbnTopology(0), ContractViolation);
+  EXPECT_THROW(RbnTopology(1), ContractViolation);
+  EXPECT_THROW(RbnTopology(6), ContractViolation);
+}
+
+TEST(RbnTopology, RejectsBadStage) {
+  const RbnTopology t(8);
+  EXPECT_THROW(t.block_size(0), ContractViolation);
+  EXPECT_THROW(t.block_size(4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::topo

@@ -1,0 +1,83 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn {
+namespace {
+
+RouteResult traced_route(std::size_t n, const MulticastAssignment& a) {
+  Brsmn net(n);
+  return net.route(a, RouteOptions{.capture_levels = true});
+}
+
+TEST(Trace, RequiresCapturedLevels) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment());
+  EXPECT_THROW(trace::occupancy_per_level(result), ContractViolation);
+}
+
+TEST(Trace, OccupancyTracksSources) {
+  const auto result = traced_route(8, paper_example_assignment());
+  const auto occ = trace::occupancy_per_level(result);
+  ASSERT_EQ(occ.size(), 3u);
+  // Level 1 is the raw inputs: sources 0, 2, 3, 7 occupy their own lines.
+  EXPECT_EQ(occ[0][0], 0u);
+  EXPECT_FALSE(occ[0][1].has_value());
+  EXPECT_EQ(occ[0][2], 2u);
+  EXPECT_EQ(occ[0][3], 3u);
+  EXPECT_EQ(occ[0][7], 7u);
+}
+
+TEST(Trace, MulticastTreeGrowsToDeliveredCount) {
+  const auto result = traced_route(8, paper_example_assignment());
+  // Input 2 goes to {3, 4, 7}: its tree must end with >= 2 copies at the
+  // final level (each final copy delivers one or two outputs).
+  const auto tree = trace::multicast_tree(result, 2);
+  ASSERT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree[0].size(), 1u);
+  EXPECT_GE(tree[2].size(), 2u);
+  EXPECT_LE(tree[2].size(), 3u);
+}
+
+TEST(Trace, LevelsDisjointAlwaysHolds) {
+  Rng rng(3);
+  for (std::size_t n : {4u, 16u, 64u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto a = random_multicast(n, 0.9, rng);
+      const auto result = traced_route(n, a);
+      EXPECT_TRUE(trace::levels_disjoint(result));
+    }
+  }
+}
+
+TEST(Trace, CopiesMonotoneOnRandomAssignments) {
+  Rng rng(4);
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto a = random_multicast(n, 0.8, rng);
+      const auto result = traced_route(n, a);
+      EXPECT_TRUE(trace::copies_monotone(result)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Trace, FullBroadcastTreeDoubles) {
+  const auto result = traced_route(16, full_broadcast(16));
+  const auto tree = trace::multicast_tree(result, 0);
+  ASSERT_EQ(tree.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(tree[k].size(), std::size_t{1} << k);
+  }
+}
+
+TEST(Trace, EmptySourceHasEmptyTree) {
+  const auto result = traced_route(8, paper_example_assignment());
+  const auto tree = trace::multicast_tree(result, 1);  // input 1 inactive
+  for (const auto& level : tree) EXPECT_TRUE(level.empty());
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -1,0 +1,185 @@
+// The queued multicast switch: conservation (every offered copy is
+// eventually delivered, exactly once), scheduling disciplines, latency
+// accounting, and arrival-generator contracts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "traffic/arrivals.hpp"
+#include "traffic/queued_switch.hpp"
+
+namespace brsmn::traffic {
+namespace {
+
+std::size_t drain(QueuedMulticastSwitch& sw, std::size_t max_epochs = 5000) {
+  std::size_t epochs = 0;
+  while (sw.backlog_cells() > 0) {
+    sw.step();
+    ++epochs;
+    if (epochs > max_epochs) ADD_FAILURE() << "switch failed to drain";
+    if (epochs > max_epochs) break;
+  }
+  return epochs;
+}
+
+TEST(Arrivals, RespectsConfig) {
+  Rng rng(5);
+  ArrivalConfig cfg;
+  cfg.arrival_probability = 1.0;
+  cfg.fanout = {2, 5};
+  const auto offers = draw_arrivals(64, cfg, rng);
+  EXPECT_EQ(offers.size(), 64u);
+  for (const auto& o : offers) {
+    EXPECT_LT(o.input, 64u);
+    EXPECT_GE(o.destinations.size(), 2u);
+    EXPECT_LE(o.destinations.size(), 5u);
+    std::set<std::size_t> uniq(o.destinations.begin(),
+                               o.destinations.end());
+    EXPECT_EQ(uniq.size(), o.destinations.size());
+  }
+}
+
+TEST(Arrivals, ZeroProbabilityMeansSilence) {
+  Rng rng(6);
+  ArrivalConfig cfg;
+  cfg.arrival_probability = 0.0;
+  EXPECT_TRUE(draw_arrivals(32, cfg, rng).empty());
+}
+
+TEST(Arrivals, HotspotConcentratesDestinations) {
+  Rng rng(7);
+  ArrivalConfig cfg;
+  cfg.arrival_probability = 1.0;
+  cfg.fanout = {1, 1};
+  cfg.hotspot_fraction = 1.0;
+  const auto offers = draw_arrivals(64, cfg, rng);
+  for (const auto& o : offers) {
+    EXPECT_LT(o.destinations.front(), 8u);  // ports/8 hotspot region
+  }
+}
+
+TEST(Arrivals, ValidatesConfig) {
+  Rng rng(8);
+  ArrivalConfig bad;
+  bad.fanout = {0, 1};
+  EXPECT_THROW(draw_arrivals(16, bad, rng), ContractViolation);
+  bad.fanout = {2, 1};
+  EXPECT_THROW(draw_arrivals(16, bad, rng), ContractViolation);
+  bad.fanout = {1, 17};
+  EXPECT_THROW(draw_arrivals(16, bad, rng), ContractViolation);
+}
+
+class DisciplineTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DisciplineTest, EveryCopyDeliveredExactlyOnce) {
+  QueuedMulticastSwitch sw({.ports = 32, .fanout_splitting = GetParam()});
+  Rng rng(11);
+  ArrivalConfig cfg;
+  cfg.arrival_probability = 0.6;
+  cfg.fanout = {1, 6};
+  std::size_t offered_copies = 0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    const auto offers = draw_arrivals(32, cfg, rng);
+    for (const auto& o : offers) offered_copies += o.destinations.size();
+    sw.offer_all(offers);
+    sw.step();
+  }
+  drain(sw);
+  EXPECT_EQ(sw.delivered_copies(), offered_copies);
+  EXPECT_EQ(sw.backlog_copies(), 0u);
+}
+
+TEST_P(DisciplineTest, LatencyAccountingConsistent) {
+  QueuedMulticastSwitch sw({.ports = 16, .fanout_splitting = GetParam()});
+  sw.offer({3, {0, 1, 2, 3}});
+  sw.offer({5, {8, 9}});
+  drain(sw);
+  const auto lat = sw.latency();
+  EXPECT_EQ(lat.completed_cells, 2u);
+  EXPECT_GE(lat.max, 0u);
+  EXPECT_LE(lat.mean, static_cast<double>(lat.max));
+}
+
+INSTANTIATE_TEST_SUITE_P(Splitting, DisciplineTest,
+                         ::testing::Values(true, false));
+
+TEST(QueuedSwitch, NonConflictingCellsGoInOneEpoch) {
+  QueuedMulticastSwitch sw({.ports = 16, .fanout_splitting = true});
+  sw.offer({0, {0, 1}});
+  sw.offer({1, {2, 3}});
+  sw.offer({2, {4, 5, 6, 7}});
+  const auto report = sw.step();
+  EXPECT_EQ(report.admitted_cells, 3u);
+  EXPECT_EQ(report.delivered_copies, 8u);
+  EXPECT_EQ(report.completed_cells, 3u);
+  EXPECT_EQ(sw.backlog_cells(), 0u);
+}
+
+TEST(QueuedSwitch, FanoutSplittingServesPartialOverlap) {
+  QueuedMulticastSwitch sw({.ports = 8, .fanout_splitting = true});
+  sw.offer({0, {0, 1, 2}});
+  sw.offer({1, {2, 3}});  // overlaps on output 2
+  const auto first = sw.step();
+  // Input 0 takes {0,1,2}; input 1 is split: serves {3} now, {2} later.
+  EXPECT_EQ(first.admitted_cells, 2u);
+  EXPECT_EQ(first.delivered_copies, 4u);
+  EXPECT_EQ(first.completed_cells, 1u);
+  const auto second = sw.step();
+  EXPECT_EQ(second.delivered_copies, 1u);
+  EXPECT_EQ(second.completed_cells, 1u);
+  EXPECT_EQ(sw.backlog_cells(), 0u);
+}
+
+TEST(QueuedSwitch, WholeCellDisciplineBlocksOnOverlap) {
+  QueuedMulticastSwitch sw({.ports = 8, .fanout_splitting = false});
+  sw.offer({0, {0, 1, 2}});
+  sw.offer({1, {2, 3}});
+  const auto first = sw.step();
+  EXPECT_EQ(first.admitted_cells, 1u);  // input 1 must wait entirely
+  EXPECT_EQ(first.delivered_copies, 3u);
+  const auto second = sw.step();
+  EXPECT_EQ(second.delivered_copies, 2u);
+}
+
+TEST(QueuedSwitch, SplittingDrainsNoSlowerThanWholeCell) {
+  Rng rng1(21), rng2(21);
+  ArrivalConfig cfg;
+  cfg.arrival_probability = 0.9;
+  cfg.fanout = {2, 8};
+  cfg.hotspot_fraction = 0.5;
+  QueuedMulticastSwitch split({.ports = 32, .fanout_splitting = true});
+  QueuedMulticastSwitch whole({.ports = 32, .fanout_splitting = false});
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    split.offer_all(draw_arrivals(32, cfg, rng1));
+    whole.offer_all(draw_arrivals(32, cfg, rng2));
+    split.step();
+    whole.step();
+  }
+  const std::size_t split_epochs = drain(split);
+  const std::size_t whole_epochs = drain(whole);
+  EXPECT_LE(split_epochs, whole_epochs);
+}
+
+TEST(QueuedSwitch, RoundRobinPreventsStarvation) {
+  // Two inputs fight for output 0 repeatedly; round-robin must alternate
+  // service so both queues drain.
+  QueuedMulticastSwitch sw({.ports = 4, .fanout_splitting = true});
+  for (int k = 0; k < 10; ++k) {
+    sw.offer({0, {0}});
+    sw.offer({1, {0}});
+  }
+  const std::size_t epochs = drain(sw, 100);
+  EXPECT_EQ(epochs, 20u);  // one copy of output 0 per epoch, alternating
+  EXPECT_EQ(sw.latency().completed_cells, 20u);
+}
+
+TEST(QueuedSwitch, OfferValidation) {
+  QueuedMulticastSwitch sw({.ports = 8, .fanout_splitting = true});
+  EXPECT_THROW(sw.offer({8, {0}}), ContractViolation);
+  EXPECT_THROW(sw.offer({0, {}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace brsmn::traffic

@@ -1,12 +1,22 @@
 // Thread-scaling of batch routing (ParallelRouter): independent
 // assignments shard across worker threads, each with a private fabric.
+//
+// --metrics-out=<path> attaches a MetricRegistry: per-worker batch
+// latency, work distribution/imbalance, and per-phase route timings are
+// dumped as JSON after the run.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "api/parallel_router.hpp"
 #include "hw/adder_tree.hpp"
 #include "common/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
 
 std::vector<brsmn::MulticastAssignment> make_batch(std::size_t n,
                                                    std::size_t count) {
@@ -24,6 +34,7 @@ void BM_BatchRouting(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   const auto batch = make_batch(n, 32);
   brsmn::api::ParallelRouter router(n, threads);
+  router.set_metrics(g_metrics);
   for (auto _ : state) {
     benchmark::DoNotOptimize(router.route_batch(batch));
   }
@@ -51,4 +62,17 @@ BENCHMARK(BM_PipelineAdderTreeCycles)->RangeMultiplier(4)->Range(16, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  brsmn::obs::MetricRegistry registry;
+  const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
+  if (metrics_path) g_metrics = &registry;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (metrics_path) {
+    if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 // Routing time (Table 2 third column / Section 7.2): the modelled gate
 // delay per routed assignment, plus wall-clock time of the simulator's
 // self-routing pipeline as a sanity proxy.
+//
+// --metrics-out=<path> attaches a MetricRegistry and dumps per-phase
+// wall-clock histograms as JSON after the run.
 #include <benchmark/benchmark.h>
 
 #include <cinttypes>
@@ -9,9 +12,19 @@
 #include "common/rng.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/gate_model.hpp"
 
 namespace {
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
+
+brsmn::RouteOptions route_options() {
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  return options;
+}
 
 void BM_BrsmnRoute(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -20,7 +33,7 @@ void BM_BrsmnRoute(benchmark::State& state) {
   const auto a = brsmn::random_multicast(n, 0.9, rng);
   std::uint64_t gate_delay = 0;
   for (auto _ : state) {
-    auto result = net.route(a);
+    auto result = net.route(a, route_options());
     gate_delay = result.stats.gate_delay;
     benchmark::DoNotOptimize(result);
   }
@@ -38,7 +51,7 @@ void BM_FeedbackRoute(benchmark::State& state) {
   const auto a = brsmn::random_multicast(n, 0.9, rng);
   std::uint64_t gate_delay = 0;
   for (auto _ : state) {
-    auto result = net.route(a);
+    auto result = net.route(a, route_options());
     gate_delay = result.stats.gate_delay;
     benchmark::DoNotOptimize(result);
   }
@@ -59,7 +72,15 @@ int main(int argc, char** argv) {
                 brsmn::model::feedback_routing_delay(n));
   }
   std::printf("\n");
+  brsmn::obs::MetricRegistry registry;
+  const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
+  if (metrics_path) g_metrics = &registry;
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (metrics_path) {
+    if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());
+  }
   return 0;
 }

@@ -1,13 +1,30 @@
 // Routing throughput of the simulator over the workload families the
 // paper's introduction motivates: dense multicast, partial permutations,
 // and k-source broadcasts.
+//
+// Pass --metrics-out=<path> (consumed before the benchmark flags) to
+// attach a MetricRegistry to every route and dump per-phase latency
+// histograms (p50/p99), RoutingStats counters and the rest of the
+// registry as JSON next to any --benchmark_out artifact.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "common/rng.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
+
+brsmn::RouteOptions route_options() {
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  return options;
+}
 
 void BM_MulticastDensitySweep(benchmark::State& state) {
   const std::size_t n = 1024;
@@ -22,7 +39,8 @@ void BM_MulticastDensitySweep(benchmark::State& state) {
   }
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()]));
+    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()],
+                                       route_options()));
   }
   state.counters["connections"] =
       static_cast<double>(pool[0].total_connections());
@@ -39,7 +57,8 @@ void BM_PermutationWorkload(benchmark::State& state) {
   }
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()]));
+    benchmark::DoNotOptimize(net.route(pool[i++ % pool.size()],
+                                       route_options()));
   }
 }
 BENCHMARK(BM_PermutationWorkload)->RangeMultiplier(4)->Range(16, 4096);
@@ -50,7 +69,7 @@ void BM_BroadcastSources(benchmark::State& state) {
   brsmn::Brsmn net(n);
   const auto a = brsmn::broadcast_assignment(n, sources);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.route(a));
+    benchmark::DoNotOptimize(net.route(a, route_options()));
   }
 }
 BENCHMARK(BM_BroadcastSources)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
@@ -61,11 +80,24 @@ void BM_FeedbackThroughput(benchmark::State& state) {
   brsmn::Rng rng(3);
   const auto a = brsmn::random_multicast(n, 0.9, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.route(a));
+    benchmark::DoNotOptimize(net.route(a, route_options()));
   }
 }
 BENCHMARK(BM_FeedbackThroughput)->RangeMultiplier(4)->Range(16, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  brsmn::obs::MetricRegistry registry;
+  const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
+  if (metrics_path) g_metrics = &registry;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (metrics_path) {
+    if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());
+  }
+  return 0;
+}

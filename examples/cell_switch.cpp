@@ -3,7 +3,9 @@
 // the 3-bit-per-tag wire format of Table 1, and each epoch the fabric
 // self-routes everything. Payload integrity is checked end to end.
 //
-// Build & run:  ./build/examples/cell_switch
+// Build & run:  ./build/examples/cell_switch [--metrics-out=<path>]
+// With --metrics-out the run dumps its metric registry (per-phase route
+// timings, per-epoch cell/delivery histograms) as JSON.
 #include <cstdio>
 #include <numeric>
 
@@ -11,6 +13,8 @@
 #include "api/multicast_switch.hpp"
 #include "common/rng.hpp"
 #include "core/multicast_assignment.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -28,12 +32,21 @@ std::uint32_t checksum(const std::vector<std::uint8_t>& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace brsmn;
   constexpr std::size_t kPorts = 64;
   constexpr int kEpochs = 8;
 
+  const auto metrics_path = obs::consume_metrics_out_flag(argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "unrecognized argument: %s\n"
+                 "usage: cell_switch [--metrics-out=<path>]\n", argv[1]);
+    return 2;
+  }
+  obs::MetricRegistry registry;
+
   api::MulticastSwitch fabric(kPorts, api::MulticastSwitch::Engine::kFeedback);
+  if (metrics_path) fabric.set_metrics(&registry);
   Rng rng(4242);
 
   std::printf("multicast cell switch: %zu ports, feedback engine\n", kPorts);
@@ -71,5 +84,10 @@ int main() {
               total_cells, total_deliveries, corrupt);
   std::printf(corrupt == 0 ? "payload integrity verified end to end.\n"
                            : "PAYLOAD CORRUPTION DETECTED!\n");
+  if (metrics_path) {
+    if (!obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::printf("\nmetrics:\n%s", obs::to_table(registry).c_str());
+    std::printf("metrics written to %s\n", metrics_path->c_str());
+  }
   return corrupt == 0 ? 0 : 1;
 }

@@ -4,20 +4,35 @@
 // final latency summary — the system-level view of what the paper's
 // network is for.
 //
-// Build & run:  ./build/examples/switch_fabric_sim
+// Build & run:  ./build/examples/switch_fabric_sim [--metrics-out=<path>]
+// With --metrics-out the run records epoch metrics (admitted fanout,
+// queue depths, cell latency) plus per-phase route timings and dumps the
+// registry as JSON.
 #include <cstdio>
 
 #include "common/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/queued_switch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace brsmn;
   constexpr std::size_t kPorts = 128;
   constexpr std::size_t kEpochs = 300;
 
+  const auto metrics_path = obs::consume_metrics_out_flag(argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "unrecognized argument: %s\n"
+                 "usage: switch_fabric_sim [--metrics-out=<path>]\n", argv[1]);
+    return 2;
+  }
+  obs::MetricRegistry registry;
+
   traffic::QueuedMulticastSwitch sw(
-      {.ports = kPorts, .fanout_splitting = true});
+      {.ports = kPorts,
+       .fanout_splitting = true,
+       .metrics = metrics_path ? &registry : nullptr});
   Rng rng(7);
 
   traffic::ArrivalConfig cfg;
@@ -56,5 +71,10 @@ int main() {
               lat.completed_cells, sw.delivered_copies());
   std::printf("completion latency: mean %.2f epochs, max %zu epochs\n",
               lat.mean, lat.max);
+  if (metrics_path) {
+    if (!obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::printf("\nmetrics:\n%s", obs::to_table(registry).c_str());
+    std::printf("metrics written to %s\n", metrics_path->c_str());
+  }
   return 0;
 }

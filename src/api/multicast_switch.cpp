@@ -1,6 +1,7 @@
 #include "api/multicast_switch.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace brsmn::api {
 
@@ -41,11 +42,14 @@ void MulticastSwitch::submit(std::size_t input,
 }
 
 std::vector<Delivery> MulticastSwitch::route_epoch() {
+  const std::size_t cells = pending_;
   std::vector<Delivery> deliveries;
   if (pending_ > 0) {
+    RouteOptions options;
+    options.metrics = metrics_;
     const RouteResult result = engine_ == Engine::kUnrolled
-                                   ? unrolled_->route(assignment_)
-                                   : feedback_->route(assignment_);
+                                   ? unrolled_->route(assignment_, options)
+                                   : feedback_->route(assignment_, options);
     last_stats_ = result.stats;
     for (std::size_t out = 0; out < ports_; ++out) {
       if (!result.delivered[out]) continue;
@@ -60,6 +64,14 @@ std::vector<Delivery> MulticastSwitch::route_epoch() {
   for (auto& p : payloads_) p.clear();
   std::fill(occupied_.begin(), occupied_.end(), false);
   pending_ = 0;
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      metrics_->histogram("api.cells_per_epoch")
+          .record(static_cast<double>(cells));
+      metrics_->histogram("api.deliveries_per_epoch")
+          .record(static_cast<double>(deliveries.size()));
+    }
+  }
   return deliveries;
 }
 

@@ -57,9 +57,17 @@ class MulticastSwitch {
   /// Stats of the most recent route_epoch().
   const RoutingStats& last_stats() const noexcept { return last_stats_; }
 
+  /// Attach a registry: each route_epoch() records route.* phase timings
+  /// and api.cells_per_epoch / api.deliveries_per_epoch histograms.
+  /// Pass nullptr to detach.
+  void set_metrics(obs::MetricRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
  private:
   std::size_t ports_;
   Engine engine_;
+  obs::MetricRegistry* metrics_ = nullptr;
   MulticastAssignment assignment_;
   std::vector<std::vector<std::uint8_t>> payloads_;
   std::vector<bool> occupied_;

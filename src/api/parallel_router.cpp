@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace brsmn::api {
 
@@ -15,30 +20,64 @@ ParallelRouter::ParallelRouter(std::size_t n, unsigned threads)
       threads_(threads != 0 ? threads
                             : std::max(1u, std::thread::hardware_concurrency())) {
   BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  engines_.resize(threads_);
+}
+
+unsigned ParallelRouter::engines_built() const noexcept {
+  unsigned built = 0;
+  for (const auto& e : engines_) built += (e != nullptr);
+  return built;
+}
+
+void ParallelRouter::set_metrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
 }
 
 std::vector<RouteResult> ParallelRouter::route_batch(
     const std::vector<MulticastAssignment>& batch) {
-  for (const auto& a : batch) BRSMN_EXPECTS(a.size() == n_);
   std::vector<RouteResult> results(batch.size());
   if (batch.empty()) return results;
+
+  obs::Histogram* worker_hist = nullptr;
+  obs::Histogram* route_hist = nullptr;
+  obs::Histogram* per_worker_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      worker_hist = &metrics_->histogram("parallel.worker_batch_ns");
+      route_hist = &metrics_->histogram("parallel.route_ns");
+      per_worker_hist = &metrics_->histogram("parallel.routes_per_worker");
+    }
+  }
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, batch.size()));
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
   std::mutex error_mutex;
+  std::vector<std::size_t> routed_per_worker(workers, 0);
 
-  auto work = [&] {
-    Brsmn engine(n_);  // one fabric per worker: no shared mutable state
+  auto work = [&](unsigned t) {
+    const obs::PhaseTimer batch_timer(worker_hist);
+    if (!engines_[t]) engines_[t] = std::make_unique<Brsmn>(n_);
+    Brsmn& engine = *engines_[t];
+    RouteOptions options;
+    options.metrics = metrics_;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size()) return;
       try {
-        results[i] = engine.route(batch[i]);
+        BRSMN_EXPECTS_MSG(batch[i].size() == n_,
+                          "assignment size does not match the network");
+        const obs::PhaseTimer route_timer(route_hist);
+        results[i] = engine.route(batch[i], options);
+        ++routed_per_worker[t];
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
         return;
       }
     }
@@ -46,10 +85,40 @@ std::vector<RouteResult> ParallelRouter::route_batch(
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
   for (auto& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Rethrow the first failure with its batch index attached, keeping
+    // the exception type so callers can still catch ContractViolation.
+    const std::string where =
+        "route_batch: assignment " + std::to_string(first_error_index) + ": ";
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const ContractViolation& e) {
+      throw ContractViolation(where + e.what());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(where + e.what());
+    }
+  }
+
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      std::size_t lo = std::numeric_limits<std::size_t>::max();
+      std::size_t hi = 0;
+      for (const std::size_t routed : routed_per_worker) {
+        per_worker_hist->record(static_cast<double>(routed));
+        lo = std::min(lo, routed);
+        hi = std::max(hi, routed);
+      }
+      metrics_->gauge("parallel.last_imbalance")
+          .set(static_cast<double>(hi - lo));
+      metrics_->gauge("parallel.last_workers")
+          .set(static_cast<double>(workers));
+      metrics_->counter("parallel.batches").add(1);
+      metrics_->counter("parallel.routes").add(batch.size());
+    }
+  }
   return results;
 }
 

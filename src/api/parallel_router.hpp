@@ -3,14 +3,21 @@
 // Routing one assignment is inherently sequential (each level feeds the
 // next), but independent assignments — successive switching epochs, or
 // Monte-Carlo sweeps in the benchmark harness — are embarrassingly
-// parallel. ParallelRouter keeps one Brsmn engine per worker thread and
-// shards a batch over them.
+// parallel. ParallelRouter keeps one Brsmn engine per worker thread,
+// alive across route_batch calls (building a Brsmn allocates every level
+// BSN, so rebuilding per batch would dominate small batches), and shards
+// each batch over them with an atomic work queue.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/brsmn.hpp"
+
+namespace brsmn::obs {
+class MetricRegistry;
+}  // namespace brsmn::obs
 
 namespace brsmn::api {
 
@@ -23,15 +30,33 @@ class ParallelRouter {
   std::size_t network_size() const noexcept { return n_; }
   unsigned threads() const noexcept { return threads_; }
 
+  /// Engines constructed so far (lazily, one per worker slot on its
+  /// first use); exposed so tests can assert they persist across calls.
+  unsigned engines_built() const noexcept;
+
+  /// Attach a registry: workers record per-worker batch latency
+  /// (parallel.worker_batch_ns), per-assignment latency
+  /// (parallel.route_ns), per-batch work distribution
+  /// (parallel.routes_per_worker, parallel.last_imbalance) and forward
+  /// it to each engine's route() for phase timings. Pass nullptr to
+  /// detach. Applies to subsequent route_batch calls.
+  void set_metrics(obs::MetricRegistry* metrics);
+
   /// Route every assignment in `batch`; results come back in order.
-  /// All assignments must have size network_size(). Contract violations
-  /// raised by a worker propagate to the caller.
+  /// All assignments must have size network_size(); a violation — or any
+  /// other worker-side failure — is rethrown on the caller with the
+  /// offending batch index attached to the message, preserving
+  /// ContractViolation as ContractViolation.
   std::vector<RouteResult> route_batch(
       const std::vector<MulticastAssignment>& batch);
 
  private:
   std::size_t n_;
   unsigned threads_;
+  /// Worker-slot engines; engines_[t] is only touched by worker t during
+  /// a batch, so no lock is needed once the vector is sized.
+  std::vector<std::unique_ptr<Brsmn>> engines_;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace brsmn::api

@@ -3,6 +3,8 @@
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/tag_sequence.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/route_probe.hpp"
 
 namespace brsmn {
 
@@ -100,6 +102,15 @@ Brsmn::Brsmn(std::size_t n) : n_(n), m_(log2_exact(n)) {
 RouteResult Brsmn::route(const MulticastAssignment& assignment,
                          const RouteOptions& options) {
   BRSMN_EXPECTS(assignment.size() == n_);
+  obs::RouteProbe probe;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics);
+    }
+  }
+  const obs::RouteProbe* probe_ptr = probe.enabled() ? &probe : nullptr;
+  obs::PhaseTimer total_timer(probe.total);
+
   RouteResult result;
   result.delivered.assign(n_, std::nullopt);
 
@@ -118,7 +129,7 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
           std::make_move_iterator(lines.begin() + static_cast<std::ptrdiff_t>(
                                                       (b + 1) * bsn_size)));
       Bsn::Result r = level[b].route(std::move(slice), next_copy_id,
-                                     &result.stats);
+                                     &result.stats, probe_ptr);
       std::move(r.outputs.begin(), r.outputs.end(),
                 lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
     }
@@ -132,12 +143,19 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
 
   if (options.capture_levels) result.level_inputs.push_back(lines);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
-  deliver_final_level(lines, result.delivered, &result.stats);
+  {
+    obs::PhaseTimer final_timer(probe.datapath);
+    deliver_final_level(lines, result.delivered, &result.stats);
+  }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);
 
   BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
                     "BRSMN routed assignment incorrectly");
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(result.stats);
+  }
   return result;
 }
 

@@ -19,11 +19,20 @@
 #include "core/multicast_assignment.hpp"
 #include "core/stats.hpp"
 
+namespace brsmn::obs {
+class MetricRegistry;
+}  // namespace brsmn::obs
+
 namespace brsmn {
 
 struct RouteOptions {
   /// Capture the line state entering every level (for rendering/tests).
   bool capture_levels = false;
+  /// When set, the engine records per-phase wall-clock histograms
+  /// (route.phase.*_ns) and mirrors RoutingStats into route.* counters.
+  /// Null (the default) keeps the hot path uninstrumented; builds with
+  /// BRSMN_OBS_DISABLED ignore it entirely.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct RouteResult {

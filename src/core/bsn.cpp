@@ -3,6 +3,8 @@
 #include "common/contracts.hpp"
 #include "core/quasisort.hpp"
 #include "core/scatter.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/route_probe.hpp"
 
 namespace brsmn {
 
@@ -26,7 +28,8 @@ Bsn::Bsn(std::size_t n) : scatter_(n), quasisort_(n) {
 }
 
 Bsn::Result Bsn::route(std::vector<LineValue> inputs,
-                       std::uint64_t& next_copy_id, RoutingStats* stats) {
+                       std::uint64_t& next_copy_id, RoutingStats* stats,
+                       const obs::RouteProbe* probe) {
   const std::size_t n = size();
   BRSMN_EXPECTS(inputs.size() == n);
 
@@ -48,19 +51,23 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   }
 
   // Pass 1: scatter — eliminate every α (paper Theorem 2).
+  obs::PhaseTimer scatter_timer(probe ? probe->scatter : nullptr);
   const ScatterNodeValue root = configure_scatter(scatter_, tags, 0, stats);
+  scatter_timer.stop();
   // Eq. (3): n_alpha <= n_eps, so eps dominates at the root (when the two
   // counts tie, the surplus is 0 and the type label is immaterial).
   BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
                     "Eq. (3) guarantees eps dominates at the BSN root");
   ScatterExec exec{next_copy_id, stats};
   Result result;
+  obs::PhaseTimer scatter_datapath(probe ? probe->datapath : nullptr);
   result.scattered = scatter_.propagate(
       std::move(inputs),
       [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
               LineValue b) {
         return apply_scatter_switch(ctx, s, std::move(a), std::move(b), exec);
       });
+  scatter_datapath.stop();
   next_copy_id = exec.next_copy_id;
 
   const TagCounts mid = count_tags(result.scattered);
@@ -72,10 +79,15 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
   std::vector<Tag> scattered_tags(n);
   for (std::size_t i = 0; i < n; ++i) scattered_tags[i] = result.scattered[i].tag;
+  obs::PhaseTimer divide_timer(probe ? probe->eps_divide : nullptr);
   const std::vector<Tag> divided = divide_eps(scattered_tags, stats);
+  divide_timer.stop();
   std::vector<LineValue> sorted_in = result.scattered;
   for (std::size_t i = 0; i < n; ++i) sorted_in[i].tag = divided[i];
+  obs::PhaseTimer quasisort_timer(probe ? probe->quasisort : nullptr);
   configure_quasisort(quasisort_, divided, stats);
+  quasisort_timer.stop();
+  obs::PhaseTimer sort_datapath(probe ? probe->datapath : nullptr);
   result.outputs = quasisort_.propagate(
       std::move(sorted_in),
       [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -83,6 +95,7 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
         if (stats) ++stats->switch_traversals;
         return unicast_switch(ctx, s, std::move(a), std::move(b));
       });
+  sort_datapath.stop();
 
   // Postcondition: zeros (real or dummy) occupy the upper half, ones the
   // lower half.

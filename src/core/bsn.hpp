@@ -15,6 +15,10 @@
 #include "core/rbn.hpp"
 #include "core/stats.hpp"
 
+namespace brsmn::obs {
+struct RouteProbe;
+}  // namespace brsmn::obs
+
 namespace brsmn {
 
 /// Tag census of a line vector (inputs or outputs of a BSN).
@@ -45,8 +49,13 @@ class Bsn {
   /// Preconditions: inputs.size() == n; tags in {0,1,α,ε}; occupied lines
   /// carry a packet whose stream front equals the line tag; Eqs. (1)-(2):
   /// n0 + nα <= n/2 and n1 + nα <= n/2.
+  ///
+  /// `probe` (optional) receives per-phase wall-clock timings: the
+  /// scatter/ε-divide/quasisort configuration sweeps and the two fabric
+  /// traversals.
   Result route(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
-               RoutingStats* stats = nullptr);
+               RoutingStats* stats = nullptr,
+               const obs::RouteProbe* probe = nullptr);
 
   /// The two fabrics, exposed for inspection after route() (their switch
   /// settings are those of the last routed assignment).

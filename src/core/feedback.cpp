@@ -4,6 +4,8 @@
 #include "common/contracts.hpp"
 #include "core/quasisort.hpp"
 #include "core/scatter.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/route_probe.hpp"
 
 namespace brsmn {
 
@@ -18,6 +20,14 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   const std::size_t n = size();
   const int m = levels();
   BRSMN_EXPECTS(assignment.size() == n);
+
+  obs::RouteProbe probe;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics);
+    }
+  }
+  obs::PhaseTimer total_timer(probe.total);
 
   RouteResult result;
   result.delivered.assign(n, std::nullopt);
@@ -36,11 +46,14 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     fabric_.reset();
     std::vector<Tag> tags(n);
     for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    obs::PhaseTimer scatter_timer(probe.scatter);
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
       configure_scatter(fabric_, top_stage, b, slice, 0, &result.stats);
     }
+    scatter_timer.stop();
     ScatterExec exec{next_copy_id, &result.stats};
+    obs::PhaseTimer scatter_datapath(probe.datapath);
     lines = fabric_.propagate(
         std::move(lines),
         [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -48,6 +61,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
           return apply_scatter_switch(ctx, s, std::move(a), std::move(b),
                                       exec);
         });
+    scatter_datapath.stop();
     next_copy_id = exec.next_copy_id;
     ++result.stats.fabric_passes;
     // One scatter configuration sweep (all blocks concurrent) plus a full
@@ -59,13 +73,17 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
+      obs::PhaseTimer divide_timer(probe.eps_divide);
       const std::vector<Tag> divided = divide_eps(slice, &result.stats);
+      divide_timer.stop();
       for (std::size_t i = 0; i < bsn_size; ++i) {
         lines[b * bsn_size + i].tag = divided[i];
       }
+      obs::PhaseTimer quasisort_timer(probe.quasisort);
       configure_quasisort(fabric_, top_stage, b, divided, &result.stats);
     }
     RoutingStats* stats = &result.stats;
+    obs::PhaseTimer sort_datapath(probe.datapath);
     lines = fabric_.propagate(
         std::move(lines),
         [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -73,6 +91,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
           ++stats->switch_traversals;
           return unicast_switch(ctx, s, std::move(a), std::move(b));
         });
+    sort_datapath.stop();
     ++result.stats.fabric_passes;
     // ε-divide sweep + quasisort sweep + full fabric traversal.
     result.stats.gate_delay +=
@@ -86,13 +105,20 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   // Final pass: the 2x2-switch level, realized by stage 1 of the fabric.
   if (options.capture_levels) result.level_inputs.push_back(lines);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
-  deliver_final_level(lines, result.delivered, &result.stats);
+  {
+    obs::PhaseTimer final_timer(probe.datapath);
+    deliver_final_level(lines, result.delivered, &result.stats);
+  }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);
   ++result.stats.fabric_passes;
 
   BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
                     "feedback BRSMN routed assignment incorrectly");
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(result.stats);
+  }
   return result;
 }
 

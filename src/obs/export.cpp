@@ -1,0 +1,166 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double; JSON has no
+/// Infinity/NaN, so those clamp to null-safe extremes (never produced by
+/// the instruments, but the exporter must not emit invalid JSON).
+std::string number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(std::string_view name) {
+  std::string out = "\"";
+  for (const char c : name) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void histogram_json(std::ostringstream& os, const HistogramSnapshot& h) {
+  os << "{\"count\": " << h.count << ", \"sum\": " << number(h.sum)
+     << ", \"min\": " << number(h.min) << ", \"max\": " << number(h.max)
+     << ", \"mean\": " << number(h.mean()) << ", \"p50\": " << number(h.p50)
+     << ", \"p99\": " << number(h.p99) << ", \"buckets\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << h.buckets[i];
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << quoted(snapshot.counters[i].first) << ": "
+       << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << quoted(snapshot.gauges[i].first)
+       << ": " << number(snapshot.gauges[i].second);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << quoted(snapshot.histograms[i].first) << ": ";
+    histogram_json(os, snapshot.histograms[i].second);
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string to_csv(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  os << "kind,name,count,sum,min,max,mean,p50,p99\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << ',' << value << ",,,,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << ',' << number(value) << ",,,,,,\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "histogram," << name << ',' << h.count << ',' << number(h.sum) << ','
+       << number(h.min) << ',' << number(h.max) << ',' << number(h.mean())
+       << ',' << number(h.p50) << ',' << number(h.p99) << '\n';
+  }
+  return os.str();
+}
+
+std::string to_table(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  char line[256];
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %16llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      os << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %16.3f\n", name.c_str(),
+                    value);
+      os << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "histograms:\n";
+    std::snprintf(line, sizeof(line), "  %-40s %10s %12s %12s %12s %12s\n",
+                  "name", "count", "mean", "p50", "p99", "max");
+    os << line;
+    for (const auto& [name, h] : snapshot.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s %10llu %12.1f %12.1f %12.1f %12.1f\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.mean(), h.p50, h.p99, h.max);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  BRSMN_EXPECTS_MSG(out.good(), "cannot open file for writing: " + path);
+  out << content;
+  out.flush();
+  BRSMN_EXPECTS_MSG(out.good(), "failed writing file: " + path);
+}
+
+bool try_write_metrics(const std::string& path, const MetricRegistry& r) {
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --metrics-out requires a non-empty path\n");
+    return false;
+  }
+  try {
+    write_file(path, to_json(r));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot write metrics: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> consume_metrics_out_flag(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--metrics-out=";
+  std::optional<std::string> path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) {
+      path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+}  // namespace brsmn::obs

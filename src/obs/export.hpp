@@ -1,0 +1,45 @@
+// Structured exporters for a MetricRegistry: machine-readable JSON and
+// CSV, plus a human-readable aligned table following the sim/render
+// conventions (one instrument per line, fixed-width columns).
+//
+// JSON shape (stable key order — the registry snapshot is name-sorted):
+//   {
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count": ..., "sum": ..., "min": ...,
+//                                 "max": ..., "mean": ..., "p50": ...,
+//                                 "p99": ..., "buckets": [ ... ] }, ... }
+//   }
+// Doubles print with enough digits to round-trip through obs/json.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace brsmn::obs {
+
+std::string to_json(const RegistrySnapshot& snapshot);
+std::string to_csv(const RegistrySnapshot& snapshot);
+std::string to_table(const RegistrySnapshot& snapshot);
+
+inline std::string to_json(const MetricRegistry& r) { return to_json(r.snapshot()); }
+inline std::string to_csv(const MetricRegistry& r) { return to_csv(r.snapshot()); }
+inline std::string to_table(const MetricRegistry& r) { return to_table(r.snapshot()); }
+
+/// Write `content` to `path`; throws ContractViolation on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+/// CLI-friendly dump: write the registry as JSON to `path`. On an empty
+/// path or an I/O failure, prints the reason to stderr and returns false
+/// instead of throwing — a long bench run should end with an error
+/// message, not an abort.
+bool try_write_metrics(const std::string& path, const MetricRegistry& r);
+
+/// Scan argv for `--metrics-out=<path>`, remove it (adjusting argc), and
+/// return the path. Lets benches and examples accept the flag before
+/// handing the remaining arguments to benchmark::Initialize.
+std::optional<std::string> consume_metrics_out_flag(int& argc, char** argv);
+
+}  // namespace brsmn::obs

@@ -1,0 +1,212 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstddef>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+bool JsonValue::as_bool() const {
+  BRSMN_EXPECTS_MSG(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+  BRSMN_EXPECTS_MSG(is_number(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  BRSMN_EXPECTS_MSG(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  BRSMN_EXPECTS_MSG(is_array(), "JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  BRSMN_EXPECTS_MSG(is_object(), "JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  BRSMN_EXPECTS_MSG(it != obj.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  return obj.find(key) != obj.end();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    check(pos_ == text_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  void check(bool cond, const std::string& what) {
+    if (!cond) {
+      throw ContractViolation("JSON parse error at byte " +
+                              std::to_string(pos_) + ": " + what);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(peek() == c, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        check(consume_literal("true"), "invalid literal");
+        return JsonValue(true);
+      case 'f':
+        check(consume_literal("false"), "invalid literal");
+        return JsonValue(false);
+      case 'n':
+        check(consume_literal("null"), "invalid literal");
+        return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        check(pos_ < text_.size(), "unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default: check(false, "unsupported escape sequence");
+        }
+      } else {
+        check(static_cast<unsigned char>(c) >= 0x20,
+              "unescaped control character in string");
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    check(pos_ > start, "expected a JSON value");
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    check(ec == std::errc{} && end == text_.data() + pos_, "invalid number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace brsmn::obs

@@ -1,0 +1,64 @@
+// A minimal JSON value and recursive-descent parser, config_io-style:
+// strict, dependency-free, ContractViolation on malformed input.
+//
+// Exists so metric dumps written by obs/export.hpp can be re-read and
+// asserted on inside this repository (round-trip tests, CI smoke checks)
+// without pulling in an external JSON library.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace brsmn::obs {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               JsonArray, JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(std::nullptr_t) : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s)
+      : value_(std::in_place_type<std::string>, std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : value_(std::in_place_type<JsonArray>, std::move(a)) {}
+  explicit JsonValue(JsonObject o)
+      : value_(std::in_place_type<JsonObject>, std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw ContractViolation on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; throws ContractViolation when absent.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+ private:
+  Storage value_;
+};
+
+/// Parse a complete JSON document (one value, then end of input).
+/// Throws ContractViolation with a byte offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace brsmn::obs

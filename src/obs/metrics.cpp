@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+// --- P2Quantile -----------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  BRSMN_EXPECTS(q > 0.0 && q < 1.0);
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::observe(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing x, clamping the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_up = positions_[i + 1] - positions_[i];
+    const double gap_down = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_down < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the new height.
+      const double qi = heights_[i];
+      const double parabolic =
+          qi + s / (positions_[i + 1] - positions_[i - 1]) *
+                   ((positions_[i] - positions_[i - 1] + s) *
+                        (heights_[i + 1] - qi) / gap_up +
+                    (positions_[i + 1] - positions_[i] - s) *
+                        (qi - heights_[i - 1]) / -gap_down);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {  // fall back to linear interpolation toward the neighbor
+        const std::size_t j = d >= 1.0 ? i + 1 : i - 1;
+        heights_[i] = qi + s * (heights_[j] - qi) /
+                               (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile: sort what we have and index it.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(idx, static_cast<std::size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+// --- Histogram ------------------------------------------------------------
+
+namespace {
+
+std::size_t bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN land in the first bucket
+  const int exp = std::ilogb(v);
+  return std::min<std::size_t>(static_cast<std::size_t>(exp) + 1,
+                               Histogram::kBuckets - 1);
+}
+
+/// [lower, upper) value range covered by bucket i.
+std::pair<double, double> bucket_bounds(std::size_t i) {
+  if (i == 0) return {0.0, 1.0};
+  return {std::ldexp(1.0, static_cast<int>(i) - 1),
+          std::ldexp(1.0, static_cast<int>(i))};
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+  p50_.observe(value);
+  p99_.observe(value);
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = p50_.estimate();
+  s.p99 = p99_.estimate();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] != 0) last = i + 1;
+  }
+  s.buckets.assign(buckets_.begin(),
+                   buckets_.begin() + static_cast<std::ptrdiff_t>(last));
+  return s;
+}
+
+double HistogramSnapshot::bucket_quantile(double q) const {
+  BRSMN_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= target && buckets[i] != 0) {
+      auto [lo, hi] = bucket_bounds(i);
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi <= lo) return lo;
+      const double frac =
+          (target - cumulative) / static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+// --- MetricRegistry -------------------------------------------------------
+
+namespace {
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<T>()).first->second;
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+}  // namespace brsmn::obs

@@ -1,0 +1,159 @@
+// Metric primitives for the observability layer: counters, gauges and
+// histograms behind a thread-safe MetricRegistry.
+//
+// The paper's claims are quantitative (O(log^2 n) routing time, Table 2
+// cost comparisons); RoutingStats charges *modelled* gate delays, but a
+// production switch also needs *measured* wall-clock distributions per
+// routing phase. The registry is the sink every engine records into; the
+// exporters in obs/export.hpp turn a registry into JSON/CSV/tables.
+//
+// Concurrency: Counter is a relaxed atomic; Gauge an atomic double;
+// Histogram serializes recording under a per-histogram mutex (the routing
+// hot path records a handful of samples per assignment, so contention is
+// negligible next to the routing work itself). Registry lookups take the
+// registry mutex; hot paths should cache the returned references, which
+// stay valid for the registry's lifetime.
+//
+// Compile-time kill switch: building with -DBRSMN_OBS=OFF (which defines
+// BRSMN_OBS_DISABLED) turns obs::kEnabled into false; the engines guard
+// every instrumentation hook with `if constexpr (obs::kEnabled)`, so a
+// disabled build carries zero instrumentation cost on the hot path. The
+// registry itself stays functional either way (exporters, tests).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace brsmn::obs {
+
+#if defined(BRSMN_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, imbalance, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming quantile estimator (Jain & Chlamtac's P^2 algorithm): O(1)
+/// memory, no stored samples. Exact for the first five observations,
+/// piecewise-parabolic interpolation afterwards.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void observe(double x);
+  double estimate() const;
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double q_;
+  std::array<double, 5> heights_{};    // marker heights (q[i])
+  std::array<double, 5> positions_{};  // actual marker positions (n[i])
+  std::array<double, 5> desired_{};    // desired marker positions (n'[i])
+  std::array<double, 5> increments_{};  // dn'[i] per observation
+  std::uint64_t count_ = 0;
+};
+
+/// Point-in-time copy of a histogram, safe to read without locks.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;  ///< streaming P^2 estimate
+  double p99 = 0.0;  ///< streaming P^2 estimate
+  /// Power-of-two buckets: buckets[0] counts values < 1, buckets[i]
+  /// (i >= 1) counts values in [2^(i-1), 2^i). Trailing empty buckets
+  /// are trimmed.
+  std::vector<std::uint64_t> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Quantile estimate from the fixed buckets alone (linear interpolation
+  /// inside the bucket that crosses q). Coarser than p50/p99 but
+  /// mergeable across processes.
+  double bucket_quantile(double q) const;
+};
+
+/// Fixed-bucket (power-of-two) histogram with streaming p50/p99.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double value);
+  std::uint64_t count() const;
+  HistogramSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  P2Quantile p50_{0.5};
+  P2Quantile p99_{0.99};
+};
+
+/// Everything a registry holds, copied out under one lock; the exporters
+/// and tests consume this rather than the live registry.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Named metric store. Instruments are created on first use and live as
+/// long as the registry; returned references are stable and safe to cache
+/// across threads.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies of every instrument, each name list sorted.
+  RegistrySnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace brsmn::obs

@@ -1,0 +1,53 @@
+// RAII wall-clock scope timer recording into a Histogram, in nanoseconds
+// on std::chrono::steady_clock.
+//
+// Cost discipline: constructed with a null sink the timer is a single
+// branch (the clock is never read); with BRSMN_OBS_DISABLED it compiles
+// to nothing at all, so instrumented hot paths can keep their timer
+// scopes unconditionally.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace brsmn::obs {
+
+class PhaseTimer {
+ public:
+  /// Starts timing immediately; `sink == nullptr` disables the timer.
+  explicit PhaseTimer(Histogram* sink) noexcept {
+#if !defined(BRSMN_OBS_DISABLED)
+    sink_ = sink;
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+#else
+    (void)sink;
+#endif
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { stop(); }
+
+  /// Records the elapsed nanoseconds once; later calls (and the
+  /// destructor) are no-ops.
+  void stop() noexcept {
+#if !defined(BRSMN_OBS_DISABLED)
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    sink_ = nullptr;
+#endif
+  }
+
+ private:
+#if !defined(BRSMN_OBS_DISABLED)
+  Histogram* sink_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+#endif
+};
+
+}  // namespace brsmn::obs

@@ -1,0 +1,46 @@
+// Pre-resolved metric handles for the routing engines.
+//
+// Brsmn / FeedbackBrsmn / Bsn time four phases per routed assignment —
+// mirroring the gate-delay composition of core/stats.hpp:
+//   <prefix>.phase.scatter_ns    scatter configuration sweeps (Theorem 2)
+//   <prefix>.phase.eps_divide_ns ε-dividing sweeps (Table 6)
+//   <prefix>.phase.quasisort_ns  quasisort configuration sweeps (Lemma 1)
+//   <prefix>.phase.datapath_ns   fabric traversals + final 2x2 delivery
+//   <prefix>.phase.total_ns      the whole route() call
+// and mirror RoutingStats into counters (<prefix>.switch_traversals, ...)
+// so concurrent workers aggregate into one registry.
+//
+// The probe is resolved once per route() (five registry lookups) and then
+// passed by pointer through the level/BSN machinery, keeping the per-phase
+// cost to a PhaseTimer scope.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace brsmn::obs {
+
+struct RouteProbe {
+  MetricRegistry* registry = nullptr;
+  std::string prefix;
+  Histogram* scatter = nullptr;
+  Histogram* eps_divide = nullptr;
+  Histogram* quasisort = nullptr;
+  Histogram* datapath = nullptr;
+  Histogram* total = nullptr;
+
+  bool enabled() const noexcept { return registry != nullptr; }
+
+  /// Resolve the phase histograms of `prefix` in `registry`.
+  static RouteProbe attach(MetricRegistry& registry,
+                           std::string_view prefix = "route");
+
+  /// Mirror one route's RoutingStats into <prefix>.* counters and bump
+  /// <prefix>.routes.
+  void record_stats(const RoutingStats& stats) const;
+};
+
+}  // namespace brsmn::obs

@@ -3,13 +3,31 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace brsmn::traffic {
 
 QueuedMulticastSwitch::QueuedMulticastSwitch(const Config& config)
     : config_(config),
       fabric_(config.ports),
-      queues_(config.ports) {}
+      queues_(config.ports) {
+  if constexpr (obs::kEnabled) {
+    if (config_.metrics != nullptr) {
+      obs::MetricRegistry& r = *config_.metrics;
+      instruments_.admitted_cells =
+          &r.histogram("switch.admitted_cells_per_epoch");
+      instruments_.admitted_fanout =
+          &r.histogram("switch.admitted_fanout_per_epoch");
+      instruments_.cell_latency = &r.histogram("switch.cell_latency_epochs");
+      instruments_.backlog_cells = &r.gauge("switch.backlog_cells");
+      instruments_.backlog_copies = &r.gauge("switch.backlog_copies");
+      instruments_.max_queue = &r.gauge("switch.max_queue_length");
+      instruments_.epochs = &r.counter("switch.epochs");
+      instruments_.delivered = &r.counter("switch.delivered_copies");
+      instruments_.completed = &r.counter("switch.completed_cells");
+    }
+  }
+}
 
 void QueuedMulticastSwitch::offer(const Offer& offer) {
   BRSMN_EXPECTS(offer.input < ports());
@@ -57,7 +75,9 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
 
   // Route through the self-routing fabric (verifies delivery itself).
   if (report.admitted_cells > 0) {
-    const RouteResult result = fabric_.route(assignment);
+    RouteOptions options;
+    options.metrics = config_.metrics;
+    const RouteResult result = fabric_.route(assignment, options);
     for (const auto& d : result.delivered) {
       report.delivered_copies += d.has_value();
     }
@@ -78,10 +98,27 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
       ++completed_;
       ++report.completed_cells;
       queues_[input].pop_front();
+      if (instruments_.cell_latency != nullptr) {
+        instruments_.cell_latency->record(static_cast<double>(wait));
+      }
     }
   }
   delivered_ += report.delivered_copies;
   ++epoch_;
+  if constexpr (obs::kEnabled) {
+    if (config_.metrics != nullptr) {
+      instruments_.admitted_cells->record(
+          static_cast<double>(report.admitted_cells));
+      instruments_.admitted_fanout->record(
+          static_cast<double>(report.delivered_copies));
+      instruments_.backlog_cells->set(static_cast<double>(backlog_cells()));
+      instruments_.backlog_copies->set(static_cast<double>(backlog_copies()));
+      instruments_.max_queue->set(static_cast<double>(max_queue_length()));
+      instruments_.epochs->add(1);
+      instruments_.delivered->add(report.delivered_copies);
+      instruments_.completed->add(report.completed_cells);
+    }
+  }
   return report;
 }
 

@@ -19,6 +19,13 @@
 #include "core/brsmn.hpp"
 #include "traffic/arrivals.hpp"
 
+namespace brsmn::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricRegistry;
+}  // namespace brsmn::obs
+
 namespace brsmn::traffic {
 
 struct LatencySummary {
@@ -32,6 +39,11 @@ class QueuedMulticastSwitch {
   struct Config {
     std::size_t ports = 0;
     bool fanout_splitting = true;
+    /// When set, every step() records epoch metrics under "switch.*"
+    /// (admitted cells/fanout histograms, queue-depth gauges, cell
+    /// completion latency) and the fabric records "route.*" phase
+    /// timings into the same registry.
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   explicit QueuedMulticastSwitch(const Config& config);
@@ -78,8 +90,23 @@ class QueuedMulticastSwitch {
     std::size_t arrival = 0;
   };
 
+  /// Registry handles resolved once at construction (null when the
+  /// config carries no registry).
+  struct Instruments {
+    obs::Histogram* admitted_cells = nullptr;
+    obs::Histogram* admitted_fanout = nullptr;
+    obs::Histogram* cell_latency = nullptr;
+    obs::Gauge* backlog_cells = nullptr;
+    obs::Gauge* backlog_copies = nullptr;
+    obs::Gauge* max_queue = nullptr;
+    obs::Counter* epochs = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* completed = nullptr;
+  };
+
   Config config_;
   Brsmn fabric_;
+  Instruments instruments_;
   std::vector<std::deque<QueuedCell>> queues_;
   std::size_t epoch_ = 0;
   std::size_t rr_pointer_ = 0;

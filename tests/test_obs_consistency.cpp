@@ -1,0 +1,193 @@
+// Metrics-vs-model consistency: the numbers the observability layer
+// reports must agree with the analytic gate-delay model and with the
+// engines' own RoutingStats — and survive a JSON export/parse round
+// trip. Property-tested across network sizes n in {4 .. 256}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/gate_model.hpp"
+
+namespace brsmn {
+namespace {
+
+class ObsConsistencyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObsConsistencyTest, BroadcastCountersMatchPerLevelBreakdown) {
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  Rng rng(n * 13 + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto a = random_multicast(n, 0.8, rng);
+    const auto result = net.route(a);
+    const std::size_t per_level_sum =
+        std::accumulate(result.broadcasts_per_level.begin(),
+                        result.broadcasts_per_level.end(), std::size_t{0});
+    EXPECT_EQ(per_level_sum, result.stats.broadcast_ops)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(ObsConsistencyTest, GateDelayMatchesAnalyticModel) {
+  // The simulator charges delay per phase as it routes; the model gives
+  // the closed form. They must agree exactly, for every assignment —
+  // routing time is data-independent (Section 7.2).
+  const std::size_t n = GetParam();
+  Brsmn net(n);
+  FeedbackBrsmn fnet(n);
+  Rng rng(n * 17 + 3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto a = random_multicast(n, 0.7, rng);
+    EXPECT_EQ(net.route(a).stats.gate_delay, model::brsmn_routing_delay(n))
+        << "n=" << n;
+    EXPECT_EQ(fnet.route(a).stats.gate_delay,
+              model::feedback_routing_delay(n))
+        << "n=" << n;
+  }
+}
+
+TEST_P(ObsConsistencyTest, RegistryMirrorsRoutingStats) {
+  const std::size_t n = GetParam();
+  obs::MetricRegistry registry;
+  RouteOptions options;
+  options.metrics = &registry;
+
+  Brsmn net(n);
+  Rng rng(n * 19 + 7);
+  RoutingStats accumulated;
+  constexpr int kRoutes = 6;
+  for (int trial = 0; trial < kRoutes; ++trial) {
+    accumulated += net.route(random_multicast(n, 0.75, rng), options).stats;
+  }
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("route.routes").value(),
+              static_cast<std::uint64_t>(kRoutes));
+    EXPECT_EQ(registry.counter("route.broadcast_ops").value(),
+              accumulated.broadcast_ops);
+    EXPECT_EQ(registry.counter("route.switch_traversals").value(),
+              accumulated.switch_traversals);
+    EXPECT_EQ(registry.counter("route.tree_fwd_ops").value(),
+              accumulated.tree_fwd_ops);
+    EXPECT_EQ(registry.counter("route.tree_bwd_ops").value(),
+              accumulated.tree_bwd_ops);
+    EXPECT_EQ(registry.counter("route.fabric_passes").value(),
+              accumulated.fabric_passes);
+    EXPECT_EQ(registry.counter("route.gate_delay").value(),
+              accumulated.gate_delay);
+    EXPECT_EQ(registry.counter("route.gate_delay").value(),
+              kRoutes * model::brsmn_routing_delay(n));
+    // One total-latency sample per route; per-phase timers fire at least
+    // once per route (scatter/quasisort run per BSN level).
+    EXPECT_EQ(registry.histogram("route.phase.total_ns").count(),
+              static_cast<std::uint64_t>(kRoutes));
+    EXPECT_GE(registry.histogram("route.phase.scatter_ns").count(),
+              static_cast<std::uint64_t>(kRoutes));
+    EXPECT_GE(registry.histogram("route.phase.quasisort_ns").count(),
+              static_cast<std::uint64_t>(kRoutes));
+    EXPECT_GE(registry.histogram("route.phase.datapath_ns").count(),
+              static_cast<std::uint64_t>(kRoutes));
+  } else {
+    // Disabled builds must ignore the registry entirely.
+    EXPECT_TRUE(registry.snapshot().counters.empty());
+  }
+}
+
+TEST_P(ObsConsistencyTest, ExportedJsonRoundTripsLosslessly) {
+  const std::size_t n = GetParam();
+  obs::MetricRegistry registry;
+  RouteOptions options;
+  options.metrics = &registry;
+  // Seed the registry regardless of build flavour so the round trip is
+  // always exercised on non-trivial content.
+  registry.counter("test.seed").add(n);
+  registry.gauge("test.gauge").set(0.5 * static_cast<double>(n));
+
+  Brsmn net(n);
+  Rng rng(n * 23 + 11);
+  for (int trial = 0; trial < 3; ++trial) {
+    net.route(random_multicast(n, 0.8, rng), options);
+  }
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const obs::JsonValue doc = obs::parse_json(obs::to_json(registry));
+
+  const obs::JsonObject& counters = doc.at("counters").as_object();
+  ASSERT_EQ(counters.size(), snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(doc.at("counters").at(name).as_number(),
+              static_cast<double>(value))
+        << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at(name).as_number(), value) << name;
+  }
+  const obs::JsonObject& histograms = doc.at("histograms").as_object();
+  ASSERT_EQ(histograms.size(), snap.histograms.size());
+  for (const auto& [name, h] : snap.histograms) {
+    const obs::JsonValue& j = doc.at("histograms").at(name);
+    EXPECT_EQ(j.at("count").as_number(), static_cast<double>(h.count))
+        << name;
+    EXPECT_DOUBLE_EQ(j.at("sum").as_number(), h.sum) << name;
+    EXPECT_DOUBLE_EQ(j.at("p50").as_number(), h.p50) << name;
+    EXPECT_DOUBLE_EQ(j.at("p99").as_number(), h.p99) << name;
+    ASSERT_EQ(j.at("buckets").as_array().size(), h.buckets.size()) << name;
+  }
+}
+
+TEST_P(ObsConsistencyTest, FeedbackRegistryMatchesItsOwnStats) {
+  const std::size_t n = GetParam();
+  obs::MetricRegistry registry;
+  RouteOptions options;
+  options.metrics = &registry;
+
+  FeedbackBrsmn net(n);
+  Rng rng(n * 29 + 5);
+  const auto result = net.route(random_multicast(n, 0.8, rng), options);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("route.routes").value(), 1u);
+    EXPECT_EQ(registry.counter("route.gate_delay").value(),
+              result.stats.gate_delay);
+    EXPECT_EQ(registry.counter("route.fabric_passes").value(),
+              result.stats.fabric_passes);
+    EXPECT_EQ(registry.histogram("route.phase.total_ns").count(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ObsConsistencyTest,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u,
+                                           256u));
+
+TEST(ObsConsistency, NullMetricsLeavesResultsUnchanged) {
+  // Instrumentation must be an observer: attaching a registry cannot
+  // change a single routing decision or statistic.
+  const std::size_t n = 64;
+  Brsmn instrumented(n), plain(n);
+  obs::MetricRegistry registry;
+  RouteOptions with_metrics;
+  with_metrics.metrics = &registry;
+  Rng rng1(99), rng2(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto a = random_multicast(n, 0.8, rng1);
+    const auto b = random_multicast(n, 0.8, rng2);
+    const auto r1 = instrumented.route(a, with_metrics);
+    const auto r2 = plain.route(b);
+    EXPECT_EQ(r1.delivered, r2.delivered);
+    EXPECT_EQ(r1.broadcasts_per_level, r2.broadcasts_per_level);
+    EXPECT_EQ(r1.stats.gate_delay, r2.stats.gate_delay);
+    EXPECT_EQ(r1.stats.switch_traversals, r2.stats.switch_traversals);
+    EXPECT_EQ(r1.stats.broadcast_ops, r2.stats.broadcast_ops);
+  }
+}
+
+}  // namespace
+}  // namespace brsmn

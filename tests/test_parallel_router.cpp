@@ -1,11 +1,17 @@
 // Parallel batch routing: results identical to serial routing, in order,
-// across thread counts; worker errors propagate.
+// across thread counts; worker errors propagate with the offending batch
+// index attached; engines persist across calls; an attached metric
+// registry loses no counts under concurrency.
 #include "api/parallel_router.hpp"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace brsmn::api {
 namespace {
@@ -59,6 +65,125 @@ TEST(ParallelRouter, SizeMismatchRejected) {
   std::vector<MulticastAssignment> batch{MulticastAssignment(8)};
   EXPECT_THROW(router.route_batch(batch), ContractViolation);
   EXPECT_THROW(ParallelRouter(6, 2), ContractViolation);
+}
+
+TEST(ParallelRouter, BitwiseIdenticalAcrossThreadCounts) {
+  // Sharding must be invisible: every field of every result matches what
+  // one Brsmn produces serially, for 1 thread, 2 threads, and whatever
+  // the hardware offers.
+  const std::size_t n = 64;
+  const auto batch = make_batch(n, 48, 17);
+
+  Brsmn serial(n);
+  std::vector<RouteResult> expected;
+  expected.reserve(batch.size());
+  for (const auto& a : batch) expected.push_back(serial.route(a));
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const unsigned threads : {1u, 2u, hw}) {
+    ParallelRouter router(n, threads);
+    const auto results = router.route_batch(batch);
+    ASSERT_EQ(results.size(), expected.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " assignment=" + std::to_string(i));
+      EXPECT_EQ(results[i].delivered, expected[i].delivered);
+      EXPECT_EQ(results[i].broadcasts_per_level,
+                expected[i].broadcasts_per_level);
+      EXPECT_EQ(results[i].stats.switch_traversals,
+                expected[i].stats.switch_traversals);
+      EXPECT_EQ(results[i].stats.broadcast_ops,
+                expected[i].stats.broadcast_ops);
+      EXPECT_EQ(results[i].stats.tree_fwd_ops,
+                expected[i].stats.tree_fwd_ops);
+      EXPECT_EQ(results[i].stats.tree_bwd_ops,
+                expected[i].stats.tree_bwd_ops);
+      EXPECT_EQ(results[i].stats.fabric_passes,
+                expected[i].stats.fabric_passes);
+      EXPECT_EQ(results[i].stats.gate_delay, expected[i].stats.gate_delay);
+    }
+  }
+}
+
+TEST(ParallelRouter, EnginesPersistAcrossBatches) {
+  const std::size_t n = 32;
+  ParallelRouter router(n, 4);
+  EXPECT_EQ(router.engines_built(), 0u);  // construction is lazy
+  const auto batch = make_batch(n, 16, 23);
+  router.route_batch(batch);
+  const unsigned after_first = router.engines_built();
+  EXPECT_GE(after_first, 1u);
+  EXPECT_LE(after_first, 4u);
+  router.route_batch(batch);
+  // The second batch reuses the pool — nothing torn down, nothing
+  // rebuilt beyond the worker slots.
+  EXPECT_GE(router.engines_built(), after_first);
+  EXPECT_LE(router.engines_built(), 4u);
+}
+
+TEST(ParallelRouter, RegistryLosesNoCountsUnderConcurrency) {
+  const std::size_t n = 32;
+  constexpr std::size_t kBatch = 96;
+  const auto batch = make_batch(n, kBatch, 41);
+  brsmn::obs::MetricRegistry registry;
+  ParallelRouter router(n, 4);
+  router.set_metrics(&registry);
+  const auto results = router.route_batch(batch);
+  ASSERT_EQ(results.size(), kBatch);
+
+  if constexpr (brsmn::obs::kEnabled) {
+    // Engine-side instrumentation: one route.* record per assignment,
+    // written concurrently from four workers, none dropped.
+    EXPECT_EQ(registry.counter("route.routes").value(), kBatch);
+    std::size_t traversals = 0;
+    std::uint64_t gate_delay = 0;
+    for (const auto& r : results) {
+      traversals += r.stats.switch_traversals;
+      gate_delay += r.stats.gate_delay;
+    }
+    EXPECT_EQ(registry.counter("route.switch_traversals").value(),
+              traversals);
+    EXPECT_EQ(registry.counter("route.gate_delay").value(), gate_delay);
+    EXPECT_EQ(registry.histogram("route.phase.total_ns").count(), kBatch);
+    // Router-side instrumentation.
+    EXPECT_EQ(registry.counter("parallel.batches").value(), 1u);
+    EXPECT_EQ(registry.counter("parallel.routes").value(), kBatch);
+    EXPECT_EQ(registry.histogram("parallel.route_ns").count(), kBatch);
+    const auto per_worker =
+        registry.histogram("parallel.routes_per_worker").snapshot();
+    EXPECT_EQ(per_worker.sum, static_cast<double>(kBatch));
+    EXPECT_GE(registry.gauge("parallel.last_workers").value(), 1.0);
+    EXPECT_GE(registry.gauge("parallel.last_imbalance").value(), 0.0);
+  }
+
+  // Detaching stops recording.
+  router.set_metrics(nullptr);
+  router.route_batch(make_batch(n, 4, 43));
+  if constexpr (brsmn::obs::kEnabled) {
+    EXPECT_EQ(registry.counter("parallel.batches").value(), 1u);
+    EXPECT_EQ(registry.counter("route.routes").value(), kBatch);
+  }
+}
+
+TEST(ParallelRouter, WorkerErrorCarriesBatchIndex) {
+  const std::size_t n = 16;
+  ParallelRouter router(n, 4);
+  auto batch = make_batch(n, 12, 51);
+  const std::size_t bad_index = 7;
+  batch[bad_index] = MulticastAssignment(8);  // wrong network size
+  try {
+    router.route_batch(batch);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("assignment " + std::to_string(bad_index)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("route_batch"), std::string::npos) << msg;
+  }
+  // The router stays usable after a failed batch.
+  batch[bad_index] = make_batch(n, 1, 52)[0];
+  EXPECT_EQ(router.route_batch(batch).size(), batch.size());
 }
 
 TEST(ParallelRouter, LargeBatchStress) {

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/queued_switch.hpp"
 
@@ -173,6 +174,87 @@ TEST(QueuedSwitch, RoundRobinPreventsStarvation) {
   const std::size_t epochs = drain(sw, 100);
   EXPECT_EQ(epochs, 20u);  // one copy of output 0 per epoch, alternating
   EXPECT_EQ(sw.latency().completed_cells, 20u);
+}
+
+TEST(QueuedSwitch, EpochMetricsGolden) {
+  // Hand-computed two-epoch scenario. Epoch 0: input 0 takes {0,1,2} and
+  // completes with zero latency; input 1 wants {2,3}, output 2 is
+  // claimed, so splitting serves {3} now — 2 cells admitted, 4 copies
+  // out. Epoch 1: the {2} remainder goes out alone and cell 1 completes
+  // after waiting one epoch.
+  obs::MetricRegistry registry;
+  QueuedMulticastSwitch sw(
+      {.ports = 8, .fanout_splitting = true, .metrics = &registry});
+  sw.offer({0, {0, 1, 2}});
+  sw.offer({1, {2, 3}});
+
+  const auto first = sw.step();
+  EXPECT_EQ(first.admitted_cells, 2u);
+  EXPECT_EQ(first.delivered_copies, 4u);
+  EXPECT_EQ(first.completed_cells, 1u);
+  const auto second = sw.step();
+  EXPECT_EQ(second.admitted_cells, 1u);
+  EXPECT_EQ(second.delivered_copies, 1u);
+  EXPECT_EQ(second.completed_cells, 1u);
+  EXPECT_EQ(sw.backlog_cells(), 0u);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("switch.epochs").value(), 2u);
+    EXPECT_EQ(registry.counter("switch.delivered_copies").value(), 5u);
+    EXPECT_EQ(registry.counter("switch.completed_cells").value(), 2u);
+
+    const auto latency =
+        registry.histogram("switch.cell_latency_epochs").snapshot();
+    EXPECT_EQ(latency.count, 2u);
+    EXPECT_DOUBLE_EQ(latency.sum, 1.0);  // waits 0 and 1
+    EXPECT_DOUBLE_EQ(latency.min, 0.0);
+    EXPECT_DOUBLE_EQ(latency.max, 1.0);
+
+    const auto fanout =
+        registry.histogram("switch.admitted_fanout_per_epoch").snapshot();
+    EXPECT_EQ(fanout.count, 2u);
+    EXPECT_DOUBLE_EQ(fanout.sum, 5.0);  // 4 copies, then 1
+    EXPECT_DOUBLE_EQ(fanout.min, 1.0);
+    EXPECT_DOUBLE_EQ(fanout.max, 4.0);
+
+    const auto cells =
+        registry.histogram("switch.admitted_cells_per_epoch").snapshot();
+    EXPECT_EQ(cells.count, 2u);
+    EXPECT_DOUBLE_EQ(cells.sum, 3.0);  // 2 cells, then 1
+    EXPECT_DOUBLE_EQ(cells.max, 2.0);
+
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.backlog_cells").value(), 0.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.backlog_copies").value(), 0.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.max_queue_length").value(), 0.0);
+
+    // The fabric shares the registry: one route per non-empty epoch, with
+    // per-phase timings.
+    EXPECT_EQ(registry.counter("route.routes").value(), 2u);
+    EXPECT_EQ(registry.histogram("route.phase.total_ns").count(), 2u);
+  }
+}
+
+TEST(QueuedSwitch, MetricsTrackBacklogMidRun) {
+  obs::MetricRegistry registry;
+  QueuedMulticastSwitch sw(
+      {.ports = 8, .fanout_splitting = false, .metrics = &registry});
+  sw.offer({0, {0, 1, 2}});
+  sw.offer({1, {2, 3}});  // whole-cell: must wait a full epoch
+  sw.step();
+  if constexpr (obs::kEnabled) {
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.backlog_cells").value(), 1.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.backlog_copies").value(), 2.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.max_queue_length").value(), 1.0);
+  }
+  sw.step();
+  EXPECT_EQ(sw.backlog_cells(), 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_DOUBLE_EQ(registry.gauge("switch.backlog_cells").value(), 0.0);
+    const auto latency =
+        registry.histogram("switch.cell_latency_epochs").snapshot();
+    EXPECT_EQ(latency.count, 2u);
+    EXPECT_DOUBLE_EQ(latency.max, 1.0);
+  }
 }
 
 TEST(QueuedSwitch, OfferValidation) {

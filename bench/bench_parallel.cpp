@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iostream>
 
 #include "api/parallel_router.hpp"
 #include "hw/adder_tree.hpp"
@@ -68,7 +69,15 @@ int main(int argc, char** argv) {
   if (metrics_path) g_metrics = &registry;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (brsmn::obs::claims_stdout(metrics_path)) {
+    // The `-` dump owns stdout; the console report moves to stderr.
+    benchmark::ConsoleReporter console;
+    console.SetOutputStream(&std::cerr);
+    console.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   if (metrics_path) {
     if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;

@@ -44,13 +44,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::MetricRegistry registry;
+  // `--metrics-out=-` owns stdout; the report then moves to stderr so the
+  // stream stays pure JSON for the pipeline consuming it.
+  std::FILE* report = obs::claims_stdout(metrics_path) ? stderr : stdout;
 
   api::MulticastSwitch fabric(kPorts, api::MulticastSwitch::Engine::kFeedback);
   if (metrics_path) fabric.set_metrics(&registry);
   Rng rng(4242);
 
-  std::printf("multicast cell switch: %zu ports, feedback engine\n", kPorts);
-  std::printf("header size on the wire: %zu bits per cell (3 bits per "
+  std::fprintf(report, "multicast cell switch: %zu ports, feedback engine\n", kPorts);
+  std::fprintf(report, "header size on the wire: %zu bits per cell (3 bits per "
               "routing tag, Table 1)\n\n",
               api::header_bits(kPorts));
 
@@ -74,20 +77,20 @@ int main(int argc, char** argv) {
       }
     }
     total_deliveries += deliveries.size();
-    std::printf("epoch %d: %2zu cells in, %2zu deliveries out, "
+    std::fprintf(report, "epoch %d: %2zu cells in, %2zu deliveries out, "
                 "%zu fabric passes\n",
                 epoch, static_cast<std::size_t>(demand.active_inputs()),
                 deliveries.size(), fabric.last_stats().fabric_passes);
   }
 
-  std::printf("\ntotals: %zu cells, %zu deliveries, %zu corrupted payloads\n",
+  std::fprintf(report, "\ntotals: %zu cells, %zu deliveries, %zu corrupted payloads\n",
               total_cells, total_deliveries, corrupt);
-  std::printf(corrupt == 0 ? "payload integrity verified end to end.\n"
+  std::fprintf(report, corrupt == 0 ? "payload integrity verified end to end.\n"
                            : "PAYLOAD CORRUPTION DETECTED!\n");
   if (metrics_path) {
     if (!obs::try_write_metrics(*metrics_path, registry)) return 1;
-    std::printf("\nmetrics:\n%s", obs::to_table(registry).c_str());
-    std::printf("metrics written to %s\n", metrics_path->c_str());
+    std::fprintf(report, "\nmetrics:\n%s", obs::to_table(registry).c_str());
+    std::fprintf(report, "metrics written to %s\n", metrics_path->c_str());
   }
   return corrupt == 0 ? 0 : 1;
 }

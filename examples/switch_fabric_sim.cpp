@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::MetricRegistry registry;
+  // `--metrics-out=-` owns stdout; the report then moves to stderr so the
+  // stream stays pure JSON for the pipeline consuming it.
+  std::FILE* report = obs::claims_stdout(metrics_path) ? stderr : stdout;
 
   traffic::QueuedMulticastSwitch sw(
       {.ports = kPorts,
@@ -39,9 +42,9 @@ int main(int argc, char** argv) {
   cfg.fanout = {1, 6};
   cfg.hotspot_fraction = 0.2;
 
-  std::printf("queued multicast switch: %zu ports, fanout 1..6, 20%% "
+  std::fprintf(report, "queued multicast switch: %zu ports, fanout 1..6, 20%% "
               "hotspot traffic\n\n", kPorts);
-  std::printf("%8s %8s %12s %10s %12s\n", "epoch", "load", "delivered",
+  std::fprintf(report, "%8s %8s %12s %10s %12s\n", "epoch", "load", "delivered",
               "backlog", "max-queue");
 
   std::size_t delivered_window = 0;
@@ -52,7 +55,7 @@ int main(int argc, char** argv) {
     sw.offer_all(traffic::draw_arrivals(kPorts, cfg, rng));
     delivered_window += sw.step().delivered_copies;
     if ((epoch + 1) % 50 == 0) {
-      std::printf("%8zu %8.2f %12zu %10zu %12zu\n", epoch + 1,
+      std::fprintf(report, "%8zu %8.2f %12zu %10zu %12zu\n", epoch + 1,
                   cfg.arrival_probability * 3.5, delivered_window,
                   sw.backlog_copies(), sw.max_queue_length());
       delivered_window = 0;
@@ -66,15 +69,15 @@ int main(int argc, char** argv) {
     ++drain_epochs;
   }
   const auto lat = sw.latency();
-  std::printf("\ndrained in %zu extra epochs\n", drain_epochs);
-  std::printf("completed %zu cells, %zu copies delivered\n",
+  std::fprintf(report, "\ndrained in %zu extra epochs\n", drain_epochs);
+  std::fprintf(report, "completed %zu cells, %zu copies delivered\n",
               lat.completed_cells, sw.delivered_copies());
-  std::printf("completion latency: mean %.2f epochs, max %zu epochs\n",
+  std::fprintf(report, "completion latency: mean %.2f epochs, max %zu epochs\n",
               lat.mean, lat.max);
   if (metrics_path) {
     if (!obs::try_write_metrics(*metrics_path, registry)) return 1;
-    std::printf("\nmetrics:\n%s", obs::to_table(registry).c_str());
-    std::printf("metrics written to %s\n", metrics_path->c_str());
+    std::fprintf(report, "\nmetrics:\n%s", obs::to_table(registry).c_str());
+    std::fprintf(report, "metrics written to %s\n", metrics_path->c_str());
   }
   return 0;
 }

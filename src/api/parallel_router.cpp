@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "common/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn::api {
 
@@ -32,6 +34,8 @@ unsigned ParallelRouter::engines_built() const noexcept {
 void ParallelRouter::set_metrics(obs::MetricRegistry* metrics) {
   metrics_ = metrics;
 }
+
+void ParallelRouter::set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
 std::vector<RouteResult> ParallelRouter::route_batch(
     const std::vector<MulticastAssignment>& batch) {
@@ -59,10 +63,14 @@ std::vector<RouteResult> ParallelRouter::route_batch(
 
   auto work = [&](unsigned t) {
     const obs::PhaseTimer batch_timer(worker_hist);
+    char worker_label[24];
+    std::snprintf(worker_label, sizeof worker_label, "parallel.worker.%u", t);
+    obs::TraceSpan worker_span(tracer_, worker_label);
     if (!engines_[t]) engines_[t] = std::make_unique<Brsmn>(n_);
     Brsmn& engine = *engines_[t];
     RouteOptions options;
     options.metrics = metrics_;
+    options.tracer = tracer_;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size()) return;
@@ -83,6 +91,7 @@ std::vector<RouteResult> ParallelRouter::route_batch(
     }
   };
 
+  obs::TraceSpan dispatch_span(tracer_, "parallel.route_batch");
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);

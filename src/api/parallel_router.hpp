@@ -17,6 +17,7 @@
 
 namespace brsmn::obs {
 class MetricRegistry;
+class Tracer;
 }  // namespace brsmn::obs
 
 namespace brsmn::api {
@@ -42,6 +43,13 @@ class ParallelRouter {
   /// detach. Applies to subsequent route_batch calls.
   void set_metrics(obs::MetricRegistry* metrics);
 
+  /// Attach an event tracer: route_batch spans the dispatch on the caller
+  /// thread and each worker's slice on its own thread — every worker is
+  /// its own lane in the Chrome trace, with the engines' per-level spans
+  /// nested inside. Pass nullptr to detach. Applies to subsequent
+  /// route_batch calls.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Route every assignment in `batch`; results come back in order.
   /// All assignments must have size network_size(); a violation — or any
   /// other worker-side failure — is rethrown on the caller with the
@@ -57,6 +65,7 @@ class ParallelRouter {
   /// a batch, so no lock is needed once the vector is sized.
   std::vector<std::unique_ptr<Brsmn>> engines_;
   obs::MetricRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace brsmn::api

@@ -9,7 +9,7 @@ namespace brsmn {
 
 void configure_bit_sorter(Rbn& rbn, int top_stage, std::size_t top_block,
                           std::span<const int> keys, std::size_t s_root,
-                          RoutingStats* stats) {
+                          RoutingStats* stats, const ExplainSink* explain) {
   BRSMN_EXPECTS(top_stage >= 1 && top_stage <= rbn.stages());
   const std::size_t nsub = std::size_t{1} << top_stage;
   BRSMN_EXPECTS(keys.size() == nsub);
@@ -54,14 +54,19 @@ void configure_bit_sorter(Rbn& rbn, int top_stage, std::size_t top_block,
       const std::size_t global_block =
           (top_block << (top_stage - j)) + b;
       rbn.set_block(j, global_block, plan.settings);
+      if (explain) {
+        explain->record_block(j, global_block, plan.settings,
+                              RouteRule::QuasisortMerge);
+      }
       if (stats) ++stats->tree_bwd_ops;
     }
   }
 }
 
 void configure_bit_sorter(Rbn& rbn, std::span<const int> keys,
-                          std::size_t s_root, RoutingStats* stats) {
-  configure_bit_sorter(rbn, rbn.stages(), 0, keys, s_root, stats);
+                          std::size_t s_root, RoutingStats* stats,
+                          const ExplainSink* explain) {
+  configure_bit_sorter(rbn, rbn.stages(), 0, keys, s_root, stats, explain);
 }
 
 }  // namespace brsmn

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <span>
 
+#include "core/explain.hpp"
 #include "core/rbn.hpp"
 #include "core/stats.hpp"
 
@@ -27,12 +28,18 @@ namespace brsmn {
 ///
 /// Preconditions: keys.size() == 2^top_stage == the sub-network size,
 /// every key is 0 or 1, and s_root < keys.size().
+///
+/// `explain` (optional) records each configured block's settings under
+/// RouteRule::QuasisortMerge (every bit-sorter node is a Theorem-1/Lemma-1
+/// merge).
 void configure_bit_sorter(Rbn& rbn, int top_stage, std::size_t top_block,
                           std::span<const int> keys, std::size_t s_root,
-                          RoutingStats* stats = nullptr);
+                          RoutingStats* stats = nullptr,
+                          const ExplainSink* explain = nullptr);
 
 /// Whole-network convenience overload (top block of the last stage).
 void configure_bit_sorter(Rbn& rbn, std::span<const int> keys,
-                          std::size_t s_root, RoutingStats* stats = nullptr);
+                          std::size_t s_root, RoutingStats* stats = nullptr,
+                          const ExplainSink* explain = nullptr);
 
 }  // namespace brsmn

@@ -1,10 +1,13 @@
 #include "core/brsmn.hpp"
 
+#include <cstdio>
+
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/tag_sequence.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn {
 
@@ -51,11 +54,34 @@ void advance_streams(std::vector<LineValue>& lines) {
   }
 }
 
+namespace {
+
+// The 2x2 setting equivalent to a final-level switch's head-tag decisions:
+// an α broadcasts its side; otherwise a 0 routes to the upper output and a
+// 1 to the lower, which is Parallel or Cross depending on the side it
+// entered on. An idle switch reads as Parallel.
+SwitchSetting final_level_setting(const LineValue& up, const LineValue& low) {
+  if (!up.empty() && up.tag == Tag::Alpha) return SwitchSetting::UpperBcast;
+  if (!low.empty() && low.tag == Tag::Alpha) return SwitchSetting::LowerBcast;
+  if (!up.empty()) return up.tag == Tag::Zero ? SwitchSetting::Parallel
+                                              : SwitchSetting::Cross;
+  if (!low.empty()) return low.tag == Tag::One ? SwitchSetting::Parallel
+                                               : SwitchSetting::Cross;
+  return SwitchSetting::Parallel;
+}
+
+}  // namespace
+
 void deliver_final_level(const std::vector<LineValue>& lines,
                          std::vector<std::optional<std::size_t>>& delivered,
-                         RoutingStats* stats) {
+                         RoutingStats* stats, const ExplainSink* explain) {
   const std::size_t n = lines.size();
   BRSMN_EXPECTS(delivered.size() == n);
+  if (explain != nullptr) {
+    std::vector<Tag> tags(n);
+    for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    explain->record_input_tags(tags);
+  }
   auto deliver = [&delivered](std::size_t out, const Packet& p) {
     BRSMN_ENSURES_MSG(!delivered[out].has_value(),
                       "two packets delivered to one output");
@@ -65,6 +91,11 @@ void deliver_final_level(const std::vector<LineValue>& lines,
     const LineValue& up = lines[2 * j];
     const LineValue& low = lines[2 * j + 1];
     if (stats) ++stats->switch_traversals;
+    if (explain != nullptr) {
+      const SwitchSetting s = final_level_setting(up, low);
+      explain->record_block(1, j, std::span<const SwitchSetting>(&s, 1),
+                            RouteRule::FinalDelivery);
+    }
     for (const LineValue* lv : {&up, &low}) {
       if (lv->empty()) continue;
       const Packet& p = *lv->packet;
@@ -107,12 +138,19 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics);
     }
+    probe.tracer = options.tracer;
   }
-  const obs::RouteProbe* probe_ptr = probe.enabled() ? &probe : nullptr;
+  const obs::RouteProbe* probe_ptr =
+      probe.enabled() || probe.tracing() ? &probe : nullptr;
   obs::PhaseTimer total_timer(probe.total);
+  obs::TraceSpan route_span(probe.tracer, "brsmn.route");
 
   RouteResult result;
   result.delivered.assign(n_, std::nullopt);
+  if (options.explain) {
+    result.explanation.emplace();
+    result.explanation->n = n_;
+  }
 
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
@@ -121,6 +159,20 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     if (options.capture_levels) result.level_inputs.push_back(lines);
     const std::size_t splits_before = result.stats.broadcast_ops;
     const std::size_t bsn_size = n_ >> (k - 1);
+    char level_label[24];
+    std::snprintf(level_label, sizeof level_label, "level.%d", k);
+    obs::TraceSpan level_span(probe.tracer, level_label);
+    PassExplanation* scatter_pass = nullptr;
+    PassExplanation* quasi_pass = nullptr;
+    if (options.explain) {
+      auto& passes = result.explanation->passes;
+      passes.push_back(
+          make_pass(k, PassKind::Scatter, n_, log2_exact(bsn_size)));
+      passes.push_back(
+          make_pass(k, PassKind::Quasisort, n_, log2_exact(bsn_size)));
+      scatter_pass = &passes[passes.size() - 2];
+      quasi_pass = &passes.back();
+    }
     auto& level = levels_[static_cast<std::size_t>(k - 1)];
     for (std::size_t b = 0; b < level.size(); ++b) {
       std::vector<LineValue> slice(
@@ -128,8 +180,11 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
                                   static_cast<std::ptrdiff_t>(b * bsn_size)),
           std::make_move_iterator(lines.begin() + static_cast<std::ptrdiff_t>(
                                                       (b + 1) * bsn_size)));
-      Bsn::Result r = level[b].route(std::move(slice), next_copy_id,
-                                     &result.stats, probe_ptr);
+      const BsnExplain bsn_explain{{scatter_pass, b * bsn_size},
+                                   {quasi_pass, b * bsn_size}};
+      Bsn::Result r =
+          level[b].route(std::move(slice), next_copy_id, &result.stats,
+                         probe_ptr, options.explain ? &bsn_explain : nullptr);
       std::move(r.outputs.begin(), r.outputs.end(),
                 lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
     }
@@ -145,7 +200,15 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
-    deliver_final_level(lines, result.delivered, &result.stats);
+    obs::TraceSpan final_span(probe.tracer, "level.final");
+    ExplainSink final_sink;
+    if (options.explain) {
+      result.explanation->passes.push_back(
+          make_pass(m_, PassKind::Final, n_, 1));
+      final_sink.pass = &result.explanation->passes.back();
+    }
+    deliver_final_level(lines, result.delivered, &result.stats,
+                        options.explain ? &final_sink : nullptr);
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);

@@ -15,12 +15,14 @@
 #include <vector>
 
 #include "core/bsn.hpp"
+#include "core/explain.hpp"
 #include "core/line_value.hpp"
 #include "core/multicast_assignment.hpp"
 #include "core/stats.hpp"
 
 namespace brsmn::obs {
 class MetricRegistry;
+class Tracer;
 }  // namespace brsmn::obs
 
 namespace brsmn {
@@ -28,11 +30,20 @@ namespace brsmn {
 struct RouteOptions {
   /// Capture the line state entering every level (for rendering/tests).
   bool capture_levels = false;
+  /// Record routing provenance: per (level, stage, switch) the chosen
+  /// SwitchSetting and the rule that fired, returned as
+  /// RouteResult::explanation. Independent of the obs kill switch (the
+  /// grid is deterministic routing state, not wall-clock measurement).
+  bool explain = false;
   /// When set, the engine records per-phase wall-clock histograms
   /// (route.phase.*_ns) and mirrors RoutingStats into route.* counters.
   /// Null (the default) keeps the hot path uninstrumented; builds with
   /// BRSMN_OBS_DISABLED ignore it entirely.
   obs::MetricRegistry* metrics = nullptr;
+  /// When set, the engine emits trace spans per level and per phase into
+  /// the tracer's flight-recorder rings (see obs/tracer.hpp). Null keeps
+  /// the hot path span-free; BRSMN_OBS_DISABLED builds ignore it.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct RouteResult {
@@ -46,6 +57,8 @@ struct RouteResult {
   /// When capture_levels: level_inputs[k-1] is the line state entering
   /// level k (k = 1 .. log n), and final_lines the state after delivery.
   std::vector<std::vector<LineValue>> level_inputs;
+  /// When RouteOptions::explain: the full per-switch provenance grid.
+  std::optional<RouteExplanation> explanation;
 };
 
 /// The expected delivery vector of an assignment, for verification.
@@ -66,10 +79,13 @@ void advance_streams(std::vector<LineValue>& lines);
 
 /// Apply the final level of 2x2 switches: lines (2j, 2j+1) deliver their
 /// packets to outputs 2j / 2j+1 / both, per the head tag. Fills
-/// `delivered` and asserts no output conflict.
+/// `delivered` and asserts no output conflict. `explain` (optional)
+/// records the equivalent 2x2 setting of each switch under
+/// RouteRule::FinalDelivery.
 void deliver_final_level(const std::vector<LineValue>& lines,
                          std::vector<std::optional<std::size_t>>& delivered,
-                         RoutingStats* stats);
+                         RoutingStats* stats,
+                         const ExplainSink* explain = nullptr);
 
 class Brsmn {
  public:

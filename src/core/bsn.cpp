@@ -5,6 +5,7 @@
 #include "core/scatter.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn {
 
@@ -29,9 +30,11 @@ Bsn::Bsn(std::size_t n) : scatter_(n), quasisort_(n) {
 
 Bsn::Result Bsn::route(std::vector<LineValue> inputs,
                        std::uint64_t& next_copy_id, RoutingStats* stats,
-                       const obs::RouteProbe* probe) {
+                       const obs::RouteProbe* probe,
+                       const BsnExplain* explain) {
   const std::size_t n = size();
   BRSMN_EXPECTS(inputs.size() == n);
+  obs::Tracer* tracer = probe != nullptr ? probe->tracer : nullptr;
 
   const TagCounts in = count_tags(inputs);
   BRSMN_EXPECTS_MSG(in.zeros + in.alphas <= n / 2,
@@ -50,9 +53,15 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
     }
   }
 
+  if (explain != nullptr) explain->scatter.record_input_tags(tags);
+
   // Pass 1: scatter — eliminate every α (paper Theorem 2).
   obs::PhaseTimer scatter_timer(probe ? probe->scatter : nullptr);
-  const ScatterNodeValue root = configure_scatter(scatter_, tags, 0, stats);
+  obs::TraceSpan scatter_span(tracer, "bsn.scatter.config");
+  const ScatterNodeValue root =
+      configure_scatter(scatter_, tags, 0, stats,
+                        explain != nullptr ? &explain->scatter : nullptr);
+  scatter_span.end();
   scatter_timer.stop();
   // Eq. (3): n_alpha <= n_eps, so eps dominates at the root (when the two
   // counts tie, the surplus is 0 and the type label is immaterial).
@@ -61,12 +70,14 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   ScatterExec exec{next_copy_id, stats};
   Result result;
   obs::PhaseTimer scatter_datapath(probe ? probe->datapath : nullptr);
+  obs::TraceSpan scatter_data_span(tracer, "bsn.scatter.datapath");
   result.scattered = scatter_.propagate(
       std::move(inputs),
       [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
               LineValue b) {
         return apply_scatter_switch(ctx, s, std::move(a), std::move(b), exec);
       });
+  scatter_data_span.end();
   scatter_datapath.stop();
   next_copy_id = exec.next_copy_id;
 
@@ -79,15 +90,23 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
   std::vector<Tag> scattered_tags(n);
   for (std::size_t i = 0; i < n; ++i) scattered_tags[i] = result.scattered[i].tag;
+  if (explain != nullptr) explain->quasisort.record_input_tags(scattered_tags);
   obs::PhaseTimer divide_timer(probe ? probe->eps_divide : nullptr);
+  obs::TraceSpan divide_span(tracer, "bsn.eps_divide");
   const std::vector<Tag> divided = divide_eps(scattered_tags, stats);
+  divide_span.end();
   divide_timer.stop();
+  if (explain != nullptr) explain->quasisort.record_divided_tags(divided);
   std::vector<LineValue> sorted_in = result.scattered;
   for (std::size_t i = 0; i < n; ++i) sorted_in[i].tag = divided[i];
   obs::PhaseTimer quasisort_timer(probe ? probe->quasisort : nullptr);
-  configure_quasisort(quasisort_, divided, stats);
+  obs::TraceSpan quasisort_span(tracer, "bsn.quasisort.config");
+  configure_quasisort(quasisort_, divided, stats,
+                      explain != nullptr ? &explain->quasisort : nullptr);
+  quasisort_span.end();
   quasisort_timer.stop();
   obs::PhaseTimer sort_datapath(probe ? probe->datapath : nullptr);
+  obs::TraceSpan sort_data_span(tracer, "bsn.quasisort.datapath");
   result.outputs = quasisort_.propagate(
       std::move(sorted_in),
       [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -95,6 +114,7 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
         if (stats) ++stats->switch_traversals;
         return unicast_switch(ctx, s, std::move(a), std::move(b));
       });
+  sort_data_span.end();
   sort_datapath.stop();
 
   // Postcondition: zeros (real or dummy) occupy the upper half, ones the

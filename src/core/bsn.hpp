@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/explain.hpp"
 #include "core/line_value.hpp"
 #include "core/rbn.hpp"
 #include "core/stats.hpp"
@@ -20,6 +21,13 @@ struct RouteProbe;
 }  // namespace brsmn::obs
 
 namespace brsmn {
+
+/// Provenance sinks for one Bsn::route call: the scatter pass and the
+/// quasisort pass record into separate PassExplanations.
+struct BsnExplain {
+  ExplainSink scatter;
+  ExplainSink quasisort;
+};
 
 /// Tag census of a line vector (inputs or outputs of a BSN).
 struct TagCounts {
@@ -50,12 +58,14 @@ class Bsn {
   /// carry a packet whose stream front equals the line tag; Eqs. (1)-(2):
   /// n0 + nα <= n/2 and n1 + nα <= n/2.
   ///
-  /// `probe` (optional) receives per-phase wall-clock timings: the
+  /// `probe` (optional) receives per-phase wall-clock timings — the
   /// scatter/ε-divide/quasisort configuration sweeps and the two fabric
-  /// traversals.
+  /// traversals — and, when it carries a tracer, per-phase trace spans.
+  /// `explain` (optional) records the switch decisions of both passes.
   Result route(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
                RoutingStats* stats = nullptr,
-               const obs::RouteProbe* probe = nullptr);
+               const obs::RouteProbe* probe = nullptr,
+               const BsnExplain* explain = nullptr);
 
   /// The two fabrics, exposed for inspection after route() (their switch
   /// settings are those of the last routed assignment).

@@ -1,0 +1,100 @@
+#include "core/explain.hpp"
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+std::string_view rule_name(RouteRule rule) {
+  switch (rule) {
+    case RouteRule::ScatterAddition:
+      return "scatter eps/alpha-addition (Lemma 1)";
+    case RouteRule::ScatterElimination:
+      return "scatter eps/alpha-elimination (Lemmas 2-5)";
+    case RouteRule::QuasisortMerge:
+      return "quasisort bit-sort merge (Theorem 1)";
+    case RouteRule::FinalDelivery:
+      return "final 2x2 delivery (head tag)";
+  }
+  return "unknown";
+}
+
+std::string_view pass_name(PassKind kind) {
+  switch (kind) {
+    case PassKind::Scatter: return "scatter";
+    case PassKind::Quasisort: return "quasisort";
+    case PassKind::Final: return "final";
+  }
+  return "unknown";
+}
+
+const PassExplanation& RouteExplanation::pass(int level, PassKind kind) const {
+  for (const PassExplanation& p : passes) {
+    if (p.level == level && p.kind == kind) return p;
+  }
+  BRSMN_EXPECTS_MSG(false, "no such pass in this route explanation");
+  return passes.front();
+}
+
+const SwitchDecision& RouteExplanation::decision(
+    int level, PassKind kind, int stage, std::size_t switch_index) const {
+  const PassExplanation& p = pass(level, kind);
+  BRSMN_EXPECTS_MSG(stage >= 1 && stage <= p.stages(),
+                    "explanation stage out of range");
+  const auto& row = p.decisions[static_cast<std::size_t>(stage - 1)];
+  BRSMN_EXPECTS_MSG(switch_index < row.size(),
+                    "explanation switch index out of range");
+  return row[switch_index];
+}
+
+PassExplanation make_pass(int level, PassKind kind, std::size_t width,
+                          int stages) {
+  PassExplanation pass;
+  pass.level = level;
+  pass.kind = kind;
+  pass.width = width;
+  pass.decisions.assign(static_cast<std::size_t>(stages),
+                        std::vector<SwitchDecision>(width / 2));
+  pass.input_tags.assign(width, Tag::Eps);
+  return pass;
+}
+
+void ExplainSink::record_block(int stage, std::size_t block,
+                               std::span<const SwitchSetting> settings,
+                               RouteRule rule) const {
+  if (pass == nullptr) return;
+  BRSMN_EXPECTS(stage >= 1 && stage <= pass->stages());
+  auto& row = pass->decisions[static_cast<std::size_t>(stage - 1)];
+  // Block b at stage j starts at line b*2^j, i.e. stage-switch b*2^(j-1);
+  // the sink's line offset shifts by line_offset/2 switches per stage.
+  const std::size_t first =
+      line_offset / 2 + block * (std::size_t{1} << (stage - 1));
+  BRSMN_EXPECTS(first + settings.size() <= row.size());
+  for (std::size_t t = 0; t < settings.size(); ++t) {
+    row[first + t] = SwitchDecision{settings[t], rule};
+  }
+}
+
+void ExplainSink::record_input_tags(std::span<const Tag> tags,
+                                    std::size_t extra_offset) const {
+  if (pass == nullptr) return;
+  const std::size_t first = line_offset + extra_offset;
+  BRSMN_EXPECTS(first + tags.size() <= pass->input_tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    pass->input_tags[first + i] = tags[i];
+  }
+}
+
+void ExplainSink::record_divided_tags(std::span<const Tag> tags,
+                                      std::size_t extra_offset) const {
+  if (pass == nullptr) return;
+  if (pass->divided_tags.size() != pass->input_tags.size()) {
+    pass->divided_tags.assign(pass->input_tags.size(), Tag::Eps);
+  }
+  const std::size_t first = line_offset + extra_offset;
+  BRSMN_EXPECTS(first + tags.size() <= pass->divided_tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    pass->divided_tags[first + i] = tags[i];
+  }
+}
+
+}  // namespace brsmn

@@ -1,0 +1,117 @@
+// Routing provenance: which rule set each 2x2 switch, per level and pass.
+//
+// The paper's routing is a cascade of locally-decided switch settings:
+// the scatter network applies Lemma 1 (ε/α-addition) or Lemmas 2-5
+// (ε/α-elimination) per sub-RBN node (Table 4), the quasisorting network
+// applies the Theorem-1 bit-sort merge on ε-divided tags (Tables 3/6),
+// and the final 2x2 level reads head tags directly. RouteOptions::explain
+// captures that decision grid, making "why did switch (level k, stage s,
+// index i) cross?" a one-call question — and letting tests check, bit for
+// bit, that the recorded grid is exactly what the fabric used.
+//
+// Indexing is engine-independent: level k configures stages 1..log2(n')
+// (n' = n / 2^(k-1)), each stage holding n/2 switches in the full-width
+// stage-switch order of a size-n RBN. The unrolled network's per-BSN
+// fabrics and the feedback network's single fabric flatten to identical
+// indices, so the two engines must produce identical explanations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/switch_setting.hpp"
+#include "core/tag.hpp"
+
+namespace brsmn {
+
+/// The local rule that produced a switch setting.
+enum class RouteRule : std::uint8_t {
+  ScatterAddition,     ///< Lemma 1: children agree on the dominant symbol
+  ScatterElimination,  ///< Lemmas 2-5: disagreeing children (Table 4)
+  QuasisortMerge,      ///< Theorem-1 bit-sort merge on the ε-divided key
+  FinalDelivery,       ///< final 2x2 level: the head tag decides
+};
+
+std::string_view rule_name(RouteRule rule);
+
+/// Which configuration pass of a level a decision belongs to.
+enum class PassKind : std::uint8_t { Scatter, Quasisort, Final };
+
+std::string_view pass_name(PassKind kind);
+
+struct SwitchDecision {
+  SwitchSetting setting = SwitchSetting::Parallel;
+  RouteRule rule = RouteRule::ScatterAddition;
+
+  bool operator==(const SwitchDecision&) const = default;
+};
+
+/// All switch decisions of one configuration pass over one level.
+struct PassExplanation {
+  int level = 0;   ///< 1-based BRSMN level
+  PassKind kind = PassKind::Scatter;
+  std::size_t width = 0;  ///< network width n (lines)
+  /// decisions[stage-1][sw]: stage 1..log2(n') within the level's BSNs
+  /// (1 for the final level), sw over the n/2 full-width stage switches.
+  std::vector<std::vector<SwitchDecision>> decisions;
+  /// Tags entering the pass, one per line.
+  std::vector<Tag> input_tags;
+  /// Quasisort passes only: the tags after ε-division (every Eps promoted
+  /// to a dummy Eps0/Eps1) — the key vector the merge actually sorted.
+  std::vector<Tag> divided_tags;
+
+  int stages() const noexcept { return static_cast<int>(decisions.size()); }
+
+  bool operator==(const PassExplanation&) const = default;
+};
+
+/// The complete provenance of one routed assignment.
+struct RouteExplanation {
+  std::size_t n = 0;
+  /// Scatter + quasisort passes for levels 1..log2(n)-1 (in level order),
+  /// then the final-delivery pass.
+  std::vector<PassExplanation> passes;
+
+  /// The pass of (level, kind); throws ContractViolation when absent.
+  const PassExplanation& pass(int level, PassKind kind) const;
+
+  /// The decision of one switch; throws ContractViolation out of range.
+  const SwitchDecision& decision(int level, PassKind kind, int stage,
+                                 std::size_t switch_index) const;
+
+  bool operator==(const RouteExplanation&) const = default;
+};
+
+/// An empty pass skeleton: `stages` stages of width/2 default decisions.
+PassExplanation make_pass(int level, PassKind kind, std::size_t width,
+                          int stages);
+
+/// Collection hook threaded through the configuration algorithms, stats-
+/// style (a null pointer disables recording). `line_offset` positions the
+/// sink on a sub-fabric: the engines set it to the first line of the BSN
+/// being configured when the Rbn at hand is BSN-local (unrolled network),
+/// and to 0 when block indices are already full-width (feedback network).
+struct ExplainSink {
+  PassExplanation* pass = nullptr;
+  std::size_t line_offset = 0;
+
+  /// Record the settings a rule installed at `stage` for merging-network
+  /// block `block` (the same block index handed to Rbn::set_block).
+  void record_block(int stage, std::size_t block,
+                    std::span<const SwitchSetting> settings,
+                    RouteRule rule) const;
+
+  /// Record the tags entering the pass at lines [extra_offset, ...) of
+  /// the sink's sub-fabric.
+  void record_input_tags(std::span<const Tag> tags,
+                         std::size_t extra_offset = 0) const;
+
+  /// Record ε-divided tags (quasisort passes).
+  void record_divided_tags(std::span<const Tag> tags,
+                           std::size_t extra_offset = 0) const;
+};
+
+}  // namespace brsmn

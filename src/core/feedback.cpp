@@ -1,11 +1,14 @@
 #include "core/feedback.hpp"
 
+#include <cstdio>
+
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/quasisort.hpp"
 #include "core/scatter.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn {
 
@@ -26,11 +29,17 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics);
     }
+    probe.tracer = options.tracer;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::TraceSpan route_span(probe.tracer, "feedback.route");
 
   RouteResult result;
   result.delivered.assign(n, std::nullopt);
+  if (options.explain) {
+    result.explanation.emplace();
+    result.explanation->n = n;
+  }
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
 
@@ -40,20 +49,39 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
     const std::size_t bsn_size = std::size_t{1} << top_stage;
     const std::size_t blocks = n / bsn_size;
+    char level_label[24];
+    std::snprintf(level_label, sizeof level_label, "level.%d", k);
+    obs::TraceSpan level_span(probe.tracer, level_label);
+    // The feedback fabric's block indices are already full-width, so the
+    // sinks use line_offset 0 and one pass collects all blocks of a level.
+    ExplainSink scatter_sink;
+    ExplainSink quasi_sink;
+    if (options.explain) {
+      auto& passes = result.explanation->passes;
+      passes.push_back(make_pass(k, PassKind::Scatter, n, top_stage));
+      passes.push_back(make_pass(k, PassKind::Quasisort, n, top_stage));
+      scatter_sink.pass = &passes[passes.size() - 2];
+      quasi_sink.pass = &passes.back();
+    }
 
     // Pass 2k-1: the fabric acts as the level-k scatter networks. Stages
     // above top_stage stay parallel, i.e. identity feedback wiring.
     fabric_.reset();
     std::vector<Tag> tags(n);
     for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    scatter_sink.record_input_tags(tags);
     obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
-      configure_scatter(fabric_, top_stage, b, slice, 0, &result.stats);
+      configure_scatter(fabric_, top_stage, b, slice, 0, &result.stats,
+                        options.explain ? &scatter_sink : nullptr);
     }
+    scatter_span.end();
     scatter_timer.stop();
     ScatterExec exec{next_copy_id, &result.stats};
     obs::PhaseTimer scatter_datapath(probe.datapath);
+    obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
     lines = fabric_.propagate(
         std::move(lines),
         [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -61,6 +89,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
           return apply_scatter_switch(ctx, s, std::move(a), std::move(b),
                                       exec);
         });
+    scatter_data_span.end();
     scatter_datapath.stop();
     next_copy_id = exec.next_copy_id;
     ++result.stats.fabric_passes;
@@ -71,19 +100,27 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     // Pass 2k: the fabric acts as the level-k quasisorting networks.
     fabric_.reset();
     for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    quasi_sink.record_input_tags(tags);
+    obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::span<const Tag> slice(tags.data() + b * bsn_size, bsn_size);
       obs::PhaseTimer divide_timer(probe.eps_divide);
+      obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
       const std::vector<Tag> divided = divide_eps(slice, &result.stats);
+      divide_span.end();
       divide_timer.stop();
+      quasi_sink.record_divided_tags(divided, b * bsn_size);
       for (std::size_t i = 0; i < bsn_size; ++i) {
         lines[b * bsn_size + i].tag = divided[i];
       }
       obs::PhaseTimer quasisort_timer(probe.quasisort);
-      configure_quasisort(fabric_, top_stage, b, divided, &result.stats);
+      configure_quasisort(fabric_, top_stage, b, divided, &result.stats,
+                          options.explain ? &quasi_sink : nullptr);
     }
+    quasi_config_span.end();
     RoutingStats* stats = &result.stats;
     obs::PhaseTimer sort_datapath(probe.datapath);
+    obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
     lines = fabric_.propagate(
         std::move(lines),
         [stats](const SwitchContext& ctx, SwitchSetting s, LineValue a,
@@ -91,6 +128,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
           ++stats->switch_traversals;
           return unicast_switch(ctx, s, std::move(a), std::move(b));
         });
+    sort_data_span.end();
     sort_datapath.stop();
     ++result.stats.fabric_passes;
     // ε-divide sweep + quasisort sweep + full fabric traversal.
@@ -107,7 +145,14 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
-    deliver_final_level(lines, result.delivered, &result.stats);
+    obs::TraceSpan final_span(probe.tracer, "level.final");
+    ExplainSink final_sink;
+    if (options.explain) {
+      result.explanation->passes.push_back(make_pass(m, PassKind::Final, n, 1));
+      final_sink.pass = &result.explanation->passes.back();
+    }
+    deliver_final_level(lines, result.delivered, &result.stats,
+                        options.explain ? &final_sink : nullptr);
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);

@@ -102,7 +102,7 @@ std::vector<Tag> divide_eps(std::span<const Tag> tags, RoutingStats* stats) {
 
 void configure_quasisort(Rbn& rbn, int top_stage, std::size_t top_block,
                          std::span<const Tag> divided_tags,
-                         RoutingStats* stats) {
+                         RoutingStats* stats, const ExplainSink* explain) {
   const std::size_t nsub = std::size_t{1} << top_stage;
   BRSMN_EXPECTS(divided_tags.size() == nsub);
   std::vector<int> keys(nsub);
@@ -114,12 +114,13 @@ void configure_quasisort(Rbn& rbn, int top_stage, std::size_t top_block,
   BRSMN_EXPECTS_MSG(ones == nsub / 2,
                     "quasisort requires exactly n/2 (real+dummy) ones");
   // Ascending sort: the 1-run starts at the midpoint (C^n_{n/2,n/2;0,1}).
-  configure_bit_sorter(rbn, top_stage, top_block, keys, nsub / 2, stats);
+  configure_bit_sorter(rbn, top_stage, top_block, keys, nsub / 2, stats,
+                       explain);
 }
 
 void configure_quasisort(Rbn& rbn, std::span<const Tag> divided_tags,
-                         RoutingStats* stats) {
-  configure_quasisort(rbn, rbn.stages(), 0, divided_tags, stats);
+                         RoutingStats* stats, const ExplainSink* explain) {
+  configure_quasisort(rbn, rbn.stages(), 0, divided_tags, stats, explain);
 }
 
 }  // namespace brsmn

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/explain.hpp"
 #include "core/rbn.hpp"
 #include "core/stats.hpp"
 #include "core/tag.hpp"
@@ -33,11 +34,13 @@ std::vector<Tag> divide_eps(std::span<const Tag> tags,
 /// starting at the midpoint, i.e. ascending order.
 void configure_quasisort(Rbn& rbn, int top_stage, std::size_t top_block,
                          std::span<const Tag> divided_tags,
-                         RoutingStats* stats = nullptr);
+                         RoutingStats* stats = nullptr,
+                         const ExplainSink* explain = nullptr);
 
 /// Whole-network convenience overload.
 void configure_quasisort(Rbn& rbn, std::span<const Tag> divided_tags,
-                         RoutingStats* stats = nullptr);
+                         RoutingStats* stats = nullptr,
+                         const ExplainSink* explain = nullptr);
 
 /// The 0/1 sort key of a divided tag (the b2 bit of Table 1's encoding).
 int quasisort_key(Tag t);

@@ -39,7 +39,8 @@ ScatterNodeValue leaf_value(Tag t) {
 ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
                                    std::size_t top_block,
                                    std::span<const Tag> tags,
-                                   std::size_t s_root, RoutingStats* stats) {
+                                   std::size_t s_root, RoutingStats* stats,
+                                   const ExplainSink* explain) {
   BRSMN_EXPECTS(top_stage >= 1 && top_stage <= rbn.stages());
   const std::size_t nsub = std::size_t{1} << top_stage;
   BRSMN_EXPECTS(tags.size() == nsub);
@@ -77,6 +78,7 @@ ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
           node[static_cast<std::size_t>(j - 1)][2 * b + 1];
       std::size_t s0 = 0, s1 = 0;
       std::vector<SwitchSetting> settings;
+      RouteRule rule = RouteRule::ScatterAddition;
       if (c0.type == c1.type) {
         // ε/α-addition: exactly Lemma 1 over the shared dominant symbol.
         auto plan = lemmas::lemma1(n_prime, s, c0.surplus, c1.surplus);
@@ -85,6 +87,7 @@ ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
         settings = std::move(plan.settings);
       } else {
         // ε/α-elimination: Lemmas 2-5 via the unified Table 4 case split.
+        rule = RouteRule::ScatterElimination;
         const std::size_t l = c0.surplus >= c1.surplus
                                   ? c0.surplus - c1.surplus
                                   : c1.surplus - c0.surplus;
@@ -111,7 +114,9 @@ ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
       }
       start[static_cast<std::size_t>(j - 1)][2 * b] = s0;
       start[static_cast<std::size_t>(j - 1)][2 * b + 1] = s1;
-      rbn.set_block(j, (top_block << (top_stage - j)) + b, settings);
+      const std::size_t block = (top_block << (top_stage - j)) + b;
+      rbn.set_block(j, block, settings);
+      if (explain) explain->record_block(j, block, settings, rule);
       if (stats) ++stats->tree_bwd_ops;
     }
   }
@@ -119,8 +124,10 @@ ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
 }
 
 ScatterNodeValue configure_scatter(Rbn& rbn, std::span<const Tag> tags,
-                                   std::size_t s_root, RoutingStats* stats) {
-  return configure_scatter(rbn, rbn.stages(), 0, tags, s_root, stats);
+                                   std::size_t s_root, RoutingStats* stats,
+                                   const ExplainSink* explain) {
+  return configure_scatter(rbn, rbn.stages(), 0, tags, s_root, stats,
+                           explain);
 }
 
 std::pair<LineValue, LineValue> apply_scatter_switch(const SwitchContext&,

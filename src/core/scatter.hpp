@@ -13,6 +13,7 @@
 #include <span>
 #include <utility>
 
+#include "core/explain.hpp"
 #include "core/line_value.hpp"
 #include "core/rbn.hpp"
 #include "core/stats.hpp"
@@ -35,16 +36,21 @@ struct ScatterNodeValue {
 ///
 /// Preconditions: tags.size() == 2^top_stage; every tag is in
 /// {Zero, One, Alpha, Eps}; s_root < tags.size().
+/// `explain` (optional) records, per configured merging-network block,
+/// the installed settings and whether Lemma 1 (ε/α-addition) or Lemmas
+/// 2-5 (ε/α-elimination) fired.
 ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
                                    std::size_t top_block,
                                    std::span<const Tag> tags,
                                    std::size_t s_root,
-                                   RoutingStats* stats = nullptr);
+                                   RoutingStats* stats = nullptr,
+                                   const ExplainSink* explain = nullptr);
 
 /// Whole-network convenience overload.
 ScatterNodeValue configure_scatter(Rbn& rbn, std::span<const Tag> tags,
                                    std::size_t s_root,
-                                   RoutingStats* stats = nullptr);
+                                   RoutingStats* stats = nullptr,
+                                   const ExplainSink* explain = nullptr);
 
 /// Tracks packet-copy identity across scatter broadcasts.
 struct ScatterExec {

@@ -138,8 +138,13 @@ bool try_write_metrics(const std::string& path, const MetricRegistry& r) {
     std::fprintf(stderr, "error: --metrics-out requires a non-empty path\n");
     return false;
   }
+  const std::string content = to_json(r);
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return std::fflush(stdout) == 0;
+  }
   try {
-    write_file(path, to_json(r));
+    write_file(path, content);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: cannot write metrics: %s\n", e.what());
     return false;
@@ -147,20 +152,28 @@ bool try_write_metrics(const std::string& path, const MetricRegistry& r) {
   return true;
 }
 
-std::optional<std::string> consume_metrics_out_flag(int& argc, char** argv) {
-  constexpr std::string_view kFlag = "--metrics-out=";
-  std::optional<std::string> path;
+std::optional<std::string> consume_value_flag(int& argc, char** argv,
+                                              std::string_view flag) {
+  std::optional<std::string> value;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.rfind(kFlag, 0) == 0) {
-      path = std::string(arg.substr(kFlag.size()));
+    if (arg.rfind(flag, 0) == 0) {
+      value = std::string(arg.substr(flag.size()));
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
-  return path;
+  return value;
+}
+
+std::optional<std::string> consume_metrics_out_flag(int& argc, char** argv) {
+  return consume_value_flag(argc, argv, "--metrics-out=");
+}
+
+std::optional<std::string> consume_trace_out_flag(int& argc, char** argv) {
+  return consume_value_flag(argc, argv, "--trace-out=");
 }
 
 }  // namespace brsmn::obs

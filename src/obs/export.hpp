@@ -31,15 +31,31 @@ inline std::string to_table(const MetricRegistry& r) { return to_table(r.snapsho
 /// Write `content` to `path`; throws ContractViolation on I/O failure.
 void write_file(const std::string& path, const std::string& content);
 
-/// CLI-friendly dump: write the registry as JSON to `path`. On an empty
-/// path or an I/O failure, prints the reason to stderr and returns false
-/// instead of throwing — a long bench run should end with an error
-/// message, not an abort.
+/// CLI-friendly dump: write the registry as JSON to `path`; `-` writes to
+/// stdout so benches compose with jq in pipelines. On an empty path or an
+/// I/O failure, prints the reason to stderr and returns false instead of
+/// throwing — a long bench run should end with an error message, not an
+/// abort.
 bool try_write_metrics(const std::string& path, const MetricRegistry& r);
 
-/// Scan argv for `--metrics-out=<path>`, remove it (adjusting argc), and
-/// return the path. Lets benches and examples accept the flag before
-/// handing the remaining arguments to benchmark::Initialize.
+/// Scan argv for `<flag><value>` (e.g. flag "--metrics-out="), remove the
+/// argument (adjusting argc), and return the value. Lets benches and
+/// examples accept obs flags before handing the remaining arguments to
+/// benchmark::Initialize.
+std::optional<std::string> consume_value_flag(int& argc, char** argv,
+                                              std::string_view flag);
+
+/// consume_value_flag for `--metrics-out=<path>`.
 std::optional<std::string> consume_metrics_out_flag(int& argc, char** argv);
+
+/// consume_value_flag for `--trace-out=<path>` (Chrome trace destination).
+std::optional<std::string> consume_trace_out_flag(int& argc, char** argv);
+
+/// True when a consumed dump path targets stdout (`-`). Binaries that
+/// honor it must then route their human-readable report to stderr, so
+/// the stdout stream stays pure JSON for the pipeline consuming it.
+inline bool claims_stdout(const std::optional<std::string>& path) {
+  return path.has_value() && *path == "-";
+}
 
 }  // namespace brsmn::obs

@@ -124,6 +124,17 @@ std::uint64_t Histogram::count() const {
   return count_;
 }
 
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.fill(0);
+  p50_ = P2Quantile(0.5);
+  p99_ = P2Quantile(0.99);
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   HistogramSnapshot s;
@@ -190,6 +201,13 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 Histogram& MetricRegistry::histogram(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   return find_or_create(histograms_, name);
+}
+
+void MetricRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
 }
 
 RegistrySnapshot MetricRegistry::snapshot() const {

@@ -50,6 +50,7 @@ class Counter {
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -62,6 +63,7 @@ class Gauge {
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -118,6 +120,10 @@ class Histogram {
   std::uint64_t count() const;
   HistogramSnapshot snapshot() const;
 
+  /// Forget every recorded sample (count, extremes, buckets, quantile
+  /// state); the histogram is as freshly constructed.
+  void reset();
+
  private:
   mutable std::mutex mutex_;
   std::uint64_t count_ = 0;
@@ -148,6 +154,12 @@ class MetricRegistry {
 
   /// Copies of every instrument, each name list sorted.
   RegistrySnapshot snapshot() const;
+
+  /// Zero every counter and gauge and clear every histogram while keeping
+  /// all registrations: references handed out earlier stay valid, so a
+  /// long-lived switch can report per-window metrics without re-resolving
+  /// its probes.
+  void reset();
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,143 @@
+#include "obs/regression.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+namespace {
+
+constexpr std::string_view kHistogramStats[] = {"count", "sum", "min", "max",
+                                                "mean", "p50",  "p99"};
+
+bool is_histogram_stat(std::string_view stat) {
+  for (const std::string_view s : kHistogramStats) {
+    if (s == stat) return true;
+  }
+  return false;
+}
+
+/// Resolve one checked statistic in a metric document; nullopt if absent.
+std::optional<double> lookup(const JsonValue& doc,
+                             const RegressionCheck& check) {
+  if (!doc.is_object()) return std::nullopt;
+  if (check.stat.empty()) {
+    for (const char* section : {"counters", "gauges"}) {
+      if (!doc.contains(section)) continue;
+      const JsonValue& metrics = doc.at(section);
+      if (metrics.contains(check.metric)) {
+        return metrics.at(check.metric).as_number();
+      }
+    }
+    return std::nullopt;
+  }
+  if (!doc.contains("histograms")) return std::nullopt;
+  const JsonValue& histograms = doc.at("histograms");
+  if (!histograms.contains(check.metric)) return std::nullopt;
+  const JsonValue& hist = histograms.at(check.metric);
+  if (!hist.contains(check.stat)) return std::nullopt;
+  return hist.at(check.stat).as_number();
+}
+
+}  // namespace
+
+RegressionCheck parse_check(const std::string& selector,
+                            double default_threshold) {
+  RegressionCheck check;
+  check.max_regression = default_threshold;
+  std::string_view rest = selector;
+  if (const std::size_t at = rest.rfind('@'); at != std::string_view::npos) {
+    const std::string threshold(rest.substr(at + 1));
+    char* end = nullptr;
+    check.max_regression = std::strtod(threshold.c_str(), &end);
+    BRSMN_EXPECTS_MSG(end != nullptr && *end == '\0' && !threshold.empty() &&
+                          check.max_regression >= 0.0,
+                      "malformed @threshold in regression selector");
+    rest = rest.substr(0, at);
+  }
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    check.metric = std::string(rest.substr(0, colon));
+    check.stat = std::string(rest.substr(colon + 1));
+    BRSMN_EXPECTS_MSG(is_histogram_stat(check.stat),
+                      "regression selector stat must be one of "
+                      "count/sum/min/max/mean/p50/p99");
+  } else {
+    check.metric = std::string(rest);
+  }
+  BRSMN_EXPECTS_MSG(!check.metric.empty(),
+                    "regression selector needs a metric name");
+  return check;
+}
+
+bool RegressionReport::any_regressed() const {
+  for (const RegressionOutcome& o : outcomes) {
+    if (o.regressed) return true;
+  }
+  return false;
+}
+
+bool RegressionReport::any_missing() const {
+  for (const RegressionOutcome& o : outcomes) {
+    if (o.missing) return true;
+  }
+  return false;
+}
+
+RegressionReport diff_metrics(const JsonValue& baseline,
+                              const JsonValue& current,
+                              std::span<const RegressionCheck> checks) {
+  RegressionReport report;
+  report.outcomes.reserve(checks.size());
+  for (const RegressionCheck& check : checks) {
+    RegressionOutcome out;
+    out.check = check;
+    const std::optional<double> base = lookup(baseline, check);
+    const std::optional<double> cur = lookup(current, check);
+    if (!base || !cur) {
+      out.missing = true;
+      report.outcomes.push_back(std::move(out));
+      continue;
+    }
+    out.baseline = *base;
+    out.current = *cur;
+    if (out.baseline > 0.0) {
+      out.change = (out.current - out.baseline) / out.baseline;
+    } else {
+      out.change = out.current > out.baseline
+                       ? std::numeric_limits<double>::infinity()
+                       : 0.0;
+    }
+    out.regressed = out.change > check.max_regression;
+    report.outcomes.push_back(std::move(out));
+  }
+  return report;
+}
+
+std::string to_table(const RegressionReport& report) {
+  std::string table;
+  for (const RegressionOutcome& o : report.outcomes) {
+    std::string name = o.check.metric;
+    if (!o.check.stat.empty()) name += ":" + o.check.stat;
+    char line[256];
+    if (o.missing) {
+      std::snprintf(line, sizeof line, "%-36s MISSING (not in both files)\n",
+                    name.c_str());
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-36s %14.3f -> %14.3f  %+8.2f%% (limit %+.2f%%)  %s\n",
+                    name.c_str(), o.baseline, o.current, o.change * 100.0,
+                    o.check.max_regression * 100.0,
+                    o.regressed ? "REGRESSED" : "ok");
+    }
+    table += line;
+  }
+  return table;
+}
+
+}  // namespace brsmn::obs

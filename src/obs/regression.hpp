@@ -1,0 +1,65 @@
+// Perf-regression comparison over metric dumps (obs/export.hpp JSON).
+//
+// The CI loop: bench_routing_time --metrics-out=now.json produces a
+// registry snapshot; diff_metrics compares selected statistics against a
+// checked-in baseline with a relative threshold. tools/bench_diff is the
+// thin CLI over this header so the gate logic itself is unit-testable
+// (including the injected-slowdown fixtures).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace brsmn::obs {
+
+/// One gated statistic. `metric` names a histogram (stat in {count, sum,
+/// min, max, mean, p50, p99}) or, with stat empty, a counter or gauge.
+/// `max_regression` is the tolerated relative increase: 0.25 passes any
+/// current value up to 1.25x the baseline. Lower-is-worse metrics are out
+/// of scope — every gated statistic here is a cost (time, traversals).
+struct RegressionCheck {
+  std::string metric;
+  std::string stat;
+  double max_regression = 0.25;
+};
+
+/// Parse "metric", "metric:stat" or "metric:stat@threshold" (threshold a
+/// relative fraction, e.g. 0.25). Throws ContractViolation on a malformed
+/// selector; `default_threshold` fills in when no @threshold is given.
+RegressionCheck parse_check(const std::string& selector,
+                            double default_threshold);
+
+/// The comparison of one checked statistic.
+struct RegressionOutcome {
+  RegressionCheck check;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative change (current - baseline) / baseline; +inf when the
+  /// baseline is 0 and the current value is not.
+  double change = 0.0;
+  bool regressed = false;
+  /// The statistic was absent from one of the two documents (reported as
+  /// its own failure mode so a renamed metric cannot silently pass).
+  bool missing = false;
+};
+
+struct RegressionReport {
+  std::vector<RegressionOutcome> outcomes;
+
+  bool any_regressed() const;
+  bool any_missing() const;
+};
+
+/// Compare `current` against `baseline` (both parsed obs/export.hpp metric
+/// documents) on the given checks.
+RegressionReport diff_metrics(const JsonValue& baseline,
+                              const JsonValue& current,
+                              std::span<const RegressionCheck> checks);
+
+/// Human-readable report table (one outcome per line, render-style).
+std::string to_table(const RegressionReport& report);
+
+}  // namespace brsmn::obs

@@ -23,6 +23,8 @@
 
 namespace brsmn::obs {
 
+class Tracer;
+
 struct RouteProbe {
   MetricRegistry* registry = nullptr;
   std::string prefix;
@@ -31,8 +33,13 @@ struct RouteProbe {
   Histogram* quasisort = nullptr;
   Histogram* datapath = nullptr;
   Histogram* total = nullptr;
+  /// Event tracer for per-phase spans; set by the engines from
+  /// RouteOptions::tracer, independent of the registry (either may be
+  /// attached without the other).
+  Tracer* tracer = nullptr;
 
   bool enabled() const noexcept { return registry != nullptr; }
+  bool tracing() const noexcept { return tracer != nullptr; }
 
   /// Resolve the phase histograms of `prefix` in `registry`.
   static RouteProbe attach(MetricRegistry& registry,

@@ -1,0 +1,270 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string_view trace_phase(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::Begin: return "B";
+    case TraceEventKind::End: return "E";
+    case TraceEventKind::Instant: return "i";
+    case TraceEventKind::Counter: return "C";
+  }
+  return "?";
+}
+
+/// One ring slot. Written only by the owning thread; published by the
+/// buffer's head store, so readers that honor head never see a slot
+/// mid-write (collect() additionally requires writer quiescence, since a
+/// wrapped ring reuses old slots).
+struct TracerSlot {
+  TraceEventKind kind;
+  char name[Tracer::kMaxNameLength + 1];
+  std::int64_t ts_ns;
+  double value;
+};
+
+struct Tracer::ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::thread::id owner;
+  std::size_t capacity = 0;           // power of two
+  std::atomic<std::uint64_t> head{0};  // events ever pushed
+  std::vector<TracerSlot> slots;
+
+  void push(TraceEventKind kind, std::string_view name, std::int64_t ts_ns,
+            double value) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    TracerSlot& slot = slots[static_cast<std::size_t>(h & (capacity - 1))];
+    slot.kind = kind;
+    const std::size_t len = std::min(name.size(), kMaxNameLength);
+    std::memcpy(slot.name, name.data(), len);
+    slot.name[len] = '\0';
+    slot.ts_ns = ts_ns;
+    slot.value = value;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+Tracer::Tracer(std::size_t events_per_thread)
+    : id_(next_tracer_id()),
+      capacity_(round_up_pow2(events_per_thread)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Single-entry per-thread cache of the last tracer recorded into, keyed
+  // by the tracer's process-unique id so a destroyed tracer's address
+  // being reused can never resurrect a stale buffer pointer.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local ThreadBuffer* cached_buffer = nullptr;
+  if (cached_id == id_) return *cached_buffer;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuffer* ref = nullptr;
+  for (const auto& existing : buffers_) {
+    if (existing->owner == self) {
+      ref = existing.get();
+      break;
+    }
+  }
+  if (ref == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->owner = self;
+    buffer->capacity = capacity_;
+    buffer->slots.resize(capacity_);
+    ref = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  cached_id = id_;
+  cached_buffer = ref;
+  return *ref;
+}
+
+void Tracer::record(TraceEventKind kind, std::string_view name,
+                    double value) noexcept {
+  const auto ts =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count();
+  local_buffer().push(kind, name, ts, value);
+}
+
+void Tracer::begin(std::string_view name) noexcept {
+  record(TraceEventKind::Begin, name, 0.0);
+}
+
+void Tracer::end(std::string_view name) noexcept {
+  record(TraceEventKind::End, name, 0.0);
+}
+
+void Tracer::instant(std::string_view name) noexcept {
+  record(TraceEventKind::Instant, name, 0.0);
+}
+
+void Tracer::counter(std::string_view name, double value) noexcept {
+  record(TraceEventKind::Counter, name, value);
+}
+
+std::size_t Tracer::thread_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t pushed = buffer->head.load(std::memory_order_acquire);
+    if (pushed > buffer->capacity) dropped += pushed - buffer->capacity;
+  }
+  return dropped;
+}
+
+std::vector<CollectedEvent> Tracer::collect() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CollectedEvent> events;
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t pushed = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        pushed > buffer->capacity ? pushed - buffer->capacity : 0;
+    for (std::uint64_t i = first; i < pushed; ++i) {
+      const TracerSlot& slot =
+          buffer->slots[static_cast<std::size_t>(i & (buffer->capacity - 1))];
+      CollectedEvent ev;
+      ev.kind = slot.kind;
+      ev.name = slot.name;
+      ev.tid = buffer->tid;
+      ev.ts_ns = slot.ts_ns;
+      ev.value = slot.value;
+      events.push_back(std::move(ev));
+    }
+  }
+  // Stable: events of one thread were appended in recording order, so
+  // equal timestamps keep their per-lane causal order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+namespace {
+
+std::string escaped(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_event(std::ostringstream& os, bool& first,
+                  const CollectedEvent& ev) {
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%.3f",
+                static_cast<double>(ev.ts_ns) / 1000.0);
+  os << (first ? "\n" : ",\n") << "    {\"name\": \"" << escaped(ev.name)
+     << "\", \"cat\": \"brsmn\", \"ph\": \"" << trace_phase(ev.kind)
+     << "\", \"ts\": " << ts << ", \"pid\": 1, \"tid\": " << ev.tid;
+  if (ev.kind == TraceEventKind::Instant) os << ", \"s\": \"t\"";
+  if (ev.kind == TraceEventKind::Counter) {
+    char value[32];
+    std::snprintf(value, sizeof(value), "%.17g", ev.value);
+    os << ", \"args\": {\"value\": " << value << "}";
+  }
+  os << "}";
+  first = false;
+}
+
+}  // namespace
+
+std::string export_chrome_trace(std::span<const CollectedEvent> events) {
+  // Flight-recorder repair, per lane: an End whose Begin was evicted by
+  // the ring is dropped, and Begins still open at the end of the window
+  // are closed (innermost first) at the final timestamp, so every lane
+  // carries balanced, properly nested B/E pairs.
+  std::vector<std::vector<const CollectedEvent*>> open_spans;
+  std::int64_t last_ts = 0;
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const CollectedEvent& ev : events) {
+    last_ts = std::max(last_ts, ev.ts_ns);
+    if (ev.tid >= open_spans.size()) open_spans.resize(ev.tid + 1);
+    auto& stack = open_spans[ev.tid];
+    if (ev.kind == TraceEventKind::End) {
+      if (stack.empty()) continue;  // Begin evicted: orphaned End
+      stack.pop_back();
+    } else if (ev.kind == TraceEventKind::Begin) {
+      stack.push_back(&ev);
+    }
+    append_event(os, first, ev);
+  }
+  for (const auto& stack : open_spans) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      CollectedEvent close = **it;
+      close.kind = TraceEventKind::End;
+      close.ts_ns = last_ts;
+      append_event(os, first, close);
+    }
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::string export_chrome_trace(const Tracer& tracer) {
+  const std::vector<CollectedEvent> events = tracer.collect();
+  return export_chrome_trace(events);
+}
+
+bool try_write_trace(const std::string& path, const Tracer& tracer) {
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --trace-out requires a non-empty path\n");
+    return false;
+  }
+  const std::string content = export_chrome_trace(tracer);
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return std::fflush(stdout) == 0;
+  }
+  try {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    BRSMN_EXPECTS_MSG(out.good(), "cannot open file for writing: " + path);
+    out << content;
+    out.flush();
+    BRSMN_EXPECTS_MSG(out.good(), "failed writing file: " + path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot write trace: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace brsmn::obs

@@ -1,0 +1,162 @@
+// Event tracer for the routing engines: begin/end spans, instant events
+// and counter samples, recorded into lock-free per-thread ring buffers
+// and exported as Chrome trace-event JSON (chrome://tracing / Perfetto).
+//
+// Where obs/metrics.hpp answers "how long does phase X take on average",
+// the tracer answers "what did *this* route do, in time order": one lane
+// per recording thread, nested spans per level/phase, and counter tracks
+// (queue depth, waves in flight) alongside.
+//
+// Flight-recorder semantics: each thread owns a fixed-capacity ring; when
+// it fills, the oldest events are overwritten. Memory is bounded by
+// capacity_per_thread() x recording threads, so a tracer can stay
+// attached to a long-lived switch and always hold the most recent window.
+//
+// Concurrency: record calls are lock-free — the owning thread writes its
+// slots and publishes them with one release store; a mutex is taken only
+// on a thread's *first* event (buffer registration). collect() and the
+// exporters are meant for quiescent reading (after workers join); they
+// see every event published before the call.
+//
+// Cost discipline mirrors PhaseTimer: every engine hook is guarded by
+// `if constexpr (obs::kEnabled)` plus a null-tracer check, so a null
+// recorder is one branch and a BRSMN_OBS=OFF build compiles the hooks
+// away entirely. The Tracer class itself stays functional either way so
+// its tests run in every configuration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"  // obs::kEnabled
+
+namespace brsmn::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  Begin,    ///< span opens ("ph":"B")
+  End,      ///< span closes ("ph":"E")
+  Instant,  ///< point event ("ph":"i")
+  Counter,  ///< counter-track sample ("ph":"C")
+};
+
+std::string_view trace_phase(TraceEventKind kind);  ///< the Chrome "ph" code
+
+/// One event as handed back by Tracer::collect(): decoded from the ring
+/// slots, stamped with the recording thread's lane id.
+struct CollectedEvent {
+  TraceEventKind kind = TraceEventKind::Instant;
+  std::string name;
+  std::uint32_t tid = 0;     ///< lane id (dense, assigned per thread)
+  std::int64_t ts_ns = 0;    ///< nanoseconds since tracer construction
+  double value = 0.0;        ///< Counter events only
+};
+
+class Tracer {
+ public:
+  /// Longest event name stored verbatim; longer names are truncated.
+  static constexpr std::size_t kMaxNameLength = 47;
+
+  /// `events_per_thread` is rounded up to a power of two (>= 16). Each
+  /// recording thread allocates one ring of that capacity on first use.
+  explicit Tracer(std::size_t events_per_thread = std::size_t{1} << 13);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+  void begin(std::string_view name) noexcept;
+  void end(std::string_view name) noexcept;
+  void instant(std::string_view name) noexcept;
+  void counter(std::string_view name, double value) noexcept;
+
+  /// Recording threads seen so far (= lanes in the export).
+  std::size_t thread_count() const;
+
+  /// Events overwritten by ring wrap-around across all threads.
+  std::uint64_t dropped_events() const;
+
+  /// Snapshot of every retained event, merged across threads and sorted
+  /// by timestamp (ties keep per-thread recording order). Call after the
+  /// recording threads are done (or otherwise quiescent).
+  std::vector<CollectedEvent> collect() const;
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer& local_buffer();
+  void record(TraceEventKind kind, std::string_view name,
+              double value) noexcept;
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mutex_;  ///< guards buffers_ (registration + collect)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: begin on construction, end on destruction (or early via
+/// end()). A null tracer disables it; with BRSMN_OBS_DISABLED it compiles
+/// to nothing, so instrumented scopes can stay unconditional.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string_view name) noexcept {
+#if !defined(BRSMN_OBS_DISABLED)
+    tracer_ = tracer;
+    if (tracer_ == nullptr) return;
+    const std::size_t len = std::min(name.size(), sizeof(name_) - 1);
+    name.copy(name_, len);
+    name_[len] = '\0';
+    tracer_->begin(std::string_view(name_, len));
+#else
+    (void)tracer;
+    (void)name;
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { end(); }
+
+  /// Emits the end event once; later calls (and the destructor) no-op.
+  void end() noexcept {
+#if !defined(BRSMN_OBS_DISABLED)
+    if (tracer_ == nullptr) return;
+    tracer_->end(name_);
+    tracer_ = nullptr;
+#endif
+  }
+
+ private:
+#if !defined(BRSMN_OBS_DISABLED)
+  Tracer* tracer_ = nullptr;
+  char name_[Tracer::kMaxNameLength + 1] = {};
+#endif
+};
+
+/// Chrome trace-event JSON for the tracer's retained events: an object
+/// with "displayTimeUnit" and a "traceEvents" array of B/E/i/C events
+/// (ts in microseconds, pid 1, tid = lane id). Per lane, B/E pairs are
+/// guaranteed balanced: orphaned E events whose B was evicted by the ring
+/// are dropped, and spans still open at the end are closed at the last
+/// timestamp.
+std::string export_chrome_trace(const Tracer& tracer);
+
+/// Same, over an already-collected (ts-sorted) event snapshot.
+std::string export_chrome_trace(std::span<const CollectedEvent> events);
+
+/// CLI-friendly dump: write the Chrome trace to `path` ("-" = stdout).
+/// Prints to stderr and returns false on failure instead of throwing.
+bool try_write_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace brsmn::obs

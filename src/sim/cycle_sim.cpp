@@ -1,6 +1,7 @@
 #include "sim/cycle_sim.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn::sim {
 
@@ -15,6 +16,7 @@ void CycleSimulator::inject(std::vector<LineValue> lines) {
 }
 
 std::size_t CycleSimulator::step(ScatterExec& exec) {
+  obs::TraceSpan cycle_span(tracer_, "sim.cycle");
   for (auto it = waves_.begin(); it != waves_.end();) {
     Wave& wave = *it;
     wave.lines = fabric_->propagate(
@@ -34,6 +36,12 @@ std::size_t CycleSimulator::step(ScatterExec& exec) {
   }
   ++cycle_;
   injected_this_cycle_ = false;
+  if constexpr (obs::kEnabled) {
+    if (tracer_ != nullptr) {
+      tracer_->counter("sim.waves_in_flight",
+                       static_cast<double>(waves_.size()));
+    }
+  }
   return waves_.size();
 }
 

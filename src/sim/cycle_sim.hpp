@@ -19,6 +19,10 @@
 #include "core/rbn.hpp"
 #include "core/scatter.hpp"
 
+namespace brsmn::obs {
+class Tracer;
+}  // namespace brsmn::obs
+
 namespace brsmn::sim {
 
 class CycleSimulator {
@@ -49,6 +53,10 @@ class CycleSimulator {
   /// Waves currently inside the fabric.
   std::size_t in_flight() const noexcept { return waves_.size(); }
 
+  /// Attach an event tracer: each step() emits a "sim.cycle" span and a
+  /// sim.waves_in_flight counter sample. Pass nullptr to detach.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct Wave {
     int next_stage;  // 1-based stage the wave will traverse next
@@ -56,6 +64,7 @@ class CycleSimulator {
   };
 
   const Rbn* fabric_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Wave> waves_;
   std::deque<std::vector<LineValue>> done_;
   bool injected_this_cycle_ = false;

@@ -49,6 +49,56 @@ std::string delivery(const RouteResult& result) {
   return os.str();
 }
 
+namespace {
+
+char rule_char(RouteRule rule) {
+  switch (rule) {
+    case RouteRule::ScatterAddition: return 'A';
+    case RouteRule::ScatterElimination: return 'E';
+    case RouteRule::QuasisortMerge: return 'M';
+    case RouteRule::FinalDelivery: return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string explanation(const RouteExplanation& ex) {
+  std::ostringstream os;
+  for (const PassExplanation& pass : ex.passes) {
+    os << "level " << pass.level << ' ' << pass_name(pass.kind) << " (stages "
+       << pass.stages() << ")\n";
+    os << "  tags:    ";
+    for (const Tag t : pass.input_tags) os << tag_char(t);
+    os << '\n';
+    if (!pass.divided_tags.empty()) {
+      os << "  divided: ";
+      for (const Tag t : pass.divided_tags) os << tag_char(t);
+      os << '\n';
+    }
+    for (int stage = 1; stage <= pass.stages(); ++stage) {
+      const auto& row = pass.decisions[static_cast<std::size_t>(stage - 1)];
+      os << "  stage " << stage << ": ";
+      for (const SwitchDecision& d : row) os << setting_char(d.setting);
+      os << "  [";
+      for (const SwitchDecision& d : row) os << rule_char(d.rule);
+      os << "]\n";
+    }
+  }
+  return os.str();
+}
+
+std::string explain_switch(const RouteExplanation& ex, int level,
+                           PassKind kind, int stage,
+                           std::size_t switch_index) {
+  const SwitchDecision& d = ex.decision(level, kind, stage, switch_index);
+  std::ostringstream os;
+  os << "level " << level << ' ' << pass_name(kind) << " stage " << stage
+     << " switch " << switch_index << ": " << setting_name(d.setting)
+     << " -- " << rule_name(d.rule);
+  return os.str();
+}
+
 std::string fabric_settings(const Rbn& rbn) {
   std::ostringstream os;
   for (int stage = 1; stage <= rbn.stages(); ++stage) {

@@ -24,4 +24,17 @@ std::string fabric_settings(const Rbn& rbn);
 /// '^' upper broadcast, 'v' lower broadcast.
 char setting_char(SwitchSetting s);
 
+/// A routing provenance grid (RouteOptions::explain), one pass per block:
+/// the pass header with its input tags (and ε-divided tags for quasisort
+/// passes), then one line per stage in fabric_settings style, with each
+/// switch's setting char. Rule attribution is summarized per stage.
+std::string explanation(const RouteExplanation& ex);
+
+/// One switch's decision, e.g.
+///   "level 2 quasisort stage 1 switch 3: cross -- quasisort bit-sort
+///    merge (Theorem 1)".
+std::string explain_switch(const RouteExplanation& ex, int level,
+                           PassKind kind, int stage,
+                           std::size_t switch_index);
+
 }  // namespace brsmn::render

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace brsmn::traffic {
 
@@ -45,6 +46,7 @@ void QueuedMulticastSwitch::offer_all(const std::vector<Offer>& offers) {
 QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   const std::size_t n = ports();
   EpochReport report;
+  obs::TraceSpan epoch_span(config_.tracer, "switch.epoch");
 
   // Schedule: walk inputs round-robin from rr_pointer_, admitting from
   // each head cell the destinations not yet claimed this epoch.
@@ -77,6 +79,7 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   if (report.admitted_cells > 0) {
     RouteOptions options;
     options.metrics = config_.metrics;
+    options.tracer = config_.tracer;
     const RouteResult result = fabric_.route(assignment, options);
     for (const auto& d : result.delivered) {
       report.delivered_copies += d.has_value();
@@ -105,6 +108,14 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   }
   delivered_ += report.delivered_copies;
   ++epoch_;
+  if constexpr (obs::kEnabled) {
+    if (config_.tracer != nullptr) {
+      config_.tracer->counter("switch.backlog_cells",
+                              static_cast<double>(backlog_cells()));
+      config_.tracer->counter("switch.backlog_copies",
+                              static_cast<double>(backlog_copies()));
+    }
+  }
   if constexpr (obs::kEnabled) {
     if (config_.metrics != nullptr) {
       instruments_.admitted_cells->record(

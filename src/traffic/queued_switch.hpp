@@ -24,6 +24,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class MetricRegistry;
+class Tracer;
 }  // namespace brsmn::obs
 
 namespace brsmn::traffic {
@@ -44,6 +45,11 @@ class QueuedMulticastSwitch {
     /// completion latency) and the fabric records "route.*" phase
     /// timings into the same registry.
     obs::MetricRegistry* metrics = nullptr;
+    /// When set, every step() emits a "switch.epoch" span (the fabric's
+    /// per-level spans nested inside) plus switch.backlog_cells /
+    /// switch.backlog_copies counter tracks, so queue depth is plotted
+    /// against the routing timeline in the Chrome trace.
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit QueuedMulticastSwitch(const Config& config);

@@ -1,0 +1,218 @@
+// Routing provenance (RouteOptions::explain): the recorded decision grid
+// must be bit-identical to the switch settings the fabrics actually used,
+// the unrolled and feedback engines must produce identical explanations
+// (their stage-switch flattenings coincide by construction), and the
+// recorded final-level settings must reproduce the delivery.
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "sim/render.hpp"
+
+namespace brsmn {
+namespace {
+
+RouteOptions explain_options() {
+  RouteOptions options;
+  options.explain = true;
+  options.capture_levels = true;
+  return options;
+}
+
+TEST(Explain, GridShapeMatchesNetwork) {
+  Brsmn net(16);
+  const auto result = net.route(full_broadcast(16), explain_options());
+  ASSERT_TRUE(result.explanation.has_value());
+  const RouteExplanation& ex = *result.explanation;
+  EXPECT_EQ(ex.n, 16u);
+  // Levels 1..3 contribute a scatter + quasisort pass each, then final.
+  ASSERT_EQ(ex.passes.size(), 7u);
+  for (int k = 1; k <= 3; ++k) {
+    const PassExplanation& scatter = ex.pass(k, PassKind::Scatter);
+    EXPECT_EQ(scatter.stages(), 4 - (k - 1));  // log2 of the level BSN size
+    EXPECT_EQ(scatter.width, 16u);
+    ASSERT_FALSE(scatter.decisions.empty());
+    EXPECT_EQ(scatter.decisions[0].size(), 8u);
+    EXPECT_TRUE(scatter.divided_tags.empty());
+    const PassExplanation& quasi = ex.pass(k, PassKind::Quasisort);
+    EXPECT_EQ(quasi.stages(), scatter.stages());
+    EXPECT_EQ(quasi.divided_tags.size(), 16u);
+  }
+  const PassExplanation& final_pass = ex.pass(4, PassKind::Final);
+  EXPECT_EQ(final_pass.stages(), 1);
+  EXPECT_EQ(final_pass.decisions[0].size(), 8u);
+  for (const SwitchDecision& d : final_pass.decisions[0]) {
+    EXPECT_EQ(d.rule, RouteRule::FinalDelivery);
+  }
+}
+
+TEST(Explain, AbsentWhenNotRequested) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment());
+  EXPECT_FALSE(result.explanation.has_value());
+}
+
+TEST(Explain, GridIsBitIdenticalToFabricSettings) {
+  Rng rng(11);
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    Brsmn net(n);
+    const auto a = random_multicast(n, 0.9, rng);
+    const auto result = net.route(a, explain_options());
+    ASSERT_TRUE(result.explanation.has_value());
+    const RouteExplanation& ex = *result.explanation;
+    const int m = log2_exact(n);
+    for (int k = 1; k <= m - 1; ++k) {
+      const std::size_t bsn_size = n >> (k - 1);
+      const std::size_t local_switches = bsn_size / 2;
+      const auto& level = net.level_bsns(k);
+      for (std::size_t b = 0; b < level.size(); ++b) {
+        const Rbn& scatter = level[b].scatter_fabric();
+        const Rbn& quasisort = level[b].quasisort_fabric();
+        for (int j = 1; j <= scatter.stages(); ++j) {
+          for (std::size_t sw = 0; sw < local_switches; ++sw) {
+            const std::size_t full = b * local_switches + sw;
+            EXPECT_EQ(ex.decision(k, PassKind::Scatter, j, full).setting,
+                      scatter.setting(j, sw))
+                << "n=" << n << " level=" << k << " bsn=" << b
+                << " stage=" << j << " switch=" << sw;
+            EXPECT_EQ(ex.decision(k, PassKind::Quasisort, j, full).setting,
+                      quasisort.setting(j, sw))
+                << "n=" << n << " level=" << k << " bsn=" << b
+                << " stage=" << j << " switch=" << sw;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Explain, FinalLevelSettingsReproduceDelivery) {
+  Rng rng(12);
+  for (const std::size_t n : {4u, 8u, 32u}) {
+    Brsmn net(n);
+    const auto a = random_multicast(n, 0.85, rng);
+    const auto result = net.route(a, explain_options());
+    const RouteExplanation& ex = *result.explanation;
+    const auto& final_lines = result.level_inputs.back();
+    const PassExplanation& final_pass =
+        ex.pass(log2_exact(n), PassKind::Final);
+    for (std::size_t j = 0; 2 * j < n; ++j) {
+      const LineValue& up = final_lines[2 * j];
+      const LineValue& low = final_lines[2 * j + 1];
+      std::optional<std::size_t> expect_up;
+      std::optional<std::size_t> expect_low;
+      switch (final_pass.decisions[0][j].setting) {
+        case SwitchSetting::Parallel:
+          if (!up.empty()) expect_up = up.packet->source;
+          if (!low.empty()) expect_low = low.packet->source;
+          break;
+        case SwitchSetting::Cross:
+          if (!low.empty()) expect_up = low.packet->source;
+          if (!up.empty()) expect_low = up.packet->source;
+          break;
+        case SwitchSetting::UpperBcast:
+          expect_up = expect_low = up.packet->source;
+          break;
+        case SwitchSetting::LowerBcast:
+          expect_up = expect_low = low.packet->source;
+          break;
+      }
+      EXPECT_EQ(result.delivered[2 * j], expect_up) << "n=" << n;
+      EXPECT_EQ(result.delivered[2 * j + 1], expect_low) << "n=" << n;
+    }
+  }
+}
+
+TEST(Explain, UnrolledAndFeedbackEnginesAgreeExactly) {
+  Rng rng(13);
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    Brsmn unrolled(n);
+    FeedbackBrsmn feedback(n);
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto a = random_multicast(n, 0.9, rng);
+      const auto r1 = unrolled.route(a, explain_options());
+      const auto r2 = feedback.route(a, explain_options());
+      ASSERT_TRUE(r1.explanation.has_value());
+      ASSERT_TRUE(r2.explanation.has_value());
+      EXPECT_EQ(*r1.explanation, *r2.explanation) << "n=" << n;
+    }
+  }
+}
+
+TEST(Explain, RoutingTwiceIsDeterministic) {
+  Brsmn net(16);
+  const auto a = full_broadcast(16);
+  const auto r1 = net.route(a, explain_options());
+  const auto r2 = net.route(a, explain_options());
+  EXPECT_EQ(*r1.explanation, *r2.explanation);
+}
+
+TEST(Explain, RulesMatchTheirPasses) {
+  Brsmn net(32);
+  Rng rng(14);
+  const auto result =
+      net.route(random_multicast(32, 0.9, rng), explain_options());
+  for (const PassExplanation& pass : result.explanation->passes) {
+    for (const auto& stage : pass.decisions) {
+      for (const SwitchDecision& d : stage) {
+        switch (pass.kind) {
+          case PassKind::Scatter:
+            EXPECT_TRUE(d.rule == RouteRule::ScatterAddition ||
+                        d.rule == RouteRule::ScatterElimination);
+            break;
+          case PassKind::Quasisort:
+            EXPECT_EQ(d.rule, RouteRule::QuasisortMerge);
+            break;
+          case PassKind::Final:
+            EXPECT_EQ(d.rule, RouteRule::FinalDelivery);
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Explain, LookupContractViolations) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment(), explain_options());
+  const RouteExplanation& ex = *result.explanation;
+  EXPECT_THROW(ex.pass(9, PassKind::Scatter), ContractViolation);
+  EXPECT_THROW(ex.pass(3, PassKind::Scatter), ContractViolation);  // final only
+  EXPECT_THROW(ex.decision(1, PassKind::Scatter, 0, 0), ContractViolation);
+  EXPECT_THROW(ex.decision(1, PassKind::Scatter, 4, 0), ContractViolation);
+  EXPECT_THROW(ex.decision(1, PassKind::Scatter, 1, 4), ContractViolation);
+}
+
+TEST(Explain, NamesAreStable) {
+  EXPECT_EQ(pass_name(PassKind::Scatter), "scatter");
+  EXPECT_EQ(pass_name(PassKind::Quasisort), "quasisort");
+  EXPECT_EQ(pass_name(PassKind::Final), "final");
+  EXPECT_NE(rule_name(RouteRule::ScatterAddition),
+            rule_name(RouteRule::ScatterElimination));
+  EXPECT_NE(rule_name(RouteRule::QuasisortMerge),
+            rule_name(RouteRule::FinalDelivery));
+}
+
+TEST(ExplainRender, GridAndSwitchStrings) {
+  Brsmn net(8);
+  const auto result = net.route(paper_example_assignment(), explain_options());
+  const std::string grid = render::explanation(*result.explanation);
+  EXPECT_NE(grid.find("level 1 scatter"), std::string::npos);
+  EXPECT_NE(grid.find("level 1 quasisort"), std::string::npos);
+  EXPECT_NE(grid.find("level 3 final"), std::string::npos);
+  EXPECT_NE(grid.find("divided:"), std::string::npos);
+  EXPECT_NE(grid.find("stage 1:"), std::string::npos);
+
+  const std::string one =
+      render::explain_switch(*result.explanation, 1, PassKind::Scatter, 1, 0);
+  EXPECT_NE(one.find("level 1 scatter stage 1 switch 0"), std::string::npos);
+  EXPECT_NE(one.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -151,6 +151,44 @@ TEST(MetricRegistry, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(r.histogram("shared.hist").count(), kThreads * kPerThread);
 }
 
+TEST(MetricRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricRegistry r;
+  Counter& c = r.counter("route.routes");
+  Gauge& g = r.gauge("parallel.last_imbalance");
+  Histogram& h = r.histogram("route.phase.total_ns");
+  c.add(42);
+  g.set(7.5);
+  for (const double v : {100.0, 200.0, 400.0}) h.record(v);
+
+  r.reset();
+
+  // Same instrument objects, zeroed state.
+  EXPECT_EQ(&r.counter("route.routes"), &c);
+  EXPECT_EQ(&r.gauge("parallel.last_imbalance"), &g);
+  EXPECT_EQ(&r.histogram("route.phase.total_ns"), &h);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+
+  // Recording after reset behaves like a fresh histogram.
+  h.record(16.0);
+  const HistogramSnapshot after = h.snapshot();
+  EXPECT_EQ(after.count, 1u);
+  EXPECT_DOUBLE_EQ(after.min, 16.0);
+  EXPECT_DOUBLE_EQ(after.max, 16.0);
+  EXPECT_DOUBLE_EQ(after.p50, 16.0);
+}
+
+TEST(MetricRegistry, ResetOnEmptyRegistryIsANoOp) {
+  MetricRegistry r;
+  r.reset();
+  EXPECT_TRUE(r.snapshot().counters.empty());
+}
+
 // --- exporters ------------------------------------------------------------
 
 void fill_sample_registry(MetricRegistry& r) {

@@ -1,0 +1,116 @@
+// The perf-regression gate (obs/regression.hpp): selector parsing,
+// threshold arithmetic, the missing-metric failure mode, and the injected
+// 2x-slowdown fixture the CI bench_diff job must fail on.
+#include "obs/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace brsmn::obs {
+namespace {
+
+/// A metrics document with one route histogram whose every value is
+/// `scale` (so p50 == scale) and one counter.
+JsonValue metrics_doc(double scale) {
+  MetricRegistry r;
+  Histogram& h = r.histogram("route.phase.total_ns");
+  for (int i = 0; i < 100; ++i) h.record(scale);
+  r.counter("route.routes").add(100);
+  return parse_json(to_json(r));
+}
+
+TEST(ParseCheck, SelectorForms) {
+  const RegressionCheck plain = parse_check("route.routes", 0.25);
+  EXPECT_EQ(plain.metric, "route.routes");
+  EXPECT_TRUE(plain.stat.empty());
+  EXPECT_DOUBLE_EQ(plain.max_regression, 0.25);
+
+  const RegressionCheck stat = parse_check("route.phase.total_ns:p50", 0.25);
+  EXPECT_EQ(stat.metric, "route.phase.total_ns");
+  EXPECT_EQ(stat.stat, "p50");
+
+  const RegressionCheck full = parse_check("a.b:p99@0.5", 0.25);
+  EXPECT_EQ(full.stat, "p99");
+  EXPECT_DOUBLE_EQ(full.max_regression, 0.5);
+}
+
+TEST(ParseCheck, RejectsMalformedSelectors) {
+  EXPECT_THROW(parse_check("", 0.25), ContractViolation);
+  EXPECT_THROW(parse_check("a.b:p42", 0.25), ContractViolation);
+  EXPECT_THROW(parse_check("a.b:p50@junk", 0.25), ContractViolation);
+  EXPECT_THROW(parse_check("a.b@-1", 0.25), ContractViolation);
+}
+
+TEST(DiffMetrics, WithinThresholdPasses) {
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.total_ns:p50@0.25", 0.25),
+      parse_check("route.routes", 0.25),
+  };
+  const RegressionReport report =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(1100.0), checks);
+  EXPECT_FALSE(report.any_regressed());
+  EXPECT_FALSE(report.any_missing());
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_NEAR(report.outcomes[0].change, 0.10, 1e-9);
+}
+
+TEST(DiffMetrics, InjectedTwoTimesSlowdownFails) {
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.total_ns:p50@0.25", 0.25),
+  };
+  const RegressionReport report =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(2000.0), checks);
+  EXPECT_TRUE(report.any_regressed());
+  EXPECT_NEAR(report.outcomes[0].change, 1.0, 1e-9);
+}
+
+TEST(DiffMetrics, ImprovementNeverRegresses) {
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.total_ns:p50@0.0", 0.0),
+  };
+  const RegressionReport report =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(400.0), checks);
+  EXPECT_FALSE(report.any_regressed());
+  EXPECT_LT(report.outcomes[0].change, 0.0);
+}
+
+TEST(DiffMetrics, MissingMetricIsItsOwnFailure) {
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.renamed_ns:p50", 0.25),
+  };
+  const RegressionReport report =
+      diff_metrics(metrics_doc(1.0), metrics_doc(1.0), checks);
+  EXPECT_TRUE(report.any_missing());
+  EXPECT_FALSE(report.any_regressed());
+}
+
+TEST(DiffMetrics, ZeroBaselineCountsAsInfiniteRegression) {
+  MetricRegistry zero;
+  zero.counter("route.routes");  // registered, value 0
+  const JsonValue base = parse_json(to_json(zero));
+  const RegressionCheck checks[] = {parse_check("route.routes", 0.25)};
+  const RegressionReport grew =
+      diff_metrics(base, metrics_doc(1.0), checks);
+  EXPECT_TRUE(grew.any_regressed());
+  const RegressionReport flat = diff_metrics(base, base, checks);
+  EXPECT_FALSE(flat.any_regressed());
+}
+
+TEST(DiffMetrics, TableListsEveryOutcome) {
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.total_ns:p50", 0.25),
+      parse_check("missing.metric", 0.25),
+  };
+  const RegressionReport report =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(3000.0), checks);
+  const std::string table = to_table(report);
+  EXPECT_NE(table.find("route.phase.total_ns:p50"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("MISSING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brsmn::obs

@@ -4,12 +4,19 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "core/feedback.hpp"
 
 namespace brsmn {
 namespace {
 
 RouteResult traced_route(std::size_t n, const MulticastAssignment& a) {
   Brsmn net(n);
+  return net.route(a, RouteOptions{.capture_levels = true});
+}
+
+RouteResult traced_feedback_route(std::size_t n,
+                                  const MulticastAssignment& a) {
+  FeedbackBrsmn net(n);
   return net.route(a, RouteOptions{.capture_levels = true});
 }
 
@@ -66,6 +73,40 @@ TEST(Trace, CopiesMonotoneOnRandomAssignments) {
 
 TEST(Trace, FullBroadcastTreeDoubles) {
   const auto result = traced_route(16, full_broadcast(16));
+  const auto tree = trace::multicast_tree(result, 0);
+  ASSERT_EQ(tree.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(tree[k].size(), std::size_t{1} << k);
+  }
+}
+
+TEST(Trace, FeedbackRoutesSatisfyTheSameStructuralGuarantees) {
+  Rng rng(7);
+  for (std::size_t n : {4u, 16u, 64u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto a = random_multicast(n, 0.9, rng);
+      const auto result = traced_feedback_route(n, a);
+      EXPECT_TRUE(trace::levels_disjoint(result)) << "n=" << n;
+      EXPECT_TRUE(trace::copies_monotone(result)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Trace, FeedbackTreesMatchUnrolledTrees) {
+  Rng rng(8);
+  const std::size_t n = 16;
+  const auto a = random_multicast(n, 0.9, rng);
+  const auto unrolled = traced_route(n, a);
+  const auto feedback = traced_feedback_route(n, a);
+  for (std::size_t source = 0; source < n; ++source) {
+    EXPECT_EQ(trace::multicast_tree(unrolled, source),
+              trace::multicast_tree(feedback, source))
+        << "source " << source;
+  }
+}
+
+TEST(Trace, FeedbackFullBroadcastTreeDoubles) {
+  const auto result = traced_feedback_route(16, full_broadcast(16));
   const auto tree = trace::multicast_tree(result, 0);
   ASSERT_EQ(tree.size(), 4u);
   for (std::size_t k = 0; k < 4; ++k) {

@@ -1,0 +1,276 @@
+// The event tracer: flight-recorder ring semantics (bounded memory,
+// oldest-evicted), multi-threaded lane assignment, span nesting, and the
+// Chrome trace-event JSON export (validated by round-tripping through the
+// in-repo JSON parser).
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace brsmn::obs {
+namespace {
+
+TEST(Tracer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Tracer(1).capacity_per_thread(), 16u);
+  EXPECT_EQ(Tracer(16).capacity_per_thread(), 16u);
+  EXPECT_EQ(Tracer(17).capacity_per_thread(), 32u);
+  EXPECT_EQ(Tracer(100).capacity_per_thread(), 128u);
+}
+
+TEST(Tracer, CollectsEventsInRecordingOrder) {
+  Tracer tracer(64);
+  tracer.begin("route");
+  tracer.instant("mark");
+  tracer.counter("depth", 3.0);
+  tracer.end("route");
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::Begin);
+  EXPECT_EQ(events[0].name, "route");
+  EXPECT_EQ(events[1].kind, TraceEventKind::Instant);
+  EXPECT_EQ(events[2].kind, TraceEventKind::Counter);
+  EXPECT_DOUBLE_EQ(events[2].value, 3.0);
+  EXPECT_EQ(events[3].kind, TraceEventKind::End);
+  EXPECT_EQ(tracer.thread_count(), 1u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(Tracer, RingEvictsOldestKeepsNewestInOrder) {
+  Tracer tracer(16);  // minimum ring
+  for (int i = 0; i < 100; ++i) {
+    tracer.instant("event." + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.dropped_events(), 100u - 16u);
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 16u);
+  // The retained window is exactly the newest 16, still in order.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "event." + std::to_string(84 + i));
+  }
+}
+
+TEST(Tracer, LongNamesAreTruncatedNotCorrupted) {
+  Tracer tracer(16);
+  const std::string longname(100, 'x');
+  tracer.instant(longname);
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, std::string(Tracer::kMaxNameLength, 'x'));
+}
+
+TEST(Tracer, EachThreadGetsOneLane) {
+  Tracer tracer(1024);
+  constexpr unsigned kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    // Raw begin/end rather than TraceSpan so the test also runs in
+    // BRSMN_OBS=OFF builds (where the RAII helper compiles to nothing).
+    pool.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        tracer.begin("outer");
+        tracer.begin("inner");
+        tracer.counter("i", static_cast<double>(i));
+        tracer.end("inner");
+        tracer.end("outer");
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(tracer.thread_count(), kThreads);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+  const auto events = tracer.collect();
+  EXPECT_EQ(events.size(), kThreads * kSpansPerThread * 5u);
+  // Per lane: properly nested spans (never an End without an open Begin,
+  // everything closed at the end).
+  std::vector<std::vector<std::string>> stacks(kThreads);
+  for (const auto& ev : events) {
+    ASSERT_LT(ev.tid, kThreads);
+    auto& stack = stacks[ev.tid];
+    if (ev.kind == TraceEventKind::Begin) {
+      stack.push_back(ev.name);
+    } else if (ev.kind == TraceEventKind::End) {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), ev.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& stack : stacks) EXPECT_TRUE(stack.empty());
+}
+
+TEST(Tracer, ThreadSwitchingBetweenTracersKeepsOneLaneEach) {
+  Tracer a(16);
+  Tracer b(16);
+  a.instant("a1");
+  b.instant("b1");
+  a.instant("a2");  // back to a: must reuse a's lane, not open a second
+  EXPECT_EQ(a.thread_count(), 1u);
+  EXPECT_EQ(b.thread_count(), 1u);
+  EXPECT_EQ(a.collect().size(), 2u);
+  EXPECT_EQ(b.collect().size(), 1u);
+}
+
+TEST(TraceSpan, NullTracerIsANoOp) {
+  TraceSpan span(nullptr, "nothing");
+  span.end();  // must not crash
+}
+
+TEST(TraceSpan, EndIsIdempotent) {
+  if constexpr (!kEnabled) {
+    GTEST_SKIP() << "TraceSpan compiles to nothing with BRSMN_OBS=OFF";
+  }
+  Tracer tracer(64);
+  {
+    TraceSpan span(&tracer, "once");
+    span.end();
+    span.end();  // destructor will also run
+  }
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::Begin);
+  EXPECT_EQ(events[1].kind, TraceEventKind::End);
+}
+
+// --- Chrome trace export --------------------------------------------------
+
+/// Parse the export and run the structural checks a trace viewer needs:
+/// displayTimeUnit, every event carrying name/cat/ph/ts/pid/tid, and
+/// balanced properly-nested B/E pairs per (pid, tid) lane.
+JsonValue parse_and_validate(const std::string& trace) {
+  const JsonValue doc = parse_json(trace);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  std::vector<std::vector<std::string>> stacks;
+  for (const JsonValue& ev : doc.at("traceEvents").as_array()) {
+    EXPECT_TRUE(ev.at("name").is_string());
+    EXPECT_EQ(ev.at("cat").as_string(), "brsmn");
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_EQ(ev.at("pid").as_number(), 1.0);
+    const auto tid = static_cast<std::size_t>(ev.at("tid").as_number());
+    if (tid >= stacks.size()) stacks.resize(tid + 1);
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "B") {
+      stacks[tid].push_back(ev.at("name").as_string());
+    } else if (ph == "E") {
+      EXPECT_FALSE(stacks[tid].empty()) << "unbalanced E in lane " << tid;
+      if (!stacks[tid].empty()) {
+        EXPECT_EQ(stacks[tid].back(), ev.at("name").as_string());
+        stacks[tid].pop_back();
+      }
+    } else if (ph == "i") {
+      EXPECT_EQ(ev.at("s").as_string(), "t");
+    } else if (ph == "C") {
+      EXPECT_TRUE(ev.at("args").at("value").is_number());
+    } else {
+      ADD_FAILURE() << "unexpected ph: " << ph;
+    }
+  }
+  for (const auto& stack : stacks) {
+    EXPECT_TRUE(stack.empty()) << "span left open in export";
+  }
+  return doc;
+}
+
+TEST(ChromeTrace, ExportRoundTripsThroughJsonParser) {
+  Tracer tracer(64);
+  tracer.begin("route");
+  tracer.begin("level.1");
+  tracer.instant("eps.divide");
+  tracer.counter("queue.depth", 7.0);
+  tracer.end("level.1");
+  tracer.end("route");
+  const JsonValue doc = parse_and_validate(export_chrome_trace(tracer));
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 6u);
+}
+
+TEST(ChromeTrace, EscapesQuotesAndBackslashes) {
+  Tracer tracer(16);
+  tracer.instant("we\"ird\\name");
+  const JsonValue doc = parse_and_validate(export_chrome_trace(tracer));
+  EXPECT_EQ(doc.at("traceEvents").as_array()[0].at("name").as_string(),
+            "we\"ird\\name");
+}
+
+TEST(ChromeTrace, OrphanedEndFromEvictionIsDropped) {
+  Tracer tracer(16);
+  tracer.begin("doomed");
+  // 16 instants push the Begin out of the ring; its End survives.
+  for (int i = 0; i < 16; ++i) tracer.instant("filler");
+  tracer.end("doomed");
+  EXPECT_GT(tracer.dropped_events(), 0u);
+  const JsonValue doc = parse_and_validate(export_chrome_trace(tracer));
+  for (const JsonValue& ev : doc.at("traceEvents").as_array()) {
+    EXPECT_NE(ev.at("ph").as_string(), "E");
+  }
+}
+
+TEST(ChromeTrace, OpenSpansAreClosedAtLastTimestamp) {
+  Tracer tracer(64);
+  tracer.begin("outer");
+  tracer.begin("inner");
+  tracer.instant("latest");
+  // parse_and_validate asserts both synthesized E events exist, nest
+  // correctly (inner closed before outer) and the lanes end balanced.
+  const JsonValue doc = parse_and_validate(export_chrome_trace(tracer));
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[3].at("name").as_string(), "inner");
+  EXPECT_EQ(events[4].at("name").as_string(), "outer");
+  EXPECT_DOUBLE_EQ(events[3].at("ts").as_number(),
+                   events[2].at("ts").as_number());
+}
+
+TEST(ChromeTrace, EmptyTracerExportsValidDocument) {
+  Tracer tracer(16);
+  const JsonValue doc = parse_and_validate(export_chrome_trace(tracer));
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST(ChromeTrace, EightThreadExportStaysValid) {
+  Tracer tracer(256);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 8; ++t) {
+    pool.emplace_back([&tracer] {
+      for (int i = 0; i < 200; ++i) {  // overflows the ring on purpose
+        tracer.begin("work");
+        tracer.counter("progress", static_cast<double>(i));
+        tracer.end("work");
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_GT(tracer.dropped_events(), 0u);
+  parse_and_validate(export_chrome_trace(tracer));
+}
+
+TEST(ChromeTrace, TryWriteTraceToFileAndFailurePaths) {
+  Tracer tracer(16);
+  tracer.instant("ev");
+  EXPECT_FALSE(try_write_trace("", tracer));
+  EXPECT_FALSE(try_write_trace("/nonexistent-dir/x/t.json", tracer));
+  const std::string path = ::testing::TempDir() + "brsmn_trace_test.json";
+  ASSERT_TRUE(try_write_trace(path, tracer));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  parse_and_validate(content);
+}
+
+}  // namespace
+}  // namespace brsmn::obs

@@ -1,0 +1,99 @@
+// Perf-regression gate over two metric dumps (obs/export.hpp JSON).
+//
+//   bench_diff <baseline.json> <current.json>
+//       [--threshold=0.25] [--check=metric[:stat][@threshold]]...
+//
+// Without --check, gates the default routing statistics (the checked-in
+// BENCH_baseline.json workflow — see docs/EXPERIMENTS.md). Exit codes:
+//   0  every checked statistic within its threshold
+//   1  at least one regression (or a checked statistic missing)
+//   2  usage / unreadable / malformed input
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/regression.hpp"
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+constexpr const char* kDefaultChecks[] = {
+    "route.phase.total_ns:p50",
+    "route.phase.scatter_ns:p50",
+    "route.phase.quasisort_ns:p50",
+    "route.phase.datapath_ns:p50",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double default_threshold = 0.25;
+  std::vector<std::string> selectors;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      default_threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      selectors.push_back(arg.substr(8));
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_diff: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json> "
+                 "[--threshold=F] [--check=metric[:stat][@F]]...\n");
+    return 2;
+  }
+  if (selectors.empty()) {
+    for (const char* check : kDefaultChecks) selectors.emplace_back(check);
+  }
+
+  try {
+    std::vector<brsmn::obs::RegressionCheck> checks;
+    checks.reserve(selectors.size());
+    for (const std::string& s : selectors) {
+      checks.push_back(brsmn::obs::parse_check(s, default_threshold));
+    }
+    const brsmn::obs::JsonValue baseline =
+        brsmn::obs::parse_json(read_file(baseline_path));
+    const brsmn::obs::JsonValue current =
+        brsmn::obs::parse_json(read_file(current_path));
+    const brsmn::obs::RegressionReport report =
+        brsmn::obs::diff_metrics(baseline, current, checks);
+    std::fputs(brsmn::obs::to_table(report).c_str(), stdout);
+    if (report.any_missing()) {
+      std::fprintf(stderr, "bench_diff: checked statistic missing\n");
+      return 1;
+    }
+    if (report.any_regressed()) {
+      std::fprintf(stderr, "bench_diff: performance regression detected\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,168 @@
+// Packed-vs-scalar engine comparison (core/packed_kernel).
+//
+// Both engines route the same dense-multicast workloads; the scalar
+// engine records its phase histograms under scalar.route.* and the
+// packed engine under packed.route.*, so one --metrics-out dump carries
+// both sides and tools/bench_diff can gate either path (or their ratio)
+// against BENCH_baseline.json. See docs/EXPERIMENTS.md for the speedup
+// measurement methodology.
+//
+// --metrics-out=<path> / --trace-out=<path> as in bench_routing_time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/packed_kernel.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
+brsmn::obs::Tracer* g_tracer = nullptr;           // set when --trace-out
+
+brsmn::RouteOptions engine_options(brsmn::RouteEngine engine) {
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.engine = engine;
+  options.metrics_prefix =
+      engine == brsmn::RouteEngine::Packed ? "packed.route" : "scalar.route";
+  return options;
+}
+
+void route_engine_bench(benchmark::State& state, brsmn::RouteEngine engine) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  const auto options = engine_options(engine);
+  for (auto _ : state) {
+    auto result = net.route(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ScalarRoute(benchmark::State& state) {
+  route_engine_bench(state, brsmn::RouteEngine::Scalar);
+}
+BENCHMARK(BM_ScalarRoute)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_PackedRoute(benchmark::State& state) {
+  route_engine_bench(state, brsmn::RouteEngine::Packed);
+}
+BENCHMARK(BM_PackedRoute)->RangeMultiplier(4)->Range(64, 4096);
+
+void feedback_engine_bench(benchmark::State& state,
+                           brsmn::RouteEngine engine) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::FeedbackBrsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  // Feedback metrics stay outside the packed.route.*/scalar.route.*
+  // histograms the regression gate reads (one engine pair per prefix).
+  brsmn::RouteOptions options;
+  options.engine = engine;
+  options.tracer = g_tracer;
+  for (auto _ : state) {
+    auto result = net.route(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_ScalarFeedbackRoute(benchmark::State& state) {
+  feedback_engine_bench(state, brsmn::RouteEngine::Scalar);
+}
+BENCHMARK(BM_ScalarFeedbackRoute)->RangeMultiplier(4)->Range(256, 4096);
+
+void BM_PackedFeedbackRoute(benchmark::State& state) {
+  feedback_engine_bench(state, brsmn::RouteEngine::Packed);
+}
+BENCHMARK(BM_PackedFeedbackRoute)->RangeMultiplier(4)->Range(256, 4096);
+
+// The stage primitive in isolation: one masked word-shuffle pass over a
+// full tag+code plane set, the unit of work the kernel repeats per stage.
+void BM_PackedApplyStage(benchmark::State& state) {
+  namespace pk = brsmn::packed;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t width = 16;  // typical m+1 code planes + 3 tag planes
+  pk::PackedLines lines(n, width);
+  pk::PackedLines scratch(n, width);
+  pk::StageMasks masks;
+  masks.resize(pk::words_for(n));
+  for (std::size_t w = 0; w < pk::words_for(n); ++w) {
+    masks.su[w] = 0x5555555555555555ull;
+    masks.sl[w] = 0xaaaaaaaaaaaaaaaaull;
+  }
+  masks.su[pk::words_for(n) - 1] &= pk::tail_mask(n);
+  masks.sl[pk::words_for(n) - 1] &= pk::tail_mask(n);
+  for (auto _ : state) {
+    pk::apply_stage(lines, scratch, masks, 1);
+    benchmark::DoNotOptimize(lines);
+  }
+  state.counters["line_bits_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n) *
+          static_cast<double>(width),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackedApplyStage)->RangeMultiplier(4)->Range(64, 4096);
+
+// The perfect-shuffle of bit-planes: the Morton interleave underlying
+// the topology's inter-stage wiring.
+void BM_ShufflePlanes(benchmark::State& state) {
+  namespace pk = brsmn::packed;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pk::PackedLines lines(n, 16);
+  pk::PackedLines out(n, 16);
+  for (auto _ : state) {
+    pk::shuffle_planes(lines, out);
+    pk::unshuffle_planes(out, lines);
+    benchmark::DoNotOptimize(lines);
+  }
+}
+BENCHMARK(BM_ShufflePlanes)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  brsmn::obs::MetricRegistry registry;
+  brsmn::obs::Tracer tracer;
+  const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
+  const auto trace_path = brsmn::obs::consume_trace_out_flag(argc, argv);
+  if (metrics_path) g_metrics = &registry;
+  if (trace_path) g_tracer = &tracer;
+  const bool dump_to_stdout = brsmn::obs::claims_stdout(metrics_path) ||
+                              brsmn::obs::claims_stdout(trace_path);
+  std::FILE* report = dump_to_stdout ? stderr : stdout;
+  std::fprintf(report,
+               "Packed word-parallel kernel vs scalar reference engine.\n"
+               "Metric prefixes: scalar.route.* / packed.route.* — compare "
+               "with tools/bench_diff (docs/EXPERIMENTS.md).\n\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (dump_to_stdout) {
+    benchmark::ConsoleReporter console;
+    console.SetOutputStream(&std::cerr);
+    console.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (metrics_path) {
+    if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());
+  }
+  if (trace_path) {
+    if (!brsmn::obs::try_write_trace(*trace_path, tracer)) return 1;
+    std::fprintf(stderr, "trace written to %s\n", trace_path->c_str());
+  }
+  return 0;
+}

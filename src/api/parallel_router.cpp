@@ -37,6 +37,8 @@ void ParallelRouter::set_metrics(obs::MetricRegistry* metrics) {
 
 void ParallelRouter::set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+void ParallelRouter::set_engine(RouteEngine engine) { engine_ = engine; }
+
 std::vector<RouteResult> ParallelRouter::route_batch(
     const std::vector<MulticastAssignment>& batch) {
   std::vector<RouteResult> results(batch.size());
@@ -71,6 +73,7 @@ std::vector<RouteResult> ParallelRouter::route_batch(
     RouteOptions options;
     options.metrics = metrics_;
     options.tracer = tracer_;
+    options.engine = engine_;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size()) return;

@@ -43,6 +43,13 @@ class ParallelRouter {
   /// detach. Applies to subsequent route_batch calls.
   void set_metrics(obs::MetricRegistry* metrics);
 
+  /// Select the datapath engine the workers route with (default Scalar).
+  /// Packed composes the worker-level parallelism of this class with the
+  /// word-level parallelism of core/packed_kernel.hpp. Applies to
+  /// subsequent route_batch calls.
+  void set_engine(RouteEngine engine);
+  RouteEngine engine() const noexcept { return engine_; }
+
   /// Attach an event tracer: route_batch spans the dispatch on the caller
   /// thread and each worker's slice on its own thread — every worker is
   /// its own lane in the Chrome trace, with the engines' per-level spans
@@ -66,6 +73,7 @@ class ParallelRouter {
   std::vector<std::unique_ptr<Brsmn>> engines_;
   obs::MetricRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  RouteEngine engine_ = RouteEngine::Scalar;
 };
 
 }  // namespace brsmn::api

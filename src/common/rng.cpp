@@ -1,11 +1,54 @@
 #include "common/rng.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <numeric>
 
 #include "common/contracts.hpp"
 
 namespace brsmn {
+
+namespace {
+
+std::atomic<std::uint64_t> g_last_test_seed{0};
+
+/// Parse BRSMN_TEST_SEED once; nullopt-like sentinel via the `set` flag.
+struct SeedOverride {
+  bool set = false;
+  std::uint64_t value = 0;
+
+  SeedOverride() {
+    const char* env = std::getenv("BRSMN_TEST_SEED");
+    if (env == nullptr || *env == '\0') return;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != nullptr && *end == '\0') {
+      set = true;
+      value = parsed;
+    }
+  }
+};
+
+const SeedOverride& seed_override() {
+  static const SeedOverride override;
+  return override;
+}
+
+}  // namespace
+
+std::uint64_t test_seed(std::uint64_t fallback) noexcept {
+  const SeedOverride& env = seed_override();
+  const std::uint64_t seed = env.set ? env.value : fallback;
+  g_last_test_seed.store(seed, std::memory_order_relaxed);
+  return seed;
+}
+
+std::uint64_t last_test_seed() noexcept {
+  return g_last_test_seed.load(std::memory_order_relaxed);
+}
+
+bool test_seed_overridden() noexcept { return seed_override().set; }
 
 std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
   BRSMN_EXPECTS(lo <= hi);

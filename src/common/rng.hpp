@@ -33,4 +33,16 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// The effective seed for a randomized test: `fallback` unless the
+/// BRSMN_TEST_SEED environment variable is set, in which case every call
+/// returns that value (one global override reruns an entire suite on one
+/// stream). The returned value is recorded for last_test_seed(), so a
+/// failure report can name the seed that produced it.
+std::uint64_t test_seed(std::uint64_t fallback) noexcept;
+
+/// The most recent value test_seed() returned in this process (0 before
+/// the first call) and whether BRSMN_TEST_SEED is overriding.
+std::uint64_t last_test_seed() noexcept;
+bool test_seed_overridden() noexcept;
+
 }  // namespace brsmn

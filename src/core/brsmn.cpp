@@ -133,10 +133,13 @@ Brsmn::Brsmn(std::size_t n) : n_(n), m_(log2_exact(n)) {
 RouteResult Brsmn::route(const MulticastAssignment& assignment,
                          const RouteOptions& options) {
   BRSMN_EXPECTS(assignment.size() == n_);
+  if (options.engine == RouteEngine::Packed) {
+    return packed_route(*this, assignment, options);
+  }
   obs::RouteProbe probe;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
-      probe = obs::RouteProbe::attach(*options.metrics);
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
   }

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/bsn.hpp"
@@ -26,6 +27,18 @@ class Tracer;
 }  // namespace brsmn::obs
 
 namespace brsmn {
+
+/// Which datapath implementation executes the route. Both produce
+/// bit-identical results (outputs, fabric settings grids, explanations,
+/// stats) — verified by tests/test_packed_differential.cpp.
+enum class RouteEngine {
+  /// The per-line reference implementation: one LineValue per line, one
+  /// switch at a time. The executable specification of the paper.
+  Scalar,
+  /// The word-parallel kernel (core/packed_kernel.hpp): all n lines of a
+  /// stage evaluated at once on uint64_t bit-planes.
+  Packed,
+};
 
 struct RouteOptions {
   /// Capture the line state entering every level (for rendering/tests).
@@ -44,6 +57,13 @@ struct RouteOptions {
   /// the tracer's flight-recorder rings (see obs/tracer.hpp). Null keeps
   /// the hot path span-free; BRSMN_OBS_DISABLED builds ignore it.
   obs::Tracer* tracer = nullptr;
+  /// Datapath implementation; Scalar is the reference engine.
+  RouteEngine engine = RouteEngine::Scalar;
+  /// Metric-name prefix for the phase histograms and stats counters
+  /// ("<prefix>.phase.total_ns", "<prefix>.routes", ...). The default
+  /// keeps the established route.* names; benches comparing engines
+  /// side-by-side record them under distinct prefixes instead.
+  std::string_view metrics_prefix = "route";
 };
 
 struct RouteResult {
@@ -114,9 +134,19 @@ class Brsmn {
   const std::vector<Bsn>& level_bsns(int level) const;
 
  private:
+  /// The packed engine's entry point (core/packed_kernel.cpp); it installs
+  /// the computed settings into levels_ so level_bsns() inspection sees
+  /// the same grids the scalar engine would have produced.
+  friend RouteResult packed_route(Brsmn& net,
+                                  const MulticastAssignment& assignment,
+                                  const RouteOptions& options);
+
   std::size_t n_;
   int m_;
   std::vector<std::vector<Bsn>> levels_;  // levels_[k-1], k = 1..m-1
 };
+
+RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
+                         const RouteOptions& options);
 
 }  // namespace brsmn

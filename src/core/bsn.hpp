@@ -72,6 +72,12 @@ class Bsn {
   const Rbn& scatter_fabric() const noexcept { return scatter_; }
   const Rbn& quasisort_fabric() const noexcept { return quasisort_; }
 
+  /// Mutable fabric access for the packed engine, which computes settings
+  /// on bitmasks and installs them here so inspection via the const
+  /// accessors is engine-independent.
+  Rbn& mutable_scatter_fabric() noexcept { return scatter_; }
+  Rbn& mutable_quasisort_fabric() noexcept { return quasisort_; }
+
  private:
   Rbn scatter_;
   Rbn quasisort_;

@@ -23,11 +23,14 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   const std::size_t n = size();
   const int m = levels();
   BRSMN_EXPECTS(assignment.size() == n);
+  if (options.engine == RouteEngine::Packed) {
+    return packed_route(*this, assignment, options);
+  }
 
   obs::RouteProbe probe;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
-      probe = obs::RouteProbe::attach(*options.metrics);
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
   }

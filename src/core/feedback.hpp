@@ -45,7 +45,18 @@ class FeedbackBrsmn {
   const Rbn& fabric() const noexcept { return fabric_; }
 
  private:
+  /// The packed engine's entry point (core/packed_kernel.cpp); it installs
+  /// each pass's settings into fabric_ so fabric() inspection sees the
+  /// last pass's grid exactly as the scalar engine leaves it.
+  friend RouteResult packed_route(FeedbackBrsmn& net,
+                                  const MulticastAssignment& assignment,
+                                  const RouteOptions& options);
+
   Rbn fabric_;
 };
+
+RouteResult packed_route(FeedbackBrsmn& net,
+                         const MulticastAssignment& assignment,
+                         const RouteOptions& options);
 
 }  // namespace brsmn

@@ -36,6 +36,34 @@ struct MergePlan {
   std::vector<SwitchSetting> settings;  ///< n/2 settings, logical order
 };
 
+/// The settings-free core of Lemma 1: the child start positions plus the
+/// W^{n/2}_{0,s1;b-bar,b} run value b. lemma1() materializes the settings
+/// vector from this; the packed kernel fills stage bitmasks from it
+/// directly, so both engines share one copy of the decision arithmetic.
+struct Lemma1Geometry {
+  std::size_t s0 = 0;
+  std::size_t s1 = 0;
+  /// Switches [0, s1) get `run`; [s1, n/2) get opposite_unicast(run).
+  SwitchSetting run = SwitchSetting::Parallel;
+};
+
+Lemma1Geometry lemma1_geometry(std::size_t n, std::size_t s, std::size_t l0,
+                               std::size_t l1);
+
+/// The unicast fill around the broadcast run of elimination_settings():
+/// switch positions before `run_start` get `before`, positions at or past
+/// `run_start + run_len` get `after`, and positions inside the (possibly
+/// wrapping) broadcast run get the bcast setting. Shares the Table 4 /
+/// Appendix B case split with elimination_settings(); the two are verified
+/// equivalent exhaustively by tests/test_merge_lemmas.cpp.
+struct EliminationLayout {
+  SwitchSetting before = SwitchSetting::Parallel;
+  SwitchSetting after = SwitchSetting::Parallel;
+};
+
+EliminationLayout elimination_layout(std::size_t n, std::size_t s,
+                                     std::size_t l, SwitchSetting ucast);
+
 /// Lemma 1. Preconditions: n even power of two, s < n, l0,l1 <= n/2,
 /// l0 + l1 <= n.
 MergePlan lemma1(std::size_t n, std::size_t s, std::size_t l0,

@@ -1,0 +1,1149 @@
+#include "core/packed_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/merge_lemmas.hpp"
+#include "core/quasisort.hpp"
+#include "core/scatter.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/route_probe.hpp"
+#include "obs/tracer.hpp"
+
+namespace brsmn::packed {
+
+bool plane_get(std::span<const std::uint64_t> plane, std::size_t i) {
+  return (plane[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void plane_set(std::span<std::uint64_t> plane, std::size_t i, bool v) {
+  const std::uint64_t bit = std::uint64_t{1} << (i % kWordBits);
+  if (v) {
+    plane[i / kWordBits] |= bit;
+  } else {
+    plane[i / kWordBits] &= ~bit;
+  }
+}
+
+namespace {
+
+/// Mask of bits [lo, hi) within one word, hi <= 64.
+constexpr std::uint64_t word_range_mask(std::size_t lo, std::size_t hi) {
+  const std::uint64_t upto =
+      hi >= kWordBits ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+  return upto & ~((std::uint64_t{1} << lo) - 1);
+}
+
+}  // namespace
+
+void plane_fill(std::span<std::uint64_t> plane, std::size_t first,
+                std::size_t last) {
+  if (first >= last) return;
+  const std::size_t fw = first / kWordBits;
+  const std::size_t lw = (last - 1) / kWordBits;
+  if (fw == lw) {
+    plane[fw] |= word_range_mask(first % kWordBits, last - fw * kWordBits);
+    return;
+  }
+  plane[fw] |= word_range_mask(first % kWordBits, kWordBits);
+  for (std::size_t w = fw + 1; w < lw; ++w) plane[w] = ~std::uint64_t{0};
+  plane[lw] |= word_range_mask(0, last - lw * kWordBits);
+}
+
+std::size_t plane_popcount(std::span<const std::uint64_t> plane,
+                           std::size_t first, std::size_t last) {
+  if (first >= last) return 0;
+  const std::size_t fw = first / kWordBits;
+  const std::size_t lw = (last - 1) / kWordBits;
+  if (fw == lw) {
+    return static_cast<std::size_t>(std::popcount(
+        plane[fw] & word_range_mask(first % kWordBits, last - fw * kWordBits)));
+  }
+  std::size_t total = static_cast<std::size_t>(
+      std::popcount(plane[fw] & word_range_mask(first % kWordBits, kWordBits)));
+  for (std::size_t w = fw + 1; w < lw; ++w) {
+    total += static_cast<std::size_t>(std::popcount(plane[w]));
+  }
+  total += static_cast<std::size_t>(
+      std::popcount(plane[lw] & word_range_mask(0, last - lw * kWordBits)));
+  return total;
+}
+
+PackedLines::PackedLines(std::size_t n, std::size_t width)
+    : n_(n), width_(width), wpl_(words_for(n)), words_(width * wpl_, 0) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+}
+
+std::uint64_t PackedLines::get(std::size_t line, std::size_t first_plane,
+                               std::size_t count) const {
+  BRSMN_EXPECTS(line < n_ && first_plane + count <= width_ && count <= 64);
+  const std::size_t w = line / kWordBits;
+  const std::size_t b = line % kWordBits;
+  std::uint64_t value = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    value |= ((words_[(first_plane + p) * wpl_ + w] >> b) & 1u) << p;
+  }
+  return value;
+}
+
+void PackedLines::set(std::size_t line, std::size_t first_plane,
+                      std::size_t count, std::uint64_t value) {
+  BRSMN_EXPECTS(line < n_ && first_plane + count <= width_ && count <= 64);
+  const std::size_t w = line / kWordBits;
+  const std::uint64_t bit = std::uint64_t{1} << (line % kWordBits);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::uint64_t& word = words_[(first_plane + p) * wpl_ + w];
+    if ((value >> p) & 1u) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
+}
+
+void PackedLines::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void apply_stage_plane(std::span<const std::uint64_t> in,
+                       std::span<std::uint64_t> out, const StageMasks& masks,
+                       std::size_t pair_distance) {
+  const std::size_t words = in.size();
+  if (pair_distance < kWordBits) {
+    // Pairs live within one word: blocks of 2*d lines are 2*d-aligned and
+    // 2*d divides 64, so a shift never crosses a word boundary.
+    const auto d = static_cast<unsigned>(pair_distance);
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t su = masks.su[w];
+      const std::uint64_t sl = masks.sl[w];
+      out[w] = (in[w] & ~(su | sl)) | ((in[w] >> d) & su) | ((in[w] << d) & sl);
+    }
+    return;
+  }
+  const std::size_t offset = pair_distance / kWordBits;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t x = in[w] & ~(masks.su[w] | masks.sl[w]);
+    if (w + offset < words) x |= in[w + offset] & masks.su[w];
+    if (w >= offset) x |= in[w - offset] & masks.sl[w];
+    out[w] = x;
+  }
+}
+
+void apply_stage(PackedLines& state, PackedLines& scratch,
+                 const StageMasks& masks, std::size_t pair_distance) {
+  BRSMN_EXPECTS(scratch.size() == state.size() &&
+                scratch.width() == state.width());
+  for (std::size_t p = 0; p < state.width(); ++p) {
+    apply_stage_plane(state.plane(p), scratch.plane(p), masks, pair_distance);
+  }
+  state.swap(scratch);
+}
+
+namespace {
+
+/// Spread the low 32 bits of x to the even bit positions.
+constexpr std::uint64_t morton_expand(std::uint64_t x) {
+  x &= 0x00000000ffffffffull;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+/// Gather the even bit positions of x into the low 32 bits.
+constexpr std::uint64_t morton_compress(std::uint64_t x) {
+  x &= 0x5555555555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0full;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffull;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffull;
+  x = (x | (x >> 16)) & 0x00000000ffffffffull;
+  return x;
+}
+
+}  // namespace
+
+void shuffle_planes(const PackedLines& in, PackedLines& out) {
+  BRSMN_EXPECTS(out.size() == in.size() && out.width() == in.width());
+  const std::size_t n = in.size();
+  const std::size_t wpl = in.words_per_plane();
+  const std::size_t half = n / 2;
+  for (std::size_t p = 0; p < in.width(); ++p) {
+    const auto src = in.plane(p);
+    auto dst = out.plane(p);
+    if (wpl == 1) {
+      const std::uint64_t lo = src[0] & word_range_mask(0, half);
+      const std::uint64_t hi = src[0] >> half;
+      dst[0] = morton_expand(lo) | (morton_expand(hi) << 1);
+      continue;
+    }
+    // n >= 128: the halves are whole word ranges.
+    for (std::size_t k = 0; k < wpl / 2; ++k) {
+      const std::uint64_t lo = src[k];
+      const std::uint64_t hi = src[wpl / 2 + k];
+      dst[2 * k] = morton_expand(lo) | (morton_expand(hi) << 1);
+      dst[2 * k + 1] = morton_expand(lo >> 32) | (morton_expand(hi >> 32) << 1);
+    }
+  }
+}
+
+void unshuffle_planes(const PackedLines& in, PackedLines& out) {
+  BRSMN_EXPECTS(out.size() == in.size() && out.width() == in.width());
+  const std::size_t n = in.size();
+  const std::size_t wpl = in.words_per_plane();
+  const std::size_t half = n / 2;
+  for (std::size_t p = 0; p < in.width(); ++p) {
+    const auto src = in.plane(p);
+    auto dst = out.plane(p);
+    if (wpl == 1) {
+      dst[0] = morton_compress(src[0]) | (morton_compress(src[0] >> 1) << half);
+      continue;
+    }
+    for (std::size_t k = 0; k < wpl / 2; ++k) {
+      const std::uint64_t even = src[2 * k];
+      const std::uint64_t odd = src[2 * k + 1];
+      dst[k] = morton_compress(even) | (morton_compress(odd) << 32);
+      dst[wpl / 2 + k] =
+          morton_compress(even >> 1) | (morton_compress(odd >> 1) << 32);
+    }
+  }
+}
+
+void CountPyramid::build(std::span<const std::uint64_t> indicator,
+                         std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const std::size_t wpl = words_for(n);
+  BRSMN_EXPECTS(indicator.size() == wpl);
+  n_ = n;
+  levels_ = log2_exact(n);
+  const int in_word = std::min(levels_, 6);
+  packed_.assign(static_cast<std::size_t>(in_word), Words(wpl, 0));
+  static constexpr std::uint64_t kFieldMask[6] = {
+      0x5555555555555555ull, 0x3333333333333333ull, 0x0f0f0f0f0f0f0f0full,
+      0x00ff00ff00ff00ffull, 0x0000ffff0000ffffull, 0x00000000ffffffffull,
+  };
+  for (std::size_t w = 0; w < wpl; ++w) {
+    std::uint64_t c = indicator[w];
+    for (int j = 1; j <= in_word; ++j) {
+      const std::uint64_t m = kFieldMask[j - 1];
+      const unsigned sh = 1u << (j - 1);
+      c = (c & m) + ((c >> sh) & m);
+      packed_[static_cast<std::size_t>(j - 1)][w] = c;
+    }
+  }
+  coarse_.clear();
+  if (levels_ > 6) {
+    // Level 7 aggregates whole-word totals (the level-6 fields).
+    const auto& word_totals = packed_[5];
+    coarse_.resize(static_cast<std::size_t>(levels_ - 6));
+    coarse_[0].resize(n >> 7);
+    for (std::size_t b = 0; b < coarse_[0].size(); ++b) {
+      coarse_[0][b] = static_cast<std::uint32_t>(word_totals[2 * b] +
+                                                 word_totals[2 * b + 1]);
+    }
+    for (int j = 8; j <= levels_; ++j) {
+      const auto& child = coarse_[static_cast<std::size_t>(j - 8)];
+      auto& cur = coarse_[static_cast<std::size_t>(j - 7)];
+      cur.resize(child.size() / 2);
+      for (std::size_t b = 0; b < cur.size(); ++b) {
+        cur[b] = child[2 * b] + child[2 * b + 1];
+      }
+    }
+  }
+}
+
+std::size_t CountPyramid::count(int level, std::size_t block) const {
+  BRSMN_EXPECTS(level >= 1 && level <= levels_);
+  BRSMN_EXPECTS(block < (n_ >> level));
+  if (level > 6) return coarse_[static_cast<std::size_t>(level - 7)][block];
+  const std::uint64_t word =
+      packed_[static_cast<std::size_t>(level - 1)][block >> (6 - level)];
+  const std::size_t field = block & ((std::size_t{1} << (6 - level)) - 1);
+  const unsigned shift = static_cast<unsigned>(field) << level;
+  const std::uint64_t mask = level == 6
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << (1u << level)) - 1;
+  return static_cast<std::size_t>((word >> shift) & mask);
+}
+
+std::size_t CountPyramid::total() const { return count(levels_, 0); }
+
+void select_prefix(std::span<const std::uint64_t> plane,
+                   std::span<std::uint64_t> out, std::size_t first,
+                   std::size_t last, std::size_t k) {
+  if (k == 0 || first >= last) {
+    BRSMN_EXPECTS(k == 0);
+    return;
+  }
+  const std::size_t fw = first / kWordBits;
+  const std::size_t lw = (last - 1) / kWordBits;
+  for (std::size_t w = fw; w <= lw && k > 0; ++w) {
+    const std::size_t lo = w == fw ? first % kWordBits : 0;
+    const std::size_t hi = w == lw ? last - w * kWordBits : kWordBits;
+    const std::uint64_t masked = plane[w] & word_range_mask(lo, hi);
+    const auto cnt = static_cast<std::size_t>(std::popcount(masked));
+    if (k >= cnt) {
+      out[w] |= masked;
+      k -= cnt;
+      continue;
+    }
+    std::uint64_t rest = masked;
+    for (std::size_t t = 0; t < k; ++t) rest &= rest - 1;
+    out[w] |= masked ^ rest;
+    k = 0;
+  }
+  BRSMN_ENSURES(k == 0);
+}
+
+}  // namespace brsmn::packed
+
+// ---------------------------------------------------------------------------
+// The packed route drivers. Both engines run the same per-level kernel:
+// line state is transposed into bit-planes (a code identifying the packet
+// plus the 3-bit tag encoding of Table 1), every configuration decision of
+// the scalar algorithms is reproduced through the shared plan functions
+// (scatter_block_plan / lemma1_geometry / elimination_layout), and the
+// datapath applies whole stages as masked word shuffles. Broadcast events
+// are precomputed during configuration; copy ids are assigned in exactly
+// the order the scalar propagation would allocate them.
+// ---------------------------------------------------------------------------
+
+namespace brsmn {
+
+namespace {
+
+namespace pk = packed;
+
+/// One scatter broadcast switch: the upper line of the pair and which
+/// input carries the alpha (UpperBcast -> upper input).
+struct BcastEvent {
+  std::size_t upper = 0;
+  bool alpha_upper = false;
+  std::size_t ord = 0;  ///< copy-id allocation order (scalar visit order)
+};
+
+/// Per-level packed state shared by the two engines.
+struct LevelKernel {
+  std::size_t n = 0;
+  int stages = 0;          ///< S = log2 of this level's BSN size
+  std::size_t wcode = 0;   ///< code planes (m + 1 bits: codes < 2n)
+  pk::PackedLines state;   ///< wcode code planes + 3 tag planes
+  pk::PackedLines scratch;
+  std::vector<pk::StageMasks> masks;             ///< masks[j-1], j = 1..S
+  std::vector<std::vector<BcastEvent>> events;   ///< per stage, visit order
+  std::vector<std::size_t> parent_code;          ///< by event ord
+  std::uint64_t copy_id_base = 0;
+  std::size_t num_events = 0;
+
+  LevelKernel(std::size_t n_, int m, int stages_)
+      : n(n_),
+        stages(stages_),
+        wcode(static_cast<std::size_t>(m) + 1),
+        state(n_, wcode + 3),
+        scratch(n_, wcode + 3),
+        masks(static_cast<std::size_t>(stages_)),
+        events(static_cast<std::size_t>(stages_)) {
+    for (auto& mk : masks) mk.resize(pk::words_for(n_));
+  }
+
+  std::span<std::uint64_t> tag_plane(int bit) {
+    return state.plane(wcode + static_cast<std::size_t>(bit));
+  }
+  std::span<const std::uint64_t> tag_plane(int bit) const {
+    return state.plane(wcode + static_cast<std::size_t>(bit));
+  }
+
+  void reset_pass() {
+    for (auto& mk : masks) mk.clear();
+    for (auto& ev : events) ev.clear();
+  }
+};
+
+/// Bit patterns of the identity code: plane p of line index i is
+/// (i >> p) & 1, which within a word is a fixed pattern for p < 6 and a
+/// per-word constant above.
+constexpr std::uint64_t kIdentityPattern[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+/// Transpose the level's line state into the kernel's planes: codes are
+/// the line indices, tags the Table 1 encoding (b0 = plane 0 of the tag
+/// planes). All plane bits at positions >= n stay zero.
+void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
+  kx.state.clear();
+  const std::size_t n = kx.n;
+  const std::size_t wpl = kx.state.words_per_plane();
+  for (std::size_t p = 0; p < kx.wcode; ++p) {
+    auto plane = kx.state.plane(p);
+    if (p < 6) {
+      for (std::size_t w = 0; w < wpl; ++w) plane[w] = kIdentityPattern[p];
+      plane[wpl - 1] &= pk::tail_mask(n);
+    } else {
+      for (std::size_t w = 0; w < wpl; ++w) {
+        plane[w] = ((w >> (p - 6)) & 1u) ? ~std::uint64_t{0} : 0;
+      }
+    }
+  }
+  auto t0 = kx.tag_plane(0);
+  auto t1 = kx.tag_plane(1);
+  auto t2 = kx.tag_plane(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t enc = encode(lines[i].tag);
+    if (enc & 0b100u) pk::plane_set(t0, i, true);
+    if (enc & 0b010u) pk::plane_set(t1, i, true);
+    if (enc & 0b001u) pk::plane_set(t2, i, true);
+  }
+}
+
+/// Decode the tag planes back into Tag values. `collapse` folds the 110
+/// pattern to plain Eps — required when materializing *scatter-pass
+/// outputs*, where 110 still means an undivided ε (the scalar engine only
+/// introduces Eps0/Eps1 during ε-division).
+std::vector<Tag> materialize_tags(const LevelKernel& kx, bool collapse) {
+  std::vector<Tag> tags(kx.n);
+  const auto t0 = kx.tag_plane(0);
+  const auto t1 = kx.tag_plane(1);
+  const auto t2 = kx.tag_plane(2);
+  for (std::size_t i = 0; i < kx.n; ++i) {
+    const auto bits = static_cast<std::uint8_t>(
+        (pk::plane_get(t0, i) ? 0b100u : 0u) |
+        (pk::plane_get(t1, i) ? 0b010u : 0u) |
+        (pk::plane_get(t2, i) ? 0b001u : 0u));
+    const Tag t = decode(bits);
+    tags[i] = collapse ? collapse_eps(t) : t;
+  }
+  return tags;
+}
+
+/// Set switches [first, first+count) of global block `gblock` at `stage`
+/// in the datapath masks. Parallel runs need no bits.
+void fill_masks(pk::StageMasks& mk, int stage, std::size_t gblock,
+                std::size_t first, std::size_t count, SwitchSetting s) {
+  if (count == 0 || s == SwitchSetting::Parallel) return;
+  const std::size_t d = std::size_t{1} << (stage - 1);
+  const std::size_t up = gblock * 2 * d + first;
+  const std::size_t low = up + d;
+  switch (s) {
+    case SwitchSetting::Cross:
+      pk::plane_fill(mk.su, up, up + count);
+      pk::plane_fill(mk.sl, low, low + count);
+      break;
+    case SwitchSetting::UpperBcast:
+      pk::plane_fill(mk.sl, low, low + count);
+      break;
+    case SwitchSetting::LowerBcast:
+      pk::plane_fill(mk.su, up, up + count);
+      break;
+    case SwitchSetting::Parallel:
+      break;
+  }
+}
+
+struct TagCensus {
+  pk::Words alpha;
+  pk::Words eps;
+  pk::Words ones;
+  pk::CountPyramid alpha_pyr;
+  pk::CountPyramid eps_pyr;
+  pk::CountPyramid ones_pyr;
+
+  void build(const LevelKernel& kx) {
+    const auto t0 = kx.tag_plane(0);
+    const auto t1 = kx.tag_plane(1);
+    const auto t2 = kx.tag_plane(2);
+    const std::size_t wpl = t0.size();
+    alpha.resize(wpl);
+    eps.resize(wpl);
+    ones.resize(wpl);
+    for (std::size_t w = 0; w < wpl; ++w) {
+      alpha[w] = t0[w] & ~t1[w];
+      eps[w] = t0[w] & t1[w];
+      ones[w] = t2[w];
+    }
+    alpha_pyr.build(alpha, kx.n);
+    eps_pyr.build(eps, kx.n);
+    ones_pyr.build(ones, kx.n);
+  }
+};
+
+/// Word-parallel scatter configuration over the full width: the forward
+/// phase reads per-node alpha/eps counts from the pyramids (with the
+/// scalar combine()'s tie-type propagation: a zero-surplus node inherits
+/// its upper child's type), the backward phase runs the shared
+/// scatter_block_plan per node and emits contiguous setting runs into the
+/// stage masks, the physical fabric (via `install`), the explain sink, and
+/// the broadcast-event lists. All BSN roots start their runs at 0, exactly
+/// as both scalar engines do. Root node values are returned for the
+/// unrolled engine's Eq. (3) check.
+template <typename InstallFn>
+std::vector<ScatterNodeValue> configure_scatter_packed(
+    LevelKernel& kx, const TagCensus& census, RoutingStats* stats,
+    const ExplainSink* explain, InstallFn&& install) {
+  const std::size_t n = kx.n;
+  const int S = kx.stages;
+
+  std::vector<std::vector<std::uint8_t>> type(static_cast<std::size_t>(S) + 1);
+  type[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    type[0][i] = pk::plane_get(census.alpha, i) ? 1 : 0;
+  }
+  for (int j = 1; j <= S; ++j) {
+    auto& cur = type[static_cast<std::size_t>(j)];
+    const auto& child = type[static_cast<std::size_t>(j - 1)];
+    cur.resize(n >> j);
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      const auto na = static_cast<std::ptrdiff_t>(census.alpha_pyr.count(j, b));
+      const auto ne = static_cast<std::ptrdiff_t>(census.eps_pyr.count(j, b));
+      cur[b] = na > ne ? 1 : na < ne ? 0 : child[2 * b];
+    }
+  }
+  if (stats) {
+    stats->tree_fwd_ops += n - (n >> S);
+    stats->tree_bwd_ops += n - (n >> S);
+  }
+
+  auto node_value = [&](int j, std::size_t b) -> ScatterNodeValue {
+    if (j == 0) {
+      const bool a = pk::plane_get(census.alpha, b);
+      const bool e = pk::plane_get(census.eps, b);
+      return {a ? Tag::Alpha : Tag::Eps, (a || e) ? std::size_t{1} : 0};
+    }
+    const std::size_t na = census.alpha_pyr.count(j, b);
+    const std::size_t ne = census.eps_pyr.count(j, b);
+    return {type[static_cast<std::size_t>(j)][b] ? Tag::Alpha : Tag::Eps,
+            na >= ne ? na - ne : ne - na};
+  };
+
+  std::vector<std::size_t> start(n >> S, 0);
+  std::vector<std::size_t> next;
+  for (int j = S; j >= 1; --j) {
+    const std::size_t np = std::size_t{1} << j;
+    const std::size_t half = np / 2;
+    next.assign(n >> (j - 1), 0);
+    auto& mk = kx.masks[static_cast<std::size_t>(j - 1)];
+    auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
+    for (std::size_t b = 0; b < (n >> j); ++b) {
+      const std::size_t s = start[b];
+      const ScatterNodeValue c0 = node_value(j - 1, 2 * b);
+      const ScatterNodeValue c1 = node_value(j - 1, 2 * b + 1);
+      const ScatterBlockPlan plan = scatter_block_plan(c0, c1, np, s);
+      next[2 * b] = plan.s0;
+      next[2 * b + 1] = plan.s1;
+      const std::size_t base_line = b << j;
+      auto seg = [&](std::size_t first, std::size_t count, SwitchSetting w) {
+        if (count == 0) return;
+        install(j, b, first, count, w);
+        fill_masks(mk, j, b, first, count, w);
+      };
+      if (plan.rule == RouteRule::ScatterAddition) {
+        seg(0, plan.s1, plan.run);
+        seg(plan.s1, half - plan.s1, opposite_unicast(plan.run));
+      } else {
+        const auto layout =
+            lemmas::elimination_layout(np, s, plan.l, plan.ucast);
+        const std::size_t rs = plan.run_start;
+        const std::size_t rl = plan.run_len;
+        const bool aup = plan.bcast == SwitchSetting::UpperBcast;
+        if (rs + rl <= half) {
+          seg(0, rs, layout.before);
+          seg(rs, rl, plan.bcast);
+          seg(rs + rl, half - rs - rl, layout.after);
+          for (std::size_t t = rs; t < rs + rl; ++t) {
+            evs.push_back({base_line + t, aup, 0});
+          }
+        } else {
+          // The broadcast run wraps; this only happens in the binary
+          // regimes of Lemmas 2-5, where both unicast fills agree.
+          const std::size_t rem = rs + rl - half;
+          BRSMN_ENSURES(layout.before == layout.after);
+          seg(0, rem, plan.bcast);
+          seg(rem, rs - rem, layout.before);
+          seg(rs, half - rs, plan.bcast);
+          for (std::size_t t = 0; t < rem; ++t) {
+            evs.push_back({base_line + t, aup, 0});
+          }
+          for (std::size_t t = rs; t < half; ++t) {
+            evs.push_back({base_line + t, aup, 0});
+          }
+        }
+      }
+      if (explain != nullptr) {
+        const std::vector<SwitchSetting> settings =
+            scatter_block_settings(plan, np, s);
+        explain->record_block(j, b, settings, plan.rule);
+      }
+    }
+    start.swap(next);
+  }
+
+  std::vector<ScatterNodeValue> roots(n >> S);
+  for (std::size_t bb = 0; bb < roots.size(); ++bb) {
+    roots[bb] = node_value(S, bb);
+  }
+  return roots;
+}
+
+/// Fix the copy-id allocation order of the collected broadcast events and
+/// reserve their ids. The scalar engines allocate during propagation:
+/// stage-major over the fabric for the feedback engine, and BSN-block-
+/// major (each BSN fully routed before the next) for the unrolled engine.
+/// The per-stage lists are already (stage, line)-ascending, so a stable
+/// sort by BSN block reproduces the unrolled order exactly.
+void finalize_events(LevelKernel& kx, bool bsn_block_major,
+                     std::uint64_t& next_copy_id, RoutingStats* stats) {
+  std::vector<BcastEvent*> flat;
+  for (auto& stage : kx.events) {
+    for (auto& ev : stage) flat.push_back(&ev);
+  }
+  if (bsn_block_major) {
+    const int S = kx.stages;
+    std::stable_sort(flat.begin(), flat.end(),
+                     [S](const BcastEvent* a, const BcastEvent* b) {
+                       return (a->upper >> S) < (b->upper >> S);
+                     });
+  }
+  for (std::size_t r = 0; r < flat.size(); ++r) flat[r]->ord = r;
+  kx.num_events = flat.size();
+  kx.parent_code.assign(flat.size(), 0);
+  kx.copy_id_base = next_copy_id;
+  next_copy_id += 2 * flat.size();
+  if (stats) stats->broadcast_ops += flat.size();
+}
+
+/// Propagate the planes through the configured scatter stages. At each
+/// broadcast switch the alpha input's code is latched before the stage
+/// applies (it identifies the parent packet), then the two outputs are
+/// overwritten with event codes and 0/1 tags — the packed equivalent of
+/// apply_scatter_switch's copy emission.
+void run_scatter_datapath(LevelKernel& kx) {
+  const std::size_t n = kx.n;
+  auto t0 = kx.tag_plane(0);
+  auto t1 = kx.tag_plane(1);
+  auto t2 = kx.tag_plane(2);
+  for (int j = 1; j <= kx.stages; ++j) {
+    const std::size_t d = std::size_t{1} << (j - 1);
+    auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
+    for (const BcastEvent& ev : evs) {
+      const std::size_t alpha_line = ev.alpha_upper ? ev.upper : ev.upper + d;
+      const std::uint64_t code = kx.state.get(alpha_line, 0, kx.wcode);
+      BRSMN_ENSURES(code < n);  // broadcasts never chain within a pass
+      kx.parent_code[ev.ord] = static_cast<std::size_t>(code);
+    }
+    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
+                    d);
+    // Planes moved: re-resolve the tag spans after the buffer swap.
+    t0 = kx.tag_plane(0);
+    t1 = kx.tag_plane(1);
+    t2 = kx.tag_plane(2);
+    for (const BcastEvent& ev : evs) {
+      const std::size_t low = ev.upper + d;
+      kx.state.set(ev.upper, 0, kx.wcode, n + 2 * ev.ord);
+      kx.state.set(low, 0, kx.wcode, n + 2 * ev.ord + 1);
+      pk::plane_set(t0, ev.upper, false);  // 0-copy: tag 000
+      pk::plane_set(t1, ev.upper, false);
+      pk::plane_set(t2, ev.upper, false);
+      pk::plane_set(t0, low, false);  // 1-copy: tag 001
+      pk::plane_set(t1, low, false);
+      pk::plane_set(t2, low, true);
+    }
+  }
+}
+
+/// Propagate the planes through the configured unicast (quasisort) stages.
+void run_unicast_datapath(LevelKernel& kx) {
+  for (int j = 1; j <= kx.stages; ++j) {
+    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
+                    std::size_t{1} << (j - 1));
+  }
+}
+
+/// Word-parallel ε-division, per BSN block: the scalar greedy descent
+/// hands the dummy-0 budget to the leftmost ε lines, so the first
+/// n_eps0 ε bits of each block stay ε0 (110) and the rest gain the b2 bit
+/// (ε1 = 111). Tree-op counters match the scalar sweep's closed form.
+void divide_eps_packed(LevelKernel& kx, const TagCensus& census,
+                       RoutingStats* stats) {
+  const std::size_t n = kx.n;
+  const int S = kx.stages;
+  const std::size_t np = std::size_t{1} << S;
+  const std::size_t wpl = kx.state.words_per_plane();
+  pk::Words eps0_sel(wpl, 0);
+  for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+    const std::size_t n_eps = census.eps_pyr.count(S, bb);
+    const std::size_t n_one = census.ones_pyr.count(S, bb);
+    const std::size_t n_zero = np - n_one - n_eps;
+    BRSMN_EXPECTS_MSG(n_zero <= np / 2 && n_one <= np / 2,
+                      "quasisort input must have at most n/2 zeros and ones");
+    const std::size_t n_eps0 = n_eps - (np / 2 - n_one);
+    pk::select_prefix(census.eps, eps0_sel, bb * np, (bb + 1) * np, n_eps0);
+  }
+  auto t2 = kx.tag_plane(2);
+  for (std::size_t w = 0; w < wpl; ++w) {
+    t2[w] |= census.eps[w] & ~eps0_sel[w];
+  }
+  if (stats) {
+    stats->tree_fwd_ops += n - (n >> S);
+    stats->tree_bwd_ops += n - (n >> S);
+  }
+}
+
+/// Word-parallel quasisort configuration: per BSN block a Theorem-1 bit
+/// sort of the b2 keys with the 1-run starting at the midpoint, each merge
+/// node solved by the shared lemma1_geometry.
+template <typename InstallFn>
+void configure_quasisort_packed(LevelKernel& kx, const TagCensus& census,
+                                RoutingStats* stats,
+                                const ExplainSink* explain,
+                                InstallFn&& install) {
+  const std::size_t n = kx.n;
+  const int S = kx.stages;
+  const std::size_t np = std::size_t{1} << S;
+  for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+    BRSMN_EXPECTS_MSG(census.ones_pyr.count(S, bb) == np / 2,
+                      "quasisort requires exactly n/2 (real+dummy) ones");
+  }
+  auto ones_at = [&](int j, std::size_t b) -> std::size_t {
+    if (j == 0) return pk::plane_get(census.ones, b) ? 1 : 0;
+    return census.ones_pyr.count(j, b);
+  };
+  std::vector<std::size_t> start(n >> S, np / 2);
+  std::vector<std::size_t> next;
+  for (int j = S; j >= 1; --j) {
+    const std::size_t nprime = std::size_t{1} << j;
+    const std::size_t half = nprime / 2;
+    next.assign(n >> (j - 1), 0);
+    auto& mk = kx.masks[static_cast<std::size_t>(j - 1)];
+    for (std::size_t b = 0; b < (n >> j); ++b) {
+      const std::size_t s = start[b];
+      const std::size_t l0 = ones_at(j - 1, 2 * b);
+      const std::size_t l1 = ones_at(j - 1, 2 * b + 1);
+      const lemmas::Lemma1Geometry g = lemmas::lemma1_geometry(nprime, s, l0, l1);
+      next[2 * b] = g.s0;
+      next[2 * b + 1] = g.s1;
+      install(j, b, std::size_t{0}, g.s1, g.run);
+      install(j, b, g.s1, half - g.s1, opposite_unicast(g.run));
+      fill_masks(mk, j, b, 0, g.s1, g.run);
+      fill_masks(mk, j, b, g.s1, half - g.s1, opposite_unicast(g.run));
+      if (explain != nullptr) {
+        const std::vector<SwitchSetting> settings = binary_compact_setting(
+            nprime, 0, g.s1, opposite_unicast(g.run), g.run);
+        explain->record_block(j, b, settings, RouteRule::QuasisortMerge);
+      }
+    }
+    start.swap(next);
+  }
+  if (stats) {
+    stats->tree_fwd_ops += n - (n >> S);
+    stats->tree_bwd_ops += n - (n >> S);
+  }
+}
+
+/// Rebuild the level's LineValue vector from the planes after the
+/// quasisort datapath: codes below n move the corresponding input packet;
+/// event codes materialize the scalar engine's broadcast copies (0-copy on
+/// the even code) from the latched parent packet.
+std::vector<LineValue> gather_lines(LevelKernel& kx,
+                                    std::vector<LineValue>& prev) {
+  const std::size_t n = kx.n;
+  std::vector<LineValue> out(n);
+  const auto t0 = kx.tag_plane(0);
+  const auto t1 = kx.tag_plane(1);
+  const auto t2 = kx.tag_plane(2);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto bits = static_cast<std::uint8_t>(
+        (pk::plane_get(t0, p) ? 0b100u : 0u) |
+        (pk::plane_get(t1, p) ? 0b010u : 0u) |
+        (pk::plane_get(t2, p) ? 0b001u : 0u));
+    const Tag tag = decode(bits);
+    if (is_empty(tag)) {
+      out[p].tag = tag;
+      continue;
+    }
+    const auto code = static_cast<std::size_t>(kx.state.get(p, 0, kx.wcode));
+    if (code < n) {
+      out[p].tag = tag;
+      out[p].packet = std::move(prev[code].packet);
+      continue;
+    }
+    const std::size_t ev = (code - n) / 2;
+    const std::size_t side = (code - n) % 2;
+    BRSMN_ENSURES(ev < kx.num_events);
+    const Packet& parent = *prev[kx.parent_code[ev]].packet;
+    out[p] = occupied_line(
+        tag, Packet{parent.source, kx.copy_id_base + 2 * ev + side,
+                    parent.copy_id, parent.stream});
+  }
+  return out;
+}
+
+}  // namespace
+
+RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
+                         const RouteOptions& options) {
+  const std::size_t n = net.n_;
+  const int m = net.m_;
+  obs::RouteProbe probe;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
+    }
+    probe.tracer = options.tracer;
+  }
+  obs::PhaseTimer total_timer(probe.total);
+  obs::TraceSpan route_span(probe.tracer, "brsmn.route");
+
+  RouteResult result;
+  result.delivered.assign(n, std::nullopt);
+  if (options.explain) {
+    result.explanation.emplace();
+    result.explanation->n = n;
+  }
+
+  std::uint64_t next_copy_id = 1;
+  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+  for (int k = 1; k <= m - 1; ++k) {
+    if (options.capture_levels) result.level_inputs.push_back(lines);
+    const std::size_t splits_before = result.stats.broadcast_ops;
+    const std::size_t bsn_size = n >> (k - 1);
+    const int S = log2_exact(bsn_size);
+    char level_label[24];
+    std::snprintf(level_label, sizeof level_label, "level.%d", k);
+    obs::TraceSpan level_span(probe.tracer, level_label);
+    PassExplanation* scatter_pass = nullptr;
+    PassExplanation* quasi_pass = nullptr;
+    if (options.explain) {
+      auto& passes = result.explanation->passes;
+      passes.push_back(make_pass(k, PassKind::Scatter, n, S));
+      passes.push_back(make_pass(k, PassKind::Quasisort, n, S));
+      scatter_pass = &passes[passes.size() - 2];
+      quasi_pass = &passes.back();
+    }
+    const ExplainSink scatter_sink{scatter_pass, 0};
+    const ExplainSink quasi_sink{quasi_pass, 0};
+
+    LevelKernel kx(n, m, S);
+    load_lines(kx, lines);
+    if (scatter_pass != nullptr) {
+      std::vector<Tag> tags(n);
+      for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+      scatter_sink.record_input_tags(tags);
+    }
+
+    TagCensus census;
+    census.build(kx);
+
+    // The scalar Bsn's entry contracts, per BSN block in block order.
+    std::vector<std::size_t> in_zeros(n >> S);
+    std::vector<std::size_t> in_ones(n >> S);
+    std::vector<std::size_t> in_alphas(n >> S);
+    std::vector<std::size_t> in_epses(n >> S);
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      in_alphas[bb] = census.alpha_pyr.count(S, bb);
+      in_epses[bb] = census.eps_pyr.count(S, bb);
+      in_ones[bb] = census.ones_pyr.count(S, bb);
+      in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
+      BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
+                        "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
+      BRSMN_EXPECTS_MSG(in_ones[bb] + in_alphas[bb] <= bsn_size / 2,
+                        "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
+      for (std::size_t i = bb * bsn_size; i < (bb + 1) * bsn_size; ++i) {
+        BRSMN_EXPECTS_MSG(lines[i].empty() == !lines[i].packet.has_value(),
+                          "occupied lines must carry a packet, eps lines none");
+        if (lines[i].packet) {
+          BRSMN_EXPECTS_MSG(!lines[i].packet->stream.empty() &&
+                                lines[i].packet->stream.front() == lines[i].tag,
+                            "line tag must equal the packet's current a_0");
+        }
+      }
+    }
+
+    auto& level = net.levels_[static_cast<std::size_t>(k - 1)];
+
+    // Pass 1: scatter — eliminate every alpha (paper Theorem 2).
+    obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
+    const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
+        kx, census, &result.stats,
+        scatter_pass != nullptr ? &scatter_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          const std::size_t bb = g >> (S - j);
+          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+          level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
+                                                            count, s);
+        });
+    scatter_span.end();
+    scatter_timer.stop();
+    for (const ScatterNodeValue& root : roots) {
+      BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
+                        "Eq. (3) guarantees eps dominates at the BSN root");
+    }
+
+    finalize_events(kx, /*bsn_block_major=*/true, next_copy_id, &result.stats);
+    obs::PhaseTimer scatter_datapath(probe.datapath);
+    obs::TraceSpan scatter_data_span(probe.tracer, "bsn.scatter.datapath");
+    run_scatter_datapath(kx);
+    scatter_data_span.end();
+    scatter_datapath.stop();
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+    TagCensus mid;
+    mid.build(kx);
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
+      const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
+      const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
+      const std::size_t mid_zeros = bsn_size - mid_alphas - mid_epses - mid_ones;
+      BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
+      BRSMN_ENSURES(mid_zeros == in_zeros[bb] + in_alphas[bb]);  // Eq. (4)
+      BRSMN_ENSURES(mid_ones == in_ones[bb] + in_alphas[bb]);    // Eq. (4)
+      BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
+    }
+
+    // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
+    if (quasi_pass != nullptr) {
+      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+    }
+    obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
+    divide_eps_packed(kx, mid, &result.stats);
+    divide_span.end();
+    divide_timer.stop();
+    if (quasi_pass != nullptr) {
+      quasi_sink.record_divided_tags(materialize_tags(kx, /*collapse=*/false));
+    }
+
+    kx.reset_pass();
+    TagCensus divided;
+    divided.build(kx);
+    obs::PhaseTimer quasisort_timer(probe.quasisort);
+    obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
+    configure_quasisort_packed(
+        kx, divided, &result.stats,
+        quasi_pass != nullptr ? &quasi_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          const std::size_t bb = g >> (S - j);
+          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+          level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
+                                                              count, s);
+        });
+    quasisort_span.end();
+    quasisort_timer.stop();
+    obs::PhaseTimer sort_datapath(probe.datapath);
+    obs::TraceSpan sort_data_span(probe.tracer, "bsn.quasisort.datapath");
+    run_unicast_datapath(kx);
+    sort_data_span.end();
+    sort_datapath.stop();
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+    // Postcondition: zeros (real or dummy) occupy the upper half of every
+    // BSN, ones the lower half — the b2 plane decides, as in the scalar.
+    const auto t2 = kx.tag_plane(2);
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      const std::size_t base = bb * bsn_size;
+      const std::size_t upper_ones =
+          pk::plane_popcount(t2, base, base + bsn_size / 2);
+      const std::size_t lower_ones =
+          pk::plane_popcount(t2, base + bsn_size / 2, base + bsn_size);
+      BRSMN_ENSURES_MSG(upper_ones == 0 && lower_ones == bsn_size / 2,
+                        "quasisort output not split by halves");
+    }
+
+    lines = gather_lines(kx, lines);
+    // All BSNs of one level route concurrently: charge the level's delay
+    // once, not per block.
+    result.stats.gate_delay += bsn_routing_delay(S);
+    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                          splits_before);
+    advance_streams(lines);
+  }
+
+  if (options.capture_levels) result.level_inputs.push_back(lines);
+  const std::size_t splits_before_final = result.stats.broadcast_ops;
+  {
+    obs::PhaseTimer final_timer(probe.datapath);
+    obs::TraceSpan final_span(probe.tracer, "level.final");
+    ExplainSink final_sink;
+    if (options.explain) {
+      result.explanation->passes.push_back(
+          make_pass(m, PassKind::Final, n, 1));
+      final_sink.pass = &result.explanation->passes.back();
+    }
+    deliver_final_level(lines, result.delivered, &result.stats,
+                        options.explain ? &final_sink : nullptr);
+  }
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before_final);
+
+  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+                    "BRSMN routed assignment incorrectly");
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(result.stats);
+  }
+  return result;
+}
+
+RouteResult packed_route(FeedbackBrsmn& net,
+                         const MulticastAssignment& assignment,
+                         const RouteOptions& options) {
+  const std::size_t n = net.size();
+  const int m = net.levels();
+  obs::RouteProbe probe;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
+    }
+    probe.tracer = options.tracer;
+  }
+  obs::PhaseTimer total_timer(probe.total);
+  obs::TraceSpan route_span(probe.tracer, "feedback.route");
+
+  RouteResult result;
+  result.delivered.assign(n, std::nullopt);
+  if (options.explain) {
+    result.explanation.emplace();
+    result.explanation->n = n;
+  }
+  std::uint64_t next_copy_id = 1;
+  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+  for (int k = 1; k <= m - 1; ++k) {
+    if (options.capture_levels) result.level_inputs.push_back(lines);
+    const std::size_t splits_before = result.stats.broadcast_ops;
+    const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
+    char level_label[24];
+    std::snprintf(level_label, sizeof level_label, "level.%d", k);
+    obs::TraceSpan level_span(probe.tracer, level_label);
+    ExplainSink scatter_sink;
+    ExplainSink quasi_sink;
+    if (options.explain) {
+      auto& passes = result.explanation->passes;
+      passes.push_back(make_pass(k, PassKind::Scatter, n, top_stage));
+      passes.push_back(make_pass(k, PassKind::Quasisort, n, top_stage));
+      scatter_sink.pass = &passes[passes.size() - 2];
+      quasi_sink.pass = &passes.back();
+    }
+
+    LevelKernel kx(n, m, top_stage);
+    load_lines(kx, lines);
+
+    // Pass 2k-1: the fabric acts as the level-k scatter networks.
+    net.fabric_.reset();
+    if (scatter_sink.pass != nullptr) {
+      std::vector<Tag> tags(n);
+      for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+      scatter_sink.record_input_tags(tags);
+    }
+    TagCensus census;
+    census.build(kx);
+    obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
+    configure_scatter_packed(
+        kx, census, &result.stats,
+        scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          net.fabric_.fill_block_run(j, g, first, count, s);
+        });
+    scatter_span.end();
+    scatter_timer.stop();
+    finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
+                    &result.stats);
+    obs::PhaseTimer scatter_datapath(probe.datapath);
+    obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
+    run_scatter_datapath(kx);
+    scatter_data_span.end();
+    scatter_datapath.stop();
+    // The scalar feedback datapath walks all m physical stages (stages
+    // above top_stage are identity wiring).
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
+    ++result.stats.fabric_passes;
+    // One scatter configuration sweep (all blocks concurrent) plus a full
+    // traversal of the m-stage fabric.
+    result.stats.gate_delay +=
+        config_sweep_delay(top_stage) + datapath_delay(m);
+
+    // Pass 2k: the fabric acts as the level-k quasisorting networks.
+    net.fabric_.reset();
+    kx.reset_pass();
+    TagCensus mid;
+    mid.build(kx);
+    if (quasi_sink.pass != nullptr) {
+      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+    }
+    obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
+    obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
+    divide_eps_packed(kx, mid, &result.stats);
+    divide_span.end();
+    divide_timer.stop();
+    if (quasi_sink.pass != nullptr) {
+      quasi_sink.record_divided_tags(materialize_tags(kx, /*collapse=*/false));
+    }
+    TagCensus divided;
+    divided.build(kx);
+    obs::PhaseTimer quasisort_timer(probe.quasisort);
+    configure_quasisort_packed(
+        kx, divided, &result.stats,
+        quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          net.fabric_.fill_block_run(j, g, first, count, s);
+        });
+    quasisort_timer.stop();
+    quasi_config_span.end();
+    obs::PhaseTimer sort_datapath(probe.datapath);
+    obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
+    run_unicast_datapath(kx);
+    sort_data_span.end();
+    sort_datapath.stop();
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
+    ++result.stats.fabric_passes;
+    // ε-divide sweep + quasisort sweep + full fabric traversal.
+    result.stats.gate_delay +=
+        2 * config_sweep_delay(top_stage) + datapath_delay(m);
+
+    lines = gather_lines(kx, lines);
+    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                          splits_before);
+    advance_streams(lines);
+  }
+
+  // Final pass: the 2x2-switch level, realized by stage 1 of the fabric.
+  if (options.capture_levels) result.level_inputs.push_back(lines);
+  const std::size_t splits_before_final = result.stats.broadcast_ops;
+  {
+    obs::PhaseTimer final_timer(probe.datapath);
+    obs::TraceSpan final_span(probe.tracer, "level.final");
+    ExplainSink final_sink;
+    if (options.explain) {
+      result.explanation->passes.push_back(make_pass(m, PassKind::Final, n, 1));
+      final_sink.pass = &result.explanation->passes.back();
+    }
+    deliver_final_level(lines, result.delivered, &result.stats,
+                        options.explain ? &final_sink : nullptr);
+  }
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before_final);
+  ++result.stats.fabric_passes;
+
+  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+                    "feedback BRSMN routed assignment incorrectly");
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(result.stats);
+  }
+  return result;
+}
+
+}  // namespace brsmn

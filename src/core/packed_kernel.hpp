@@ -1,0 +1,178 @@
+// Bit-packed word-parallel routing kernel.
+//
+// The paper's hardware evaluates every switch of a stage simultaneously
+// (Section 7.2's stage-parallel adder trees and switch planes). The
+// scalar engines walk the same stages one 2x2 switch at a time. This
+// kernel is the software analogue of the hardware's stage parallelism:
+// one bit-plane of all n lines is packed into ceil(n/64) uint64_t words,
+// so applying a stage to a plane — or counting a tag predicate over a
+// whole block — is a handful of bitwise operations per word instead of
+// n per-line steps.
+//
+// Layout guarantees exploited throughout (topology/rbn_topology.hpp):
+// stage j pairs line u with u + 2^(j-1) inside 2^j-aligned blocks, so for
+// 2^j <= 64 a block never straddles a word (in-word shifts suffice) and
+// for 2^j > 64 the pair distance is a whole number of words.
+//
+// The primitives here are engine-agnostic; the packed route drivers
+// (packed_route in brsmn.hpp / feedback.hpp, defined in
+// packed_kernel.cpp) compose them into full BRSMN routing that is
+// bit-identical to the scalar engines — outputs, settings grids,
+// explanations, and stats (verified by tests/test_packed_differential).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace brsmn::packed {
+
+inline constexpr std::size_t kWordBits = 64;
+
+/// Words needed for one n-line bit-plane.
+constexpr std::size_t words_for(std::size_t n) {
+  return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Mask of the valid bits in the last word of an n-line plane.
+constexpr std::uint64_t tail_mask(std::size_t n) {
+  const std::size_t rem = n % kWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
+
+using Words = std::vector<std::uint64_t>;
+
+bool plane_get(std::span<const std::uint64_t> plane, std::size_t i);
+void plane_set(std::span<std::uint64_t> plane, std::size_t i, bool v);
+
+/// Set every bit in [first, last).
+void plane_fill(std::span<std::uint64_t> plane, std::size_t first,
+                std::size_t last);
+
+/// Population count of bits [first, last).
+std::size_t plane_popcount(std::span<const std::uint64_t> plane,
+                           std::size_t first, std::size_t last);
+
+/// n lines x width bits, stored as `width` bit-planes of words_for(n)
+/// words each (plane-major). Value bit p of line i lives at bit (i % 64)
+/// of word i/64 of plane p.
+class PackedLines {
+ public:
+  PackedLines() = default;
+  PackedLines(std::size_t n, std::size_t width);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t words_per_plane() const noexcept { return wpl_; }
+
+  std::span<std::uint64_t> plane(std::size_t p) {
+    return {words_.data() + p * wpl_, wpl_};
+  }
+  std::span<const std::uint64_t> plane(std::size_t p) const {
+    return {words_.data() + p * wpl_, wpl_};
+  }
+
+  /// Read/write the value formed by planes [first_plane, first_plane +
+  /// count) at `line`, least-significant plane first.
+  std::uint64_t get(std::size_t line, std::size_t first_plane,
+                    std::size_t count) const;
+  void set(std::size_t line, std::size_t first_plane, std::size_t count,
+           std::uint64_t value);
+
+  /// Whole-width convenience accessors.
+  std::uint64_t get(std::size_t line) const { return get(line, 0, width_); }
+  void set(std::size_t line, std::uint64_t value) {
+    set(line, 0, width_, value);
+  }
+
+  void clear();
+
+  /// Swap storage with another PackedLines of identical shape (the
+  /// double-buffer step of stage application).
+  void swap(PackedLines& other) noexcept { words_.swap(other.words_); }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t width_ = 0;
+  std::size_t wpl_ = 0;
+  Words words_;
+};
+
+/// Stage-wide switch settings as two full-width bitmasks:
+///   su — bit at the *upper* line of a pair: the upper output takes the
+///        lower (partner) input;
+///   sl — bit at the *lower* line of a pair: the lower output takes the
+///        upper input.
+/// Per pair (su, sl) encodes Parallel (0,0), Cross (1,1), UpperBcast
+/// (0,1) and LowerBcast (1,0) — a broadcast keeps the surviving input on
+/// one output and duplicates it onto the other, which is exactly "one
+/// port forwards, the other port forwards its partner".
+struct StageMasks {
+  Words su;
+  Words sl;
+
+  void resize(std::size_t words) {
+    su.assign(words, 0);
+    sl.assign(words, 0);
+  }
+  void clear() {
+    std::fill(su.begin(), su.end(), 0);
+    std::fill(sl.begin(), sl.end(), 0);
+  }
+};
+
+/// Apply one RBN stage (pair distance d = 2^(stage-1)) to a single
+/// bit-plane: out = in routed through the stage's switches per `masks`.
+/// `out` must not alias `in`.
+void apply_stage_plane(std::span<const std::uint64_t> in,
+                       std::span<std::uint64_t> out, const StageMasks& masks,
+                       std::size_t pair_distance);
+
+/// Apply one stage to every plane of `state`, double-buffering through
+/// `scratch` (same shape; contents overwritten; the two are swapped).
+void apply_stage(PackedLines& state, PackedLines& scratch,
+                 const StageMasks& masks, std::size_t pair_distance);
+
+/// Perfect-shuffle permutation of every plane: out[topo::shuffle(i, n)] =
+/// in[i] — a word-level bit interleave of the lower and upper halves.
+/// `out` must have the same shape as `in`.
+void shuffle_planes(const PackedLines& in, PackedLines& out);
+
+/// Inverse permutation: out[i] = in[topo::shuffle(i, n)].
+void unshuffle_planes(const PackedLines& in, PackedLines& out);
+
+/// Word-parallel counting tree over an indicator plane — the software
+/// analogue of Section 7.2's per-stage adder trees. After build(),
+/// count(j, b) is the number of set bits among lines [b*2^j, (b+1)*2^j),
+/// for every 1 <= j <= log2(n). Levels up to 64-line blocks are computed
+/// as an in-word SWAR cascade (six masked add steps per word); coarser
+/// levels sum word totals.
+class CountPyramid {
+ public:
+  /// `indicator` holds n lines (bits past n must be zero); n a power of
+  /// two >= 2.
+  void build(std::span<const std::uint64_t> indicator, std::size_t n);
+
+  std::size_t count(int level, std::size_t block) const;
+
+  /// count(log2(n), 0): the whole-plane total.
+  std::size_t total() const;
+
+ private:
+  std::size_t n_ = 0;
+  int levels_ = 0;
+  /// packed_[j-1] for level j in 1..min(levels, 6): fields of 2^j bits.
+  std::vector<Words> packed_;
+  /// coarse_[j-7] for level j >= 7: one count per block.
+  std::vector<std::vector<std::uint32_t>> coarse_;
+};
+
+/// Select the first `k` set bits (in line order) of `plane` within
+/// [first, last) and OR them into `out` (same word count as plane).
+/// Precondition: k <= popcount of the range.
+void select_prefix(std::span<const std::uint64_t> plane,
+                   std::span<std::uint64_t> out, std::size_t first,
+                   std::size_t last, std::size_t k);
+
+}  // namespace brsmn::packed

@@ -53,6 +53,14 @@ class Rbn {
   std::vector<SwitchSetting> block_settings(int stage,
                                             std::size_t block) const;
 
+  /// Install `s` on logical switches [first, first + count) of block
+  /// `block` at `stage`. Logical switch t of a block is stage switch
+  /// block * block_size(stage)/2 + t, so the run is one contiguous
+  /// std::fill over the stage's settings row — the bulk form the packed
+  /// kernel uses to install whole decision runs at once.
+  void fill_block_run(int stage, std::size_t block, std::size_t first,
+                      std::size_t count, SwitchSetting s);
+
   /// Propagate `lines` (size n) through stages [from_stage, to_stage]
   /// inclusive. For each switch, `fn(ctx, setting, upper, lower)` must
   /// return the pair of output values {upper_out, lower_out}.

@@ -36,6 +36,53 @@ ScatterNodeValue leaf_value(Tag t) {
 
 }  // namespace
 
+ScatterBlockPlan scatter_block_plan(const ScatterNodeValue& c0,
+                                    const ScatterNodeValue& c1,
+                                    std::size_t n_prime, std::size_t s) {
+  const std::size_t half = n_prime / 2;
+  ScatterBlockPlan plan;
+  if (c0.type == c1.type) {
+    // ε/α-addition: exactly Lemma 1 over the shared dominant symbol.
+    plan.rule = RouteRule::ScatterAddition;
+    const auto g = lemmas::lemma1_geometry(n_prime, s, c0.surplus, c1.surplus);
+    plan.s0 = g.s0;
+    plan.s1 = g.s1;
+    plan.run = g.run;
+    return plan;
+  }
+  // ε/α-elimination: Lemmas 2-5 via the unified Table 4 case split.
+  plan.rule = RouteRule::ScatterElimination;
+  plan.l = c0.surplus >= c1.surplus ? c0.surplus - c1.surplus
+                                    : c1.surplus - c0.surplus;
+  plan.bcast = (c0.type == Tag::Alpha) ? SwitchSetting::UpperBcast
+                                       : SwitchSetting::LowerBcast;
+  if (c0.surplus >= c1.surplus) {
+    plan.s0 = s % half;
+    plan.s1 = (s + plan.l) % half;
+    plan.run_start = plan.s1;
+    plan.run_len = c1.surplus;
+    plan.ucast = SwitchSetting::Parallel;
+  } else {
+    plan.s0 = (s + plan.l) % half;
+    plan.s1 = s % half;
+    plan.run_start = plan.s0;
+    plan.run_len = c0.surplus;
+    plan.ucast = SwitchSetting::Cross;
+  }
+  return plan;
+}
+
+std::vector<SwitchSetting> scatter_block_settings(const ScatterBlockPlan& plan,
+                                                  std::size_t n_prime,
+                                                  std::size_t s) {
+  if (plan.rule == RouteRule::ScatterAddition) {
+    return binary_compact_setting(n_prime, 0, plan.s1,
+                                  opposite_unicast(plan.run), plan.run);
+  }
+  return lemmas::elimination_settings(n_prime, s, plan.l, plan.run_start,
+                                      plan.run_len, plan.ucast, plan.bcast);
+}
+
 ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
                                    std::size_t top_block,
                                    std::span<const Tag> tags,
@@ -70,53 +117,19 @@ ScatterNodeValue configure_scatter(Rbn& rbn, int top_stage,
   start[static_cast<std::size_t>(top_stage)][0] = s_root;
   for (int j = top_stage; j >= 1; --j) {
     const std::size_t n_prime = std::size_t{1} << j;
-    const std::size_t half = n_prime / 2;
     for (std::size_t b = 0; b < (nsub >> j); ++b) {
       const std::size_t s = start[static_cast<std::size_t>(j)][b];
       const ScatterNodeValue c0 = node[static_cast<std::size_t>(j - 1)][2 * b];
       const ScatterNodeValue c1 =
           node[static_cast<std::size_t>(j - 1)][2 * b + 1];
-      std::size_t s0 = 0, s1 = 0;
-      std::vector<SwitchSetting> settings;
-      RouteRule rule = RouteRule::ScatterAddition;
-      if (c0.type == c1.type) {
-        // ε/α-addition: exactly Lemma 1 over the shared dominant symbol.
-        auto plan = lemmas::lemma1(n_prime, s, c0.surplus, c1.surplus);
-        s0 = plan.s0;
-        s1 = plan.s1;
-        settings = std::move(plan.settings);
-      } else {
-        // ε/α-elimination: Lemmas 2-5 via the unified Table 4 case split.
-        rule = RouteRule::ScatterElimination;
-        const std::size_t l = c0.surplus >= c1.surplus
-                                  ? c0.surplus - c1.surplus
-                                  : c1.surplus - c0.surplus;
-        const SwitchSetting bcast =
-            (c0.type == Tag::Alpha) ? SwitchSetting::UpperBcast
-                                    : SwitchSetting::LowerBcast;
-        std::size_t run_start = 0, run_len = 0;
-        SwitchSetting ucast = SwitchSetting::Parallel;
-        if (c0.surplus >= c1.surplus) {
-          s0 = s % half;
-          s1 = (s + l) % half;
-          run_start = s1;
-          run_len = c1.surplus;
-          ucast = SwitchSetting::Parallel;
-        } else {
-          s0 = (s + l) % half;
-          s1 = s % half;
-          run_start = s0;
-          run_len = c0.surplus;
-          ucast = SwitchSetting::Cross;
-        }
-        settings = lemmas::elimination_settings(n_prime, s, l, run_start,
-                                                run_len, ucast, bcast);
-      }
-      start[static_cast<std::size_t>(j - 1)][2 * b] = s0;
-      start[static_cast<std::size_t>(j - 1)][2 * b + 1] = s1;
+      const ScatterBlockPlan plan = scatter_block_plan(c0, c1, n_prime, s);
+      const std::vector<SwitchSetting> settings =
+          scatter_block_settings(plan, n_prime, s);
+      start[static_cast<std::size_t>(j - 1)][2 * b] = plan.s0;
+      start[static_cast<std::size_t>(j - 1)][2 * b + 1] = plan.s1;
       const std::size_t block = (top_block << (top_stage - j)) + b;
       rbn.set_block(j, block, settings);
-      if (explain) explain->record_block(j, block, settings, rule);
+      if (explain) explain->record_block(j, block, settings, plan.rule);
       if (stats) ++stats->tree_bwd_ops;
     }
   }

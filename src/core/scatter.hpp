@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "core/explain.hpp"
 #include "core/line_value.hpp"
@@ -27,6 +28,40 @@ struct ScatterNodeValue {
   Tag type = Tag::Eps;  ///< Tag::Alpha or Tag::Eps
   std::size_t surplus = 0;
 };
+
+/// The backward-phase decision for one merging-network block of Table 4:
+/// which lemma family fired, where the children's runs must start, and the
+/// geometry of the switch-setting fill. `scatter_block_plan` is the single
+/// copy of this case split; configure_scatter materializes a settings
+/// vector from it and the packed kernel fills stage bitmasks from it.
+struct ScatterBlockPlan {
+  RouteRule rule = RouteRule::ScatterAddition;
+  std::size_t s0 = 0;  ///< run start for the upper child
+  std::size_t s1 = 0;  ///< run start for the lower child
+  // ε/α-addition (Lemma 1): switches [0, s1) get `run`, the rest its
+  // opposite (W^{n/2}_{0,s1;run-bar,run}).
+  SwitchSetting run = SwitchSetting::Parallel;
+  // ε/α-elimination (Lemmas 2-5): a circular broadcast run of `run_len`
+  // switches at `run_start`, surviving-run length `l`, with the unicast
+  // fill given by lemmas::elimination_layout(n', s, l, ucast).
+  std::size_t l = 0;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  SwitchSetting ucast = SwitchSetting::Parallel;
+  SwitchSetting bcast = SwitchSetting::UpperBcast;
+};
+
+/// Compute the Table 4 backward-phase plan for a block of size `n_prime`
+/// whose children carry `c0` (upper) and `c1` (lower) and whose output run
+/// must start at `s`.
+ScatterBlockPlan scatter_block_plan(const ScatterNodeValue& c0,
+                                    const ScatterNodeValue& c1,
+                                    std::size_t n_prime, std::size_t s);
+
+/// Materialize the n'/2 switch settings of a block plan (logical order).
+std::vector<SwitchSetting> scatter_block_settings(const ScatterBlockPlan& plan,
+                                                  std::size_t n_prime,
+                                                  std::size_t s);
 
 /// Configure the sub-RBN at (top_stage, top_block) as a scatter network
 /// for the given input tags; the surviving dominant-symbol run is placed

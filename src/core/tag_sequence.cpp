@@ -7,37 +7,48 @@
 
 namespace brsmn {
 
-namespace {
-
-std::size_t bit_reverse(std::size_t v, int bits) {
-  std::size_t r = 0;
-  for (int i = 0; i < bits; ++i) {
-    r = (r << 1) | ((v >> i) & 1u);
-  }
-  return r;
-}
-
-}  // namespace
-
 std::vector<Tag> order_level(std::span<const Tag> level) {
   BRSMN_EXPECTS(is_pow2(level.size()));
-  const int bits = log2_exact(level.size());
-  std::vector<Tag> out(level.size());
-  for (std::size_t p = 0; p < level.size(); ++p) {
-    out[p] = level[bit_reverse(p, bits)];
+  const std::size_t len = level.size();
+  std::vector<Tag> out(len);
+  // Walk the bit-reversal permutation incrementally (add 1 from the top
+  // bit down with carry), which is O(1) amortized per element instead of
+  // re-reversing each index.
+  std::size_t r = 0;
+  for (std::size_t p = 0; p < len; ++p) {
+    out[p] = level[r];
+    std::size_t bit = len >> 1;
+    while (bit != 0 && (r & bit) != 0) {
+      r ^= bit;
+      bit >>= 1;
+    }
+    r |= bit;
   }
   return out;
 }
 
 std::vector<Tag> encode_sequence(const TagTree& tree) {
-  std::vector<Tag> seq;
-  seq.reserve(tree.network_size() - 1);
+  // Write the bit-reversed order of each level straight into the output
+  // sequence: this runs once per source line per route, so the
+  // per-level temporaries of level_tags() + order_level() add up.
+  std::vector<Tag> seq(tree.network_size() - 1);
+  std::size_t base = 0;
   for (int level = 1; level <= tree.levels(); ++level) {
-    const std::vector<Tag> tags = tree.level_tags(level);
-    const std::vector<Tag> ordered = order_level(tags);
-    seq.insert(seq.end(), ordered.begin(), ordered.end());
+    const std::span<const Tag> tags = tree.level_span(level);
+    const std::size_t len = tags.size();
+    std::size_t r = 0;
+    for (std::size_t p = 0; p < len; ++p) {
+      seq[base + p] = tags[r];
+      std::size_t bit = len >> 1;
+      while (bit != 0 && (r & bit) != 0) {
+        r ^= bit;
+        bit >>= 1;
+      }
+      r |= bit;
+    }
+    base += len;
   }
-  BRSMN_ENSURES(seq.size() == tree.network_size() - 1);
+  BRSMN_ENSURES(base == tree.network_size() - 1);
   return seq;
 }
 
@@ -49,10 +60,10 @@ std::vector<Tag> encode_sequence(std::span<const std::size_t> dests,
 std::vector<Tag> split_stream(std::span<const Tag> rest, Tag branch) {
   BRSMN_EXPECTS(branch == Tag::Zero || branch == Tag::One);
   BRSMN_EXPECTS(rest.size() % 2 == 0);
-  std::vector<Tag> out;
-  out.reserve(rest.size() / 2);
-  for (std::size_t i = branch == Tag::Zero ? 0 : 1; i < rest.size(); i += 2) {
-    out.push_back(rest[i]);
+  std::vector<Tag> out(rest.size() / 2);
+  const std::size_t offset = branch == Tag::Zero ? 0 : 1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rest[2 * i + offset];
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "core/tag_tree.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 #include "common/bits.hpp"
@@ -12,14 +13,20 @@ TagTree::TagTree(std::span<const std::size_t> dests, std::size_t n)
   BRSMN_EXPECTS(n >= 2);
   // Occupancy over the full address tree: node k covers a contiguous
   // address range; leaves n..2n-1 are the addresses themselves.
-  std::vector<bool> occ(2 * n, false);
+  // Byte-sized flags: this constructor runs once per source line per
+  // route, and vector<bool>'s proxy access is measurably slower here.
+  std::vector<std::uint8_t> occ(2 * n, 0);
   for (std::size_t d : dests) {
     BRSMN_EXPECTS(d < n);
     BRSMN_EXPECTS_MSG(!occ[n + d], "duplicate destination");
     occ[n + d] = true;
   }
-  for (std::size_t k = n - 1; k >= 1; --k) {
-    occ[k] = occ[2 * k] || occ[2 * k + 1];
+  // Mark each destination's ancestor chain, stopping at the first node
+  // another chain already marked: O(occupied subtree), not O(n).
+  for (std::size_t d : dests) {
+    for (std::size_t k = (n + d) / 2; k >= 1 && !occ[k]; k /= 2) {
+      occ[k] = true;
+    }
   }
   for (std::size_t k = 1; k < n; ++k) {
     if (!occ[k]) {
@@ -45,10 +52,15 @@ Tag TagTree::level_tag(int level, std::size_t pos) const {
 }
 
 std::vector<Tag> TagTree::level_tags(int level) const {
+  const auto view = level_span(level);
+  return std::vector<Tag>(view.begin(), view.end());
+}
+
+std::span<const Tag> TagTree::level_span(int level) const {
+  BRSMN_EXPECTS(level >= 1 && level <= m_);
+  // Level `level` occupies the contiguous node range [width, 2*width).
   const std::size_t width = std::size_t{1} << (level - 1);
-  std::vector<Tag> tags(width);
-  for (std::size_t p = 0; p < width; ++p) tags[p] = level_tag(level, p);
-  return tags;
+  return std::span<const Tag>(nodes_.data() + width, width);
 }
 
 std::vector<std::size_t> TagTree::destinations() const {

@@ -43,6 +43,10 @@ class TagTree {
   /// All tags of one level, left to right (the paper's SEQ_i).
   std::vector<Tag> level_tags(int level) const;
 
+  /// Zero-copy view of one level's tags (heap order keeps each level
+  /// contiguous); valid as long as the tree is alive.
+  std::span<const Tag> level_span(int level) const;
+
   /// Reconstruct the destination set this tree encodes.
   std::vector<std::size_t> destinations() const;
 

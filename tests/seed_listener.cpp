@@ -1,0 +1,33 @@
+// Registers a gtest listener that, whenever a test fails, reports the
+// effective randomized seed (common/rng.hpp test_seed) so the failure can
+// be reproduced with BRSMN_TEST_SEED=<seed>. Compiled into every test
+// executable by brsmn_add_test.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace {
+
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed()) return;
+    const std::uint64_t seed = brsmn::last_test_seed();
+    if (seed == 0) return;  // the test drew no centralized seed
+    std::fprintf(stderr,
+                 "[  SEED    ] effective test seed: %llu%s "
+                 "(rerun with BRSMN_TEST_SEED=%llu)\n",
+                 static_cast<unsigned long long>(seed),
+                 brsmn::test_seed_overridden() ? " (BRSMN_TEST_SEED override)"
+                                               : "",
+                 static_cast<unsigned long long>(seed));
+  }
+};
+
+const bool g_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
+
+}  // namespace

@@ -19,7 +19,7 @@ class BenesTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(BenesTest, RoutesRandomPermutations) {
   const std::size_t n = GetParam();
   const BenesNetwork net(n);
-  Rng rng(808 + n);
+  Rng rng(test_seed(808 + n));
   for (int trial = 0; trial < 25; ++trial) {
     const auto perm = rng.permutation(n);
     const auto out = net.route(perm);
@@ -58,7 +58,7 @@ TEST(Benes, SetupWorkIsCentralizedAndSuperlinear) {
   // The looping algorithm touches every line at every recursion level:
   // Θ(n log n) sequential steps — the cost self-routing avoids.
   RoutingStats small_stats, big_stats;
-  Rng rng(5);
+  Rng rng(test_seed(5));
   const BenesNetwork small(64), big(1024);
   small.route(rng.permutation(64), &small_stats);
   big.route(rng.permutation(1024), &big_stats);

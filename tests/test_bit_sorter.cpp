@@ -32,7 +32,7 @@ class BitSorterTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BitSorterTest, Theorem1AnyKeysAnyStart) {
   const std::size_t n = GetParam();
-  Rng rng(101 + n);
+  Rng rng(test_seed(101 + n));
   Rbn rbn(n);
   for (int trial = 0; trial < 30; ++trial) {
     std::vector<int> keys(n);
@@ -70,7 +70,7 @@ TEST_P(BitSorterTest, ExhaustiveAllKeysAllStartsSmall) {
 
 TEST_P(BitSorterTest, BalancedKeysMidStartIsAscendingSort) {
   const std::size_t n = GetParam();
-  Rng rng(7);
+  Rng rng(test_seed(7));
   Rbn rbn(n);
   std::vector<int> keys(n);
   std::fill(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(n / 2),
@@ -84,7 +84,7 @@ TEST_P(BitSorterTest, BalancedKeysMidStartIsAscendingSort) {
 
 TEST_P(BitSorterTest, PermutesInputsWithoutLossOrDuplication) {
   const std::size_t n = GetParam();
-  Rng rng(55);
+  Rng rng(test_seed(55));
   Rbn rbn(n);
   std::vector<int> keys(n);
   for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));

@@ -65,7 +65,7 @@ TEST_P(BrsmnRandomTest, MatchesOracleOnRandomMulticasts) {
   const std::size_t n = GetParam();
   Brsmn net(n);
   const baselines::CrossbarMulticast oracle(n);
-  Rng rng(2024 + n);
+  Rng rng(test_seed(2024 + n));
   for (double density : {0.15, 0.5, 0.9, 1.0}) {
     for (int trial = 0; trial < 8; ++trial) {
       const auto a = random_multicast(n, density, rng);
@@ -80,7 +80,7 @@ TEST_P(BrsmnRandomTest, MatchesOracleOnRandomPermutations) {
   const std::size_t n = GetParam();
   Brsmn net(n);
   const baselines::CrossbarMulticast oracle(n);
-  Rng rng(4048 + n);
+  Rng rng(test_seed(4048 + n));
   for (double density : {0.3, 1.0}) {
     for (int trial = 0; trial < 8; ++trial) {
       const auto a = random_permutation(n, density, rng);

@@ -35,7 +35,7 @@ class BsnTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BsnTest, Equation4CensusAndHalfSplit) {
   const std::size_t n = GetParam();
-  Rng rng(606 + n);
+  Rng rng(test_seed(606 + n));
   Bsn bsn(n);
   for (int trial = 0; trial < 30; ++trial) {
     const auto tags = brsmn::testing::random_bsn_tags(n, rng);
@@ -62,7 +62,7 @@ TEST_P(BsnTest, Equation4CensusAndHalfSplit) {
 
 TEST_P(BsnTest, EverySourceLandsInItsHalves) {
   const std::size_t n = GetParam();
-  Rng rng(707 + n);
+  Rng rng(test_seed(707 + n));
   Bsn bsn(n);
   for (int trial = 0; trial < 30; ++trial) {
     const auto tags = brsmn::testing::random_bsn_tags(n, rng);
@@ -194,7 +194,7 @@ TEST(Bsn, ScatteredEpsRunIsCompactAtRequestedStart) {
   // Bsn::route configures its scatter pass with s_root = 0, so the
   // surviving ε-run must sit compactly at the top of the scattered
   // output (Theorem 3 with s = 0).
-  Rng rng(99);
+  Rng rng(test_seed(99));
   for (const std::size_t n : {4u, 8u, 32u, 128u}) {
     Bsn bsn(n);
     for (int trial = 0; trial < 10; ++trial) {

@@ -92,7 +92,7 @@ TEST(CompactSequence, ExhaustiveRecognizerMatchesDefinitionN8) {
 }
 
 TEST(CompactSequence, RotationPreservesCompactness) {
-  Rng rng(11);
+  Rng rng(test_seed(11));
   for (int trial = 0; trial < 50; ++trial) {
     const std::size_t n = 16;
     const auto s = rng.uniform(0, n - 1);
@@ -101,6 +101,47 @@ TEST(CompactSequence, RotationPreservesCompactness) {
     std::rotate(ind.begin(), ind.begin() + 5, ind.end());
     EXPECT_TRUE(is_compact(ind));
   }
+}
+
+TEST(CompactSequenceGolden, Equation5EdgeCases) {
+  // Degenerate single-position sequence: β or γ, both compact.
+  EXPECT_EQ(make_compact_indicator(1, 0, 0), (std::vector<bool>{false}));
+  EXPECT_EQ(make_compact_indicator(1, 0, 1), (std::vector<bool>{true}));
+  EXPECT_TRUE(is_compact(std::vector<bool>{false}));
+  EXPECT_TRUE(is_compact(std::vector<bool>{true}));
+
+  // Empty γ-run: all β regardless of the nominal start.
+  EXPECT_EQ(make_compact_indicator(4, 3, 0),
+            (std::vector<bool>{false, false, false, false}));
+  // Full γ-run: all γ regardless of the nominal start.
+  EXPECT_EQ(make_compact_indicator(4, 2, 4),
+            (std::vector<bool>{true, true, true, true}));
+  // Single γ at the last position (no wrap).
+  EXPECT_EQ(make_compact_indicator(4, 3, 1),
+            (std::vector<bool>{false, false, false, true}));
+  // Single γ placed via a wrapped start index arithmetic: s + k ≡ 0.
+  EXPECT_EQ(make_compact_indicator(4, 0, 1),
+            (std::vector<bool>{true, false, false, false}));
+
+  // Wrap-around run of Eq. 5: C^8_{6,4} puts γ at 6, 7, 0, 1.
+  EXPECT_EQ(make_compact_indicator(8, 6, 4),
+            (std::vector<bool>{true, true, false, false, false, false, true,
+                               true}));
+  // The wrapped positions satisfy the defining congruence directly.
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(in_gamma_run(p, 8, 6, 4), p <= 1 || p >= 6) << p;
+  }
+
+  // The recognizer returns the true start for wrapped runs and the
+  // canonical 0 for the degenerate all-β / all-γ cases.
+  EXPECT_EQ(compact_start(make_compact_indicator(8, 6, 4)),
+            std::optional<std::size_t>{6});
+  EXPECT_EQ(compact_start(std::vector<bool>{true, false, false, true}),
+            std::optional<std::size_t>{3});
+  EXPECT_EQ(compact_start(std::vector<bool>{false, false}),
+            std::optional<std::size_t>{0});
+  EXPECT_EQ(compact_start(std::vector<bool>{true, true}),
+            std::optional<std::size_t>{0});
 }
 
 TEST(CompactSequence, ContractsRejectBadArgs) {

@@ -15,7 +15,7 @@ class ConcentratorTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(ConcentratorTest, ActivesLandOnThePrefix) {
   const std::size_t n = GetParam();
   Concentrator con(n);
-  Rng rng(61 + n);
+  Rng rng(test_seed(61 + n));
   for (int trial = 0; trial < 40; ++trial) {
     std::vector<std::optional<std::size_t>> lines(n);
     std::size_t actives = 0;
@@ -35,7 +35,7 @@ TEST_P(ConcentratorTest, ActivesLandOnThePrefix) {
 TEST_P(ConcentratorTest, NoPacketLostOrDuplicated) {
   const std::size_t n = GetParam();
   Concentrator con(n);
-  Rng rng(71 + n);
+  Rng rng(test_seed(71 + n));
   std::vector<std::optional<std::size_t>> lines(n);
   std::vector<std::size_t> want;
   for (std::size_t i = 0; i < n; ++i) {

@@ -54,7 +54,7 @@ class CopyNetworkTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(CopyNetworkTest, RandomCopyVectors) {
   const std::size_t n = GetParam();
   const CopyNetwork net(n);
-  Rng rng(13 + n);
+  Rng rng(test_seed(13 + n));
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<std::size_t> copies(n, 0);
     std::size_t budget = n;
@@ -79,7 +79,7 @@ TEST_P(CopyNetworkTest, RandomCopyVectors) {
 TEST_P(CopyNetworkTest, CopiesOfOneSourceAreContiguous) {
   const std::size_t n = GetParam();
   const CopyNetwork net(n);
-  Rng rng(17 + n);
+  Rng rng(test_seed(17 + n));
   std::vector<std::size_t> copies(n, 0);
   copies[rng.uniform(0, n - 1)] = n / 2;
   const auto out = net.route(copies);
@@ -131,7 +131,7 @@ TEST_P(CopyRouteTest, MatchesOracleOnRandomMulticasts) {
   const std::size_t n = GetParam();
   const CopyRouteMulticast net(n);
   const CrossbarMulticast oracle(n);
-  Rng rng(23 + n);
+  Rng rng(test_seed(23 + n));
   for (double density : {0.2, 0.8, 1.0}) {
     for (int trial = 0; trial < 10; ++trial) {
       const auto a = random_multicast(n, density, rng);
@@ -144,7 +144,7 @@ TEST_P(CopyRouteTest, MatchesBrsmnExactly) {
   const std::size_t n = GetParam();
   const CopyRouteMulticast baseline(n);
   Brsmn brsmn_net(n);
-  Rng rng(29 + n);
+  Rng rng(test_seed(29 + n));
   for (int trial = 0; trial < 10; ++trial) {
     const auto a = random_multicast(n, 0.9, rng);
     ASSERT_EQ(baseline.route(a), brsmn_net.route(a).delivered);
@@ -173,7 +173,7 @@ TEST(CopyRoute, CentralizedSetupCostDominatesSelfRouting) {
   // versus the BRSMN's O(log^2 n) gate delays.
   const std::size_t n = 1024;
   const CopyRouteMulticast net(n);
-  Rng rng(3);
+  Rng rng(test_seed(3));
   RoutingStats stats;
   net.route(random_multicast(n, 1.0, rng), &stats);
   EXPECT_GT(stats.tree_bwd_ops, n);  // the looping steps alone exceed n

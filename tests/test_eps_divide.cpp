@@ -36,7 +36,7 @@ class EpsDivideTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(EpsDivideTest, BalancesZerosAndOnes) {
   const std::size_t n = GetParam();
-  Rng rng(77 + n);
+  Rng rng(test_seed(77 + n));
   for (int trial = 0; trial < 50; ++trial) {
     const auto tags = random_quasisort_tags(n, rng);
     const auto divided = divide_eps(tags);
@@ -55,7 +55,7 @@ TEST_P(EpsDivideTest, BalancesZerosAndOnes) {
 
 TEST_P(EpsDivideTest, OnlyEpsLinesChange) {
   const std::size_t n = GetParam();
-  Rng rng(88 + n);
+  Rng rng(test_seed(88 + n));
   for (int trial = 0; trial < 50; ++trial) {
     const auto tags = random_quasisort_tags(n, rng);
     const auto divided = divide_eps(tags);
@@ -72,7 +72,7 @@ TEST_P(EpsDivideTest, OnlyEpsLinesChange) {
 
 TEST_P(EpsDivideTest, DummyCountsMatchDeficits) {
   const std::size_t n = GetParam();
-  Rng rng(99 + n);
+  Rng rng(test_seed(99 + n));
   for (int trial = 0; trial < 50; ++trial) {
     const auto tags = random_quasisort_tags(n, rng);
     const std::size_t n0 = static_cast<std::size_t>(

@@ -37,7 +37,7 @@ class EpsDivideCircuitTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(EpsDivideCircuitTest, MatchesBehavioralAlgorithm) {
   const std::size_t n = GetParam();
   const GateLevelEpsDivide circuit(n);
-  Rng rng(303 + n);
+  Rng rng(test_seed(303 + n));
   for (int trial = 0; trial < 30; ++trial) {
     const auto tags = random_tags(n, rng);
     EXPECT_EQ(circuit.compute(tags).divided, divide_eps(tags));

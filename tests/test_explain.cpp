@@ -58,7 +58,7 @@ TEST(Explain, AbsentWhenNotRequested) {
 }
 
 TEST(Explain, GridIsBitIdenticalToFabricSettings) {
-  Rng rng(11);
+  Rng rng(test_seed(11));
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     Brsmn net(n);
     const auto a = random_multicast(n, 0.9, rng);
@@ -92,7 +92,7 @@ TEST(Explain, GridIsBitIdenticalToFabricSettings) {
 }
 
 TEST(Explain, FinalLevelSettingsReproduceDelivery) {
-  Rng rng(12);
+  Rng rng(test_seed(12));
   for (const std::size_t n : {4u, 8u, 32u}) {
     Brsmn net(n);
     const auto a = random_multicast(n, 0.85, rng);
@@ -129,7 +129,7 @@ TEST(Explain, FinalLevelSettingsReproduceDelivery) {
 }
 
 TEST(Explain, UnrolledAndFeedbackEnginesAgreeExactly) {
-  Rng rng(13);
+  Rng rng(test_seed(13));
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     Brsmn unrolled(n);
     FeedbackBrsmn feedback(n);
@@ -154,7 +154,7 @@ TEST(Explain, RoutingTwiceIsDeterministic) {
 
 TEST(Explain, RulesMatchTheirPasses) {
   Brsmn net(32);
-  Rng rng(14);
+  Rng rng(test_seed(14));
   const auto result =
       net.route(random_multicast(32, 0.9, rng), explain_options());
   for (const PassExplanation& pass : result.explanation->passes) {

@@ -28,7 +28,7 @@ class FabricInvariantTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(FabricInvariantTest, QuasisortFabricsAreUnicastOnly) {
   const std::size_t n = GetParam();
   Brsmn net(n);
-  Rng rng(41 + n);
+  Rng rng(test_seed(41 + n));
   net.route(random_multicast(n, 0.9, rng));
   for (int level = 1; level <= net.levels() - 1; ++level) {
     for (const Bsn& bsn : net.level_bsns(level)) {
@@ -44,7 +44,7 @@ TEST_P(FabricInvariantTest, ScatterBroadcastSettingsEqualPacketSplits) {
   // counters (minus the final 2x2 level, which has no scatter fabric).
   const std::size_t n = GetParam();
   Brsmn net(n);
-  Rng rng(43 + n);
+  Rng rng(test_seed(43 + n));
   for (int trial = 0; trial < 5; ++trial) {
     const auto result = net.route(random_multicast(n, 0.8, rng));
     for (int level = 1; level <= net.levels() - 1; ++level) {
@@ -63,7 +63,7 @@ TEST_P(FabricInvariantTest, ScatterBroadcastSettingsEqualPacketSplits) {
 TEST_P(FabricInvariantTest, PermutationsConfigureNoBroadcastsAnywhere) {
   const std::size_t n = GetParam();
   Brsmn net(n);
-  Rng rng(47 + n);
+  Rng rng(test_seed(47 + n));
   const auto result = net.route(random_permutation(n, 1.0, rng));
   EXPECT_EQ(result.stats.broadcast_ops, 0u);
   for (int level = 1; level <= net.levels() - 1; ++level) {

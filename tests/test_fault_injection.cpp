@@ -19,7 +19,7 @@ TEST(FaultInjection, FlippedSorterSwitchBreaksCompactness) {
   // both switch inputs carry equal keys) or fail the compactness check —
   // it can never deliver a *different valid-looking* compact run.
   const std::size_t n = 16;
-  Rng rng(8);
+  Rng rng(test_seed(8));
   std::vector<int> keys(n);
   for (auto& k : keys) k = static_cast<int>(rng.uniform(0, 1));
   const std::size_t l = static_cast<std::size_t>(

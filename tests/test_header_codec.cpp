@@ -42,7 +42,7 @@ class HeaderRoundTrip : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HeaderRoundTrip, EncodeDecode) {
   const std::size_t n = GetParam();
-  Rng rng(404 + n);
+  Rng rng(test_seed(404 + n));
   for (int trial = 0; trial < 25; ++trial) {
     auto dests = rng.subset(n, rng.uniform(0, n));
     const auto bits = encode_header(dests, n);

@@ -28,7 +28,7 @@ TEST(FullAdder, TruthTable) {
 }
 
 TEST(BitSerialAdder, AddsStreamsLsbFirst) {
-  Rng rng(5);
+  Rng rng(test_seed(5));
   for (int trial = 0; trial < 200; ++trial) {
     const std::uint64_t a = rng.uniform(0, (1u << 20) - 1);
     const std::uint64_t b = rng.uniform(0, (1u << 20) - 1);
@@ -56,7 +56,7 @@ class AdderTreeTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(AdderTreeTest, RootSumMatchesArithmetic) {
   const std::size_t n = GetParam();
   const PipelinedAdderTree tree(n);
-  Rng rng(100 + n);
+  Rng rng(test_seed(100 + n));
   for (int input_bits : {1, 4, 8}) {
     std::vector<std::uint64_t> leaves(n);
     std::uint64_t want = 0;
@@ -74,7 +74,7 @@ TEST_P(AdderTreeTest, RootSumMatchesArithmetic) {
 TEST_P(AdderTreeTest, EveryInternalNodeSumCorrect) {
   const std::size_t n = GetParam();
   const PipelinedAdderTree tree(n);
-  Rng rng(200 + n);
+  Rng rng(test_seed(200 + n));
   std::vector<std::uint64_t> leaves(n);
   for (auto& v : leaves) v = rng.uniform(0, 15);
   const auto result = tree.run(leaves, 4);
@@ -104,7 +104,7 @@ TEST(AdderTree, ForwardPhaseCountsMatchBehavioralAlgorithm) {
   // The tree's node sums on 0/1 keys are exactly the l-values the
   // bit-sorter forward phase computes (paper Table 3).
   const std::size_t n = 64;
-  Rng rng(42);
+  Rng rng(test_seed(42));
   std::vector<std::uint64_t> keys(n);
   for (auto& k : keys) k = rng.uniform(0, 1);
   const PipelinedAdderTree tree(n);

@@ -140,6 +140,101 @@ TEST_P(LemmaTest, EliminationBroadcastCountEqualsConsumedRun) {
 INSTANTIATE_TEST_SUITE_P(Sizes, LemmaTest,
                          ::testing::Values(2, 4, 8, 16, 32, 64));
 
+// The packed kernel derives its stage bitmasks from lemma1_geometry and
+// elimination_layout instead of materialized settings vectors; these two
+// tests pin the plan functions to the vectors exhaustively, so the two
+// representations cannot drift apart.
+
+TEST_P(LemmaTest, Lemma1GeometryMatchesLemma1Exhaustively) {
+  const std::size_t n = GetParam();
+  const std::size_t half = n / 2;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t l0 = 0; l0 <= half; ++l0) {
+      for (std::size_t l1 = 0; l1 <= half; ++l1) {
+        const auto plan = lemmas::lemma1(n, s, l0, l1);
+        const auto g = lemmas::lemma1_geometry(n, s, l0, l1);
+        EXPECT_EQ(g.s0, plan.s0);
+        EXPECT_EQ(g.s1, plan.s1);
+        const auto settings = binary_compact_setting(
+            n, 0, g.s1, opposite_unicast(g.run), g.run);
+        EXPECT_EQ(settings, plan.settings)
+            << "n=" << n << " s=" << s << " l0=" << l0 << " l1=" << l1;
+      }
+    }
+  }
+}
+
+/// Rebuild a lemma-2..5 settings vector from elimination_layout's segment
+/// description, the way the packed kernel fills stage masks.
+std::vector<SwitchSetting> settings_from_layout(std::size_t n, std::size_t s,
+                                                std::size_t l,
+                                                std::size_t run_start,
+                                                std::size_t run_len,
+                                                SwitchSetting ucast,
+                                                SwitchSetting bcast) {
+  const auto lay = lemmas::elimination_layout(n, s, l, ucast);
+  const std::size_t half = n / 2;
+  std::vector<SwitchSetting> out(half);
+  auto fill = [&](std::size_t first, std::size_t last, SwitchSetting w) {
+    for (std::size_t t = first; t < last; ++t) out[t] = w;
+  };
+  if (run_start + run_len <= half) {
+    fill(0, run_start, lay.before);
+    fill(run_start, run_start + run_len, bcast);
+    fill(run_start + run_len, half, lay.after);
+  } else {
+    // A wrapping broadcast run only occurs in the binary regimes, where
+    // the unicast fill is uniform.
+    EXPECT_EQ(lay.before, lay.after);
+    const std::size_t rem = run_start + run_len - half;
+    fill(0, rem, bcast);
+    fill(rem, run_start, lay.before);
+    fill(run_start, half, bcast);
+  }
+  return out;
+}
+
+TEST_P(LemmaTest, EliminationLayoutMatchesSettingsExhaustively) {
+  const std::size_t n = GetParam();
+  const std::size_t half = n / 2;
+  constexpr auto kPar = SwitchSetting::Parallel;
+  constexpr auto kCross = SwitchSetting::Cross;
+  constexpr auto kUp = SwitchSetting::UpperBcast;
+  constexpr auto kLow = SwitchSetting::LowerBcast;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t l0 = 0; l0 <= half; ++l0) {
+      for (std::size_t l1 = 0; l1 <= half; ++l1) {
+        if (l1 <= l0) {
+          const auto p2 = lemmas::lemma2(n, s, l0, l1);
+          EXPECT_EQ(settings_from_layout(n, s, l0 - l1, p2.s1, l1, kPar, kUp),
+                    p2.settings)
+              << "lemma2 n=" << n << " s=" << s << " l0=" << l0
+              << " l1=" << l1;
+          const auto p4 = lemmas::lemma4(n, s, l0, l1);
+          EXPECT_EQ(settings_from_layout(n, s, l0 - l1, p4.s1, l1, kPar, kLow),
+                    p4.settings)
+              << "lemma4 n=" << n << " s=" << s << " l0=" << l0
+              << " l1=" << l1;
+        }
+        if (l0 <= l1) {
+          const auto p3 = lemmas::lemma3(n, s, l0, l1);
+          EXPECT_EQ(
+              settings_from_layout(n, s, l1 - l0, p3.s0, l0, kCross, kUp),
+              p3.settings)
+              << "lemma3 n=" << n << " s=" << s << " l0=" << l0
+              << " l1=" << l1;
+          const auto p5 = lemmas::lemma5(n, s, l0, l1);
+          EXPECT_EQ(
+              settings_from_layout(n, s, l1 - l0, p5.s0, l0, kCross, kLow),
+              p5.settings)
+              << "lemma5 n=" << n << " s=" << s << " l0=" << l0
+              << " l1=" << l1;
+        }
+      }
+    }
+  }
+}
+
 TEST(MergeLemmas, PreconditionsEnforced) {
   EXPECT_THROW(lemmas::lemma1(6, 0, 1, 1), ContractViolation);   // not pow2
   EXPECT_THROW(lemmas::lemma1(8, 8, 1, 1), ContractViolation);   // s >= n

@@ -61,7 +61,7 @@ TEST(MulticastAssignment, ToStringMatchesPaperNotation) {
 }
 
 TEST(MulticastAssignment, RandomMulticastIsValidAndDense) {
-  Rng rng(5);
+  Rng rng(test_seed(5));
   const auto a = random_multicast(64, 1.0, rng);
   EXPECT_EQ(a.total_connections(), 64u);  // every output assigned
   const auto b = random_multicast(64, 0.0, rng);
@@ -69,7 +69,7 @@ TEST(MulticastAssignment, RandomMulticastIsValidAndDense) {
 }
 
 TEST(MulticastAssignment, RandomPermutationHasSingletonSets) {
-  Rng rng(6);
+  Rng rng(test_seed(6));
   const auto a = random_permutation(32, 1.0, rng);
   EXPECT_TRUE(a.is_permutation_assignment());
   EXPECT_EQ(a.total_connections(), 32u);

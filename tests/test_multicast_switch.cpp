@@ -51,7 +51,7 @@ TEST_P(SwitchEngineTest, EpochsAreIndependent) {
 
 TEST_P(SwitchEngineTest, RandomEpochsDeliverExactly) {
   MulticastSwitch sw(64, GetParam());
-  Rng rng(7);
+  Rng rng(test_seed(7));
   for (int epoch = 0; epoch < 10; ++epoch) {
     const auto a = random_multicast(64, 0.7, rng);
     std::size_t want = 0;

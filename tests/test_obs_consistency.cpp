@@ -24,7 +24,7 @@ class ObsConsistencyTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(ObsConsistencyTest, BroadcastCountersMatchPerLevelBreakdown) {
   const std::size_t n = GetParam();
   Brsmn net(n);
-  Rng rng(n * 13 + 1);
+  Rng rng(test_seed(n * 13 + 1));
   for (int trial = 0; trial < 8; ++trial) {
     const auto a = random_multicast(n, 0.8, rng);
     const auto result = net.route(a);
@@ -43,7 +43,7 @@ TEST_P(ObsConsistencyTest, GateDelayMatchesAnalyticModel) {
   const std::size_t n = GetParam();
   Brsmn net(n);
   FeedbackBrsmn fnet(n);
-  Rng rng(n * 17 + 3);
+  Rng rng(test_seed(n * 17 + 3));
   for (int trial = 0; trial < 4; ++trial) {
     const auto a = random_multicast(n, 0.7, rng);
     EXPECT_EQ(net.route(a).stats.gate_delay, model::brsmn_routing_delay(n))
@@ -61,7 +61,7 @@ TEST_P(ObsConsistencyTest, RegistryMirrorsRoutingStats) {
   options.metrics = &registry;
 
   Brsmn net(n);
-  Rng rng(n * 19 + 7);
+  Rng rng(test_seed(n * 19 + 7));
   RoutingStats accumulated;
   constexpr int kRoutes = 6;
   for (int trial = 0; trial < kRoutes; ++trial) {
@@ -112,7 +112,7 @@ TEST_P(ObsConsistencyTest, ExportedJsonRoundTripsLosslessly) {
   registry.gauge("test.gauge").set(0.5 * static_cast<double>(n));
 
   Brsmn net(n);
-  Rng rng(n * 23 + 11);
+  Rng rng(test_seed(n * 23 + 11));
   for (int trial = 0; trial < 3; ++trial) {
     net.route(random_multicast(n, 0.8, rng), options);
   }
@@ -150,7 +150,7 @@ TEST_P(ObsConsistencyTest, FeedbackRegistryMatchesItsOwnStats) {
   options.metrics = &registry;
 
   FeedbackBrsmn net(n);
-  Rng rng(n * 29 + 5);
+  Rng rng(test_seed(n * 29 + 5));
   const auto result = net.route(random_multicast(n, 0.8, rng), options);
 
   if constexpr (obs::kEnabled) {

@@ -1,0 +1,209 @@
+// Differential test of the packed word-parallel engine against the
+// scalar reference engine: over seeded sweeps of fanout-bounded, sparse,
+// dense, permutation and broadcast workloads, both engines must produce
+// bit-identical results — delivered outputs, routing stats, per-level
+// broadcast counts, captured level states (packet identities and streams
+// included), the full RouteExplanation decision grids, and the switch
+// settings installed in the physical fabrics.
+#include "core/packed_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "api/parallel_router.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/multicast_assignment.hpp"
+
+namespace brsmn {
+namespace {
+
+// --- equality helpers ----------------------------------------------------
+
+void expect_stats_eq(const RoutingStats& a, const RoutingStats& b) {
+  EXPECT_EQ(a.switch_traversals, b.switch_traversals);
+  EXPECT_EQ(a.broadcast_ops, b.broadcast_ops);
+  EXPECT_EQ(a.tree_fwd_ops, b.tree_fwd_ops);
+  EXPECT_EQ(a.tree_bwd_ops, b.tree_bwd_ops);
+  EXPECT_EQ(a.fabric_passes, b.fabric_passes);
+  EXPECT_EQ(a.gate_delay, b.gate_delay);
+}
+
+void expect_results_eq(const RouteResult& scalar, const RouteResult& packed) {
+  EXPECT_EQ(scalar.delivered, packed.delivered);
+  expect_stats_eq(scalar.stats, packed.stats);
+  EXPECT_EQ(scalar.broadcasts_per_level, packed.broadcasts_per_level);
+  ASSERT_EQ(scalar.level_inputs.size(), packed.level_inputs.size());
+  for (std::size_t L = 0; L < scalar.level_inputs.size(); ++L) {
+    EXPECT_EQ(scalar.level_inputs[L], packed.level_inputs[L])
+        << "level_inputs differ at level " << L;
+  }
+  ASSERT_EQ(scalar.explanation.has_value(), packed.explanation.has_value());
+  if (scalar.explanation) {
+    EXPECT_EQ(*scalar.explanation, *packed.explanation);
+  }
+}
+
+/// Every switch setting of one Rbn, stage-major.
+std::vector<SwitchSetting> fabric_grid(const Rbn& rbn) {
+  std::vector<SwitchSetting> grid;
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < rbn.size() / 2; ++sw) {
+      grid.push_back(rbn.setting(stage, sw));
+    }
+  }
+  return grid;
+}
+
+/// The settings grids of every fabric of an unrolled network, in level /
+/// BSN / pass order — the state inspection via level_bsns() sees.
+std::vector<std::vector<SwitchSetting>> unrolled_grids(const Brsmn& net) {
+  std::vector<std::vector<SwitchSetting>> grids;
+  for (int k = 1; k < net.levels(); ++k) {
+    for (const Bsn& bsn : net.level_bsns(k)) {
+      grids.push_back(fabric_grid(bsn.scatter_fabric()));
+      grids.push_back(fabric_grid(bsn.quasisort_fabric()));
+    }
+  }
+  return grids;
+}
+
+RouteOptions full_options(RouteEngine engine) {
+  RouteOptions options;
+  options.capture_levels = true;
+  options.explain = true;
+  options.engine = engine;
+  return options;
+}
+
+/// Route `a` through both engines of a Brsmn and a FeedbackBrsmn and
+/// check full bit-identity, including the fabric grids each engine left
+/// behind.
+void check_assignment(std::size_t n, const MulticastAssignment& a) {
+  Brsmn net(n);
+  const RouteResult scalar = net.route(a, full_options(RouteEngine::Scalar));
+  const auto scalar_grids = unrolled_grids(net);
+  const RouteResult packed = net.route(a, full_options(RouteEngine::Packed));
+  const auto packed_grids = unrolled_grids(net);
+  expect_results_eq(scalar, packed);
+  EXPECT_EQ(scalar_grids, packed_grids);
+
+  FeedbackBrsmn fb(n);
+  const RouteResult fb_scalar = fb.route(a, full_options(RouteEngine::Scalar));
+  const auto fb_scalar_grid = fabric_grid(fb.fabric());
+  const RouteResult fb_packed = fb.route(a, full_options(RouteEngine::Packed));
+  const auto fb_packed_grid = fabric_grid(fb.fabric());
+  expect_results_eq(fb_scalar, fb_packed);
+  EXPECT_EQ(fb_scalar_grid, fb_packed_grid);
+
+  // The two engines must agree across network architectures too.
+  EXPECT_EQ(packed.delivered, fb_packed.delivered);
+}
+
+// --- workload generators -------------------------------------------------
+
+/// Random assignment with per-input fanout bounded by `max_fanout`.
+MulticastAssignment random_fanout(std::size_t n, std::size_t max_fanout,
+                                  Rng& rng) {
+  MulticastAssignment a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(1.0 / 3.0)) continue;
+    const std::size_t fan = rng.uniform(1, max_fanout);
+    for (std::size_t f = 0; f < fan; ++f) {
+      std::size_t d = rng.uniform(0, n - 1);
+      std::size_t probes = 0;
+      while (a.output_claimed(d) && probes++ < n) d = (d + 1) % n;
+      if (a.output_claimed(d)) break;
+      a.connect(i, d);
+    }
+  }
+  return a;
+}
+
+class PackedDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedDifferential, SeededFanoutSweep) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(7100 + n));
+  const int trials = n <= 64 ? 12 : 6;
+  for (int t = 0; t < trials; ++t) {
+    check_assignment(n, random_fanout(n, 1 + n / 4, rng));
+  }
+}
+
+TEST_P(PackedDifferential, SeededSparseMulticast) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(7200 + n));
+  const int trials = n <= 64 ? 8 : 4;
+  for (int t = 0; t < trials; ++t) {
+    check_assignment(n, random_multicast(n, 0.2, rng));
+  }
+}
+
+TEST_P(PackedDifferential, SeededDenseMulticast) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(7300 + n));
+  const int trials = n <= 64 ? 8 : 4;
+  for (int t = 0; t < trials; ++t) {
+    check_assignment(n, random_multicast(n, 0.9, rng));
+  }
+}
+
+TEST_P(PackedDifferential, SeededPermutations) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(7400 + n));
+  for (int t = 0; t < 4; ++t) {
+    check_assignment(n, random_permutation(n, 1.0, rng));
+  }
+}
+
+TEST_P(PackedDifferential, BroadcastPatterns) {
+  const std::size_t n = GetParam();
+  check_assignment(n, full_broadcast(n));
+  check_assignment(n, broadcast_assignment(n, 2));
+  check_assignment(n, MulticastAssignment(n));  // empty assignment
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PackedDifferential,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+TEST(PackedDifferentialEdge, SmallestNetwork) {
+  // n = 2 has no BSN levels — just the final 2x2 switch.
+  check_assignment(2, full_broadcast(2));
+  MulticastAssignment swap2(2);
+  swap2.connect(0, 1);
+  swap2.connect(1, 0);
+  check_assignment(2, swap2);
+}
+
+TEST(PackedDifferentialEdge, PaperExample) {
+  check_assignment(8, paper_example_assignment());
+}
+
+TEST(PackedDifferential, ParallelRouterComposesWorkerAndWordParallelism) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(7500));
+  std::vector<MulticastAssignment> batch;
+  for (int t = 0; t < 16; ++t) {
+    batch.push_back(random_multicast(n, 0.5, rng));
+  }
+  api::ParallelRouter scalar_router(n, 4);
+  api::ParallelRouter packed_router(n, 4);
+  packed_router.set_engine(RouteEngine::Packed);
+  const auto scalar_results = scalar_router.route_batch(batch);
+  const auto packed_results = packed_router.route_batch(batch);
+  ASSERT_EQ(scalar_results.size(), packed_results.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(scalar_results[i].delivered, packed_results[i].delivered);
+    expect_stats_eq(scalar_results[i].stats, packed_results[i].stats);
+  }
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -18,7 +18,7 @@ namespace {
 
 std::vector<MulticastAssignment> make_batch(std::size_t n, std::size_t count,
                                             std::uint64_t seed) {
-  Rng rng(seed);
+  Rng rng(test_seed(seed));
   std::vector<MulticastAssignment> batch;
   batch.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

@@ -49,7 +49,7 @@ class QuasisortTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(QuasisortTest, ZerosUpperOnesLower) {
   const std::size_t n = GetParam();
-  Rng rng(31 + n);
+  Rng rng(test_seed(31 + n));
   Rbn rbn(n);
   for (int trial = 0; trial < 40; ++trial) {
     const auto tags = random_quasisort_tags(n, rng);
@@ -62,7 +62,7 @@ TEST_P(QuasisortTest, ZerosUpperOnesLower) {
 
 TEST_P(QuasisortTest, RealTagsSurviveWithTheirOrigins) {
   const std::size_t n = GetParam();
-  Rng rng(41 + n);
+  Rng rng(test_seed(41 + n));
   Rbn rbn(n);
   const auto tags = random_quasisort_tags(n, rng);
   const auto out = quasisort(rbn, tags);
@@ -74,7 +74,7 @@ TEST_P(QuasisortTest, RealTagsSurviveWithTheirOrigins) {
 
 TEST_P(QuasisortTest, OutputIsPermutationOfInputs) {
   const std::size_t n = GetParam();
-  Rng rng(51 + n);
+  Rng rng(test_seed(51 + n));
   Rbn rbn(n);
   const auto tags = random_quasisort_tags(n, rng);
   const auto out = quasisort(rbn, tags);

@@ -26,8 +26,24 @@ TEST(Rng, DifferentSeedsDiverge) {
   EXPECT_TRUE(diverged);
 }
 
+TEST(TestSeed, FallbackAndRecording) {
+  const std::uint64_t s = test_seed(12345);
+  if (!test_seed_overridden()) {
+    EXPECT_EQ(s, 12345u);
+  }
+  EXPECT_EQ(last_test_seed(), s);
+  // Every call records; a later call with a different fallback updates
+  // the reported value (the listener names the most recent draw).
+  const std::uint64_t t = test_seed(54321);
+  EXPECT_EQ(last_test_seed(), t);
+  if (test_seed_overridden()) {
+    // One override pins every randomized test to a single stream.
+    EXPECT_EQ(s, t);
+  }
+}
+
 TEST(Rng, UniformStaysInRange) {
-  Rng rng(1);
+  Rng rng(test_seed(1));
   for (int i = 0; i < 1000; ++i) {
     const auto v = rng.uniform(10, 20);
     EXPECT_GE(v, 10u);
@@ -36,13 +52,13 @@ TEST(Rng, UniformStaysInRange) {
 }
 
 TEST(Rng, UniformDegenerateRange) {
-  Rng rng(1);
+  Rng rng(test_seed(1));
   EXPECT_EQ(rng.uniform(5, 5), 5u);
   EXPECT_THROW(rng.uniform(6, 5), ContractViolation);
 }
 
 TEST(Rng, PermutationIsPermutation) {
-  Rng rng(3);
+  Rng rng(test_seed(3));
   for (std::size_t n : {0u, 1u, 2u, 17u, 256u}) {
     auto p = rng.permutation(n);
     ASSERT_EQ(p.size(), n);
@@ -52,7 +68,7 @@ TEST(Rng, PermutationIsPermutation) {
 }
 
 TEST(Rng, SubsetSortedUniqueInRange) {
-  Rng rng(5);
+  Rng rng(test_seed(5));
   const auto s = rng.subset(100, 30);
   ASSERT_EQ(s.size(), 30u);
   EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
@@ -61,7 +77,7 @@ TEST(Rng, SubsetSortedUniqueInRange) {
 }
 
 TEST(Rng, SubsetFullAndEmpty) {
-  Rng rng(5);
+  Rng rng(test_seed(5));
   EXPECT_TRUE(rng.subset(10, 0).empty());
   auto full = rng.subset(10, 10);
   std::vector<std::size_t> want(10);
@@ -71,7 +87,7 @@ TEST(Rng, SubsetFullAndEmpty) {
 }
 
 TEST(Rng, ChanceExtremes) {
-  Rng rng(9);
+  Rng rng(test_seed(9));
   for (int i = 0; i < 50; ++i) {
     EXPECT_FALSE(rng.chance(0.0));
     EXPECT_TRUE(rng.chance(1.0));

@@ -18,7 +18,7 @@ class RoutingCircuitTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(RoutingCircuitTest, SettingsMatchBehavioralAlgorithm) {
   const std::size_t n = GetParam();
   const GateLevelBitSorter circuit(n);
-  Rng rng(510 + n);
+  Rng rng(test_seed(510 + n));
   Rbn behavioral(n);
   for (int trial = 0; trial < 15; ++trial) {
     std::vector<int> keys(n);
@@ -46,7 +46,7 @@ TEST_P(RoutingCircuitTest, CycleCountMatchesDelayModel) {
 TEST_P(RoutingCircuitTest, CircuitSettingsActuallySort) {
   const std::size_t n = GetParam();
   const GateLevelBitSorter circuit(n);
-  Rng rng(99 + n);
+  Rng rng(test_seed(99 + n));
   Rbn fabric(n);
   std::vector<int> keys(n);
   std::size_t l = 0;

@@ -52,7 +52,7 @@ class ScatterTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(ScatterTest, Theorem3DominantRunCompactAtAnyStart) {
   const std::size_t n = GetParam();
-  Rng rng(303 + n);
+  Rng rng(test_seed(303 + n));
   Rbn rbn(n);
   for (int trial = 0; trial < 40; ++trial) {
     const auto tags = testing::random_scatter_tags(n, rng);
@@ -86,7 +86,7 @@ TEST_P(ScatterTest, Theorem3DominantRunCompactAtAnyStart) {
 
 TEST_P(ScatterTest, Theorem2OutputCensus) {
   const std::size_t n = GetParam();
-  Rng rng(404 + n);
+  Rng rng(test_seed(404 + n));
   Rbn rbn(n);
   for (int trial = 0; trial < 40; ++trial) {
     const auto tags = testing::random_bsn_tags(n, rng);
@@ -106,7 +106,7 @@ TEST_P(ScatterTest, Theorem2OutputCensus) {
 
 TEST_P(ScatterTest, AlphaSplitsIntoZeroAndOneCopies) {
   const std::size_t n = GetParam();
-  Rng rng(505 + n);
+  Rng rng(test_seed(505 + n));
   Rbn rbn(n);
   for (int trial = 0; trial < 20; ++trial) {
     const auto tags = testing::random_bsn_tags(n, rng);
@@ -135,7 +135,7 @@ TEST_P(ScatterTest, AlphaSplitsIntoZeroAndOneCopies) {
 
 TEST_P(ScatterTest, CopiesKeepTheOriginalStream) {
   const std::size_t n = GetParam();
-  Rng rng(606 + n);
+  Rng rng(test_seed(606 + n));
   Rbn rbn(n);
   const auto tags = testing::random_bsn_tags(n, rng);
   const auto out = run_scatter(rbn, tags, 0);

@@ -46,7 +46,7 @@ class SplitterEquivalence : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(SplitterEquivalence, MatchesBatchSplitStream) {
   const std::size_t n = GetParam();
-  Rng rng(31 + n);
+  Rng rng(test_seed(31 + n));
   for (int trial = 0; trial < 20; ++trial) {
     const auto dests = rng.subset(n, rng.uniform(1, n));
     const auto seq = encode_sequence(dests, n);

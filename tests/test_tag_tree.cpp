@@ -56,7 +56,7 @@ TEST(TagTree, SingletonIsUnicastPath) {
 TEST(TagTree, NodeTagsRespectChildSemantics) {
   // For every internal node above the bottom level: α -> both children
   // non-ε; 0 -> left non-ε and right ε; 1 -> mirrored; ε -> both ε.
-  Rng rng(12);
+  Rng rng(test_seed(12));
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = 32;
     const auto dests = rng.subset(n, rng.uniform(0, n));
@@ -80,7 +80,7 @@ class TagTreeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(TagTreeRoundTrip, DestinationsRoundTrip) {
   const std::size_t n = GetParam();
-  Rng rng(900 + n);
+  Rng rng(test_seed(900 + n));
   for (int trial = 0; trial < 25; ++trial) {
     auto dests = rng.subset(n, rng.uniform(0, n));
     const TagTree tree(dests, n);

@@ -16,7 +16,7 @@ class VerificationTest : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(VerificationTest, PassesOnUnrolledRoutes) {
   const std::size_t n = GetParam();
   Brsmn net(n);
-  Rng rng(3 + n);
+  Rng rng(test_seed(3 + n));
   for (double density : {0.2, 0.9}) {
     const auto a = random_multicast(n, density, rng);
     const auto r = net.route(a, RouteOptions{.capture_levels = true});
@@ -30,7 +30,7 @@ TEST_P(VerificationTest, PassesOnUnrolledRoutes) {
 TEST_P(VerificationTest, PassesOnFeedbackRoutes) {
   const std::size_t n = GetParam();
   FeedbackBrsmn net(n);
-  Rng rng(5 + n);
+  Rng rng(test_seed(5 + n));
   const auto a = random_multicast(n, 0.8, rng);
   const auto r = net.route(a, RouteOptions{.capture_levels = true});
   EXPECT_TRUE(verify_route(a, r).ok);
@@ -86,7 +86,7 @@ TEST(Verification, CatchesTamperedStreams) {
 
 TEST(Verification, CatchesWrongOwedSetsAtDeepLevels) {
   Brsmn net(16);
-  Rng rng(9);
+  Rng rng(test_seed(9));
   const auto a = random_multicast(16, 0.9, rng);
   auto r = net.route(a, RouteOptions{.capture_levels = true});
   // Drop one captured packet at the last level entirely.

@@ -39,6 +39,12 @@ void ParallelRouter::set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
 void ParallelRouter::set_engine(RouteEngine engine) { engine_ = engine; }
 
+void ParallelRouter::set_faults(fault::FaultInjector* faults) {
+  faults_ = faults;
+}
+
+void ParallelRouter::set_self_check(bool on) { self_check_ = on; }
+
 std::vector<RouteResult> ParallelRouter::route_batch(
     const std::vector<MulticastAssignment>& batch) {
   std::vector<RouteResult> results(batch.size());
@@ -58,8 +64,11 @@ std::vector<RouteResult> ParallelRouter::route_batch(
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, batch.size()));
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::size_t first_error_index = 0;
+  struct Failure {
+    std::size_t index;
+    std::exception_ptr error;
+  };
+  std::vector<Failure> failures;
   std::mutex error_mutex;
   std::vector<std::size_t> routed_per_worker(workers, 0);
 
@@ -74,6 +83,8 @@ std::vector<RouteResult> ParallelRouter::route_batch(
     options.metrics = metrics_;
     options.tracer = tracer_;
     options.engine = engine_;
+    options.self_check = self_check_;
+    options.faults = faults_;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size()) return;
@@ -84,12 +95,10 @@ std::vector<RouteResult> ParallelRouter::route_batch(
         results[i] = engine.route(batch[i], options);
         ++routed_per_worker[t];
       } catch (...) {
+        // Record and keep draining the queue: one poisoned assignment
+        // must not hide failures (or abandon successes) behind it.
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-          first_error_index = i;
-        }
-        return;
+        failures.push_back({i, std::current_exception()});
       }
     }
   };
@@ -100,18 +109,34 @@ std::vector<RouteResult> ParallelRouter::route_batch(
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
   for (auto& t : pool) t.join();
 
-  if (first_error) {
-    // Rethrow the first failure with its batch index attached, keeping
-    // the exception type so callers can still catch ContractViolation.
-    const std::string where =
-        "route_batch: assignment " + std::to_string(first_error_index) + ": ";
-    try {
-      std::rethrow_exception(first_error);
-    } catch (const ContractViolation& e) {
-      throw ContractViolation(where + e.what());
-    } catch (const std::exception& e) {
-      throw std::runtime_error(where + e.what());
+  if (!failures.empty()) {
+    // Aggregate every failure into one exception, batch-ordered so the
+    // message is deterministic regardless of worker scheduling. The
+    // aggregate stays a ContractViolation when all parts are, so callers
+    // catch the same type they would for a single failure.
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure& a, const Failure& b) {
+                return a.index < b.index;
+              });
+    bool all_contract = true;
+    std::string message = "route_batch: " + std::to_string(failures.size()) +
+                          " assignment(s) failed";
+    for (const Failure& f : failures) {
+      message += "; assignment " + std::to_string(f.index) + ": ";
+      try {
+        std::rethrow_exception(f.error);
+      } catch (const ContractViolation& e) {
+        message += e.what();
+      } catch (const std::exception& e) {
+        all_contract = false;
+        message += e.what();
+      } catch (...) {
+        all_contract = false;
+        message += "unknown error";
+      }
     }
+    if (all_contract) throw ContractViolation(message);
+    throw std::runtime_error(message);
   }
 
   if constexpr (obs::kEnabled) {

@@ -20,6 +20,10 @@ class MetricRegistry;
 class Tracer;
 }  // namespace brsmn::obs
 
+namespace brsmn::fault {
+class FaultInjector;
+}  // namespace brsmn::fault
+
 namespace brsmn::api {
 
 class ParallelRouter {
@@ -57,11 +61,23 @@ class ParallelRouter {
   /// route_batch calls.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attach a fault injector shared by every worker engine (its route
+  /// ordinal counter is atomic, so the workers draw from one schedule).
+  /// Pass nullptr to detach. Applies to subsequent route_batch calls.
+  void set_faults(fault::FaultInjector* faults);
+
+  /// Toggle the engines' online self-check for worker routes (default
+  /// on, matching RouteOptions). Applies to subsequent route_batch calls.
+  void set_self_check(bool on);
+  bool self_check() const noexcept { return self_check_; }
+
   /// Route every assignment in `batch`; results come back in order.
-  /// All assignments must have size network_size(); a violation — or any
-  /// other worker-side failure — is rethrown on the caller with the
-  /// offending batch index attached to the message, preserving
-  /// ContractViolation as ContractViolation.
+  /// All assignments must have size network_size(). Worker-side failures
+  /// do not abort the batch: every remaining assignment is still routed,
+  /// then ALL failures are rethrown as one exception whose message lists
+  /// each offending batch index ("assignment <i>: <what>"). The
+  /// aggregate is a ContractViolation when every underlying failure was
+  /// one, so callers can still catch ContractViolation.
   std::vector<RouteResult> route_batch(
       const std::vector<MulticastAssignment>& batch);
 
@@ -74,6 +90,8 @@ class ParallelRouter {
   obs::MetricRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   RouteEngine engine_ = RouteEngine::Scalar;
+  fault::FaultInjector* faults_ = nullptr;
+  bool self_check_ = true;
 };
 
 }  // namespace brsmn::api

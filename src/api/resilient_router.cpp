@@ -1,0 +1,183 @@
+#include "api/resilient_router.hpp"
+
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "api/parallel_router.hpp"
+#include "common/contracts.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace brsmn::api {
+
+std::string_view outcome_name(RouteOutcome outcome) {
+  switch (outcome) {
+    case RouteOutcome::Delivered: return "delivered";
+    case RouteOutcome::DeliveredDegraded: return "delivered-degraded";
+    case RouteOutcome::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::chrono::microseconds backoff_for_attempt(const RetryPolicy& policy,
+                                              std::size_t failures) {
+  BRSMN_EXPECTS(failures >= 1);
+  if (policy.initial_backoff.count() <= 0) return std::chrono::microseconds{0};
+  double us = static_cast<double>(policy.initial_backoff.count());
+  const double cap = static_cast<double>(policy.max_backoff.count());
+  for (std::size_t k = 1; k < failures && us < cap; ++k) {
+    us *= policy.backoff_multiplier;
+  }
+  us = std::min(us, cap);
+  return std::chrono::microseconds{static_cast<std::int64_t>(us)};
+}
+
+ResilientRouter::ResilientRouter(std::size_t n,
+                                 const ResilientOptions& options)
+    : n_(n), options_(options), unrolled_(n) {
+  if (options_.faults != nullptr) {
+    BRSMN_EXPECTS_MSG(options_.faults->size() == n,
+                      "fault plan width must match the network");
+  }
+}
+
+ResilientRouter::~ResilientRouter() = default;
+
+std::vector<RoutePath> ResilientRouter::ladder() const {
+  const RetryPolicy& retry = options_.retry;
+  std::vector<RoutePath> paths;
+  paths.push_back({options_.engine, false});
+  if (retry.fallback_engine && options_.engine == RouteEngine::Packed) {
+    paths.push_back({RouteEngine::Scalar, false});
+  }
+  if (retry.fallback_implementation) {
+    paths.push_back({options_.engine, true});
+    if (retry.fallback_engine && options_.engine == RouteEngine::Packed) {
+      paths.push_back({RouteEngine::Scalar, true});
+    }
+  }
+  return paths;
+}
+
+void ResilientRouter::bump(const char* counter_name, std::uint64_t& local) {
+  ++local;
+  if constexpr (obs::kEnabled) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter(counter_name).add(1);
+    }
+    if (options_.tracer != nullptr) options_.tracer->instant(counter_name);
+  }
+}
+
+RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
+                                        const RoutePath& path, bool explain) {
+  RouteOptions ro;
+  ro.engine = path.engine;
+  ro.self_check = options_.self_check;
+  ro.faults = options_.faults;
+  ro.explain = explain;
+  ro.metrics = options_.metrics;
+  ro.tracer = options_.tracer;
+  if (!path.feedback) return unrolled_.route(assignment, ro);
+  if (!feedback_) feedback_ = std::make_unique<FeedbackBrsmn>(n_);
+  return feedback_->route(assignment, ro);
+}
+
+RequestOutcome ResilientRouter::route_ladder(
+    const MulticastAssignment& assignment) {
+  RequestOutcome out;
+  const std::vector<RoutePath> paths = ladder();
+  const std::size_t per_path =
+      std::max<std::size_t>(1, options_.retry.max_attempts_per_path);
+  std::size_t failures = 0;
+  bool saw_fault = false;
+  std::optional<fault::FaultReport> last_report;
+
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    out.path = paths[p];
+    for (std::size_t a = 0; a < per_path; ++a) {
+      if (failures > 0) {
+        const auto backoff = backoff_for_attempt(options_.retry, failures);
+        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      }
+      ++out.attempts;
+      try {
+        // Explain only once a fault has been seen: provenance grids cost
+        // allocation on every pass, and a clean route never reads them.
+        RouteResult result = route_once(assignment, paths[p], saw_fault);
+        out.result = std::move(result);
+        if (p == 0 && !saw_fault) {
+          out.outcome = RouteOutcome::Delivered;
+        } else if (p == 0) {
+          out.outcome = RouteOutcome::Delivered;
+          bump("fault.recovered", recovered_);
+        } else {
+          out.outcome = RouteOutcome::DeliveredDegraded;
+          bump("fault.recovered", recovered_);
+          bump("fault.degraded", degraded_);
+        }
+        return out;
+      } catch (const fault::FaultDetected& e) {
+        ++failures;
+        bump("fault.detected", detected_);
+        if (!out.report.has_value()) out.report = e.report();
+        last_report = e.report();
+        saw_fault = true;
+      }
+      // Anything other than FaultDetected (bad assignment, logic error)
+      // propagates: retrying cannot help and must not mask it.
+    }
+  }
+
+  out.outcome = RouteOutcome::Failed;
+  out.result.reset();
+  if (last_report.has_value()) out.report = std::move(last_report);
+  bump("fault.gaveup", gaveup_);
+  return out;
+}
+
+RequestOutcome ResilientRouter::route(const MulticastAssignment& assignment) {
+  BRSMN_EXPECTS_MSG(assignment.size() == n_,
+                    "assignment size does not match the network");
+  obs::TraceSpan span(options_.tracer, "resilient.route");
+  return route_ladder(assignment);
+}
+
+std::vector<RequestOutcome> ResilientRouter::route_batch(
+    const std::vector<MulticastAssignment>& batch) {
+  std::vector<RequestOutcome> outcomes(batch.size());
+  if (batch.empty()) return outcomes;
+  obs::TraceSpan span(options_.tracer, "resilient.route_batch");
+
+  if (!batch_) {
+    batch_ = std::make_unique<ParallelRouter>(n_);
+    batch_->set_metrics(options_.metrics);
+    batch_->set_tracer(options_.tracer);
+  }
+  batch_->set_engine(options_.engine);
+  batch_->set_self_check(options_.self_check);
+  batch_->set_faults(options_.faults);
+
+  try {
+    std::vector<RouteResult> results = batch_->route_batch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      outcomes[i].outcome = RouteOutcome::Delivered;
+      outcomes[i].result = std::move(results[i]);
+      outcomes[i].attempts = 1;
+      outcomes[i].path = RoutePath{options_.engine, false};
+    }
+    return outcomes;
+  } catch (const ContractViolation&) {
+    // The fast path failed somewhere; the aggregate does not say which
+    // results are trustworthy, so re-run every assignment through the
+    // ladder. Slower, but exact per-request outcomes.
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    outcomes[i] = route_ladder(batch[i]);
+  }
+  return outcomes;
+}
+
+}  // namespace brsmn::api

@@ -1,0 +1,164 @@
+// Self-checking resilient routing front-end.
+//
+// The BRSMN engines are self-routing with no central controller; with
+// the online self-check (fault/self_check.hpp) they *detect* a corrupted
+// route but still fail it. ResilientRouter turns detection into
+// recovery: a failed route is retried with bounded exponential backoff,
+// then walked down a fallback ladder — Packed -> Scalar engine, unrolled
+// -> feedback implementation — and only reported Failed when every path
+// is exhausted. The caller gets a typed per-request outcome instead of
+// an exception: Delivered (primary path), DeliveredDegraded (a fallback
+// path carried it), or Failed (with the last FaultReport attached).
+//
+// Why the ladder is a genuine recovery path: a transient fault clears on
+// retry; an engine-scoped fault (model of a defect in one datapath's
+// silicon) clears on the engine fallback; an implementation-scoped fault
+// (defect in one fabric) clears on the unrolled -> feedback fallback,
+// which routes over physically different switches (one reused n x n
+// fabric instead of log n levels of BSNs).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "fault/fault_report.hpp"
+
+namespace brsmn::obs {
+class MetricRegistry;
+class Tracer;
+}  // namespace brsmn::obs
+
+namespace brsmn::fault {
+class FaultInjector;
+}  // namespace brsmn::fault
+
+namespace brsmn::api {
+
+class ParallelRouter;
+
+/// Per-request terminal state.
+enum class RouteOutcome : std::uint8_t {
+  /// Routed on the primary path (possibly after retries on that path).
+  Delivered,
+  /// Routed correctly, but only after falling back to a non-primary
+  /// engine or implementation — service continues in degraded mode.
+  DeliveredDegraded,
+  /// Every configured path exhausted its attempts; `report` names the
+  /// last detection.
+  Failed,
+};
+
+std::string_view outcome_name(RouteOutcome outcome);
+
+/// Bounded-retry knobs. Attempts are per *path* (a path = engine x
+/// implementation pair in the fallback ladder), so the worst case is
+/// max_attempts_per_path x ladder length routes.
+struct RetryPolicy {
+  std::size_t max_attempts_per_path = 2;
+  /// Fall back Packed -> Scalar after the primary engine's attempts.
+  bool fallback_engine = true;
+  /// Fall back unrolled -> feedback after the engine fallback.
+  bool fallback_implementation = true;
+  /// Backoff before retry #k (k >= 1, counted across the whole ladder):
+  /// min(initial_backoff * backoff_multiplier^(k-1), max_backoff).
+  /// Zero initial backoff (the default) retries immediately.
+  std::chrono::microseconds initial_backoff{0};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{10000};
+};
+
+/// The backoff to sleep before the `failures`-th retry (failures >= 1).
+std::chrono::microseconds backoff_for_attempt(const RetryPolicy& policy,
+                                              std::size_t failures);
+
+struct ResilientOptions {
+  /// Primary datapath engine; the ladder may add Scalar as fallback.
+  RouteEngine engine = RouteEngine::Scalar;
+  RetryPolicy retry{};
+  /// Online self-check for every attempt (default on; a fault injector
+  /// implies it regardless).
+  bool self_check = true;
+  /// Fault-injection seam, shared by every path (its activation windows
+  /// see the injector's global route ordinals, so a transient scheduled
+  /// for ordinal 0 misses the ordinal-1 retry — that is the recovery).
+  fault::FaultInjector* faults = nullptr;
+  obs::MetricRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// One rung of the fallback ladder.
+struct RoutePath {
+  RouteEngine engine = RouteEngine::Scalar;
+  bool feedback = false;  ///< false = unrolled Brsmn, true = FeedbackBrsmn
+
+  friend bool operator==(const RoutePath&, const RoutePath&) = default;
+};
+
+/// What happened to one routing request.
+struct RequestOutcome {
+  RouteOutcome outcome = RouteOutcome::Failed;
+  /// The successful route's result (delivered vector, stats, ...);
+  /// nullopt when outcome == Failed.
+  std::optional<RouteResult> result;
+  /// Total route attempts spent, across every path tried.
+  std::size_t attempts = 0;
+  /// The path that delivered (or the last one tried on failure).
+  RoutePath path{};
+  /// Detections seen along the way: the first one for recovered
+  /// requests, the last one for failures. Empty for clean deliveries.
+  std::optional<fault::FaultReport> report;
+};
+
+class ResilientRouter {
+ public:
+  ResilientRouter(std::size_t n, const ResilientOptions& options = {});
+  ~ResilientRouter();
+
+  std::size_t size() const noexcept { return n_; }
+  const ResilientOptions& options() const noexcept { return options_; }
+
+  /// Route one assignment down the ladder. Never throws FaultDetected —
+  /// detections become retries, fallbacks, and finally a Failed outcome.
+  RequestOutcome route(const MulticastAssignment& assignment);
+
+  /// Route a batch: a ParallelRouter fans the fast path across worker
+  /// threads; on any aggregate failure each assignment is re-run through
+  /// the resilient ladder serially, so per-request outcomes stay exact.
+  std::vector<RequestOutcome> route_batch(
+      const std::vector<MulticastAssignment>& batch);
+
+  /// Lifetime counters, mirrored into metrics as fault.detected /
+  /// fault.recovered / fault.degraded / fault.gaveup when a registry is
+  /// attached.
+  std::uint64_t faults_detected() const noexcept { return detected_; }
+  std::uint64_t faults_recovered() const noexcept { return recovered_; }
+  std::uint64_t degraded_deliveries() const noexcept { return degraded_; }
+  std::uint64_t faults_gaveup() const noexcept { return gaveup_; }
+
+  /// The fallback ladder this router walks, primary path first.
+  std::vector<RoutePath> ladder() const;
+
+ private:
+  RequestOutcome route_ladder(const MulticastAssignment& assignment);
+  RouteResult route_once(const MulticastAssignment& assignment,
+                         const RoutePath& path, bool explain);
+  void bump(const char* counter_name, std::uint64_t& local);
+
+  std::size_t n_;
+  ResilientOptions options_;
+  Brsmn unrolled_;
+  std::unique_ptr<FeedbackBrsmn> feedback_;  ///< lazy: first fallback use
+  std::unique_ptr<ParallelRouter> batch_;    ///< lazy: first route_batch
+  std::uint64_t detected_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t gaveup_ = 0;
+};
+
+}  // namespace brsmn::api

@@ -5,6 +5,9 @@
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/tag_sequence.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/locate.hpp"
+#include "fault/self_check.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -46,6 +49,8 @@ void advance_streams(std::vector<LineValue>& lines) {
     }
     BRSMN_ENSURES_MSG(lv.tag == Tag::Zero || lv.tag == Tag::One,
                       "a packet must leave a BSN tagged 0 or 1");
+    BRSMN_ENSURES_MSG(lv.packet.has_value(),
+                      "occupied line lost its packet between levels");
     Packet& p = *lv.packet;
     BRSMN_ENSURES(p.stream.size() >= 3);  // a_0 plus two subtree sequences
     const std::span<const Tag> rest(p.stream.data() + 1, p.stream.size() - 1);
@@ -98,6 +103,8 @@ void deliver_final_level(const std::vector<LineValue>& lines,
     }
     for (const LineValue* lv : {&up, &low}) {
       if (lv->empty()) continue;
+      BRSMN_ENSURES_MSG(lv->packet.has_value(),
+                        "occupied line reached delivery without a packet");
       const Packet& p = *lv->packet;
       BRSMN_ENSURES_MSG(p.stream.size() == 1 && p.stream.front() == lv->tag,
                         "final level expects a single remaining tag");
@@ -155,69 +162,114 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     result.explanation->n = n_;
   }
 
-  std::uint64_t next_copy_id = 1;
-  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+  const bool checking = options.self_check || options.faults != nullptr;
+  if (options.faults != nullptr) {
+    BRSMN_EXPECTS_MSG(options.faults->size() == n_,
+                      "fault plan width must match the network");
+  }
+  const std::uint64_t route_ord =
+      options.faults != nullptr ? options.faults->begin_route() : 0;
+  if (options.fault_activity != nullptr) options.fault_activity->clear();
 
-  for (int k = 1; k <= m_ - 1; ++k) {
+  try {
+    std::uint64_t next_copy_id = 1;
+    std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+    for (int k = 1; k <= m_ - 1; ++k) {
+      if (options.capture_levels) result.level_inputs.push_back(lines);
+      fault::apply_dead_lines(options.faults, route_ord, k,
+                              fault::ImplKind::Unrolled, RouteEngine::Scalar,
+                              lines, options.fault_activity);
+      const std::size_t splits_before = result.stats.broadcast_ops;
+      const std::size_t bsn_size = n_ >> (k - 1);
+      char level_label[24];
+      std::snprintf(level_label, sizeof level_label, "level.%d", k);
+      obs::TraceSpan level_span(probe.tracer, level_label);
+      PassExplanation* scatter_pass = nullptr;
+      PassExplanation* quasi_pass = nullptr;
+      if (options.explain) {
+        auto& passes = result.explanation->passes;
+        passes.push_back(
+            make_pass(k, PassKind::Scatter, n_, log2_exact(bsn_size)));
+        passes.push_back(
+            make_pass(k, PassKind::Quasisort, n_, log2_exact(bsn_size)));
+        scatter_pass = &passes[passes.size() - 2];
+        quasi_pass = &passes.back();
+      }
+      fault::PassSeam seam;
+      seam.injector = options.faults;
+      seam.activity = options.fault_activity;
+      seam.route = route_ord;
+      seam.net_width = n_;
+      seam.level = k;
+      seam.impl = fault::ImplKind::Unrolled;
+      seam.engine = RouteEngine::Scalar;
+      auto& level = levels_[static_cast<std::size_t>(k - 1)];
+      for (std::size_t b = 0; b < level.size(); ++b) {
+        std::vector<LineValue> slice(
+            std::make_move_iterator(lines.begin() +
+                                    static_cast<std::ptrdiff_t>(b * bsn_size)),
+            std::make_move_iterator(lines.begin() + static_cast<std::ptrdiff_t>(
+                                                        (b + 1) * bsn_size)));
+        const BsnExplain bsn_explain{{scatter_pass, b * bsn_size},
+                                     {quasi_pass, b * bsn_size}};
+        seam.line_base = b * bsn_size;
+        Bsn::Result r = level[b].route(
+            std::move(slice), next_copy_id, &result.stats, probe_ptr,
+            options.explain ? &bsn_explain : nullptr,
+            checking ? &seam : nullptr);
+        std::move(r.outputs.begin(), r.outputs.end(),
+                  lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
+      }
+      // All BSNs of one level route concurrently: charge the level's delay
+      // once, not per block.
+      result.stats.gate_delay += bsn_routing_delay(log2_exact(bsn_size));
+      result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                            splits_before);
+      if (checking) {
+        fault::guard(true, n_, route_ord, k, std::nullopt, true, [&] {
+          advance_streams(lines);
+          fault::self_check_level(lines, k, route_ord);
+        });
+      } else {
+        advance_streams(lines);
+      }
+    }
+
     if (options.capture_levels) result.level_inputs.push_back(lines);
-    const std::size_t splits_before = result.stats.broadcast_ops;
-    const std::size_t bsn_size = n_ >> (k - 1);
-    char level_label[24];
-    std::snprintf(level_label, sizeof level_label, "level.%d", k);
-    obs::TraceSpan level_span(probe.tracer, level_label);
-    PassExplanation* scatter_pass = nullptr;
-    PassExplanation* quasi_pass = nullptr;
-    if (options.explain) {
-      auto& passes = result.explanation->passes;
-      passes.push_back(
-          make_pass(k, PassKind::Scatter, n_, log2_exact(bsn_size)));
-      passes.push_back(
-          make_pass(k, PassKind::Quasisort, n_, log2_exact(bsn_size)));
-      scatter_pass = &passes[passes.size() - 2];
-      quasi_pass = &passes.back();
+    fault::apply_dead_lines(options.faults, route_ord, m_,
+                            fault::ImplKind::Unrolled, RouteEngine::Scalar,
+                            lines, options.fault_activity);
+    const std::size_t splits_before_final = result.stats.broadcast_ops;
+    {
+      obs::PhaseTimer final_timer(probe.datapath);
+      obs::TraceSpan final_span(probe.tracer, "level.final");
+      ExplainSink final_sink;
+      if (options.explain) {
+        result.explanation->passes.push_back(
+            make_pass(m_, PassKind::Final, n_, 1));
+        final_sink.pass = &result.explanation->passes.back();
+      }
+      fault::guard(checking, n_, route_ord, m_, PassKind::Final, true, [&] {
+        deliver_final_level(lines, result.delivered, &result.stats,
+                            options.explain ? &final_sink : nullptr);
+      });
     }
-    auto& level = levels_[static_cast<std::size_t>(k - 1)];
-    for (std::size_t b = 0; b < level.size(); ++b) {
-      std::vector<LineValue> slice(
-          std::make_move_iterator(lines.begin() +
-                                  static_cast<std::ptrdiff_t>(b * bsn_size)),
-          std::make_move_iterator(lines.begin() + static_cast<std::ptrdiff_t>(
-                                                      (b + 1) * bsn_size)));
-      const BsnExplain bsn_explain{{scatter_pass, b * bsn_size},
-                                   {quasi_pass, b * bsn_size}};
-      Bsn::Result r =
-          level[b].route(std::move(slice), next_copy_id, &result.stats,
-                         probe_ptr, options.explain ? &bsn_explain : nullptr);
-      std::move(r.outputs.begin(), r.outputs.end(),
-                lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
-    }
-    // All BSNs of one level route concurrently: charge the level's delay
-    // once, not per block.
-    result.stats.gate_delay += bsn_routing_delay(log2_exact(bsn_size));
     result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
-                                          splits_before);
-    advance_streams(lines);
-  }
+                                          splits_before_final);
 
-  if (options.capture_levels) result.level_inputs.push_back(lines);
-  const std::size_t splits_before_final = result.stats.broadcast_ops;
-  {
-    obs::PhaseTimer final_timer(probe.datapath);
-    obs::TraceSpan final_span(probe.tracer, "level.final");
-    ExplainSink final_sink;
-    if (options.explain) {
-      result.explanation->passes.push_back(
-          make_pass(m_, PassKind::Final, n_, 1));
-      final_sink.pass = &result.explanation->passes.back();
+    const auto expected = expected_delivery(assignment);
+    if (checking) {
+      fault::self_check_delivery(result.delivered, expected, m_, route_ord);
     }
-    deliver_final_level(lines, result.delivered, &result.stats,
-                        options.explain ? &final_sink : nullptr);
+    BRSMN_ENSURES_MSG(result.delivered == expected,
+                      "BRSMN routed assignment incorrectly");
+  } catch (const fault::FaultDetected& e) {
+    if (options.explain && result.explanation.has_value()) {
+      fault::rethrow_localized(*this, e, *result.explanation);
+    }
+    throw;
   }
-  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
-                                        splits_before_final);
-
-  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
-                    "BRSMN routed assignment incorrectly");
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

@@ -26,6 +26,11 @@ class MetricRegistry;
 class Tracer;
 }  // namespace brsmn::obs
 
+namespace brsmn::fault {
+class FaultInjector;
+struct FaultActivity;
+}  // namespace brsmn::fault
+
 namespace brsmn {
 
 /// Which datapath implementation executes the route. Both produce
@@ -59,6 +64,20 @@ struct RouteOptions {
   obs::Tracer* tracer = nullptr;
   /// Datapath implementation; Scalar is the reference engine.
   RouteEngine engine = RouteEngine::Scalar;
+  /// Online self-check (default on): contract violations surface as
+  /// typed fault::FaultDetected reports naming the earliest inconsistent
+  /// (level, pass) region, and each level's line state plus the final
+  /// delivery are validated against fault/self_check.hpp predicates.
+  /// Off: the engines raise bare ContractViolation as before.
+  bool self_check = true;
+  /// Fault-injection seam (fault/fault_injector.hpp). When set, the
+  /// injector's armed faults are installed into the fabric after each
+  /// configuration pass and dead lines are cleared at level entry;
+  /// implies the self-check wrapping above. Null: no injection.
+  fault::FaultInjector* faults = nullptr;
+  /// When set alongside `faults`: receives the audit trail of fault
+  /// applications for this route (cleared first).
+  fault::FaultActivity* fault_activity = nullptr;
   /// Metric-name prefix for the phase histograms and stats counters
   /// ("<prefix>.phase.total_ns", "<prefix>.routes", ...). The default
   /// keeps the established route.* names; benches comparing engines

@@ -3,6 +3,8 @@
 #include "common/contracts.hpp"
 #include "core/quasisort.hpp"
 #include "core/scatter.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_report.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -30,8 +32,41 @@ Bsn::Bsn(std::size_t n) : scatter_(n), quasisort_(n) {
 
 Bsn::Result Bsn::route(std::vector<LineValue> inputs,
                        std::uint64_t& next_copy_id, RoutingStats* stats,
-                       const obs::RouteProbe* probe,
-                       const BsnExplain* explain) {
+                       const obs::RouteProbe* probe, const BsnExplain* explain,
+                       const fault::PassSeam* seam) {
+  if (seam == nullptr) {
+    return route_impl(std::move(inputs), next_copy_id, stats, probe, explain,
+                      nullptr, nullptr);
+  }
+  // Track how far the route got, so a thrown invariant names the region
+  // (and locate.cpp knows which grids are trustworthy).
+  fault::DetectPoint progress;
+  progress.level = seam->level;
+  progress.pass = PassKind::Scatter;
+  progress.fabric_settled = false;
+  progress.block_base = seam->line_base;
+  progress.block_size = size();
+  try {
+    return route_impl(std::move(inputs), next_copy_id, stats, probe, explain,
+                      seam, &progress);
+  } catch (fault::FaultDetected&) {
+    throw;
+  } catch (const ContractViolation& e) {
+    fault::FaultReport report;
+    report.n = seam->net_width != 0 ? seam->net_width : size();
+    report.route = seam->route;
+    report.at = progress;
+    report.check = e.what();
+    throw fault::FaultDetected(std::move(report));
+  }
+}
+
+Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
+                            std::uint64_t& next_copy_id, RoutingStats* stats,
+                            const obs::RouteProbe* probe,
+                            const BsnExplain* explain,
+                            const fault::PassSeam* seam,
+                            fault::DetectPoint* progress) {
   const std::size_t n = size();
   BRSMN_EXPECTS(inputs.size() == n);
   obs::Tracer* tracer = probe != nullptr ? probe->tracer : nullptr;
@@ -63,6 +98,8 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
                         explain != nullptr ? &explain->scatter : nullptr);
   scatter_span.end();
   scatter_timer.stop();
+  if (seam != nullptr) seam->apply_local(scatter_, PassKind::Scatter);
+  if (progress != nullptr) progress->fabric_settled = true;
   // Eq. (3): n_alpha <= n_eps, so eps dominates at the root (when the two
   // counts tie, the surplus is 0 and the type label is immaterial).
   BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
@@ -88,6 +125,10 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   BRSMN_ENSURES(mid.epses == in.epses - in.alphas);   // Eq. (4)
 
   // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
+  if (progress != nullptr) {
+    progress->pass = PassKind::Quasisort;
+    progress->fabric_settled = false;
+  }
   std::vector<Tag> scattered_tags(n);
   for (std::size_t i = 0; i < n; ++i) scattered_tags[i] = result.scattered[i].tag;
   if (explain != nullptr) explain->quasisort.record_input_tags(scattered_tags);
@@ -105,6 +146,8 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
                       explain != nullptr ? &explain->quasisort : nullptr);
   quasisort_span.end();
   quasisort_timer.stop();
+  if (seam != nullptr) seam->apply_local(quasisort_, PassKind::Quasisort);
+  if (progress != nullptr) progress->fabric_settled = true;
   obs::PhaseTimer sort_datapath(probe ? probe->datapath : nullptr);
   obs::TraceSpan sort_data_span(tracer, "bsn.quasisort.datapath");
   result.outputs = quasisort_.propagate(

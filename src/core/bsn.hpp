@@ -20,6 +20,11 @@ namespace brsmn::obs {
 struct RouteProbe;
 }  // namespace brsmn::obs
 
+namespace brsmn::fault {
+struct DetectPoint;
+struct PassSeam;
+}  // namespace brsmn::fault
+
 namespace brsmn {
 
 /// Provenance sinks for one Bsn::route call: the scatter pass and the
@@ -62,10 +67,16 @@ class Bsn {
   /// scatter/ε-divide/quasisort configuration sweeps and the two fabric
   /// traversals — and, when it carries a tracer, per-phase trace spans.
   /// `explain` (optional) records the switch decisions of both passes.
+  /// `seam` (optional) activates the fault-injection/self-check seam: the
+  /// seam's armed faults are installed into each fabric after its
+  /// configuration pass, and any ContractViolation raised by the BSN's
+  /// own invariants is rethrown as fault::FaultDetected carrying the
+  /// (level, pass, settled) detection point.
   Result route(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
                RoutingStats* stats = nullptr,
                const obs::RouteProbe* probe = nullptr,
-               const BsnExplain* explain = nullptr);
+               const BsnExplain* explain = nullptr,
+               const fault::PassSeam* seam = nullptr);
 
   /// The two fabrics, exposed for inspection after route() (their switch
   /// settings are those of the last routed assignment).
@@ -79,6 +90,11 @@ class Bsn {
   Rbn& mutable_quasisort_fabric() noexcept { return quasisort_; }
 
  private:
+  Result route_impl(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
+                    RoutingStats* stats, const obs::RouteProbe* probe,
+                    const BsnExplain* explain, const fault::PassSeam* seam,
+                    fault::DetectPoint* progress);
+
   Rbn scatter_;
   Rbn quasisort_;
 };

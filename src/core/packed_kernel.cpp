@@ -12,6 +12,9 @@
 #include "core/merge_lemmas.hpp"
 #include "core/quasisort.hpp"
 #include "core/scatter.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/locate.hpp"
+#include "fault/self_check.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -632,6 +635,15 @@ void run_scatter_datapath(LevelKernel& kx) {
     auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
     for (const BcastEvent& ev : evs) {
       const std::size_t alpha_line = ev.alpha_upper ? ev.upper : ev.upper + d;
+      const std::size_t eps_line = ev.alpha_upper ? ev.upper + d : ev.upper;
+      // The scalar apply_scatter_switch's alignment traps: the event site
+      // must still see an alpha opposite an empty line (a corrupted
+      // earlier stage can desynchronize the precomputed events).
+      BRSMN_ENSURES_MSG(
+          pk::plane_get(t0, alpha_line) && !pk::plane_get(t1, alpha_line),
+          "broadcast switch without an alpha input");
+      BRSMN_ENSURES_MSG(pk::plane_get(t0, eps_line) && pk::plane_get(t1, eps_line),
+                        "broadcast switch would drop a live packet");
       const std::uint64_t code = kx.state.get(alpha_line, 0, kx.wcode);
       BRSMN_ENSURES(code < n);  // broadcasts never chain within a pass
       kx.parent_code[ev.ord] = static_cast<std::size_t>(code);
@@ -768,6 +780,8 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
     }
     const auto code = static_cast<std::size_t>(kx.state.get(p, 0, kx.wcode));
     if (code < n) {
+      BRSMN_ENSURES_MSG(prev[code].packet.has_value(),
+                        "packed gather: occupied line's code has no packet");
       out[p].tag = tag;
       out[p].packet = std::move(prev[code].packet);
       continue;
@@ -775,6 +789,8 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
     const std::size_t ev = (code - n) / 2;
     const std::size_t side = (code - n) % 2;
     BRSMN_ENSURES(ev < kx.num_events);
+    BRSMN_ENSURES_MSG(prev[kx.parent_code[ev]].packet.has_value(),
+                      "packed gather: broadcast parent packet missing");
     const Packet& parent = *prev[kx.parent_code[ev]].packet;
     out[p] = occupied_line(
         tag, Packet{parent.source, kx.copy_id_base + 2 * ev + side,
@@ -806,11 +822,24 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     result.explanation->n = n;
   }
 
+  const bool checking = options.self_check || options.faults != nullptr;
+  if (options.faults != nullptr) {
+    BRSMN_EXPECTS_MSG(options.faults->size() == n,
+                      "fault plan width must match the network");
+  }
+  const std::uint64_t route_ord =
+      options.faults != nullptr ? options.faults->begin_route() : 0;
+  if (options.fault_activity != nullptr) options.fault_activity->clear();
+
+  try {
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
 
   for (int k = 1; k <= m - 1; ++k) {
     if (options.capture_levels) result.level_inputs.push_back(lines);
+    fault::apply_dead_lines(options.faults, route_ord, k,
+                            fault::ImplKind::Unrolled, RouteEngine::Packed,
+                            lines, options.fault_activity);
     const std::size_t splits_before = result.stats.broadcast_ops;
     const std::size_t bsn_size = n >> (k - 1);
     const int S = log2_exact(bsn_size);
@@ -828,6 +857,14 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     }
     const ExplainSink scatter_sink{scatter_pass, 0};
     const ExplainSink quasi_sink{quasi_pass, 0};
+    fault::PassSeam seam;
+    seam.injector = options.faults;
+    seam.activity = options.fault_activity;
+    seam.route = route_ord;
+    seam.net_width = n;
+    seam.level = k;
+    seam.impl = fault::ImplKind::Unrolled;
+    seam.engine = RouteEngine::Packed;
 
     LevelKernel kx(n, m, S);
     load_lines(kx, lines);
@@ -838,136 +875,163 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     }
 
     TagCensus census;
-    census.build(kx);
-
-    // The scalar Bsn's entry contracts, per BSN block in block order.
+    auto& level = net.levels_[static_cast<std::size_t>(k - 1)];
     std::vector<std::size_t> in_zeros(n >> S);
     std::vector<std::size_t> in_ones(n >> S);
     std::vector<std::size_t> in_alphas(n >> S);
     std::vector<std::size_t> in_epses(n >> S);
-    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-      in_alphas[bb] = census.alpha_pyr.count(S, bb);
-      in_epses[bb] = census.eps_pyr.count(S, bb);
-      in_ones[bb] = census.ones_pyr.count(S, bb);
-      in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
-      BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
-                        "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
-      BRSMN_EXPECTS_MSG(in_ones[bb] + in_alphas[bb] <= bsn_size / 2,
-                        "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
-      for (std::size_t i = bb * bsn_size; i < (bb + 1) * bsn_size; ++i) {
-        BRSMN_EXPECTS_MSG(lines[i].empty() == !lines[i].packet.has_value(),
-                          "occupied lines must carry a packet, eps lines none");
-        if (lines[i].packet) {
-          BRSMN_EXPECTS_MSG(!lines[i].packet->stream.empty() &&
-                                lines[i].packet->stream.front() == lines[i].tag,
-                            "line tag must equal the packet's current a_0");
-        }
-      }
-    }
-
-    auto& level = net.levels_[static_cast<std::size_t>(k - 1)];
 
     // Pass 1: scatter — eliminate every alpha (paper Theorem 2).
-    obs::PhaseTimer scatter_timer(probe.scatter);
-    obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
-    const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
-        kx, census, &result.stats,
-        scatter_pass != nullptr ? &scatter_sink : nullptr,
-        [&](int j, std::size_t g, std::size_t first, std::size_t count,
-            SwitchSetting s) {
-          const std::size_t bb = g >> (S - j);
-          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
-          level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
-                                                            count, s);
-        });
-    scatter_span.end();
-    scatter_timer.stop();
-    for (const ScatterNodeValue& root : roots) {
-      BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
-                        "Eq. (3) guarantees eps dominates at the BSN root");
-    }
+    fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
+      census.build(kx);
 
-    finalize_events(kx, /*bsn_block_major=*/true, next_copy_id, &result.stats);
-    obs::PhaseTimer scatter_datapath(probe.datapath);
-    obs::TraceSpan scatter_data_span(probe.tracer, "bsn.scatter.datapath");
-    run_scatter_datapath(kx);
-    scatter_data_span.end();
-    scatter_datapath.stop();
-    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+      // The scalar Bsn's entry contracts, per BSN block in block order.
+      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+        in_alphas[bb] = census.alpha_pyr.count(S, bb);
+        in_epses[bb] = census.eps_pyr.count(S, bb);
+        in_ones[bb] = census.ones_pyr.count(S, bb);
+        in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
+        BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
+                          "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
+        BRSMN_EXPECTS_MSG(in_ones[bb] + in_alphas[bb] <= bsn_size / 2,
+                          "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
+        for (std::size_t i = bb * bsn_size; i < (bb + 1) * bsn_size; ++i) {
+          BRSMN_EXPECTS_MSG(
+              lines[i].empty() == !lines[i].packet.has_value(),
+              "occupied lines must carry a packet, eps lines none");
+          if (lines[i].packet) {
+            BRSMN_EXPECTS_MSG(
+                !lines[i].packet->stream.empty() &&
+                    lines[i].packet->stream.front() == lines[i].tag,
+                "line tag must equal the packet's current a_0");
+          }
+        }
+      }
+
+      obs::PhaseTimer scatter_timer(probe.scatter);
+      obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
+      const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
+          kx, census, &result.stats,
+          scatter_pass != nullptr ? &scatter_sink : nullptr,
+          [&](int j, std::size_t g, std::size_t first, std::size_t count,
+              SwitchSetting s) {
+            const std::size_t bb = g >> (S - j);
+            const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+            level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
+                                                              count, s);
+          });
+      scatter_span.end();
+      scatter_timer.stop();
+      for (const ScatterNodeValue& root : roots) {
+        BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
+                          "Eq. (3) guarantees eps dominates at the BSN root");
+      }
+    });
+    seam.apply_unrolled_packed(level, PassKind::Scatter, kx.masks);
 
     TagCensus mid;
-    mid.build(kx);
-    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-      const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
-      const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
-      const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
-      const std::size_t mid_zeros = bsn_size - mid_alphas - mid_epses - mid_ones;
-      BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
-      BRSMN_ENSURES(mid_zeros == in_zeros[bb] + in_alphas[bb]);  // Eq. (4)
-      BRSMN_ENSURES(mid_ones == in_ones[bb] + in_alphas[bb]);    // Eq. (4)
-      BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
-    }
+    fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
+      finalize_events(kx, /*bsn_block_major=*/true, next_copy_id,
+                      &result.stats);
+      obs::PhaseTimer scatter_datapath(probe.datapath);
+      obs::TraceSpan scatter_data_span(probe.tracer, "bsn.scatter.datapath");
+      run_scatter_datapath(kx);
+      scatter_data_span.end();
+      scatter_datapath.stop();
+      result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+      mid.build(kx);
+      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+        const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
+        const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
+        const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
+        const std::size_t mid_zeros =
+            bsn_size - mid_alphas - mid_epses - mid_ones;
+        BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
+        BRSMN_ENSURES(mid_zeros == in_zeros[bb] + in_alphas[bb]);  // Eq. (4)
+        BRSMN_ENSURES(mid_ones == in_ones[bb] + in_alphas[bb]);    // Eq. (4)
+        BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
+      }
+    });
 
     // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
-    if (quasi_pass != nullptr) {
-      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
-    }
-    obs::PhaseTimer divide_timer(probe.eps_divide);
-    obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
-    divide_eps_packed(kx, mid, &result.stats);
-    divide_span.end();
-    divide_timer.stop();
-    if (quasi_pass != nullptr) {
-      quasi_sink.record_divided_tags(materialize_tags(kx, /*collapse=*/false));
-    }
+    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
+      if (quasi_pass != nullptr) {
+        quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+      }
+      obs::PhaseTimer divide_timer(probe.eps_divide);
+      obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
+      divide_eps_packed(kx, mid, &result.stats);
+      divide_span.end();
+      divide_timer.stop();
+      if (quasi_pass != nullptr) {
+        quasi_sink.record_divided_tags(
+            materialize_tags(kx, /*collapse=*/false));
+      }
 
-    kx.reset_pass();
-    TagCensus divided;
-    divided.build(kx);
-    obs::PhaseTimer quasisort_timer(probe.quasisort);
-    obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
-    configure_quasisort_packed(
-        kx, divided, &result.stats,
-        quasi_pass != nullptr ? &quasi_sink : nullptr,
-        [&](int j, std::size_t g, std::size_t first, std::size_t count,
-            SwitchSetting s) {
-          const std::size_t bb = g >> (S - j);
-          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
-          level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
-                                                              count, s);
-        });
-    quasisort_span.end();
-    quasisort_timer.stop();
-    obs::PhaseTimer sort_datapath(probe.datapath);
-    obs::TraceSpan sort_data_span(probe.tracer, "bsn.quasisort.datapath");
-    run_unicast_datapath(kx);
-    sort_data_span.end();
-    sort_datapath.stop();
-    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+      kx.reset_pass();
+      TagCensus divided;
+      divided.build(kx);
+      obs::PhaseTimer quasisort_timer(probe.quasisort);
+      obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
+      configure_quasisort_packed(
+          kx, divided, &result.stats,
+          quasi_pass != nullptr ? &quasi_sink : nullptr,
+          [&](int j, std::size_t g, std::size_t first, std::size_t count,
+              SwitchSetting s) {
+            const std::size_t bb = g >> (S - j);
+            const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+            level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
+                                                                count, s);
+          });
+      quasisort_span.end();
+      quasisort_timer.stop();
+    });
+    seam.apply_unrolled_packed(level, PassKind::Quasisort, kx.masks);
 
-    // Postcondition: zeros (real or dummy) occupy the upper half of every
-    // BSN, ones the lower half — the b2 plane decides, as in the scalar.
-    const auto t2 = kx.tag_plane(2);
-    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-      const std::size_t base = bb * bsn_size;
-      const std::size_t upper_ones =
-          pk::plane_popcount(t2, base, base + bsn_size / 2);
-      const std::size_t lower_ones =
-          pk::plane_popcount(t2, base + bsn_size / 2, base + bsn_size);
-      BRSMN_ENSURES_MSG(upper_ones == 0 && lower_ones == bsn_size / 2,
-                        "quasisort output not split by halves");
+    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
+      obs::PhaseTimer sort_datapath(probe.datapath);
+      obs::TraceSpan sort_data_span(probe.tracer, "bsn.quasisort.datapath");
+      run_unicast_datapath(kx);
+      sort_data_span.end();
+      sort_datapath.stop();
+      result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+      // Postcondition: zeros (real or dummy) occupy the upper half of every
+      // BSN, ones the lower half — the b2 plane decides, as in the scalar.
+      const auto t2 = kx.tag_plane(2);
+      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+        const std::size_t base = bb * bsn_size;
+        const std::size_t upper_ones =
+            pk::plane_popcount(t2, base, base + bsn_size / 2);
+        const std::size_t lower_ones =
+            pk::plane_popcount(t2, base + bsn_size / 2, base + bsn_size);
+        BRSMN_ENSURES_MSG(upper_ones == 0 && lower_ones == bsn_size / 2,
+                          "quasisort output not split by halves");
+      }
+    });
+
+    if (checking) {
+      fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
+        lines = gather_lines(kx, lines);
+        advance_streams(lines);
+        fault::self_check_level(lines, k, route_ord);
+      });
+    } else {
+      lines = gather_lines(kx, lines);
+      advance_streams(lines);
     }
-
-    lines = gather_lines(kx, lines);
     // All BSNs of one level route concurrently: charge the level's delay
     // once, not per block.
     result.stats.gate_delay += bsn_routing_delay(S);
     result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                           splits_before);
-    advance_streams(lines);
   }
 
   if (options.capture_levels) result.level_inputs.push_back(lines);
+  fault::apply_dead_lines(options.faults, route_ord, m,
+                          fault::ImplKind::Unrolled, RouteEngine::Packed,
+                          lines, options.fault_activity);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
@@ -978,14 +1042,26 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
           make_pass(m, PassKind::Final, n, 1));
       final_sink.pass = &result.explanation->passes.back();
     }
-    deliver_final_level(lines, result.delivered, &result.stats,
-                        options.explain ? &final_sink : nullptr);
+    fault::guard(checking, n, route_ord, m, PassKind::Final, true, [&] {
+      deliver_final_level(lines, result.delivered, &result.stats,
+                          options.explain ? &final_sink : nullptr);
+    });
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);
 
-  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+  const auto expected = expected_delivery(assignment);
+  if (checking) {
+    fault::self_check_delivery(result.delivered, expected, m, route_ord);
+  }
+  BRSMN_ENSURES_MSG(result.delivered == expected,
                     "BRSMN routed assignment incorrectly");
+  } catch (const fault::FaultDetected& e) {
+    if (options.explain && result.explanation.has_value()) {
+      fault::rethrow_localized(net, e, *result.explanation);
+    }
+    throw;
+  }
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);
@@ -1014,11 +1090,25 @@ RouteResult packed_route(FeedbackBrsmn& net,
     result.explanation.emplace();
     result.explanation->n = n;
   }
+
+  const bool checking = options.self_check || options.faults != nullptr;
+  if (options.faults != nullptr) {
+    BRSMN_EXPECTS_MSG(options.faults->size() == n,
+                      "fault plan width must match the network");
+  }
+  const std::uint64_t route_ord =
+      options.faults != nullptr ? options.faults->begin_route() : 0;
+  if (options.fault_activity != nullptr) options.fault_activity->clear();
+
+  try {
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
 
   for (int k = 1; k <= m - 1; ++k) {
     if (options.capture_levels) result.level_inputs.push_back(lines);
+    fault::apply_dead_lines(options.faults, route_ord, k,
+                            fault::ImplKind::Feedback, RouteEngine::Packed,
+                            lines, options.fault_activity);
     const std::size_t splits_before = result.stats.broadcast_ops;
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
     char level_label[24];
@@ -1033,37 +1123,48 @@ RouteResult packed_route(FeedbackBrsmn& net,
       scatter_sink.pass = &passes[passes.size() - 2];
       quasi_sink.pass = &passes.back();
     }
+    fault::PassSeam seam;
+    seam.injector = options.faults;
+    seam.activity = options.fault_activity;
+    seam.route = route_ord;
+    seam.net_width = n;
+    seam.level = k;
+    seam.impl = fault::ImplKind::Feedback;
+    seam.engine = RouteEngine::Packed;
 
     LevelKernel kx(n, m, top_stage);
     load_lines(kx, lines);
 
     // Pass 2k-1: the fabric acts as the level-k scatter networks.
-    net.fabric_.reset();
-    if (scatter_sink.pass != nullptr) {
-      std::vector<Tag> tags(n);
-      for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
-      scatter_sink.record_input_tags(tags);
-    }
-    TagCensus census;
-    census.build(kx);
-    obs::PhaseTimer scatter_timer(probe.scatter);
-    obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
-    configure_scatter_packed(
-        kx, census, &result.stats,
-        scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
-        [&](int j, std::size_t g, std::size_t first, std::size_t count,
-            SwitchSetting s) {
-          net.fabric_.fill_block_run(j, g, first, count, s);
-        });
-    scatter_span.end();
-    scatter_timer.stop();
-    finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
-                    &result.stats);
-    obs::PhaseTimer scatter_datapath(probe.datapath);
-    obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
-    run_scatter_datapath(kx);
-    scatter_data_span.end();
-    scatter_datapath.stop();
+    fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
+      net.fabric_.reset();
+      if (scatter_sink.pass != nullptr) {
+        std::vector<Tag> tags(n);
+        for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+        scatter_sink.record_input_tags(tags);
+      }
+      TagCensus census;
+      census.build(kx);
+      obs::PhaseTimer scatter_timer(probe.scatter);
+      obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
+      configure_scatter_packed(
+          kx, census, &result.stats,
+          scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
+          [&](int j, std::size_t g, std::size_t first, std::size_t count,
+              SwitchSetting s) {
+            net.fabric_.fill_block_run(j, g, first, count, s);
+          });
+    });
+    seam.apply_full_packed(net.fabric_, PassKind::Scatter, kx.masks);
+    fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
+      finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
+                      &result.stats);
+      obs::PhaseTimer scatter_datapath(probe.datapath);
+      obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
+      run_scatter_datapath(kx);
+      scatter_data_span.end();
+      scatter_datapath.stop();
+    });
     // The scalar feedback datapath walks all m physical stages (stages
     // above top_stage are identity wiring).
     result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
@@ -1074,53 +1175,68 @@ RouteResult packed_route(FeedbackBrsmn& net,
         config_sweep_delay(top_stage) + datapath_delay(m);
 
     // Pass 2k: the fabric acts as the level-k quasisorting networks.
-    net.fabric_.reset();
-    kx.reset_pass();
-    TagCensus mid;
-    mid.build(kx);
-    if (quasi_sink.pass != nullptr) {
-      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
-    }
-    obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
-    obs::PhaseTimer divide_timer(probe.eps_divide);
-    obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
-    divide_eps_packed(kx, mid, &result.stats);
-    divide_span.end();
-    divide_timer.stop();
-    if (quasi_sink.pass != nullptr) {
-      quasi_sink.record_divided_tags(materialize_tags(kx, /*collapse=*/false));
-    }
-    TagCensus divided;
-    divided.build(kx);
-    obs::PhaseTimer quasisort_timer(probe.quasisort);
-    configure_quasisort_packed(
-        kx, divided, &result.stats,
-        quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
-        [&](int j, std::size_t g, std::size_t first, std::size_t count,
-            SwitchSetting s) {
-          net.fabric_.fill_block_run(j, g, first, count, s);
-        });
-    quasisort_timer.stop();
-    quasi_config_span.end();
-    obs::PhaseTimer sort_datapath(probe.datapath);
-    obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
-    run_unicast_datapath(kx);
-    sort_data_span.end();
-    sort_datapath.stop();
+    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
+      net.fabric_.reset();
+      kx.reset_pass();
+      TagCensus mid;
+      mid.build(kx);
+      if (quasi_sink.pass != nullptr) {
+        quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+      }
+      obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
+      obs::PhaseTimer divide_timer(probe.eps_divide);
+      obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
+      divide_eps_packed(kx, mid, &result.stats);
+      divide_span.end();
+      divide_timer.stop();
+      if (quasi_sink.pass != nullptr) {
+        quasi_sink.record_divided_tags(
+            materialize_tags(kx, /*collapse=*/false));
+      }
+      TagCensus divided;
+      divided.build(kx);
+      obs::PhaseTimer quasisort_timer(probe.quasisort);
+      configure_quasisort_packed(
+          kx, divided, &result.stats,
+          quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
+          [&](int j, std::size_t g, std::size_t first, std::size_t count,
+              SwitchSetting s) {
+            net.fabric_.fill_block_run(j, g, first, count, s);
+          });
+    });
+    seam.apply_full_packed(net.fabric_, PassKind::Quasisort, kx.masks);
+    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
+      obs::PhaseTimer sort_datapath(probe.datapath);
+      obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
+      run_unicast_datapath(kx);
+      sort_data_span.end();
+      sort_datapath.stop();
+    });
     result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
     ++result.stats.fabric_passes;
     // ε-divide sweep + quasisort sweep + full fabric traversal.
     result.stats.gate_delay +=
         2 * config_sweep_delay(top_stage) + datapath_delay(m);
 
-    lines = gather_lines(kx, lines);
+    if (checking) {
+      fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
+        lines = gather_lines(kx, lines);
+        advance_streams(lines);
+        fault::self_check_level(lines, k, route_ord);
+      });
+    } else {
+      lines = gather_lines(kx, lines);
+      advance_streams(lines);
+    }
     result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                           splits_before);
-    advance_streams(lines);
   }
 
   // Final pass: the 2x2-switch level, realized by stage 1 of the fabric.
   if (options.capture_levels) result.level_inputs.push_back(lines);
+  fault::apply_dead_lines(options.faults, route_ord, m,
+                          fault::ImplKind::Feedback, RouteEngine::Packed,
+                          lines, options.fault_activity);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
@@ -1130,15 +1246,27 @@ RouteResult packed_route(FeedbackBrsmn& net,
       result.explanation->passes.push_back(make_pass(m, PassKind::Final, n, 1));
       final_sink.pass = &result.explanation->passes.back();
     }
-    deliver_final_level(lines, result.delivered, &result.stats,
-                        options.explain ? &final_sink : nullptr);
+    fault::guard(checking, n, route_ord, m, PassKind::Final, true, [&] {
+      deliver_final_level(lines, result.delivered, &result.stats,
+                          options.explain ? &final_sink : nullptr);
+    });
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
                                         splits_before_final);
   ++result.stats.fabric_passes;
 
-  BRSMN_ENSURES_MSG(result.delivered == expected_delivery(assignment),
+  const auto expected = expected_delivery(assignment);
+  if (checking) {
+    fault::self_check_delivery(result.delivered, expected, m, route_ord);
+  }
+  BRSMN_ENSURES_MSG(result.delivered == expected,
                     "feedback BRSMN routed assignment incorrectly");
+  } catch (const fault::FaultDetected& e) {
+    if (options.explain && result.explanation.has_value()) {
+      fault::rethrow_localized(net, e, *result.explanation);
+    }
+    throw;
+  }
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

@@ -1,0 +1,116 @@
+#include "fault/fault_plan.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace brsmn::fault {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::StuckSetting: return "stuck-setting";
+    case FaultKind::TransientFlip: return "transient-flip";
+    case FaultKind::DeadLink: return "dead-link";
+  }
+  return "?";
+}
+
+std::string_view impl_kind_name(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::Unrolled: return "unrolled";
+    case ImplKind::Feedback: return "feedback";
+  }
+  return "?";
+}
+
+void validate(const FaultPlan& plan) {
+  BRSMN_EXPECTS_MSG(is_pow2(plan.n) && plan.n >= 4,
+                    "fault plan needs a power-of-two network, n >= 4");
+  const int m = log2_exact(plan.n);
+  for (const FaultSpec& f : plan.faults) {
+    BRSMN_EXPECTS_MSG(f.when.first_route <= f.when.last_route,
+                      "fault activation window is empty");
+    if (f.kind == FaultKind::DeadLink) {
+      BRSMN_EXPECTS_MSG(f.level >= 1 && f.level <= m,
+                        "dead-link level out of range");
+      BRSMN_EXPECTS_MSG(f.index < plan.n, "dead-link line out of range");
+      continue;
+    }
+    BRSMN_EXPECTS_MSG(f.level >= 1 && f.level <= m - 1,
+                      "switch-fault level out of range (the final 2x2 "
+                      "level carries no fabric settings)");
+    BRSMN_EXPECTS_MSG(f.pass != PassKind::Final,
+                      "switch faults target scatter or quasisort passes");
+    BRSMN_EXPECTS_MSG(f.stage >= 1 && f.stage <= m - f.level + 1,
+                      "switch-fault stage exceeds the level's BSN depth");
+    BRSMN_EXPECTS_MSG(f.index < plan.n / 2, "switch index out of range");
+    if (f.kind == FaultKind::StuckSetting) {
+      BRSMN_EXPECTS_MSG(f.stuck == SwitchSetting::Parallel ||
+                            f.stuck == SwitchSetting::Cross,
+                        "stuck-at settings must be unicast (see "
+                        "docs/FAULT_TOLERANCE.md)");
+    }
+  }
+}
+
+std::string describe(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << fault_kind_name(spec.kind);
+  if (spec.kind == FaultKind::DeadLink) {
+    os << " line " << spec.index << " entering level " << spec.level;
+  } else {
+    os << " at level " << spec.level << " " << pass_name(spec.pass)
+       << " stage " << spec.stage << " switch " << spec.index;
+    if (spec.kind == FaultKind::StuckSetting) {
+      os << " (held " << setting_name(spec.stuck) << ")";
+    }
+  }
+  if (spec.impl) os << " [" << impl_kind_name(*spec.impl) << " only]";
+  if (spec.engine) {
+    os << " [" << (*spec.engine == RouteEngine::Packed ? "packed" : "scalar")
+       << " only]";
+  }
+  return os.str();
+}
+
+FaultPlan random_fault_plan(std::size_t n, Rng& rng,
+                            const RandomFaultConfig& config) {
+  BRSMN_EXPECTS_MSG(is_pow2(n) && n >= 4,
+                    "fault plan needs a power-of-two network, n >= 4");
+  const int m = log2_exact(n);
+  FaultPlan plan;
+  plan.n = n;
+  auto random_site = [&](FaultSpec& f) {
+    f.level = static_cast<int>(rng.uniform(1, static_cast<std::uint64_t>(m - 1)));
+    f.pass = rng.chance(0.5) ? PassKind::Scatter : PassKind::Quasisort;
+    f.stage = static_cast<int>(
+        rng.uniform(1, static_cast<std::uint64_t>(m - f.level + 1)));
+    f.index = static_cast<std::size_t>(rng.uniform(0, n / 2 - 1));
+  };
+  for (std::size_t i = 0; i < config.stuck_faults; ++i) {
+    FaultSpec f;
+    f.kind = FaultKind::StuckSetting;
+    random_site(f);
+    f.stuck = rng.chance(0.5) ? SwitchSetting::Cross : SwitchSetting::Parallel;
+    plan.faults.push_back(f);
+  }
+  for (std::size_t i = 0; i < config.flip_faults; ++i) {
+    FaultSpec f;
+    f.kind = FaultKind::TransientFlip;
+    random_site(f);
+    plan.faults.push_back(f);
+  }
+  for (std::size_t i = 0; i < config.dead_links; ++i) {
+    FaultSpec f;
+    f.kind = FaultKind::DeadLink;
+    f.level = static_cast<int>(rng.uniform(1, static_cast<std::uint64_t>(m)));
+    f.index = static_cast<std::size_t>(rng.uniform(0, n - 1));
+    plan.faults.push_back(f);
+  }
+  validate(plan);
+  return plan;
+}
+
+}  // namespace brsmn::fault

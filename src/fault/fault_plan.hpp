@@ -1,0 +1,131 @@
+// Declarative fault model for the BRSMN routing engines.
+//
+// The paper's network is fully self-routing (Sections 5-6): there is no
+// central controller that could notice a broken switch, so a physical
+// fault silently corrupts the distributed configuration. A FaultPlan
+// describes such faults declaratively — which logical switch site
+// (level, pass, stage, switch) misbehaves, or which line is dead, and
+// when — so the same plan can be replayed against any engine
+// (Scalar/Packed, unrolled/feedback) and both must agree on the outcome
+// (see docs/FAULT_TOLERANCE.md).
+//
+// Fault sites are *logical*, in the engine-independent full-width
+// indexing of core/explain.hpp: level k configures stages 1..log2(n')
+// (n' = n / 2^(k-1)), each stage holding n/2 switches in the stage-switch
+// order of a size-n RBN. The unrolled network's per-BSN fabrics and the
+// feedback network's single fabric flatten to identical indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/explain.hpp"
+#include "core/switch_setting.hpp"
+
+namespace brsmn {
+class Rng;
+}  // namespace brsmn
+
+namespace brsmn::fault {
+
+enum class FaultKind : std::uint8_t {
+  /// The switch ignores its configuration and is permanently held at
+  /// FaultSpec::stuck (a unicast setting) while the fault is active.
+  StuckSetting,
+  /// The switch applies the opposite unicast setting of whatever the
+  /// routing algorithm configured (Lemma 1's b-bar) — a configuration
+  /// bit flip rather than a latched defect.
+  TransientFlip,
+  /// The line carries nothing into the level: its value is replaced by
+  /// an empty ε at level entry, as if the wire were cut.
+  DeadLink,
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Which physical implementation a fault is bound to. Faults scoped to
+/// one implementation model a defect in that fabric's silicon; the other
+/// implementation routes cleanly, which is what makes the
+/// unrolled<->feedback fallback of api::ResilientRouter a genuine
+/// recovery path.
+enum class ImplKind : std::uint8_t { Unrolled, Feedback };
+
+std::string_view impl_kind_name(ImplKind kind);
+
+/// When a fault is active, keyed by the injector's route ordinal (the
+/// number of begin_route() calls before this one). The default window is
+/// always-active.
+struct Activation {
+  std::uint64_t first_route = 0;
+  std::uint64_t last_route = UINT64_MAX;  ///< inclusive
+  /// Fire every `period`-th route inside the window (1 = every route).
+  std::uint64_t period = 1;
+
+  bool active(std::uint64_t route) const noexcept {
+    return route >= first_route && route <= last_route &&
+           (route - first_route) % (period == 0 ? 1 : period) == 0;
+  }
+
+  friend bool operator==(const Activation&, const Activation&) = default;
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::StuckSetting;
+  /// 1-based BRSMN level. Switch faults: 1..log2(n)-1 (the final 2x2
+  /// level has no fabric settings to corrupt). Dead links: 1..log2(n).
+  int level = 1;
+  /// Which configuration pass of the level the fault corrupts. Ignored
+  /// for DeadLink (the line dies before both passes).
+  PassKind pass = PassKind::Scatter;
+  /// 1-based stage within the level, <= log2(n) - level + 1. Ignored for
+  /// DeadLink.
+  int stage = 1;
+  /// Switch index in full-width stage-switch order (< n/2), or the dead
+  /// line index (< n) for DeadLink.
+  std::size_t index = 0;
+  /// StuckSetting only: the setting the switch is latched at. Must be
+  /// unicast (Parallel or Cross) — see docs/FAULT_TOLERANCE.md for why
+  /// broadcast corruption is outside the replayable fault model.
+  SwitchSetting stuck = SwitchSetting::Cross;
+  Activation when{};
+  /// Restrict the fault to one implementation / engine; nullopt = both.
+  std::optional<ImplKind> impl;
+  std::optional<RouteEngine> engine;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// A seeded, replayable set of faults for an n x n network.
+struct FaultPlan {
+  std::size_t n = 0;
+  std::vector<FaultSpec> faults;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Throws ContractViolation unless every spec addresses a real site of an
+/// n x n network: n a power of two >= 4, levels/stages/indices in range,
+/// stuck settings unicast, activation windows non-empty.
+void validate(const FaultPlan& plan);
+
+/// One-line description of a spec, for reports and logs.
+std::string describe(const FaultSpec& spec);
+
+/// Knobs for random_fault_plan.
+struct RandomFaultConfig {
+  std::size_t stuck_faults = 2;
+  std::size_t flip_faults = 1;
+  std::size_t dead_links = 1;
+};
+
+/// A seeded random plan over valid sites of an n x n network; every spec
+/// is always-active and unscoped (applies to both implementations and
+/// engines). Deterministic given the Rng state.
+FaultPlan random_fault_plan(std::size_t n, Rng& rng,
+                            const RandomFaultConfig& config = {});
+
+}  // namespace brsmn::fault

@@ -1,0 +1,32 @@
+#include "fault/fault_report.hpp"
+
+#include <sstream>
+
+namespace brsmn::fault {
+
+std::string FaultReport::to_string() const {
+  std::ostringstream os;
+  os << "fault detected at level " << at.level;
+  if (at.pass) os << " " << pass_name(*at.pass) << " pass";
+  os << " (route " << route << "): " << check;
+  if (!sites.empty()) {
+    os << "; localized to";
+    // The first few sites carry the signal; a flood of mismatches means
+    // a systematically corrupted grid, not a more informative message.
+    const std::size_t shown = sites.size() < 4 ? sites.size() : 4;
+    for (std::size_t i = 0; i < shown; ++i) {
+      const FaultSiteMismatch& s = sites[i];
+      os << " [level " << s.level << " " << pass_name(s.pass) << " stage "
+         << s.stage << " switch " << s.index << ": intended "
+         << setting_name(s.intended) << ", actual " << setting_name(s.actual)
+         << "]";
+    }
+    if (sites.size() > shown) os << " (+" << sites.size() - shown << " more)";
+  }
+  return os.str();
+}
+
+FaultDetected::FaultDetected(FaultReport report)
+    : ContractViolation(report.to_string()), report_(std::move(report)) {}
+
+}  // namespace brsmn::fault

@@ -1,0 +1,118 @@
+#include "fault/locate.hpp"
+
+#include <utility>
+
+#include "core/rbn.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace brsmn::fault {
+
+namespace {
+
+/// Is pass `kind` of the failing level settled (configuration plus any
+/// injected faults installed) at the detection point?
+bool pass_settled(PassKind kind, const DetectPoint& at) {
+  if (!at.pass.has_value()) return at.fabric_settled;
+  if (kind < *at.pass) return true;
+  if (kind > *at.pass) return false;
+  return at.fabric_settled;
+}
+
+[[noreturn]] void rethrow_with(const FaultDetected& e,
+                               std::vector<FaultSiteMismatch> sites) {
+  FaultReport report = e.report();
+  report.sites = std::move(sites);
+  throw FaultDetected(std::move(report));
+}
+
+}  // namespace
+
+std::vector<FaultSiteMismatch> locate_mismatches(const Brsmn& net,
+                                                 const RouteExplanation& ex,
+                                                 const DetectPoint& at) {
+  std::vector<FaultSiteMismatch> sites;
+  for (const PassExplanation& p : ex.passes) {
+    if (p.kind == PassKind::Final || p.level > at.level) continue;
+    const std::size_t bsn_size = ex.n >> (p.level - 1);
+    const std::vector<Bsn>& bsns = net.level_bsns(p.level);
+    for (int j = 1; j <= p.stages(); ++j) {
+      const auto& row = p.decisions[static_cast<std::size_t>(j - 1)];
+      for (std::size_t sw = 0; sw < row.size(); ++sw) {
+        const std::size_t u = fault_site_upper_line(j, sw);
+        if (p.level == at.level) {
+          if (at.block_size == 0) {
+            // Whole-width configuration: the settled flag covers all
+            // blocks of the pass.
+            if (!pass_settled(p.kind, at)) continue;
+          } else if (u >= at.block_base + at.block_size) {
+            continue;  // later block: grid stale from a previous route
+          } else if (u >= at.block_base && !pass_settled(p.kind, at)) {
+            continue;  // failing block, pass not yet installed
+          }
+        }
+        const std::size_t bb = u / bsn_size;
+        const Rbn& fabric = p.kind == PassKind::Scatter
+                                ? bsns[bb].scatter_fabric()
+                                : bsns[bb].quasisort_fabric();
+        const std::size_t lsw = fault_site_local_switch(j, u, bb * bsn_size);
+        const SwitchSetting actual = fabric.setting(j, lsw);
+        if (actual != row[sw].setting) {
+          sites.push_back({p.level, p.kind, j, sw, row[sw].setting, actual});
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+std::vector<FaultSiteMismatch> locate_mismatches(const FeedbackBrsmn& net,
+                                                 const RouteExplanation& ex,
+                                                 const DetectPoint& at) {
+  // Work out which pass's grid the physical fabric holds at the
+  // detection point. The final 2x2 level never touches the fabric, so a
+  // delivery-time detection still sees the last quasisort grid.
+  int level = at.level;
+  PassKind kind = PassKind::Quasisort;
+  if (at.pass == PassKind::Scatter) kind = PassKind::Scatter;
+  if (at.pass == PassKind::Final) level = at.level - 1;
+  if (level < 1) return {};
+
+  const PassExplanation* resident = nullptr;
+  for (const PassExplanation& p : ex.passes) {
+    if (p.level == level && p.kind == kind) {
+      resident = &p;
+      break;
+    }
+  }
+  if (resident == nullptr) return {};
+
+  // An unsettled resident pass diffs clean by construction: explanation
+  // rows and fabric settings are written in lockstep over a reset
+  // fabric, and injection has not run yet. So no settled gate here.
+  std::vector<FaultSiteMismatch> sites;
+  const Rbn& fabric = net.fabric();
+  for (int j = 1; j <= resident->stages(); ++j) {
+    const auto& row = resident->decisions[static_cast<std::size_t>(j - 1)];
+    for (std::size_t sw = 0; sw < row.size(); ++sw) {
+      // Full-width fabric: the full-width stage-switch index is the
+      // fabric's own index.
+      const SwitchSetting actual = fabric.setting(j, sw);
+      if (actual != row[sw].setting) {
+        sites.push_back({level, kind, j, sw, row[sw].setting, actual});
+      }
+    }
+  }
+  return sites;
+}
+
+void rethrow_localized(const Brsmn& net, const FaultDetected& e,
+                       const RouteExplanation& ex) {
+  rethrow_with(e, locate_mismatches(net, ex, e.report().at));
+}
+
+void rethrow_localized(const FeedbackBrsmn& net, const FaultDetected& e,
+                       const RouteExplanation& ex) {
+  rethrow_with(e, locate_mismatches(net, ex, e.report().at));
+}
+
+}  // namespace brsmn::fault

@@ -1,0 +1,53 @@
+// Provenance localization: name the corrupted switches by diffing the
+// recorded routing intent against the fabric's installed settings.
+//
+// The configuration algorithms write their decisions into the
+// RouteExplanation grid (core/explain.hpp) *before* the injector touches
+// the fabric, so intent and actual are independent artifacts. When the
+// online self-check fires, the drivers diff the two over every region
+// whose grids are trustworthy at the detection point and attach the
+// mismatching sites — earliest (level, pass, stage, switch) first — to
+// the FaultReport.
+//
+// Which regions are trustworthy differs by implementation:
+//   - Unrolled (Brsmn): every BSN keeps its grids for the whole route,
+//     so all fully-configured passes up to the detection point can be
+//     diffed. Within the failing level, the scalar engine configures
+//     block by block; DetectPoint::block_base/block_size bound the
+//     current grids to the failing block and its predecessors.
+//   - Feedback (FeedbackBrsmn): one physical fabric is reconfigured per
+//     pass, so only the pass whose grid is *resident* at detection time
+//     can be diffed. Faults whose grid has already been overwritten are
+//     reported without sites (the detection point still bounds them).
+#pragma once
+
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "fault/fault_report.hpp"
+
+namespace brsmn::fault {
+
+/// Diff the recorded decision grids against the unrolled network's
+/// per-BSN fabric settings over every pass trustworthy at `at`. Sites
+/// come back ordered (level, pass, stage, switch) ascending.
+std::vector<FaultSiteMismatch> locate_mismatches(const Brsmn& net,
+                                                 const RouteExplanation& ex,
+                                                 const DetectPoint& at);
+
+/// Feedback variant: diffs only the pass resident in the physical
+/// fabric at the detection point (see file comment).
+std::vector<FaultSiteMismatch> locate_mismatches(const FeedbackBrsmn& net,
+                                                 const RouteExplanation& ex,
+                                                 const DetectPoint& at);
+
+/// Rebuild `e` with localized sites attached and throw it. Used in the
+/// drivers' top-level catch when the route ran with explain enabled.
+[[noreturn]] void rethrow_localized(const Brsmn& net, const FaultDetected& e,
+                                    const RouteExplanation& ex);
+[[noreturn]] void rethrow_localized(const FeedbackBrsmn& net,
+                                    const FaultDetected& e,
+                                    const RouteExplanation& ex);
+
+}  // namespace brsmn::fault

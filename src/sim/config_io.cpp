@@ -1,6 +1,7 @@
 #include "sim/config_io.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "sim/render.hpp"
@@ -39,6 +40,11 @@ void deserialize_settings(Rbn& rbn, const std::string& config) {
   const std::size_t stages = static_cast<std::size_t>(rbn.stages());
   BRSMN_EXPECTS_MSG(config.size() == stages * per_stage + (stages - 1),
                     "configuration length does not match fabric geometry");
+  // Parse the whole string before touching the fabric: a malformed
+  // config must throw without leaving the fabric half-written (found by
+  // tests/fuzz_config_io.cpp, which asserts the strong guarantee).
+  std::vector<SwitchSetting> parsed;
+  parsed.reserve(stages * per_stage);
   std::size_t pos = 0;
   for (std::size_t stage = 1; stage <= stages; ++stage) {
     if (stage > 1) {
@@ -46,8 +52,13 @@ void deserialize_settings(Rbn& rbn, const std::string& config) {
       ++pos;
     }
     for (std::size_t sw = 0; sw < per_stage; ++sw, ++pos) {
-      rbn.set(static_cast<int>(stage), sw,
-              setting_from_config_char(config[pos]));
+      parsed.push_back(setting_from_config_char(config[pos]));
+    }
+  }
+  std::size_t next = 0;
+  for (std::size_t stage = 1; stage <= stages; ++stage) {
+    for (std::size_t sw = 0; sw < per_stage; ++sw) {
+      rbn.set(static_cast<int>(stage), sw, parsed[next++]);
     }
   }
 }

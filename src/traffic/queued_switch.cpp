@@ -8,9 +8,25 @@
 
 namespace brsmn::traffic {
 
+namespace {
+
+api::ResilientOptions router_options(
+    const QueuedMulticastSwitch::Config& config) {
+  api::ResilientOptions o;
+  o.engine = config.engine;
+  o.retry = config.retry;
+  o.self_check = config.self_check;
+  o.faults = config.faults;
+  o.metrics = config.metrics;
+  o.tracer = config.tracer;
+  return o;
+}
+
+}  // namespace
+
 QueuedMulticastSwitch::QueuedMulticastSwitch(const Config& config)
     : config_(config),
-      fabric_(config.ports),
+      router_(config.ports, router_options(config)),
       queues_(config.ports) {
   if constexpr (obs::kEnabled) {
     if (config_.metrics != nullptr) {
@@ -26,6 +42,9 @@ QueuedMulticastSwitch::QueuedMulticastSwitch(const Config& config)
       instruments_.epochs = &r.counter("switch.epochs");
       instruments_.delivered = &r.counter("switch.delivered_copies");
       instruments_.completed = &r.counter("switch.completed_cells");
+      instruments_.dropped = &r.counter("switch.dropped_cells");
+      instruments_.aborted = &r.counter("switch.aborted_epochs");
+      instruments_.degraded = &r.counter("switch.degraded_epochs");
     }
   }
 }
@@ -37,16 +56,34 @@ void QueuedMulticastSwitch::offer(const Offer& offer) {
   cell.remaining = offer.destinations;
   cell.arrival = epoch_;
   queues_[offer.input].push_back(std::move(cell));
+  ++offered_;
 }
 
 void QueuedMulticastSwitch::offer_all(const std::vector<Offer>& offers) {
   for (const Offer& o : offers) offer(o);
 }
 
+void QueuedMulticastSwitch::expire_old_cells(EpochReport& report) {
+  if (config_.max_cell_age == 0) return;
+  for (auto& queue : queues_) {
+    // Arrival epochs are non-decreasing toward the tail, so expired
+    // cells cluster at the head.
+    while (!queue.empty() &&
+           epoch_ - queue.front().arrival > config_.max_cell_age) {
+      ++dropped_cells_;
+      ++report.dropped_cells;
+      dropped_copies_ += queue.front().remaining.size();
+      queue.pop_front();
+    }
+  }
+}
+
 QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   const std::size_t n = ports();
   EpochReport report;
   obs::TraceSpan epoch_span(config_.tracer, "switch.epoch");
+
+  expire_old_cells(report);
 
   // Schedule: walk inputs round-robin from rr_pointer_, admitting from
   // each head cell the destinations not yet claimed this epoch.
@@ -75,14 +112,22 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   }
   rr_pointer_ = (rr_pointer_ + 1) % n;
 
-  // Route through the self-routing fabric (verifies delivery itself).
+  // Route through the resilient fabric. A Failed outcome aborts the
+  // epoch: nothing retires, the admitted cells stay queued (their
+  // destinations will be re-admitted next epoch), so no cell is lost.
   if (report.admitted_cells > 0) {
-    RouteOptions options;
-    options.metrics = config_.metrics;
-    options.tracer = config_.tracer;
-    const RouteResult result = fabric_.route(assignment, options);
-    for (const auto& d : result.delivered) {
-      report.delivered_copies += d.has_value();
+    const api::RequestOutcome outcome = router_.route(assignment);
+    if (outcome.outcome == api::RouteOutcome::Failed) {
+      report.aborted = true;
+      ++aborted_epochs_;
+      for (auto& s : served) s.clear();
+    } else {
+      report.degraded =
+          outcome.outcome == api::RouteOutcome::DeliveredDegraded;
+      degraded_epochs_ += report.degraded;
+      for (const auto& d : outcome.result->delivered) {
+        report.delivered_copies += d.has_value();
+      }
     }
   }
 
@@ -128,8 +173,15 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
       instruments_.epochs->add(1);
       instruments_.delivered->add(report.delivered_copies);
       instruments_.completed->add(report.completed_cells);
+      instruments_.dropped->add(report.dropped_cells);
+      instruments_.aborted->add(report.aborted ? 1 : 0);
+      instruments_.degraded->add(report.degraded ? 1 : 0);
     }
   }
+  // Cell conservation (the chaos harness's core safety property).
+  BRSMN_ENSURES_MSG(
+      offered_ == completed_ + dropped_cells_ + backlog_cells(),
+      "queued switch lost or invented a cell");
   return report;
 }
 

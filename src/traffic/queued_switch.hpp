@@ -9,6 +9,15 @@
 // multicast switching literature) a head cell may be served partially —
 // whatever subset of its destinations is still unclaimed this epoch —
 // which removes head-of-line blocking between overlapping multicasts.
+//
+// Fault behavior: the fabric is driven through api::ResilientRouter, so
+// a detected fault retries and falls back before it reaches the switch.
+// An epoch whose route still Fails is *aborted* — nothing is retired,
+// the admitted cells stay queued and are re-offered to later epochs — so
+// no cell is ever silently lost. An optional drop policy (max_cell_age)
+// expires cells that have waited too long, with explicit accounting:
+// offered == completed + dropped + backlog holds at every epoch
+// boundary (verified by tests/test_chaos.cpp).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +25,7 @@
 #include <deque>
 #include <vector>
 
+#include "api/resilient_router.hpp"
 #include "core/brsmn.hpp"
 #include "traffic/arrivals.hpp"
 
@@ -26,6 +36,10 @@ class Histogram;
 class MetricRegistry;
 class Tracer;
 }  // namespace brsmn::obs
+
+namespace brsmn::fault {
+class FaultInjector;
+}  // namespace brsmn::fault
 
 namespace brsmn::traffic {
 
@@ -50,6 +64,18 @@ class QueuedMulticastSwitch {
     /// switch.backlog_copies counter tracks, so queue depth is plotted
     /// against the routing timeline in the Chrome trace.
     obs::Tracer* tracer = nullptr;
+    /// Primary routing engine for the fabric (fallbacks per `retry`).
+    RouteEngine engine = RouteEngine::Scalar;
+    /// Online self-check for every route (see core/brsmn.hpp).
+    bool self_check = true;
+    /// Fault-injection seam, handed to the resilient router. Null: no
+    /// injection (the default).
+    fault::FaultInjector* faults = nullptr;
+    /// Retry/fallback policy for faulted routes.
+    api::RetryPolicy retry{};
+    /// Drop policy: a queued cell older than this many epochs is dropped
+    /// (counted, never silently) at the start of a step. 0 disables.
+    std::size_t max_cell_age = 0;
   };
 
   explicit QueuedMulticastSwitch(const Config& config);
@@ -66,9 +92,15 @@ class QueuedMulticastSwitch {
     std::size_t admitted_cells = 0;    ///< cells served (fully or partly)
     std::size_t delivered_copies = 0;  ///< destinations served
     std::size_t completed_cells = 0;   ///< cells whose last copy left
+    std::size_t dropped_cells = 0;     ///< cells expired by max_cell_age
+    /// The route Failed even after retries/fallbacks: nothing was
+    /// retired this epoch and the admitted cells remain queued.
+    bool aborted = false;
+    /// The route needed a fallback path (DeliveredDegraded).
+    bool degraded = false;
   };
 
-  /// Run one epoch: schedule, route, retire. Advances the clock.
+  /// Run one epoch: expire, schedule, route, retire. Advances the clock.
   EpochReport step();
 
   /// Epochs elapsed.
@@ -90,11 +122,27 @@ class QueuedMulticastSwitch {
   /// Total destination copies delivered so far.
   std::size_t delivered_copies() const noexcept { return delivered_; }
 
+  /// Cell conservation: offered_cells() == latency().completed_cells +
+  /// dropped_cells() + backlog_cells() at every epoch boundary.
+  std::size_t offered_cells() const noexcept { return offered_; }
+  std::size_t dropped_cells() const noexcept { return dropped_cells_; }
+  std::size_t dropped_copies() const noexcept { return dropped_copies_; }
+
+  /// Epochs whose route Failed after the full retry ladder.
+  std::size_t aborted_epochs() const noexcept { return aborted_epochs_; }
+  /// Epochs served by a fallback path.
+  std::size_t degraded_epochs() const noexcept { return degraded_epochs_; }
+
+  /// The underlying resilient router (fault counters, ladder).
+  const api::ResilientRouter& router() const noexcept { return router_; }
+
  private:
   struct QueuedCell {
     std::vector<std::size_t> remaining;  ///< destinations still owed
     std::size_t arrival = 0;
   };
+
+  void expire_old_cells(EpochReport& report);
 
   /// Registry handles resolved once at construction (null when the
   /// config carries no registry).
@@ -108,10 +156,13 @@ class QueuedMulticastSwitch {
     obs::Counter* epochs = nullptr;
     obs::Counter* delivered = nullptr;
     obs::Counter* completed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* aborted = nullptr;
+    obs::Counter* degraded = nullptr;
   };
 
   Config config_;
-  Brsmn fabric_;
+  api::ResilientRouter router_;
   Instruments instruments_;
   std::vector<std::deque<QueuedCell>> queues_;
   std::size_t epoch_ = 0;
@@ -120,6 +171,11 @@ class QueuedMulticastSwitch {
   std::uint64_t latency_total_ = 0;
   std::size_t latency_max_ = 0;
   std::size_t completed_ = 0;
+  std::size_t offered_ = 0;
+  std::size_t dropped_cells_ = 0;
+  std::size_t dropped_copies_ = 0;
+  std::size_t aborted_epochs_ = 0;
+  std::size_t degraded_epochs_ = 0;
 };
 
 }  // namespace brsmn::traffic

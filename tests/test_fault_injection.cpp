@@ -1,13 +1,24 @@
 // Failure injection: corrupt one switch setting after a correct
 // configuration and verify that the library's invariants catch it — no
-// silent misrouting, no silent packet loss.
+// silent misrouting, no silent packet loss. The FullRoute tests extend
+// the single-fabric sweeps to whole-BRSMN routes through the fault
+// seam: every reachable (level, pass, stage, switch) site at n = 16,
+// every dead line, with the scalar and packed engines required to agree
+// on every outcome.
 #include <gtest/gtest.h>
+
+#include <optional>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "core/bit_sorter.hpp"
+#include "core/brsmn.hpp"
 #include "core/compact_sequence.hpp"
+#include "core/feedback.hpp"
 #include "core/scatter.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_report.hpp"
 #include "helpers.hpp"
 
 namespace brsmn {
@@ -99,6 +110,323 @@ TEST(FaultInjection, CorruptedQuasisortViolatesHalfSplit) {
     split_ok = split_ok && (out[i] == (i < n / 2 ? 0 : 1));
   }
   EXPECT_FALSE(split_ok);
+}
+
+/// Route `assignment` through a fresh n x n network with a single-fault
+/// plan: returns the delivered vector on success, nullopt when the fault
+/// was detected (FaultDetected). Any other escape fails the test.
+struct RouteUnderFault {
+  std::optional<std::vector<std::optional<std::size_t>>> delivered;
+  fault::FaultActivity activity;
+};
+
+RouteUnderFault route_unrolled(const MulticastAssignment& assignment,
+                               const fault::FaultPlan& plan,
+                               RouteEngine engine, bool explain = false) {
+  RouteUnderFault out;
+  fault::FaultInjector injector(plan);
+  Brsmn net(plan.n);
+  RouteOptions options;
+  options.engine = engine;
+  options.faults = &injector;
+  options.fault_activity = &out.activity;
+  options.explain = explain;
+  try {
+    out.delivered = net.route(assignment, options).delivered;
+  } catch (const fault::FaultDetected&) {
+    out.delivered = std::nullopt;
+  }
+  return out;
+}
+
+RouteUnderFault route_feedback(const MulticastAssignment& assignment,
+                               const fault::FaultPlan& plan,
+                               RouteEngine engine) {
+  RouteUnderFault out;
+  fault::FaultInjector injector(plan);
+  FeedbackBrsmn net(plan.n);
+  RouteOptions options;
+  options.engine = engine;
+  options.faults = &injector;
+  options.fault_activity = &out.activity;
+  try {
+    out.delivered = net.route(assignment, options).delivered;
+  } catch (const fault::FaultDetected&) {
+    out.delivered = std::nullopt;
+  }
+  return out;
+}
+
+/// A fixed multicast mixing unicast, fan-out and idle inputs, so sweeps
+/// hit occupied and empty lines alike.
+MulticastAssignment sweep_assignment(std::size_t n) {
+  MulticastAssignment a(n);
+  a.connect(0, 0);
+  a.connect(0, n - 1);
+  a.connect(1, n / 2);
+  a.connect(2, 1);
+  a.connect(2, 2);
+  a.connect(2, 3);
+  a.connect(5, n / 2 + 1);
+  a.connect(n - 1, n / 4);
+  return a;
+}
+
+TEST(FaultInjectionFullRoute, ExhaustiveSwitchSweepBothEnginesAgree) {
+  // Every reachable switch site of a 16-wide BRSMN: 2 passes x (4 + 3 +
+  // 2 stages) x 8 switches = 144 single-flip plans. Each must be masked
+  // (delivered exactly the expected vector, both engines bit-identical)
+  // or detected (FaultDetected in BOTH engines) — never a
+  // plausible-but-wrong delivery.
+  const std::size_t n = 16;
+  const int m = 4;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  const auto expected = expected_delivery(assignment);
+
+  std::size_t sites = 0, masked = 0, detected = 0;
+  for (int level = 1; level <= m - 1; ++level) {
+    for (const PassKind pass : {PassKind::Scatter, PassKind::Quasisort}) {
+      for (int stage = 1; stage <= m - level + 1; ++stage) {
+        for (std::size_t sw = 0; sw < n / 2; ++sw) {
+          SCOPED_TRACE("level " + std::to_string(level) + " pass " +
+                       std::string(pass_name(pass)) + " stage " +
+                       std::to_string(stage) + " switch " +
+                       std::to_string(sw));
+          ++sites;
+          fault::FaultPlan plan;
+          plan.n = n;
+          fault::FaultSpec f;
+          f.kind = fault::FaultKind::TransientFlip;
+          f.level = level;
+          f.pass = pass;
+          f.stage = stage;
+          f.index = sw;
+          plan.faults.push_back(f);
+
+          const RouteUnderFault scalar =
+              route_unrolled(assignment, plan, RouteEngine::Scalar);
+          const RouteUnderFault packed =
+              route_unrolled(assignment, plan, RouteEngine::Packed);
+
+          // Engine parity: same outcome class, and bit-identical
+          // delivery on success.
+          ASSERT_EQ(scalar.delivered.has_value(),
+                    packed.delivered.has_value());
+          if (scalar.delivered.has_value()) {
+            ++masked;
+            EXPECT_EQ(*scalar.delivered, expected);
+            EXPECT_EQ(*scalar.delivered, *packed.delivered);
+          } else {
+            ++detected;
+          }
+          // The audit trail saw the fault exactly once per attempt.
+          EXPECT_LE(scalar.activity.applied.size(), 1u);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(sites, 144u);
+  EXPECT_GT(detected, 0u);
+  EXPECT_GT(masked, 0u);
+}
+
+TEST(FaultInjectionFullRoute, DetectedFaultsLocalizeToTheInjectedSite) {
+  // Re-run each detected single-fault case with provenance enabled: the
+  // report's earliest mismatching site must be exactly the injected
+  // switch (single fault => single corrupted site on the unrolled
+  // implementation, whose grids persist).
+  const std::size_t n = 16;
+  const int m = 4;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  std::size_t localized = 0;
+
+  for (int level = 1; level <= m - 1; ++level) {
+    for (const PassKind pass : {PassKind::Scatter, PassKind::Quasisort}) {
+      for (int stage = 1; stage <= m - level + 1; ++stage) {
+        for (std::size_t sw = 0; sw < n / 2; ++sw) {
+          fault::FaultPlan plan;
+          plan.n = n;
+          fault::FaultSpec f;
+          f.kind = fault::FaultKind::TransientFlip;
+          f.level = level;
+          f.pass = pass;
+          f.stage = stage;
+          f.index = sw;
+          plan.faults.push_back(f);
+
+          fault::FaultInjector injector(plan);
+          Brsmn net(n);
+          RouteOptions options;
+          options.faults = &injector;
+          options.explain = true;
+          try {
+            net.route(assignment, options);
+          } catch (const fault::FaultDetected& e) {
+            SCOPED_TRACE(e.report().to_string());
+            ASSERT_FALSE(e.report().sites.empty());
+            const fault::FaultSiteMismatch* site = e.report().earliest_site();
+            EXPECT_EQ(site->level, level);
+            EXPECT_EQ(site->pass, pass);
+            EXPECT_EQ(site->stage, stage);
+            EXPECT_EQ(site->index, sw);
+            EXPECT_EQ(e.report().sites.size(), 1u);
+            ++localized;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(localized, 0u);
+}
+
+TEST(FaultInjectionFullRoute, DeadLinkSweepBothEnginesAgree) {
+  // Every (level, line) dead-link at n = 16: an occupied line dying is
+  // detected at the delivery oracle; an empty line dying is masked. The
+  // two engines and both implementations must agree throughout.
+  const std::size_t n = 16;
+  const int m = 4;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  const auto expected = expected_delivery(assignment);
+
+  std::size_t masked = 0, detected = 0;
+  for (int level = 1; level <= m; ++level) {
+    for (std::size_t line = 0; line < n; ++line) {
+      SCOPED_TRACE("level " + std::to_string(level) + " line " +
+                   std::to_string(line));
+      fault::FaultPlan plan;
+      plan.n = n;
+      fault::FaultSpec f;
+      f.kind = fault::FaultKind::DeadLink;
+      f.level = level;
+      f.index = line;
+      plan.faults.push_back(f);
+
+      const RouteUnderFault scalar =
+          route_unrolled(assignment, plan, RouteEngine::Scalar);
+      const RouteUnderFault packed =
+          route_unrolled(assignment, plan, RouteEngine::Packed);
+      const RouteUnderFault fb_scalar =
+          route_feedback(assignment, plan, RouteEngine::Scalar);
+      const RouteUnderFault fb_packed =
+          route_feedback(assignment, plan, RouteEngine::Packed);
+
+      ASSERT_EQ(scalar.delivered.has_value(), packed.delivered.has_value());
+      ASSERT_EQ(scalar.delivered.has_value(),
+                fb_scalar.delivered.has_value());
+      ASSERT_EQ(scalar.delivered.has_value(),
+                fb_packed.delivered.has_value());
+      if (scalar.delivered.has_value()) {
+        ++masked;
+        EXPECT_EQ(*scalar.delivered, expected);
+        EXPECT_EQ(*packed.delivered, expected);
+        EXPECT_EQ(*fb_scalar.delivered, expected);
+        EXPECT_EQ(*fb_packed.delivered, expected);
+      } else {
+        ++detected;
+      }
+    }
+  }
+  EXPECT_GT(detected, 0u);
+  EXPECT_GT(masked, 0u);  // idle lines dying is harmless
+}
+
+TEST(FaultInjectionFullRoute, FeedbackEnginesAgreeOnSwitchFaults) {
+  // The feedback implementation under the same 144-site sweep: scalar
+  // and packed must agree on every outcome class and every successful
+  // delivery. (Feedback localization may legitimately return no sites —
+  // the corrupted grid is overwritten by later passes — so only outcome
+  // parity is asserted here.)
+  const std::size_t n = 16;
+  const int m = 4;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  const auto expected = expected_delivery(assignment);
+
+  std::size_t masked = 0, detected = 0;
+  for (int level = 1; level <= m - 1; ++level) {
+    for (const PassKind pass : {PassKind::Scatter, PassKind::Quasisort}) {
+      for (int stage = 1; stage <= m - level + 1; ++stage) {
+        for (std::size_t sw = 0; sw < n / 2; ++sw) {
+          SCOPED_TRACE("level " + std::to_string(level) + " pass " +
+                       std::string(pass_name(pass)) + " stage " +
+                       std::to_string(stage) + " switch " +
+                       std::to_string(sw));
+          fault::FaultPlan plan;
+          plan.n = n;
+          fault::FaultSpec f;
+          f.kind = fault::FaultKind::TransientFlip;
+          f.level = level;
+          f.pass = pass;
+          f.stage = stage;
+          f.index = sw;
+          plan.faults.push_back(f);
+
+          const RouteUnderFault fb_scalar =
+              route_feedback(assignment, plan, RouteEngine::Scalar);
+          const RouteUnderFault fb_packed =
+              route_feedback(assignment, plan, RouteEngine::Packed);
+          ASSERT_EQ(fb_scalar.delivered.has_value(),
+                    fb_packed.delivered.has_value());
+          if (fb_scalar.delivered.has_value()) {
+            ++masked;
+            EXPECT_EQ(*fb_scalar.delivered, expected);
+            EXPECT_EQ(*fb_scalar.delivered, *fb_packed.delivered);
+          } else {
+            ++detected;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(detected, 0u);
+  EXPECT_GT(masked, 0u);
+}
+
+TEST(FaultInjectionFullRoute, RandomPlansDifferentialAtN32) {
+  // Seeded multi-fault plans at n = 32 across random assignments: the
+  // scalar and packed engines agree on the outcome of every route, for
+  // both implementations.
+  const std::size_t n = 32;
+  Rng rng(test_seed(1234));
+  for (int round = 0; round < 10; ++round) {
+    const fault::FaultPlan plan = fault::random_fault_plan(n, rng);
+    const MulticastAssignment assignment = random_multicast(n, 0.7, rng);
+    const auto expected = expected_delivery(assignment);
+
+    const RouteUnderFault scalar =
+        route_unrolled(assignment, plan, RouteEngine::Scalar);
+    const RouteUnderFault packed =
+        route_unrolled(assignment, plan, RouteEngine::Packed);
+    ASSERT_EQ(scalar.delivered.has_value(), packed.delivered.has_value())
+        << "round " << round;
+    if (scalar.delivered.has_value()) {
+      EXPECT_EQ(*scalar.delivered, expected);
+      EXPECT_EQ(*scalar.delivered, *packed.delivered);
+    }
+
+    const RouteUnderFault fb_scalar =
+        route_feedback(assignment, plan, RouteEngine::Scalar);
+    const RouteUnderFault fb_packed =
+        route_feedback(assignment, plan, RouteEngine::Packed);
+    ASSERT_EQ(fb_scalar.delivered.has_value(),
+              fb_packed.delivered.has_value())
+        << "round " << round;
+    if (fb_scalar.delivered.has_value()) {
+      EXPECT_EQ(*fb_scalar.delivered, expected);
+    }
+  }
+}
+
+TEST(FaultInjectionFullRoute, SelfCheckOffRaisesBareContractViolation) {
+  // With self_check explicitly off and no injector, a corrupted route is
+  // impossible; but with an injector the wrapping is implied — and with
+  // self_check off *and* no faults, the options plumb through unchanged.
+  const std::size_t n = 16;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  Brsmn net(n);
+  RouteOptions options;
+  options.self_check = false;
+  const RouteResult result = net.route(assignment, options);
+  EXPECT_EQ(result.delivered, expected_delivery(assignment));
 }
 
 TEST(FaultInjection, OracleRejectsMisalignedBroadcastPlans) {

@@ -1,0 +1,242 @@
+// The declarative fault model: validation ranges, activation windows,
+// site addressing shared by injection and localization, armed-fault
+// resolution, and the audit trail / report formatting.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_report.hpp"
+
+namespace brsmn::fault {
+namespace {
+
+FaultSpec switch_fault(int level, PassKind pass, int stage,
+                       std::size_t index) {
+  FaultSpec f;
+  f.kind = FaultKind::StuckSetting;
+  f.level = level;
+  f.pass = pass;
+  f.stage = stage;
+  f.index = index;
+  f.stuck = SwitchSetting::Cross;
+  return f;
+}
+
+TEST(FaultPlan, ValidatesSiteRanges) {
+  FaultPlan plan;
+  plan.n = 16;  // m = 4: switch levels 1..3, level-k BSN depth m-k+1
+  plan.faults.push_back(switch_fault(1, PassKind::Scatter, 4, 7));
+  plan.faults.push_back(switch_fault(3, PassKind::Quasisort, 2, 0));
+  EXPECT_NO_THROW(validate(plan));
+
+  auto rejects = [](FaultPlan p) { EXPECT_THROW(validate(p), ContractViolation); };
+
+  FaultPlan bad = plan;
+  bad.n = 12;  // not a power of two
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[0].level = 4;  // the final 2x2 level has no settings
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[0].pass = PassKind::Final;
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[1].stage = 3;  // level 3 BSNs are 4x4: stages 1..2 only
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[0].index = 8;  // n/2 = 8 switches per stage
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[0].stuck = SwitchSetting::UpperBcast;  // unicast only
+  rejects(bad);
+
+  bad = plan;
+  bad.faults[0].when = Activation{5, 3};  // empty window
+  rejects(bad);
+}
+
+TEST(FaultPlan, ValidatesDeadLinks) {
+  FaultPlan plan;
+  plan.n = 8;
+  FaultSpec dead;
+  dead.kind = FaultKind::DeadLink;
+  dead.level = 3;  // dead links may strike the final level too
+  dead.index = 7;
+  plan.faults.push_back(dead);
+  EXPECT_NO_THROW(validate(plan));
+
+  plan.faults[0].level = 4;
+  EXPECT_THROW(validate(plan), ContractViolation);
+  plan.faults[0].level = 3;
+  plan.faults[0].index = 8;
+  EXPECT_THROW(validate(plan), ContractViolation);
+}
+
+TEST(FaultPlan, ActivationWindows) {
+  Activation always;
+  EXPECT_TRUE(always.active(0));
+  EXPECT_TRUE(always.active(UINT64_MAX));
+
+  const Activation window{3, 5};
+  EXPECT_FALSE(window.active(2));
+  EXPECT_TRUE(window.active(3));
+  EXPECT_TRUE(window.active(5));
+  EXPECT_FALSE(window.active(6));
+
+  const Activation periodic{2, UINT64_MAX, 3};  // routes 2, 5, 8, ...
+  EXPECT_TRUE(periodic.active(2));
+  EXPECT_FALSE(periodic.active(3));
+  EXPECT_FALSE(periodic.active(4));
+  EXPECT_TRUE(periodic.active(5));
+}
+
+TEST(FaultPlan, DescribeNamesTheSite) {
+  FaultSpec f = switch_fault(2, PassKind::Quasisort, 1, 5);
+  f.impl = ImplKind::Unrolled;
+  const std::string text = describe(f);
+  EXPECT_NE(text.find("stuck-setting"), std::string::npos) << text;
+  EXPECT_NE(text.find("level 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("switch 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("unrolled only"), std::string::npos) << text;
+
+  FaultSpec dead;
+  dead.kind = FaultKind::DeadLink;
+  dead.level = 1;
+  dead.index = 3;
+  EXPECT_NE(describe(dead).find("dead-link line 3"), std::string::npos);
+}
+
+TEST(FaultPlan, RandomPlansAreValidAndDeterministic) {
+  Rng rng_a(test_seed(99));
+  Rng rng_b(test_seed(99));
+  RandomFaultConfig config;
+  config.stuck_faults = 3;
+  config.flip_faults = 2;
+  config.dead_links = 2;
+  const FaultPlan a = random_fault_plan(32, rng_a, config);
+  const FaultPlan b = random_fault_plan(32, rng_b, config);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.faults.size(), 7u);
+  EXPECT_NO_THROW(validate(a));
+}
+
+TEST(FaultSiteMath, UpperLineAndLocalSwitchAreInverse) {
+  // Stage s joins lines (b*2d + t, b*2d + t + d), d = 2^(s-1). The two
+  // helpers must agree for every (stage, switch) of a 32-line fabric:
+  // full-width local switch (base 0) is the identity, and block-local
+  // indices reconstruct the in-block offset.
+  const std::size_t n = 32;
+  for (int stage = 1; stage <= 5; ++stage) {
+    for (std::size_t sw = 0; sw < n / 2; ++sw) {
+      const std::size_t u = fault_site_upper_line(stage, sw);
+      EXPECT_LT(u, n);
+      EXPECT_EQ(fault_site_local_switch(stage, u, 0), sw)
+          << "stage " << stage << " sw " << sw;
+      // Inside a 2^stage-aligned sub-fabric the local index matches the
+      // full-width one computed from the shifted base.
+      const std::size_t bsn_size = 8;
+      if (stage <= 3) {
+        const std::size_t base = (u / bsn_size) * bsn_size;
+        const std::size_t lsw = fault_site_local_switch(stage, u, base);
+        EXPECT_LT(lsw, bsn_size / 2);
+        EXPECT_EQ(fault_site_upper_line(stage, lsw), u - base);
+      }
+    }
+  }
+}
+
+TEST(FaultedSetting, BroadcastSitesAreImmune) {
+  EXPECT_EQ(faulted_setting(SwitchSetting::UpperBcast,
+                            FaultKind::StuckSetting, SwitchSetting::Cross),
+            SwitchSetting::UpperBcast);
+  EXPECT_EQ(faulted_setting(SwitchSetting::LowerBcast,
+                            FaultKind::TransientFlip, SwitchSetting::Cross),
+            SwitchSetting::LowerBcast);
+  EXPECT_EQ(faulted_setting(SwitchSetting::Parallel, FaultKind::StuckSetting,
+                            SwitchSetting::Cross),
+            SwitchSetting::Cross);
+  EXPECT_EQ(faulted_setting(SwitchSetting::Cross, FaultKind::TransientFlip,
+                            SwitchSetting::Cross),
+            SwitchSetting::Parallel);
+}
+
+TEST(FaultInjectorTest, ArmsOnlyMatchingScopeAndWindow) {
+  FaultPlan plan;
+  plan.n = 16;
+  FaultSpec f = switch_fault(2, PassKind::Scatter, 1, 3);
+  f.when = Activation{1, 2};
+  f.impl = ImplKind::Unrolled;
+  f.engine = RouteEngine::Scalar;
+  plan.faults.push_back(f);
+  FaultInjector injector(plan);
+
+  auto armed = [&](std::uint64_t route, int level, PassKind pass,
+                   ImplKind impl, RouteEngine engine) {
+    return injector.switch_faults(route, level, pass, impl, engine).size();
+  };
+  EXPECT_EQ(armed(1, 2, PassKind::Scatter, ImplKind::Unrolled,
+                  RouteEngine::Scalar),
+            1u);
+  EXPECT_EQ(armed(0, 2, PassKind::Scatter, ImplKind::Unrolled,
+                  RouteEngine::Scalar),
+            0u);  // before the window
+  EXPECT_EQ(armed(1, 1, PassKind::Scatter, ImplKind::Unrolled,
+                  RouteEngine::Scalar),
+            0u);  // wrong level
+  EXPECT_EQ(armed(1, 2, PassKind::Quasisort, ImplKind::Unrolled,
+                  RouteEngine::Scalar),
+            0u);  // wrong pass
+  EXPECT_EQ(armed(1, 2, PassKind::Scatter, ImplKind::Feedback,
+                  RouteEngine::Scalar),
+            0u);  // impl-scoped
+  EXPECT_EQ(armed(1, 2, PassKind::Scatter, ImplKind::Unrolled,
+                  RouteEngine::Packed),
+            0u);  // engine-scoped
+}
+
+TEST(FaultInjectorTest, RouteOrdinalsAreMonotonic) {
+  FaultInjector injector(FaultPlan{8, {}});
+  EXPECT_EQ(injector.begin_route(), 0u);
+  EXPECT_EQ(injector.begin_route(), 1u);
+  EXPECT_EQ(injector.routes_begun(), 2u);
+}
+
+TEST(FaultReportTest, ToStringNamesDetectionPointAndSites) {
+  FaultReport report;
+  report.n = 16;
+  report.route = 3;
+  report.at = DetectPoint{2, PassKind::Quasisort, true};
+  report.check = "quasisort output not split by halves";
+  FaultSiteMismatch site;
+  site.level = 2;
+  site.pass = PassKind::Quasisort;
+  site.stage = 1;
+  site.index = 4;
+  site.intended = SwitchSetting::Parallel;
+  site.actual = SwitchSetting::Cross;
+  report.sites.push_back(site);
+
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("level 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("quasisort"), std::string::npos) << text;
+  EXPECT_NE(text.find("split by halves"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage 1"), std::string::npos) << text;
+  ASSERT_NE(report.earliest_site(), nullptr);
+  EXPECT_EQ(report.earliest_site()->index, 4u);
+
+  const FaultDetected thrown(report);
+  EXPECT_NE(std::string(thrown.what()).find("split by halves"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace brsmn::fault

@@ -186,6 +186,34 @@ TEST(ParallelRouter, WorkerErrorCarriesBatchIndex) {
   EXPECT_EQ(router.route_batch(batch).size(), batch.size());
 }
 
+TEST(ParallelRouter, AggregatesAllFailedAssignments) {
+  // Two poisoned assignments land in different worker shards; the batch
+  // error must name both (sorted by index), not just whichever worker
+  // lost the race — partial error reports hide concurrent faults.
+  const std::size_t n = 16;
+  ParallelRouter router(n, 4);
+  auto batch = make_batch(n, 12, 61);
+  const std::size_t bad_a = 2, bad_b = 9;
+  batch[bad_a] = MulticastAssignment(8);
+  batch[bad_b] = MulticastAssignment(32);
+  try {
+    router.route_batch(batch);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 assignment(s) failed"), std::string::npos) << msg;
+    const auto pos_a = msg.find("assignment " + std::to_string(bad_a));
+    const auto pos_b = msg.find("assignment " + std::to_string(bad_b));
+    EXPECT_NE(pos_a, std::string::npos) << msg;
+    EXPECT_NE(pos_b, std::string::npos) << msg;
+    EXPECT_LT(pos_a, pos_b) << msg;  // reported in index order
+  }
+  // The router stays usable after a multi-failure batch.
+  batch[bad_a] = make_batch(n, 1, 62)[0];
+  batch[bad_b] = make_batch(n, 1, 63)[0];
+  EXPECT_EQ(router.route_batch(batch).size(), batch.size());
+}
+
 TEST(ParallelRouter, LargeBatchStress) {
   const std::size_t n = 128;
   const auto batch = make_batch(n, 64, 31);

@@ -33,6 +33,10 @@ brsmn::RouteOptions engine_options(brsmn::RouteEngine engine) {
   options.engine = engine;
   options.metrics_prefix =
       engine == brsmn::RouteEngine::Packed ? "packed.route" : "scalar.route";
+  // Drop the previous size's samples so the exported dump describes only
+  // the last size this family ran (at the CI filter, n=1024) instead of
+  // pooling every Range() arg into one histogram.
+  if (g_metrics != nullptr) g_metrics->reset(options.metrics_prefix);
   return options;
 }
 

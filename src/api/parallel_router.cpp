@@ -9,7 +9,9 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
+#include "api/plan_cache.hpp"
 #include "common/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
@@ -45,10 +47,49 @@ void ParallelRouter::set_faults(fault::FaultInjector* faults) {
 
 void ParallelRouter::set_self_check(bool on) { self_check_ = on; }
 
+void ParallelRouter::set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+
+namespace {
+
+bool same_assignment(const MulticastAssignment& a,
+                     const MulticastAssignment& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.destinations(i) != b.destinations(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<RouteResult> ParallelRouter::route_batch(
     const std::vector<MulticastAssignment>& batch) {
   std::vector<RouteResult> results(batch.size());
   if (batch.empty()) return results;
+
+  // Pre-deduplicate: rep[i] is the first batch index carrying an
+  // identical assignment; workers route only representatives and the
+  // results fan back out below. Skipped under fault injection, where
+  // every batch element must draw its own slot of the fault schedule.
+  std::vector<std::size_t> rep(batch.size());
+  std::size_t duplicates = 0;
+  if (faults_ == nullptr) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      rep[i] = i;
+      auto& bucket = buckets[assignment_fingerprint(batch[i])];
+      for (const std::size_t j : bucket) {
+        if (same_assignment(batch[j], batch[i])) {
+          rep[i] = j;
+          ++duplicates;
+          break;
+        }
+      }
+      if (rep[i] == i) bucket.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) rep[i] = i;
+  }
 
   obs::Histogram* worker_hist = nullptr;
   obs::Histogram* route_hist = nullptr;
@@ -85,9 +126,11 @@ std::vector<RouteResult> ParallelRouter::route_batch(
     options.engine = engine_;
     options.self_check = self_check_;
     options.faults = faults_;
+    options.plan_cache = plan_cache_;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.size()) return;
+      if (rep[i] != i) continue;  // a duplicate; filled in after the join
       try {
         BRSMN_EXPECTS_MSG(batch[i].size() == n_,
                           "assignment size does not match the network");
@@ -108,6 +151,22 @@ std::vector<RouteResult> ParallelRouter::route_batch(
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
   for (auto& t : pool) t.join();
+
+  if (duplicates != 0) {
+    // Fan the representatives' outcomes back out: duplicates share their
+    // representative's result — or its failure.
+    std::unordered_map<std::size_t, std::exception_ptr> failed_reps;
+    for (const Failure& f : failures) failed_reps.emplace(f.index, f.error);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (rep[i] == i) continue;
+      const auto it = failed_reps.find(rep[i]);
+      if (it != failed_reps.end()) {
+        failures.push_back({i, it->second});
+      } else {
+        results[i] = results[rep[i]];
+      }
+    }
+  }
 
   if (!failures.empty()) {
     // Aggregate every failure into one exception, batch-ordered so the
@@ -154,6 +213,7 @@ std::vector<RouteResult> ParallelRouter::route_batch(
           .set(static_cast<double>(workers));
       metrics_->counter("parallel.batches").add(1);
       metrics_->counter("parallel.routes").add(batch.size());
+      metrics_->counter("parallel.batch_deduped").add(duplicates);
     }
   }
   return results;

@@ -26,6 +26,8 @@ class FaultInjector;
 
 namespace brsmn::api {
 
+class PlanCache;
+
 class ParallelRouter {
  public:
   /// A pool of `threads` engines for an n x n network; threads == 0
@@ -71,7 +73,18 @@ class ParallelRouter {
   void set_self_check(bool on);
   bool self_check() const noexcept { return self_check_; }
 
+  /// Attach a compiled-plan cache (api/plan_cache.hpp) shared by every
+  /// worker engine — the cache is sharded and thread-safe, so concurrent
+  /// workers hit plans their peers compiled. Pass nullptr to detach.
+  /// Applies to subsequent route_batch calls.
+  void set_plan_cache(PlanCache* cache);
+  PlanCache* plan_cache() const noexcept { return plan_cache_; }
+
   /// Route every assignment in `batch`; results come back in order.
+  /// Identical assignments within the batch are routed once and their
+  /// results copied to every duplicate (whether or not a plan cache is
+  /// attached); with a fault injector attached every element is routed
+  /// individually, since each route draws its own fault schedule slot.
   /// All assignments must have size network_size(). Worker-side failures
   /// do not abort the batch: every remaining assignment is still routed,
   /// then ALL failures are rethrown as one exception whose message lists
@@ -92,6 +105,7 @@ class ParallelRouter {
   RouteEngine engine_ = RouteEngine::Scalar;
   fault::FaultInjector* faults_ = nullptr;
   bool self_check_ = true;
+  PlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace brsmn::api

@@ -80,6 +80,7 @@ RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
   ro.explain = explain;
   ro.metrics = options_.metrics;
   ro.tracer = options_.tracer;
+  ro.plan_cache = options_.plan_cache;
   if (!path.feedback) return unrolled_.route(assignment, ro);
   if (!feedback_) feedback_ = std::make_unique<FeedbackBrsmn>(n_);
   return feedback_->route(assignment, ro);
@@ -159,6 +160,7 @@ std::vector<RequestOutcome> ResilientRouter::route_batch(
   batch_->set_engine(options_.engine);
   batch_->set_self_check(options_.self_check);
   batch_->set_faults(options_.faults);
+  batch_->set_plan_cache(options_.plan_cache);
 
   try {
     std::vector<RouteResult> results = batch_->route_batch(batch);

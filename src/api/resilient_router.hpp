@@ -41,6 +41,7 @@ class FaultInjector;
 namespace brsmn::api {
 
 class ParallelRouter;
+class PlanCache;
 
 /// Per-request terminal state.
 enum class RouteOutcome : std::uint8_t {
@@ -90,6 +91,12 @@ struct ResilientOptions {
   fault::FaultInjector* faults = nullptr;
   obs::MetricRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Compiled-plan cache shared by every attempt and by route_batch
+  /// workers (see api/plan_cache.hpp). A replayed plan that trips the
+  /// self-check is invalidated and the attempt surfaces FaultDetected,
+  /// so the retry ladder recompiles or falls back as usual. Null: every
+  /// route is cold.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// One rung of the fallback ladder.

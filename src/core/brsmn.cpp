@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "api/plan_cache.hpp"
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/tag_sequence.hpp"
@@ -140,6 +141,9 @@ Brsmn::Brsmn(std::size_t n) : n_(n), m_(log2_exact(n)) {
 RouteResult Brsmn::route(const MulticastAssignment& assignment,
                          const RouteOptions& options) {
   BRSMN_EXPECTS(assignment.size() == n_);
+  if (options.plan_cache != nullptr && !options.capture_levels) {
+    return api::route_via_cache(*this, assignment, options);
+  }
   if (options.engine == RouteEngine::Packed) {
     return packed_route(*this, assignment, options);
   }

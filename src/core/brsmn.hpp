@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -31,7 +32,17 @@ class FaultInjector;
 struct FaultActivity;
 }  // namespace brsmn::fault
 
+namespace brsmn::api {
+class PlanCache;
+}  // namespace brsmn::api
+
+namespace brsmn::pkern {
+struct ReplayWorkspace;
+}  // namespace brsmn::pkern
+
 namespace brsmn {
+
+struct RoutePlan;
 
 /// Which datapath implementation executes the route. Both produce
 /// bit-identical results (outputs, fabric settings grids, explanations,
@@ -83,6 +94,13 @@ struct RouteOptions {
   /// keeps the established route.* names; benches comparing engines
   /// side-by-side record them under distinct prefixes instead.
   std::string_view metrics_prefix = "route";
+  /// Compiled-plan cache (api/plan_cache.hpp). When set (and
+  /// capture_levels is off), route() consults the cache: a hit replays
+  /// the compiled plan via route_replay, a clean miss compiles and
+  /// inserts one. Plans are never inserted while `faults` is armed, and a
+  /// replay that raises FaultDetected evicts its entry first. Null (the
+  /// default): every route is cold.
+  api::PlanCache* plan_cache = nullptr;
 };
 
 struct RouteResult {
@@ -131,6 +149,13 @@ class Brsmn {
   /// An n x n BRSMN, n a power of two >= 2.
   explicit Brsmn(std::size_t n);
 
+  // Out-of-line where pkern::ReplayWorkspace is complete
+  // (core/route_plan.cpp). Move-only: the replay workspace is per-object
+  // scratch, not shareable state.
+  ~Brsmn();
+  Brsmn(Brsmn&&) noexcept;
+  Brsmn& operator=(Brsmn&&) noexcept;
+
   std::size_t size() const noexcept { return n_; }
 
   /// log2(n) levels, the last being the 2x2-switch level.
@@ -141,6 +166,24 @@ class Brsmn {
   /// anything.
   RouteResult route(const MulticastAssignment& assignment,
                     const RouteOptions& options = {});
+
+  /// Replay a compiled plan (core/route_plan.hpp) on this network: the
+  /// configuration phases (quasisort, tag trees, eps-division, scatter)
+  /// are skipped and the stored settings drive the fabric directly. The
+  /// online self-check compares the datapath state against the plan's
+  /// checkpoints, and the fault seam still applies, so a replay under an
+  /// active fault raises fault::FaultDetected exactly like a cold route.
+  /// Requires plan.impl == Unrolled, plan.n == size(), and
+  /// !options.capture_levels; options.explain requires a plan compiled
+  /// with explain.
+  RouteResult route_replay(const RoutePlan& plan,
+                           const RouteOptions& options = {});
+
+  /// route_replay writing into a caller-owned result: with `out` reused
+  /// across calls (and metrics/tracer/explain off), the steady-state
+  /// replay performs zero heap allocations.
+  void route_replay_into(const RoutePlan& plan, const RouteOptions& options,
+                         RouteResult& out);
 
   /// Total number of 2x2 switches in the unrolled network.
   std::size_t switch_count() const;
@@ -155,17 +198,22 @@ class Brsmn {
  private:
   /// The packed engine's entry point (core/packed_kernel.cpp); it installs
   /// the computed settings into levels_ so level_bsns() inspection sees
-  /// the same grids the scalar engine would have produced.
+  /// the same grids the scalar engine would have produced. A non-null
+  /// `plan` additionally captures the compiled route plan.
   friend RouteResult packed_route(Brsmn& net,
                                   const MulticastAssignment& assignment,
-                                  const RouteOptions& options);
+                                  const RouteOptions& options,
+                                  RoutePlan* plan);
 
   std::size_t n_;
   int m_;
   std::vector<std::vector<Bsn>> levels_;  // levels_[k-1], k = 1..m-1
+  /// Lazily created by route_replay; owning it here keeps steady-state
+  /// replay allocation-free.
+  std::unique_ptr<pkern::ReplayWorkspace> replay_ws_;
 };
 
 RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
-                         const RouteOptions& options);
+                         const RouteOptions& options, RoutePlan* plan = nullptr);
 
 }  // namespace brsmn

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "api/plan_cache.hpp"
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "core/quasisort.hpp"
@@ -26,6 +27,9 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   const std::size_t n = size();
   const int m = levels();
   BRSMN_EXPECTS(assignment.size() == n);
+  if (options.plan_cache != nullptr && !options.capture_levels) {
+    return api::route_via_cache(*this, assignment, options);
+  }
   if (options.engine == RouteEngine::Packed) {
     return packed_route(*this, assignment, options);
   }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/brsmn.hpp"
 #include "core/rbn.hpp"
@@ -22,6 +23,12 @@ class FeedbackBrsmn {
  public:
   /// An n x n feedback BRSMN, n a power of two >= 2.
   explicit FeedbackBrsmn(std::size_t n);
+
+  // Out-of-line where pkern::ReplayWorkspace is complete
+  // (core/route_plan.cpp). Move-only, like Brsmn.
+  ~FeedbackBrsmn();
+  FeedbackBrsmn(FeedbackBrsmn&&) noexcept;
+  FeedbackBrsmn& operator=(FeedbackBrsmn&&) noexcept;
 
   std::size_t size() const noexcept { return fabric_.size(); }
   int levels() const noexcept { return fabric_.stages(); }
@@ -42,21 +49,38 @@ class FeedbackBrsmn {
   RouteResult route(const MulticastAssignment& assignment,
                     const RouteOptions& options = {});
 
+  /// Replay a compiled plan on this fabric: each pass's stored settings
+  /// are installed (after a reset, as in a cold route) and only the
+  /// datapath runs. Same self-check / fault semantics as
+  /// Brsmn::route_replay; requires plan.impl == Feedback.
+  RouteResult route_replay(const RoutePlan& plan,
+                           const RouteOptions& options = {});
+
+  /// route_replay writing into a caller-owned result (see
+  /// Brsmn::route_replay_into for the zero-allocation contract).
+  void route_replay_into(const RoutePlan& plan, const RouteOptions& options,
+                         RouteResult& out);
+
   const Rbn& fabric() const noexcept { return fabric_; }
 
  private:
   /// The packed engine's entry point (core/packed_kernel.cpp); it installs
   /// each pass's settings into fabric_ so fabric() inspection sees the
-  /// last pass's grid exactly as the scalar engine leaves it.
+  /// last pass's grid exactly as the scalar engine leaves it. A non-null
+  /// `plan` additionally captures the compiled route plan.
   friend RouteResult packed_route(FeedbackBrsmn& net,
                                   const MulticastAssignment& assignment,
-                                  const RouteOptions& options);
+                                  const RouteOptions& options,
+                                  RoutePlan* plan);
 
   Rbn fabric_;
+  /// Lazily created by route_replay (see Brsmn::replay_ws_).
+  std::unique_ptr<pkern::ReplayWorkspace> replay_ws_;
 };
 
 RouteResult packed_route(FeedbackBrsmn& net,
                          const MulticastAssignment& assignment,
-                         const RouteOptions& options);
+                         const RouteOptions& options,
+                         RoutePlan* plan = nullptr);
 
 }  // namespace brsmn

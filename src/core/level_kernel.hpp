@@ -1,0 +1,102 @@
+// Per-level state of the bit-packed routing kernel, shared between the
+// packed route drivers (core/packed_kernel.cpp) and the compiled-plan
+// replay path (core/route_plan.cpp).
+//
+// A LevelKernel holds one level's line state as bit-planes (identity /
+// broadcast codes plus the 3-bit Table 1 tag encoding) together with the
+// per-stage datapath masks and the precomputed broadcast events. The
+// route drivers build this state from scratch each route; the replay path
+// restores it from a RoutePlan's checkpoints and only re-runs the
+// datapath, so both sides must agree on the exact layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/line_value.hpp"
+#include "core/packed_kernel.hpp"
+
+namespace brsmn::pkern {
+
+/// One scatter broadcast switch: the upper line of the pair and which
+/// input carries the alpha (UpperBcast -> upper input).
+struct BcastEvent {
+  std::size_t upper = 0;
+  bool alpha_upper = false;
+  std::size_t ord = 0;  ///< copy-id allocation order (scalar visit order)
+};
+
+/// Per-level packed state shared by the two engines.
+struct LevelKernel {
+  std::size_t n = 0;
+  int stages = 0;            ///< S = log2 of this level's BSN size
+  std::size_t wcode = 0;     ///< code planes (m + 1 bits: codes < 2n)
+  packed::PackedLines state;  ///< wcode code planes + 3 tag planes
+  packed::PackedLines scratch;
+  std::vector<packed::StageMasks> masks;         ///< masks[j-1], j = 1..S
+  std::vector<std::vector<BcastEvent>> events;   ///< per stage, visit order
+  std::vector<std::size_t> parent_code;          ///< by event ord
+  std::uint64_t copy_id_base = 0;
+  std::size_t num_events = 0;
+
+  LevelKernel(std::size_t n_, int m, int stages_)
+      : n(n_),
+        stages(stages_),
+        wcode(static_cast<std::size_t>(m) + 1),
+        state(n_, wcode + 3),
+        scratch(n_, wcode + 3),
+        masks(static_cast<std::size_t>(stages_)),
+        events(static_cast<std::size_t>(stages_)) {
+    for (auto& mk : masks) mk.resize(packed::words_for(n_));
+  }
+
+  std::span<std::uint64_t> tag_plane(int bit) {
+    return state.plane(wcode + static_cast<std::size_t>(bit));
+  }
+  std::span<const std::uint64_t> tag_plane(int bit) const {
+    return state.plane(wcode + static_cast<std::size_t>(bit));
+  }
+
+  void reset_pass() {
+    for (auto& mk : masks) mk.clear();
+    for (auto& ev : events) ev.clear();
+  }
+};
+
+/// Clear every plane and write the identity code planes (plane p of line
+/// i holds bit p of i); the three tag planes stay zero.
+void load_identity_codes(LevelKernel& kx);
+
+/// load_identity_codes plus the transposed Table 1 tag encoding of the
+/// level's line state.
+void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines);
+
+/// Propagate the planes through the configured scatter stages, latching
+/// broadcast parent codes and emitting event codes (see
+/// core/packed_kernel.cpp for the contract details).
+void run_scatter_datapath(LevelKernel& kx);
+
+/// Propagate the planes through the configured unicast (quasisort)
+/// stages.
+void run_unicast_datapath(LevelKernel& kx);
+
+/// Reusable replay scratch owned by the network objects (one allocation
+/// on first route_replay, reused forever after): a kernel sized for the
+/// widest level (stages = m >= any level's S, masks/events sized m) plus
+/// the final-level tag planes used for dead-line screening.
+struct ReplayWorkspace {
+  LevelKernel kx;
+  packed::Words final_t0;
+  packed::Words final_t1;
+  packed::Words final_t2;
+
+  ReplayWorkspace(std::size_t n, int m)
+      : kx(n, m, m),
+        final_t0(packed::words_for(n), 0),
+        final_t1(packed::words_for(n), 0),
+        final_t2(packed::words_for(n), 0) {}
+};
+
+}  // namespace brsmn::pkern

@@ -9,8 +9,10 @@
 #include "common/contracts.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
+#include "core/level_kernel.hpp"
 #include "core/merge_lemmas.hpp"
 #include "core/quasisort.hpp"
+#include "core/route_plan.hpp"
 #include "core/scatter.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/locate.hpp"
@@ -319,54 +321,15 @@ void select_prefix(std::span<const std::uint64_t> plane,
 
 namespace brsmn {
 
-namespace {
+// The kernel state itself (pkern::LevelKernel / BcastEvent) and the
+// datapath entry points live in core/level_kernel.hpp so the compiled-
+// plan replay path (core/route_plan.cpp) can restore a level from stored
+// checkpoints and re-run exactly the same datapath code.
+namespace pkern {
 
 namespace pk = packed;
 
-/// One scatter broadcast switch: the upper line of the pair and which
-/// input carries the alpha (UpperBcast -> upper input).
-struct BcastEvent {
-  std::size_t upper = 0;
-  bool alpha_upper = false;
-  std::size_t ord = 0;  ///< copy-id allocation order (scalar visit order)
-};
-
-/// Per-level packed state shared by the two engines.
-struct LevelKernel {
-  std::size_t n = 0;
-  int stages = 0;          ///< S = log2 of this level's BSN size
-  std::size_t wcode = 0;   ///< code planes (m + 1 bits: codes < 2n)
-  pk::PackedLines state;   ///< wcode code planes + 3 tag planes
-  pk::PackedLines scratch;
-  std::vector<pk::StageMasks> masks;             ///< masks[j-1], j = 1..S
-  std::vector<std::vector<BcastEvent>> events;   ///< per stage, visit order
-  std::vector<std::size_t> parent_code;          ///< by event ord
-  std::uint64_t copy_id_base = 0;
-  std::size_t num_events = 0;
-
-  LevelKernel(std::size_t n_, int m, int stages_)
-      : n(n_),
-        stages(stages_),
-        wcode(static_cast<std::size_t>(m) + 1),
-        state(n_, wcode + 3),
-        scratch(n_, wcode + 3),
-        masks(static_cast<std::size_t>(stages_)),
-        events(static_cast<std::size_t>(stages_)) {
-    for (auto& mk : masks) mk.resize(pk::words_for(n_));
-  }
-
-  std::span<std::uint64_t> tag_plane(int bit) {
-    return state.plane(wcode + static_cast<std::size_t>(bit));
-  }
-  std::span<const std::uint64_t> tag_plane(int bit) const {
-    return state.plane(wcode + static_cast<std::size_t>(bit));
-  }
-
-  void reset_pass() {
-    for (auto& mk : masks) mk.clear();
-    for (auto& ev : events) ev.clear();
-  }
-};
+namespace {
 
 /// Bit patterns of the identity code: plane p of line index i is
 /// (i >> p) & 1, which within a word is a fixed pattern for p < 6 and a
@@ -376,10 +339,9 @@ constexpr std::uint64_t kIdentityPattern[6] = {
     0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
 };
 
-/// Transpose the level's line state into the kernel's planes: codes are
-/// the line indices, tags the Table 1 encoding (b0 = plane 0 of the tag
-/// planes). All plane bits at positions >= n stay zero.
-void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
+}  // namespace
+
+void load_identity_codes(LevelKernel& kx) {
   kx.state.clear();
   const std::size_t n = kx.n;
   const std::size_t wpl = kx.state.words_per_plane();
@@ -394,6 +356,14 @@ void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
       }
     }
   }
+}
+
+/// Transpose the level's line state into the kernel's planes: codes are
+/// the line indices, tags the Table 1 encoding (b0 = plane 0 of the tag
+/// planes). All plane bits at positions >= n stay zero.
+void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
+  load_identity_codes(kx);
+  const std::size_t n = kx.n;
   auto t0 = kx.tag_plane(0);
   auto t1 = kx.tag_plane(1);
   auto t2 = kx.tag_plane(2);
@@ -404,6 +374,73 @@ void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
     if (enc & 0b001u) pk::plane_set(t2, i, true);
   }
 }
+
+/// Propagate the planes through the configured scatter stages. At each
+/// broadcast switch the alpha input's code is latched before the stage
+/// applies (it identifies the parent packet), then the two outputs are
+/// overwritten with event codes and 0/1 tags — the packed equivalent of
+/// apply_scatter_switch's copy emission.
+void run_scatter_datapath(LevelKernel& kx) {
+  const std::size_t n = kx.n;
+  auto t0 = kx.tag_plane(0);
+  auto t1 = kx.tag_plane(1);
+  auto t2 = kx.tag_plane(2);
+  for (int j = 1; j <= kx.stages; ++j) {
+    const std::size_t d = std::size_t{1} << (j - 1);
+    auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
+    for (const BcastEvent& ev : evs) {
+      const std::size_t alpha_line = ev.alpha_upper ? ev.upper : ev.upper + d;
+      const std::size_t eps_line = ev.alpha_upper ? ev.upper + d : ev.upper;
+      // The scalar apply_scatter_switch's alignment traps: the event site
+      // must still see an alpha opposite an empty line (a corrupted
+      // earlier stage can desynchronize the precomputed events).
+      BRSMN_ENSURES_MSG(
+          pk::plane_get(t0, alpha_line) && !pk::plane_get(t1, alpha_line),
+          "broadcast switch without an alpha input");
+      BRSMN_ENSURES_MSG(pk::plane_get(t0, eps_line) && pk::plane_get(t1, eps_line),
+                        "broadcast switch would drop a live packet");
+      const std::uint64_t code = kx.state.get(alpha_line, 0, kx.wcode);
+      BRSMN_ENSURES(code < n);  // broadcasts never chain within a pass
+      kx.parent_code[ev.ord] = static_cast<std::size_t>(code);
+    }
+    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
+                    d);
+    // Planes moved: re-resolve the tag spans after the buffer swap.
+    t0 = kx.tag_plane(0);
+    t1 = kx.tag_plane(1);
+    t2 = kx.tag_plane(2);
+    for (const BcastEvent& ev : evs) {
+      const std::size_t low = ev.upper + d;
+      kx.state.set(ev.upper, 0, kx.wcode, n + 2 * ev.ord);
+      kx.state.set(low, 0, kx.wcode, n + 2 * ev.ord + 1);
+      pk::plane_set(t0, ev.upper, false);  // 0-copy: tag 000
+      pk::plane_set(t1, ev.upper, false);
+      pk::plane_set(t2, ev.upper, false);
+      pk::plane_set(t0, low, false);  // 1-copy: tag 001
+      pk::plane_set(t1, low, false);
+      pk::plane_set(t2, low, true);
+    }
+  }
+}
+
+/// Propagate the planes through the configured unicast (quasisort) stages.
+void run_unicast_datapath(LevelKernel& kx) {
+  for (int j = 1; j <= kx.stages; ++j) {
+    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
+                    std::size_t{1} << (j - 1));
+  }
+}
+
+}  // namespace pkern
+
+namespace {
+
+namespace pk = packed;
+using pkern::BcastEvent;
+using pkern::LevelKernel;
+using pkern::load_lines;
+using pkern::run_scatter_datapath;
+using pkern::run_unicast_datapath;
 
 /// Decode the tag planes back into Tag values. `collapse` folds the 110
 /// pattern to plain Eps — required when materializing *scatter-pass
@@ -620,62 +657,6 @@ void finalize_events(LevelKernel& kx, bool bsn_block_major,
   if (stats) stats->broadcast_ops += flat.size();
 }
 
-/// Propagate the planes through the configured scatter stages. At each
-/// broadcast switch the alpha input's code is latched before the stage
-/// applies (it identifies the parent packet), then the two outputs are
-/// overwritten with event codes and 0/1 tags — the packed equivalent of
-/// apply_scatter_switch's copy emission.
-void run_scatter_datapath(LevelKernel& kx) {
-  const std::size_t n = kx.n;
-  auto t0 = kx.tag_plane(0);
-  auto t1 = kx.tag_plane(1);
-  auto t2 = kx.tag_plane(2);
-  for (int j = 1; j <= kx.stages; ++j) {
-    const std::size_t d = std::size_t{1} << (j - 1);
-    auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
-    for (const BcastEvent& ev : evs) {
-      const std::size_t alpha_line = ev.alpha_upper ? ev.upper : ev.upper + d;
-      const std::size_t eps_line = ev.alpha_upper ? ev.upper + d : ev.upper;
-      // The scalar apply_scatter_switch's alignment traps: the event site
-      // must still see an alpha opposite an empty line (a corrupted
-      // earlier stage can desynchronize the precomputed events).
-      BRSMN_ENSURES_MSG(
-          pk::plane_get(t0, alpha_line) && !pk::plane_get(t1, alpha_line),
-          "broadcast switch without an alpha input");
-      BRSMN_ENSURES_MSG(pk::plane_get(t0, eps_line) && pk::plane_get(t1, eps_line),
-                        "broadcast switch would drop a live packet");
-      const std::uint64_t code = kx.state.get(alpha_line, 0, kx.wcode);
-      BRSMN_ENSURES(code < n);  // broadcasts never chain within a pass
-      kx.parent_code[ev.ord] = static_cast<std::size_t>(code);
-    }
-    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
-                    d);
-    // Planes moved: re-resolve the tag spans after the buffer swap.
-    t0 = kx.tag_plane(0);
-    t1 = kx.tag_plane(1);
-    t2 = kx.tag_plane(2);
-    for (const BcastEvent& ev : evs) {
-      const std::size_t low = ev.upper + d;
-      kx.state.set(ev.upper, 0, kx.wcode, n + 2 * ev.ord);
-      kx.state.set(low, 0, kx.wcode, n + 2 * ev.ord + 1);
-      pk::plane_set(t0, ev.upper, false);  // 0-copy: tag 000
-      pk::plane_set(t1, ev.upper, false);
-      pk::plane_set(t2, ev.upper, false);
-      pk::plane_set(t0, low, false);  // 1-copy: tag 001
-      pk::plane_set(t1, low, false);
-      pk::plane_set(t2, low, true);
-    }
-  }
-}
-
-/// Propagate the planes through the configured unicast (quasisort) stages.
-void run_unicast_datapath(LevelKernel& kx) {
-  for (int j = 1; j <= kx.stages; ++j) {
-    pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
-                    std::size_t{1} << (j - 1));
-  }
-}
-
 /// Word-parallel ε-division, per BSN block: the scalar greedy descent
 /// hands the dummy-0 budget to the leftmost ε lines, so the first
 /// n_eps0 ε bits of each block stay ε0 (110) and the rest gain the b2 bit
@@ -799,10 +780,35 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
   return out;
 }
 
+/// Pack the tag planes of the line state entering the final 2x2-switch
+/// level into the plan, for replay-time dead-line screening.
+void capture_final_planes(const std::vector<LineValue>& lines,
+                          RoutePlan& plan) {
+  const std::size_t wpl = pk::words_for(lines.size());
+  plan.final_t0.assign(wpl, 0);
+  plan.final_t1.assign(wpl, 0);
+  plan.final_t2.assign(wpl, 0);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::uint8_t enc = encode(lines[i].tag);
+    if (enc & 0b100u) pk::plane_set(plan.final_t0, i, true);
+    if (enc & 0b010u) pk::plane_set(plan.final_t1, i, true);
+    if (enc & 0b001u) pk::plane_set(plan.final_t2, i, true);
+  }
+}
+
+/// Copy the cold route's outputs into the plan once the route has fully
+/// succeeded (called after the postcondition checks).
+void capture_result(const RouteResult& result, RoutePlan& plan) {
+  plan.delivered = result.delivered;
+  plan.stats = result.stats;
+  plan.broadcasts_per_level = result.broadcasts_per_level;
+  plan.explanation = result.explanation;
+}
+
 }  // namespace
 
 RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
-                         const RouteOptions& options) {
+                         const RouteOptions& options, RoutePlan* plan) {
   const std::size_t n = net.n_;
   const int m = net.m_;
   obs::RouteProbe probe;
@@ -820,6 +826,19 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
   if (options.explain) {
     result.explanation.emplace();
     result.explanation->n = n;
+  }
+
+  if (plan != nullptr) {
+    // A plan compiled while faults are armed would freeze corrupted
+    // checkpoints — compile_route enforces this before delegating here.
+    BRSMN_EXPECTS_MSG(options.faults == nullptr,
+                      "cannot compile a route plan under fault injection");
+    plan->n = n;
+    plan->m = m;
+    plan->impl = fault::ImplKind::Unrolled;
+    plan->wcode = static_cast<std::size_t>(m) + 1;
+    plan->levels.clear();
+    plan->levels.reserve(static_cast<std::size_t>(m - 1));
   }
 
   const bool checking = options.self_check || options.faults != nullptr;
@@ -868,6 +887,14 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
 
     LevelKernel kx(n, m, S);
     load_lines(kx, lines);
+    PlanLevel* pl = nullptr;
+    if (plan != nullptr) {
+      pl = &plan->levels.emplace_back();
+      pl->stages = S;
+      pl->entry_t0.assign(kx.tag_plane(0).begin(), kx.tag_plane(0).end());
+      pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
+      pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+    }
     if (scatter_pass != nullptr) {
       std::vector<Tag> tags(n);
       for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
@@ -919,6 +946,13 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
             const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
             level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
                                                               count, s);
+            if (pl != nullptr && count != 0) {
+              pl->scatter_runs.push_back({static_cast<std::uint16_t>(j),
+                                          static_cast<std::uint32_t>(g),
+                                          static_cast<std::uint32_t>(first),
+                                          static_cast<std::uint32_t>(count),
+                                          s});
+            }
           });
       scatter_span.end();
       scatter_timer.stop();
@@ -927,6 +961,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
                           "Eq. (3) guarantees eps dominates at the BSN root");
       }
     });
+    if (pl != nullptr) pl->scatter_masks = kx.masks;
     seam.apply_unrolled_packed(level, PassKind::Scatter, kx.masks);
 
     TagCensus mid;
@@ -953,6 +988,12 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
         BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
       }
     });
+    if (pl != nullptr) {
+      pl->events = kx.events;
+      pl->num_events = kx.num_events;
+      pl->post_scatter.assign(kx.state.words().begin(),
+                              kx.state.words().end());
+    }
 
     // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
     fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
@@ -983,10 +1024,21 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
             const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
             level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
                                                                 count, s);
+            if (pl != nullptr && count != 0) {
+              pl->quasisort_runs.push_back({static_cast<std::uint16_t>(j),
+                                            static_cast<std::uint32_t>(g),
+                                            static_cast<std::uint32_t>(first),
+                                            static_cast<std::uint32_t>(count),
+                                            s});
+            }
           });
       quasisort_span.end();
       quasisort_timer.stop();
     });
+    if (pl != nullptr) {
+      pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+      pl->quasisort_masks = kx.masks;
+    }
     seam.apply_unrolled_packed(level, PassKind::Quasisort, kx.masks);
 
     fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
@@ -1010,6 +1062,10 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
                           "quasisort output not split by halves");
       }
     });
+    if (pl != nullptr) {
+      pl->post_quasisort.assign(kx.state.words().begin(),
+                                kx.state.words().end());
+    }
 
     if (checking) {
       fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
@@ -1032,6 +1088,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
   fault::apply_dead_lines(options.faults, route_ord, m,
                           fault::ImplKind::Unrolled, RouteEngine::Packed,
                           lines, options.fault_activity);
+  if (plan != nullptr) capture_final_planes(lines, *plan);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
@@ -1062,6 +1119,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     }
     throw;
   }
+  if (plan != nullptr) capture_result(result, *plan);
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);
@@ -1071,7 +1129,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
 
 RouteResult packed_route(FeedbackBrsmn& net,
                          const MulticastAssignment& assignment,
-                         const RouteOptions& options) {
+                         const RouteOptions& options, RoutePlan* plan) {
   const std::size_t n = net.size();
   const int m = net.levels();
   obs::RouteProbe probe;
@@ -1089,6 +1147,17 @@ RouteResult packed_route(FeedbackBrsmn& net,
   if (options.explain) {
     result.explanation.emplace();
     result.explanation->n = n;
+  }
+
+  if (plan != nullptr) {
+    BRSMN_EXPECTS_MSG(options.faults == nullptr,
+                      "cannot compile a route plan under fault injection");
+    plan->n = n;
+    plan->m = m;
+    plan->impl = fault::ImplKind::Feedback;
+    plan->wcode = static_cast<std::size_t>(m) + 1;
+    plan->levels.clear();
+    plan->levels.reserve(static_cast<std::size_t>(m - 1));
   }
 
   const bool checking = options.self_check || options.faults != nullptr;
@@ -1134,6 +1203,14 @@ RouteResult packed_route(FeedbackBrsmn& net,
 
     LevelKernel kx(n, m, top_stage);
     load_lines(kx, lines);
+    PlanLevel* pl = nullptr;
+    if (plan != nullptr) {
+      pl = &plan->levels.emplace_back();
+      pl->stages = top_stage;
+      pl->entry_t0.assign(kx.tag_plane(0).begin(), kx.tag_plane(0).end());
+      pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
+      pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+    }
 
     // Pass 2k-1: the fabric acts as the level-k scatter networks.
     fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
@@ -1153,8 +1230,16 @@ RouteResult packed_route(FeedbackBrsmn& net,
           [&](int j, std::size_t g, std::size_t first, std::size_t count,
               SwitchSetting s) {
             net.fabric_.fill_block_run(j, g, first, count, s);
+            if (pl != nullptr && count != 0) {
+              pl->scatter_runs.push_back({static_cast<std::uint16_t>(j),
+                                          static_cast<std::uint32_t>(g),
+                                          static_cast<std::uint32_t>(first),
+                                          static_cast<std::uint32_t>(count),
+                                          s});
+            }
           });
     });
+    if (pl != nullptr) pl->scatter_masks = kx.masks;
     seam.apply_full_packed(net.fabric_, PassKind::Scatter, kx.masks);
     fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
       finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
@@ -1165,6 +1250,12 @@ RouteResult packed_route(FeedbackBrsmn& net,
       scatter_data_span.end();
       scatter_datapath.stop();
     });
+    if (pl != nullptr) {
+      pl->events = kx.events;
+      pl->num_events = kx.num_events;
+      pl->post_scatter.assign(kx.state.words().begin(),
+                              kx.state.words().end());
+    }
     // The scalar feedback datapath walks all m physical stages (stages
     // above top_stage are identity wiring).
     result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
@@ -1202,8 +1293,19 @@ RouteResult packed_route(FeedbackBrsmn& net,
           [&](int j, std::size_t g, std::size_t first, std::size_t count,
               SwitchSetting s) {
             net.fabric_.fill_block_run(j, g, first, count, s);
+            if (pl != nullptr && count != 0) {
+              pl->quasisort_runs.push_back({static_cast<std::uint16_t>(j),
+                                            static_cast<std::uint32_t>(g),
+                                            static_cast<std::uint32_t>(first),
+                                            static_cast<std::uint32_t>(count),
+                                            s});
+            }
           });
     });
+    if (pl != nullptr) {
+      pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+      pl->quasisort_masks = kx.masks;
+    }
     seam.apply_full_packed(net.fabric_, PassKind::Quasisort, kx.masks);
     fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
       obs::PhaseTimer sort_datapath(probe.datapath);
@@ -1212,6 +1314,10 @@ RouteResult packed_route(FeedbackBrsmn& net,
       sort_data_span.end();
       sort_datapath.stop();
     });
+    if (pl != nullptr) {
+      pl->post_quasisort.assign(kx.state.words().begin(),
+                                kx.state.words().end());
+    }
     result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
     ++result.stats.fabric_passes;
     // ε-divide sweep + quasisort sweep + full fabric traversal.
@@ -1237,6 +1343,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
   fault::apply_dead_lines(options.faults, route_ord, m,
                           fault::ImplKind::Feedback, RouteEngine::Packed,
                           lines, options.fault_activity);
+  if (plan != nullptr) capture_final_planes(lines, *plan);
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
@@ -1267,6 +1374,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
     }
     throw;
   }
+  if (plan != nullptr) capture_result(result, *plan);
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

@@ -88,6 +88,15 @@ class PackedLines {
 
   void clear();
 
+  /// The whole plane-major storage (width * words_per_plane words), for
+  /// snapshotting and comparing full kernel states at once.
+  std::span<const std::uint64_t> words() const noexcept {
+    return {words_.data(), words_.size()};
+  }
+  std::span<std::uint64_t> words() noexcept {
+    return {words_.data(), words_.size()};
+  }
+
   /// Swap storage with another PackedLines of identical shape (the
   /// double-buffer step of stage application).
   void swap(PackedLines& other) noexcept { words_.swap(other.words_); }

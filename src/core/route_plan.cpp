@@ -1,0 +1,356 @@
+// Replay of compiled route plans (see route_plan.hpp).
+//
+// A replay re-runs only the datapath: per level it reloads the identity
+// codes, restores the entry tag planes, installs the stored masks and
+// fabric setting runs, and propagates. The plan's post-pass checkpoints
+// stand in for the configuration-phase contracts: under the self-check,
+// any divergence of the replayed state from the stored state — which is
+// exactly what an injected fault produces — raises fault::FaultDetected
+// at the (level, pass) that diverged, mirroring a cold route's detection
+// points.
+#include "core/route_plan.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "core/level_kernel.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/self_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/route_probe.hpp"
+#include "obs/tracer.hpp"
+
+namespace brsmn {
+
+namespace {
+
+namespace pk = packed;
+
+void copy_span(std::span<std::uint64_t> dst, const pk::Words& src) {
+  BRSMN_EXPECTS(dst.size() == src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+/// Copy the first src.size() stage masks into dst, reusing dst's word
+/// storage (dst is the workspace's m-stage mask array; src has the
+/// level's S <= m stages).
+void copy_masks(std::vector<pk::StageMasks>& dst,
+                const std::vector<pk::StageMasks>& src) {
+  BRSMN_EXPECTS(src.size() <= dst.size());
+  for (std::size_t j = 0; j < src.size(); ++j) {
+    dst[j].su = src[j].su;
+    dst[j].sl = src[j].sl;
+  }
+}
+
+/// Whole-state comparison against a stored checkpoint. Valid because
+/// plane bits at positions >= n are zero in both the cold route and the
+/// replay (loads clear them; the stage masks carry no bits past n).
+bool state_equals(const pkern::LevelKernel& kx, const pk::Words& snap) {
+  const auto words = kx.state.words();
+  return words.size() == snap.size() &&
+         std::equal(words.begin(), words.end(), snap.begin());
+}
+
+/// The packed analogue of fault::apply_dead_lines: clear each armed dead
+/// line to the empty pattern (ε, tag 110) directly in the tag planes,
+/// recording the same FaultActivity entries as the scalar seam. Returns
+/// whether any cleared line was occupied.
+bool apply_dead_lines_packed(const fault::FaultInjector* injector,
+                             std::uint64_t route, int level,
+                             fault::ImplKind impl, RouteEngine engine,
+                             std::span<std::uint64_t> t0,
+                             std::span<std::uint64_t> t1,
+                             std::span<std::uint64_t> t2,
+                             fault::FaultActivity* activity) {
+  if (injector == nullptr) return false;
+  bool any_killed = false;
+  for (const auto& dead : injector->dead_lines(route, level, impl, engine)) {
+    const bool was_occupied =
+        !(pk::plane_get(t0, dead.line) && pk::plane_get(t1, dead.line));
+    pk::plane_set(t0, dead.line, true);
+    pk::plane_set(t1, dead.line, true);
+    pk::plane_set(t2, dead.line, false);
+    any_killed = any_killed || was_occupied;
+    if (activity != nullptr) {
+      fault::AppliedFault a;
+      a.spec_index = dead.spec_index;
+      a.kind = fault::FaultKind::DeadLink;
+      a.level = level;
+      a.index = dead.line;
+      a.changed = was_occupied;
+      activity->applied.push_back(a);
+    }
+  }
+  return any_killed;
+}
+
+/// The implementation-independent replay loop. `install_pass(k, pass,
+/// pl)` installs the pass's stored setting runs into the physical fabric
+/// (the per-implementation part); `seam_apply(seam, k, pass, masks)`
+/// routes the fault seam to it. The replay always drives the packed
+/// datapath, so the seam sees RouteEngine::Packed regardless of
+/// options.engine (the engines are bit-identical, and so are their
+/// replays).
+template <typename InstallFn, typename SeamFn>
+void replay_core(std::size_t n, int m, fault::ImplKind impl,
+                 const RoutePlan& plan, const RouteOptions& options,
+                 RouteResult& out, pkern::ReplayWorkspace& ws,
+                 InstallFn&& install_pass, SeamFn&& seam_apply) {
+  BRSMN_EXPECTS_MSG(plan.n == n && plan.m == m,
+                    "route plan was compiled for a different network size");
+  BRSMN_EXPECTS_MSG(plan.impl == impl,
+                    "route plan was compiled for the other implementation");
+  BRSMN_EXPECTS_MSG(!options.capture_levels,
+                    "route_replay cannot capture level inputs");
+  BRSMN_EXPECTS_MSG(!options.explain || plan.explanation.has_value(),
+                    "explain replay requires a plan compiled with explain");
+
+  obs::RouteProbe probe;
+  obs::Histogram* replay_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
+      replay_hist = &options.metrics->histogram(
+          std::string(options.metrics_prefix) + ".phase.replay_ns");
+    }
+    probe.tracer = options.tracer;
+  }
+  obs::PhaseTimer total_timer(probe.total);
+  obs::PhaseTimer replay_timer(replay_hist);
+  obs::TraceSpan replay_span(probe.tracer, "plan.replay");
+
+  const bool checking = options.self_check || options.faults != nullptr;
+  if (options.faults != nullptr) {
+    BRSMN_EXPECTS_MSG(options.faults->size() == n,
+                      "fault plan width must match the network");
+  }
+  const std::uint64_t route_ord =
+      options.faults != nullptr ? options.faults->begin_route() : 0;
+  if (options.fault_activity != nullptr) options.fault_activity->clear();
+
+  pkern::LevelKernel& kx = ws.kx;
+
+  for (int k = 1; k <= m - 1; ++k) {
+    const PlanLevel& pl = plan.levels[static_cast<std::size_t>(k - 1)];
+    const int S = pl.stages;
+    kx.stages = S;
+    pkern::load_identity_codes(kx);
+    copy_span(kx.tag_plane(0), pl.entry_t0);
+    copy_span(kx.tag_plane(1), pl.entry_t1);
+    copy_span(kx.tag_plane(2), pl.entry_t2);
+    if (options.faults != nullptr) {
+      apply_dead_lines_packed(options.faults, route_ord, k, impl,
+                              RouteEngine::Packed, kx.tag_plane(0),
+                              kx.tag_plane(1), kx.tag_plane(2),
+                              options.fault_activity);
+    }
+
+    fault::PassSeam seam;
+    seam.injector = options.faults;
+    seam.activity = options.fault_activity;
+    seam.route = route_ord;
+    seam.net_width = n;
+    seam.level = k;
+    seam.impl = impl;
+    seam.engine = RouteEngine::Packed;
+
+    // Scatter pass: stored settings in, datapath through, checkpoint out.
+    copy_masks(kx.masks, pl.scatter_masks);
+    install_pass(k, PassKind::Scatter, pl);
+    seam_apply(seam, k, PassKind::Scatter, kx.masks);
+    for (std::size_t j = 0; j < static_cast<std::size_t>(S); ++j) {
+      kx.events[j] = pl.events[j];
+    }
+    kx.num_events = pl.num_events;
+    kx.parent_code.assign(pl.num_events, 0);
+    fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
+      obs::PhaseTimer scatter_datapath(probe.datapath);
+      pkern::run_scatter_datapath(kx);
+      scatter_datapath.stop();
+      if (checking) {
+        BRSMN_ENSURES_MSG(
+            state_equals(kx, pl.post_scatter),
+            "replay diverged from the plan after the scatter pass");
+      }
+    });
+
+    // Quasisort pass: the ε-division is part of the plan — restore its
+    // t2 plane rather than re-deriving it.
+    copy_span(kx.tag_plane(2), pl.divided_t2);
+    copy_masks(kx.masks, pl.quasisort_masks);
+    install_pass(k, PassKind::Quasisort, pl);
+    seam_apply(seam, k, PassKind::Quasisort, kx.masks);
+    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
+      obs::PhaseTimer sort_datapath(probe.datapath);
+      pkern::run_unicast_datapath(kx);
+      sort_datapath.stop();
+      if (checking) {
+        BRSMN_ENSURES_MSG(
+            state_equals(kx, pl.post_quasisort),
+            "replay diverged from the plan after the quasisort pass");
+      }
+    });
+  }
+
+  // Final 2x2-switch level: the plan's delivery is correct unless a dead
+  // line kills a live packet at the delivery level — screen for exactly
+  // that with the stored entry planes.
+  if (options.faults != nullptr) {
+    ws.final_t0 = plan.final_t0;
+    ws.final_t1 = plan.final_t1;
+    ws.final_t2 = plan.final_t2;
+    fault::guard(true, n, route_ord, m, PassKind::Final, true, [&] {
+      const bool killed = apply_dead_lines_packed(
+          options.faults, route_ord, m, impl, RouteEngine::Packed,
+          ws.final_t0, ws.final_t1, ws.final_t2, options.fault_activity);
+      BRSMN_ENSURES_MSG(
+          !killed,
+          "replay: a dead line at the delivery level killed a live packet");
+    });
+  }
+
+  out.delivered = plan.delivered;
+  out.stats = plan.stats;
+  out.broadcasts_per_level = plan.broadcasts_per_level;
+  out.level_inputs.clear();
+  if (options.explain) {
+    out.explanation = plan.explanation;
+  } else {
+    out.explanation.reset();
+  }
+
+  replay_span.end();
+  replay_timer.stop();
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(out.stats);
+  }
+}
+
+}  // namespace
+
+// Out-of-line where pkern::ReplayWorkspace is complete.
+Brsmn::~Brsmn() = default;
+Brsmn::Brsmn(Brsmn&&) noexcept = default;
+Brsmn& Brsmn::operator=(Brsmn&&) noexcept = default;
+FeedbackBrsmn::~FeedbackBrsmn() = default;
+FeedbackBrsmn::FeedbackBrsmn(FeedbackBrsmn&&) noexcept = default;
+FeedbackBrsmn& FeedbackBrsmn::operator=(FeedbackBrsmn&&) noexcept = default;
+
+RouteResult Brsmn::route_replay(const RoutePlan& plan,
+                                const RouteOptions& options) {
+  RouteResult out;
+  route_replay_into(plan, options, out);
+  return out;
+}
+
+void Brsmn::route_replay_into(const RoutePlan& plan,
+                              const RouteOptions& options, RouteResult& out) {
+  if (replay_ws_ == nullptr) {
+    replay_ws_ = std::make_unique<pkern::ReplayWorkspace>(n_, m_);
+  }
+  auto install = [&](int k, PassKind pass, const PlanLevel& pl) {
+    auto& level = levels_[static_cast<std::size_t>(k - 1)];
+    const int S = pl.stages;
+    const auto& runs =
+        pass == PassKind::Scatter ? pl.scatter_runs : pl.quasisort_runs;
+    for (const PlanRun& r : runs) {
+      const int j = r.stage;
+      const std::size_t bb = r.gblock >> (S - j);
+      const std::size_t lb = r.gblock & ((std::size_t{1} << (S - j)) - 1);
+      Rbn& fabric = pass == PassKind::Scatter
+                        ? level[bb].mutable_scatter_fabric()
+                        : level[bb].mutable_quasisort_fabric();
+      fabric.fill_block_run(j, lb, r.first, r.count, r.setting);
+    }
+  };
+  auto seam_apply = [&](fault::PassSeam& seam, int k, PassKind pass,
+                        std::vector<packed::StageMasks>& masks) {
+    seam.apply_unrolled_packed(levels_[static_cast<std::size_t>(k - 1)], pass,
+                               masks);
+  };
+  replay_core(n_, m_, fault::ImplKind::Unrolled, plan, options, out,
+              *replay_ws_, install, seam_apply);
+}
+
+RouteResult FeedbackBrsmn::route_replay(const RoutePlan& plan,
+                                        const RouteOptions& options) {
+  RouteResult out;
+  route_replay_into(plan, options, out);
+  return out;
+}
+
+void FeedbackBrsmn::route_replay_into(const RoutePlan& plan,
+                                      const RouteOptions& options,
+                                      RouteResult& out) {
+  if (replay_ws_ == nullptr) {
+    replay_ws_ =
+        std::make_unique<pkern::ReplayWorkspace>(fabric_.size(),
+                                                 fabric_.stages());
+  }
+  auto install = [&](int /*k*/, PassKind pass, const PlanLevel& pl) {
+    // A cold feedback pass resets the fabric before configuring it; the
+    // stored runs then cover exactly the reconfigured switches, so the
+    // fabric grid after each pass matches the cold route bit-exactly.
+    fabric_.reset();
+    const auto& runs =
+        pass == PassKind::Scatter ? pl.scatter_runs : pl.quasisort_runs;
+    for (const PlanRun& r : runs) {
+      fabric_.fill_block_run(r.stage, r.gblock, r.first, r.count, r.setting);
+    }
+  };
+  auto seam_apply = [&](fault::PassSeam& seam, int /*k*/, PassKind pass,
+                        std::vector<packed::StageMasks>& masks) {
+    seam.apply_full_packed(fabric_, pass, masks);
+  };
+  replay_core(fabric_.size(), fabric_.stages(), fault::ImplKind::Feedback,
+              plan, options, out, *replay_ws_, install, seam_apply);
+}
+
+std::uint64_t assignment_fingerprint(const MulticastAssignment& a) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV-1a 64 prime
+  };
+  mix(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& dests = a.destinations(i);
+    mix(dests.size());
+    for (const std::size_t d : dests) mix(d);
+  }
+  return h;
+}
+
+namespace planner {
+
+RouteResult compile_route(Brsmn& net, const MulticastAssignment& assignment,
+                          const RouteOptions& options, RoutePlan& plan) {
+  BRSMN_EXPECTS_MSG(options.faults == nullptr,
+                    "cannot compile a route plan under fault injection");
+  RouteOptions co = options;
+  co.plan_cache = nullptr;
+  co.capture_levels = false;
+  return packed_route(net, assignment, co, &plan);
+}
+
+RouteResult compile_route(FeedbackBrsmn& net,
+                          const MulticastAssignment& assignment,
+                          const RouteOptions& options, RoutePlan& plan) {
+  BRSMN_EXPECTS_MSG(options.faults == nullptr,
+                    "cannot compile a route plan under fault injection");
+  RouteOptions co = options;
+  co.plan_cache = nullptr;
+  co.capture_levels = false;
+  return packed_route(net, assignment, co, &plan);
+}
+
+}  // namespace planner
+
+}  // namespace brsmn

@@ -1,0 +1,121 @@
+// Compiled route plans: the replayable artifact of one route().
+//
+// A cold route spends most of its time deciding — quasisort merges, tag
+// trees, eps-division, scatter planning — and comparatively little time
+// moving bits through the fabric. A RoutePlan freezes every decision of
+// one route over one assignment: the per-(level, pass) switch settings in
+// both forms the engines consume (contiguous setting runs for the Rbn
+// grids, packed StageMasks for the word-parallel datapath), the broadcast
+// events with their copy-id allocation order, the expected state
+// checkpoints after each pass, and the output mapping. route_replay()
+// (Brsmn / FeedbackBrsmn) then skips the configuration phases entirely:
+// it installs the stored settings, drives the datapath, and validates the
+// resulting state against the checkpoints — so a replay under an active
+// fault still raises fault::FaultDetected, and a clean replay is
+// bit-identical to a cold route (outputs, fabric grids, stats,
+// explanations).
+//
+// Plans are engine-agnostic (the Scalar and Packed engines are
+// bit-identical, so one plan serves both) but implementation-specific:
+// the unrolled and feedback fabrics take different setting runs and
+// allocate copy ids in different orders.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/level_kernel.hpp"
+#include "core/packed_kernel.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace brsmn {
+
+/// One contiguous run of identical switch settings: switches
+/// [first, first + count) of full-width block `gblock` at `stage`. The
+/// unrolled replay re-splits gblock into (BSN, local block) exactly as
+/// the cold driver does; the feedback replay installs it verbatim.
+struct PlanRun {
+  std::uint16_t stage = 0;
+  std::uint32_t gblock = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  SwitchSetting setting = SwitchSetting::Parallel;
+};
+
+/// Everything needed to replay one BRSMN level (a scatter pass plus a
+/// quasisort pass) without re-deciding it.
+struct PlanLevel {
+  int stages = 0;  ///< S = log2 of this level's BSN size
+
+  /// Tag planes of the line state entering the level (codes are always
+  /// the identity and are reloaded, not stored).
+  packed::Words entry_t0;
+  packed::Words entry_t1;
+  packed::Words entry_t2;
+
+  /// Per-stage datapath masks and fabric setting runs, per pass.
+  std::vector<packed::StageMasks> scatter_masks;
+  std::vector<PlanRun> scatter_runs;
+  std::vector<packed::StageMasks> quasisort_masks;
+  std::vector<PlanRun> quasisort_runs;
+
+  /// Broadcast events with finalized copy-id allocation order.
+  std::vector<std::vector<pkern::BcastEvent>> events;
+  std::size_t num_events = 0;
+
+  /// Full kernel-state checkpoint (all code + tag planes) after the
+  /// scatter datapath; replay compares against it under the self-check.
+  packed::Words post_scatter;
+  /// The t2 plane after eps-division (the division is a decision, so it
+  /// is part of the plan, not re-derived).
+  packed::Words divided_t2;
+  /// Full kernel-state checkpoint after the quasisort datapath.
+  packed::Words post_quasisort;
+};
+
+struct RoutePlan {
+  std::size_t n = 0;
+  int m = 0;  ///< log2(n)
+  fault::ImplKind impl = fault::ImplKind::Unrolled;
+  std::size_t wcode = 0;  ///< code-plane count the checkpoints were taken at
+
+  std::vector<PlanLevel> levels;  ///< levels[k-1], k = 1..m-1
+
+  /// Tag planes of the line state entering the final 2x2-switch level,
+  /// used to screen dead-line faults at delivery.
+  packed::Words final_t0;
+  packed::Words final_t1;
+  packed::Words final_t2;
+
+  /// The cold route's outputs, copied verbatim on a clean replay.
+  std::vector<std::optional<std::size_t>> delivered;
+  RoutingStats stats;
+  std::vector<std::size_t> broadcasts_per_level;
+  /// Present only when compiled with RouteOptions::explain.
+  std::optional<RouteExplanation> explanation;
+};
+
+/// Canonical 64-bit fingerprint of (assignment), FNV-1a over the size and
+/// destination lists. Shared by the plan cache's key hash and
+/// ParallelRouter's batch deduplication.
+std::uint64_t assignment_fingerprint(const MulticastAssignment& a);
+
+namespace planner {
+
+/// Cold-route `net` on `assignment` (always through the packed driver —
+/// the engines are bit-identical, so the captured plan serves both) while
+/// filling `plan`. Requires options.faults == nullptr: a plan compiled
+/// under an armed injector could freeze corrupted checkpoints.
+RouteResult compile_route(Brsmn& net, const MulticastAssignment& assignment,
+                          const RouteOptions& options, RoutePlan& plan);
+RouteResult compile_route(FeedbackBrsmn& net,
+                          const MulticastAssignment& assignment,
+                          const RouteOptions& options, RoutePlan& plan);
+
+}  // namespace planner
+
+}  // namespace brsmn

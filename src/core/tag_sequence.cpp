@@ -1,5 +1,7 @@
 #include "core/tag_sequence.hpp"
 
+#include <array>
+#include <mutex>
 #include <sstream>
 
 #include "common/bits.hpp"
@@ -7,23 +9,37 @@
 
 namespace brsmn {
 
+std::span<const std::size_t> bit_reversal_table(std::size_t len) {
+  BRSMN_EXPECTS(is_pow2(len));
+  static std::array<std::once_flag, 64> built;
+  static std::array<std::vector<std::size_t>, 64> tables;
+  const auto k = static_cast<std::size_t>(log2_exact(len));
+  std::call_once(built[k], [len, k] {
+    std::vector<std::size_t>& table = tables[k];
+    table.resize(len);
+    // Walk the bit-reversal permutation incrementally (add 1 from the
+    // top bit down with carry): O(1) amortized per element instead of
+    // re-reversing each index.
+    std::size_t r = 0;
+    for (std::size_t p = 0; p < len; ++p) {
+      table[p] = r;
+      std::size_t bit = len >> 1;
+      while (bit != 0 && (r & bit) != 0) {
+        r ^= bit;
+        bit >>= 1;
+      }
+      r |= bit;
+    }
+  });
+  return tables[k];
+}
+
 std::vector<Tag> order_level(std::span<const Tag> level) {
   BRSMN_EXPECTS(is_pow2(level.size()));
   const std::size_t len = level.size();
+  const std::span<const std::size_t> rev = bit_reversal_table(len);
   std::vector<Tag> out(len);
-  // Walk the bit-reversal permutation incrementally (add 1 from the top
-  // bit down with carry), which is O(1) amortized per element instead of
-  // re-reversing each index.
-  std::size_t r = 0;
-  for (std::size_t p = 0; p < len; ++p) {
-    out[p] = level[r];
-    std::size_t bit = len >> 1;
-    while (bit != 0 && (r & bit) != 0) {
-      r ^= bit;
-      bit >>= 1;
-    }
-    r |= bit;
-  }
+  for (std::size_t p = 0; p < len; ++p) out[p] = level[rev[p]];
   return out;
 }
 
@@ -36,16 +52,8 @@ std::vector<Tag> encode_sequence(const TagTree& tree) {
   for (int level = 1; level <= tree.levels(); ++level) {
     const std::span<const Tag> tags = tree.level_span(level);
     const std::size_t len = tags.size();
-    std::size_t r = 0;
-    for (std::size_t p = 0; p < len; ++p) {
-      seq[base + p] = tags[r];
-      std::size_t bit = len >> 1;
-      while (bit != 0 && (r & bit) != 0) {
-        r ^= bit;
-        bit >>= 1;
-      }
-      r |= bit;
-    }
+    const std::span<const std::size_t> rev = bit_reversal_table(len);
+    for (std::size_t p = 0; p < len; ++p) seq[base + p] = tags[rev[p]];
     base += len;
   }
   BRSMN_ENSURES(base == tree.network_size() - 1);

@@ -20,6 +20,14 @@
 
 namespace brsmn {
 
+/// The bit-reversal permutation table for a power-of-two length:
+/// table[p] = bit_reverse(p) over log2(len) bits. Built lazily once per
+/// length and cached for the process lifetime (thread-safe); the
+/// returned span stays valid forever. Encoding a routing-tag sequence
+/// permutes every tree level this way for every source line of every
+/// cold route, so the table is shared instead of re-derived.
+std::span<const std::size_t> bit_reversal_table(std::size_t len);
+
 /// The order() permutation (Eq. 11): out[p] = in[bit_reverse(p)].
 /// in.size() must be a power of two (1 is allowed).
 std::vector<Tag> order_level(std::span<const Tag> level);

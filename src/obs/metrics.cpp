@@ -210,6 +210,30 @@ void MetricRegistry::reset() {
   for (const auto& [name, h] : histograms_) h->reset();
 }
 
+namespace {
+
+/// Reset the contiguous range of map entries whose keys start with
+/// `prefix` (the maps are ordered, so the range is [lower_bound(prefix),
+/// first key not extending it)).
+template <typename Map>
+void reset_prefix_range(Map& map, std::string_view prefix) {
+  for (auto it = map.lower_bound(prefix);
+       it != map.end() && std::string_view(it->first).substr(
+                              0, prefix.size()) == prefix;
+       ++it) {
+    it->second->reset();
+  }
+}
+
+}  // namespace
+
+void MetricRegistry::reset(std::string_view prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reset_prefix_range(counters_, prefix);
+  reset_prefix_range(gauges_, prefix);
+  reset_prefix_range(histograms_, prefix);
+}
+
 RegistrySnapshot MetricRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot s;

@@ -161,6 +161,13 @@ class MetricRegistry {
   /// its probes.
   void reset();
 
+  /// reset() restricted to instruments whose name starts with `prefix`.
+  /// Benchmarks that register several metric families in one registry
+  /// reset just the family a repetition is about to measure, so stale
+  /// counts from a previously-run family cannot leak into exported
+  /// baselines.
+  void reset(std::string_view prefix);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

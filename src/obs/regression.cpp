@@ -22,26 +22,47 @@ bool is_histogram_stat(std::string_view stat) {
   return false;
 }
 
-/// Resolve one checked statistic in a metric document; nullopt if absent.
-std::optional<double> lookup(const JsonValue& doc,
-                             const RegressionCheck& check) {
+/// Resolve one metric name (no ratio) in a document; nullopt if absent.
+std::optional<double> lookup_single(const JsonValue& doc,
+                                    const std::string& metric,
+                                    const std::string& stat) {
   if (!doc.is_object()) return std::nullopt;
-  if (check.stat.empty()) {
+  if (stat.empty()) {
     for (const char* section : {"counters", "gauges"}) {
       if (!doc.contains(section)) continue;
       const JsonValue& metrics = doc.at(section);
-      if (metrics.contains(check.metric)) {
-        return metrics.at(check.metric).as_number();
+      if (metrics.contains(metric)) {
+        return metrics.at(metric).as_number();
       }
     }
     return std::nullopt;
   }
   if (!doc.contains("histograms")) return std::nullopt;
   const JsonValue& histograms = doc.at("histograms");
-  if (!histograms.contains(check.metric)) return std::nullopt;
-  const JsonValue& hist = histograms.at(check.metric);
-  if (!hist.contains(check.stat)) return std::nullopt;
-  return hist.at(check.stat).as_number();
+  if (!histograms.contains(metric)) return std::nullopt;
+  const JsonValue& hist = histograms.at(metric);
+  if (!hist.contains(stat)) return std::nullopt;
+  return hist.at(stat).as_number();
+}
+
+/// Resolve one checked statistic in a metric document; nullopt if absent.
+/// "A/B" resolves both sides and returns their ratio (0/0 -> 0, x/0 ->
+/// +inf for x > 0).
+std::optional<double> lookup(const JsonValue& doc,
+                             const RegressionCheck& check) {
+  const std::size_t slash = check.metric.find('/');
+  if (slash == std::string::npos) {
+    return lookup_single(doc, check.metric, check.stat);
+  }
+  const std::optional<double> num =
+      lookup_single(doc, check.metric.substr(0, slash), check.stat);
+  const std::optional<double> den =
+      lookup_single(doc, check.metric.substr(slash + 1), check.stat);
+  if (!num || !den) return std::nullopt;
+  if (*den == 0.0) {
+    return *num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return *num / *den;
 }
 
 }  // namespace

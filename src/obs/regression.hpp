@@ -20,6 +20,13 @@ namespace brsmn::obs {
 /// `max_regression` is the tolerated relative increase: 0.25 passes any
 /// current value up to 1.25x the baseline. Lower-is-worse metrics are out
 /// of scope — every gated statistic here is a cost (time, traversals).
+///
+/// A metric of the form "A/B" is a ratio check: A and B are resolved
+/// separately in each document (both with `stat` when given) and the
+/// gated value is A/B — e.g. "plan_cache.hits/plan_cache.misses" or
+/// "warm.route.phase.replay_ns/cold.route.phase.total_ns:p50". A zero
+/// denominator yields +inf when the numerator is nonzero and 0 when both
+/// are zero, so a degenerate baseline cannot silently pass.
 struct RegressionCheck {
   std::string metric;
   std::string stat;

@@ -8,7 +8,7 @@ SwitchPort input_port(std::size_t line, std::size_t n) {
   // which pins the reverse-banyan orientation: switch port a is wired to
   // external line unshuffle(a) (cyclic right shift), so line -> port is
   // the cyclic left shift.
-  const std::size_t a = shuffle(line, n);
+  const std::size_t a = shuffle_map(n)[line];
   return SwitchPort{a / 2, a % 2};
 }
 
@@ -16,7 +16,7 @@ std::size_t output_line(SwitchPort sp, std::size_t n) {
   BRSMN_EXPECTS(is_pow2(n) && n >= 2);
   BRSMN_EXPECTS(sp.switch_index < n / 2 && sp.port < 2);
   const std::size_t a = sp.switch_index * 2 + sp.port;
-  return unshuffle(a, n);
+  return unshuffle_map(n)[a];
 }
 
 std::size_t logical_switch(std::size_t line, std::size_t n) {

@@ -1,6 +1,8 @@
-// shuffle.hpp is header-only; this TU exists to give the functions a home
-// for explicit compile checking of the constexpr definitions.
 #include "topology/shuffle.hpp"
+
+#include <array>
+#include <mutex>
+#include <vector>
 
 namespace brsmn::topo {
 
@@ -8,5 +10,34 @@ static_assert(shuffle(0b001, 8) == 0b010);
 static_assert(shuffle(0b100, 8) == 0b001);
 static_assert(unshuffle(shuffle(5, 8), 8) == 5);
 static_assert(exchange(6) == 7);
+
+namespace {
+
+/// One lazily-built permutation table per power-of-two width, built at
+/// most once per process (std::call_once) and never freed, so the spans
+/// handed out stay valid for the process lifetime.
+template <std::size_t (*Perm)(std::size_t, std::size_t)>
+std::span<const std::size_t> cached_map(std::size_t n) {
+  BRSMN_EXPECTS(is_pow2(n));
+  static std::array<std::once_flag, 64> built;
+  static std::array<std::vector<std::size_t>, 64> tables;
+  const auto k = static_cast<std::size_t>(log2_exact(n));
+  std::call_once(built[k], [n, k] {
+    std::vector<std::size_t>& table = tables[k];
+    table.resize(n);
+    for (std::size_t a = 0; a < n; ++a) table[a] = Perm(a, n);
+  });
+  return tables[k];
+}
+
+}  // namespace
+
+std::span<const std::size_t> shuffle_map(std::size_t n) {
+  return cached_map<&shuffle>(n);
+}
+
+std::span<const std::size_t> unshuffle_map(std::size_t n) {
+  return cached_map<&unshuffle>(n);
+}
 
 }  // namespace brsmn::topo

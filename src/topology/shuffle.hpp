@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "common/bits.hpp"
 
@@ -32,5 +33,15 @@ constexpr std::size_t unshuffle(std::size_t a, std::size_t n) {
 
 /// Flip the least significant bit: the other port of the same 2x2 switch.
 constexpr std::size_t exchange(std::size_t a) { return a ^ 1u; }
+
+/// The full shuffle permutation of width n as a table: map[a] =
+/// shuffle(a, n). Built lazily once per n and cached for the process
+/// lifetime (thread-safe); the returned span stays valid forever. The
+/// per-line wiring functions walk this table instead of re-deriving the
+/// cyclic shifts line by line.
+std::span<const std::size_t> shuffle_map(std::size_t n);
+
+/// map[a] = unshuffle(a, n), cached like shuffle_map.
+std::span<const std::size_t> unshuffle_map(std::size_t n);
 
 }  // namespace brsmn::topo

@@ -19,6 +19,7 @@ api::ResilientOptions router_options(
   o.faults = config.faults;
   o.metrics = config.metrics;
   o.tracer = config.tracer;
+  o.plan_cache = config.plan_cache;
   return o;
 }
 

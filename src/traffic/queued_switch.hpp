@@ -73,6 +73,11 @@ class QueuedMulticastSwitch {
     fault::FaultInjector* faults = nullptr;
     /// Retry/fallback policy for faulted routes.
     api::RetryPolicy retry{};
+    /// Compiled-plan cache shared by every epoch's routes (see
+    /// api/plan_cache.hpp): steady traffic patterns re-route the same
+    /// assignment each epoch and replay instead of recomputing. Null:
+    /// every epoch routes cold (the default).
+    api::PlanCache* plan_cache = nullptr;
     /// Drop policy: a queued cell older than this many epochs is dropped
     /// (counted, never silently) at the start of a step. 0 disables.
     std::size_t max_cell_age = 0;

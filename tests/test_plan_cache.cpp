@@ -1,0 +1,429 @@
+// Tests for the assignment-keyed plan cache (api/plan_cache.hpp): LRU
+// bounds and refresh, exact-key matching under forced hash collisions,
+// fault-triggered invalidation (an n=16 stuck-switch and dead-link sweep
+// — every cached replay under an active fault must either raise
+// fault::FaultDetected and evict its entry or deliver exactly the clean
+// expectation, never a plausible-but-wrong result), the never-insert-
+// under-faults policy, explanation-aware lookups, metric mirroring, and
+// the ParallelRouter integration (cross-thread hits, batch
+// deduplication). The cross-thread test doubles as the TSan workload.
+#include "api/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "api/parallel_router.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/multicast_assignment.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_report.hpp"
+#include "obs/metrics.hpp"
+
+namespace brsmn {
+namespace {
+
+/// A fixed multicast mixing unicast, fan-out and idle inputs.
+MulticastAssignment mixed_assignment(std::size_t n) {
+  MulticastAssignment a(n);
+  a.connect(0, 0);
+  a.connect(0, n - 1);
+  a.connect(1, n / 2);
+  a.connect(2, 1);
+  a.connect(2, 2);
+  a.connect(2, 3);
+  a.connect(n - 1, n / 4);
+  return a;
+}
+
+/// A distinct unicast assignment per `salt`, for filling the cache with
+/// unequal keys.
+MulticastAssignment salted_assignment(std::size_t n, std::size_t salt) {
+  MulticastAssignment a(n);
+  a.connect(salt % n, salt % n);
+  a.connect((salt + 1) % n, (salt + n / 2) % n);
+  return a;
+}
+
+RouteOptions cached_options(api::PlanCache& cache) {
+  RouteOptions options;
+  options.plan_cache = &cache;
+  return options;
+}
+
+// --- LRU behavior ---------------------------------------------------------
+
+TEST(PlanCacheLru, BoundsEntriesAndEvictsLeastRecentlyUsed) {
+  const std::size_t n = 16;
+  api::PlanCache cache({.capacity = 2, .shards = 1});
+  Brsmn net(n);
+  const auto a1 = salted_assignment(n, 1);
+  const auto a2 = salted_assignment(n, 2);
+  const auto a3 = salted_assignment(n, 3);
+
+  net.route(a1, cached_options(cache));
+  net.route(a2, cached_options(cache));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Refresh a1, then overflow: a2 (now least recently used) is evicted.
+  net.route(a1, cached_options(cache));
+  EXPECT_EQ(cache.hits(), 1u);
+  net.route(a3, cached_options(cache));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // a1 survived the eviction, a2 did not.
+  net.route(a1, cached_options(cache));
+  EXPECT_EQ(cache.hits(), 2u);
+  net.route(a2, cached_options(cache));
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PlanCacheLru, ReinsertReplacesInsteadOfDuplicating) {
+  const std::size_t n = 16;
+  api::PlanCache cache({.capacity = 8, .shards = 1});
+  Brsmn net(n);
+  const auto a = mixed_assignment(n);
+
+  net.route(a, cached_options(cache));
+  EXPECT_EQ(cache.size(), 1u);
+  // An explain route misses (the cached plan has no provenance) and the
+  // recompiled plan replaces the entry rather than adding a second one.
+  RouteOptions explain = cached_options(cache);
+  explain.explain = true;
+  const RouteResult recompiled = net.route(a, explain);
+  ASSERT_TRUE(recompiled.explanation.has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Now both plain and explain routes hit the explain-compiled plan.
+  const RouteResult hit = net.route(a, explain);
+  ASSERT_TRUE(hit.explanation.has_value());
+  EXPECT_EQ(*hit.explanation, *recompiled.explanation);
+  net.route(a, cached_options(cache));
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+// --- exact keys under collisions -------------------------------------------
+
+TEST(PlanCacheKeys, ForcedHashCollisionsFallBackToExactComparison) {
+  const std::size_t n = 16;
+  // One shard: the forced collisions funnel every entry into a single
+  // shard anyway, and the per-shard bound must hold all six.
+  api::PlanCache cache({.capacity = 16, .shards = 1,
+                        .force_hash_collisions = true});
+  Brsmn net(n);
+  std::vector<MulticastAssignment> as;
+  for (std::size_t s = 0; s < 6; ++s) as.push_back(salted_assignment(n, s));
+
+  std::vector<std::vector<std::optional<std::size_t>>> cold;
+  for (const auto& a : as) cold.push_back(Brsmn(n).route(a).delivered);
+
+  for (const auto& a : as) net.route(a, cached_options(cache));
+  EXPECT_EQ(cache.size(), as.size());
+  EXPECT_EQ(cache.misses(), as.size());
+
+  // Every repeat is a hit and returns the plan of exactly its own
+  // assignment, collisions notwithstanding.
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const RouteResult r = net.route(as[i], cached_options(cache));
+    EXPECT_EQ(r.delivered, cold[i]) << "collision mixed up assignment " << i;
+  }
+  EXPECT_EQ(cache.hits(), as.size());
+}
+
+TEST(PlanCacheKeys, ImplementationsGetSeparateEntries) {
+  const std::size_t n = 16;
+  api::PlanCache cache;
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  const auto a = mixed_assignment(n);
+
+  const RouteResult ur = unrolled.route(a, cached_options(cache));
+  const RouteResult fr = feedback.route(a, cached_options(cache));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(ur.delivered, fr.delivered);
+
+  unrolled.route(a, cached_options(cache));
+  feedback.route(a, cached_options(cache));
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(PlanCacheKeys, ScalarAndPackedEnginesShareOnePlan) {
+  const std::size_t n = 32;
+  api::PlanCache cache;
+  Brsmn net(n);
+  Rng rng(test_seed(8700));
+  const auto a = random_multicast(n, 0.5, rng);
+  const auto expected = Brsmn(n).route(a).delivered;
+
+  RouteOptions scalar = cached_options(cache);
+  scalar.engine = RouteEngine::Scalar;
+  RouteOptions packed = cached_options(cache);
+  packed.engine = RouteEngine::Packed;
+
+  EXPECT_EQ(net.route(a, scalar).delivered, expected);
+  EXPECT_EQ(net.route(a, packed).delivered, expected);
+  EXPECT_EQ(net.route(a, scalar).delivered, expected);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+// --- fault interaction ----------------------------------------------------
+
+TEST(PlanCacheFaults, MissUnderArmedInjectorRoutesColdWithoutInserting) {
+  const std::size_t n = 16;
+  api::PlanCache cache;
+  Brsmn net(n);
+  fault::FaultPlan fplan;
+  fplan.n = n;  // armed injector, no faults: routes succeed
+  fault::FaultInjector injector(fplan);
+
+  RouteOptions options = cached_options(cache);
+  options.faults = &injector;
+  const auto a = mixed_assignment(n);
+  const RouteResult r = net.route(a, options);
+  EXPECT_EQ(r.delivered, Brsmn(n).route(a).delivered);
+  EXPECT_EQ(cache.size(), 0u);  // never compiled under an armed injector
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+/// Sweep a single always-active fault over every site; for each, cache a
+/// clean plan, then route with the injector armed. The cached replay
+/// must either raise FaultDetected — invalidating the entry so the next
+/// clean route recompiles — or deliver exactly the clean expectation.
+struct SweepTally {
+  int detected = 0;
+  int masked = 0;
+};
+
+SweepTally run_fault_sweep(const std::vector<fault::FaultSpec>& specs,
+                           std::size_t n) {
+  SweepTally tally;
+  const MulticastAssignment a = mixed_assignment(n);
+  const auto expected = Brsmn(n).route(a).delivered;
+  for (const fault::FaultSpec& spec : specs) {
+    fault::FaultPlan fplan;
+    fplan.n = n;
+    fplan.faults = {spec};
+    api::PlanCache cache({.capacity = 4, .shards = 1});
+    Brsmn net(n);
+
+    net.route(a, cached_options(cache));  // compile + insert, fault-free
+    EXPECT_EQ(cache.size(), 1u);
+
+    fault::FaultInjector injector(fplan);
+    RouteOptions armed = cached_options(cache);
+    armed.faults = &injector;
+    try {
+      const RouteResult r = net.route(a, armed);
+      ++tally.masked;
+      EXPECT_EQ(r.delivered, expected)
+          << "masked replay must match the clean delivery: "
+          << fault::describe(spec);
+      EXPECT_EQ(cache.size(), 1u);
+    } catch (const fault::FaultDetected&) {
+      ++tally.detected;
+      EXPECT_EQ(cache.invalidations(), 1u)
+          << "detection must invalidate: " << fault::describe(spec);
+      EXPECT_EQ(cache.size(), 0u);
+      // The next clean route recompiles and repopulates the cache.
+      const RouteResult again = net.route(a, cached_options(cache));
+      EXPECT_EQ(again.delivered, expected);
+      EXPECT_EQ(cache.size(), 1u);
+    }
+  }
+  return tally;
+}
+
+TEST(PlanCacheFaults, StuckSwitchSweepDetectsOrMasksNeverWrong) {
+  const std::size_t n = 16;  // m = 4: levels 1..3 carry fabric settings
+  std::vector<fault::FaultSpec> specs;
+  for (int level = 1; level <= 3; ++level) {
+    const int stages = 4 - (level - 1);
+    for (const PassKind pass : {PassKind::Scatter, PassKind::Quasisort}) {
+      for (int stage = 1; stage <= stages; ++stage) {
+        for (std::size_t sw = 0; sw < n / 2; ++sw) {
+          fault::FaultSpec s;
+          s.kind = fault::FaultKind::StuckSetting;
+          s.level = level;
+          s.pass = pass;
+          s.stage = stage;
+          s.index = sw;
+          s.stuck = SwitchSetting::Cross;
+          specs.push_back(s);
+        }
+      }
+    }
+  }
+  const SweepTally tally = run_fault_sweep(specs, n);
+  EXPECT_GT(tally.detected, 0);
+  EXPECT_GT(tally.masked, 0);
+}
+
+TEST(PlanCacheFaults, DeadLinkSweepDetectsOrMasksNeverWrong) {
+  const std::size_t n = 16;
+  std::vector<fault::FaultSpec> specs;
+  for (int level = 1; level <= 4; ++level) {
+    for (std::size_t line = 0; line < n; ++line) {
+      fault::FaultSpec s;
+      s.kind = fault::FaultKind::DeadLink;
+      s.level = level;
+      s.index = line;
+      specs.push_back(s);
+    }
+  }
+  const SweepTally tally = run_fault_sweep(specs, n);
+  EXPECT_GT(tally.detected, 0);
+  EXPECT_GT(tally.masked, 0);
+}
+
+TEST(PlanCacheFaults, FeedbackReplayDetectsAndInvalidatesToo) {
+  const std::size_t n = 16;
+  const MulticastAssignment a = mixed_assignment(n);
+  api::PlanCache cache;
+  FeedbackBrsmn net(n);
+  net.route(a, cached_options(cache));
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Kill the line carrying input 0 at level 1: always detected.
+  fault::FaultPlan fplan;
+  fplan.n = n;
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::DeadLink;
+  s.level = 1;
+  s.index = 0;
+  fplan.faults = {s};
+  fault::FaultInjector injector(fplan);
+  RouteOptions armed = cached_options(cache);
+  armed.faults = &injector;
+  EXPECT_THROW(net.route(a, armed), fault::FaultDetected);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(PlanCacheMetrics, CountersMirrorIntoRegistry) {
+  const std::size_t n = 16;
+  obs::MetricRegistry registry;
+  api::PlanCache cache({.capacity = 1, .shards = 1});
+  cache.attach_metrics(registry);
+  Brsmn net(n);
+
+  net.route(salted_assignment(n, 1), cached_options(cache));  // miss
+  net.route(salted_assignment(n, 1), cached_options(cache));  // hit
+  net.route(salted_assignment(n, 2), cached_options(cache));  // miss + evict
+
+  EXPECT_EQ(registry.counter("plan_cache.hits").value(), cache.hits());
+  EXPECT_EQ(registry.counter("plan_cache.misses").value(), cache.misses());
+  EXPECT_EQ(registry.counter("plan_cache.evictions").value(),
+            cache.evictions());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(PlanCacheMetrics, ReplayRecordsPhaseHistogram) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "phase histograms compile to nothing with BRSMN_OBS=OFF";
+  }
+  const std::size_t n = 16;
+  obs::MetricRegistry registry;
+  api::PlanCache cache;
+  Brsmn net(n);
+  RouteOptions options = cached_options(cache);
+  options.metrics = &registry;
+  const auto a = mixed_assignment(n);
+  net.route(a, options);  // cold compile: no replay sample
+  net.route(a, options);  // hit: one replay sample
+  net.route(a, options);
+  EXPECT_EQ(registry.histogram("route.phase.replay_ns").count(), 2u);
+}
+
+// --- ParallelRouter integration --------------------------------------------
+
+TEST(PlanCacheParallel, CrossThreadHitsOnRepeatedBatches) {
+  const std::size_t n = 32;
+  Rng rng(test_seed(8800));
+  std::vector<MulticastAssignment> unique;
+  for (int i = 0; i < 4; ++i) unique.push_back(random_multicast(n, 0.5, rng));
+  std::vector<MulticastAssignment> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& a : unique) batch.push_back(a);
+  }
+
+  api::PlanCache cache;
+  api::ParallelRouter router(n, 4);
+  router.set_plan_cache(&cache);
+
+  const auto first = router.route_batch(batch);
+  // Batch dedup collapses the 3 repeats, so only the unique assignments
+  // routed — all misses.
+  EXPECT_EQ(cache.misses(), unique.size());
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto second = router.route_batch(batch);
+  EXPECT_EQ(cache.hits(), unique.size());
+  EXPECT_EQ(cache.misses(), unique.size());
+
+  ASSERT_EQ(first.size(), batch.size());
+  ASSERT_EQ(second.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(first[i].delivered, second[i].delivered) << "index " << i;
+  }
+}
+
+TEST(PlanCacheParallel, BatchDeduplicationWorksWithoutCache) {
+  const std::size_t n = 32;
+  Rng rng(test_seed(8900));
+  const auto a = random_multicast(n, 0.5, rng);
+  const auto b = random_multicast(n, 0.5, rng);
+  const std::vector<MulticastAssignment> batch{a, b, a, a, b, a};
+
+  obs::MetricRegistry registry;
+  api::ParallelRouter router(n, 3);
+  router.set_metrics(&registry);
+  const auto results = router.route_batch(batch);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(registry.counter("parallel.batch_deduped").value(), 4u);
+  }
+  ASSERT_EQ(results.size(), batch.size());
+  for (const std::size_t i : {2u, 3u, 5u}) {
+    EXPECT_EQ(results[i].delivered, results[0].delivered);
+  }
+  EXPECT_EQ(results[4].delivered, results[1].delivered);
+  EXPECT_EQ(results[0].delivered, Brsmn(n).route(a).delivered);
+  EXPECT_EQ(results[1].delivered, Brsmn(n).route(b).delivered);
+}
+
+TEST(PlanCacheParallel, BatchDeduplicationIsDisabledUnderFaults) {
+  // Each route must draw its own slot of the fault schedule, so
+  // duplicates are routed individually when an injector is armed.
+  const std::size_t n = 16;
+  const auto a = mixed_assignment(n);
+  const std::vector<MulticastAssignment> batch{a, a, a};
+
+  fault::FaultPlan fplan;
+  fplan.n = n;
+  fault::FaultInjector injector(fplan);
+  obs::MetricRegistry registry;
+  api::ParallelRouter router(n, 2);
+  router.set_metrics(&registry);
+  router.set_faults(&injector);
+  const auto results = router.route_batch(batch);
+  EXPECT_EQ(registry.counter("parallel.batch_deduped").value(), 0u);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(results[0].delivered, results[2].delivered);
+}
+
+}  // namespace
+}  // namespace brsmn

@@ -99,6 +99,78 @@ TEST(DiffMetrics, ZeroBaselineCountsAsInfiniteRegression) {
   EXPECT_FALSE(flat.any_regressed());
 }
 
+/// A document with two counters and two histograms, for ratio checks.
+JsonValue ratio_doc(double hits, double misses, double warm_ns,
+                    double cold_ns) {
+  MetricRegistry r;
+  r.counter("plan_cache.hits").add(static_cast<std::uint64_t>(hits));
+  r.counter("plan_cache.misses").add(static_cast<std::uint64_t>(misses));
+  Histogram& warm = r.histogram("warm.route.phase.replay_ns");
+  Histogram& cold = r.histogram("cold.route.phase.total_ns");
+  for (int i = 0; i < 100; ++i) {
+    warm.record(warm_ns);
+    cold.record(cold_ns);
+  }
+  return parse_json(to_json(r));
+}
+
+TEST(DiffMetrics, CounterRatioSelectorGatesTheRatio) {
+  const RegressionCheck checks[] = {
+      parse_check("plan_cache.hits/plan_cache.misses@0.25", 0.25),
+  };
+  // Ratio 10/5 = 2 in the baseline; 8/5 = 1.6 now: an improvement.
+  const RegressionReport better = diff_metrics(
+      ratio_doc(10, 5, 1, 1), ratio_doc(8, 5, 1, 1), checks);
+  EXPECT_FALSE(better.any_regressed());
+  EXPECT_NEAR(better.outcomes[0].baseline, 2.0, 1e-9);
+  EXPECT_NEAR(better.outcomes[0].current, 1.6, 1e-9);
+  // 15/5 = 3: a 50% increase over the baseline's 2, past the 25% gate.
+  const RegressionReport worse = diff_metrics(
+      ratio_doc(10, 5, 1, 1), ratio_doc(15, 5, 1, 1), checks);
+  EXPECT_TRUE(worse.any_regressed());
+}
+
+TEST(DiffMetrics, HistogramRatioSelectorUsesTheStatOnBothSides) {
+  const RegressionCheck checks[] = {
+      parse_check(
+          "warm.route.phase.replay_ns/cold.route.phase.total_ns:p50@0.25",
+          0.25),
+  };
+  // warm/cold p50 ratio: 0.2 baseline vs 0.22 now (+10%) passes ...
+  const RegressionReport ok = diff_metrics(
+      ratio_doc(1, 1, 200, 1000), ratio_doc(1, 1, 220, 1000), checks);
+  EXPECT_FALSE(ok.any_regressed());
+  EXPECT_NEAR(ok.outcomes[0].baseline, 0.2, 1e-9);
+  // ... and 0.4 (+100%) fails even though both sides individually grew
+  // by less than that.
+  const RegressionReport bad = diff_metrics(
+      ratio_doc(1, 1, 200, 1000), ratio_doc(1, 1, 480, 1200), checks);
+  EXPECT_TRUE(bad.any_regressed());
+}
+
+TEST(DiffMetrics, RatioWithZeroDenominator) {
+  const RegressionCheck checks[] = {
+      parse_check("plan_cache.hits/plan_cache.misses@0.25", 0.25),
+  };
+  // 0/0 resolves to 0 on both sides: flat, no regression.
+  const RegressionReport flat = diff_metrics(
+      ratio_doc(0, 0, 1, 1), ratio_doc(0, 0, 1, 1), checks);
+  EXPECT_FALSE(flat.any_regressed());
+  // hits with zero misses is an infinite current ratio: regressed.
+  const RegressionReport inf = diff_metrics(
+      ratio_doc(10, 5, 1, 1), ratio_doc(10, 0, 1, 1), checks);
+  EXPECT_TRUE(inf.any_regressed());
+}
+
+TEST(DiffMetrics, RatioWithMissingSideIsMissing) {
+  const RegressionCheck checks[] = {
+      parse_check("plan_cache.hits/not.a.metric", 0.25),
+  };
+  const RegressionReport report = diff_metrics(
+      ratio_doc(10, 5, 1, 1), ratio_doc(10, 5, 1, 1), checks);
+  EXPECT_TRUE(report.any_missing());
+}
+
 TEST(DiffMetrics, TableListsEveryOutcome) {
   const RegressionCheck checks[] = {
       parse_check("route.phase.total_ns:p50", 0.25),

@@ -1,0 +1,354 @@
+// Differential tests of compiled route plans (core/route_plan.hpp):
+// route_replay() must be bit-identical to a cold route() — delivered
+// outputs, routing stats, per-level broadcast counts, the full
+// RouteExplanation grids, and the switch settings left in the physical
+// fabrics — across both implementations (unrolled Brsmn and
+// FeedbackBrsmn) and with either engine selected in the replay options.
+// The fabric is deliberately scrambled by routing a decoy assignment
+// between compile and replay, so grid equality proves the replay
+// actually reinstalls every setting rather than inheriting it.
+//
+// Also here: the zero-allocation contract of route_replay_into — after
+// two warmup replays, a steady-state replay performs no heap
+// allocations (counted by overriding global operator new in this test
+// binary).
+#include "core/route_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/multicast_assignment.hpp"
+
+// --- allocation counter ---------------------------------------------------
+//
+// Global operator new/delete overrides counting every heap allocation
+// made by this binary. Counting is unconditional (the counter is a
+// relaxed atomic, negligible next to malloc itself); tests read the
+// counter around a region and assert on the delta.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc demands it
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace brsmn {
+namespace {
+
+// --- equality helpers -----------------------------------------------------
+
+void expect_stats_eq(const RoutingStats& a, const RoutingStats& b) {
+  EXPECT_EQ(a.switch_traversals, b.switch_traversals);
+  EXPECT_EQ(a.broadcast_ops, b.broadcast_ops);
+  EXPECT_EQ(a.tree_fwd_ops, b.tree_fwd_ops);
+  EXPECT_EQ(a.tree_bwd_ops, b.tree_bwd_ops);
+  EXPECT_EQ(a.fabric_passes, b.fabric_passes);
+  EXPECT_EQ(a.gate_delay, b.gate_delay);
+}
+
+void expect_results_eq(const RouteResult& cold, const RouteResult& replay) {
+  EXPECT_EQ(cold.delivered, replay.delivered);
+  expect_stats_eq(cold.stats, replay.stats);
+  EXPECT_EQ(cold.broadcasts_per_level, replay.broadcasts_per_level);
+  EXPECT_TRUE(replay.level_inputs.empty());
+  ASSERT_EQ(cold.explanation.has_value(), replay.explanation.has_value());
+  if (cold.explanation) {
+    EXPECT_EQ(*cold.explanation, *replay.explanation);
+  }
+}
+
+/// Every switch setting of one Rbn, stage-major.
+std::vector<SwitchSetting> fabric_grid(const Rbn& rbn) {
+  std::vector<SwitchSetting> grid;
+  for (int stage = 1; stage <= rbn.stages(); ++stage) {
+    for (std::size_t sw = 0; sw < rbn.size() / 2; ++sw) {
+      grid.push_back(rbn.setting(stage, sw));
+    }
+  }
+  return grid;
+}
+
+/// The settings grids of every fabric of an unrolled network, in level /
+/// BSN / pass order.
+std::vector<std::vector<SwitchSetting>> unrolled_grids(const Brsmn& net) {
+  std::vector<std::vector<SwitchSetting>> grids;
+  for (int k = 1; k < net.levels(); ++k) {
+    for (const Bsn& bsn : net.level_bsns(k)) {
+      grids.push_back(fabric_grid(bsn.scatter_fabric()));
+      grids.push_back(fabric_grid(bsn.quasisort_fabric()));
+    }
+  }
+  return grids;
+}
+
+/// An assignment guaranteed to differ from typical test assignments:
+/// routed between compile and replay so the fabric no longer holds the
+/// plan's settings when the replay runs.
+MulticastAssignment decoy_assignment(std::size_t n) {
+  MulticastAssignment a(n);
+  for (std::size_t i = 0; i < n; ++i) a.connect(i, n - 1 - i);
+  return a;
+}
+
+/// Compile a plan for `a` on a fresh unrolled network, scramble the
+/// fabric with a decoy route, then replay under both engine selections
+/// and require full bit-identity with the cold route.
+void check_unrolled_replay(std::size_t n, const MulticastAssignment& a) {
+  Brsmn net(n);
+  RoutePlan plan;
+  RouteOptions copts;
+  copts.explain = true;
+  const RouteResult cold = planner::compile_route(net, a, copts, plan);
+  const auto cold_grids = unrolled_grids(net);
+
+  for (const RouteEngine engine :
+       {RouteEngine::Scalar, RouteEngine::Packed}) {
+    net.route(decoy_assignment(n));  // scramble the fabric
+    RouteOptions ropts;
+    ropts.explain = true;
+    ropts.engine = engine;
+    const RouteResult replay = net.route_replay(plan, ropts);
+    expect_results_eq(cold, replay);
+    EXPECT_EQ(unrolled_grids(net), cold_grids);
+  }
+}
+
+/// Feedback-implementation version of check_unrolled_replay.
+void check_feedback_replay(std::size_t n, const MulticastAssignment& a) {
+  FeedbackBrsmn net(n);
+  RoutePlan plan;
+  RouteOptions copts;
+  copts.explain = true;
+  const RouteResult cold = planner::compile_route(net, a, copts, plan);
+  const auto cold_grid = fabric_grid(net.fabric());
+  EXPECT_EQ(plan.impl, fault::ImplKind::Feedback);
+
+  for (const RouteEngine engine :
+       {RouteEngine::Scalar, RouteEngine::Packed}) {
+    net.route(decoy_assignment(n));
+    RouteOptions ropts;
+    ropts.explain = true;
+    ropts.engine = engine;
+    const RouteResult replay = net.route_replay(plan, ropts);
+    expect_results_eq(cold, replay);
+    EXPECT_EQ(fabric_grid(net.fabric()), cold_grid);
+  }
+}
+
+void check_replay(std::size_t n, const MulticastAssignment& a) {
+  check_unrolled_replay(n, a);
+  check_feedback_replay(n, a);
+}
+
+// --- differential sweeps --------------------------------------------------
+
+class RoutePlanDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoutePlanDifferential, SeededMulticastSweep) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(8100 + n));
+  const int trials = n <= 64 ? 6 : 3;
+  for (int t = 0; t < trials; ++t) {
+    check_replay(n, random_multicast(n, 0.5, rng));
+  }
+}
+
+TEST_P(RoutePlanDifferential, SeededDenseMulticast) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(8200 + n));
+  const int trials = n <= 64 ? 4 : 2;
+  for (int t = 0; t < trials; ++t) {
+    check_replay(n, random_multicast(n, 0.9, rng));
+  }
+}
+
+TEST_P(RoutePlanDifferential, SeededPermutations) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(8300 + n));
+  for (int t = 0; t < 3; ++t) {
+    check_replay(n, random_permutation(n, 1.0, rng));
+  }
+}
+
+TEST_P(RoutePlanDifferential, BroadcastPatterns) {
+  const std::size_t n = GetParam();
+  check_replay(n, full_broadcast(n));
+  check_replay(n, broadcast_assignment(n, 2));
+  check_replay(n, MulticastAssignment(n));  // empty assignment
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoutePlanDifferential,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+TEST(RoutePlanEdge, SmallestNetwork) {
+  // n = 2 has no BSN levels — the plan holds only the final-level planes
+  // and the output mapping.
+  MulticastAssignment swap2(2);
+  swap2.connect(0, 1);
+  swap2.connect(1, 0);
+  check_replay(2, swap2);
+  check_replay(2, full_broadcast(2));
+}
+
+TEST(RoutePlanEdge, PaperExample) {
+  check_replay(8, paper_example_assignment());
+}
+
+// --- replay contract checks -----------------------------------------------
+
+TEST(RoutePlanContracts, ImplementationMismatchIsRejected) {
+  const std::size_t n = 8;
+  Brsmn unrolled(n);
+  FeedbackBrsmn feedback(n);
+  RoutePlan plan;
+  planner::compile_route(unrolled, paper_example_assignment(), {}, plan);
+  EXPECT_THROW(feedback.route_replay(plan), ContractViolation);
+}
+
+TEST(RoutePlanContracts, SizeMismatchIsRejected) {
+  Brsmn small(8);
+  Brsmn big(16);
+  RoutePlan plan;
+  planner::compile_route(small, paper_example_assignment(), {}, plan);
+  EXPECT_THROW(big.route_replay(plan), ContractViolation);
+}
+
+TEST(RoutePlanContracts, ExplainReplayNeedsExplainCompiledPlan) {
+  const std::size_t n = 8;
+  Brsmn net(n);
+  RoutePlan plan;
+  planner::compile_route(net, paper_example_assignment(), {}, plan);
+  ASSERT_FALSE(plan.explanation.has_value());
+  RouteOptions ropts;
+  ropts.explain = true;
+  EXPECT_THROW(net.route_replay(plan, ropts), ContractViolation);
+}
+
+TEST(RoutePlanContracts, CaptureLevelsIsRejected) {
+  const std::size_t n = 8;
+  Brsmn net(n);
+  RoutePlan plan;
+  planner::compile_route(net, paper_example_assignment(), {}, plan);
+  RouteOptions ropts;
+  ropts.capture_levels = true;
+  EXPECT_THROW(net.route_replay(plan, ropts), ContractViolation);
+}
+
+TEST(RoutePlanContracts, CompileUnderFaultInjectionIsRejected) {
+  const std::size_t n = 8;
+  fault::FaultPlan fplan;
+  fplan.n = n;
+  fault::FaultInjector injector(fplan);
+  Brsmn net(n);
+  RoutePlan plan;
+  RouteOptions opts;
+  opts.faults = &injector;
+  EXPECT_THROW(
+      planner::compile_route(net, paper_example_assignment(), opts, plan),
+      ContractViolation);
+}
+
+// --- fingerprint ----------------------------------------------------------
+
+TEST(AssignmentFingerprint, DistinguishesAssignments) {
+  const std::size_t n = 16;
+  Rng rng(test_seed(8400));
+  MulticastAssignment a = random_multicast(n, 0.5, rng);
+  MulticastAssignment b = a;  // identical copy
+  EXPECT_EQ(assignment_fingerprint(a), assignment_fingerprint(b));
+
+  // Any extra connection must move the fingerprint.
+  MulticastAssignment c = a;
+  std::size_t free_out = 0;
+  while (c.output_claimed(free_out)) ++free_out;
+  c.connect(0, free_out);
+  EXPECT_NE(assignment_fingerprint(a), assignment_fingerprint(c));
+
+  // Size is part of the fingerprint.
+  EXPECT_NE(assignment_fingerprint(MulticastAssignment(8)),
+            assignment_fingerprint(MulticastAssignment(16)));
+}
+
+// --- zero-allocation steady state -----------------------------------------
+
+TEST(RoutePlanZeroAlloc, SteadyStateUnrolledReplayDoesNotAllocate) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(8500));
+  const MulticastAssignment a = random_multicast(n, 0.6, rng);
+  Brsmn net(n);
+  RoutePlan plan;
+  planner::compile_route(net, a, {}, plan);
+
+  const RouteOptions ropts;  // self-check on; no metrics/tracer/explain/faults
+  RouteResult out;
+  net.route_replay_into(plan, ropts, out);  // warmup: workspace + capacities
+  net.route_replay_into(plan, ropts, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  net.route_replay_into(plan, ropts, out);
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_EQ(out.delivered, plan.delivered);
+}
+
+TEST(RoutePlanZeroAlloc, SteadyStateFeedbackReplayDoesNotAllocate) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(8600));
+  const MulticastAssignment a = random_multicast(n, 0.6, rng);
+  FeedbackBrsmn net(n);
+  RoutePlan plan;
+  planner::compile_route(net, a, {}, plan);
+
+  const RouteOptions ropts;
+  RouteResult out;
+  net.route_replay_into(plan, ropts, out);
+  net.route_replay_into(plan, ropts, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  net.route_replay_into(plan, ropts, out);
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_EQ(out.delivered, plan.delivered);
+}
+
+}  // namespace
+}  // namespace brsmn

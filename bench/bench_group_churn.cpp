@@ -1,0 +1,275 @@
+// Incremental plan patching vs cold compilation under group churn
+// (api/group_manager.hpp, core/route_plan.hpp).
+//
+// The paired families apply the same single-member deltas to a
+// broadcast base: group_churn.cold.* compiles the post-delta assignment
+// from scratch, group_churn.patch.* patches the base plan instead
+// (recompiling only the levels the delta dirtied), and
+// group_churn.patched_replay.* replays the patched plans — the
+// steady-state serving cost once a delta's plan exists. One
+// --metrics-out dump carries all three, so tools/bench_diff can gate
+// the ratios:
+//   group_churn.patched_replay.phase.replay_ns/group_churn.cold.phase.total_ns:p50
+//   group_churn.patch.phase.total_ns/group_churn.cold.phase.total_ns:p50
+// (the CI bounds at n=1024 are 0.5 for a patched plan's replay vs a
+// cold compile and 0.8 for the patch construction itself — see
+// docs/PERFORMANCE.md). The patch family also exports
+// group_churn.patch.levels_{reused,recompiled} counters, so a gate
+// regression can be attributed: a ratio that drifts up with reuse
+// intact is a patch-driver slowdown, one with reuse gone is a
+// plane-divergence (convergence) regression.
+//
+// BM_GroupChurnService drives the full registry path: thousands of live
+// groups on one GroupManager + PlanCache, a seeded join/leave stream,
+// every mutated group routed by id. The group.* / plan_patch.* counter
+// families report how the service splits between replays, patches, and
+// cold compiles under churn.
+//
+// --metrics-out=<path> / --trace-out=<path> as in bench_routing_time.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/group_manager.hpp"
+#include "api/plan_cache.hpp"
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/multicast_assignment.hpp"
+#include "core/route_plan.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
+brsmn::obs::Tracer* g_tracer = nullptr;           // set when --trace-out
+
+brsmn::RouteOptions family_options(std::string_view prefix) {
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.engine = brsmn::RouteEngine::Packed;
+  options.metrics_prefix = prefix;
+  if (g_metrics != nullptr) g_metrics->reset(prefix);
+  return options;
+}
+
+/// The steady multicast shape churn perturbs: 8 sources broadcasting to
+/// all n outputs. High fanout is the regime patching exists for — the
+/// copies separate within the first ~log2(fanout) levels, so a
+/// single-member delta leaves the deep levels' entry planes untouched.
+brsmn::MulticastAssignment churn_base(std::size_t n) {
+  return brsmn::broadcast_assignment(n, 8);
+}
+
+/// Single-member deltas of the base, cycled by the benchmark loops so
+/// successive iterations patch different levels dirty: each variant
+/// moves one output to a different source.
+std::vector<brsmn::MulticastAssignment> churn_variants(std::size_t n) {
+  const brsmn::MulticastAssignment base = churn_base(n);
+  std::vector<brsmn::MulticastAssignment> variants;
+  brsmn::Rng rng(7);
+  for (int v = 0; v < 8; ++v) {
+    brsmn::MulticastAssignment a = base;
+    const std::size_t dst = rng.uniform(0, n - 1);
+    std::size_t old_src = 0;
+    for (std::size_t s = 0; s < 8; ++s) {
+      const auto& d = a.destinations(s);
+      if (std::find(d.begin(), d.end(), dst) != d.end()) {
+        old_src = s;
+        break;
+      }
+    }
+    a.disconnect(old_src, dst);
+    a.connect((old_src + 1 + static_cast<std::size_t>(v)) % 8, dst);
+    variants.push_back(std::move(a));
+  }
+  return variants;
+}
+
+// --- paired families: cold compile vs incremental patch -------------------
+
+void BM_GroupChurnColdCompile(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  const auto variants = churn_variants(n);
+  const auto options = family_options("group_churn.cold");
+  brsmn::RoutePlan plan;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result = brsmn::planner::compile_route(
+        net, variants[i++ % variants.size()], options, plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GroupChurnColdCompile)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_GroupChurnPatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  const auto base = churn_base(n);
+  const auto variants = churn_variants(n);
+  brsmn::RoutePlan base_plan;
+  brsmn::planner::compile_route(net, base, {}, base_plan);
+  const auto options = family_options("group_churn.patch");
+  brsmn::RoutePlan patched;
+  std::size_t reused = 0;
+  std::size_t recompiled = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto outcome = brsmn::planner::patch_route(
+        net, variants[i++ % variants.size()], base_plan, options, patched,
+        {});
+    reused += outcome.levels_reused;
+    recompiled += outcome.levels_recompiled;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["levels_reused_per_patch"] =
+      benchmark::Counter(static_cast<double>(reused) /
+                         static_cast<double>(state.iterations()));
+  if (g_metrics != nullptr) {
+    g_metrics->counter("group_churn.patch.levels_reused").add(reused);
+    g_metrics->counter("group_churn.patch.levels_recompiled").add(recompiled);
+  }
+}
+BENCHMARK(BM_GroupChurnPatch)->RangeMultiplier(4)->Range(64, 1024);
+
+// Replay of patched plans: every variant's plan is patched from the base
+// once up front, then the loop replays them round-robin — the cost of
+// serving a group's traffic after its delta has been absorbed, which is
+// what the ISSUE gate bounds at 0.5x a cold compile.
+void BM_GroupChurnPatchedReplay(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  const auto base = churn_base(n);
+  const auto variants = churn_variants(n);
+  brsmn::RoutePlan base_plan;
+  brsmn::planner::compile_route(net, base, {}, base_plan);
+  std::vector<brsmn::RoutePlan> patched(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto outcome = brsmn::planner::patch_route(
+        net, variants[v], base_plan, {}, patched[v], {});
+    if (!outcome.patched) {
+      state.SkipWithError("patch unexpectedly abandoned");
+      return;
+    }
+  }
+  const auto options = family_options("group_churn.patched_replay");
+  brsmn::RouteResult out;
+  net.route_replay_into(patched[0], options, out);  // size the workspace
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net.route_replay_into(patched[i++ % patched.size()], options, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GroupChurnPatchedReplay)->RangeMultiplier(4)->Range(64, 1024);
+
+// --- the live registry under a churn stream -------------------------------
+
+// 2048 live groups on one GroupManager + PlanCache at n=256. Each
+// iteration mutates one group (join or leave) and routes it by id, so
+// the service alternates replays (unchurned repeats), patches (the
+// mutated group), and cold compiles (plans evicted or first-touched).
+void BM_GroupChurnService(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto group_count = static_cast<brsmn::api::GroupId>(state.range(0));
+  brsmn::api::PlanCache cache(brsmn::api::PlanCacheConfig{4096, 8, false});
+  brsmn::api::GroupManager groups(n);
+  brsmn::Brsmn net(n);
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.engine = brsmn::RouteEngine::Packed;
+  options.metrics_prefix = "group_churn.service";
+  options.plan_cache = &cache;
+  if (g_metrics != nullptr) {
+    g_metrics->reset("group_churn.service");
+    g_metrics->reset("group");
+    g_metrics->reset("plan_patch");
+    groups.attach_metrics(*g_metrics);
+  }
+
+  // Seed the registry: every group starts as an 8-source broadcast over
+  // a group-specific slice of the outputs.
+  brsmn::Rng rng(brsmn::test_seed(42));
+  for (brsmn::api::GroupId id = 0; id < group_count; ++id) {
+    const std::size_t span = 8 + id % 25;
+    for (std::size_t c = 0; c < span; ++c) {
+      groups.join(id, c % 8, (id * 37 + c) % n);
+    }
+  }
+
+  for (auto _ : state) {
+    const brsmn::api::GroupId id = rng.uniform(0, group_count - 1);
+    const auto snap = groups.snapshot(id);
+    // Mutate: move one member if the group is populated, else seed one.
+    bool mutated = false;
+    for (std::size_t src = 0; src < n && !mutated; ++src) {
+      const auto& dsts = snap.assignment.destinations(src);
+      if (dsts.empty()) continue;
+      const std::size_t dst = dsts[rng.uniform(0, dsts.size() - 1)];
+      groups.leave(id, src, dst);
+      groups.join(id, (src + 1) % 8, dst);
+      mutated = true;
+    }
+    if (!mutated) groups.join(id, 0, rng.uniform(0, n - 1));
+    auto report = groups.route(id, net, options);
+    benchmark::DoNotOptimize(report);
+  }
+
+  state.counters["patched"] =
+      benchmark::Counter(static_cast<double>(groups.plans_patched()));
+  state.counters["compiled"] =
+      benchmark::Counter(static_cast<double>(groups.plans_compiled()));
+  state.counters["abandoned"] =
+      benchmark::Counter(static_cast<double>(groups.patches_abandoned()));
+  state.counters["patched_per_route"] = benchmark::Counter(
+      static_cast<double>(groups.plans_patched()) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GroupChurnService)->Arg(2048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  brsmn::obs::MetricRegistry registry;
+  brsmn::obs::Tracer tracer;
+  const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
+  const auto trace_path = brsmn::obs::consume_trace_out_flag(argc, argv);
+  if (metrics_path) g_metrics = &registry;
+  if (trace_path) g_tracer = &tracer;
+  const bool dump_to_stdout = brsmn::obs::claims_stdout(metrics_path) ||
+                              brsmn::obs::claims_stdout(trace_path);
+  std::FILE* report = dump_to_stdout ? stderr : stdout;
+  std::fprintf(report,
+               "Incremental plan patching vs cold compilation under group "
+               "churn.\nMetric prefixes: group_churn.cold.* / "
+               "group_churn.patch.* / group.* / plan_patch.* — gate the "
+               "patched/cold ratio with tools/bench_diff "
+               "(docs/PERFORMANCE.md).\n\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (dump_to_stdout) {
+    benchmark::ConsoleReporter console;
+    console.SetOutputStream(&std::cerr);
+    console.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (metrics_path) {
+    if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());
+  }
+  if (trace_path) {
+    if (!brsmn::obs::try_write_trace(*trace_path, tracer)) return 1;
+    std::fprintf(stderr, "trace written to %s\n", trace_path->c_str());
+  }
+  return 0;
+}

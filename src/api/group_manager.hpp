@@ -1,0 +1,237 @@
+// Dynamic multicast group service with incremental plan patching.
+//
+// Long-lived multicast groups — a video channel's subscriber set, a
+// collective's member list — evolve one endpoint at a time, while the
+// underlying connection pattern persists across millions of routed
+// cells. GroupManager is the registry for that shape: groups are keyed
+// by caller-chosen ids, each holding an evolving MulticastAssignment
+// mutated through join()/leave() and routed by id.
+//
+// The payoff is incremental recompilation. Routing a group whose
+// assignment changed since its plan was compiled does not start over:
+// route() looks up the plan compiled for the group's *previous*
+// assignment in the shared api::PlanCache and hands it to
+// planner::patch_route (core/route_plan.hpp), which recompiles only the
+// levels whose entry tag planes the delta actually perturbed — a
+// single-member join or leave on a group with fanout f typically
+// dirties only the first ~log2(f) of the log2(n) levels — and adopts
+// the rest verbatim. The patched plan is bit-identical to a cold
+// compile of the new assignment (exhaustively verified by
+// tests/test_group_manager.cpp) and is inserted into the cache under
+// the new assignment, becoming the base for the next delta. A patch
+// that would recompile more than max_dirty_fraction of the levels is
+// abandoned in favor of a cold compile; a patch that trips the online
+// self-check (a corrupt or stale base) invalidates exactly the base
+// entry and falls back cold — detection never mis-delivers.
+//
+// Thread safety: the registry is sharded by group id, each shard behind
+// its own mutex; join/leave/snapshot/route on different groups proceed
+// concurrently, and route() copies the assignment out under the lock so
+// routing itself never holds it. The plan cache is already sharded and
+// thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/brsmn.hpp"
+#include "core/feedback.hpp"
+#include "core/route_plan.hpp"
+
+namespace brsmn::obs {
+class Counter;
+class Gauge;
+class MetricRegistry;
+}  // namespace brsmn::obs
+
+namespace brsmn::api {
+
+class PlanCache;
+
+/// Caller-chosen multicast group identifier.
+using GroupId = std::uint64_t;
+
+struct GroupManagerConfig {
+  /// Abandon a plan patch when more than this fraction of switch levels
+  /// would recompile; the route cold-compiles instead. Patching every
+  /// level still replays faster than the full configuration pipeline,
+  /// but past this point the patch walk's plane comparisons stop paying
+  /// for themselves.
+  double max_dirty_fraction = 0.75;
+  /// Registry shards; join/leave/route on groups in different shards
+  /// never contend.
+  std::size_t shards = 8;
+};
+
+/// A group's registry state, copied out under the shard lock.
+struct GroupSnapshot {
+  MulticastAssignment assignment;
+  /// Monotonic mutation counter: bumped by every join/leave.
+  std::uint64_t version = 0;
+};
+
+/// How route() obtained its result, for callers and tests.
+enum class GroupRouteMode : std::uint8_t {
+  /// No plan cache configured: routed cold, nothing compiled.
+  Uncached,
+  /// The cache already held a plan for the exact current assignment.
+  Replayed,
+  /// A base plan for the previous assignment was patched incrementally.
+  Patched,
+  /// Compiled cold (no base, patch abandoned, or patch detected a
+  /// fault) and inserted.
+  Compiled,
+};
+
+std::string_view group_route_mode_name(GroupRouteMode mode);
+
+struct GroupRouteReport {
+  RouteResult result;
+  GroupRouteMode mode = GroupRouteMode::Uncached;
+  /// Patch accounting (zero unless mode == Patched): switch levels
+  /// adopted verbatim from the base plan vs recompiled.
+  std::size_t levels_reused = 0;
+  std::size_t levels_recompiled = 0;
+  /// The registry version of the assignment that was routed.
+  std::uint64_t version = 0;
+};
+
+class GroupManager {
+ public:
+  /// A manager for groups on an n x n network (n a power of two >= 2).
+  explicit GroupManager(std::size_t n, GroupManagerConfig config = {});
+
+  GroupManager(const GroupManager&) = delete;
+  GroupManager& operator=(const GroupManager&) = delete;
+
+  std::size_t network_size() const noexcept { return n_; }
+
+  /// Add output `dst` to input `src`'s destination set in `group`,
+  /// creating the group on first use. Throws if `dst` is already
+  /// claimed inside the group (destination sets are pairwise disjoint).
+  /// Returns the group's new version.
+  std::uint64_t join(GroupId group, std::size_t src, std::size_t dst);
+
+  /// Remove output `dst` from input `src`'s destination set. Throws if
+  /// the group or the connection does not exist. Returns the group's
+  /// new version.
+  std::uint64_t leave(GroupId group, std::size_t src, std::size_t dst);
+
+  /// Copy of the group's current assignment and version. Throws if the
+  /// group does not exist.
+  GroupSnapshot snapshot(GroupId group) const;
+
+  bool contains(GroupId group) const;
+
+  /// Drop the group from the registry (its cached plans age out of the
+  /// plan cache by LRU). No-op when absent; returns whether it existed.
+  bool erase(GroupId group);
+
+  /// Live groups.
+  std::size_t group_count() const;
+
+  /// Route `group`'s current assignment on `net`. With
+  /// options.plan_cache set (and no armed injector) the route is served
+  /// replay-first / patch-second / cold-last as described above; the
+  /// cache key is the assignment itself, so distinct groups sharing a
+  /// pattern share plans. options.capture_levels must be off when a
+  /// cache is used (mirroring route_via_cache). Throws if the group
+  /// does not exist; fault::FaultDetected propagates exactly as from
+  /// Brsmn::route with the same options.
+  GroupRouteReport route(GroupId group, Brsmn& net,
+                         const RouteOptions& options = {});
+  GroupRouteReport route(GroupId group, FeedbackBrsmn& net,
+                         const RouteOptions& options = {});
+
+  /// Lifetime counters, mirrored into <prefix>.* / plan_patch.* metrics
+  /// once attach_metrics is called.
+  std::uint64_t joins() const noexcept;
+  std::uint64_t leaves() const noexcept;
+  std::uint64_t routes() const noexcept;
+  std::uint64_t plans_patched() const noexcept;
+  std::uint64_t plans_compiled() const noexcept;
+  std::uint64_t plans_replayed() const noexcept;
+  std::uint64_t patches_abandoned() const noexcept;
+  std::uint64_t patches_faulted() const noexcept;
+
+  /// Mirror the registry counters into `registry` from now on:
+  /// <prefix>.{joins,leaves,routes} and <prefix>.live (gauge), plus the
+  /// patch family plan_patch.{patched,compiled,replayed,abandoned,
+  /// faulted,levels_reused,levels_recompiled}.
+  void attach_metrics(obs::MetricRegistry& registry,
+                      std::string_view prefix = "group");
+
+ private:
+  struct PlannedBase {
+    /// The assignment the cache entry this group last produced was
+    /// keyed by — the patch base for the next delta.
+    std::optional<MulticastAssignment> assignment;
+    std::uint64_t version = 0;
+  };
+  struct Group {
+    MulticastAssignment assignment;
+    std::uint64_t version = 0;
+    /// Per implementation (fault::ImplKind), the last planned base.
+    PlannedBase planned[2];
+    explicit Group(std::size_t n) : assignment(n) {}
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<GroupId, Group> groups;
+  };
+
+  Shard& shard_for(GroupId group) {
+    return shards_[static_cast<std::size_t>(group) % shards_.size()];
+  }
+  const Shard& shard_for(GroupId group) const {
+    return shards_[static_cast<std::size_t>(group) % shards_.size()];
+  }
+
+  template <fault::ImplKind IMPL, typename Net>
+  GroupRouteReport route_impl(GroupId group, Net& net,
+                              const RouteOptions& options);
+
+  /// Record that `group`'s cache entry for IMPL is now keyed by
+  /// (assignment, version); stale (older-version) updates are ignored,
+  /// so concurrent routes can finish out of order.
+  void update_planned(GroupId group, std::size_t impl_index,
+                      const MulticastAssignment& assignment,
+                      std::uint64_t version);
+
+  void bump(std::atomic<std::uint64_t>& raw, obs::Counter* counter,
+            std::uint64_t by = 1);
+
+  std::size_t n_;
+  GroupManagerConfig config_;
+  std::vector<Shard> shards_;
+
+  std::atomic<std::uint64_t> joins_{0};
+  std::atomic<std::uint64_t> leaves_{0};
+  std::atomic<std::uint64_t> routes_{0};
+  std::atomic<std::uint64_t> patched_{0};
+  std::atomic<std::uint64_t> compiled_{0};
+  std::atomic<std::uint64_t> replayed_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> faulted_{0};
+  std::atomic<std::uint64_t> levels_reused_{0};
+  std::atomic<std::uint64_t> levels_recompiled_{0};
+  obs::Counter* joins_counter_ = nullptr;
+  obs::Counter* leaves_counter_ = nullptr;
+  obs::Counter* routes_counter_ = nullptr;
+  obs::Gauge* live_gauge_ = nullptr;
+  obs::Counter* patched_counter_ = nullptr;
+  obs::Counter* compiled_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
+  obs::Counter* abandoned_counter_ = nullptr;
+  obs::Counter* faulted_counter_ = nullptr;
+  obs::Counter* levels_reused_counter_ = nullptr;
+  obs::Counter* levels_recompiled_counter_ = nullptr;
+};
+
+}  // namespace brsmn::api

@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "api/plan_cache.hpp"
 #include "common/contracts.hpp"
@@ -214,6 +215,100 @@ std::vector<RouteResult> ParallelRouter::route_batch(
       metrics_->counter("parallel.batches").add(1);
       metrics_->counter("parallel.routes").add(batch.size());
       metrics_->counter("parallel.batch_deduped").add(duplicates);
+    }
+  }
+  return results;
+}
+
+std::vector<RouteResult> ParallelRouter::route_groups(
+    GroupManager& groups, const std::vector<GroupId>& ids) {
+  BRSMN_EXPECTS_MSG(groups.network_size() == n_,
+                    "group manager width does not match the router");
+  std::vector<RouteResult> results(ids.size());
+  if (ids.empty()) return results;
+
+  obs::Histogram* worker_hist = nullptr;
+  obs::Histogram* route_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      worker_hist = &metrics_->histogram("parallel.worker_batch_ns");
+      route_hist = &metrics_->histogram("parallel.route_ns");
+    }
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, ids.size()));
+  std::atomic<std::size_t> next{0};
+  struct Failure {
+    std::size_t index;
+    std::exception_ptr error;
+  };
+  std::vector<Failure> failures;
+  std::mutex error_mutex;
+
+  auto work = [&](unsigned t) {
+    const obs::PhaseTimer batch_timer(worker_hist);
+    char worker_label[24];
+    std::snprintf(worker_label, sizeof worker_label, "parallel.worker.%u", t);
+    obs::TraceSpan worker_span(tracer_, worker_label);
+    if (!engines_[t]) engines_[t] = std::make_unique<Brsmn>(n_);
+    Brsmn& engine = *engines_[t];
+    RouteOptions options;
+    options.metrics = metrics_;
+    options.tracer = tracer_;
+    options.engine = engine_;
+    options.self_check = self_check_;
+    options.faults = faults_;
+    options.plan_cache = plan_cache_;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ids.size()) return;
+      try {
+        const obs::PhaseTimer route_timer(route_hist);
+        results[i] = std::move(groups.route(ids[i], engine, options).result);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        failures.push_back({i, std::current_exception()});
+      }
+    }
+  };
+
+  obs::TraceSpan dispatch_span(tracer_, "parallel.route_groups");
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
+  for (auto& t : pool) t.join();
+
+  if (!failures.empty()) {
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure& a, const Failure& b) {
+                return a.index < b.index;
+              });
+    bool all_contract = true;
+    std::string message = "route_groups: " + std::to_string(failures.size()) +
+                          " group(s) failed";
+    for (const Failure& f : failures) {
+      message += "; group " + std::to_string(ids[f.index]) + ": ";
+      try {
+        std::rethrow_exception(f.error);
+      } catch (const ContractViolation& e) {
+        message += e.what();
+      } catch (const std::exception& e) {
+        all_contract = false;
+        message += e.what();
+      } catch (...) {
+        all_contract = false;
+        message += "unknown error";
+      }
+    }
+    if (all_contract) throw ContractViolation(message);
+    throw std::runtime_error(message);
+  }
+
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("parallel.batches").add(1);
+      metrics_->counter("parallel.group_routes").add(ids.size());
     }
   }
   return results;

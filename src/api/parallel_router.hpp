@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/group_manager.hpp"
 #include "core/brsmn.hpp"
 
 namespace brsmn::obs {
@@ -93,6 +94,16 @@ class ParallelRouter {
   /// one, so callers can still catch ContractViolation.
   std::vector<RouteResult> route_batch(
       const std::vector<MulticastAssignment>& batch);
+
+  /// Route every group id's *current* assignment through `groups`
+  /// (api/group_manager.hpp) on the worker engines; results come back
+  /// in `ids` order. Unlike route_batch there is no deduplication —
+  /// each route snapshots the live registry, and with the attached plan
+  /// cache repeats replay and post-churn groups patch, which is the
+  /// cheap path dedup would buy anyway. Failures aggregate exactly like
+  /// route_batch, with messages naming the group ("group <id>: ...").
+  std::vector<RouteResult> route_groups(GroupManager& groups,
+                                        const std::vector<GroupId>& ids);
 
  private:
   std::size_t n_;

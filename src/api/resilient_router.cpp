@@ -71,8 +71,8 @@ void ResilientRouter::bump(const char* counter_name, std::uint64_t& local) {
   }
 }
 
-RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
-                                        const RoutePath& path, bool explain) {
+RouteOptions ResilientRouter::path_options(const RoutePath& path,
+                                           bool explain) const {
   RouteOptions ro;
   ro.engine = path.engine;
   ro.self_check = options_.self_check;
@@ -81,6 +81,12 @@ RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
   ro.metrics = options_.metrics;
   ro.tracer = options_.tracer;
   ro.plan_cache = options_.plan_cache;
+  return ro;
+}
+
+RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
+                                        const RoutePath& path, bool explain) {
+  const RouteOptions ro = path_options(path, explain);
   if (!path.feedback) return unrolled_.route(assignment, ro);
   if (!feedback_) feedback_ = std::make_unique<FeedbackBrsmn>(n_);
   return feedback_->route(assignment, ro);
@@ -88,6 +94,12 @@ RouteResult ResilientRouter::route_once(const MulticastAssignment& assignment,
 
 RequestOutcome ResilientRouter::route_ladder(
     const MulticastAssignment& assignment) {
+  return run_ladder([&](const RoutePath& path, bool explain) {
+    return route_once(assignment, path, explain);
+  });
+}
+
+RequestOutcome ResilientRouter::run_ladder(const AttemptFn& attempt) {
   RequestOutcome out;
   const std::vector<RoutePath> paths = ladder();
   const std::size_t per_path =
@@ -107,7 +119,7 @@ RequestOutcome ResilientRouter::route_ladder(
       try {
         // Explain only once a fault has been seen: provenance grids cost
         // allocation on every pass, and a clean route never reads them.
-        RouteResult result = route_once(assignment, paths[p], saw_fault);
+        RouteResult result = attempt(paths[p], saw_fault);
         out.result = std::move(result);
         if (p == 0 && !saw_fault) {
           out.outcome = RouteOutcome::Delivered;
@@ -144,6 +156,21 @@ RequestOutcome ResilientRouter::route(const MulticastAssignment& assignment) {
                     "assignment size does not match the network");
   obs::TraceSpan span(options_.tracer, "resilient.route");
   return route_ladder(assignment);
+}
+
+RequestOutcome ResilientRouter::route_group(GroupId group,
+                                            GroupManager& groups) {
+  BRSMN_EXPECTS_MSG(groups.network_size() == n_,
+                    "group manager width does not match the network");
+  obs::TraceSpan span(options_.tracer, "resilient.route_group");
+  return run_ladder([&](const RoutePath& path, bool explain) {
+    const RouteOptions ro = path_options(path, explain);
+    if (!path.feedback) {
+      return std::move(groups.route(group, unrolled_, ro).result);
+    }
+    if (!feedback_) feedback_ = std::make_unique<FeedbackBrsmn>(n_);
+    return std::move(groups.route(group, *feedback_, ro).result);
+  });
 }
 
 std::vector<RequestOutcome> ResilientRouter::route_batch(

@@ -21,10 +21,12 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "api/group_manager.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
 #include "fault/fault_report.hpp"
@@ -134,6 +136,16 @@ class ResilientRouter {
   /// detections become retries, fallbacks, and finally a Failed outcome.
   RequestOutcome route(const MulticastAssignment& assignment);
 
+  /// Route a dynamic group (api/group_manager.hpp) down the same
+  /// ladder. Every attempt goes through GroupManager::route on this
+  /// router's engines, so with a plan cache configured a clean repeat
+  /// replays and a post-churn route patches incrementally; an attempt
+  /// that trips the self-check has already invalidated precisely the
+  /// cache entry it replayed or patched from, so the retry recompiles.
+  /// Each path routes the group's assignment as of that attempt —
+  /// concurrent joins/leaves land on whichever attempt reads them.
+  RequestOutcome route_group(GroupId group, GroupManager& groups);
+
   /// Route a batch: a ParallelRouter fans the fast path across worker
   /// threads; on any aggregate failure each assignment is re-run through
   /// the resilient ladder serially, so per-request outcomes stay exact.
@@ -152,9 +164,19 @@ class ResilientRouter {
   std::vector<RoutePath> ladder() const;
 
  private:
+  /// One attempt on one rung: route somehow (cold, replay, patch) and
+  /// return the result, throwing fault::FaultDetected on detection.
+  using AttemptFn = std::function<RouteResult(const RoutePath&, bool)>;
+
+  /// The retry/fallback walk shared by route() and route_group():
+  /// `attempt` is invoked per (path, explain) try and its detections
+  /// drive the ladder.
+  RequestOutcome run_ladder(const AttemptFn& attempt);
   RequestOutcome route_ladder(const MulticastAssignment& assignment);
   RouteResult route_once(const MulticastAssignment& assignment,
                          const RoutePath& path, bool explain);
+  /// The RouteOptions every attempt on `path` routes with.
+  RouteOptions path_options(const RoutePath& path, bool explain) const;
   void bump(const char* counter_name, std::uint64_t& local);
 
   std::size_t n_;

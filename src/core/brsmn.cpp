@@ -54,8 +54,17 @@ void advance_streams(std::vector<LineValue>& lines) {
                       "occupied line lost its packet between levels");
     Packet& p = *lv.packet;
     BRSMN_ENSURES(p.stream.size() >= 3);  // a_0 plus two subtree sequences
-    const std::span<const Tag> rest(p.stream.data() + 1, p.stream.size() - 1);
-    p.stream = split_stream(rest, lv.tag);
+    // Strided split in place (cf. split_stream): entry i of the branch's
+    // subsequence sits at 1 + 2i + offset, strictly ahead of the write
+    // cursor, so the halved stream overwrites its own buffer and the
+    // advance allocates nothing. This runs for every occupied line at
+    // every level, so the per-line temporary of split_stream() adds up.
+    const std::size_t offset = lv.tag == Tag::Zero ? 0 : 1;
+    const std::size_t half = (p.stream.size() - 1) / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      p.stream[i] = p.stream[1 + 2 * i + offset];
+    }
+    p.stream.resize(half);
     lv.tag = p.stream.front();
   }
 }

@@ -43,6 +43,19 @@ struct ReplayWorkspace;
 namespace brsmn {
 
 struct RoutePlan;
+class Brsmn;
+struct RouteOptions;
+class MulticastAssignment;
+
+namespace planner {
+struct PatchConfig;
+struct PatchOutcome;
+/// Incremental recompilation (core/route_plan.hpp); declared here so the
+/// patch driver can be befriended like packed_route.
+PatchOutcome patch_route(Brsmn& net, const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config);
+}  // namespace planner
 
 /// Which datapath implementation executes the route. Both produce
 /// bit-identical results (outputs, fabric settings grids, explanations,
@@ -204,6 +217,12 @@ class Brsmn {
                                   const MulticastAssignment& assignment,
                                   const RouteOptions& options,
                                   RoutePlan* plan);
+  /// The incremental recompiler (also core/packed_kernel.cpp) reuses the
+  /// same per-level install paths into levels_.
+  friend planner::PatchOutcome planner::patch_route(
+      Brsmn& net, const MulticastAssignment& assignment, const RoutePlan& base,
+      const RouteOptions& options, RoutePlan& out,
+      const planner::PatchConfig& config);
 
   std::size_t n_;
   int m_;

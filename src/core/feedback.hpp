@@ -19,6 +19,15 @@
 
 namespace brsmn {
 
+class FeedbackBrsmn;
+
+namespace planner {
+PatchOutcome patch_route(FeedbackBrsmn& net,
+                         const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config);
+}  // namespace planner
+
 class FeedbackBrsmn {
  public:
   /// An n x n feedback BRSMN, n a power of two >= 2.
@@ -72,6 +81,12 @@ class FeedbackBrsmn {
                                   const MulticastAssignment& assignment,
                                   const RouteOptions& options,
                                   RoutePlan* plan);
+  /// The incremental recompiler (also core/packed_kernel.cpp) reuses the
+  /// same per-pass install paths into fabric_.
+  friend planner::PatchOutcome planner::patch_route(
+      FeedbackBrsmn& net, const MulticastAssignment& assignment,
+      const RoutePlan& base, const RouteOptions& options, RoutePlan& out,
+      const planner::PatchConfig& config);
 
   Rbn fabric_;
   /// Lazily created by route_replay (see Brsmn::replay_ws_).

@@ -37,6 +37,16 @@ void MulticastAssignment::connect(std::size_t input, std::size_t output) {
   d.insert(std::upper_bound(d.begin(), d.end(), output), output);
 }
 
+void MulticastAssignment::disconnect(std::size_t input, std::size_t output) {
+  BRSMN_EXPECTS(input < n_ && output < n_);
+  auto& d = dest_[input];
+  const auto it = std::lower_bound(d.begin(), d.end(), output);
+  BRSMN_EXPECTS_MSG(it != d.end() && *it == output,
+                    "disconnect of a connection that does not exist");
+  d.erase(it);
+  output_claimed_[output] = false;
+}
+
 bool MulticastAssignment::output_claimed(std::size_t output) const {
   BRSMN_EXPECTS(output < n_);
   return output_claimed_[output];

@@ -31,6 +31,10 @@ class MulticastAssignment {
   /// already claimed by any input.
   void connect(std::size_t input, std::size_t output);
 
+  /// Remove `output` from input i's destination set, releasing the
+  /// output's claim. Throws if input i is not connected to `output`.
+  void disconnect(std::size_t input, std::size_t output);
+
   /// True when some input's destination set already contains `output`.
   bool output_claimed(std::size_t output) const;
 

@@ -749,6 +749,11 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
   const auto t0 = kx.tag_plane(0);
   const auto t1 = kx.tag_plane(1);
   const auto t2 = kx.tag_plane(2);
+  // One a_0 is consumed per level, so a line splits at most once per
+  // level: once both of an event's copies are materialized its parent
+  // packet is dead, and the second copy can steal the parent's stream
+  // instead of duplicating it.
+  std::vector<std::uint8_t> first_side_done(kx.num_events, 0);
   for (std::size_t p = 0; p < n; ++p) {
     const auto bits = static_cast<std::uint8_t>(
         (pk::plane_get(t0, p) ? 0b100u : 0u) |
@@ -772,10 +777,16 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
     BRSMN_ENSURES(ev < kx.num_events);
     BRSMN_ENSURES_MSG(prev[kx.parent_code[ev]].packet.has_value(),
                       "packed gather: broadcast parent packet missing");
-    const Packet& parent = *prev[kx.parent_code[ev]].packet;
-    out[p] = occupied_line(
-        tag, Packet{parent.source, kx.copy_id_base + 2 * ev + side,
-                    parent.copy_id, parent.stream});
+    Packet& parent = *prev[kx.parent_code[ev]].packet;
+    Packet copy{parent.source, kx.copy_id_base + 2 * ev + side,
+                parent.copy_id, {}};
+    if (first_side_done[ev] != 0) {
+      copy.stream = std::move(parent.stream);
+    } else {
+      copy.stream = parent.stream;
+      first_side_done[ev] = 1;
+    }
+    out[p] = occupied_line(tag, std::move(copy));
   }
   return out;
 }
@@ -803,6 +814,544 @@ void capture_result(const RouteResult& result, RoutePlan& plan) {
   plan.stats = result.stats;
   plan.broadcasts_per_level = result.broadcasts_per_level;
   plan.explanation = result.explanation;
+}
+
+/// One level's stats contribution: after - before, fieldwise (RoutingStats
+/// has no operator-; every counter is monotone within a route).
+RoutingStats stats_diff(const RoutingStats& after, const RoutingStats& before) {
+  RoutingStats d;
+  d.switch_traversals = after.switch_traversals - before.switch_traversals;
+  d.broadcast_ops = after.broadcast_ops - before.broadcast_ops;
+  d.tree_fwd_ops = after.tree_fwd_ops - before.tree_fwd_ops;
+  d.tree_bwd_ops = after.tree_bwd_ops - before.tree_bwd_ops;
+  d.fabric_passes = after.fabric_passes - before.fabric_passes;
+  d.gate_delay = after.gate_delay - before.gate_delay;
+  return d;
+}
+
+/// True when the tag planes loaded into `kx` equal the stored level's
+/// entry checkpoint. Codes are identity-loaded per level, so every
+/// configuration product of the level — census, scatter/quasisort plans,
+/// masks, runs, events, ε-division, checkpoints — is a pure function of
+/// these three planes: equality means the stored level can be adopted
+/// verbatim.
+bool entry_planes_match(LevelKernel& kx, const PlanLevel& old) {
+  const auto t0 = kx.tag_plane(0);
+  const auto t1 = kx.tag_plane(1);
+  const auto t2 = kx.tag_plane(2);
+  return std::equal(t0.begin(), t0.end(), old.entry_t0.begin(),
+                    old.entry_t0.end()) &&
+         std::equal(t1.begin(), t1.end(), old.entry_t1.begin(),
+                    old.entry_t1.end()) &&
+         std::equal(t2.begin(), t2.end(), old.entry_t2.begin(),
+                    old.entry_t2.end());
+}
+
+/// The body of one unrolled switch level — scatter pass, quasisort pass,
+/// gather — exactly as packed_route's level loop runs it. Shared with
+/// planner::patch_route so a recompiled level of a patched plan goes
+/// through the identical code path as a cold compile. The caller owns the
+/// kernel construction (load_lines) and, when compiling a plan, the
+/// PlanLevel's entry-plane capture.
+void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
+                            LevelKernel& kx, std::vector<LineValue>& lines,
+                            std::uint64_t& next_copy_id, PlanLevel* pl,
+                            RouteResult& result, const RouteOptions& options,
+                            obs::RouteProbe& probe, bool checking,
+                            std::uint64_t route_ord) {
+  const RoutingStats entry_stats = result.stats;
+  const std::size_t splits_before = result.stats.broadcast_ops;
+  const int S = kx.stages;
+  const std::size_t bsn_size = std::size_t{1} << S;
+  if (pl != nullptr) {
+    // The configure callbacks partition every stage's n/2 switches, so
+    // these defaults never survive — the rows exist so each callback run
+    // is one fill into a pre-sized stage row.
+    pl->scatter_settings.assign(
+        static_cast<std::size_t>(S),
+        std::vector<SwitchSetting>(n / 2, SwitchSetting::Parallel));
+    pl->quasisort_settings.assign(
+        static_cast<std::size_t>(S),
+        std::vector<SwitchSetting>(n / 2, SwitchSetting::Parallel));
+  }
+  char level_label[24];
+  std::snprintf(level_label, sizeof level_label, "level.%d", k);
+  obs::TraceSpan level_span(probe.tracer, level_label);
+  PassExplanation* scatter_pass = nullptr;
+  PassExplanation* quasi_pass = nullptr;
+  if (options.explain) {
+    auto& passes = result.explanation->passes;
+    passes.push_back(make_pass(k, PassKind::Scatter, n, S));
+    passes.push_back(make_pass(k, PassKind::Quasisort, n, S));
+    scatter_pass = &passes[passes.size() - 2];
+    quasi_pass = &passes.back();
+  }
+  const ExplainSink scatter_sink{scatter_pass, 0};
+  const ExplainSink quasi_sink{quasi_pass, 0};
+  fault::PassSeam seam;
+  seam.injector = options.faults;
+  seam.activity = options.fault_activity;
+  seam.route = route_ord;
+  seam.net_width = n;
+  seam.level = k;
+  seam.impl = fault::ImplKind::Unrolled;
+  seam.engine = RouteEngine::Packed;
+
+  if (scatter_pass != nullptr) {
+    std::vector<Tag> tags(n);
+    for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+    scatter_sink.record_input_tags(tags);
+  }
+
+  TagCensus census;
+  std::vector<std::size_t> in_zeros(n >> S);
+  std::vector<std::size_t> in_ones(n >> S);
+  std::vector<std::size_t> in_alphas(n >> S);
+  std::vector<std::size_t> in_epses(n >> S);
+
+  // Pass 1: scatter — eliminate every alpha (paper Theorem 2).
+  fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
+    census.build(kx);
+
+    // The scalar Bsn's entry contracts, per BSN block in block order.
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      in_alphas[bb] = census.alpha_pyr.count(S, bb);
+      in_epses[bb] = census.eps_pyr.count(S, bb);
+      in_ones[bb] = census.ones_pyr.count(S, bb);
+      in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
+      BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
+                        "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
+      BRSMN_EXPECTS_MSG(in_ones[bb] + in_alphas[bb] <= bsn_size / 2,
+                        "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
+      for (std::size_t i = bb * bsn_size; i < (bb + 1) * bsn_size; ++i) {
+        BRSMN_EXPECTS_MSG(
+            lines[i].empty() == !lines[i].packet.has_value(),
+            "occupied lines must carry a packet, eps lines none");
+        if (lines[i].packet) {
+          BRSMN_EXPECTS_MSG(
+              !lines[i].packet->stream.empty() &&
+                  lines[i].packet->stream.front() == lines[i].tag,
+              "line tag must equal the packet's current a_0");
+        }
+      }
+    }
+
+    obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
+    const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
+        kx, census, &result.stats,
+        scatter_pass != nullptr ? &scatter_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          const std::size_t bb = g >> (S - j);
+          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+          level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
+                                                            count, s);
+          if (pl != nullptr && count != 0) {
+            auto& row = pl->scatter_settings[static_cast<std::size_t>(j - 1)];
+            std::fill_n(row.begin() +
+                            static_cast<std::ptrdiff_t>((g << (j - 1)) + first),
+                        static_cast<std::ptrdiff_t>(count), s);
+          }
+        });
+    scatter_span.end();
+    scatter_timer.stop();
+    for (const ScatterNodeValue& root : roots) {
+      BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
+                        "Eq. (3) guarantees eps dominates at the BSN root");
+    }
+  });
+  if (pl != nullptr) pl->scatter_masks = kx.masks;
+  seam.apply_unrolled_packed(level, PassKind::Scatter, kx.masks);
+
+  TagCensus mid;
+  fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
+    finalize_events(kx, /*bsn_block_major=*/true, next_copy_id,
+                    &result.stats);
+    obs::PhaseTimer scatter_datapath(probe.datapath);
+    obs::TraceSpan scatter_data_span(probe.tracer, "bsn.scatter.datapath");
+    run_scatter_datapath(kx);
+    scatter_data_span.end();
+    scatter_datapath.stop();
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+    mid.build(kx);
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
+      const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
+      const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
+      const std::size_t mid_zeros =
+          bsn_size - mid_alphas - mid_epses - mid_ones;
+      BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
+      BRSMN_ENSURES(mid_zeros == in_zeros[bb] + in_alphas[bb]);  // Eq. (4)
+      BRSMN_ENSURES(mid_ones == in_ones[bb] + in_alphas[bb]);    // Eq. (4)
+      BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
+    }
+  });
+  if (pl != nullptr) {
+    pl->events = kx.events;
+    pl->num_events = kx.num_events;
+    pl->parent_codes = kx.parent_code;
+    pl->post_scatter.assign(kx.state.words().begin(),
+                            kx.state.words().end());
+  }
+
+  // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
+  fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
+    if (quasi_pass != nullptr) {
+      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+    }
+    obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
+    divide_eps_packed(kx, mid, &result.stats);
+    divide_span.end();
+    divide_timer.stop();
+    if (quasi_pass != nullptr) {
+      quasi_sink.record_divided_tags(
+          materialize_tags(kx, /*collapse=*/false));
+    }
+
+    kx.reset_pass();
+    TagCensus divided;
+    divided.build(kx);
+    obs::PhaseTimer quasisort_timer(probe.quasisort);
+    obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
+    configure_quasisort_packed(
+        kx, divided, &result.stats,
+        quasi_pass != nullptr ? &quasi_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          const std::size_t bb = g >> (S - j);
+          const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
+          level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
+                                                              count, s);
+          if (pl != nullptr && count != 0) {
+            auto& row =
+                pl->quasisort_settings[static_cast<std::size_t>(j - 1)];
+            std::fill_n(row.begin() +
+                            static_cast<std::ptrdiff_t>((g << (j - 1)) + first),
+                        static_cast<std::ptrdiff_t>(count), s);
+          }
+        });
+    quasisort_span.end();
+    quasisort_timer.stop();
+  });
+  if (pl != nullptr) {
+    pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+    pl->quasisort_masks = kx.masks;
+  }
+  seam.apply_unrolled_packed(level, PassKind::Quasisort, kx.masks);
+
+  fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
+    obs::PhaseTimer sort_datapath(probe.datapath);
+    obs::TraceSpan sort_data_span(probe.tracer, "bsn.quasisort.datapath");
+    run_unicast_datapath(kx);
+    sort_data_span.end();
+    sort_datapath.stop();
+    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
+
+    // Postcondition: zeros (real or dummy) occupy the upper half of every
+    // BSN, ones the lower half — the b2 plane decides, as in the scalar.
+    const auto t2 = kx.tag_plane(2);
+    for (std::size_t bb = 0; bb < (n >> S); ++bb) {
+      const std::size_t base = bb * bsn_size;
+      const std::size_t upper_ones =
+          pk::plane_popcount(t2, base, base + bsn_size / 2);
+      const std::size_t lower_ones =
+          pk::plane_popcount(t2, base + bsn_size / 2, base + bsn_size);
+      BRSMN_ENSURES_MSG(upper_ones == 0 && lower_ones == bsn_size / 2,
+                        "quasisort output not split by halves");
+    }
+  });
+  if (pl != nullptr) {
+    pl->post_quasisort.assign(kx.state.words().begin(),
+                              kx.state.words().end());
+  }
+
+  if (checking) {
+    fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
+      lines = gather_lines(kx, lines);
+      advance_streams(lines);
+      fault::self_check_level(lines, k, route_ord);
+    });
+  } else {
+    lines = gather_lines(kx, lines);
+    advance_streams(lines);
+  }
+  // All BSNs of one level route concurrently: charge the level's delay
+  // once, not per block.
+  result.stats.gate_delay += bsn_routing_delay(S);
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before);
+  if (pl != nullptr) pl->stats_delta = stats_diff(result.stats, entry_stats);
+}
+
+/// The body of one feedback level (passes 2k-1 and 2k over the physical
+/// fabric), shared with planner::patch_route like compile_level_unrolled.
+void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
+                            LevelKernel& kx, std::vector<LineValue>& lines,
+                            std::uint64_t& next_copy_id, PlanLevel* pl,
+                            RouteResult& result, const RouteOptions& options,
+                            obs::RouteProbe& probe, bool checking,
+                            std::uint64_t route_ord) {
+  const RoutingStats entry_stats = result.stats;
+  const std::size_t splits_before = result.stats.broadcast_ops;
+  const int top_stage = kx.stages;  // level-k BSN size is 2^top_stage
+  if (pl != nullptr) {
+    // As in compile_level_unrolled: pre-sized stage rows, fully
+    // overwritten by the configure callbacks' runs.
+    pl->scatter_settings.assign(
+        static_cast<std::size_t>(top_stage),
+        std::vector<SwitchSetting>(n / 2, SwitchSetting::Parallel));
+    pl->quasisort_settings.assign(
+        static_cast<std::size_t>(top_stage),
+        std::vector<SwitchSetting>(n / 2, SwitchSetting::Parallel));
+  }
+  char level_label[24];
+  std::snprintf(level_label, sizeof level_label, "level.%d", k);
+  obs::TraceSpan level_span(probe.tracer, level_label);
+  ExplainSink scatter_sink;
+  ExplainSink quasi_sink;
+  if (options.explain) {
+    auto& passes = result.explanation->passes;
+    passes.push_back(make_pass(k, PassKind::Scatter, n, top_stage));
+    passes.push_back(make_pass(k, PassKind::Quasisort, n, top_stage));
+    scatter_sink.pass = &passes[passes.size() - 2];
+    quasi_sink.pass = &passes.back();
+  }
+  fault::PassSeam seam;
+  seam.injector = options.faults;
+  seam.activity = options.fault_activity;
+  seam.route = route_ord;
+  seam.net_width = n;
+  seam.level = k;
+  seam.impl = fault::ImplKind::Feedback;
+  seam.engine = RouteEngine::Packed;
+
+  // Pass 2k-1: the fabric acts as the level-k scatter networks.
+  fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
+    fabric.reset();
+    if (scatter_sink.pass != nullptr) {
+      std::vector<Tag> tags(n);
+      for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
+      scatter_sink.record_input_tags(tags);
+    }
+    TagCensus census;
+    census.build(kx);
+    obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
+    configure_scatter_packed(
+        kx, census, &result.stats,
+        scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          fabric.fill_block_run(j, g, first, count, s);
+          if (pl != nullptr && count != 0) {
+            auto& row = pl->scatter_settings[static_cast<std::size_t>(j - 1)];
+            std::fill_n(row.begin() +
+                            static_cast<std::ptrdiff_t>((g << (j - 1)) + first),
+                        static_cast<std::ptrdiff_t>(count), s);
+          }
+        });
+  });
+  if (pl != nullptr) pl->scatter_masks = kx.masks;
+  seam.apply_full_packed(fabric, PassKind::Scatter, kx.masks);
+  fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
+    finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
+                    &result.stats);
+    obs::PhaseTimer scatter_datapath(probe.datapath);
+    obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
+    run_scatter_datapath(kx);
+    scatter_data_span.end();
+    scatter_datapath.stop();
+  });
+  if (pl != nullptr) {
+    pl->events = kx.events;
+    pl->num_events = kx.num_events;
+    pl->parent_codes = kx.parent_code;
+    pl->post_scatter.assign(kx.state.words().begin(),
+                            kx.state.words().end());
+  }
+  // The scalar feedback datapath walks all m physical stages (stages
+  // above top_stage are identity wiring).
+  result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
+  ++result.stats.fabric_passes;
+  // One scatter configuration sweep (all blocks concurrent) plus a full
+  // traversal of the m-stage fabric.
+  result.stats.gate_delay +=
+      config_sweep_delay(top_stage) + datapath_delay(m);
+
+  // Pass 2k: the fabric acts as the level-k quasisorting networks.
+  fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
+    fabric.reset();
+    kx.reset_pass();
+    TagCensus mid;
+    mid.build(kx);
+    if (quasi_sink.pass != nullptr) {
+      quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
+    }
+    obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
+    obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
+    divide_eps_packed(kx, mid, &result.stats);
+    divide_span.end();
+    divide_timer.stop();
+    if (quasi_sink.pass != nullptr) {
+      quasi_sink.record_divided_tags(
+          materialize_tags(kx, /*collapse=*/false));
+    }
+    TagCensus divided;
+    divided.build(kx);
+    obs::PhaseTimer quasisort_timer(probe.quasisort);
+    configure_quasisort_packed(
+        kx, divided, &result.stats,
+        quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
+        [&](int j, std::size_t g, std::size_t first, std::size_t count,
+            SwitchSetting s) {
+          fabric.fill_block_run(j, g, first, count, s);
+          if (pl != nullptr && count != 0) {
+            auto& row =
+                pl->quasisort_settings[static_cast<std::size_t>(j - 1)];
+            std::fill_n(row.begin() +
+                            static_cast<std::ptrdiff_t>((g << (j - 1)) + first),
+                        static_cast<std::ptrdiff_t>(count), s);
+          }
+        });
+  });
+  if (pl != nullptr) {
+    pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+    pl->quasisort_masks = kx.masks;
+  }
+  seam.apply_full_packed(fabric, PassKind::Quasisort, kx.masks);
+  fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
+    obs::PhaseTimer sort_datapath(probe.datapath);
+    obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
+    run_unicast_datapath(kx);
+    sort_data_span.end();
+    sort_datapath.stop();
+  });
+  if (pl != nullptr) {
+    pl->post_quasisort.assign(kx.state.words().begin(),
+                              kx.state.words().end());
+  }
+  result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
+  ++result.stats.fabric_passes;
+  // ε-divide sweep + quasisort sweep + full fabric traversal.
+  result.stats.gate_delay +=
+      2 * config_sweep_delay(top_stage) + datapath_delay(m);
+
+  if (checking) {
+    fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
+      lines = gather_lines(kx, lines);
+      advance_streams(lines);
+      fault::self_check_level(lines, k, route_ord);
+    });
+  } else {
+    lines = gather_lines(kx, lines);
+    advance_streams(lines);
+  }
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before);
+  if (pl != nullptr) pl->stats_delta = stats_diff(result.stats, entry_stats);
+}
+
+/// The implementation-agnostic half of adopting a stored level during a
+/// patch: restore the post-quasisort checkpoint and event bookkeeping,
+/// re-emit the stored explanation passes, and advance the line state to
+/// the level's stored outcome. Copy ids keep tracking the cold allocation
+/// order because every preceding level — reused or recompiled — produced
+/// exactly the events a cold compile of the new assignment would.
+void reuse_level_state(const PlanLevel& old,
+                       const RouteExplanation* base_explanation, std::size_t n,
+                       int k, LevelKernel& kx, std::vector<LineValue>& lines,
+                       std::uint64_t& next_copy_id, RouteResult& result,
+                       const RouteOptions& options, bool checking) {
+  BRSMN_EXPECTS(old.post_quasisort.size() == kx.state.words().size());
+  std::copy(old.post_quasisort.begin(), old.post_quasisort.end(),
+            kx.state.words().begin());
+  kx.num_events = old.num_events;
+  kx.parent_code = old.parent_codes;
+  kx.copy_id_base = next_copy_id;
+  next_copy_id += 2 * old.num_events;
+  if (options.explain) {
+    // The stored passes are pure functions of the (matching) entry
+    // planes, so copying them is bit-identical to re-deriving them.
+    const auto& passes = base_explanation->passes;
+    const std::size_t first = 2 * static_cast<std::size_t>(k - 1);
+    result.explanation->passes.push_back(passes[first]);
+    result.explanation->passes.push_back(passes[first + 1]);
+  }
+  if (checking) {
+    fault::guard(true, n, 0, k, std::nullopt, true, [&] {
+      lines = gather_lines(kx, lines);
+      advance_streams(lines);
+      fault::self_check_level(lines, k, 0);
+    });
+  } else {
+    lines = gather_lines(kx, lines);
+    advance_streams(lines);
+  }
+  result.stats += old.stats_delta;
+  result.broadcasts_per_level.push_back(old.stats_delta.broadcast_ops);
+}
+
+/// Adopt one stored level verbatim on the unrolled network: install its
+/// setting runs into the level's persistent grids (the runs partition
+/// every stage's half-width, so this fully overwrites stale state and
+/// matches a cold compile's grids), then restore the line state.
+void reuse_level_unrolled(std::vector<Bsn>& level, const PlanLevel& old,
+                          const RouteExplanation* base_explanation,
+                          std::size_t n, int k, LevelKernel& kx,
+                          std::vector<LineValue>& lines,
+                          std::uint64_t& next_copy_id, RouteResult& result,
+                          const RouteOptions& options, obs::RouteProbe& probe,
+                          bool checking) {
+  const int S = kx.stages;
+  char level_label[24];
+  std::snprintf(level_label, sizeof level_label, "level.%d", k);
+  obs::TraceSpan level_span(probe.tracer, level_label);
+  // Each BSN owns the contiguous 2^(S-1)-wide slice of every level-wide
+  // stage row, so installing a stored level is one copy per (BSN, stage).
+  const std::size_t bsn_row = std::size_t{1} << (S - 1);
+  for (int j = 1; j <= S; ++j) {
+    const std::span<const SwitchSetting> srow(
+        old.scatter_settings[static_cast<std::size_t>(j - 1)]);
+    const std::span<const SwitchSetting> qrow(
+        old.quasisort_settings[static_cast<std::size_t>(j - 1)]);
+    for (std::size_t bb = 0; bb < level.size(); ++bb) {
+      level[bb].mutable_scatter_fabric().install_stage(
+          j, srow.subspan(bb * bsn_row, bsn_row));
+      level[bb].mutable_quasisort_fabric().install_stage(
+          j, qrow.subspan(bb * bsn_row, bsn_row));
+    }
+  }
+  reuse_level_state(old, base_explanation, n, k, kx, lines, next_copy_id,
+                    result, options, checking);
+}
+
+/// Adopt one stored level verbatim on the feedback fabric: both passes'
+/// grids are installed (reset first, as in a cold pass) so the physical
+/// fabric ends each level exactly as a cold compile leaves it.
+void reuse_level_feedback(Rbn& fabric, const PlanLevel& old,
+                          const RouteExplanation* base_explanation,
+                          std::size_t n, int k, LevelKernel& kx,
+                          std::vector<LineValue>& lines,
+                          std::uint64_t& next_copy_id, RouteResult& result,
+                          const RouteOptions& options, obs::RouteProbe& probe,
+                          bool checking) {
+  char level_label[24];
+  std::snprintf(level_label, sizeof level_label, "level.%d", k);
+  obs::TraceSpan level_span(probe.tracer, level_label);
+  fabric.reset();
+  for (std::size_t j = 0; j < old.scatter_settings.size(); ++j) {
+    fabric.install_stage(static_cast<int>(j + 1), old.scatter_settings[j]);
+  }
+  fabric.reset();
+  for (std::size_t j = 0; j < old.quasisort_settings.size(); ++j) {
+    fabric.install_stage(static_cast<int>(j + 1), old.quasisort_settings[j]);
+  }
+  reuse_level_state(old, base_explanation, n, k, kx, lines, next_copy_id,
+                    result, options, checking);
 }
 
 }  // namespace
@@ -859,32 +1408,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     fault::apply_dead_lines(options.faults, route_ord, k,
                             fault::ImplKind::Unrolled, RouteEngine::Packed,
                             lines, options.fault_activity);
-    const std::size_t splits_before = result.stats.broadcast_ops;
-    const std::size_t bsn_size = n >> (k - 1);
-    const int S = log2_exact(bsn_size);
-    char level_label[24];
-    std::snprintf(level_label, sizeof level_label, "level.%d", k);
-    obs::TraceSpan level_span(probe.tracer, level_label);
-    PassExplanation* scatter_pass = nullptr;
-    PassExplanation* quasi_pass = nullptr;
-    if (options.explain) {
-      auto& passes = result.explanation->passes;
-      passes.push_back(make_pass(k, PassKind::Scatter, n, S));
-      passes.push_back(make_pass(k, PassKind::Quasisort, n, S));
-      scatter_pass = &passes[passes.size() - 2];
-      quasi_pass = &passes.back();
-    }
-    const ExplainSink scatter_sink{scatter_pass, 0};
-    const ExplainSink quasi_sink{quasi_pass, 0};
-    fault::PassSeam seam;
-    seam.injector = options.faults;
-    seam.activity = options.fault_activity;
-    seam.route = route_ord;
-    seam.net_width = n;
-    seam.level = k;
-    seam.impl = fault::ImplKind::Unrolled;
-    seam.engine = RouteEngine::Packed;
-
+    const int S = log2_exact(n >> (k - 1));
     LevelKernel kx(n, m, S);
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
@@ -895,193 +1419,9 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
       pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
       pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
     }
-    if (scatter_pass != nullptr) {
-      std::vector<Tag> tags(n);
-      for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
-      scatter_sink.record_input_tags(tags);
-    }
-
-    TagCensus census;
-    auto& level = net.levels_[static_cast<std::size_t>(k - 1)];
-    std::vector<std::size_t> in_zeros(n >> S);
-    std::vector<std::size_t> in_ones(n >> S);
-    std::vector<std::size_t> in_alphas(n >> S);
-    std::vector<std::size_t> in_epses(n >> S);
-
-    // Pass 1: scatter — eliminate every alpha (paper Theorem 2).
-    fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
-      census.build(kx);
-
-      // The scalar Bsn's entry contracts, per BSN block in block order.
-      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-        in_alphas[bb] = census.alpha_pyr.count(S, bb);
-        in_epses[bb] = census.eps_pyr.count(S, bb);
-        in_ones[bb] = census.ones_pyr.count(S, bb);
-        in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
-        BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
-                          "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
-        BRSMN_EXPECTS_MSG(in_ones[bb] + in_alphas[bb] <= bsn_size / 2,
-                          "BSN input violates n1 + n_alpha <= n/2 (Eq. 2)");
-        for (std::size_t i = bb * bsn_size; i < (bb + 1) * bsn_size; ++i) {
-          BRSMN_EXPECTS_MSG(
-              lines[i].empty() == !lines[i].packet.has_value(),
-              "occupied lines must carry a packet, eps lines none");
-          if (lines[i].packet) {
-            BRSMN_EXPECTS_MSG(
-                !lines[i].packet->stream.empty() &&
-                    lines[i].packet->stream.front() == lines[i].tag,
-                "line tag must equal the packet's current a_0");
-          }
-        }
-      }
-
-      obs::PhaseTimer scatter_timer(probe.scatter);
-      obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
-      const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
-          kx, census, &result.stats,
-          scatter_pass != nullptr ? &scatter_sink : nullptr,
-          [&](int j, std::size_t g, std::size_t first, std::size_t count,
-              SwitchSetting s) {
-            const std::size_t bb = g >> (S - j);
-            const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
-            level[bb].mutable_scatter_fabric().fill_block_run(j, lb, first,
-                                                              count, s);
-            if (pl != nullptr && count != 0) {
-              pl->scatter_runs.push_back({static_cast<std::uint16_t>(j),
-                                          static_cast<std::uint32_t>(g),
-                                          static_cast<std::uint32_t>(first),
-                                          static_cast<std::uint32_t>(count),
-                                          s});
-            }
-          });
-      scatter_span.end();
-      scatter_timer.stop();
-      for (const ScatterNodeValue& root : roots) {
-        BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
-                          "Eq. (3) guarantees eps dominates at the BSN root");
-      }
-    });
-    if (pl != nullptr) pl->scatter_masks = kx.masks;
-    seam.apply_unrolled_packed(level, PassKind::Scatter, kx.masks);
-
-    TagCensus mid;
-    fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
-      finalize_events(kx, /*bsn_block_major=*/true, next_copy_id,
-                      &result.stats);
-      obs::PhaseTimer scatter_datapath(probe.datapath);
-      obs::TraceSpan scatter_data_span(probe.tracer, "bsn.scatter.datapath");
-      run_scatter_datapath(kx);
-      scatter_data_span.end();
-      scatter_datapath.stop();
-      result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
-
-      mid.build(kx);
-      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-        const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
-        const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
-        const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
-        const std::size_t mid_zeros =
-            bsn_size - mid_alphas - mid_epses - mid_ones;
-        BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
-        BRSMN_ENSURES(mid_zeros == in_zeros[bb] + in_alphas[bb]);  // Eq. (4)
-        BRSMN_ENSURES(mid_ones == in_ones[bb] + in_alphas[bb]);    // Eq. (4)
-        BRSMN_ENSURES(mid_epses == in_epses[bb] - in_alphas[bb]);  // Eq. (4)
-      }
-    });
-    if (pl != nullptr) {
-      pl->events = kx.events;
-      pl->num_events = kx.num_events;
-      pl->post_scatter.assign(kx.state.words().begin(),
-                              kx.state.words().end());
-    }
-
-    // Pass 2: quasisort — ε-divide, then Theorem-1 bit sort on b2.
-    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
-      if (quasi_pass != nullptr) {
-        quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
-      }
-      obs::PhaseTimer divide_timer(probe.eps_divide);
-      obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
-      divide_eps_packed(kx, mid, &result.stats);
-      divide_span.end();
-      divide_timer.stop();
-      if (quasi_pass != nullptr) {
-        quasi_sink.record_divided_tags(
-            materialize_tags(kx, /*collapse=*/false));
-      }
-
-      kx.reset_pass();
-      TagCensus divided;
-      divided.build(kx);
-      obs::PhaseTimer quasisort_timer(probe.quasisort);
-      obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
-      configure_quasisort_packed(
-          kx, divided, &result.stats,
-          quasi_pass != nullptr ? &quasi_sink : nullptr,
-          [&](int j, std::size_t g, std::size_t first, std::size_t count,
-              SwitchSetting s) {
-            const std::size_t bb = g >> (S - j);
-            const std::size_t lb = g & ((std::size_t{1} << (S - j)) - 1);
-            level[bb].mutable_quasisort_fabric().fill_block_run(j, lb, first,
-                                                                count, s);
-            if (pl != nullptr && count != 0) {
-              pl->quasisort_runs.push_back({static_cast<std::uint16_t>(j),
-                                            static_cast<std::uint32_t>(g),
-                                            static_cast<std::uint32_t>(first),
-                                            static_cast<std::uint32_t>(count),
-                                            s});
-            }
-          });
-      quasisort_span.end();
-      quasisort_timer.stop();
-    });
-    if (pl != nullptr) {
-      pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
-      pl->quasisort_masks = kx.masks;
-    }
-    seam.apply_unrolled_packed(level, PassKind::Quasisort, kx.masks);
-
-    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
-      obs::PhaseTimer sort_datapath(probe.datapath);
-      obs::TraceSpan sort_data_span(probe.tracer, "bsn.quasisort.datapath");
-      run_unicast_datapath(kx);
-      sort_data_span.end();
-      sort_datapath.stop();
-      result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
-
-      // Postcondition: zeros (real or dummy) occupy the upper half of every
-      // BSN, ones the lower half — the b2 plane decides, as in the scalar.
-      const auto t2 = kx.tag_plane(2);
-      for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-        const std::size_t base = bb * bsn_size;
-        const std::size_t upper_ones =
-            pk::plane_popcount(t2, base, base + bsn_size / 2);
-        const std::size_t lower_ones =
-            pk::plane_popcount(t2, base + bsn_size / 2, base + bsn_size);
-        BRSMN_ENSURES_MSG(upper_ones == 0 && lower_ones == bsn_size / 2,
-                          "quasisort output not split by halves");
-      }
-    });
-    if (pl != nullptr) {
-      pl->post_quasisort.assign(kx.state.words().begin(),
-                                kx.state.words().end());
-    }
-
-    if (checking) {
-      fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
-        lines = gather_lines(kx, lines);
-        advance_streams(lines);
-        fault::self_check_level(lines, k, route_ord);
-      });
-    } else {
-      lines = gather_lines(kx, lines);
-      advance_streams(lines);
-    }
-    // All BSNs of one level route concurrently: charge the level's delay
-    // once, not per block.
-    result.stats.gate_delay += bsn_routing_delay(S);
-    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
-                                          splits_before);
+    compile_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)], n, k,
+                           kx, lines, next_copy_id, pl, result, options,
+                           probe, checking, route_ord);
   }
 
   if (options.capture_levels) result.level_inputs.push_back(lines);
@@ -1178,29 +1518,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
     fault::apply_dead_lines(options.faults, route_ord, k,
                             fault::ImplKind::Feedback, RouteEngine::Packed,
                             lines, options.fault_activity);
-    const std::size_t splits_before = result.stats.broadcast_ops;
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
-    char level_label[24];
-    std::snprintf(level_label, sizeof level_label, "level.%d", k);
-    obs::TraceSpan level_span(probe.tracer, level_label);
-    ExplainSink scatter_sink;
-    ExplainSink quasi_sink;
-    if (options.explain) {
-      auto& passes = result.explanation->passes;
-      passes.push_back(make_pass(k, PassKind::Scatter, n, top_stage));
-      passes.push_back(make_pass(k, PassKind::Quasisort, n, top_stage));
-      scatter_sink.pass = &passes[passes.size() - 2];
-      quasi_sink.pass = &passes.back();
-    }
-    fault::PassSeam seam;
-    seam.injector = options.faults;
-    seam.activity = options.fault_activity;
-    seam.route = route_ord;
-    seam.net_width = n;
-    seam.level = k;
-    seam.impl = fault::ImplKind::Feedback;
-    seam.engine = RouteEngine::Packed;
-
     LevelKernel kx(n, m, top_stage);
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
@@ -1211,131 +1529,8 @@ RouteResult packed_route(FeedbackBrsmn& net,
       pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
       pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
     }
-
-    // Pass 2k-1: the fabric acts as the level-k scatter networks.
-    fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
-      net.fabric_.reset();
-      if (scatter_sink.pass != nullptr) {
-        std::vector<Tag> tags(n);
-        for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
-        scatter_sink.record_input_tags(tags);
-      }
-      TagCensus census;
-      census.build(kx);
-      obs::PhaseTimer scatter_timer(probe.scatter);
-      obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
-      configure_scatter_packed(
-          kx, census, &result.stats,
-          scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
-          [&](int j, std::size_t g, std::size_t first, std::size_t count,
-              SwitchSetting s) {
-            net.fabric_.fill_block_run(j, g, first, count, s);
-            if (pl != nullptr && count != 0) {
-              pl->scatter_runs.push_back({static_cast<std::uint16_t>(j),
-                                          static_cast<std::uint32_t>(g),
-                                          static_cast<std::uint32_t>(first),
-                                          static_cast<std::uint32_t>(count),
-                                          s});
-            }
-          });
-    });
-    if (pl != nullptr) pl->scatter_masks = kx.masks;
-    seam.apply_full_packed(net.fabric_, PassKind::Scatter, kx.masks);
-    fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
-      finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
-                      &result.stats);
-      obs::PhaseTimer scatter_datapath(probe.datapath);
-      obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
-      run_scatter_datapath(kx);
-      scatter_data_span.end();
-      scatter_datapath.stop();
-    });
-    if (pl != nullptr) {
-      pl->events = kx.events;
-      pl->num_events = kx.num_events;
-      pl->post_scatter.assign(kx.state.words().begin(),
-                              kx.state.words().end());
-    }
-    // The scalar feedback datapath walks all m physical stages (stages
-    // above top_stage are identity wiring).
-    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
-    ++result.stats.fabric_passes;
-    // One scatter configuration sweep (all blocks concurrent) plus a full
-    // traversal of the m-stage fabric.
-    result.stats.gate_delay +=
-        config_sweep_delay(top_stage) + datapath_delay(m);
-
-    // Pass 2k: the fabric acts as the level-k quasisorting networks.
-    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
-      net.fabric_.reset();
-      kx.reset_pass();
-      TagCensus mid;
-      mid.build(kx);
-      if (quasi_sink.pass != nullptr) {
-        quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
-      }
-      obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
-      obs::PhaseTimer divide_timer(probe.eps_divide);
-      obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
-      divide_eps_packed(kx, mid, &result.stats);
-      divide_span.end();
-      divide_timer.stop();
-      if (quasi_sink.pass != nullptr) {
-        quasi_sink.record_divided_tags(
-            materialize_tags(kx, /*collapse=*/false));
-      }
-      TagCensus divided;
-      divided.build(kx);
-      obs::PhaseTimer quasisort_timer(probe.quasisort);
-      configure_quasisort_packed(
-          kx, divided, &result.stats,
-          quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
-          [&](int j, std::size_t g, std::size_t first, std::size_t count,
-              SwitchSetting s) {
-            net.fabric_.fill_block_run(j, g, first, count, s);
-            if (pl != nullptr && count != 0) {
-              pl->quasisort_runs.push_back({static_cast<std::uint16_t>(j),
-                                            static_cast<std::uint32_t>(g),
-                                            static_cast<std::uint32_t>(first),
-                                            static_cast<std::uint32_t>(count),
-                                            s});
-            }
-          });
-    });
-    if (pl != nullptr) {
-      pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
-      pl->quasisort_masks = kx.masks;
-    }
-    seam.apply_full_packed(net.fabric_, PassKind::Quasisort, kx.masks);
-    fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
-      obs::PhaseTimer sort_datapath(probe.datapath);
-      obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
-      run_unicast_datapath(kx);
-      sort_data_span.end();
-      sort_datapath.stop();
-    });
-    if (pl != nullptr) {
-      pl->post_quasisort.assign(kx.state.words().begin(),
-                                kx.state.words().end());
-    }
-    result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(m);
-    ++result.stats.fabric_passes;
-    // ε-divide sweep + quasisort sweep + full fabric traversal.
-    result.stats.gate_delay +=
-        2 * config_sweep_delay(top_stage) + datapath_delay(m);
-
-    if (checking) {
-      fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
-        lines = gather_lines(kx, lines);
-        advance_streams(lines);
-        fault::self_check_level(lines, k, route_ord);
-      });
-    } else {
-      lines = gather_lines(kx, lines);
-      advance_streams(lines);
-    }
-    result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
-                                          splits_before);
+    compile_level_feedback(net.fabric_, n, m, k, kx, lines, next_copy_id, pl,
+                           result, options, probe, checking, route_ord);
   }
 
   // Final pass: the 2x2-switch level, realized by stage 1 of the fabric.
@@ -1381,5 +1576,196 @@ RouteResult packed_route(FeedbackBrsmn& net,
   }
   return result;
 }
+
+namespace {
+
+/// The shared patch walk: walk the levels of a fresh compile of
+/// `assignment`, adopting every level whose entry tag planes match the
+/// base plan's stored checkpoint and recompiling the rest through the
+/// exact cold code path. `reuse` and `compile` bind the implementation's
+/// fabric (the install targets are private to the networks, so the
+/// befriended planner::patch_route overloads pass them in as callables).
+template <typename ReuseFn, typename CompileFn>
+planner::PatchOutcome patch_route_core(
+    std::size_t n, int m, fault::ImplKind impl,
+    const MulticastAssignment& assignment, const RoutePlan& base,
+    const RouteOptions& options, RoutePlan& out,
+    const planner::PatchConfig& config, ReuseFn&& reuse,
+    CompileFn&& compile) {
+  BRSMN_EXPECTS_MSG(options.faults == nullptr,
+                    "cannot patch a route plan under fault injection");
+  BRSMN_EXPECTS_MSG(!options.capture_levels,
+                    "cannot capture level inputs while patching");
+  BRSMN_EXPECTS_MSG(assignment.size() == n,
+                    "assignment width must match the network");
+  BRSMN_EXPECTS_MSG(
+      base.n == n && base.impl == impl &&
+          base.levels.size() == static_cast<std::size_t>(m - 1),
+      "patch base must be a plan compiled on this network");
+
+  planner::PatchOutcome outcome;
+  // Reused levels adopt the base's explanation passes verbatim; a base
+  // compiled without one cannot serve an explained patch.
+  if (options.explain && !base.explanation.has_value()) return outcome;
+
+  obs::RouteProbe probe;
+  obs::Histogram* patch_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (options.metrics != nullptr) {
+      probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
+      patch_hist = &options.metrics->histogram(
+          std::string(options.metrics_prefix) + ".phase.patch_ns");
+    }
+    probe.tracer = options.tracer;
+  }
+  obs::PhaseTimer total_timer(probe.total);
+  obs::PhaseTimer patch_timer(patch_hist);
+  obs::TraceSpan patch_span(probe.tracer, "plan.patch");
+
+  RouteResult& result = outcome.result;
+  result.delivered.assign(n, std::nullopt);
+  if (options.explain) {
+    result.explanation.emplace();
+    result.explanation->n = n;
+  }
+
+  out.n = n;
+  out.m = m;
+  out.impl = impl;
+  out.wcode = static_cast<std::size_t>(m) + 1;
+  out.levels.clear();
+  out.levels.reserve(static_cast<std::size_t>(m - 1));
+
+  const bool checking = options.self_check;
+  std::uint64_t next_copy_id = 1;
+  std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
+
+  // Recompile budget: one more dirty level than this abandons the patch.
+  // Dirtiness is not monotone in depth — a level's entries re-converge
+  // onto the base checkpoints once quasisort has normalized the order
+  // (and a delta that preserves a level's half-splits never dirties it
+  // at all) — so the budget counts *actual* dirty levels as the walk
+  // discovers them. A walk that exhausts the budget has spent at most
+  // max_dirty_fraction of a cold compile before handing over.
+  const double budget =
+      config.max_dirty_fraction * static_cast<double>(m - 1);
+
+  for (int k = 1; k <= m - 1; ++k) {
+    const int stages = m - k + 1;  // both impls: level-k BSN size 2^(m-k+1)
+    LevelKernel kx(n, m, stages);
+    load_lines(kx, lines);
+    const PlanLevel& old = base.levels[static_cast<std::size_t>(k - 1)];
+    const bool clean = old.stages == stages && entry_planes_match(kx, old);
+    if (!clean) {
+      if (outcome.first_dirty_level == 0) outcome.first_dirty_level = k;
+      if (static_cast<double>(outcome.levels_recompiled + 1) > budget) {
+        return outcome;  // abandoned: `out` unspecified, caller compiles cold
+      }
+    }
+    PlanLevel* pl = &out.levels.emplace_back();
+    if (clean) {
+      *pl = old;
+      reuse(k, old, kx, lines, next_copy_id, result, probe, checking);
+      ++outcome.levels_reused;
+    } else {
+      pl->stages = stages;
+      pl->entry_t0.assign(kx.tag_plane(0).begin(), kx.tag_plane(0).end());
+      pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
+      pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
+      compile(k, kx, lines, next_copy_id, pl, result, probe, checking);
+      ++outcome.levels_recompiled;
+    }
+  }
+
+  // The final 2x2 delivery level is always computed fresh — it is cheap,
+  // and rebuilding it revalidates the patched route's delivery end to end.
+  capture_final_planes(lines, out);
+  const std::size_t splits_before_final = result.stats.broadcast_ops;
+  {
+    obs::PhaseTimer final_timer(probe.datapath);
+    obs::TraceSpan final_span(probe.tracer, "level.final");
+    ExplainSink final_sink;
+    if (options.explain) {
+      result.explanation->passes.push_back(make_pass(m, PassKind::Final, n, 1));
+      final_sink.pass = &result.explanation->passes.back();
+    }
+    fault::guard(checking, n, 0, m, PassKind::Final, true, [&] {
+      deliver_final_level(lines, result.delivered, &result.stats,
+                          options.explain ? &final_sink : nullptr);
+    });
+  }
+  result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
+                                        splits_before_final);
+  if (impl == fault::ImplKind::Feedback) ++result.stats.fabric_passes;
+
+  const auto expected = expected_delivery(assignment);
+  if (checking) {
+    fault::self_check_delivery(result.delivered, expected, m, 0);
+  }
+  BRSMN_ENSURES_MSG(result.delivered == expected,
+                    "patched BRSMN route delivered incorrectly");
+  capture_result(result, out);
+  outcome.patched = true;
+  total_timer.stop();
+  if constexpr (obs::kEnabled) {
+    if (probe.enabled()) probe.record_stats(result.stats);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+namespace planner {
+
+PatchOutcome patch_route(Brsmn& net, const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config) {
+  const RouteExplanation* base_expl =
+      base.explanation.has_value() ? &*base.explanation : nullptr;
+  return patch_route_core(
+      net.n_, net.m_, fault::ImplKind::Unrolled, assignment, base, options,
+      out, config,
+      [&](int k, const PlanLevel& old, LevelKernel& kx,
+          std::vector<LineValue>& lines, std::uint64_t& next_copy_id,
+          RouteResult& result, obs::RouteProbe& probe, bool checking) {
+        reuse_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)],
+                             old, base_expl, net.n_, k, kx, lines,
+                             next_copy_id, result, options, probe, checking);
+      },
+      [&](int k, LevelKernel& kx, std::vector<LineValue>& lines,
+          std::uint64_t& next_copy_id, PlanLevel* pl, RouteResult& result,
+          obs::RouteProbe& probe, bool checking) {
+        compile_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)],
+                               net.n_, k, kx, lines, next_copy_id, pl, result,
+                               options, probe, checking, /*route_ord=*/0);
+      });
+}
+
+PatchOutcome patch_route(FeedbackBrsmn& net,
+                         const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config) {
+  const RouteExplanation* base_expl =
+      base.explanation.has_value() ? &*base.explanation : nullptr;
+  return patch_route_core(
+      net.size(), net.levels(), fault::ImplKind::Feedback, assignment, base,
+      options, out, config,
+      [&](int k, const PlanLevel& old, LevelKernel& kx,
+          std::vector<LineValue>& lines, std::uint64_t& next_copy_id,
+          RouteResult& result, obs::RouteProbe& probe, bool checking) {
+        reuse_level_feedback(net.fabric_, old, base_expl, net.size(), k, kx,
+                             lines, next_copy_id, result, options, probe,
+                             checking);
+      },
+      [&](int k, LevelKernel& kx, std::vector<LineValue>& lines,
+          std::uint64_t& next_copy_id, PlanLevel* pl, RouteResult& result,
+          obs::RouteProbe& probe, bool checking) {
+        compile_level_feedback(net.fabric_, net.size(), net.levels(), k, kx,
+                               lines, next_copy_id, pl, result, options,
+                               probe, checking, /*route_ord=*/0);
+      });
+}
+
+}  // namespace planner
 
 }  // namespace brsmn

@@ -49,6 +49,13 @@ void Rbn::fill_block_run(int stage, std::size_t block, std::size_t first,
             row.begin() + static_cast<std::ptrdiff_t>(base + count), s);
 }
 
+void Rbn::install_stage(int stage, std::span<const SwitchSetting> row) {
+  BRSMN_EXPECTS(stage >= 1 && stage <= stages());
+  auto& dst = settings_[static_cast<std::size_t>(stage - 1)];
+  BRSMN_EXPECTS(row.size() == dst.size());
+  std::copy(row.begin(), row.end(), dst.begin());
+}
+
 std::vector<SwitchSetting> Rbn::block_settings(int stage,
                                                std::size_t block) const {
   const std::size_t half = topo_.block_size(stage) / 2;

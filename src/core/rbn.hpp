@@ -61,6 +61,13 @@ class Rbn {
   void fill_block_run(int stage, std::size_t block, std::size_t first,
                       std::size_t count, SwitchSetting s);
 
+  /// Overwrite a whole stage's settings row in one copy. `row` is in the
+  /// same block-major logical order fill_block_run addresses (stage
+  /// switch block * block_size(stage)/2 + t) and must cover the stage
+  /// exactly — the bulk form plan replay and patching use to install a
+  /// stored stage without walking its decision runs.
+  void install_stage(int stage, std::span<const SwitchSetting> row);
+
   /// Propagate `lines` (size n) through stages [from_stage, to_stage]
   /// inclusive. For each switch, `fn(ctx, setting, upper, lower)` must
   /// return the pair of output values {upper_out, lower_out}.

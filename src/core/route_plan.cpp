@@ -257,17 +257,20 @@ void Brsmn::route_replay_into(const RoutePlan& plan,
   }
   auto install = [&](int k, PassKind pass, const PlanLevel& pl) {
     auto& level = levels_[static_cast<std::size_t>(k - 1)];
-    const int S = pl.stages;
-    const auto& runs =
-        pass == PassKind::Scatter ? pl.scatter_runs : pl.quasisort_runs;
-    for (const PlanRun& r : runs) {
-      const int j = r.stage;
-      const std::size_t bb = r.gblock >> (S - j);
-      const std::size_t lb = r.gblock & ((std::size_t{1} << (S - j)) - 1);
-      Rbn& fabric = pass == PassKind::Scatter
-                        ? level[bb].mutable_scatter_fabric()
-                        : level[bb].mutable_quasisort_fabric();
-      fabric.fill_block_run(j, lb, r.first, r.count, r.setting);
+    const auto& rows =
+        pass == PassKind::Scatter ? pl.scatter_settings : pl.quasisort_settings;
+    // Each BSN owns the contiguous 2^(S-1)-wide slice of every
+    // level-wide stage row: one copy per (BSN, stage).
+    const std::size_t bsn_row = std::size_t{1} << (pl.stages - 1);
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      const std::span<const SwitchSetting> row(rows[j]);
+      for (std::size_t bb = 0; bb < level.size(); ++bb) {
+        Rbn& fabric = pass == PassKind::Scatter
+                          ? level[bb].mutable_scatter_fabric()
+                          : level[bb].mutable_quasisort_fabric();
+        fabric.install_stage(static_cast<int>(j + 1),
+                             row.subspan(bb * bsn_row, bsn_row));
+      }
     }
   };
   auto seam_apply = [&](fault::PassSeam& seam, int k, PassKind pass,
@@ -296,13 +299,13 @@ void FeedbackBrsmn::route_replay_into(const RoutePlan& plan,
   }
   auto install = [&](int /*k*/, PassKind pass, const PlanLevel& pl) {
     // A cold feedback pass resets the fabric before configuring it; the
-    // stored runs then cover exactly the reconfigured switches, so the
+    // stored rows then cover exactly the reconfigured stages, so the
     // fabric grid after each pass matches the cold route bit-exactly.
     fabric_.reset();
-    const auto& runs =
-        pass == PassKind::Scatter ? pl.scatter_runs : pl.quasisort_runs;
-    for (const PlanRun& r : runs) {
-      fabric_.fill_block_run(r.stage, r.gblock, r.first, r.count, r.setting);
+    const auto& rows =
+        pass == PassKind::Scatter ? pl.scatter_settings : pl.quasisort_settings;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      fabric_.install_stage(static_cast<int>(j + 1), rows[j]);
     }
   };
   auto seam_apply = [&](fault::PassSeam& seam, int /*k*/, PassKind pass,

@@ -4,8 +4,8 @@
 // trees, eps-division, scatter planning — and comparatively little time
 // moving bits through the fabric. A RoutePlan freezes every decision of
 // one route over one assignment: the per-(level, pass) switch settings in
-// both forms the engines consume (contiguous setting runs for the Rbn
-// grids, packed StageMasks for the word-parallel datapath), the broadcast
+// both forms the engines consume (whole per-stage settings rows for the
+// Rbn grids, packed StageMasks for the word-parallel datapath), the broadcast
 // events with their copy-id allocation order, the expected state
 // checkpoints after each pass, and the output mapping. route_replay()
 // (Brsmn / FeedbackBrsmn) then skips the configuration phases entirely:
@@ -34,18 +34,6 @@
 
 namespace brsmn {
 
-/// One contiguous run of identical switch settings: switches
-/// [first, first + count) of full-width block `gblock` at `stage`. The
-/// unrolled replay re-splits gblock into (BSN, local block) exactly as
-/// the cold driver does; the feedback replay installs it verbatim.
-struct PlanRun {
-  std::uint16_t stage = 0;
-  std::uint32_t gblock = 0;
-  std::uint32_t first = 0;
-  std::uint32_t count = 0;
-  SwitchSetting setting = SwitchSetting::Parallel;
-};
-
 /// Everything needed to replay one BRSMN level (a scatter pass plus a
 /// quasisort pass) without re-deciding it.
 struct PlanLevel {
@@ -57,15 +45,26 @@ struct PlanLevel {
   packed::Words entry_t1;
   packed::Words entry_t2;
 
-  /// Per-stage datapath masks and fabric setting runs, per pass.
+  /// Per-stage datapath masks and full fabric settings rows, per pass.
+  /// Settings row [j-1] holds stage j's n/2 switches level-wide, in the
+  /// block-major logical order Rbn::fill_block_run addresses (global
+  /// switch g * block_size(j)/2 + t); replay and patching install a row
+  /// with one Rbn::install_stage copy per stage instead of walking the
+  /// compile's decision runs. For the unrolled implementation the row
+  /// concatenates the level's BSNs, so each BSN installs its contiguous
+  /// 2^(stages-1)-wide slice.
   std::vector<packed::StageMasks> scatter_masks;
-  std::vector<PlanRun> scatter_runs;
+  std::vector<std::vector<SwitchSetting>> scatter_settings;
   std::vector<packed::StageMasks> quasisort_masks;
-  std::vector<PlanRun> quasisort_runs;
+  std::vector<std::vector<SwitchSetting>> quasisort_settings;
 
   /// Broadcast events with finalized copy-id allocation order.
   std::vector<std::vector<pkern::BcastEvent>> events;
   std::size_t num_events = 0;
+  /// Parent code (by event ord) latched by the scatter datapath; restoring
+  /// it lets a later level's gather materialize this level's copies without
+  /// re-running the datapath (see planner::patch_route).
+  std::vector<std::size_t> parent_codes;
 
   /// Full kernel-state checkpoint (all code + tag planes) after the
   /// scatter datapath; replay compares against it under the self-check.
@@ -75,6 +74,10 @@ struct PlanLevel {
   packed::Words divided_t2;
   /// Full kernel-state checkpoint after the quasisort datapath.
   packed::Words post_quasisort;
+  /// This level's contribution to RoutePlan::stats (traversals, tree ops,
+  /// gate delay, ...), so a patch that reuses the level verbatim can
+  /// accumulate the same totals a cold compile would.
+  RoutingStats stats_delta;
 };
 
 struct RoutePlan {
@@ -115,6 +118,58 @@ RouteResult compile_route(Brsmn& net, const MulticastAssignment& assignment,
 RouteResult compile_route(FeedbackBrsmn& net,
                           const MulticastAssignment& assignment,
                           const RouteOptions& options, RoutePlan& plan);
+
+/// Incremental recompilation: a level's compile products are a pure
+/// function of the tag planes entering it (codes are identity-loaded per
+/// level), so patch_route walks the levels of a fresh compile of
+/// `assignment` and, whenever a level's entry tag planes match `base`'s
+/// stored checkpoint, adopts the base level verbatim — masks, runs,
+/// events, checkpoints, stats delta — instead of re-deriving it. Only
+/// levels whose entry planes diverge (and always the final 2x2 delivery
+/// level) are recompiled, through the exact cold code path, so a patched
+/// plan is bit-identical to a cold compile of `assignment` (verified
+/// exhaustively by tests/test_group_manager.cpp).
+///
+/// Dirtiness is not monotone in depth: a delta typically perturbs the
+/// first ~log2(fanout) levels' planes, then quasisort has normalized
+/// the order and the deep entries re-converge onto the base checkpoints
+/// (a delta that preserves a level's half-splits never dirties it at
+/// all). The walk therefore budgets *actual* dirty levels: when
+/// recompiling one more would exceed `max_dirty_fraction` of the switch
+/// levels, the patch is abandoned (`patched == false`, `out`
+/// unspecified) and the caller should cold-compile instead — having
+/// spent at most that fraction of a cold compile finding out.
+struct PatchConfig {
+  /// Abandon the patch when more than this fraction of switch levels
+  /// must recompile. 1.0 never abandons (a full recompile through the
+  /// patch driver still equals a cold compile).
+  double max_dirty_fraction = 1.0;
+};
+
+struct PatchOutcome {
+  bool patched = false;            ///< false: caller must cold-compile
+  std::size_t levels_reused = 0;   ///< switch levels adopted from `base`
+  std::size_t levels_recompiled = 0;
+  /// First level whose entry planes diverged from `base` (1-based);
+  /// 0 when every switch level was reused.
+  int first_dirty_level = 0;
+  RouteResult result;  ///< valid only when `patched`
+};
+
+/// Patch `base` (a plan for a *different* assignment on the same fabric)
+/// into `out`, a plan for `assignment`. Requirements mirror
+/// compile_route — options.faults must be null — plus: `base` must have
+/// been compiled on the same implementation with the same n, and when
+/// options.explain is set the base must carry an explanation (otherwise
+/// the patch is abandoned). On success `out` serves route_replay exactly
+/// like a compile_route product.
+PatchOutcome patch_route(Brsmn& net, const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config = {});
+PatchOutcome patch_route(FeedbackBrsmn& net,
+                         const MulticastAssignment& assignment,
+                         const RoutePlan& base, const RouteOptions& options,
+                         RoutePlan& out, const PatchConfig& config = {});
 
 }  // namespace planner
 

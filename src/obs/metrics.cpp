@@ -212,15 +212,20 @@ void MetricRegistry::reset() {
 
 namespace {
 
-/// Reset the contiguous range of map entries whose keys start with
-/// `prefix` (the maps are ordered, so the range is [lower_bound(prefix),
-/// first key not extending it)).
+/// Reset the map entries belonging to the family `prefix`: the key
+/// `prefix` itself and keys extending it with a '.' segment. A raw
+/// string-prefix match would make reset("plan_patch") also clear a
+/// "plan_patch2.*" family — per-family resets (the bench harness resets
+/// exactly the family a phase is about to measure) need the boundary.
+/// The maps are ordered, so candidates are contiguous from
+/// lower_bound(prefix); non-family extensions (e.g. "routes" after
+/// "route.*") sort inside that range and are skipped, not stopped at.
 template <typename Map>
 void reset_prefix_range(Map& map, std::string_view prefix) {
-  for (auto it = map.lower_bound(prefix);
-       it != map.end() && std::string_view(it->first).substr(
-                              0, prefix.size()) == prefix;
-       ++it) {
+  for (auto it = map.lower_bound(prefix); it != map.end(); ++it) {
+    const std::string_view name(it->first);
+    if (name.substr(0, prefix.size()) != prefix) break;
+    if (name.size() > prefix.size() && name[prefix.size()] != '.') continue;
     it->second->reset();
   }
 }

@@ -161,11 +161,13 @@ class MetricRegistry {
   /// its probes.
   void reset();
 
-  /// reset() restricted to instruments whose name starts with `prefix`.
-  /// Benchmarks that register several metric families in one registry
-  /// reset just the family a repetition is about to measure, so stale
-  /// counts from a previously-run family cannot leak into exported
-  /// baselines.
+  /// reset() restricted to the family `prefix`: the instrument named
+  /// exactly `prefix` plus every "<prefix>.<...>" instrument — a sibling
+  /// family that merely shares the spelling (reset("route") vs "routes")
+  /// is untouched. Benchmarks that register several metric families in
+  /// one registry reset just the family a repetition is about to
+  /// measure, so stale counts from a previously-run family cannot leak
+  /// into exported baselines.
   void reset(std::string_view prefix);
 
  private:

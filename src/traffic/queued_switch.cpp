@@ -46,7 +46,12 @@ QueuedMulticastSwitch::QueuedMulticastSwitch(const Config& config)
       instruments_.dropped = &r.counter("switch.dropped_cells");
       instruments_.aborted = &r.counter("switch.aborted_epochs");
       instruments_.degraded = &r.counter("switch.degraded_epochs");
+      instruments_.group_routes = &r.counter("switch.group_routes");
     }
+  }
+  if (config_.groups != nullptr) {
+    BRSMN_EXPECTS_MSG(config_.groups->network_size() == config_.ports,
+                      "group manager width must match the switch ports");
   }
 }
 
@@ -183,6 +188,35 @@ QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::step() {
   BRSMN_ENSURES_MSG(
       offered_ == completed_ + dropped_cells_ + backlog_cells(),
       "queued switch lost or invented a cell");
+  return report;
+}
+
+QueuedMulticastSwitch::EpochReport QueuedMulticastSwitch::route_group(
+    api::GroupId group) {
+  BRSMN_EXPECTS_MSG(config_.groups != nullptr,
+                    "route_group requires Config::groups");
+  EpochReport report;
+  obs::TraceSpan span(config_.tracer, "switch.group_route");
+  const api::RequestOutcome outcome =
+      router_.route_group(group, *config_.groups);
+  if (outcome.outcome == api::RouteOutcome::Failed) {
+    report.aborted = true;
+    ++aborted_epochs_;
+  } else {
+    report.degraded = outcome.outcome == api::RouteOutcome::DeliveredDegraded;
+    degraded_epochs_ += report.degraded;
+    for (const auto& d : outcome.result->delivered) {
+      report.delivered_copies += d.has_value();
+    }
+  }
+  ++group_routes_;
+  if constexpr (obs::kEnabled) {
+    if (config_.metrics != nullptr) {
+      instruments_.group_routes->add(1);
+      instruments_.aborted->add(report.aborted ? 1 : 0);
+      instruments_.degraded->add(report.degraded ? 1 : 0);
+    }
+  }
   return report;
 }
 

@@ -78,6 +78,11 @@ class QueuedMulticastSwitch {
     /// assignment each epoch and replay instead of recomputing. Null:
     /// every epoch routes cold (the default).
     api::PlanCache* plan_cache = nullptr;
+    /// Dynamic-group registry (api/group_manager.hpp) served by
+    /// route_group(). The manager patches plans in `plan_cache` as its
+    /// groups churn, so set both to get incremental recompiles. Null:
+    /// route_group() is unavailable (the default).
+    api::GroupManager* groups = nullptr;
     /// Drop policy: a queued cell older than this many epochs is dropped
     /// (counted, never silently) at the start of a step. 0 disables.
     std::size_t max_cell_age = 0;
@@ -107,6 +112,18 @@ class QueuedMulticastSwitch {
 
   /// Run one epoch: expire, schedule, route, retire. Advances the clock.
   EpochReport step();
+
+  /// Route a dynamic group's current membership through the same
+  /// resilient fabric path the cell pipeline uses (retry ladder, plan
+  /// cache, fault seam). Group service is control-plane traffic: no
+  /// cell is admitted or retired, the epoch clock does not advance, and
+  /// the cell-conservation invariant is untouched — the report carries
+  /// only delivered_copies (destinations the group route reached) and
+  /// the aborted/degraded flags. Requires Config::groups.
+  EpochReport route_group(api::GroupId group);
+
+  /// Group routes served by route_group() so far.
+  std::size_t group_routes() const noexcept { return group_routes_; }
 
   /// Epochs elapsed.
   std::size_t now() const noexcept { return epoch_; }
@@ -164,6 +181,7 @@ class QueuedMulticastSwitch {
     obs::Counter* dropped = nullptr;
     obs::Counter* aborted = nullptr;
     obs::Counter* degraded = nullptr;
+    obs::Counter* group_routes = nullptr;
   };
 
   Config config_;
@@ -181,6 +199,7 @@ class QueuedMulticastSwitch {
   std::size_t dropped_copies_ = 0;
   std::size_t aborted_epochs_ = 0;
   std::size_t degraded_epochs_ = 0;
+  std::size_t group_routes_ = 0;
 };
 
 }  // namespace brsmn::traffic

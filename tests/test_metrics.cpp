@@ -183,6 +183,36 @@ TEST(MetricRegistry, ResetZeroesValuesButKeepsRegistrations) {
   EXPECT_DOUBLE_EQ(after.p50, 16.0);
 }
 
+TEST(MetricRegistry, ResetPrefixZeroesOnlyThatFamily) {
+  MetricRegistry r;
+  Counter& hits = r.counter("route.hits");
+  Counter& exact = r.counter("route");
+  Counter& sibling = r.counter("routes.hits");  // shares spelling, not family
+  Gauge& depth = r.gauge("route.depth");
+  Histogram& h = r.histogram("route.phase.total_ns");
+  Histogram& other = r.histogram("switch.cell_latency_epochs");
+  hits.add(5);
+  exact.add(3);
+  sibling.add(7);
+  depth.set(2.5);
+  h.record(100.0);
+  other.record(9.0);
+
+  r.reset("route");
+
+  // The family — the exact name and every dotted descendant — is zeroed,
+  // registrations intact.
+  EXPECT_EQ(&r.counter("route.hits"), &hits);
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(exact.value(), 0u);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Sibling spellings and other families are untouched.
+  EXPECT_EQ(sibling.value(), 7u);
+  EXPECT_EQ(other.count(), 1u);
+}
+
 TEST(MetricRegistry, ResetOnEmptyRegistryIsANoOp) {
   MetricRegistry r;
   r.reset();

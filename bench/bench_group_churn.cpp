@@ -26,11 +26,17 @@
 // cold compiles under churn.
 //
 // --metrics-out=<path> / --trace-out=<path> as in bench_routing_time.
+// --telemetry-out=<path|-> samples the registry on a 2 ms interval for
+// the whole run and writes the JSONL time series (obs/telemetry.hpp)
+// with the service stream's fabric heatmap embedded — pipe through
+// tools/telemetry_report. At most one of the three may claim stdout.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,13 +47,16 @@
 #include "core/multicast_assignment.hpp"
 #include "core/route_plan.hpp"
 #include "obs/export.hpp"
+#include "obs/fabric_heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 
 namespace {
 
 brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
 brsmn::obs::Tracer* g_tracer = nullptr;           // set when --trace-out
+brsmn::obs::FabricHeatmap* g_heatmap = nullptr;   // set when --telemetry-out
 
 brsmn::RouteOptions family_options(std::string_view prefix) {
   brsmn::RouteOptions options;
@@ -192,7 +201,13 @@ void BM_GroupChurnService(benchmark::State& state) {
     g_metrics->reset("group_churn.service");
     g_metrics->reset("group");
     g_metrics->reset("plan_patch");
+    g_metrics->reset("plan_cache");
     groups.attach_metrics(*g_metrics);
+    cache.attach_metrics(*g_metrics);
+  }
+  if (g_heatmap != nullptr && g_heatmap->size() == n) {
+    g_heatmap->reset();  // keep only the last service run's planes
+    options.heatmap = g_heatmap;
   }
 
   // Seed the registry: every group starts as an 8-source broadcast over
@@ -242,10 +257,41 @@ int main(int argc, char** argv) {
   brsmn::obs::Tracer tracer;
   const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
   const auto trace_path = brsmn::obs::consume_trace_out_flag(argc, argv);
-  if (metrics_path) g_metrics = &registry;
+  const auto telemetry_path =
+      brsmn::obs::consume_telemetry_out_flag(argc, argv);
+  if (!brsmn::obs::stdout_claims_exclusive(
+          {{"--metrics-out", &metrics_path},
+           {"--trace-out", &trace_path},
+           {"--telemetry-out", &telemetry_path}})) {
+    return 2;
+  }
+  if (metrics_path || telemetry_path) g_metrics = &registry;
   if (trace_path) g_tracer = &tracer;
+
+  // The sampler covers the whole run; the heatmap is attached by the
+  // n=256 service stream (the family the telemetry gates in CI).
+  std::optional<brsmn::obs::FabricHeatmap> heatmap;
+  std::optional<brsmn::obs::TelemetrySampler> sampler;
+  if (telemetry_path) {
+    heatmap.emplace(256);
+    g_heatmap = &*heatmap;
+    brsmn::obs::TelemetryConfig config;
+    config.interval = std::chrono::milliseconds(2);
+    config.source = "bench_group_churn";
+    config.routes_counter = "group.routes";
+    config.hits_counter = "plan_cache.hits";
+    config.misses_counter = "plan_cache.misses";
+    config.patched_counter = "plan_patch.patched";
+    config.patch_base_counter = "group.routes";
+    config.backlog_gauge = "group.live";
+    sampler.emplace(registry, config);
+    sampler->set_heatmap(g_heatmap);
+    sampler->start();
+  }
+
   const bool dump_to_stdout = brsmn::obs::claims_stdout(metrics_path) ||
-                              brsmn::obs::claims_stdout(trace_path);
+                              brsmn::obs::claims_stdout(trace_path) ||
+                              brsmn::obs::claims_stdout(telemetry_path);
   std::FILE* report = dump_to_stdout ? stderr : stdout;
   std::fprintf(report,
                "Incremental plan patching vs cold compilation under group "
@@ -262,6 +308,13 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks(&console);
   } else {
     benchmark::RunSpecifiedBenchmarks();
+  }
+  if (sampler) {
+    sampler->stop();
+    if (!sampler->write(*telemetry_path)) return 1;
+    std::fprintf(stderr, "telemetry written to %s (%llu samples)\n",
+                 telemetry_path->c_str(),
+                 static_cast<unsigned long long>(sampler->samples()));
   }
   if (metrics_path) {
     if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;

@@ -7,6 +7,12 @@
 // against BENCH_baseline.json. See docs/EXPERIMENTS.md for the speedup
 // measurement methodology.
 //
+// Every route also runs under a hardware-counter PhaseProfiler
+// (obs/perf_counters.hpp): the run ends with a per-phase cycles/IPC/MPKI
+// table attributing where the packed kernel's cycles go. On hosts where
+// perf_event_open is denied the table degrades to a single "perf
+// counters unavailable" line and the scopes cost one branch each.
+//
 // --metrics-out=<path> / --trace-out=<path> as in bench_routing_time.
 #include <benchmark/benchmark.h>
 
@@ -18,18 +24,22 @@
 #include "core/feedback.hpp"
 #include "core/packed_kernel.hpp"
 #include "obs/export.hpp"
+#include "obs/fabric_heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/tracer.hpp"
 
 namespace {
 
-brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
-brsmn::obs::Tracer* g_tracer = nullptr;           // set when --trace-out
+brsmn::obs::MetricRegistry* g_metrics = nullptr;   // set when --metrics-out
+brsmn::obs::Tracer* g_tracer = nullptr;            // set when --trace-out
+brsmn::obs::PhaseProfiler* g_profiler = nullptr;   // owned by main()
 
 brsmn::RouteOptions engine_options(brsmn::RouteEngine engine) {
   brsmn::RouteOptions options;
   options.metrics = g_metrics;
   options.tracer = g_tracer;
+  options.profiler = g_profiler;
   options.engine = engine;
   options.metrics_prefix =
       engine == brsmn::RouteEngine::Packed ? "packed.route" : "scalar.route";
@@ -64,6 +74,35 @@ void BM_PackedRoute(benchmark::State& state) {
   route_engine_bench(state, brsmn::RouteEngine::Packed);
 }
 BENCHMARK(BM_PackedRoute)->RangeMultiplier(4)->Range(64, 4096);
+
+// Same workload as BM_PackedRoute with a FabricHeatmap attached, under
+// the packed_heat.route.* prefix: the packed_heat.route/packed.route p50
+// ratio measures the cost of live fabric observation (CI gates it at
+// 1.10x — see the telemetry-smoke job).
+void BM_PackedRouteHeatmap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  // Not engine_options(): that resets the packed.route family this
+  // family's ratio gate compares against.
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.profiler = g_profiler;
+  options.engine = brsmn::RouteEngine::Packed;
+  options.metrics_prefix = "packed_heat.route";
+  if (g_metrics != nullptr) g_metrics->reset(options.metrics_prefix);
+  brsmn::obs::FabricHeatmap heatmap(n);
+  options.heatmap = &heatmap;
+  for (auto _ : state) {
+    auto result = net.route(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["heatmap_routes"] =
+      static_cast<double>(heatmap.routes());
+}
+BENCHMARK(BM_PackedRouteHeatmap)->RangeMultiplier(4)->Range(64, 4096);
 
 void feedback_engine_bench(benchmark::State& state,
                            brsmn::RouteEngine engine) {
@@ -139,10 +178,12 @@ BENCHMARK(BM_ShufflePlanes)->RangeMultiplier(4)->Range(64, 4096);
 int main(int argc, char** argv) {
   brsmn::obs::MetricRegistry registry;
   brsmn::obs::Tracer tracer;
+  brsmn::obs::PhaseProfiler profiler;
   const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
   const auto trace_path = brsmn::obs::consume_trace_out_flag(argc, argv);
   if (metrics_path) g_metrics = &registry;
   if (trace_path) g_tracer = &tracer;
+  g_profiler = &profiler;
   const bool dump_to_stdout = brsmn::obs::claims_stdout(metrics_path) ||
                               brsmn::obs::claims_stdout(trace_path);
   std::FILE* report = dump_to_stdout ? stderr : stdout;
@@ -160,6 +201,10 @@ int main(int argc, char** argv) {
   } else {
     benchmark::RunSpecifiedBenchmarks();
   }
+  // Per-phase hardware counters accumulated across every route above;
+  // degrades to a single fallback line when perf_event_open is denied.
+  std::fprintf(report, "\n%s", profiler.to_table().c_str());
+  if (g_metrics != nullptr) profiler.export_gauges(registry, "perf");
   if (metrics_path) {
     if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
     std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());

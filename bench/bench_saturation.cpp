@@ -2,11 +2,22 @@
 // switch built on the BRSMN — throughput and completion latency versus
 // offered load, with and without fanout splitting. The classic switch
 // performance "figure" for the system the paper's fabric targets.
+//
+// --telemetry-out=<path|-> attaches a registry to every queued switch
+// and samples it live (obs/telemetry.hpp): epochs/sec plus the
+// switch.backlog_copies gauge give backlog-vs-time across the sweep —
+// pipe through tools/telemetry_report.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <iostream>
+#include <optional>
 
 #include "common/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/queued_switch.hpp"
 
@@ -14,6 +25,8 @@ namespace {
 
 using brsmn::traffic::ArrivalConfig;
 using brsmn::traffic::QueuedMulticastSwitch;
+
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --telemetry-out
 
 struct Sample {
   double throughput = 0;  ///< delivered copies / epoch / port
@@ -23,7 +36,9 @@ struct Sample {
 
 Sample run(std::size_t ports, double load, bool splitting,
            std::size_t epochs) {
-  QueuedMulticastSwitch sw({.ports = ports, .fanout_splitting = splitting});
+  QueuedMulticastSwitch sw({.ports = ports,
+                            .fanout_splitting = splitting,
+                            .metrics = g_metrics});
   brsmn::Rng rng(2027);
   ArrivalConfig cfg;
   // Offered copies per epoch per output = arrival_probability * mean
@@ -43,24 +58,27 @@ Sample run(std::size_t ports, double load, bool splitting,
   return s;
 }
 
-void print_saturation() {
+void print_saturation(std::FILE* out) {
   constexpr std::size_t kPorts = 64;
   constexpr std::size_t kEpochs = 400;
-  std::printf(
+  std::fprintf(
+      out,
       "Saturation sweep — %zu-port queued multicast switch, %zu epochs "
       "(fanout uniform 1..4)\n\n",
       kPorts, kEpochs);
-  std::printf("%8s | %12s %12s %10s | %12s %12s %10s\n", "load",
+  std::fprintf(out, "%8s | %12s %12s %10s | %12s %12s %10s\n", "load",
               "thr(split)", "lat(split)", "backlog", "thr(whole)",
               "lat(whole)", "backlog");
   for (const double load : {0.2, 0.4, 0.6, 0.8, 0.95, 1.2}) {
     const Sample split = run(kPorts, load, true, kEpochs);
     const Sample whole = run(kPorts, load, false, kEpochs);
-    std::printf("%8.2f | %12.3f %12.2f %10zu | %12.3f %12.2f %10zu\n", load,
+    std::fprintf(out,
+                 "%8.2f | %12.3f %12.2f %10zu | %12.3f %12.2f %10zu\n", load,
                 split.throughput, split.latency, split.backlog,
                 whole.throughput, whole.latency, whole.backlog);
   }
-  std::printf(
+  std::fprintf(
+      out,
       "\nExpected: throughput tracks load until saturation; fanout "
       "splitting saturates later and with lower latency than the\n"
       "whole-cell discipline (head-of-line blocking).\n\n");
@@ -68,7 +86,9 @@ void print_saturation() {
 
 void BM_QueuedSwitchEpoch(benchmark::State& state) {
   const auto ports = static_cast<std::size_t>(state.range(0));
-  QueuedMulticastSwitch sw({.ports = ports, .fanout_splitting = true});
+  QueuedMulticastSwitch sw({.ports = ports,
+                            .fanout_splitting = true,
+                            .metrics = g_metrics});
   brsmn::Rng rng(5);
   ArrivalConfig cfg;
   cfg.arrival_probability = 0.6;
@@ -83,8 +103,38 @@ BENCHMARK(BM_QueuedSwitchEpoch)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_saturation();
+  brsmn::obs::MetricRegistry registry;
+  const auto telemetry_path =
+      brsmn::obs::consume_telemetry_out_flag(argc, argv);
+  std::optional<brsmn::obs::TelemetrySampler> sampler;
+  if (telemetry_path) {
+    g_metrics = &registry;
+    brsmn::obs::TelemetryConfig config;
+    config.interval = std::chrono::milliseconds(2);
+    config.source = "bench_saturation";
+    config.routes_counter = "switch.epochs";
+    config.backlog_gauge = "switch.backlog_copies";
+    sampler.emplace(registry, config);
+    sampler->start();
+  }
+  // A `-` telemetry dump owns stdout; the human report moves to stderr.
+  const bool dump_to_stdout = brsmn::obs::claims_stdout(telemetry_path);
+  print_saturation(dump_to_stdout ? stderr : stdout);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (dump_to_stdout) {
+    benchmark::ConsoleReporter console;
+    console.SetOutputStream(&std::cerr);
+    console.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (sampler) {
+    sampler->stop();
+    if (!sampler->write(*telemetry_path)) return 1;
+    std::fprintf(stderr, "telemetry written to %s (%llu samples)\n",
+                 telemetry_path->c_str(),
+                 static_cast<unsigned long long>(sampler->samples()));
+  }
   return 0;
 }

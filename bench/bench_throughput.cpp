@@ -6,20 +6,28 @@
 // attach a MetricRegistry to every route and dump per-phase latency
 // histograms (p50/p99), RoutingStats counters and the rest of the
 // registry as JSON next to any --benchmark_out artifact.
+//
+// --telemetry-out=<path|-> additionally samples the registry live
+// (obs/telemetry.hpp) and dumps a routes/sec time series as JSONL —
+// pipe through tools/telemetry_report. The two flags may not both
+// claim stdout with '-'.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
-brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when --metrics-out
+brsmn::obs::MetricRegistry* g_metrics = nullptr;  // set when dumping metrics
 
 brsmn::RouteOptions route_options() {
   brsmn::RouteOptions options;
@@ -91,10 +99,27 @@ BENCHMARK(BM_FeedbackThroughput)->RangeMultiplier(4)->Range(16, 4096);
 int main(int argc, char** argv) {
   brsmn::obs::MetricRegistry registry;
   const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
-  if (metrics_path) g_metrics = &registry;
+  const auto telemetry_path =
+      brsmn::obs::consume_telemetry_out_flag(argc, argv);
+  if (!brsmn::obs::stdout_claims_exclusive(
+          {{"--metrics-out", &metrics_path},
+           {"--telemetry-out", &telemetry_path}})) {
+    return 2;
+  }
+  if (metrics_path || telemetry_path) g_metrics = &registry;
+  std::optional<brsmn::obs::TelemetrySampler> sampler;
+  if (telemetry_path) {
+    brsmn::obs::TelemetryConfig config;
+    config.interval = std::chrono::milliseconds(2);
+    config.source = "bench_throughput";
+    config.routes_counter = "route.routes";
+    sampler.emplace(registry, config);
+    sampler->start();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  if (brsmn::obs::claims_stdout(metrics_path)) {
+  if (brsmn::obs::claims_stdout(metrics_path) ||
+      brsmn::obs::claims_stdout(telemetry_path)) {
     // The `-` dump owns stdout; the console report moves to stderr.
     benchmark::ConsoleReporter console;
     console.SetOutputStream(&std::cerr);
@@ -104,6 +129,13 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   benchmark::Shutdown();
+  if (sampler) {
+    sampler->stop();
+    if (!sampler->write(*telemetry_path)) return 1;
+    std::fprintf(stderr, "telemetry written to %s (%llu samples)\n",
+                 telemetry_path->c_str(),
+                 static_cast<unsigned long long>(sampler->samples()));
+  }
   if (metrics_path) {
     if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
     std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());

@@ -9,27 +9,54 @@
 // nothing silently lost.
 //
 // Build & run:  ./build/examples/chaos_sim [--metrics-out=<path>]
+//                                          [--telemetry-out=<path|->]
 // With --metrics-out the registry (fault.* recovery counters, switch.*
 // epoch metrics, route.* phase timings) is dumped as JSON; CI's
 // chaos-smoke job asserts detections and recoveries both happened.
+// --telemetry-out samples the same registry live: routes/sec and the
+// switch.backlog_cells gauge trace the fault windows as a time series
+// (pipe through tools/telemetry_report). Only one flag may claim
+// stdout with '-'.
+#include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "fault/fault_plan.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "traffic/chaos.hpp"
 
 int main(int argc, char** argv) {
   using namespace brsmn;
 
   const auto metrics_path = obs::consume_metrics_out_flag(argc, argv);
+  const auto telemetry_path = obs::consume_telemetry_out_flag(argc, argv);
   if (argc > 1) {
     std::fprintf(stderr, "unrecognized argument: %s\n"
-                 "usage: chaos_sim [--metrics-out=<path>]\n", argv[1]);
+                 "usage: chaos_sim [--metrics-out=<path>] "
+                 "[--telemetry-out=<path|->]\n", argv[1]);
+    return 2;
+  }
+  if (!obs::stdout_claims_exclusive({{"--metrics-out", &metrics_path},
+                                    {"--telemetry-out", &telemetry_path}})) {
     return 2;
   }
   obs::MetricRegistry registry;
-  std::FILE* report = obs::claims_stdout(metrics_path) ? stderr : stdout;
+  std::FILE* report =
+      obs::claims_stdout(metrics_path) || obs::claims_stdout(telemetry_path)
+          ? stderr
+          : stdout;
+  std::optional<obs::TelemetrySampler> sampler;
+  if (telemetry_path) {
+    obs::TelemetryConfig tcfg;
+    tcfg.interval = std::chrono::milliseconds(2);
+    tcfg.source = "chaos_sim";
+    tcfg.routes_counter = "route.routes";
+    tcfg.backlog_gauge = "switch.backlog_cells";
+    sampler.emplace(registry, tcfg);
+    sampler->start();
+  }
 
   traffic::ChaosConfig config;
   config.ports = 32;
@@ -40,7 +67,7 @@ int main(int argc, char** argv) {
   config.arrivals.fanout = {1, 4};
   config.arrivals.hotspot_fraction = 0.1;
   config.max_cell_age = 4;
-  config.metrics = metrics_path ? &registry : nullptr;
+  config.metrics = metrics_path || telemetry_path ? &registry : nullptr;
 
   config.plan.n = config.ports;
   {
@@ -118,6 +145,13 @@ int main(int argc, char** argv) {
                "backlog ... %s\n", summary.conserved() ? "OK" : "VIOLATED");
   std::fprintf(report, "drained: %s\n", summary.drained ? "yes" : "NO");
 
+  if (sampler) {
+    sampler->stop();
+    if (!sampler->write(*telemetry_path)) return 1;
+    std::fprintf(report, "\ntelemetry written to %s (%llu samples)\n",
+                 telemetry_path->c_str(),
+                 static_cast<unsigned long long>(sampler->samples()));
+  }
   if (metrics_path) {
     if (!obs::try_write_metrics(*metrics_path, registry)) return 1;
     std::fprintf(report, "\nmetrics written to %s\n", metrics_path->c_str());

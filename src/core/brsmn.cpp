@@ -9,6 +9,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/locate.hpp"
 #include "fault/self_check.hpp"
+#include "obs/fabric_heatmap.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -89,9 +91,11 @@ SwitchSetting final_level_setting(const LineValue& up, const LineValue& low) {
 
 void deliver_final_level(const std::vector<LineValue>& lines,
                          std::vector<std::optional<std::size_t>>& delivered,
-                         RoutingStats* stats, const ExplainSink* explain) {
+                         RoutingStats* stats, const ExplainSink* explain,
+                         obs::FabricHeatmap* heatmap) {
   const std::size_t n = lines.size();
   BRSMN_EXPECTS(delivered.size() == n);
+  if (heatmap != nullptr) heatmap->record_final_lines(lines);
   if (explain != nullptr) {
     std::vector<Tag> tags(n);
     for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
@@ -157,15 +161,21 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     return packed_route(*this, assignment, options);
   }
   obs::RouteProbe probe;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   const obs::RouteProbe* probe_ptr =
-      probe.enabled() || probe.tracing() ? &probe : nullptr;
+      probe.enabled() || probe.tracing() || probe.profiler != nullptr
+          ? &probe
+          : nullptr;
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::TraceSpan route_span(probe.tracer, "brsmn.route");
 
   RouteResult result;
@@ -227,10 +237,11 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
         const BsnExplain bsn_explain{{scatter_pass, b * bsn_size},
                                      {quasi_pass, b * bsn_size}};
         seam.line_base = b * bsn_size;
+        const BsnHeat heat{heatmap, k, b * bsn_size};
         Bsn::Result r = level[b].route(
             std::move(slice), next_copy_id, &result.stats, probe_ptr,
             options.explain ? &bsn_explain : nullptr,
-            checking ? &seam : nullptr);
+            checking ? &seam : nullptr, heatmap != nullptr ? &heat : nullptr);
         std::move(r.outputs.begin(), r.outputs.end(),
                   lines.begin() + static_cast<std::ptrdiff_t>(b * bsn_size));
       }
@@ -256,6 +267,7 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     const std::size_t splits_before_final = result.stats.broadcast_ops;
     {
       obs::PhaseTimer final_timer(probe.datapath);
+      obs::PerfScope final_perf(probe.profiler, probe.perf_datapath);
       obs::TraceSpan final_span(probe.tracer, "level.final");
       ExplainSink final_sink;
       if (options.explain) {
@@ -265,7 +277,7 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
       }
       fault::guard(checking, n_, route_ord, m_, PassKind::Final, true, [&] {
         deliver_final_level(lines, result.delivered, &result.stats,
-                            options.explain ? &final_sink : nullptr);
+                            options.explain ? &final_sink : nullptr, heatmap);
       });
     }
     result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -283,6 +295,7 @@ RouteResult Brsmn::route(const MulticastAssignment& assignment,
     }
     throw;
   }
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

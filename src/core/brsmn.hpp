@@ -25,6 +25,8 @@
 namespace brsmn::obs {
 class MetricRegistry;
 class Tracer;
+class FabricHeatmap;
+class PhaseProfiler;
 }  // namespace brsmn::obs
 
 namespace brsmn::fault {
@@ -114,6 +116,21 @@ struct RouteOptions {
   /// replay that raises FaultDetected evicts its entry first. Null (the
   /// default): every route is cold.
   api::PlanCache* plan_cache = nullptr;
+  /// Fabric utilization heatmap (obs/fabric_heatmap.hpp). When set, every
+  /// stage entry of every pass accumulates per-switch activity/occupancy
+  /// counts into the map — bit-identical across all four drivers and for
+  /// plan replays of the same assignments. The map is single-owner (one
+  /// routing thread); concurrent routers give each worker its own map and
+  /// merge(). On an incremental patch only the recompiled levels route,
+  /// so only they accumulate. Null (the default) keeps the datapaths
+  /// unobserved; BRSMN_OBS_DISABLED builds ignore it entirely.
+  obs::FabricHeatmap* heatmap = nullptr;
+  /// Hardware perf-counter phase profiler (obs/perf_counters.hpp): when
+  /// set (and available), the engines accumulate cycles / instructions /
+  /// cache-miss / branch-miss deltas per routing phase alongside the
+  /// PhaseTimer histograms. Single-owner like the heatmap; ignored under
+  /// BRSMN_OBS_DISABLED.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 struct RouteResult {
@@ -151,11 +168,13 @@ void advance_streams(std::vector<LineValue>& lines);
 /// packets to outputs 2j / 2j+1 / both, per the head tag. Fills
 /// `delivered` and asserts no output conflict. `explain` (optional)
 /// records the equivalent 2x2 setting of each switch under
-/// RouteRule::FinalDelivery.
+/// RouteRule::FinalDelivery. `heatmap` (optional) accumulates the final
+/// level's switch activity from the entering line state.
 void deliver_final_level(const std::vector<LineValue>& lines,
                          std::vector<std::optional<std::size_t>>& delivered,
                          RoutingStats* stats,
-                         const ExplainSink* explain = nullptr);
+                         const ExplainSink* explain = nullptr,
+                         obs::FabricHeatmap* heatmap = nullptr);
 
 class Brsmn {
  public:

@@ -5,6 +5,8 @@
 #include "core/scatter.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_report.hpp"
+#include "obs/fabric_heatmap.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -33,10 +35,10 @@ Bsn::Bsn(std::size_t n) : scatter_(n), quasisort_(n) {
 Bsn::Result Bsn::route(std::vector<LineValue> inputs,
                        std::uint64_t& next_copy_id, RoutingStats* stats,
                        const obs::RouteProbe* probe, const BsnExplain* explain,
-                       const fault::PassSeam* seam) {
+                       const fault::PassSeam* seam, const BsnHeat* heat) {
   if (seam == nullptr) {
     return route_impl(std::move(inputs), next_copy_id, stats, probe, explain,
-                      nullptr, nullptr);
+                      nullptr, heat, nullptr);
   }
   // Track how far the route got, so a thrown invariant names the region
   // (and locate.cpp knows which grids are trustworthy).
@@ -48,7 +50,7 @@ Bsn::Result Bsn::route(std::vector<LineValue> inputs,
   progress.block_size = size();
   try {
     return route_impl(std::move(inputs), next_copy_id, stats, probe, explain,
-                      seam, &progress);
+                      seam, heat, &progress);
   } catch (fault::FaultDetected&) {
     throw;
   } catch (const ContractViolation& e) {
@@ -65,11 +67,14 @@ Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
                             std::uint64_t& next_copy_id, RoutingStats* stats,
                             const obs::RouteProbe* probe,
                             const BsnExplain* explain,
-                            const fault::PassSeam* seam,
+                            const fault::PassSeam* seam, const BsnHeat* heat,
                             fault::DetectPoint* progress) {
   const std::size_t n = size();
   BRSMN_EXPECTS(inputs.size() == n);
   obs::Tracer* tracer = probe != nullptr ? probe->tracer : nullptr;
+  obs::PhaseProfiler* perf = probe != nullptr ? probe->profiler : nullptr;
+  obs::FabricHeatmap* heatmap =
+      heat != nullptr && heat->map != nullptr ? heat->map : nullptr;
 
   const TagCounts in = count_tags(inputs);
   BRSMN_EXPECTS_MSG(in.zeros + in.alphas <= n / 2,
@@ -92,11 +97,13 @@ Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
 
   // Pass 1: scatter — eliminate every α (paper Theorem 2).
   obs::PhaseTimer scatter_timer(probe ? probe->scatter : nullptr);
+  obs::PerfScope scatter_perf(perf, probe ? probe->perf_scatter : 0);
   obs::TraceSpan scatter_span(tracer, "bsn.scatter.config");
   const ScatterNodeValue root =
       configure_scatter(scatter_, tags, 0, stats,
                         explain != nullptr ? &explain->scatter : nullptr);
   scatter_span.end();
+  scatter_perf.stop();
   scatter_timer.stop();
   if (seam != nullptr) seam->apply_local(scatter_, PassKind::Scatter);
   if (progress != nullptr) progress->fabric_settled = true;
@@ -107,14 +114,22 @@ Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
   ScatterExec exec{next_copy_id, stats};
   Result result;
   obs::PhaseTimer scatter_datapath(probe ? probe->datapath : nullptr);
+  obs::PerfScope scatter_data_perf(perf, probe ? probe->perf_datapath : 0);
   obs::TraceSpan scatter_data_span(tracer, "bsn.scatter.datapath");
   result.scattered = scatter_.propagate(
       std::move(inputs),
       [&exec](const SwitchContext& ctx, SwitchSetting s, LineValue a,
               LineValue b) {
         return apply_scatter_switch(ctx, s, std::move(a), std::move(b), exec);
+      },
+      [&](int stage, const std::vector<LineValue>& ls) {
+        if (heatmap != nullptr) {
+          heatmap->record_lines(heat->level, PassKind::Scatter, stage, ls,
+                                heat->line_offset);
+        }
       });
   scatter_data_span.end();
+  scatter_data_perf.stop();
   scatter_datapath.stop();
   next_copy_id = exec.next_copy_id;
 
@@ -133,22 +148,27 @@ Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
   for (std::size_t i = 0; i < n; ++i) scattered_tags[i] = result.scattered[i].tag;
   if (explain != nullptr) explain->quasisort.record_input_tags(scattered_tags);
   obs::PhaseTimer divide_timer(probe ? probe->eps_divide : nullptr);
+  obs::PerfScope divide_perf(perf, probe ? probe->perf_eps_divide : 0);
   obs::TraceSpan divide_span(tracer, "bsn.eps_divide");
   const std::vector<Tag> divided = divide_eps(scattered_tags, stats);
   divide_span.end();
+  divide_perf.stop();
   divide_timer.stop();
   if (explain != nullptr) explain->quasisort.record_divided_tags(divided);
   std::vector<LineValue> sorted_in = result.scattered;
   for (std::size_t i = 0; i < n; ++i) sorted_in[i].tag = divided[i];
   obs::PhaseTimer quasisort_timer(probe ? probe->quasisort : nullptr);
+  obs::PerfScope quasisort_perf(perf, probe ? probe->perf_quasisort : 0);
   obs::TraceSpan quasisort_span(tracer, "bsn.quasisort.config");
   configure_quasisort(quasisort_, divided, stats,
                       explain != nullptr ? &explain->quasisort : nullptr);
   quasisort_span.end();
+  quasisort_perf.stop();
   quasisort_timer.stop();
   if (seam != nullptr) seam->apply_local(quasisort_, PassKind::Quasisort);
   if (progress != nullptr) progress->fabric_settled = true;
   obs::PhaseTimer sort_datapath(probe ? probe->datapath : nullptr);
+  obs::PerfScope sort_data_perf(perf, probe ? probe->perf_datapath : 0);
   obs::TraceSpan sort_data_span(tracer, "bsn.quasisort.datapath");
   result.outputs = quasisort_.propagate(
       std::move(sorted_in),
@@ -156,8 +176,15 @@ Bsn::Result Bsn::route_impl(std::vector<LineValue> inputs,
               LineValue b) {
         if (stats) ++stats->switch_traversals;
         return unicast_switch(ctx, s, std::move(a), std::move(b));
+      },
+      [&](int stage, const std::vector<LineValue>& ls) {
+        if (heatmap != nullptr) {
+          heatmap->record_lines(heat->level, PassKind::Quasisort, stage, ls,
+                                heat->line_offset);
+        }
       });
   sort_data_span.end();
+  sort_data_perf.stop();
   sort_datapath.stop();
 
   // Postcondition: zeros (real or dummy) occupy the upper half, ones the

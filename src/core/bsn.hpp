@@ -18,6 +18,7 @@
 
 namespace brsmn::obs {
 struct RouteProbe;
+class FabricHeatmap;
 }  // namespace brsmn::obs
 
 namespace brsmn::fault {
@@ -32,6 +33,16 @@ namespace brsmn {
 struct BsnExplain {
   ExplainSink scatter;
   ExplainSink quasisort;
+};
+
+/// Heatmap seam for one Bsn::route call: the utilization map plus this
+/// BSN's level and the network line its input 0 sits on (the scalar
+/// unrolled driver routes each block separately; partial block records
+/// sum to the full stage plane — see obs/fabric_heatmap.hpp).
+struct BsnHeat {
+  obs::FabricHeatmap* map = nullptr;
+  int level = 0;
+  std::size_t line_offset = 0;
 };
 
 /// Tag census of a line vector (inputs or outputs of a BSN).
@@ -72,11 +83,14 @@ class Bsn {
   /// configuration pass, and any ContractViolation raised by the BSN's
   /// own invariants is rethrown as fault::FaultDetected carrying the
   /// (level, pass, settled) detection point.
+  /// `heat` (optional) accumulates per-switch activity at every stage
+  /// entry of both passes into a fabric heatmap.
   Result route(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
                RoutingStats* stats = nullptr,
                const obs::RouteProbe* probe = nullptr,
                const BsnExplain* explain = nullptr,
-               const fault::PassSeam* seam = nullptr);
+               const fault::PassSeam* seam = nullptr,
+               const BsnHeat* heat = nullptr);
 
   /// The two fabrics, exposed for inspection after route() (their switch
   /// settings are those of the last routed assignment).
@@ -93,7 +107,7 @@ class Bsn {
   Result route_impl(std::vector<LineValue> inputs, std::uint64_t& next_copy_id,
                     RoutingStats* stats, const obs::RouteProbe* probe,
                     const BsnExplain* explain, const fault::PassSeam* seam,
-                    fault::DetectPoint* progress);
+                    const BsnHeat* heat, fault::DetectPoint* progress);
 
   Rbn scatter_;
   Rbn quasisort_;

@@ -10,6 +10,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/locate.hpp"
 #include "fault/self_check.hpp"
+#include "obs/fabric_heatmap.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -35,13 +37,17 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
   }
 
   obs::RouteProbe probe;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::TraceSpan route_span(probe.tracer, "feedback.route");
 
   RouteResult result;
@@ -104,6 +110,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
         for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
         scatter_sink.record_input_tags(tags);
         obs::PhaseTimer scatter_timer(probe.scatter);
+        obs::PerfScope scatter_perf(probe.profiler, probe.perf_scatter);
         obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
         for (std::size_t b = 0; b < blocks; ++b) {
           const std::span<const Tag> slice(tags.data() + b * bsn_size,
@@ -116,6 +123,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
       fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
         ScatterExec exec{next_copy_id, &result.stats};
         obs::PhaseTimer scatter_datapath(probe.datapath);
+        obs::PerfScope scatter_data_perf(probe.profiler, probe.perf_datapath);
         obs::TraceSpan scatter_data_span(probe.tracer, "fb.scatter.datapath");
         lines = fabric_.propagate(
             std::move(lines),
@@ -123,6 +131,13 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
                     LineValue b) {
               return apply_scatter_switch(ctx, s, std::move(a), std::move(b),
                                           exec);
+            },
+            // Stages above top_stage are identity feedback wiring, not part
+            // of the level-k BSN — only the BSN's own stages are mapped.
+            [&](int stage, const std::vector<LineValue>& ls) {
+              if (heatmap != nullptr && stage <= top_stage) {
+                heatmap->record_lines(k, PassKind::Scatter, stage, ls, 0);
+              }
             });
         next_copy_id = exec.next_copy_id;
       });
@@ -142,15 +157,18 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
           const std::span<const Tag> slice(tags.data() + b * bsn_size,
                                            bsn_size);
           obs::PhaseTimer divide_timer(probe.eps_divide);
+          obs::PerfScope divide_perf(probe.profiler, probe.perf_eps_divide);
           obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
           const std::vector<Tag> divided = divide_eps(slice, &result.stats);
           divide_span.end();
+          divide_perf.stop();
           divide_timer.stop();
           quasi_sink.record_divided_tags(divided, b * bsn_size);
           for (std::size_t i = 0; i < bsn_size; ++i) {
             lines[b * bsn_size + i].tag = divided[i];
           }
           obs::PhaseTimer quasisort_timer(probe.quasisort);
+          obs::PerfScope quasisort_perf(probe.profiler, probe.perf_quasisort);
           configure_quasisort(fabric_, top_stage, b, divided, &result.stats,
                               options.explain ? &quasi_sink : nullptr);
         }
@@ -159,6 +177,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
       fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
         RoutingStats* stats = &result.stats;
         obs::PhaseTimer sort_datapath(probe.datapath);
+        obs::PerfScope sort_data_perf(probe.profiler, probe.perf_datapath);
         obs::TraceSpan sort_data_span(probe.tracer, "fb.quasisort.datapath");
         lines = fabric_.propagate(
             std::move(lines),
@@ -166,6 +185,11 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
                     LineValue b) {
               ++stats->switch_traversals;
               return unicast_switch(ctx, s, std::move(a), std::move(b));
+            },
+            [&](int stage, const std::vector<LineValue>& ls) {
+              if (heatmap != nullptr && stage <= top_stage) {
+                heatmap->record_lines(k, PassKind::Quasisort, stage, ls, 0);
+              }
             });
       });
       ++result.stats.fabric_passes;
@@ -193,6 +217,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     const std::size_t splits_before_final = result.stats.broadcast_ops;
     {
       obs::PhaseTimer final_timer(probe.datapath);
+      obs::PerfScope final_perf(probe.profiler, probe.perf_datapath);
       obs::TraceSpan final_span(probe.tracer, "level.final");
       ExplainSink final_sink;
       if (options.explain) {
@@ -202,7 +227,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
       }
       fault::guard(checking, n, route_ord, m, PassKind::Final, true, [&] {
         deliver_final_level(lines, result.delivered, &result.stats,
-                            options.explain ? &final_sink : nullptr);
+                            options.explain ? &final_sink : nullptr, heatmap);
       });
     }
     result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -221,6 +246,7 @@ RouteResult FeedbackBrsmn::route(const MulticastAssignment& assignment,
     }
     throw;
   }
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

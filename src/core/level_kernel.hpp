@@ -18,6 +18,10 @@
 #include "core/line_value.hpp"
 #include "core/packed_kernel.hpp"
 
+namespace brsmn::obs {
+class FabricHeatmap;
+}  // namespace brsmn::obs
+
 namespace brsmn::pkern {
 
 /// One scatter broadcast switch: the upper line of the pair and which
@@ -40,6 +44,12 @@ struct LevelKernel {
   std::vector<std::size_t> parent_code;          ///< by event ord
   std::uint64_t copy_id_base = 0;
   std::size_t num_events = 0;
+  /// Optional fabric heatmap: when set, the datapaths record per-switch
+  /// activity from the tag planes at every stage entry for heat_level.
+  /// Cleared by default so replay workspaces stay observation-free unless
+  /// the caller opts in per route.
+  obs::FabricHeatmap* heat = nullptr;
+  int heat_level = 0;
 
   LevelKernel(std::size_t n_, int m, int stages_)
       : n(n_),

@@ -17,6 +17,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/locate.hpp"
 #include "fault/self_check.hpp"
+#include "obs/fabric_heatmap.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -387,6 +389,9 @@ void run_scatter_datapath(LevelKernel& kx) {
   auto t2 = kx.tag_plane(2);
   for (int j = 1; j <= kx.stages; ++j) {
     const std::size_t d = std::size_t{1} << (j - 1);
+    if (kx.heat != nullptr) {
+      kx.heat->record_stage_tags(kx.heat_level, PassKind::Scatter, j, t0, t1);
+    }
     auto& evs = kx.events[static_cast<std::size_t>(j - 1)];
     for (const BcastEvent& ev : evs) {
       const std::size_t alpha_line = ev.alpha_upper ? ev.upper : ev.upper + d;
@@ -426,6 +431,10 @@ void run_scatter_datapath(LevelKernel& kx) {
 /// Propagate the planes through the configured unicast (quasisort) stages.
 void run_unicast_datapath(LevelKernel& kx) {
   for (int j = 1; j <= kx.stages; ++j) {
+    if (kx.heat != nullptr) {
+      kx.heat->record_stage_tags(kx.heat_level, PassKind::Quasisort, j,
+                                 kx.tag_plane(0), kx.tag_plane(1));
+    }
     pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
                     std::size_t{1} << (j - 1));
   }
@@ -1361,13 +1370,17 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
   const std::size_t n = net.n_;
   const int m = net.m_;
   obs::RouteProbe probe;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::TraceSpan route_span(probe.tracer, "brsmn.route");
 
   RouteResult result;
@@ -1410,6 +1423,8 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
                             lines, options.fault_activity);
     const int S = log2_exact(n >> (k - 1));
     LevelKernel kx(n, m, S);
+    kx.heat = heatmap;
+    kx.heat_level = k;
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
     if (plan != nullptr) {
@@ -1432,6 +1447,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
+    obs::PerfScope final_perf(probe.profiler, probe.perf_datapath);
     obs::TraceSpan final_span(probe.tracer, "level.final");
     ExplainSink final_sink;
     if (options.explain) {
@@ -1441,7 +1457,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     }
     fault::guard(checking, n, route_ord, m, PassKind::Final, true, [&] {
       deliver_final_level(lines, result.delivered, &result.stats,
-                          options.explain ? &final_sink : nullptr);
+                          options.explain ? &final_sink : nullptr, heatmap);
     });
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -1460,6 +1476,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
     throw;
   }
   if (plan != nullptr) capture_result(result, *plan);
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);
@@ -1473,13 +1490,17 @@ RouteResult packed_route(FeedbackBrsmn& net,
   const std::size_t n = net.size();
   const int m = net.levels();
   obs::RouteProbe probe;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::TraceSpan route_span(probe.tracer, "feedback.route");
 
   RouteResult result;
@@ -1520,6 +1541,8 @@ RouteResult packed_route(FeedbackBrsmn& net,
                             lines, options.fault_activity);
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
     LevelKernel kx(n, m, top_stage);
+    kx.heat = heatmap;
+    kx.heat_level = k;
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
     if (plan != nullptr) {
@@ -1542,6 +1565,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
+    obs::PerfScope final_perf(probe.profiler, probe.perf_datapath);
     obs::TraceSpan final_span(probe.tracer, "level.final");
     ExplainSink final_sink;
     if (options.explain) {
@@ -1550,7 +1574,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
     }
     fault::guard(checking, n, route_ord, m, PassKind::Final, true, [&] {
       deliver_final_level(lines, result.delivered, &result.stats,
-                          options.explain ? &final_sink : nullptr);
+                          options.explain ? &final_sink : nullptr, heatmap);
     });
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -1570,6 +1594,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
     throw;
   }
   if (plan != nullptr) capture_result(result, *plan);
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);
@@ -1610,6 +1635,7 @@ planner::PatchOutcome patch_route_core(
 
   obs::RouteProbe probe;
   obs::Histogram* patch_hist = nullptr;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
@@ -1617,8 +1643,11 @@ planner::PatchOutcome patch_route_core(
           std::string(options.metrics_prefix) + ".phase.patch_ns");
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::PhaseTimer patch_timer(patch_hist);
   obs::TraceSpan patch_span(probe.tracer, "plan.patch");
 
@@ -1653,6 +1682,11 @@ planner::PatchOutcome patch_route_core(
   for (int k = 1; k <= m - 1; ++k) {
     const int stages = m - k + 1;  // both impls: level-k BSN size 2^(m-k+1)
     LevelKernel kx(n, m, stages);
+    // Reused levels restore stored checkpoints without re-running the
+    // datapath, so only recompiled levels (and the always-fresh final
+    // level) accumulate heatmap activity on the patch path.
+    kx.heat = heatmap;
+    kx.heat_level = k;
     load_lines(kx, lines);
     const PlanLevel& old = base.levels[static_cast<std::size_t>(k - 1)];
     const bool clean = old.stages == stages && entry_planes_match(kx, old);
@@ -1683,6 +1717,7 @@ planner::PatchOutcome patch_route_core(
   const std::size_t splits_before_final = result.stats.broadcast_ops;
   {
     obs::PhaseTimer final_timer(probe.datapath);
+    obs::PerfScope final_perf(probe.profiler, probe.perf_datapath);
     obs::TraceSpan final_span(probe.tracer, "level.final");
     ExplainSink final_sink;
     if (options.explain) {
@@ -1691,7 +1726,7 @@ planner::PatchOutcome patch_route_core(
     }
     fault::guard(checking, n, 0, m, PassKind::Final, true, [&] {
       deliver_final_level(lines, result.delivered, &result.stats,
-                          options.explain ? &final_sink : nullptr);
+                          options.explain ? &final_sink : nullptr, heatmap);
     });
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -1706,6 +1741,7 @@ planner::PatchOutcome patch_route_core(
                     "patched BRSMN route delivered incorrectly");
   capture_result(result, out);
   outcome.patched = true;
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(result.stats);

@@ -70,15 +70,20 @@ class Rbn {
 
   /// Propagate `lines` (size n) through stages [from_stage, to_stage]
   /// inclusive. For each switch, `fn(ctx, setting, upper, lower)` must
-  /// return the pair of output values {upper_out, lower_out}.
-  template <typename T, typename SwitchFn>
+  /// return the pair of output values {upper_out, lower_out}. Before each
+  /// stage's switches fire, `observe(stage, lines)` sees the stage-entry
+  /// line state — the seam the fabric heatmaps record through (packed
+  /// drivers sample their tag planes at the same point, so the heatmaps
+  /// come out bit-identical across engines).
+  template <typename T, typename SwitchFn, typename StageObserver>
   std::vector<T> propagate(std::vector<T> lines, int from_stage, int to_stage,
-                           SwitchFn&& fn) const {
+                           SwitchFn&& fn, StageObserver&& observe) const {
     BRSMN_EXPECTS(lines.size() == size());
     BRSMN_EXPECTS(from_stage >= 1 && to_stage <= stages() &&
                   from_stage <= to_stage);
     std::vector<T> next(lines.size());
     for (int stage = from_stage; stage <= to_stage; ++stage) {
+      observe(stage, static_cast<const std::vector<T>&>(lines));
       const std::size_t half = topo_.block_size(stage) / 2;
       for (std::size_t block = 0; block < topo_.blocks_in_stage(stage);
            ++block) {
@@ -99,11 +104,29 @@ class Rbn {
     return lines;
   }
 
+  /// propagate without a stage observer.
+  template <typename T, typename SwitchFn>
+  std::vector<T> propagate(std::vector<T> lines, int from_stage, int to_stage,
+                           SwitchFn&& fn) const {
+    return propagate(std::move(lines), from_stage, to_stage,
+                     std::forward<SwitchFn>(fn),
+                     [](int, const std::vector<T>&) {});
+  }
+
   /// Propagate through all stages.
   template <typename T, typename SwitchFn>
   std::vector<T> propagate(std::vector<T> lines, SwitchFn&& fn) const {
     return propagate(std::move(lines), 1, stages(),
                      std::forward<SwitchFn>(fn));
+  }
+
+  /// Propagate through all stages with a stage-entry observer.
+  template <typename T, typename SwitchFn, typename StageObserver>
+  std::vector<T> propagate(std::vector<T> lines, SwitchFn&& fn,
+                           StageObserver&& observe) const {
+    return propagate(std::move(lines), 1, stages(),
+                     std::forward<SwitchFn>(fn),
+                     std::forward<StageObserver>(observe));
   }
 
  private:

@@ -20,7 +20,9 @@
 #include "core/level_kernel.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/self_check.hpp"
+#include "obs/fabric_heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/route_probe.hpp"
 #include "obs/tracer.hpp"
@@ -113,6 +115,7 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
 
   obs::RouteProbe probe;
   obs::Histogram* replay_hist = nullptr;
+  obs::FabricHeatmap* heatmap = nullptr;
   if constexpr (obs::kEnabled) {
     if (options.metrics != nullptr) {
       probe = obs::RouteProbe::attach(*options.metrics, options.metrics_prefix);
@@ -120,9 +123,13 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
           std::string(options.metrics_prefix) + ".phase.replay_ns");
     }
     probe.tracer = options.tracer;
+    probe.attach_profiler(options.profiler);
+    heatmap = options.heatmap;
   }
   obs::PhaseTimer total_timer(probe.total);
+  obs::PerfScope total_perf(probe.profiler, probe.perf_total);
   obs::PhaseTimer replay_timer(replay_hist);
+  obs::PerfScope replay_perf(probe.profiler, probe.perf_replay);
   obs::TraceSpan replay_span(probe.tracer, "plan.replay");
 
   const bool checking = options.self_check || options.faults != nullptr;
@@ -140,6 +147,10 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
     const PlanLevel& pl = plan.levels[static_cast<std::size_t>(k - 1)];
     const int S = pl.stages;
     kx.stages = S;
+    // The workspace kernel persists across replays; (re)binding the
+    // heatmap each route keeps unobserved replays observation-free.
+    kx.heat = heatmap;
+    kx.heat_level = k;
     pkern::load_identity_codes(kx);
     copy_span(kx.tag_plane(0), pl.entry_t0);
     copy_span(kx.tag_plane(1), pl.entry_t1);
@@ -215,6 +226,17 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
     });
   }
 
+  // The final 2x2 level has no replayed datapath — record its entry
+  // occupancy from the stored planes (screened for dead lines when
+  // faults are armed), matching a cold route's final-level record.
+  if (heatmap != nullptr) {
+    if (options.faults != nullptr) {
+      heatmap->record_final_tags(ws.final_t0, ws.final_t1);
+    } else {
+      heatmap->record_final_tags(plan.final_t0, plan.final_t1);
+    }
+  }
+
   out.delivered = plan.delivered;
   out.stats = plan.stats;
   out.broadcasts_per_level = plan.broadcasts_per_level;
@@ -226,7 +248,9 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
   }
 
   replay_span.end();
+  replay_perf.stop();
   replay_timer.stop();
+  total_perf.stop();
   total_timer.stop();
   if constexpr (obs::kEnabled) {
     if (probe.enabled()) probe.record_stats(out.stats);

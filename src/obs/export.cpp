@@ -176,4 +176,24 @@ std::optional<std::string> consume_trace_out_flag(int& argc, char** argv) {
   return consume_value_flag(argc, argv, "--trace-out=");
 }
 
+bool stdout_claims_exclusive(
+    std::initializer_list<std::pair<std::string_view,
+                                    const std::optional<std::string>*>>
+        streams) {
+  std::string claimants;
+  int count = 0;
+  for (const auto& [flag, path] : streams) {
+    if (!claims_stdout(*path)) continue;
+    ++count;
+    if (!claimants.empty()) claimants += ", ";
+    claimants += flag;
+  }
+  if (count <= 1) return true;
+  std::fprintf(stderr,
+               "error: %s all claim stdout ('-'); at most one stream may "
+               "write to stdout — give the others file paths\n",
+               claimants.c_str());
+  return false;
+}
+
 }  // namespace brsmn::obs

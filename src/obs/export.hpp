@@ -13,8 +13,10 @@
 // Doubles print with enough digits to round-trip through obs/json.hpp.
 #pragma once
 
+#include <initializer_list>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
@@ -57,5 +59,16 @@ std::optional<std::string> consume_trace_out_flag(int& argc, char** argv);
 inline bool claims_stdout(const std::optional<std::string>& path) {
   return path.has_value() && *path == "-";
 }
+
+/// Guard for binaries with several `-`-capable dump streams
+/// (--metrics-out / --trace-out / --telemetry-out): at most one may claim
+/// stdout, since two JSON documents interleaved on one pipe are
+/// unparseable. Returns true when the claims are exclusive; otherwise
+/// prints an error naming the flags to stderr and returns false (callers
+/// exit non-zero before running the workload).
+bool stdout_claims_exclusive(
+    std::initializer_list<std::pair<std::string_view,
+                                    const std::optional<std::string>*>>
+        streams);
 
 }  // namespace brsmn::obs

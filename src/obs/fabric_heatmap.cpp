@@ -1,0 +1,294 @@
+#include "obs/fabric_heatmap.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::obs {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+constexpr std::size_t words_for(std::size_t n) {
+  return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Bit positions p with (p & d) == 0 — the upper-port lines of a stage
+/// with pairing distance d < 64.
+constexpr std::uint64_t upper_mask(std::size_t d) {
+  switch (d) {
+    case 1: return 0x5555555555555555ULL;
+    case 2: return 0x3333333333333333ULL;
+    case 4: return 0x0F0F0F0F0F0F0F0FULL;
+    case 8: return 0x00FF00FF00FF00FFULL;
+    case 16: return 0x0000FFFF0000FFFFULL;
+    case 32: return 0x00000000FFFFFFFFULL;
+    default: return 0;
+  }
+}
+
+int log2_floor(std::size_t n) {
+  int m = 0;
+  while ((std::size_t{1} << (m + 1)) <= n) ++m;
+  return m;
+}
+
+const char* pass_label(PassKind pass) {
+  switch (pass) {
+    case PassKind::Scatter: return "scatter";
+    case PassKind::Quasisort: return "quasisort";
+    case PassKind::Final: return "final";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FabricHeatmap::FabricHeatmap(std::size_t n) : n_(n), m_(log2_floor(n)) {
+  BRSMN_EXPECTS(n >= 2 && (n & (n - 1)) == 0);
+  words_ = words_for(n);
+  const std::size_t rem = n % kWordBits;
+  tail_mask_ = rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+  level_row_base_.assign(static_cast<std::size_t>(m_), 0);
+  std::size_t rows = 0;
+  for (int k = 1; k <= m_ - 1; ++k) {
+    level_row_base_[static_cast<std::size_t>(k - 1)] = rows;
+    rows += 2 * static_cast<std::size_t>(m_ - k + 1);  // scatter + quasisort
+  }
+  rows_ = rows + 1;  // final 2x2 level
+  planes_.assign(rows_ * 2 * kBitPlanes * words_, 0);
+  wide_.assign(rows_ * 2 * words_ * kWordBits, 0);
+  samples_.assign(rows_, 0);
+  scratch_.assign(words_, 0);
+}
+
+std::size_t FabricHeatmap::row_index(int level, PassKind pass,
+                                     int stage) const {
+  if (pass == PassKind::Final) return rows_ - 1;
+  BRSMN_EXPECTS(level >= 1 && level <= m_ - 1);
+  const int stages = m_ - level + 1;
+  BRSMN_EXPECTS(stage >= 1 && stage <= stages);
+  std::size_t row = level_row_base_[static_cast<std::size_t>(level - 1)];
+  if (pass == PassKind::Quasisort) row += static_cast<std::size_t>(stages);
+  return row + static_cast<std::size_t>(stage - 1);
+}
+
+void FabricHeatmap::add_word(std::size_t row, int counter, std::size_t w,
+                             std::uint64_t mask) {
+  // Bit-sliced ripple-carry add: the mask is a per-line +1, carried up the
+  // kBitPlanes planes; a carry out of the top plane spills +2^kBitPlanes
+  // into the wide per-line accumulators (once per 2^kBitPlanes records per
+  // line, so the common case is one or two XOR/AND pairs).
+  std::uint64_t* p =
+      planes_.data() + ((row * 2 + static_cast<std::size_t>(counter)) *
+                        kBitPlanes) * words_ + w;
+  std::uint64_t m = mask;
+  for (std::size_t b = 0; b < kBitPlanes && m != 0; ++b) {
+    std::uint64_t* plane = p + b * words_;
+    const std::uint64_t carry = *plane & m;
+    *plane ^= m;
+    m = carry;
+  }
+  if (m != 0) {
+    std::uint64_t* wide =
+        wide_.data() + (row * 2 + static_cast<std::size_t>(counter)) *
+                           (words_ * kWordBits) + w * kWordBits;
+    while (m != 0) {
+      const int bit = std::countr_zero(m);
+      wide[bit] += std::uint64_t{1} << kBitPlanes;
+      m &= m - 1;
+    }
+  }
+}
+
+void FabricHeatmap::accumulate(std::size_t row, int stage, std::size_t word_lo,
+                               std::size_t word_hi, const std::uint64_t* occ) {
+  const std::size_t d = std::size_t{1} << (stage - 1);
+  if (d < kWordBits) {
+    const std::uint64_t um = upper_mask(d);
+    for (std::size_t w = word_lo; w < word_hi; ++w) {
+      const std::uint64_t o = occ[w];
+      if (o == 0) continue;
+      const std::uint64_t up = o & um;
+      const std::uint64_t low = (o >> d) & um;
+      add_word(row, 0, w, up | low);
+      if (up != 0) add_word(row, 1, w, up);
+      if (low != 0) add_word(row, 1, w, low);
+    }
+  } else {
+    // Pairs span whole words: word w is an upper word iff the d-bit of
+    // its base line index is clear, and its partner sits d/64 words on.
+    const std::size_t dw = d / kWordBits;
+    for (std::size_t w = word_lo; w < word_hi; w += 2 * dw) {
+      for (std::size_t t = 0; t < dw; ++t) {
+        const std::size_t wu = w + t;
+        const std::uint64_t up = occ[wu];
+        const std::uint64_t low = occ[wu + dw];
+        if ((up | low) == 0) continue;
+        add_word(row, 0, wu, up | low);
+        if (up != 0) add_word(row, 1, wu, up);
+        if (low != 0) add_word(row, 1, wu, low);
+      }
+    }
+  }
+}
+
+void FabricHeatmap::record_stage_tags(int level, PassKind pass, int stage,
+                                      std::span<const std::uint64_t> t0,
+                                      std::span<const std::uint64_t> t1) {
+  BRSMN_EXPECTS(t0.size() >= words_ && t1.size() >= words_);
+  const std::size_t row = row_index(level, pass, stage);
+  for (std::size_t w = 0; w < words_; ++w) {
+    scratch_[w] = ~(t0[w] & t1[w]);  // occupied = outside the ε family
+  }
+  scratch_[words_ - 1] &= tail_mask_;
+  accumulate(row, stage, 0, words_, scratch_.data());
+  ++samples_[row];
+}
+
+void FabricHeatmap::record_lines(int level, PassKind pass, int stage,
+                                 const std::vector<LineValue>& lines,
+                                 std::size_t line_offset) {
+  BRSMN_EXPECTS(!lines.empty() && line_offset + lines.size() <= n_);
+  BRSMN_EXPECTS(line_offset % lines.size() == 0);
+  const std::size_t row = row_index(level, pass, stage);
+  const std::size_t word_lo = line_offset / kWordBits;
+  const std::size_t word_hi =
+      (line_offset + lines.size() + kWordBits - 1) / kWordBits;
+  for (std::size_t w = word_lo; w < word_hi; ++w) scratch_[w] = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const std::size_t line = line_offset + i;
+    scratch_[line / kWordBits] |= std::uint64_t{1} << (line % kWordBits);
+  }
+  accumulate(row, stage, word_lo, word_hi, scratch_.data());
+  if (line_offset == 0) ++samples_[row];
+}
+
+void FabricHeatmap::record_final_lines(const std::vector<LineValue>& lines) {
+  record_lines(m_, PassKind::Final, 1, lines, 0);
+}
+
+void FabricHeatmap::record_final_tags(std::span<const std::uint64_t> t0,
+                                      std::span<const std::uint64_t> t1) {
+  record_stage_tags(m_, PassKind::Final, 1, t0, t1);
+}
+
+std::uint64_t FabricHeatmap::cell_value(std::size_t row, int counter,
+                                        std::size_t line) const {
+  const std::size_t base =
+      (row * 2 + static_cast<std::size_t>(counter));
+  std::uint64_t v = wide_[base * (words_ * kWordBits) + line];
+  const std::uint64_t* p = planes_.data() + base * kBitPlanes * words_;
+  const std::size_t w = line / kWordBits;
+  const std::size_t bit = line % kWordBits;
+  for (std::size_t b = 0; b < kBitPlanes; ++b) {
+    v += ((p[b * words_ + w] >> bit) & 1U) << b;
+  }
+  return v;
+}
+
+void FabricHeatmap::merge(const FabricHeatmap& other) {
+  BRSMN_EXPECTS(other.n_ == n_);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (int counter = 0; counter < 2; ++counter) {
+      const std::size_t base = row * 2 + static_cast<std::size_t>(counter);
+      std::uint64_t* wide = wide_.data() + base * (words_ * kWordBits);
+      for (std::size_t line = 0; line < n_; ++line) {
+        wide[line] += other.cell_value(row, counter, line);
+      }
+    }
+    samples_[row] += other.samples_[row];
+  }
+}
+
+void FabricHeatmap::reset() {
+  std::fill(planes_.begin(), planes_.end(), 0);
+  std::fill(wide_.begin(), wide_.end(), 0);
+  std::fill(samples_.begin(), samples_.end(), 0);
+}
+
+std::uint64_t FabricHeatmap::routes() const { return samples_.front(); }
+
+HeatmapSnapshot FabricHeatmap::snapshot() const {
+  HeatmapSnapshot s;
+  s.n = n_;
+  s.m = m_;
+  s.routes = routes();
+  s.cells.reserve(rows_ * (n_ / 2));
+  const auto emit_row = [&](int level, PassKind pass, int stage) {
+    const std::size_t row = row_index(level, pass, stage);
+    const std::size_t d = std::size_t{1} << (stage - 1);
+    const std::size_t j = static_cast<std::size_t>(stage);
+    for (std::size_t sw = 0; sw < n_ / 2; ++sw) {
+      // Invert stage_switch (topology/rbn_topology.hpp): re-insert the
+      // deleted bit j-1 to recover the upper line of stage switch sw.
+      const std::size_t up = ((sw >> (j - 1)) << j) | (sw & (d - 1));
+      HeatmapCell cell;
+      cell.level = level;
+      cell.pass = pass;
+      cell.stage = stage;
+      cell.sw = sw;
+      cell.active = cell_value(row, 0, up);
+      cell.occupied = cell_value(row, 1, up);
+      s.cells.push_back(cell);
+    }
+  };
+  for (int k = 1; k <= m_ - 1; ++k) {
+    for (int stage = 1; stage <= m_ - k + 1; ++stage) {
+      emit_row(k, PassKind::Scatter, stage);
+    }
+    for (int stage = 1; stage <= m_ - k + 1; ++stage) {
+      emit_row(k, PassKind::Quasisort, stage);
+    }
+  }
+  emit_row(m_, PassKind::Final, 1);
+  return s;
+}
+
+std::string to_json(const HeatmapSnapshot& s) {
+  std::string out;
+  out.reserve(64 + s.cells.size() * 24);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"fabric_heatmap\",\"n\":%zu,\"m\":%d,"
+                "\"routes\":%llu,\"cells\":[",
+                s.n, s.m, static_cast<unsigned long long>(s.routes));
+  out += buf;
+  bool first = true;
+  for (const HeatmapCell& c : s.cells) {
+    if (c.active == 0 && c.occupied == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"level\":%d,\"pass\":\"%s\",\"stage\":%d,\"sw\":%zu,"
+                  "\"active\":%llu,\"occupied\":%llu}",
+                  c.level, pass_label(c.pass), c.stage, c.sw,
+                  static_cast<unsigned long long>(c.active),
+                  static_cast<unsigned long long>(c.occupied));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_csv(const HeatmapSnapshot& s) {
+  std::string out = "level,pass,stage,sw,active,occupied\n";
+  char buf[128];
+  for (const HeatmapCell& c : s.cells) {
+    std::snprintf(buf, sizeof buf, "%d,%s,%d,%zu,%llu,%llu\n", c.level,
+                  pass_label(c.pass), c.stage, c.sw,
+                  static_cast<unsigned long long>(c.active),
+                  static_cast<unsigned long long>(c.occupied));
+    out += buf;
+  }
+  return out;
+}
+
+std::string FabricHeatmap::to_json() const { return obs::to_json(snapshot()); }
+std::string FabricHeatmap::to_csv() const { return obs::to_csv(snapshot()); }
+
+}  // namespace brsmn::obs

@@ -136,8 +136,13 @@ void Histogram::reset() {
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
   HistogramSnapshot s;
+  snapshot_into(s);
+  return s;
+}
+
+void Histogram::snapshot_into(HistogramSnapshot& s) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   s.count = count_;
   s.sum = sum_;
   s.min = min_;
@@ -148,9 +153,9 @@ HistogramSnapshot Histogram::snapshot() const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     if (buckets_[i] != 0) last = i + 1;
   }
-  s.buckets.assign(buckets_.begin(),
-                   buckets_.begin() + static_cast<std::ptrdiff_t>(last));
-  return s;
+  s.buckets.resize(last);  // reuses capacity once the extent has been seen
+  std::copy(buckets_.begin(), buckets_.begin() + static_cast<std::ptrdiff_t>(last),
+            s.buckets.begin());
 }
 
 double HistogramSnapshot::bucket_quantile(double q) const {
@@ -240,17 +245,38 @@ void MetricRegistry::reset(std::string_view prefix) {
 }
 
 RegistrySnapshot MetricRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot s;
-  s.counters.reserve(counters_.size());
-  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
-  s.gauges.reserve(gauges_.size());
-  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
-  s.histograms.reserve(histograms_.size());
-  for (const auto& [name, h] : histograms_) {
-    s.histograms.emplace_back(name, h->snapshot());
-  }
+  snapshot_into(s);
   return s;
+}
+
+void MetricRegistry::snapshot_into(RegistrySnapshot& s) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Assign names and values in place: string assignment reuses the
+  // destination's buffer and resize within capacity moves nothing, so a
+  // stable instrument set makes this allocation-free (the sampler ring
+  // reuses its slots every tick).
+  s.counters.resize(counters_.size());
+  std::size_t i = 0;
+  for (const auto& [name, c] : counters_) {
+    s.counters[i].first = name;
+    s.counters[i].second = c->value();
+    ++i;
+  }
+  s.gauges.resize(gauges_.size());
+  i = 0;
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[i].first = name;
+    s.gauges[i].second = g->value();
+    ++i;
+  }
+  s.histograms.resize(histograms_.size());
+  i = 0;
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[i].first = name;
+    h->snapshot_into(s.histograms[i].second);
+    ++i;
+  }
 }
 
 }  // namespace brsmn::obs

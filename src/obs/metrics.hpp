@@ -120,6 +120,11 @@ class Histogram {
   std::uint64_t count() const;
   HistogramSnapshot snapshot() const;
 
+  /// snapshot() into caller-owned storage: `out.buckets` is resized in
+  /// place, so once it has seen the histogram's widest extent the call
+  /// allocates nothing (the telemetry sampler's per-tick path).
+  void snapshot_into(HistogramSnapshot& out) const;
+
   /// Forget every recorded sample (count, extremes, buckets, quantile
   /// state); the histogram is as freshly constructed.
   void reset();
@@ -154,6 +159,14 @@ class MetricRegistry {
 
   /// Copies of every instrument, each name list sorted.
   RegistrySnapshot snapshot() const;
+
+  /// snapshot() into caller-owned storage, reusing its capacity: the name
+  /// strings, instrument vectors and histogram buckets of `out` are
+  /// assigned in place, so a snapshot taken repeatedly into the same
+  /// object (the telemetry sampler's ring slots) performs zero heap
+  /// allocations once the instrument set has stabilized — asserted by the
+  /// sampler soak test.
+  void snapshot_into(RegistrySnapshot& out) const;
 
   /// Zero every counter and gauge and clear every histogram while keeping
   /// all registrations: references handed out earlier stay valid, so a

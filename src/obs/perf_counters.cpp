@@ -1,0 +1,171 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace brsmn::obs {
+
+bool PerfCounterGroup::force_disabled() {
+  const char* env = std::getenv("BRSMN_PERF_DISABLE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // usable under perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1, group_fd,
+                                  0UL));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  if (force_disabled()) return;
+  leader_fd_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader_fd_ < 0) return;  // denied / unsupported: stay unavailable
+  fds_[0] = leader_fd_;
+  slots_[0] = 0;
+  int next_slot = 1;
+  const std::uint64_t members[3] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                    PERF_COUNT_HW_CACHE_MISSES,
+                                    PERF_COUNT_HW_BRANCH_MISSES};
+  for (int i = 0; i < 3; ++i) {
+    const int fd = open_event(PERF_TYPE_HARDWARE, members[i], leader_fd_);
+    if (fd >= 0) {
+      fds_[i + 1] = fd;
+      slots_[i + 1] = next_slot++;  // group values arrive in open order
+    }
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int i = 3; i >= 0; --i) {
+    if (fds_[i] >= 0 && fds_[i] != leader_fd_) close(fds_[i]);
+  }
+  if (leader_fd_ >= 0) close(leader_fd_);
+}
+
+PerfCounterGroup::Reading PerfCounterGroup::read() const {
+  Reading r;
+  if (leader_fd_ < 0) return r;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + 4] = {};
+  const ssize_t got = ::read(leader_fd_, buf, sizeof buf);
+  if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return r;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  // Scale for multiplexing: counts extrapolate by enabled/running time.
+  const double scale =
+      running != 0 && running < enabled
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  const auto value = [&](int event) -> std::uint64_t {
+    const int slot = slots_[event];
+    if (slot < 0 || static_cast<std::uint64_t>(slot) >= nr) return 0;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(buf[3 + slot]) * scale);
+  };
+  r.cycles = value(0);
+  r.instructions = value(1);
+  r.cache_misses = value(2);
+  r.branch_misses = value(3);
+  r.valid = true;
+  return r;
+}
+
+#else  // !__linux__: permanent graceful fallback
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+PerfCounterGroup::Reading PerfCounterGroup::read() const { return {}; }
+
+#endif
+
+PhaseProfiler::PhaseProfiler() = default;
+
+std::size_t PhaseProfiler::phase_id(std::string_view phase) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].phase == phase) return i;
+  }
+  PerfPhaseStats stats;
+  stats.phase = std::string(phase);
+  phases_.push_back(std::move(stats));
+  return phases_.size() - 1;
+}
+
+void PhaseProfiler::accumulate(std::size_t id,
+                               const PerfCounterGroup::Reading& start,
+                               const PerfCounterGroup::Reading& end) {
+  if (!start.valid || !end.valid || id >= phases_.size()) return;
+  PerfPhaseStats& p = phases_[id];
+  ++p.calls;
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return b > a ? b - a : 0;
+  };
+  p.cycles += delta(start.cycles, end.cycles);
+  p.instructions += delta(start.instructions, end.instructions);
+  p.cache_misses += delta(start.cache_misses, end.cache_misses);
+  p.branch_misses += delta(start.branch_misses, end.branch_misses);
+}
+
+std::string PhaseProfiler::to_table() const {
+  if (!available()) {
+    return "perf counters unavailable (perf_event_open denied or "
+           "unsupported); phase profiling disabled\n";
+  }
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line, "%-12s %10s %16s %8s %12s %12s\n", "phase",
+                "calls", "cycles/call", "ipc", "cache_mpki", "branch_mpki");
+  out += line;
+  for (const PerfPhaseStats& p : phases_) {
+    if (p.calls == 0) continue;
+    std::snprintf(line, sizeof line, "%-12s %10llu %16.0f %8.2f %12.3f %12.3f\n",
+                  p.phase.c_str(), static_cast<unsigned long long>(p.calls),
+                  static_cast<double>(p.cycles) / static_cast<double>(p.calls),
+                  p.ipc(), p.cache_mpki(), p.branch_mpki());
+    out += line;
+  }
+  return out;
+}
+
+void PhaseProfiler::export_gauges(MetricRegistry& registry,
+                                  std::string_view prefix) const {
+  if (!available()) return;
+  for (const PerfPhaseStats& p : phases_) {
+    if (p.calls == 0) continue;
+    const std::string base = std::string(prefix) + '.' + p.phase + '.';
+    registry.gauge(base + "cycles_per_call")
+        .set(static_cast<double>(p.cycles) / static_cast<double>(p.calls));
+    registry.gauge(base + "ipc").set(p.ipc());
+    registry.gauge(base + "cache_mpki").set(p.cache_mpki());
+    registry.gauge(base + "branch_mpki").set(p.branch_mpki());
+  }
+}
+
+}  // namespace brsmn::obs

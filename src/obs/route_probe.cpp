@@ -1,5 +1,7 @@
 #include "obs/route_probe.hpp"
 
+#include "obs/perf_counters.hpp"
+
 namespace brsmn::obs {
 
 RouteProbe RouteProbe::attach(MetricRegistry& registry,
@@ -14,6 +16,17 @@ RouteProbe RouteProbe::attach(MetricRegistry& registry,
   probe.datapath = &registry.histogram(probe.prefix + ".phase.datapath_ns");
   probe.total = &registry.histogram(probe.prefix + ".phase.total_ns");
   return probe;
+}
+
+void RouteProbe::attach_profiler(PhaseProfiler* p) {
+  if (p == nullptr || !p->available()) return;
+  profiler = p;
+  perf_scatter = p->phase_id("scatter");
+  perf_eps_divide = p->phase_id("eps_divide");
+  perf_quasisort = p->phase_id("quasisort");
+  perf_datapath = p->phase_id("datapath");
+  perf_total = p->phase_id("total");
+  perf_replay = p->phase_id("replay");
 }
 
 void RouteProbe::record_stats(const RoutingStats& stats) const {

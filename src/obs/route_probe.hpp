@@ -24,6 +24,7 @@
 namespace brsmn::obs {
 
 class Tracer;
+class PhaseProfiler;
 
 struct RouteProbe {
   MetricRegistry* registry = nullptr;
@@ -37,6 +38,17 @@ struct RouteProbe {
   /// RouteOptions::tracer, independent of the registry (either may be
   /// attached without the other).
   Tracer* tracer = nullptr;
+  /// Hardware perf-counter profiler (obs/perf_counters.hpp); set via
+  /// attach_profiler from RouteOptions::profiler, independent of the
+  /// registry and tracer. The perf_* ids below index its phases — the
+  /// same names the phase histograms use, resolved once per route.
+  PhaseProfiler* profiler = nullptr;
+  std::size_t perf_scatter = 0;
+  std::size_t perf_eps_divide = 0;
+  std::size_t perf_quasisort = 0;
+  std::size_t perf_datapath = 0;
+  std::size_t perf_total = 0;
+  std::size_t perf_replay = 0;
 
   bool enabled() const noexcept { return registry != nullptr; }
   bool tracing() const noexcept { return tracer != nullptr; }
@@ -44,6 +56,9 @@ struct RouteProbe {
   /// Resolve the phase histograms of `prefix` in `registry`.
   static RouteProbe attach(MetricRegistry& registry,
                            std::string_view prefix = "route");
+
+  /// Resolve the phase ids of `p` (no-op on null / unavailable).
+  void attach_profiler(PhaseProfiler* p);
 
   /// Mirror one route's RoutingStats into <prefix>.* counters and bump
   /// <prefix>.routes.

@@ -1,0 +1,308 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "common/contracts.hpp"
+#include "obs/export.hpp"
+#include "obs/fabric_heatmap.hpp"
+
+namespace brsmn::obs {
+
+namespace {
+
+std::string number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+/// Value of `name` in a name-sorted (name, value) vector; fallback when
+/// absent. The registry snapshot is map-ordered, so binary search works.
+template <typename V>
+std::optional<V> lookup(const std::vector<std::pair<std::string, V>>& items,
+                        const std::string& name) {
+  if (name.empty()) return std::nullopt;
+  const auto it = std::lower_bound(
+      items.begin(), items.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it == items.end() || it->first != name) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t counter_delta(const RegistrySnapshot& prev,
+                            const RegistrySnapshot& cur,
+                            const std::string& name) {
+  const auto now = lookup(cur.counters, name);
+  if (!now) return 0;
+  const auto before = lookup(prev.counters, name).value_or(0);
+  return *now >= before ? *now - before : 0;
+}
+
+/// Single-line rendering of the obs/export.hpp JSON shape, embeddable as
+/// the rollup line's "metrics" value (the pretty exporter is multi-line,
+/// which JSONL cannot carry).
+std::string compact_metrics_json(const RegistrySnapshot& s) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    append_quoted(out, s.counters[i].first);
+    out += ':';
+    out += std::to_string(s.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    append_quoted(out, s.gauges[i].first);
+    out += ':';
+    out += number(s.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i].second;
+    if (i != 0) out += ',';
+    append_quoted(out, s.histograms[i].first);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + number(h.sum);
+    out += ",\"min\":" + number(h.min);
+    out += ",\"max\":" + number(h.max);
+    out += ",\"mean\":" + number(h.mean());
+    out += ",\"p50\":" + number(h.p50);
+    out += ",\"p99\":" + number(h.p99);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out += ',';
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(MetricRegistry& registry,
+                                   TelemetryConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()) {
+  BRSMN_EXPECTS(config_.capacity >= 1);
+  slots_.resize(config_.capacity);
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::sample_locked() {
+  TelemetrySample& slot = slots_[taken_ % slots_.size()];
+  const double t_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+          .count();
+  slot.seq = taken_;
+  slot.t_s = t_s;
+  slot.dt_s = taken_ == 0 ? t_s : t_s - last_t_s_;
+  last_t_s_ = t_s;
+  registry_.snapshot_into(slot.cum);
+  ++taken_;
+}
+
+void TelemetrySampler::sample_now() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sample_locked();
+}
+
+void TelemetrySampler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, config_.interval, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    sample_locked();
+  }
+}
+
+void TelemetrySampler::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    sample_locked();  // closing data point, even for very short runs
+  }
+  cv_.notify_all();
+  worker_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+std::uint64_t TelemetrySampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return taken_;
+}
+
+std::uint64_t TelemetrySampler::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return taken_ > slots_.size() ? taken_ - slots_.size() : 0;
+}
+
+void TelemetrySampler::set_heatmap(const FabricHeatmap* map) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  heatmap_ = map;
+}
+
+std::vector<TelemetrySample> TelemetrySampler::series() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TelemetrySample> out;
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(taken_, slots_.size());
+  out.reserve(retained);
+  for (std::uint64_t seq = taken_ - retained; seq < taken_; ++seq) {
+    out.push_back(slots_[seq % slots_.size()]);
+  }
+  return out;
+}
+
+std::string TelemetrySampler::to_jsonl() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  {
+    out += "{\"type\":\"telemetry_header\",\"version\":1,\"source\":";
+    append_quoted(out, config_.source);
+    out += ",\"interval_ms\":" + std::to_string(config_.interval.count());
+    out += ",\"capacity\":" + std::to_string(slots_.size());
+    out += "}\n";
+  }
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(taken_, slots_.size());
+  const RegistrySnapshot* prev = nullptr;
+  static const RegistrySnapshot kEmpty;
+  double duration_s = 0.0;
+  for (std::uint64_t seq = taken_ - retained; seq < taken_; ++seq) {
+    const TelemetrySample& s = slots_[seq % slots_.size()];
+    const RegistrySnapshot& before = prev != nullptr ? *prev : kEmpty;
+    duration_s = s.t_s;
+    out += "{\"type\":\"sample\",\"seq\":" + std::to_string(s.seq);
+    out += ",\"t_s\":" + number(s.t_s);
+    out += ",\"dt_s\":" + number(s.dt_s);
+    out += ",\"counters\":{";
+    // Merge-join the two name-sorted counter lists for the deltas; only
+    // counters that moved this interval are emitted.
+    bool first = true;
+    std::size_t bi = 0;
+    for (const auto& [name, value] : s.cum.counters) {
+      while (bi < before.counters.size() && before.counters[bi].first < name) {
+        ++bi;
+      }
+      std::uint64_t base = 0;
+      if (bi < before.counters.size() && before.counters[bi].first == name) {
+        base = before.counters[bi].second;
+      }
+      if (value <= base) continue;
+      if (!first) out += ',';
+      first = false;
+      append_quoted(out, name);
+      out += ':' + std::to_string(value - base);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < s.cum.gauges.size(); ++i) {
+      if (i != 0) out += ',';
+      append_quoted(out, s.cum.gauges[i].first);
+      out += ':';
+      out += number(s.cum.gauges[i].second);
+    }
+    out += "},\"derived\":{";
+    first = true;
+    const auto emit = [&](std::string_view key, double v) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += key;
+      out += "\":";
+      out += number(v);
+    };
+    const double dt = s.dt_s > 0.0 ? s.dt_s : 1.0;
+    if (!config_.routes_counter.empty()) {
+      emit("routes_per_sec",
+           static_cast<double>(
+               counter_delta(before, s.cum, config_.routes_counter)) /
+               dt);
+    }
+    if (!config_.hits_counter.empty() || !config_.misses_counter.empty()) {
+      const auto hits = static_cast<double>(
+          counter_delta(before, s.cum, config_.hits_counter));
+      const auto misses = static_cast<double>(
+          counter_delta(before, s.cum, config_.misses_counter));
+      emit("plan_cache_hit_rate",
+           hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+    }
+    if (!config_.patched_counter.empty()) {
+      const auto patched = static_cast<double>(
+          counter_delta(before, s.cum, config_.patched_counter));
+      const auto base = static_cast<double>(
+          counter_delta(before, s.cum, config_.patch_base_counter));
+      emit("patch_ratio", base > 0.0 ? patched / base : 0.0);
+    }
+    if (!config_.backlog_gauge.empty()) {
+      emit("backlog_depth",
+           lookup(s.cum.gauges, config_.backlog_gauge).value_or(0.0));
+    }
+    out += "}}\n";
+    prev = &s.cum;
+  }
+  if (heatmap_ != nullptr) {
+    out += obs::to_json(heatmap_->snapshot());
+    out += '\n';
+  }
+  out += "{\"type\":\"rollup\",\"samples\":" + std::to_string(taken_);
+  out += ",\"dropped\":" +
+         std::to_string(taken_ > slots_.size() ? taken_ - slots_.size() : 0);
+  out += ",\"duration_s\":" + number(duration_s);
+  out += ",\"metrics\":";
+  out += compact_metrics_json(prev != nullptr ? *prev : kEmpty);
+  out += "}\n";
+  return out;
+}
+
+bool TelemetrySampler::write(const std::string& path) const {
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --telemetry-out requires a non-empty path\n");
+    return false;
+  }
+  const std::string content = to_jsonl();
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return std::fflush(stdout) == 0;
+  }
+  try {
+    write_file(path, content);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot write telemetry: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> consume_telemetry_out_flag(int& argc, char** argv) {
+  return consume_value_flag(argc, argv, "--telemetry-out=");
+}
+
+}  // namespace brsmn::obs

@@ -1,0 +1,140 @@
+// Live telemetry: a background sampler turning the cumulative
+// MetricRegistry into a time series.
+//
+// The exporters in obs/export.hpp report end-of-run aggregates; a
+// long-lived service (group-churn streams, queued-switch epochs) needs
+// *rates over time* — offered load vs. time is how the MIN literature
+// (PAPERS.md) evaluates these fabrics. TelemetrySampler snapshots a
+// registry on a fixed interval into a fixed-capacity ring of timestamped
+// slots and derives per-interval rates (routes/sec, plan-cache hit rate,
+// patch ratio, backlog depth) at export.
+//
+// Allocation discipline: the ring slots are preallocated and reused in
+// place via MetricRegistry::snapshot_into, so once the instrument set has
+// stabilized a sample performs zero heap allocations — the sampler can
+// run during the replay hot path without perturbing it (asserted by the
+// soak test in tests/test_telemetry.cpp). When the ring wraps, the oldest
+// samples are overwritten and counted in dropped(); the JSONL export
+// carries whatever the ring still holds plus a final rollup, so a slow
+// consumer loses history, never recent data.
+//
+// Export format (JSON Lines, one object per line):
+//   {"type":"telemetry_header","version":1,"source":...,"interval_ms":...,
+//    "capacity":...}
+//   {"type":"sample","seq":...,"t_s":...,"dt_s":...,
+//    "counters":{<non-zero deltas since the previous retained sample>},
+//    "gauges":{...}, "derived":{"routes_per_sec":...,
+//    "plan_cache_hit_rate":...,"patch_ratio":...,"backlog_depth":...}}
+//   {"type":"fabric_heatmap", ...}            (when a heatmap is attached)
+//   {"type":"rollup","samples":...,"dropped":...,"duration_s":...,
+//    "metrics":{<obs/export.hpp JSON shape>}}
+// The rollup's "metrics" object is exactly what try_write_metrics writes,
+// so tools/bench_diff can gate two telemetry files like two metric dumps,
+// and tools/telemetry_report renders the series and the heatmap grid.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace brsmn::obs {
+
+class FabricHeatmap;
+
+struct TelemetryConfig {
+  /// Sampling period of the background thread (sample_now() is manual).
+  std::chrono::milliseconds interval{100};
+  /// Ring capacity in samples; the oldest are dropped on wrap.
+  std::size_t capacity = 4096;
+  /// Free-form label echoed in the header line (binary / workload name).
+  std::string source;
+  /// Registry names feeding the derived series; empty names (or names
+  /// absent from the registry) simply omit that series.
+  std::string routes_counter;      ///< routes/sec numerator
+  std::string hits_counter;        ///< plan-cache hit-rate numerator
+  std::string misses_counter;      ///< hit-rate denominator is hits+misses
+  std::string patched_counter;     ///< patch-ratio numerator
+  std::string patch_base_counter;  ///< patch-ratio denominator
+  std::string backlog_gauge;       ///< backlog-depth series
+};
+
+/// One retained sample: the registry's cumulative state at a timestamp.
+/// Deltas and rates are derived between consecutive samples at export.
+struct TelemetrySample {
+  std::uint64_t seq = 0;  ///< 0-based take order (survives ring wrap)
+  double t_s = 0.0;       ///< seconds since the sampler was constructed
+  double dt_s = 0.0;      ///< seconds since the previous take
+  RegistrySnapshot cum;
+};
+
+class TelemetrySampler {
+ public:
+  TelemetrySampler(MetricRegistry& registry, TelemetryConfig config);
+  ~TelemetrySampler();  ///< stops the thread if still running
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launch the background thread (idempotent while running).
+  void start();
+  /// Stop and join the background thread (idempotent; also takes one
+  /// final sample so short runs always export a closing data point).
+  void stop();
+
+  /// Take one sample synchronously — deterministic driving for tests and
+  /// for callers that sample at workload boundaries instead of on time.
+  void sample_now();
+
+  /// Samples taken so far (including ones the ring has since dropped).
+  std::uint64_t samples() const;
+  /// Samples overwritten by ring wrap.
+  std::uint64_t dropped() const;
+
+  /// Attach a heatmap whose snapshot is embedded in the JSONL export
+  /// (not sampled over time — fabric heatmaps are cumulative planes).
+  /// The map must outlive the sampler's exports and be quiescent then.
+  void set_heatmap(const FabricHeatmap* map);
+
+  /// Copies of the retained samples, oldest first.
+  std::vector<TelemetrySample> series() const;
+
+  /// The full JSONL document described above.
+  std::string to_jsonl() const;
+
+  /// Write to_jsonl() to `path` (`-` = stdout). Prints the failure reason
+  /// to stderr and returns false instead of throwing, like
+  /// try_write_metrics.
+  bool write(const std::string& path) const;
+
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+ private:
+  void sample_locked();
+  void run();
+
+  MetricRegistry& registry_;
+  TelemetryConfig config_;
+  const FabricHeatmap* heatmap_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::vector<TelemetrySample> slots_;  ///< ring, preallocated
+  std::uint64_t taken_ = 0;
+  double last_t_s_ = 0.0;
+};
+
+/// consume_value_flag (obs/export.hpp) for `--telemetry-out=<path|->`.
+std::optional<std::string> consume_telemetry_out_flag(int& argc, char** argv);
+
+}  // namespace brsmn::obs

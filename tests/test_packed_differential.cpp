@@ -17,6 +17,8 @@
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
 #include "core/multicast_assignment.hpp"
+#include "core/route_plan.hpp"
+#include "obs/fabric_heatmap.hpp"
 
 namespace brsmn {
 namespace {
@@ -184,6 +186,67 @@ TEST(PackedDifferentialEdge, SmallestNetwork) {
 
 TEST(PackedDifferentialEdge, PaperExample) {
   check_assignment(8, paper_example_assignment());
+}
+
+// --- fabric heatmap bit-identity ------------------------------------------
+//
+// Heatmaps sample line occupancy at stage entry, where all four drivers
+// see the same state — so the accumulated planes must be bit-identical
+// across scalar/packed x unrolled/feedback, and a replayed plan must
+// leave the same planes as the cold route that compiled it.
+
+std::string heatmap_csv(RouteEngine engine, bool feedback_fabric,
+                        std::size_t n,
+                        const std::vector<MulticastAssignment>& batch) {
+  obs::FabricHeatmap map(n);
+  RouteOptions options;
+  options.engine = engine;
+  options.heatmap = &map;
+  if (feedback_fabric) {
+    FeedbackBrsmn net(n);
+    for (const MulticastAssignment& a : batch) net.route(a, options);
+  } else {
+    Brsmn net(n);
+    for (const MulticastAssignment& a : batch) net.route(a, options);
+  }
+  return map.to_csv();
+}
+
+TEST(PackedDifferential, HeatmapsBitIdenticalAcrossAllFourDrivers) {
+  for (const std::size_t n : {8u, 16u, 64u}) {
+    Rng rng(test_seed(7600 + n));
+    std::vector<MulticastAssignment> batch;
+    batch.push_back(random_multicast(n, 0.9, rng));
+    batch.push_back(random_permutation(n, 1.0, rng));
+    batch.push_back(full_broadcast(n));
+    const std::string reference =
+        heatmap_csv(RouteEngine::Scalar, false, n, batch);
+    EXPECT_EQ(reference, heatmap_csv(RouteEngine::Packed, false, n, batch))
+        << "packed unrolled diverged at n=" << n;
+    EXPECT_EQ(reference, heatmap_csv(RouteEngine::Scalar, true, n, batch))
+        << "scalar feedback diverged at n=" << n;
+    EXPECT_EQ(reference, heatmap_csv(RouteEngine::Packed, true, n, batch))
+        << "packed feedback diverged at n=" << n;
+  }
+}
+
+TEST(PackedDifferential, ReplayHeatmapMatchesColdRoute) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(7700));
+  const MulticastAssignment a = random_multicast(n, 0.7, rng);
+
+  obs::FabricHeatmap cold(n);
+  Brsmn net(n);
+  RoutePlan plan;
+  RouteOptions copts;
+  copts.heatmap = &cold;
+  planner::compile_route(net, a, copts, plan);
+
+  obs::FabricHeatmap replayed(n);
+  RouteOptions ropts;
+  ropts.heatmap = &replayed;
+  net.route_replay(plan, ropts);
+  EXPECT_EQ(cold.to_csv(), replayed.to_csv());
 }
 
 TEST(PackedDifferential, ParallelRouterComposesWorkerAndWordParallelism) {

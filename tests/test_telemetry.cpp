@@ -1,0 +1,498 @@
+// Live telemetry (obs/telemetry.hpp) and fabric heatmaps
+// (obs/fabric_heatmap.hpp): ring semantics under a slow consumer, the
+// JSONL export shape and its derived rates, the zero-allocation
+// steady-state sampling contract (global operator new counted by this
+// binary), heatmap plane accounting (partial-block sums, bit-sliced
+// counter overflow, merge/reset), and the stdout-exclusivity helper the
+// --telemetry-out binaries share.
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/brsmn.hpp"
+#include "core/multicast_assignment.hpp"
+#include "core/route_plan.hpp"
+#include "core/tag.hpp"
+#include "obs/export.hpp"
+#include "obs/fabric_heatmap.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+// --- allocation counter ---------------------------------------------------
+//
+// Global operator new/delete overrides counting every heap allocation
+// made by this binary (same idiom as tests/test_route_plan.cpp); the
+// sampler soak test asserts a steady-state sample_now() performs none.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace brsmn::obs {
+namespace {
+
+// --- sampler ring semantics -----------------------------------------------
+
+TEST(TelemetrySampler, ManualSamplesFormSeries) {
+  MetricRegistry registry;
+  Counter& routes = registry.counter("r.routes");
+  TelemetryConfig config;
+  config.capacity = 16;
+  config.routes_counter = "r.routes";
+  TelemetrySampler sampler(registry, config);
+
+  sampler.sample_now();
+  routes.add(3);
+  sampler.sample_now();
+  routes.add(5);
+  sampler.sample_now();
+
+  EXPECT_EQ(sampler.samples(), 3u);
+  EXPECT_EQ(sampler.dropped(), 0u);
+  const std::vector<TelemetrySample> series = sampler.series();
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(series[i].t_s, series[i - 1].t_s);
+      EXPECT_GE(series[i].dt_s, 0.0);
+    }
+  }
+  // The cumulative counter value rides along in each retained snapshot.
+  bool found = false;
+  for (const auto& [name, value] : series.back().cum.counters) {
+    if (name == "r.routes") {
+      EXPECT_EQ(value, 8u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TelemetrySampler, RingWrapDropsOldestKeepsRecent) {
+  MetricRegistry registry;
+  TelemetryConfig config;
+  config.capacity = 4;
+  TelemetrySampler sampler(registry, config);
+
+  for (int i = 0; i < 10; ++i) sampler.sample_now();
+
+  // A slow consumer loses history, never recent data.
+  EXPECT_EQ(sampler.samples(), 10u);
+  EXPECT_EQ(sampler.dropped(), 6u);
+  const std::vector<TelemetrySample> series = sampler.series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.front().seq, 6u);
+  EXPECT_EQ(series.back().seq, 9u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].seq, series[i - 1].seq + 1);
+  }
+}
+
+TEST(TelemetrySampler, BackgroundThreadTakesSamples) {
+  MetricRegistry registry;
+  Counter& routes = registry.counter("r.routes");
+  TelemetryConfig config;
+  config.interval = std::chrono::milliseconds(1);
+  config.routes_counter = "r.routes";
+  TelemetrySampler sampler(registry, config);
+
+  sampler.start();
+  sampler.start();  // idempotent while running
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  while (std::chrono::steady_clock::now() < deadline) routes.add(1);
+  sampler.stop();
+  sampler.stop();  // idempotent once stopped
+
+  // At least the final stop() sample plus a few periodic ones.
+  EXPECT_GE(sampler.samples(), 2u);
+  EXPECT_FALSE(sampler.series().empty());
+}
+
+TEST(TelemetrySampler, StopAlwaysExportsAClosingSample) {
+  MetricRegistry registry;
+  TelemetryConfig config;
+  config.interval = std::chrono::hours(1);  // never fires on its own
+  TelemetrySampler sampler(registry, config);
+  sampler.start();
+  sampler.stop();
+  EXPECT_GE(sampler.samples(), 1u);
+}
+
+// --- zero-allocation steady state -----------------------------------------
+
+TEST(TelemetrySampler, SteadyStateSampleAllocatesNothing) {
+  MetricRegistry registry;
+  Counter& routes = registry.counter("r.routes");
+  Gauge& depth = registry.gauge("q.depth");
+  Histogram& lat = registry.histogram("r.lat_ns");
+  // Establish the histogram's widest bucket extent before the soak so
+  // snapshot_into never needs to grow its bucket vector.
+  lat.record(1.0);
+  lat.record(1.0e9);
+
+  TelemetryConfig config;
+  config.capacity = 4;
+  config.routes_counter = "r.routes";
+  config.backlog_gauge = "q.depth";
+  TelemetrySampler sampler(registry, config);
+
+  // Warm past a full ring wrap: every slot has held a snapshot of the
+  // stabilized instrument set, so reuse needs no fresh capacity.
+  for (int i = 0; i < 8; ++i) {
+    routes.add(7);
+    depth.set(static_cast<double>(i));
+    sampler.sample_now();
+  }
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) {
+    routes.add(3);
+    depth.set(static_cast<double>(i));
+    lat.record(512.0);
+    sampler.sample_now();
+  }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state sampling must not perturb the routing hot path";
+}
+
+// --- JSONL export ---------------------------------------------------------
+
+std::vector<JsonValue> parse_jsonl(const std::string& text) {
+  std::vector<JsonValue> docs;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    docs.push_back(parse_json(line));
+  }
+  return docs;
+}
+
+TEST(TelemetrySampler, JsonlShapeAndDerivedRates) {
+  MetricRegistry registry;
+  Counter& routes = registry.counter("svc.routes");
+  Counter& hits = registry.counter("cache.hits");
+  Counter& misses = registry.counter("cache.misses");
+  Counter& patched = registry.counter("patch.patched");
+  Gauge& depth = registry.gauge("q.depth");
+
+  TelemetryConfig config;
+  config.capacity = 8;
+  config.source = "test";
+  config.routes_counter = "svc.routes";
+  config.hits_counter = "cache.hits";
+  config.misses_counter = "cache.misses";
+  config.patched_counter = "patch.patched";
+  config.patch_base_counter = "svc.routes";
+  config.backlog_gauge = "q.depth";
+  TelemetrySampler sampler(registry, config);
+
+  sampler.sample_now();
+  routes.add(40);
+  hits.add(3);
+  misses.add(1);
+  patched.add(10);
+  depth.set(7.0);
+  // Real elapsed time so the second sample's dt is non-degenerate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.sample_now();
+
+  const std::vector<JsonValue> docs = parse_jsonl(sampler.to_jsonl());
+  ASSERT_GE(docs.size(), 4u);  // header, 2 samples, rollup
+
+  const JsonValue& header = docs.front();
+  EXPECT_EQ(header.at("type").as_string(), "telemetry_header");
+  EXPECT_EQ(header.at("source").as_string(), "test");
+  EXPECT_EQ(static_cast<std::size_t>(header.at("capacity").as_number()), 8u);
+
+  const JsonValue& second = docs[2];
+  ASSERT_EQ(second.at("type").as_string(), "sample");
+  const double dt = second.at("dt_s").as_number();
+  ASSERT_GT(dt, 0.0);
+  const JsonValue& counters = second.at("counters");
+  EXPECT_EQ(counters.at("svc.routes").as_number(), 40.0);
+  const JsonValue& derived = second.at("derived");
+  // routes_per_sec * dt recovers the interval's counter delta.
+  EXPECT_NEAR(derived.at("routes_per_sec").as_number() * dt, 40.0, 1e-6);
+  EXPECT_NEAR(derived.at("plan_cache_hit_rate").as_number(), 0.75, 1e-12);
+  EXPECT_NEAR(derived.at("patch_ratio").as_number(), 0.25, 1e-12);
+  EXPECT_NEAR(derived.at("backlog_depth").as_number(), 7.0, 1e-12);
+
+  const JsonValue& rollup = docs.back();
+  EXPECT_EQ(rollup.at("type").as_string(), "rollup");
+  EXPECT_EQ(rollup.at("samples").as_number(), 2.0);
+  EXPECT_EQ(rollup.at("dropped").as_number(), 0.0);
+  // The embedded metrics object is the obs/export.hpp shape, so
+  // tools/bench_diff can gate telemetry files like metric dumps.
+  EXPECT_TRUE(rollup.at("metrics").is_object());
+}
+
+TEST(TelemetrySampler, HeatmapLineEmbeddedWhenAttached) {
+  MetricRegistry registry;
+  TelemetrySampler sampler(registry, {});
+  FabricHeatmap map(8);
+  const std::vector<LineValue> lines(8, LineValue{Tag::Zero, {}});
+  map.record_lines(1, PassKind::Scatter, 1, lines);
+  sampler.set_heatmap(&map);
+  sampler.sample_now();
+
+  bool found = false;
+  for (const JsonValue& doc : parse_jsonl(sampler.to_jsonl())) {
+    if (doc.at("type").as_string() == "fabric_heatmap") {
+      EXPECT_EQ(static_cast<std::size_t>(doc.at("n").as_number()), 8u);
+      EXPECT_FALSE(doc.at("cells").as_array().empty());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TelemetrySampler, WriteReportsFailure) {
+  MetricRegistry registry;
+  TelemetrySampler sampler(registry, {});
+  sampler.sample_now();
+  EXPECT_FALSE(sampler.write("/nonexistent-dir/telemetry.jsonl"));
+  const std::string path =
+      ::testing::TempDir() + "/test_telemetry_write.jsonl";
+  EXPECT_TRUE(sampler.write(path));
+  std::remove(path.c_str());
+}
+
+// --- stdout exclusivity ---------------------------------------------------
+
+TEST(StdoutClaimsExclusive, AtMostOneStreamMayClaimStdout) {
+  const std::optional<std::string> dash = "-";
+  const std::optional<std::string> file = "out.json";
+  const std::optional<std::string> unset;
+  EXPECT_TRUE(stdout_claims_exclusive({{"--a", &unset}, {"--b", &unset}}));
+  EXPECT_TRUE(stdout_claims_exclusive({{"--a", &file}, {"--b", &file}}));
+  EXPECT_TRUE(stdout_claims_exclusive({{"--a", &dash}, {"--b", &file}}));
+  EXPECT_FALSE(stdout_claims_exclusive({{"--a", &dash}, {"--b", &dash}}));
+  EXPECT_FALSE(stdout_claims_exclusive(
+      {{"--a", &dash}, {"--b", &file}, {"--c", &dash}}));
+}
+
+// --- fabric heatmap -------------------------------------------------------
+
+TEST(FabricHeatmap, RowLayoutMatchesTopology) {
+  const std::size_t n = 16;  // m = 4
+  FabricHeatmap map(n);
+  EXPECT_EQ(map.size(), n);
+  EXPECT_EQ(map.levels(), 4);
+  const HeatmapSnapshot snap = map.snapshot();
+  // m(m+1) - 1 rows of n/2 switch slots: levels 1..m-1 contribute
+  // 2 x (m-k+1) stages each, the final 2x2 level one more.
+  const std::size_t rows = 4 * 5 - 1;
+  EXPECT_EQ(snap.cells.size(), rows * n / 2);
+  // The CSV grid is rectangular: header plus every slot, zeros included.
+  std::size_t csv_lines = 0;
+  std::istringstream csv(map.to_csv());
+  for (std::string line; std::getline(csv, line);) ++csv_lines;
+  EXPECT_EQ(csv_lines, 1 + rows * n / 2);
+}
+
+/// Packed tag planes (Table 1 bit-planes b0 and b1) for a tag vector.
+void pack_tags(const std::vector<Tag>& tags, std::vector<std::uint64_t>& t0,
+               std::vector<std::uint64_t>& t1) {
+  t0.assign((tags.size() + 63) / 64, 0);
+  t1.assign(t0.size(), 0);
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const std::uint8_t bits = encode(tags[i]);
+    if (bits & 0b100) t0[i / 64] |= std::uint64_t{1} << (i % 64);
+    if (bits & 0b010) t1[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+}
+
+std::vector<Tag> mixed_tags(std::size_t n, Rng& rng) {
+  const Tag palette[] = {Tag::Zero, Tag::One,  Tag::Alpha,
+                         Tag::Eps,  Tag::Eps0, Tag::Eps1};
+  std::vector<Tag> tags(n);
+  for (Tag& t : tags) t = palette[rng.uniform(0, 5)];
+  return tags;
+}
+
+TEST(FabricHeatmap, TagAndLineRecordsAgree) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(9100));
+  const std::vector<Tag> tags = mixed_tags(n, rng);
+  std::vector<LineValue> lines(n);
+  for (std::size_t i = 0; i < n; ++i) lines[i].tag = tags[i];
+  std::vector<std::uint64_t> t0, t1;
+  pack_tags(tags, t0, t1);
+
+  FabricHeatmap from_lines(n), from_tags(n);
+  from_lines.record_lines(2, PassKind::Quasisort, 3, lines);
+  from_tags.record_stage_tags(2, PassKind::Quasisort, 3, t0, t1);
+  EXPECT_EQ(from_lines.to_csv(), from_tags.to_csv());
+
+  FabricHeatmap final_lines(n), final_tags(n);
+  final_lines.record_final_lines(lines);
+  final_tags.record_final_tags(t0, t1);
+  EXPECT_EQ(final_lines.to_csv(), final_tags.to_csv());
+}
+
+TEST(FabricHeatmap, PartialBlockRecordsSumToFullPlane) {
+  const std::size_t n = 16;
+  Rng rng(test_seed(9101));
+  const std::vector<Tag> tags = mixed_tags(n, rng);
+  std::vector<LineValue> lines(n);
+  for (std::size_t i = 0; i < n; ++i) lines[i].tag = tags[i];
+
+  FabricHeatmap full(n);
+  full.record_lines(1, PassKind::Scatter, 1, lines);
+
+  // The scalar unrolled driver records each BSN block separately; the
+  // block partials must sum to the full-plane record.
+  FabricHeatmap blocks(n);
+  const std::vector<LineValue> lo(lines.begin(), lines.begin() + 8);
+  const std::vector<LineValue> hi(lines.begin() + 8, lines.end());
+  blocks.record_lines(1, PassKind::Scatter, 1, hi, 8);
+  blocks.record_lines(1, PassKind::Scatter, 1, lo, 0);
+  EXPECT_EQ(full.to_csv(), blocks.to_csv());
+
+  // Only the offset-0 block of the level-1 scatter stage-1 row counts a
+  // route, so per-block recording doesn't inflate routes().
+  EXPECT_EQ(full.routes(), 1u);
+  EXPECT_EQ(blocks.routes(), 1u);
+}
+
+TEST(FabricHeatmap, MergeAddsAndResetClears) {
+  const std::size_t n = 8;
+  std::vector<LineValue> lines(n, LineValue{Tag::One, {}});
+  FabricHeatmap a(n), b(n);
+  a.record_lines(1, PassKind::Scatter, 1, lines);
+  b.record_lines(1, PassKind::Scatter, 1, lines);
+  b.record_lines(1, PassKind::Scatter, 1, lines);
+
+  a.merge(b);
+  EXPECT_EQ(a.routes(), 3u);
+  const HeatmapSnapshot snap = a.snapshot();
+  for (const HeatmapCell& cell : snap.cells) {
+    if (cell.level == 1 && cell.pass == PassKind::Scatter && cell.stage == 1) {
+      EXPECT_EQ(cell.active, 3u);
+      EXPECT_EQ(cell.occupied, 6u);
+    }
+  }
+
+  a.reset();
+  EXPECT_EQ(a.routes(), 0u);
+  for (const HeatmapCell& cell : a.snapshot().cells) {
+    EXPECT_EQ(cell.active, 0u);
+    EXPECT_EQ(cell.occupied, 0u);
+  }
+}
+
+TEST(FabricHeatmap, CountersCarryPastBitSlicedPlanes) {
+  // The vertical counters hold 8 bit-planes; past 255 each add must spill
+  // into the wide per-line accumulators without losing counts.
+  const std::size_t n = 8;
+  std::vector<LineValue> lines(n, LineValue{Tag::Alpha, {}});
+  FabricHeatmap map(n);
+  for (int i = 0; i < 1000; ++i) {
+    map.record_lines(1, PassKind::Scatter, 1, lines);
+  }
+  EXPECT_EQ(map.routes(), 1000u);
+  for (const HeatmapCell& cell : map.snapshot().cells) {
+    if (cell.level == 1 && cell.pass == PassKind::Scatter && cell.stage == 1) {
+      EXPECT_EQ(cell.active, 1000u);
+      EXPECT_EQ(cell.occupied, 2000u);
+    }
+  }
+}
+
+TEST(FabricHeatmap, JsonElidesZeroCellsAndKeepsCounts) {
+  const std::size_t n = 8;
+  std::vector<LineValue> lines(n, LineValue{Tag::Zero, {}});
+  FabricHeatmap map(n);
+  map.record_lines(2, PassKind::Quasisort, 1, lines);
+
+  const JsonValue doc = parse_json(map.to_json());
+  EXPECT_EQ(doc.at("type").as_string(), "fabric_heatmap");
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("n").as_number()), n);
+  const auto& cells = doc.at("cells").as_array();
+  ASSERT_EQ(cells.size(), n / 2);  // only the recorded row survives
+  for (const JsonValue& cell : cells) {
+    EXPECT_EQ(static_cast<int>(cell.at("level").as_number()), 2);
+    EXPECT_EQ(cell.at("pass").as_string(), "quasisort");
+    EXPECT_EQ(cell.at("active").as_number(), 1.0);
+    EXPECT_EQ(cell.at("occupied").as_number(), 2.0);
+  }
+}
+
+// --- heatmap on the replay hot path ---------------------------------------
+
+TEST(FabricHeatmap, SteadyStateReplayWithHeatmapDoesNotAllocate) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(9102));
+  const MulticastAssignment a = random_multicast(n, 0.6, rng);
+  Brsmn net(n);
+  RoutePlan plan;
+  planner::compile_route(net, a, {}, plan);
+
+  FabricHeatmap map(n);
+  RouteOptions ropts;
+  ropts.heatmap = &map;
+  RouteResult out;
+  net.route_replay_into(plan, ropts, out);  // warmup: workspace + capacities
+  net.route_replay_into(plan, ropts, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  net.route_replay_into(plan, ropts, out);
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "heatmap recording must stay allocation-free on the replay path";
+  if constexpr (kEnabled) {
+    EXPECT_EQ(map.routes(), 3u);
+  } else {
+    EXPECT_EQ(map.routes(), 0u);  // hooks compiled out with BRSMN_OBS=OFF
+  }
+}
+
+}  // namespace
+}  // namespace brsmn::obs

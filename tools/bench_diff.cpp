@@ -1,4 +1,7 @@
-// Perf-regression gate over two metric dumps (obs/export.hpp JSON).
+// Perf-regression gate over two metric dumps (obs/export.hpp JSON) or
+// two telemetry JSONL streams (obs/telemetry.hpp — the final rollup
+// line's embedded metrics are gated, so a --telemetry-out capture can be
+// diffed without a separate --metrics-out dump).
 //
 //   bench_diff <baseline.json> <current.json>
 //       [--threshold=0.25] [--check=metric[:stat][@threshold]]...
@@ -10,12 +13,15 @@
 //   2  usage / unreadable / malformed input
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "obs/regression.hpp"
 
 namespace {
@@ -29,6 +35,63 @@ std::string read_file(const char* path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Load a metrics document: either a whole-file obs/export.hpp dump or a
+/// telemetry JSONL stream, gated on its final rollup line's "metrics".
+brsmn::obs::JsonValue load_metrics(const char* path) {
+  const std::string text = read_file(path);
+  try {
+    brsmn::obs::JsonValue doc = brsmn::obs::parse_json(text);
+    if (doc.is_object() && doc.contains("type") &&
+        doc.at("type").is_string() && doc.at("type").as_string() == "rollup") {
+      return doc.at("metrics");
+    }
+    return doc;
+  } catch (const std::exception&) {
+    // Not one JSON document — try JSONL, keeping the last rollup line.
+  }
+  std::optional<brsmn::obs::JsonValue> rollup;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const brsmn::obs::JsonValue doc = brsmn::obs::parse_json(line);
+    if (doc.is_object() && doc.contains("type") && doc.at("type").is_string() &&
+        doc.at("type").as_string() == "rollup" && doc.contains("metrics")) {
+      rollup = doc.at("metrics");
+    }
+  }
+  if (!rollup.has_value()) {
+    std::fprintf(stderr, "bench_diff: %s has no metrics document and no telemetry rollup line\n",
+                 path);
+    std::exit(2);
+  }
+  return *rollup;
+}
+
+void print_help() {
+  std::fputs(
+      "usage: bench_diff <baseline> <current> [options]\n"
+      "\n"
+      "Gate <current> against <baseline>. Each input is either a metrics\n"
+      "dump (--metrics-out JSON) or a telemetry stream (--telemetry-out\n"
+      "JSONL); for telemetry the final {\"type\":\"rollup\"} line's embedded\n"
+      "metrics are gated.\n"
+      "\n"
+      "options:\n"
+      "  --threshold=F   default allowed relative increase (default 0.25)\n"
+      "  --check=SEL     metric[:stat][@F]; stat defaults to p50 for\n"
+      "                  histograms and value for counters/gauges; 'A/B'\n"
+      "                  metric names select a ratio of two counters.\n"
+      "                  Repeatable; replaces the default route.phase set.\n"
+      "  --help          this text\n"
+      "\n"
+      "exit codes:\n"
+      "  0  every checked statistic within its threshold\n"
+      "  1  at least one regression, or a checked statistic missing\n"
+      "  2  usage error, unreadable or malformed input\n",
+      stdout);
 }
 
 constexpr const char* kDefaultChecks[] = {
@@ -47,7 +110,10 @@ int main(int argc, char** argv) {
   const char* current_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threshold=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
       default_threshold = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--check=", 0) == 0) {
       selectors.push_back(arg.substr(8));
@@ -76,10 +142,8 @@ int main(int argc, char** argv) {
     for (const std::string& s : selectors) {
       checks.push_back(brsmn::obs::parse_check(s, default_threshold));
     }
-    const brsmn::obs::JsonValue baseline =
-        brsmn::obs::parse_json(read_file(baseline_path));
-    const brsmn::obs::JsonValue current =
-        brsmn::obs::parse_json(read_file(current_path));
+    const brsmn::obs::JsonValue baseline = load_metrics(baseline_path);
+    const brsmn::obs::JsonValue current = load_metrics(current_path);
     const brsmn::obs::RegressionReport report =
         brsmn::obs::diff_metrics(baseline, current, checks);
     std::fputs(brsmn::obs::to_table(report).c_str(), stdout);

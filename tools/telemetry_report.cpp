@@ -1,0 +1,294 @@
+// Render a telemetry JSONL stream (obs/telemetry.hpp) for humans:
+// derived-rate time series with ASCII sparklines, the fabric utilization
+// heatmap as a per-(level, pass, stage) intensity grid, and the final
+// rollup summary.
+//
+//   bench_group_churn --telemetry-out=- | telemetry_report
+//   telemetry_report telemetry.jsonl [--width=64] [--csv]
+//
+// Exit codes: 0 rendered, 1 unreadable or malformed input, 2 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using brsmn::obs::JsonValue;
+
+struct HeatCell {
+  int level = 0;
+  std::string pass;
+  int stage = 0;
+  std::size_t sw = 0;
+  double active = 0.0;
+  double occupied = 0.0;
+};
+
+struct Report {
+  bool have_header = false;
+  std::string source;
+  double interval_ms = 0.0;
+  std::size_t capacity = 0;
+
+  std::vector<double> t_s;
+  std::map<std::string, std::vector<double>> derived;  ///< aligned to t_s
+
+  bool have_heatmap = false;
+  std::size_t heat_n = 0;
+  int heat_m = 0;
+  double heat_routes = 0.0;
+  std::vector<HeatCell> cells;
+
+  bool have_rollup = false;
+  double samples = 0.0;
+  double dropped = 0.0;
+  double duration_s = 0.0;
+};
+
+/// The intensity ramp used by the heatmap grid, dark to bright.
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr std::size_t kRampMax = sizeof(kRamp) - 2;
+
+char shade(double value, double scale) {
+  if (scale <= 0.0 || value <= 0.0) return kRamp[0];
+  const double t = std::min(1.0, value / scale);
+  return kRamp[1 + static_cast<std::size_t>(t * (kRampMax - 1) + 0.5)];
+}
+
+void ingest_line(const JsonValue& doc, Report& r) {
+  if (!doc.is_object() || !doc.contains("type") || !doc.at("type").is_string())
+    return;  // unknown lines are ignored for forward compatibility
+  const std::string& type = doc.at("type").as_string();
+  if (type == "telemetry_header") {
+    r.have_header = true;
+    if (doc.contains("source")) r.source = doc.at("source").as_string();
+    if (doc.contains("interval_ms"))
+      r.interval_ms = doc.at("interval_ms").as_number();
+    if (doc.contains("capacity"))
+      r.capacity = static_cast<std::size_t>(doc.at("capacity").as_number());
+  } else if (type == "sample") {
+    r.t_s.push_back(doc.contains("t_s") ? doc.at("t_s").as_number() : 0.0);
+    if (doc.contains("derived")) {
+      for (const auto& [key, value] : doc.at("derived").as_object()) {
+        auto& series = r.derived[key];
+        series.resize(r.t_s.size() - 1, 0.0);  // backfill late-appearing keys
+        series.push_back(value.as_number());
+      }
+    }
+    for (auto& [key, series] : r.derived) series.resize(r.t_s.size(), 0.0);
+  } else if (type == "fabric_heatmap") {
+    r.have_heatmap = true;
+    r.heat_n = static_cast<std::size_t>(doc.at("n").as_number());
+    r.heat_m = static_cast<int>(doc.at("m").as_number());
+    r.heat_routes = doc.at("routes").as_number();
+    for (const JsonValue& c : doc.at("cells").as_array()) {
+      HeatCell cell;
+      cell.level = static_cast<int>(c.at("level").as_number());
+      cell.pass = c.at("pass").as_string();
+      cell.stage = static_cast<int>(c.at("stage").as_number());
+      cell.sw = static_cast<std::size_t>(c.at("sw").as_number());
+      cell.active = c.at("active").as_number();
+      cell.occupied = c.at("occupied").as_number();
+      r.cells.push_back(std::move(cell));
+    }
+  } else if (type == "rollup") {
+    r.have_rollup = true;
+    r.samples = doc.at("samples").as_number();
+    r.dropped = doc.at("dropped").as_number();
+    r.duration_s = doc.at("duration_s").as_number();
+  }
+}
+
+void render_series(const Report& r, std::size_t width) {
+  if (r.t_s.empty()) {
+    std::puts("no samples");
+    return;
+  }
+  std::printf("derived series (%zu samples):\n", r.t_s.size());
+  for (const auto& [key, series] : r.derived) {
+    double lo = series.front(), hi = series.front(), sum = 0.0;
+    for (const double v : series) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    std::printf("  %-22s min %-12.4g mean %-12.4g max %-12.4g last %.4g\n",
+                key.c_str(), lo, sum / static_cast<double>(series.size()), hi,
+                series.back());
+    // Sparkline: bucket the series down to `width` columns, shade by the
+    // bucket mean normalized to the series max.
+    std::string line = "    [";
+    const std::size_t cols = std::min(width, series.size());
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t b0 = c * series.size() / cols;
+      const std::size_t b1 = std::max(b0 + 1, (c + 1) * series.size() / cols);
+      double bucket = 0.0;
+      for (std::size_t i = b0; i < b1; ++i) bucket += series[i];
+      bucket /= static_cast<double>(b1 - b0);
+      line += shade(bucket, hi);
+    }
+    line += ']';
+    std::puts(line.c_str());
+  }
+}
+
+void render_heatmap(const Report& r, std::size_t width) {
+  std::printf("\nfabric heatmap: n=%zu m=%d routes=%.0f (shade = activity "
+              "fraction, '%c'..'%c')\n",
+              r.heat_n, r.heat_m, r.heat_routes, kRamp[1], kRamp[kRampMax]);
+  // Cells arrive in row-major (level, pass, stage, sw) order with zero
+  // cells elided; rebuild each row dense before shading.
+  const std::size_t slots = r.heat_n / 2;
+  std::size_t i = 0;
+  while (i < r.cells.size()) {
+    const int level = r.cells[i].level;
+    const std::string pass = r.cells[i].pass;
+    const int stage = r.cells[i].stage;
+    std::vector<double> row(slots, 0.0);
+    double row_max = 0.0;
+    for (; i < r.cells.size() && r.cells[i].level == level &&
+           r.cells[i].pass == pass && r.cells[i].stage == stage;
+         ++i) {
+      if (r.cells[i].sw < slots) {
+        row[r.cells[i].sw] = r.cells[i].active;
+        row_max = std::max(row_max, r.cells[i].active);
+      }
+    }
+    const double scale = r.heat_routes > 0.0 ? r.heat_routes : row_max;
+    std::string line;
+    const std::size_t cols = std::min(width, slots);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t b0 = c * slots / cols;
+      const std::size_t b1 = std::max(b0 + 1, (c + 1) * slots / cols);
+      double bucket = 0.0;
+      for (std::size_t s = b0; s < b1; ++s) bucket += row[s];
+      bucket /= static_cast<double>(b1 - b0);
+      line += shade(bucket, scale);
+    }
+    std::printf("  L%-2d %-9s s%-2d |%s|\n", level, pass.c_str(), stage,
+                line.c_str());
+  }
+}
+
+void render_heatmap_csv(const Report& r) {
+  std::puts("level,pass,stage,sw,active,occupied");
+  for (const HeatCell& c : r.cells) {
+    std::printf("%d,%s,%d,%zu,%.0f,%.0f\n", c.level, c.pass.c_str(), c.stage,
+                c.sw, c.active, c.occupied);
+  }
+}
+
+void print_help() {
+  std::fputs(
+      "usage: telemetry_report [<telemetry.jsonl>|-] [options]\n"
+      "\n"
+      "Render a --telemetry-out JSONL stream: derived-rate series with\n"
+      "sparklines, the fabric utilization heatmap grid, and the rollup\n"
+      "summary. Reads stdin when the input is '-' or omitted.\n"
+      "\n"
+      "options:\n"
+      "  --width=N   max columns for sparklines and heatmap rows (default 64)\n"
+      "  --csv       emit the heatmap as CSV instead of the ASCII report\n"
+      "  --help      this text\n"
+      "\n"
+      "exit codes: 0 rendered, 1 unreadable or malformed input, 2 usage\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  std::size_t width = 64;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg.rfind("--width=", 0) == 0) {
+      width = static_cast<std::size_t>(std::strtoull(arg.c_str() + 8, nullptr, 10));
+      if (width == 0) {
+        std::fprintf(stderr, "telemetry_report: --width must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "telemetry_report: unexpected argument %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  std::string text;
+  if (input == nullptr || std::strcmp(input, "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(input, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "telemetry_report: cannot read %s\n", input);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  Report report;
+  std::size_t line_no = 0;
+  try {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      ingest_line(brsmn::obs::parse_json(line), report);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry_report: line %zu: %s\n", line_no, e.what());
+    return 1;
+  }
+  if (!report.have_header && report.t_s.empty() && !report.have_heatmap &&
+      !report.have_rollup) {
+    std::fprintf(stderr, "telemetry_report: no telemetry lines in input\n");
+    return 1;
+  }
+
+  if (csv) {
+    if (!report.have_heatmap) {
+      std::fprintf(stderr, "telemetry_report: no fabric_heatmap line for --csv\n");
+      return 1;
+    }
+    render_heatmap_csv(report);
+    return 0;
+  }
+
+  if (report.have_header) {
+    std::printf("telemetry: source=%s interval=%.0fms capacity=%zu\n",
+                report.source.empty() ? "?" : report.source.c_str(),
+                report.interval_ms, report.capacity);
+  }
+  render_series(report, width);
+  if (report.have_heatmap) render_heatmap(report, width);
+  if (report.have_rollup) {
+    std::printf("\nrollup: %.0f samples (%.0f dropped), %.3f s\n",
+                report.samples, report.dropped, report.duration_s);
+  }
+  return 0;
+}

@@ -18,11 +18,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
 #include "core/packed_kernel.hpp"
+#include "core/simd_backend.hpp"
 #include "obs/export.hpp"
 #include "obs/fabric_heatmap.hpp"
 #include "obs/metrics.hpp"
@@ -74,6 +76,51 @@ void BM_PackedRoute(benchmark::State& state) {
   route_engine_bench(state, brsmn::RouteEngine::Packed);
 }
 BENCHMARK(BM_PackedRoute)->RangeMultiplier(4)->Range(64, 4096);
+
+// One route family per SIMD backend available on this host, each under
+// its own metric family (packed.<backend>.route.*) and each resetting
+// exactly its own prefix at the family boundary — so one dump carries a
+// clean per-backend histogram set next to the auto-dispatch
+// packed.route.* family, and tools/bench_diff can gate any backend's p50
+// (the CI floor: portable >= 1.2x scalar, the widest backend on the
+// runner >= 2.5x at n=1024). Registered dynamically from main() because
+// the backend set is a runtime property of the host CPU.
+void packed_backend_bench(benchmark::State& state,
+                          brsmn::simd::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  const std::string prefix =
+      std::string("packed.") + brsmn::simd::to_string(backend) + ".route";
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.profiler = g_profiler;
+  options.engine = brsmn::RouteEngine::Packed;
+  options.simd_backend = backend;
+  options.metrics_prefix = prefix;
+  if (g_metrics != nullptr) g_metrics->reset(prefix);
+  for (auto _ : state) {
+    auto result = net.route(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+
+void register_backend_route_benches() {
+  for (const brsmn::simd::Backend b : brsmn::simd::available_backends()) {
+    const std::string name =
+        std::string("BM_PackedBackendRoute_") + brsmn::simd::to_string(b);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [b](benchmark::State& state) { packed_backend_bench(state, b); })
+        ->RangeMultiplier(4)
+        ->Range(64, 4096);
+  }
+}
 
 // Same workload as BM_PackedRoute with a FabricHeatmap attached, under
 // the packed_heat.route.* prefix: the packed_heat.route/packed.route p50
@@ -189,8 +236,16 @@ int main(int argc, char** argv) {
   std::FILE* report = dump_to_stdout ? stderr : stdout;
   std::fprintf(report,
                "Packed word-parallel kernel vs scalar reference engine.\n"
-               "Metric prefixes: scalar.route.* / packed.route.* — compare "
-               "with tools/bench_diff (docs/EXPERIMENTS.md).\n\n");
+               "Metric prefixes: scalar.route.* / packed.route.* (auto "
+               "dispatch) / packed.<backend>.route.* — compare with "
+               "tools/bench_diff (docs/EXPERIMENTS.md).\n"
+               "SIMD backends on this host:");
+  for (const brsmn::simd::Backend b : brsmn::simd::available_backends()) {
+    std::fprintf(report, " %s", brsmn::simd::to_string(b));
+  }
+  std::fprintf(report, " (auto -> %s)\n\n",
+               brsmn::simd::to_string(brsmn::simd::ops().kind));
+  register_backend_route_benches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (dump_to_stdout) {

@@ -20,6 +20,7 @@
 #include "core/explain.hpp"
 #include "core/line_value.hpp"
 #include "core/multicast_assignment.hpp"
+#include "core/simd_backend.hpp"
 #include "core/stats.hpp"
 
 namespace brsmn::obs {
@@ -90,6 +91,14 @@ struct RouteOptions {
   obs::Tracer* tracer = nullptr;
   /// Datapath implementation; Scalar is the reference engine.
   RouteEngine engine = RouteEngine::Scalar;
+  /// SIMD backend for the packed engine's word loops (cold routes,
+  /// replays, and patches alike). Auto resolves BRSMN_FORCE_BACKEND, then
+  /// the widest instruction set the CPU supports, falling back to the
+  /// always-compiled portable SWAR backend. Every backend produces
+  /// bit-identical results and plan checkpoints — a plan compiled under
+  /// one backend replays under any other (tests/test_simd_differential) —
+  /// so this knob affects throughput only. Ignored by the scalar engine.
+  simd::Backend simd_backend = simd::Backend::Auto;
   /// Online self-check (default on): contract violations surface as
   /// typed fault::FaultDetected reports naming the earliest inconsistent
   /// (level, pass) region, and each level's line state plus the final

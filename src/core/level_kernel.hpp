@@ -50,6 +50,11 @@ struct LevelKernel {
   /// the caller opts in per route.
   obs::FabricHeatmap* heat = nullptr;
   int heat_level = 0;
+  /// The SIMD backend this kernel's word loops dispatch through —
+  /// auto-selected by default, overridden per route from
+  /// RouteOptions::simd_backend. Every backend is bit-identical, so this
+  /// only changes speed, never state.
+  const simd::SimdOps* ops = &simd::ops();
 
   LevelKernel(std::size_t n_, int m, int stages_)
       : n(n_),

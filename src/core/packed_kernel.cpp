@@ -83,7 +83,11 @@ std::size_t plane_popcount(std::span<const std::uint64_t> plane,
 }
 
 PackedLines::PackedLines(std::size_t n, std::size_t width)
-    : n_(n), width_(width), wpl_(words_for(n)), words_(width * wpl_, 0) {
+    : n_(n),
+      width_(width),
+      wpl_(words_for(n)),
+      stride_(plane_stride_for(n)),
+      words_(width * stride_, 0) {
   BRSMN_EXPECTS(is_pow2(n) && n >= 2);
 }
 
@@ -94,7 +98,7 @@ std::uint64_t PackedLines::get(std::size_t line, std::size_t first_plane,
   const std::size_t b = line % kWordBits;
   std::uint64_t value = 0;
   for (std::size_t p = 0; p < count; ++p) {
-    value |= ((words_[(first_plane + p) * wpl_ + w] >> b) & 1u) << p;
+    value |= ((words_[(first_plane + p) * stride_ + w] >> b) & 1u) << p;
   }
   return value;
 }
@@ -105,7 +109,7 @@ void PackedLines::set(std::size_t line, std::size_t first_plane,
   const std::size_t w = line / kWordBits;
   const std::uint64_t bit = std::uint64_t{1} << (line % kWordBits);
   for (std::size_t p = 0; p < count; ++p) {
-    std::uint64_t& word = words_[(first_plane + p) * wpl_ + w];
+    std::uint64_t& word = words_[(first_plane + p) * stride_ + w];
     if ((value >> p) & 1u) {
       word |= bit;
     } else {
@@ -141,13 +145,31 @@ void apply_stage_plane(std::span<const std::uint64_t> in,
 }
 
 void apply_stage(PackedLines& state, PackedLines& scratch,
-                 const StageMasks& masks, std::size_t pair_distance) {
+                 const StageMasks& masks, std::size_t pair_distance,
+                 const simd::SimdOps& ops) {
   BRSMN_EXPECTS(scratch.size() == state.size() &&
                 scratch.width() == state.width());
-  for (std::size_t p = 0; p < state.width(); ++p) {
-    apply_stage_plane(state.plane(p), scratch.plane(p), masks, pair_distance);
+  const std::size_t stride = state.plane_stride();
+  BRSMN_EXPECTS(masks.su.size() >= stride && masks.sl.size() >= stride);
+  if (pair_distance < kWordBits) {
+    // In-word variant: one sweep over the whole plane-major state, pads
+    // included (mask pads are zero, so scratch pads come out zero).
+    ops.stage_shift(state.words().data(), scratch.words().data(),
+                    masks.su.data(), masks.sl.data(), state.width(), stride,
+                    static_cast<unsigned>(pair_distance));
+  } else {
+    // Word-offset variant: per plane, only the logical words are written;
+    // scratch pads keep the zeros the double-buffer invariant guarantees.
+    ops.stage_offset(state.words().data(), scratch.words().data(),
+                     masks.su.data(), masks.sl.data(), state.width(), stride,
+                     state.words_per_plane(), pair_distance / kWordBits);
   }
   state.swap(scratch);
+}
+
+void apply_stage(PackedLines& state, PackedLines& scratch,
+                 const StageMasks& masks, std::size_t pair_distance) {
+  apply_stage(state, scratch, masks, pair_distance, simd::ops());
 }
 
 namespace {
@@ -223,7 +245,7 @@ void unshuffle_planes(const PackedLines& in, PackedLines& out) {
 }
 
 void CountPyramid::build(std::span<const std::uint64_t> indicator,
-                         std::size_t n) {
+                         std::size_t n, const simd::SimdOps* ops) {
   BRSMN_EXPECTS(is_pow2(n) && n >= 2);
   const std::size_t wpl = words_for(n);
   BRSMN_EXPECTS(indicator.size() == wpl);
@@ -231,19 +253,13 @@ void CountPyramid::build(std::span<const std::uint64_t> indicator,
   levels_ = log2_exact(n);
   const int in_word = std::min(levels_, 6);
   packed_.assign(static_cast<std::size_t>(in_word), Words(wpl, 0));
-  static constexpr std::uint64_t kFieldMask[6] = {
-      0x5555555555555555ull, 0x3333333333333333ull, 0x0f0f0f0f0f0f0f0full,
-      0x00ff00ff00ff00ffull, 0x0000ffff0000ffffull, 0x00000000ffffffffull,
-  };
-  for (std::size_t w = 0; w < wpl; ++w) {
-    std::uint64_t c = indicator[w];
-    for (int j = 1; j <= in_word; ++j) {
-      const std::uint64_t m = kFieldMask[j - 1];
-      const unsigned sh = 1u << (j - 1);
-      c = (c & m) + ((c >> sh) & m);
-      packed_[static_cast<std::size_t>(j - 1)][w] = c;
-    }
+  std::uint64_t* level_words[6] = {};
+  for (int j = 0; j < in_word; ++j) {
+    level_words[j] = packed_[static_cast<std::size_t>(j)].data();
   }
+  const simd::SimdOps& o =
+      ops != nullptr ? *ops : simd::ops(simd::Backend::Portable);
+  o.count_cascade(indicator.data(), level_words, in_word, wpl);
   coarse_.clear();
   if (levels_ > 6) {
     // Level 7 aggregates whole-word totals (the level-6 fields).
@@ -409,7 +425,7 @@ void run_scatter_datapath(LevelKernel& kx) {
       kx.parent_code[ev.ord] = static_cast<std::size_t>(code);
     }
     pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
-                    d);
+                    d, *kx.ops);
     // Planes moved: re-resolve the tag spans after the buffer swap.
     t0 = kx.tag_plane(0);
     t1 = kx.tag_plane(1);
@@ -436,7 +452,7 @@ void run_unicast_datapath(LevelKernel& kx) {
                                  kx.tag_plane(0), kx.tag_plane(1));
     }
     pk::apply_stage(kx.state, kx.scratch, kx.masks[static_cast<std::size_t>(j - 1)],
-                    std::size_t{1} << (j - 1));
+                    std::size_t{1} << (j - 1), *kx.ops);
   }
 }
 
@@ -511,14 +527,11 @@ struct TagCensus {
     alpha.resize(wpl);
     eps.resize(wpl);
     ones.resize(wpl);
-    for (std::size_t w = 0; w < wpl; ++w) {
-      alpha[w] = t0[w] & ~t1[w];
-      eps[w] = t0[w] & t1[w];
-      ones[w] = t2[w];
-    }
-    alpha_pyr.build(alpha, kx.n);
-    eps_pyr.build(eps, kx.n);
-    ones_pyr.build(ones, kx.n);
+    kx.ops->census_split(t0.data(), t1.data(), t2.data(), alpha.data(),
+                         eps.data(), ones.data(), wpl);
+    alpha_pyr.build(alpha, kx.n, kx.ops);
+    eps_pyr.build(eps, kx.n, kx.ops);
+    ones_pyr.build(ones, kx.n, kx.ops);
   }
 };
 
@@ -687,9 +700,7 @@ void divide_eps_packed(LevelKernel& kx, const TagCensus& census,
     pk::select_prefix(census.eps, eps0_sel, bb * np, (bb + 1) * np, n_eps0);
   }
   auto t2 = kx.tag_plane(2);
-  for (std::size_t w = 0; w < wpl; ++w) {
-    t2[w] |= census.eps[w] & ~eps0_sel[w];
-  }
+  kx.ops->or_andnot(t2.data(), census.eps.data(), eps0_sel.data(), wpl);
   if (stats) {
     stats->tree_fwd_ops += n - (n >> S);
     stats->tree_bwd_ops += n - (n >> S);
@@ -1423,6 +1434,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
                             lines, options.fault_activity);
     const int S = log2_exact(n >> (k - 1));
     LevelKernel kx(n, m, S);
+    kx.ops = &simd::ops(options.simd_backend);
     kx.heat = heatmap;
     kx.heat_level = k;
     load_lines(kx, lines);
@@ -1541,6 +1553,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
                             lines, options.fault_activity);
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
     LevelKernel kx(n, m, top_stage);
+    kx.ops = &simd::ops(options.simd_backend);
     kx.heat = heatmap;
     kx.heat_level = k;
     load_lines(kx, lines);
@@ -1682,6 +1695,7 @@ planner::PatchOutcome patch_route_core(
   for (int k = 1; k <= m - 1; ++k) {
     const int stages = m - k + 1;  // both impls: level-k BSN size 2^(m-k+1)
     LevelKernel kx(n, m, stages);
+    kx.ops = &simd::ops(options.simd_backend);
     // Reused levels restore stored checkpoints without re-running the
     // datapath, so only recompiled levels (and the always-fresh final
     // level) accumulate heatmap activity on the patch path.

@@ -26,6 +26,8 @@
 #include <span>
 #include <vector>
 
+#include "core/simd_backend.hpp"
+
 namespace brsmn::packed {
 
 inline constexpr std::size_t kWordBits = 64;
@@ -33,6 +35,19 @@ inline constexpr std::size_t kWordBits = 64;
 /// Words needed for one n-line bit-plane.
 constexpr std::size_t words_for(std::size_t n) {
   return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Storage stride of one plane: words_for(n) rounded up to a whole
+/// 512-bit vector (simd::kPlaneStrideWords), so every backend's stage
+/// loop runs whole vectors with no tail. The pad words past words_for(n)
+/// are zero at all times — maintained by every primitive here and relied
+/// on by the backend kernels and the plan checkpoint format (a stored
+/// plan's packed snapshots are stride-padded and identical no matter
+/// which backend produced them).
+constexpr std::size_t plane_stride_for(std::size_t n) {
+  const std::size_t wpl = words_for(n);
+  return (wpl + simd::kPlaneStrideWords - 1) / simd::kPlaneStrideWords *
+         simd::kPlaneStrideWords;
 }
 
 /// Mask of the valid bits in the last word of an n-line plane.
@@ -55,8 +70,9 @@ std::size_t plane_popcount(std::span<const std::uint64_t> plane,
                            std::size_t first, std::size_t last);
 
 /// n lines x width bits, stored as `width` bit-planes of words_for(n)
-/// words each (plane-major). Value bit p of line i lives at bit (i % 64)
-/// of word i/64 of plane p.
+/// logical words each (plane-major, plane_stride_for(n) words apart so
+/// vector kernels never need tails; the pad words are always zero).
+/// Value bit p of line i lives at bit (i % 64) of word i/64 of plane p.
 class PackedLines {
  public:
   PackedLines() = default;
@@ -65,12 +81,13 @@ class PackedLines {
   std::size_t size() const noexcept { return n_; }
   std::size_t width() const noexcept { return width_; }
   std::size_t words_per_plane() const noexcept { return wpl_; }
+  std::size_t plane_stride() const noexcept { return stride_; }
 
   std::span<std::uint64_t> plane(std::size_t p) {
-    return {words_.data() + p * wpl_, wpl_};
+    return {words_.data() + p * stride_, wpl_};
   }
   std::span<const std::uint64_t> plane(std::size_t p) const {
-    return {words_.data() + p * wpl_, wpl_};
+    return {words_.data() + p * stride_, wpl_};
   }
 
   /// Read/write the value formed by planes [first_plane, first_plane +
@@ -88,8 +105,10 @@ class PackedLines {
 
   void clear();
 
-  /// The whole plane-major storage (width * words_per_plane words), for
-  /// snapshotting and comparing full kernel states at once.
+  /// The whole plane-major storage (width * plane_stride words, pads
+  /// included), for snapshotting and comparing full kernel states at
+  /// once. Pads are deterministically zero, so snapshots are
+  /// backend-portable.
   std::span<const std::uint64_t> words() const noexcept {
     return {words_.data(), words_.size()};
   }
@@ -105,6 +124,7 @@ class PackedLines {
   std::size_t n_ = 0;
   std::size_t width_ = 0;
   std::size_t wpl_ = 0;
+  std::size_t stride_ = 0;
   Words words_;
 };
 
@@ -121,9 +141,15 @@ struct StageMasks {
   Words su;
   Words sl;
 
+  /// Sizes for `words` logical words, padded up to a whole vector stride
+  /// (simd::kPlaneStrideWords) so the backend stage kernels can process
+  /// whole vectors; the pad words stay zero.
   void resize(std::size_t words) {
-    su.assign(words, 0);
-    sl.assign(words, 0);
+    const std::size_t padded = (words + simd::kPlaneStrideWords - 1) /
+                               simd::kPlaneStrideWords *
+                               simd::kPlaneStrideWords;
+    su.assign(padded, 0);
+    sl.assign(padded, 0);
   }
   void clear() {
     std::fill(su.begin(), su.end(), 0);
@@ -138,8 +164,17 @@ void apply_stage_plane(std::span<const std::uint64_t> in,
                        std::span<std::uint64_t> out, const StageMasks& masks,
                        std::size_t pair_distance);
 
-/// Apply one stage to every plane of `state`, double-buffering through
-/// `scratch` (same shape; contents overwritten; the two are swapped).
+/// Apply one stage to every plane of `state` through the given backend's
+/// word kernels, double-buffering through `scratch` (same shape; contents
+/// overwritten; the two are swapped). `masks` must be sized by
+/// StageMasks::resize for this state's word count (i.e. padded to the
+/// state's plane_stride).
+void apply_stage(PackedLines& state, PackedLines& scratch,
+                 const StageMasks& masks, std::size_t pair_distance,
+                 const simd::SimdOps& ops);
+
+/// apply_stage through the auto-selected backend (BRSMN_FORCE_BACKEND or
+/// the widest the CPU supports).
 void apply_stage(PackedLines& state, PackedLines& scratch,
                  const StageMasks& masks, std::size_t pair_distance);
 
@@ -160,8 +195,10 @@ void unshuffle_planes(const PackedLines& in, PackedLines& out);
 class CountPyramid {
  public:
   /// `indicator` holds n lines (bits past n must be zero); n a power of
-  /// two >= 2.
-  void build(std::span<const std::uint64_t> indicator, std::size_t n);
+  /// two >= 2. The in-word cascade runs through `ops` when given
+  /// (nullptr = portable); every backend computes identical words.
+  void build(std::span<const std::uint64_t> indicator, std::size_t n,
+             const simd::SimdOps* ops = nullptr);
 
   std::size_t count(int level, std::size_t block) const;
 

@@ -142,6 +142,10 @@ void replay_core(std::size_t n, int m, fault::ImplKind impl,
   if (options.fault_activity != nullptr) options.fault_activity->clear();
 
   pkern::LevelKernel& kx = ws.kx;
+  // Replay is backend-agnostic: the stored masks, events and checkpoints
+  // are plain words, so any backend — not necessarily the one that
+  // compiled the plan — replays them bit-identically.
+  kx.ops = &simd::ops(options.simd_backend);
 
   for (int k = 1; k <= m - 1; ++k) {
     const PlanLevel& pl = plan.levels[static_cast<std::size_t>(k - 1)];

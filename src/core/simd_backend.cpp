@@ -1,0 +1,668 @@
+// Backend implementations for the packed kernel's word loops.
+//
+// Every backend computes exactly the word recurrences documented on
+// SimdOps — the vector bodies are plain lane-wise and/or/shift/add, so
+// there is no rounding, ordering, or carry behaviour to diverge on; the
+// differential harness (tests/test_simd_differential.cpp) holds them to
+// bit-identity anyway. The x86 bodies use GCC/Clang function
+// multiversioning (`__attribute__((target(...)))`) so no global
+// architecture flags are needed and the portable build keeps running on
+// CPUs without the extensions; dispatch happens once per route through
+// ops().
+#include "core/simd_backend.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BRSMN_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define BRSMN_SIMD_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define BRSMN_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define BRSMN_SIMD_NEON 0
+#endif
+
+namespace brsmn::simd {
+namespace {
+
+using u64 = std::uint64_t;
+
+// --- portable SWAR --------------------------------------------------------
+
+void stage_shift_portable(const u64* in, u64* out, const u64* su,
+                          const u64* sl, std::size_t planes,
+                          std::size_t stride, unsigned d) {
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    for (std::size_t w = 0; w < stride; ++w) {
+      const u64 x = ip[w];
+      const u64 u = su[w];
+      const u64 l = sl[w];
+      op[w] = (x & ~(u | l)) | ((x >> d) & u) | ((x << d) & l);
+    }
+  }
+}
+
+void stage_offset_portable(const u64* in, u64* out, const u64* su,
+                           const u64* sl, std::size_t planes,
+                           std::size_t stride, std::size_t wpl,
+                           std::size_t offset) {
+  // offset <= wpl/2: pair distance is at most n/2 lines = wpl/2 words.
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    for (std::size_t w = 0; w < offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
+    }
+    for (std::size_t w = offset; w < wpl - offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
+              (ip[w - offset] & sl[w]);
+    }
+    for (std::size_t w = wpl - offset; w < wpl; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    }
+  }
+}
+
+void census_split_portable(const u64* t0, const u64* t1, const u64* t2,
+                           u64* alpha, u64* eps, u64* ones,
+                           std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    alpha[w] = t0[w] & ~t1[w];
+    eps[w] = t0[w] & t1[w];
+    ones[w] = t2[w];
+  }
+}
+
+void or_andnot_portable(u64* dst, const u64* a, const u64* b,
+                        std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= a[w] & ~b[w];
+}
+
+constexpr u64 kFieldMask[6] = {
+    0x5555555555555555ull, 0x3333333333333333ull, 0x0f0f0f0f0f0f0f0full,
+    0x00ff00ff00ff00ffull, 0x0000ffff0000ffffull, 0x00000000ffffffffull,
+};
+
+void count_cascade_portable(const u64* in, u64* const* levels, int nlevels,
+                            std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    u64 c = in[w];
+    for (int j = 1; j <= nlevels; ++j) {
+      const u64 m = kFieldMask[j - 1];
+      const unsigned sh = 1u << (j - 1);
+      c = (c & m) + ((c >> sh) & m);
+      levels[j - 1][w] = c;
+    }
+  }
+}
+
+/// Scalar tail for the vector count cascades: runs the portable cascade
+/// over words [w, words), offsetting the input *and every level output*.
+[[maybe_unused]] void count_cascade_tail(const u64* in, u64* const* levels,
+                                         int nlevels, std::size_t w,
+                                         std::size_t words) {
+  u64* shifted[6] = {};
+  for (int j = 0; j < nlevels; ++j) shifted[j] = levels[j] + w;
+  count_cascade_portable(in + w, shifted, nlevels, words - w);
+}
+
+// --- x86: AVX2 (4 words / op) and AVX-512 F (8 words / op) ----------------
+
+#if BRSMN_SIMD_X86
+
+// GCC's unmasked AVX-512 intrinsics expand through
+// _mm512_undefined_epi32() (a self-initialized dummy), which
+// -Wmaybe-uninitialized flags spuriously (GCC PR 105593); every lane is
+// fully overwritten before use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+__attribute__((target("avx2"))) void stage_shift_avx2(
+    const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
+    std::size_t stride, unsigned d) {
+  const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(d));
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    for (std::size_t w = 0; w < stride; w += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
+      const __m256i u =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
+      const __m256i l =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
+      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
+      const __m256i up = _mm256_and_si256(_mm256_srl_epi64(x, cnt), u);
+      const __m256i lo = _mm256_and_si256(_mm256_sll_epi64(x, cnt), l);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
+                          _mm256_or_si256(keep, _mm256_or_si256(up, lo)));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void stage_offset_avx2(
+    const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
+    std::size_t stride, std::size_t wpl, std::size_t offset) {
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    std::size_t w = 0;
+    for (; w + 4 <= offset; w += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
+      const __m256i u =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
+      const __m256i l =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
+      const __m256i part = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ip + w + offset));
+      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
+                          _mm256_or_si256(keep, _mm256_and_si256(part, u)));
+    }
+    for (; w < offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
+    }
+    for (; w + 4 <= wpl - offset; w += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
+      const __m256i u =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
+      const __m256i l =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
+      const __m256i up = _mm256_and_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(ip + w + offset)),
+          u);
+      const __m256i lo = _mm256_and_si256(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(ip + w - offset)),
+          l);
+      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
+                          _mm256_or_si256(keep, _mm256_or_si256(up, lo)));
+    }
+    for (; w < wpl - offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
+              (ip[w - offset] & sl[w]);
+    }
+    for (; w + 4 <= wpl; w += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
+      const __m256i u =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
+      const __m256i l =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
+      const __m256i part = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ip + w - offset));
+      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
+                          _mm256_or_si256(keep, _mm256_and_si256(part, l)));
+    }
+    for (; w < wpl; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void census_split_avx2(
+    const u64* t0, const u64* t1, const u64* t2, u64* alpha, u64* eps,
+    u64* ones, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t0 + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t1 + w));
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t2 + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(alpha + w),
+                        _mm256_andnot_si256(b, a));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(eps + w),
+                        _mm256_and_si256(a, b));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ones + w), c);
+  }
+  for (; w < words; ++w) {
+    alpha[w] = t0[w] & ~t1[w];
+    eps[w] = t0[w] & t1[w];
+    ones[w] = t2[w];
+  }
+}
+
+__attribute__((target("avx2"))) void or_andnot_avx2(u64* dst, const u64* a,
+                                                    const u64* b,
+                                                    std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, _mm256_andnot_si256(y, x)));
+  }
+  for (; w < words; ++w) dst[w] |= a[w] & ~b[w];
+}
+
+__attribute__((target("avx2"))) void count_cascade_avx2(
+    const u64* in, u64* const* levels, int nlevels, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + w));
+    for (int j = 1; j <= nlevels; ++j) {
+      const __m256i m = _mm256_set1_epi64x(
+          static_cast<long long>(kFieldMask[j - 1]));
+      const __m128i sh = _mm_cvtsi32_si128(1 << (j - 1));
+      c = _mm256_add_epi64(
+          _mm256_and_si256(c, m),
+          _mm256_and_si256(_mm256_srl_epi64(c, sh), m));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(levels[j - 1] + w), c);
+    }
+  }
+  if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
+}
+
+__attribute__((target("avx512f"))) void stage_shift_avx512(
+    const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
+    std::size_t stride, unsigned d) {
+  const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(d));
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    for (std::size_t w = 0; w < stride; w += 8) {
+      const __m512i x = _mm512_loadu_si512(ip + w);
+      const __m512i u = _mm512_loadu_si512(su + w);
+      const __m512i l = _mm512_loadu_si512(sl + w);
+      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
+      const __m512i up = _mm512_and_epi64(_mm512_srl_epi64(x, cnt), u);
+      const __m512i lo = _mm512_and_epi64(_mm512_sll_epi64(x, cnt), l);
+      _mm512_storeu_si512(op + w,
+                          _mm512_or_epi64(keep, _mm512_or_epi64(up, lo)));
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void stage_offset_avx512(
+    const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
+    std::size_t stride, std::size_t wpl, std::size_t offset) {
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    std::size_t w = 0;
+    for (; w + 8 <= offset; w += 8) {
+      const __m512i x = _mm512_loadu_si512(ip + w);
+      const __m512i u = _mm512_loadu_si512(su + w);
+      const __m512i l = _mm512_loadu_si512(sl + w);
+      const __m512i part = _mm512_loadu_si512(ip + w + offset);
+      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
+      _mm512_storeu_si512(op + w,
+                          _mm512_or_epi64(keep, _mm512_and_epi64(part, u)));
+    }
+    for (; w < offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
+    }
+    for (; w + 8 <= wpl - offset; w += 8) {
+      const __m512i x = _mm512_loadu_si512(ip + w);
+      const __m512i u = _mm512_loadu_si512(su + w);
+      const __m512i l = _mm512_loadu_si512(sl + w);
+      const __m512i up =
+          _mm512_and_epi64(_mm512_loadu_si512(ip + w + offset), u);
+      const __m512i lo =
+          _mm512_and_epi64(_mm512_loadu_si512(ip + w - offset), l);
+      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
+      _mm512_storeu_si512(op + w,
+                          _mm512_or_epi64(keep, _mm512_or_epi64(up, lo)));
+    }
+    for (; w < wpl - offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
+              (ip[w - offset] & sl[w]);
+    }
+    for (; w + 8 <= wpl; w += 8) {
+      const __m512i x = _mm512_loadu_si512(ip + w);
+      const __m512i u = _mm512_loadu_si512(su + w);
+      const __m512i l = _mm512_loadu_si512(sl + w);
+      const __m512i part = _mm512_loadu_si512(ip + w - offset);
+      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
+      _mm512_storeu_si512(op + w,
+                          _mm512_or_epi64(keep, _mm512_and_epi64(part, l)));
+    }
+    for (; w < wpl; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void census_split_avx512(
+    const u64* t0, const u64* t1, const u64* t2, u64* alpha, u64* eps,
+    u64* ones, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    const __m512i a = _mm512_loadu_si512(t0 + w);
+    const __m512i b = _mm512_loadu_si512(t1 + w);
+    const __m512i c = _mm512_loadu_si512(t2 + w);
+    _mm512_storeu_si512(alpha + w, _mm512_andnot_epi64(b, a));
+    _mm512_storeu_si512(eps + w, _mm512_and_epi64(a, b));
+    _mm512_storeu_si512(ones + w, c);
+  }
+  for (; w < words; ++w) {
+    alpha[w] = t0[w] & ~t1[w];
+    eps[w] = t0[w] & t1[w];
+    ones[w] = t2[w];
+  }
+}
+
+__attribute__((target("avx512f"))) void or_andnot_avx512(u64* dst,
+                                                         const u64* a,
+                                                         const u64* b,
+                                                         std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + w);
+    const __m512i x = _mm512_loadu_si512(a + w);
+    const __m512i y = _mm512_loadu_si512(b + w);
+    _mm512_storeu_si512(dst + w,
+                        _mm512_or_epi64(d, _mm512_andnot_epi64(y, x)));
+  }
+  for (; w < words; ++w) dst[w] |= a[w] & ~b[w];
+}
+
+__attribute__((target("avx512f"))) void count_cascade_avx512(
+    const u64* in, u64* const* levels, int nlevels, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    __m512i c = _mm512_loadu_si512(in + w);
+    for (int j = 1; j <= nlevels; ++j) {
+      const __m512i m = _mm512_set1_epi64(
+          static_cast<long long>(kFieldMask[j - 1]));
+      const __m128i sh = _mm_cvtsi32_si128(1 << (j - 1));
+      c = _mm512_add_epi64(_mm512_and_epi64(c, m),
+                           _mm512_and_epi64(_mm512_srl_epi64(c, sh), m));
+      _mm512_storeu_si512(levels[j - 1] + w, c);
+    }
+  }
+  if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // BRSMN_SIMD_X86
+
+// --- aarch64 NEON (2 words / op) ------------------------------------------
+
+#if BRSMN_SIMD_NEON
+
+void stage_shift_neon(const u64* in, u64* out, const u64* su, const u64* sl,
+                      std::size_t planes, std::size_t stride, unsigned d) {
+  const int64x2_t right = vdupq_n_s64(-static_cast<std::int64_t>(d));
+  const int64x2_t left = vdupq_n_s64(static_cast<std::int64_t>(d));
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    for (std::size_t w = 0; w < stride; w += 2) {
+      const uint64x2_t x = vld1q_u64(ip + w);
+      const uint64x2_t u = vld1q_u64(su + w);
+      const uint64x2_t l = vld1q_u64(sl + w);
+      const uint64x2_t keep = vbicq_u64(x, vorrq_u64(u, l));
+      const uint64x2_t up = vandq_u64(vshlq_u64(x, right), u);
+      const uint64x2_t lo = vandq_u64(vshlq_u64(x, left), l);
+      vst1q_u64(op + w, vorrq_u64(keep, vorrq_u64(up, lo)));
+    }
+  }
+}
+
+void stage_offset_neon(const u64* in, u64* out, const u64* su, const u64* sl,
+                       std::size_t planes, std::size_t stride, std::size_t wpl,
+                       std::size_t offset) {
+  for (std::size_t p = 0; p < planes; ++p) {
+    const u64* ip = in + p * stride;
+    u64* op = out + p * stride;
+    std::size_t w = 0;
+    for (; w + 2 <= offset; w += 2) {
+      const uint64x2_t x = vld1q_u64(ip + w);
+      const uint64x2_t u = vld1q_u64(su + w);
+      const uint64x2_t l = vld1q_u64(sl + w);
+      const uint64x2_t part = vld1q_u64(ip + w + offset);
+      vst1q_u64(op + w,
+                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vandq_u64(part, u)));
+    }
+    for (; w < offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
+    }
+    for (; w + 2 <= wpl - offset; w += 2) {
+      const uint64x2_t x = vld1q_u64(ip + w);
+      const uint64x2_t u = vld1q_u64(su + w);
+      const uint64x2_t l = vld1q_u64(sl + w);
+      const uint64x2_t up = vandq_u64(vld1q_u64(ip + w + offset), u);
+      const uint64x2_t lo = vandq_u64(vld1q_u64(ip + w - offset), l);
+      vst1q_u64(op + w,
+                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vorrq_u64(up, lo)));
+    }
+    for (; w < wpl - offset; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
+              (ip[w - offset] & sl[w]);
+    }
+    for (; w + 2 <= wpl; w += 2) {
+      const uint64x2_t x = vld1q_u64(ip + w);
+      const uint64x2_t u = vld1q_u64(su + w);
+      const uint64x2_t l = vld1q_u64(sl + w);
+      const uint64x2_t part = vld1q_u64(ip + w - offset);
+      vst1q_u64(op + w,
+                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vandq_u64(part, l)));
+    }
+    for (; w < wpl; ++w) {
+      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    }
+  }
+}
+
+void census_split_neon(const u64* t0, const u64* t1, const u64* t2,
+                       u64* alpha, u64* eps, u64* ones, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const uint64x2_t a = vld1q_u64(t0 + w);
+    const uint64x2_t b = vld1q_u64(t1 + w);
+    vst1q_u64(alpha + w, vbicq_u64(a, b));
+    vst1q_u64(eps + w, vandq_u64(a, b));
+    vst1q_u64(ones + w, vld1q_u64(t2 + w));
+  }
+  for (; w < words; ++w) {
+    alpha[w] = t0[w] & ~t1[w];
+    eps[w] = t0[w] & t1[w];
+    ones[w] = t2[w];
+  }
+}
+
+void or_andnot_neon(u64* dst, const u64* a, const u64* b, std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const uint64x2_t d = vld1q_u64(dst + w);
+    const uint64x2_t x = vld1q_u64(a + w);
+    const uint64x2_t y = vld1q_u64(b + w);
+    vst1q_u64(dst + w, vorrq_u64(d, vbicq_u64(x, y)));
+  }
+  for (; w < words; ++w) dst[w] |= a[w] & ~b[w];
+}
+
+void count_cascade_neon(const u64* in, u64* const* levels, int nlevels,
+                        std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    uint64x2_t c = vld1q_u64(in + w);
+    for (int j = 1; j <= nlevels; ++j) {
+      const uint64x2_t m = vdupq_n_u64(kFieldMask[j - 1]);
+      const int64x2_t sh = vdupq_n_s64(-(std::int64_t{1} << (j - 1)));
+      c = vaddq_u64(vandq_u64(c, m), vandq_u64(vshlq_u64(c, sh), m));
+      vst1q_u64(levels[j - 1] + w, c);
+    }
+  }
+  if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
+}
+
+#endif  // BRSMN_SIMD_NEON
+
+// --- dispatch tables ------------------------------------------------------
+
+constexpr SimdOps kPortableOps = {
+    Backend::Portable,      "portable",
+    stage_shift_portable,   stage_offset_portable,
+    census_split_portable,  or_andnot_portable,
+    count_cascade_portable,
+};
+
+#if BRSMN_SIMD_X86
+constexpr SimdOps kAvx2Ops = {
+    Backend::Avx2,      "avx2",
+    stage_shift_avx2,   stage_offset_avx2,
+    census_split_avx2,  or_andnot_avx2,
+    count_cascade_avx2,
+};
+constexpr SimdOps kAvx512Ops = {
+    Backend::Avx512,      "avx512",
+    stage_shift_avx512,   stage_offset_avx512,
+    census_split_avx512,  or_andnot_avx512,
+    count_cascade_avx512,
+};
+#endif
+
+#if BRSMN_SIMD_NEON
+constexpr SimdOps kNeonOps = {
+    Backend::Neon,      "neon",
+    stage_shift_neon,   stage_offset_neon,
+    census_split_neon,  or_andnot_neon,
+    count_cascade_neon,
+};
+#endif
+
+}  // namespace
+
+bool compiled(Backend b) noexcept {
+  switch (b) {
+    case Backend::Portable:
+      return true;
+    case Backend::Avx2:
+    case Backend::Avx512:
+      return BRSMN_SIMD_X86 != 0;
+    case Backend::Neon:
+      return BRSMN_SIMD_NEON != 0;
+    case Backend::Auto:
+      return false;
+  }
+  return false;
+}
+
+bool available(Backend b) noexcept {
+  if (!compiled(b)) return false;
+#if BRSMN_SIMD_X86
+  if (b == Backend::Avx2) return __builtin_cpu_supports("avx2") != 0;
+  if (b == Backend::Avx512) return __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return true;  // Portable always; NEON is baseline on aarch64.
+}
+
+Backend detect() noexcept {
+  static const Backend widest = [] {
+    for (const Backend b : {Backend::Avx512, Backend::Avx2, Backend::Neon}) {
+      if (available(b)) return b;
+    }
+    return Backend::Portable;
+  }();
+  return widest;
+}
+
+Backend forced() noexcept {
+  static const Backend cached = [] {
+    const char* env = std::getenv("BRSMN_FORCE_BACKEND");
+    if (env == nullptr || *env == '\0') return Backend::Auto;
+    const auto parsed = parse(env);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "brsmn: BRSMN_FORCE_BACKEND='%s' is not a backend name "
+                   "(auto/portable/avx2/avx512/neon) — ignoring\n",
+                   env);
+      return Backend::Auto;
+    }
+    if (*parsed != Backend::Auto && !available(*parsed)) {
+      std::fprintf(stderr,
+                   "brsmn: BRSMN_FORCE_BACKEND='%s' is not available on this "
+                   "host — falling back to auto\n",
+                   env);
+      return Backend::Auto;
+    }
+    return *parsed;
+  }();
+  return cached;
+}
+
+const SimdOps& ops(Backend request) noexcept {
+  if (request == Backend::Auto) {
+    const Backend f = forced();
+    request = f == Backend::Auto ? detect() : f;
+  }
+  if (!available(request)) request = Backend::Portable;
+  switch (request) {
+#if BRSMN_SIMD_X86
+    case Backend::Avx2:
+      return kAvx2Ops;
+    case Backend::Avx512:
+      return kAvx512Ops;
+#endif
+#if BRSMN_SIMD_NEON
+    case Backend::Neon:
+      return kNeonOps;
+#endif
+    default:
+      return kPortableOps;
+  }
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out{Backend::Portable};
+  for (const Backend b : {Backend::Neon, Backend::Avx2, Backend::Avx512}) {
+    if (available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Auto:
+      return "auto";
+    case Backend::Portable:
+      return "portable";
+    case Backend::Avx2:
+      return "avx2";
+    case Backend::Avx512:
+      return "avx512";
+    case Backend::Neon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse(std::string_view name) noexcept {
+  if (name == "auto") return Backend::Auto;
+  if (name == "portable" || name == "swar" || name == "scalar-words") {
+    return Backend::Portable;
+  }
+  if (name == "avx2") return Backend::Avx2;
+  if (name == "avx512" || name == "avx-512") return Backend::Avx512;
+  if (name == "neon") return Backend::Neon;
+  return std::nullopt;
+}
+
+}  // namespace brsmn::simd

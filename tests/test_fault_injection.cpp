@@ -122,12 +122,14 @@ struct RouteUnderFault {
 
 RouteUnderFault route_unrolled(const MulticastAssignment& assignment,
                                const fault::FaultPlan& plan,
-                               RouteEngine engine, bool explain = false) {
+                               RouteEngine engine, bool explain = false,
+                               simd::Backend backend = simd::Backend::Auto) {
   RouteUnderFault out;
   fault::FaultInjector injector(plan);
   Brsmn net(plan.n);
   RouteOptions options;
   options.engine = engine;
+  options.simd_backend = backend;
   options.faults = &injector;
   options.fault_activity = &out.activity;
   options.explain = explain;
@@ -380,6 +382,100 @@ TEST(FaultInjectionFullRoute, FeedbackEnginesAgreeOnSwitchFaults) {
   EXPECT_GT(detected, 0u);
   EXPECT_GT(masked, 0u);
 }
+
+// --- SIMD backend parity ---------------------------------------------------
+//
+// The packed engine's word loops dispatch through a runtime-selected
+// SIMD backend (core/simd_backend.hpp); fault handling must not depend
+// on which one runs. The full 144-site stuck-at sweep repeats per
+// available backend: every site must be masked or detected exactly as
+// the scalar engine decides, never misdelivered — and when a fault is
+// detected with provenance enabled, localization must name the same
+// (the injected) switch on every backend.
+
+class FaultInjectionBackendSweep
+    : public ::testing::TestWithParam<simd::Backend> {};
+
+TEST_P(FaultInjectionBackendSweep, ExhaustiveSwitchSweepMatchesScalar) {
+  const simd::Backend backend = GetParam();
+  const std::size_t n = 16;
+  const int m = 4;
+  const MulticastAssignment assignment = sweep_assignment(n);
+  const auto expected = expected_delivery(assignment);
+
+  std::size_t sites = 0, masked = 0, detected = 0, localized = 0;
+  for (int level = 1; level <= m - 1; ++level) {
+    for (const PassKind pass : {PassKind::Scatter, PassKind::Quasisort}) {
+      for (int stage = 1; stage <= m - level + 1; ++stage) {
+        for (std::size_t sw = 0; sw < n / 2; ++sw) {
+          SCOPED_TRACE("level " + std::to_string(level) + " pass " +
+                       std::string(pass_name(pass)) + " stage " +
+                       std::to_string(stage) + " switch " +
+                       std::to_string(sw));
+          ++sites;
+          fault::FaultPlan plan;
+          plan.n = n;
+          fault::FaultSpec f;
+          f.kind = fault::FaultKind::TransientFlip;
+          f.level = level;
+          f.pass = pass;
+          f.stage = stage;
+          f.index = sw;
+          plan.faults.push_back(f);
+
+          const RouteUnderFault scalar =
+              route_unrolled(assignment, plan, RouteEngine::Scalar);
+
+          // Packed under this backend, with provenance so a detection
+          // can be localized.
+          fault::FaultInjector injector(plan);
+          Brsmn net(n);
+          RouteOptions options;
+          options.engine = RouteEngine::Packed;
+          options.simd_backend = backend;
+          options.faults = &injector;
+          options.explain = true;
+          std::optional<std::vector<std::optional<std::size_t>>> packed;
+          try {
+            packed = net.route(assignment, options).delivered;
+          } catch (const fault::FaultDetected& e) {
+            packed = std::nullopt;
+            // Single fault on the unrolled fabric: the report must name
+            // exactly the injected switch, whichever backend ran.
+            ASSERT_FALSE(e.report().sites.empty());
+            const fault::FaultSiteMismatch* site = e.report().earliest_site();
+            EXPECT_EQ(site->level, level);
+            EXPECT_EQ(site->pass, pass);
+            EXPECT_EQ(site->stage, stage);
+            EXPECT_EQ(site->index, sw);
+            ++localized;
+          }
+
+          ASSERT_EQ(scalar.delivered.has_value(), packed.has_value())
+              << "outcome class diverged from scalar";
+          if (packed.has_value()) {
+            ++masked;
+            EXPECT_EQ(*packed, expected);
+            EXPECT_EQ(*packed, *scalar.delivered);
+          } else {
+            ++detected;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(sites, 144u);
+  EXPECT_GT(detected, 0u);
+  EXPECT_GT(masked, 0u);
+  EXPECT_EQ(localized, detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FaultInjectionBackendSweep,
+    ::testing::ValuesIn(simd::available_backends()),
+    [](const auto& param_info) {
+      return std::string(simd::to_string(param_info.param));
+    });
 
 TEST(FaultInjectionFullRoute, RandomPlansDifferentialAtN32) {
   // Seeded multi-fault plans at n = 32 across random assignments: the

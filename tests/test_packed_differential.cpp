@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "api/parallel_router.hpp"
@@ -172,7 +173,9 @@ TEST_P(PackedDifferential, BroadcastPatterns) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PackedDifferential,
                          ::testing::Values(4, 8, 16, 32, 64, 128, 256),
                          [](const auto& param_info) {
-                           return "n" + std::to_string(param_info.param);
+                           std::string name = "n";
+                           name += std::to_string(param_info.param);
+                           return name;
                          });
 
 TEST(PackedDifferentialEdge, SmallestNetwork) {
@@ -186,6 +189,94 @@ TEST(PackedDifferentialEdge, SmallestNetwork) {
 
 TEST(PackedDifferentialEdge, PaperExample) {
   check_assignment(8, paper_example_assignment());
+}
+
+// --- SIMD backend property sweep -------------------------------------------
+//
+// The packed engine dispatches its word loops through a runtime-selected
+// SIMD backend (core/simd_backend.hpp). These sweeps hold every backend
+// available on this host — not just the auto-selected one — to full
+// bit-identity with the scalar reference on the shapes most likely to
+// expose lane/tail bugs: non-power-of-two numbers of active inputs
+// (partial words in every plane), a single input fanned out to all n
+// outputs, the identity permutation, and a single unicast connection.
+
+RouteOptions backend_options(simd::Backend backend) {
+  RouteOptions options = full_options(RouteEngine::Packed);
+  options.simd_backend = backend;
+  return options;
+}
+
+/// Route `a` under every available backend and require bit-identity with
+/// the scalar reference on both fabrics, grids included.
+void check_assignment_every_backend(std::size_t n,
+                                    const MulticastAssignment& a) {
+  Brsmn net(n);
+  const RouteResult scalar = net.route(a, full_options(RouteEngine::Scalar));
+  const auto scalar_grids = unrolled_grids(net);
+  FeedbackBrsmn fb(n);
+  const RouteResult fb_scalar = fb.route(a, full_options(RouteEngine::Scalar));
+  const auto fb_scalar_grid = fabric_grid(fb.fabric());
+
+  for (const simd::Backend b : simd::available_backends()) {
+    SCOPED_TRACE(std::string("backend ") + simd::to_string(b));
+    const RouteResult packed = net.route(a, backend_options(b));
+    expect_results_eq(scalar, packed);
+    EXPECT_EQ(scalar_grids, unrolled_grids(net));
+    const RouteResult fb_packed = fb.route(a, backend_options(b));
+    expect_results_eq(fb_scalar, fb_packed);
+    EXPECT_EQ(fb_scalar_grid, fabric_grid(fb.fabric()));
+  }
+}
+
+/// Random assignment with exactly `active` sources, each with a random
+/// destination set drawn from the still-unclaimed outputs.
+MulticastAssignment random_active_count(std::size_t n, std::size_t active,
+                                        Rng& rng) {
+  MulticastAssignment a(n);
+  const auto sources = rng.subset(n, active);
+  for (const std::size_t i : sources) {
+    const std::size_t fan = rng.uniform(1, 1 + n / (2 * active));
+    for (std::size_t f = 0; f < fan; ++f) {
+      std::size_t d = rng.uniform(0, n - 1);
+      std::size_t probes = 0;
+      while (a.output_claimed(d) && probes++ < n) d = (d + 1) % n;
+      if (a.output_claimed(d)) break;
+      a.connect(i, d);
+    }
+  }
+  return a;
+}
+
+TEST_P(PackedDifferential, PropertySweepNonPowerOfTwoActiveCounts) {
+  const std::size_t n = GetParam();
+  Rng rng(test_seed(7800 + n));
+  for (const std::size_t active : {1u, 3u, 5u, 7u}) {
+    if (active > n) continue;
+    SCOPED_TRACE("active inputs " + std::to_string(active));
+    for (int t = 0; t < 3; ++t) {
+      check_assignment_every_backend(n, random_active_count(n, active, rng));
+    }
+  }
+}
+
+TEST_P(PackedDifferential, PropertySweepDegenerateShapes) {
+  const std::size_t n = GetParam();
+
+  // One source fans out to every output (maximal broadcast tree).
+  MulticastAssignment fanout_all(n);
+  for (std::size_t d = 0; d < n; ++d) fanout_all.connect(n / 2, d);
+  check_assignment_every_backend(n, fanout_all);
+
+  // Identity permutation: every line routes straight through.
+  MulticastAssignment identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity.connect(i, i);
+  check_assignment_every_backend(n, identity);
+
+  // Single source, single destination: one occupied line in the fabric.
+  MulticastAssignment single(n);
+  single.connect(0, n - 1);
+  check_assignment_every_backend(n, single);
 }
 
 // --- fabric heatmap bit-identity ------------------------------------------

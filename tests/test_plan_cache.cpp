@@ -11,7 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "api/parallel_router.hpp"
@@ -19,10 +23,52 @@
 #include "core/brsmn.hpp"
 #include "core/feedback.hpp"
 #include "core/multicast_assignment.hpp"
+#include "core/route_plan.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/fault_report.hpp"
 #include "obs/metrics.hpp"
+
+// --- allocation counter ---------------------------------------------------
+//
+// Global operator new/delete overrides counting every heap allocation in
+// this binary (same machinery as tests/test_route_plan.cpp), used by the
+// cross-backend zero-allocation replay tests below.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc demands it
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace brsmn {
 namespace {
@@ -346,6 +392,93 @@ TEST(PlanCacheMetrics, ReplayRecordsPhaseHistogram) {
   net.route(a, options);  // hit: one replay sample
   net.route(a, options);
   EXPECT_EQ(registry.histogram("route.phase.replay_ns").count(), 2u);
+}
+
+// --- cross-backend plan reuse ----------------------------------------------
+//
+// Plans are SIMD-backend-portable (core/simd_backend.hpp): a plan the
+// cache captured under one backend's word loops must replay bit-
+// identically — and still allocation-free — under any other. Every
+// ordered (compile, replay) backend pair available on this host is
+// exercised.
+
+void expect_stats_eq(const RoutingStats& a, const RoutingStats& b) {
+  EXPECT_EQ(a.switch_traversals, b.switch_traversals);
+  EXPECT_EQ(a.broadcast_ops, b.broadcast_ops);
+  EXPECT_EQ(a.tree_fwd_ops, b.tree_fwd_ops);
+  EXPECT_EQ(a.tree_bwd_ops, b.tree_bwd_ops);
+  EXPECT_EQ(a.fabric_passes, b.fabric_passes);
+  EXPECT_EQ(a.gate_delay, b.gate_delay);
+}
+
+TEST(PlanCacheSimd, PlanCompiledUnderOneBackendHitsUnderEveryOther) {
+  const std::size_t n = 64;
+  Rng rng(test_seed(9050));
+  const MulticastAssignment a = random_multicast(n, 0.6, rng);
+  const auto expected = Brsmn(n).route(a).delivered;
+
+  const auto avail = simd::available_backends();
+  for (const simd::Backend compile_b : avail) {
+    for (const simd::Backend replay_b : avail) {
+      SCOPED_TRACE(std::string("compile ") + simd::to_string(compile_b) +
+                   " replay " + simd::to_string(replay_b));
+      api::PlanCache cache;
+      Brsmn net(n);
+
+      RouteOptions copts = cached_options(cache);
+      copts.engine = RouteEngine::Packed;
+      copts.simd_backend = compile_b;
+      const RouteResult cold = net.route(a, copts);  // miss: compile + insert
+      EXPECT_EQ(cache.misses(), 1u);
+      EXPECT_EQ(cold.delivered, expected);
+
+      RouteOptions ropts = cached_options(cache);
+      ropts.engine = RouteEngine::Packed;
+      ropts.simd_backend = replay_b;
+      const RouteResult hit = net.route(a, ropts);  // hit: replay
+      EXPECT_EQ(cache.hits(), 1u);
+      EXPECT_EQ(hit.delivered, cold.delivered);
+      expect_stats_eq(hit.stats, cold.stats);
+      EXPECT_EQ(hit.broadcasts_per_level, cold.broadcasts_per_level);
+    }
+  }
+}
+
+TEST(PlanCacheSimd, SteadyStateCachedReplayIsAllocationFreeOnEveryBackend) {
+  // Fill the cache under the first backend, fetch the shared plan, and
+  // drive the zero-allocation replay path under every backend: after two
+  // warmups, a steady-state replay must not allocate regardless of which
+  // backend's loops run — including a backend other than the compiling
+  // one (the workspace is sized by the plan, not by the backend).
+  const std::size_t n = 64;
+  Rng rng(test_seed(9060));
+  const MulticastAssignment a = random_multicast(n, 0.6, rng);
+
+  const auto avail = simd::available_backends();
+  api::PlanCache cache;
+  Brsmn net(n);
+  RouteOptions copts = cached_options(cache);
+  copts.engine = RouteEngine::Packed;
+  copts.simd_backend = avail.front();
+  const RouteResult cold = net.route(a, copts);
+
+  const api::PlanCache::PlanPtr plan =
+      cache.lookup(a, fault::ImplKind::Unrolled);
+  ASSERT_NE(plan, nullptr);
+
+  for (const simd::Backend replay_b : avail) {
+    SCOPED_TRACE(std::string("replay ") + simd::to_string(replay_b));
+    RouteOptions ropts;  // self-check on; no metrics/tracer/explain/faults
+    ropts.simd_backend = replay_b;
+    RouteResult out;
+    net.route_replay_into(*plan, ropts, out);  // warmup: workspace sizing
+    net.route_replay_into(*plan, ropts, out);
+    const std::uint64_t before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    net.route_replay_into(*plan, ropts, out);
+    EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed) - before, 0u);
+    EXPECT_EQ(out.delivered, cold.delivered);
+  }
 }
 
 // --- ParallelRouter integration --------------------------------------------

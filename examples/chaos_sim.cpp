@@ -10,6 +10,7 @@
 //
 // Build & run:  ./build/examples/chaos_sim [--metrics-out=<path>]
 //                                          [--telemetry-out=<path|->]
+//                                          [--cluster]
 // With --metrics-out the registry (fault.* recovery counters, switch.*
 // epoch metrics, route.* phase timings) is dumped as JSON; CI's
 // chaos-smoke job asserts detections and recoveries both happened.
@@ -17,25 +18,177 @@
 // switch.backlog_cells gauge trace the fault windows as a time series
 // (pipe through tools/telemetry_report). Only one flag may claim
 // stdout with '-'.
+//
+// --cluster swaps the single-fabric story for the sharded one
+// (api/cluster.hpp): three fabric replicas behind one submit surface,
+// one replica killed mid-run, the control plane quarantining it,
+// placement rerouting its keys to their deterministic secondaries, and
+// canary probes re-admitting it after revival — narrated shard by shard.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <future>
 #include <optional>
+#include <vector>
 
+#include "api/cluster.hpp"
+#include "common/rng.hpp"
+#include "core/multicast_assignment.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "traffic/chaos.hpp"
 
+namespace {
+
+/// The --cluster narrative: a 3-replica cluster of 32-port fabrics under
+/// steady seeded load, one replica killed and later revived. Prints the
+/// control plane's view after every flight so the quarantine /
+/// reroute / canary / readmission arc is visible, then certifies the
+/// cluster-level conservation law.
+int run_cluster_story(std::FILE* report, brsmn::obs::MetricRegistry* registry,
+                      const std::optional<std::string>& metrics_path,
+                      const std::optional<std::string>& telemetry_path) {
+  using namespace brsmn;
+
+  constexpr std::size_t kPorts = 32;
+  constexpr std::size_t kShards = 3;
+  constexpr std::size_t kFlights = 48;
+  constexpr std::size_t kFlight = 16;
+  constexpr std::size_t kDead = 2;
+
+  std::optional<obs::TelemetrySampler> sampler;
+  if (telemetry_path) {
+    obs::TelemetryConfig tcfg;
+    tcfg.interval = std::chrono::milliseconds(2);
+    tcfg.source = "chaos_sim --cluster";
+    tcfg.routes_counter = "cluster.submitted";
+    tcfg.detected_counter = "fault.detected";
+    tcfg.degraded_counter = "cluster.delivered_degraded";
+    tcfg.degraded_base_counter = "cluster.submitted";
+    sampler.emplace(*registry, tcfg);
+    sampler->start();
+  }
+
+  api::ClusterConfig config;
+  config.shards = kShards;
+  config.seed = 2026;
+  config.verify_delivery = true;
+  config.metrics = registry;
+  config.health.window = 24;
+  config.health.min_observations = 6;
+  config.health.probation_successes = 3;
+  config.health.canary_interval = 3;
+
+  Rng rng(2026);
+  std::vector<MulticastAssignment> pool;
+  for (std::size_t i = 0; i < 24; ++i) {
+    pool.push_back(random_multicast(kPorts, 0.6, rng));
+  }
+
+  api::Cluster cluster(kPorts, config);
+  std::fprintf(report,
+               "cluster chaos: %zu ports x %zu replicas; killing shard %zu "
+               "at flight %zu, reviving at flight %zu\n\n",
+               kPorts, kShards, kDead, kFlights / 4, kFlights * 5 / 8);
+  std::fprintf(report, "%8s %10s %8s %8s %10s  %s\n", "flight", "delivered",
+               "failed", "canary", "rerouted", "shard states");
+
+  std::size_t delivered = 0;
+  std::size_t failed = 0;
+  std::size_t canaries = 0;
+  std::size_t rerouted = 0;
+  for (std::size_t flight = 0; flight < kFlights; ++flight) {
+    if (flight == kFlights / 4) cluster.kill_shard(kDead);
+    if (flight == kFlights * 5 / 8) cluster.revive_shard(kDead);
+    std::vector<std::future<api::ClusterOutcome>> batch;
+    for (std::size_t i = 0; i < kFlight; ++i) {
+      batch.push_back(
+          cluster.submit(pool[(flight * kFlight + i) % pool.size()]));
+    }
+    for (auto& f : batch) {
+      const api::ClusterOutcome out = f.get();
+      delivered += out.request.outcome != api::RouteOutcome::Failed;
+      failed += out.request.outcome == api::RouteOutcome::Failed;
+      canaries += out.canary;
+      rerouted += out.rerouted;
+    }
+    cluster.poll_health();
+    const bool edge = flight == kFlights / 4 || flight == kFlights * 5 / 8;
+    if (flight % 6 == 0 || edge) {
+      std::fprintf(report, "%8zu %10zu %8zu %8zu %10zu  ", flight, delivered,
+                   failed, canaries, rerouted);
+      for (std::size_t s = 0; s < kShards; ++s) {
+        std::fprintf(report, "%s%s", s == 0 ? "" : " / ",
+                     std::string(api::shard_state_name(cluster.shard_state(s)))
+                         .c_str());
+      }
+      std::fprintf(report, "%s\n", edge ? "  <-" : "");
+    }
+  }
+  cluster.stop();
+  if (sampler) {
+    sampler->stop();
+    sampler->set_heatmap(&cluster.heatmap());
+  }
+
+  const api::ClusterTotals t = cluster.totals();
+  const api::ShardStatus dead = cluster.shard_status(kDead);
+  std::fprintf(report,
+               "\n%llu submitted: %llu delivered, %llu degraded, %llu "
+               "failed, %llu rejected\n",
+               static_cast<unsigned long long>(t.submitted),
+               static_cast<unsigned long long>(t.delivered),
+               static_cast<unsigned long long>(t.delivered_degraded),
+               static_cast<unsigned long long>(t.failed),
+               static_cast<unsigned long long>(t.rejected));
+  std::fprintf(report,
+               "shard %zu: %llu quarantines, %llu readmissions, final "
+               "state %s\n",
+               kDead, static_cast<unsigned long long>(dead.quarantines),
+               static_cast<unsigned long long>(dead.readmissions),
+               std::string(api::shard_state_name(dead.state)).c_str());
+  const bool conserved = t.submitted == t.completed + t.rejected;
+  std::fprintf(report, "conservation: submitted == completed + rejected "
+               "... %s\n", conserved ? "OK" : "VIOLATED");
+  std::fprintf(report, "misdeliveries: %llu (every delivery verified)\n",
+               static_cast<unsigned long long>(t.misdelivered));
+
+  if (sampler) {
+    if (!sampler->write(*telemetry_path)) return 1;
+    std::fprintf(report, "\ntelemetry written to %s (%llu samples)\n",
+                 telemetry_path->c_str(),
+                 static_cast<unsigned long long>(sampler->samples()));
+  }
+  if (metrics_path) {
+    if (!obs::try_write_metrics(*metrics_path, *registry)) return 1;
+    std::fprintf(report, "\nmetrics written to %s\n", metrics_path->c_str());
+  }
+  return conserved && t.misdelivered == 0 && dead.readmissions >= 1 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace brsmn;
 
   const auto metrics_path = obs::consume_metrics_out_flag(argc, argv);
   const auto telemetry_path = obs::consume_telemetry_out_flag(argc, argv);
+  bool cluster_mode = false;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster_mode = true;
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else {
+      ++i;
+    }
+  }
   if (argc > 1) {
     std::fprintf(stderr, "unrecognized argument: %s\n"
                  "usage: chaos_sim [--metrics-out=<path>] "
-                 "[--telemetry-out=<path|->]\n", argv[1]);
+                 "[--telemetry-out=<path|->] [--cluster]\n", argv[1]);
     return 2;
   }
   if (!obs::stdout_claims_exclusive({{"--metrics-out", &metrics_path},
@@ -47,6 +200,9 @@ int main(int argc, char** argv) {
       obs::claims_stdout(metrics_path) || obs::claims_stdout(telemetry_path)
           ? stderr
           : stdout;
+  if (cluster_mode) {
+    return run_cluster_story(report, &registry, metrics_path, telemetry_path);
+  }
   std::optional<obs::TelemetrySampler> sampler;
   if (telemetry_path) {
     obs::TelemetryConfig tcfg;
@@ -54,6 +210,9 @@ int main(int argc, char** argv) {
     tcfg.source = "chaos_sim";
     tcfg.routes_counter = "route.routes";
     tcfg.backlog_gauge = "switch.backlog_cells";
+    tcfg.detected_counter = "fault.detected";
+    tcfg.degraded_counter = "fault.degraded";
+    tcfg.degraded_base_counter = "route.routes";
     sampler.emplace(registry, tcfg);
     sampler->start();
   }

@@ -1,0 +1,112 @@
+// Bounded MPMC queue: the cluster's per-shard ingress channel.
+//
+// A shard that routes slower than its submitters produce must push the
+// slowness *back* to the submitters, not buffer unboundedly — backpressure
+// is what keeps an overloaded replica's queue depth a truthful health
+// signal (api/cluster.hpp watches it) instead of a hidden memory leak.
+// push() therefore blocks while the queue is full; close() releases every
+// waiter so shutdown never deadlocks against a full or empty queue.
+//
+// Semantics:
+//   push(item)  — blocks while full; moves from `item` and returns true,
+//                 or returns false (item untouched) once closed.
+//   try_push()  — non-blocking push; false when full or closed.
+//   pop(out)    — blocks while empty; after close() keeps draining what
+//                 remains and only then returns false. A closed queue
+//                 loses producers, never queued items.
+//   close()     — idempotent; wakes all blocked pushers and poppers.
+//
+// Plain mutex + two condition variables: the cluster's unit of work is a
+// whole multicast route (microseconds of fabric work), so queue overhead
+// is noise and the simple implementation is the TSan-provable one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::api {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    BRSMN_EXPECTS_MSG(capacity >= 1, "bounded queue capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking producer. Moves from `item` and returns true once space was
+  /// available; returns false — `item` intact — when the queue is closed.
+  bool push(T& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking producer: false (item intact) when full or closed.
+  bool try_push(T& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking consumer. Returns false only when the queue is closed *and*
+  /// drained; every item pushed before close() is still handed out.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Stop admitting; wake everyone. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace brsmn::api

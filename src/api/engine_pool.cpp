@@ -1,0 +1,51 @@
+#include "api/engine_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace brsmn::api {
+
+std::vector<WorkFailure> FailureLog::take_sorted() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkFailure> out = std::move(failures_);
+  failures_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const WorkFailure& a, const WorkFailure& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+void throw_aggregated(std::string_view context, std::string_view noun,
+                      const std::vector<WorkFailure>& failures,
+                      const std::function<std::string(std::size_t)>& label) {
+  BRSMN_EXPECTS(!failures.empty());
+  bool all_contract = true;
+  std::string message;
+  message += context;
+  message += ": " + std::to_string(failures.size()) + " ";
+  message += noun;
+  message += "(s) failed";
+  for (const WorkFailure& f : failures) {
+    message += "; ";
+    message += noun;
+    message += " " + label(f.index) + ": ";
+    try {
+      std::rethrow_exception(f.error);
+    } catch (const ContractViolation& e) {
+      message += e.what();
+    } catch (const std::exception& e) {
+      all_contract = false;
+      message += e.what();
+    } catch (...) {
+      all_contract = false;
+      message += "unknown error";
+    }
+  }
+  if (all_contract) throw ContractViolation(message);
+  throw std::runtime_error(message);
+}
+
+}  // namespace brsmn::api

@@ -1,0 +1,155 @@
+// The reusable engine-pool layer under ParallelRouter and the cluster.
+//
+// ParallelRouter's original value was three intertwined mechanisms: a
+// set of per-worker-slot engines kept alive across batches (building an
+// engine allocates every level BSN, so per-batch construction would
+// dominate small batches), an atomic work queue fanning a batch across
+// worker threads, and failure aggregation that drains the whole queue
+// before rethrowing every failure as one batch-ordered exception. The
+// sharded cluster (api/cluster.hpp) needs exactly the same slot
+// discipline for its per-shard router pools, so the mechanisms live here
+// as a standalone layer: EnginePool<Engine> owns the slots and the
+// fan-out, FailureLog/throw_aggregated own the error story, and
+// ParallelRouter composes them instead of hand-rolling the loop.
+//
+// Thread-safety contract: slot t is only touched by worker t while a
+// for_each is running (the pool itself spawns the threads), so the lazy
+// construction needs no lock; between runs any thread may inspect the
+// pool.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace brsmn::api {
+
+/// One failed work item: its index in the submitted range and the
+/// exception that killed it.
+struct WorkFailure {
+  std::size_t index = 0;
+  std::exception_ptr error;
+};
+
+/// Thread-safe failure collector shared by the workers of one fan-out.
+/// Recording never throws away successes: the pool keeps draining the
+/// queue after a failure so one poisoned item cannot hide the rest.
+class FailureLog {
+ public:
+  void record(std::size_t index, std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    failures_.push_back({index, std::move(error)});
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return failures_.empty();
+  }
+
+  /// Move the failures out, sorted by item index so downstream messages
+  /// are deterministic regardless of worker scheduling.
+  std::vector<WorkFailure> take_sorted();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<WorkFailure> failures_;
+};
+
+/// Aggregate `failures` into one exception and throw it. The message is
+/// "<context>: k <noun>(s) failed; <noun> <label(index)>: <what>; ..."
+/// and the thrown type stays ContractViolation when every underlying
+/// failure was one, so callers can still catch the same type a single
+/// failure would have raised. `label` renders an item index for the
+/// message (batch index, group id, ...). Precondition: !failures.empty().
+[[noreturn]] void throw_aggregated(
+    std::string_view context, std::string_view noun,
+    const std::vector<WorkFailure>& failures,
+    const std::function<std::string(std::size_t)>& label);
+
+/// A pool of per-worker-slot engines with an atomic-queue parallel
+/// for_each. `Engine` is anything route-capable a worker owns exclusively
+/// during a run — Brsmn for ParallelRouter, ResilientRouter for a cluster
+/// shard.
+template <typename Engine>
+class EnginePool {
+ public:
+  using Factory = std::function<std::unique_ptr<Engine>(unsigned slot)>;
+
+  EnginePool(unsigned slots, Factory factory)
+      : factory_(std::move(factory)), engines_(slots) {}
+
+  unsigned slots() const noexcept {
+    return static_cast<unsigned>(engines_.size());
+  }
+
+  /// Engines constructed so far (lazily, one per slot on first use);
+  /// exposed so tests can assert they persist across runs.
+  unsigned built() const noexcept {
+    unsigned built = 0;
+    for (const auto& e : engines_) built += (e != nullptr);
+    return built;
+  }
+
+  /// The slot's engine, constructed on first use.
+  Engine& engine(unsigned slot) {
+    if (!engines_[slot]) engines_[slot] = factory_(slot);
+    return *engines_[slot];
+  }
+
+  /// Fan items [0, count) across min(slots, count) worker threads. Each
+  /// worker claims indices from a shared atomic counter and calls
+  /// item(engine, worker, index); exceptions are recorded (never
+  /// propagated mid-run, so every remaining item still runs) and returned
+  /// sorted by item index — empty means every item succeeded.
+  /// `scope(worker, body)` wraps each worker's whole run — the seam where
+  /// ParallelRouter hangs its per-worker batch timer and trace span; it
+  /// must invoke body() exactly once.
+  template <typename ItemFn, typename ScopeFn>
+  std::vector<WorkFailure> for_each(std::size_t count, ItemFn&& item,
+                                    ScopeFn&& scope) {
+    FailureLog failures;
+    if (count == 0) return {};
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(slots(), count));
+    std::atomic<std::size_t> next{0};
+    auto work = [&](unsigned t) {
+      scope(t, [&] {
+        Engine& engine = this->engine(t);
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            item(engine, t, i);
+          } catch (...) {
+            failures.record(i, std::current_exception());
+          }
+        }
+      });
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
+    for (auto& t : pool) t.join();
+    return failures.take_sorted();
+  }
+
+  template <typename ItemFn>
+  std::vector<WorkFailure> for_each(std::size_t count, ItemFn&& item) {
+    return for_each(count, std::forward<ItemFn>(item),
+                    [](unsigned, const auto& body) { body(); });
+  }
+
+ private:
+  Factory factory_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace brsmn::api

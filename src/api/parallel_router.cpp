@@ -1,12 +1,8 @@
 #include "api/parallel_router.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <exception>
 #include <limits>
-#include <mutex>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -23,15 +19,13 @@ namespace brsmn::api {
 ParallelRouter::ParallelRouter(std::size_t n, unsigned threads)
     : n_(n),
       threads_(threads != 0 ? threads
-                            : std::max(1u, std::thread::hardware_concurrency())) {
+                            : std::max(1u, std::thread::hardware_concurrency())),
+      pool_(threads_, [n](unsigned) { return std::make_unique<Brsmn>(n); }) {
   BRSMN_EXPECTS(is_pow2(n) && n >= 2);
-  engines_.resize(threads_);
 }
 
 unsigned ParallelRouter::engines_built() const noexcept {
-  unsigned built = 0;
-  for (const auto& e : engines_) built += (e != nullptr);
-  return built;
+  return pool_.built();
 }
 
 void ParallelRouter::set_metrics(obs::MetricRegistry* metrics) {
@@ -50,6 +44,17 @@ void ParallelRouter::set_self_check(bool on) { self_check_ = on; }
 
 void ParallelRouter::set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
 
+RouteOptions ParallelRouter::worker_options() const {
+  RouteOptions options;
+  options.metrics = metrics_;
+  options.tracer = tracer_;
+  options.engine = engine_;
+  options.self_check = self_check_;
+  options.faults = faults_;
+  options.plan_cache = plan_cache_;
+  return options;
+}
+
 namespace {
 
 bool same_assignment(const MulticastAssignment& a,
@@ -60,6 +65,22 @@ bool same_assignment(const MulticastAssignment& a,
   }
   return true;
 }
+
+/// The per-worker scope ParallelRouter wraps around a pool run: one
+/// batch-latency sample and one trace lane per worker.
+struct WorkerScope {
+  obs::Histogram* worker_hist;
+  obs::Tracer* tracer;
+
+  template <typename Body>
+  void operator()(unsigned t, const Body& body) const {
+    const obs::PhaseTimer batch_timer(worker_hist);
+    char worker_label[24];
+    std::snprintf(worker_label, sizeof worker_label, "parallel.worker.%u", t);
+    obs::TraceSpan worker_span(tracer, worker_label);
+    body();
+  }
+};
 
 }  // namespace
 
@@ -105,59 +126,27 @@ std::vector<RouteResult> ParallelRouter::route_batch(
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, batch.size()));
-  std::atomic<std::size_t> next{0};
-  struct Failure {
-    std::size_t index;
-    std::exception_ptr error;
-  };
-  std::vector<Failure> failures;
-  std::mutex error_mutex;
+  const RouteOptions options = worker_options();
   std::vector<std::size_t> routed_per_worker(workers, 0);
 
-  auto work = [&](unsigned t) {
-    const obs::PhaseTimer batch_timer(worker_hist);
-    char worker_label[24];
-    std::snprintf(worker_label, sizeof worker_label, "parallel.worker.%u", t);
-    obs::TraceSpan worker_span(tracer_, worker_label);
-    if (!engines_[t]) engines_[t] = std::make_unique<Brsmn>(n_);
-    Brsmn& engine = *engines_[t];
-    RouteOptions options;
-    options.metrics = metrics_;
-    options.tracer = tracer_;
-    options.engine = engine_;
-    options.self_check = self_check_;
-    options.faults = faults_;
-    options.plan_cache = plan_cache_;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch.size()) return;
-      if (rep[i] != i) continue;  // a duplicate; filled in after the join
-      try {
+  obs::TraceSpan dispatch_span(tracer_, "parallel.route_batch");
+  std::vector<WorkFailure> failures = pool_.for_each(
+      batch.size(),
+      [&](Brsmn& engine, unsigned t, std::size_t i) {
+        if (rep[i] != i) return;  // a duplicate; filled in after the join
         BRSMN_EXPECTS_MSG(batch[i].size() == n_,
                           "assignment size does not match the network");
         const obs::PhaseTimer route_timer(route_hist);
         results[i] = engine.route(batch[i], options);
         ++routed_per_worker[t];
-      } catch (...) {
-        // Record and keep draining the queue: one poisoned assignment
-        // must not hide failures (or abandon successes) behind it.
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        failures.push_back({i, std::current_exception()});
-      }
-    }
-  };
-
-  obs::TraceSpan dispatch_span(tracer_, "parallel.route_batch");
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
-  for (auto& t : pool) t.join();
+      },
+      WorkerScope{worker_hist, tracer_});
 
   if (duplicates != 0) {
     // Fan the representatives' outcomes back out: duplicates share their
     // representative's result — or its failure.
     std::unordered_map<std::size_t, std::exception_ptr> failed_reps;
-    for (const Failure& f : failures) failed_reps.emplace(f.index, f.error);
+    for (const WorkFailure& f : failures) failed_reps.emplace(f.index, f.error);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (rep[i] == i) continue;
       const auto it = failed_reps.find(rep[i]);
@@ -167,36 +156,15 @@ std::vector<RouteResult> ParallelRouter::route_batch(
         results[i] = results[rep[i]];
       }
     }
+    std::sort(failures.begin(), failures.end(),
+              [](const WorkFailure& a, const WorkFailure& b) {
+                return a.index < b.index;
+              });
   }
 
   if (!failures.empty()) {
-    // Aggregate every failure into one exception, batch-ordered so the
-    // message is deterministic regardless of worker scheduling. The
-    // aggregate stays a ContractViolation when all parts are, so callers
-    // catch the same type they would for a single failure.
-    std::sort(failures.begin(), failures.end(),
-              [](const Failure& a, const Failure& b) {
-                return a.index < b.index;
-              });
-    bool all_contract = true;
-    std::string message = "route_batch: " + std::to_string(failures.size()) +
-                          " assignment(s) failed";
-    for (const Failure& f : failures) {
-      message += "; assignment " + std::to_string(f.index) + ": ";
-      try {
-        std::rethrow_exception(f.error);
-      } catch (const ContractViolation& e) {
-        message += e.what();
-      } catch (const std::exception& e) {
-        all_contract = false;
-        message += e.what();
-      } catch (...) {
-        all_contract = false;
-        message += "unknown error";
-      }
-    }
-    if (all_contract) throw ContractViolation(message);
-    throw std::runtime_error(message);
+    throw_aggregated("route_batch", "assignment", failures,
+                     [](std::size_t i) { return std::to_string(i); });
   }
 
   if constexpr (obs::kEnabled) {
@@ -236,73 +204,20 @@ std::vector<RouteResult> ParallelRouter::route_groups(
     }
   }
 
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads_, ids.size()));
-  std::atomic<std::size_t> next{0};
-  struct Failure {
-    std::size_t index;
-    std::exception_ptr error;
-  };
-  std::vector<Failure> failures;
-  std::mutex error_mutex;
-
-  auto work = [&](unsigned t) {
-    const obs::PhaseTimer batch_timer(worker_hist);
-    char worker_label[24];
-    std::snprintf(worker_label, sizeof worker_label, "parallel.worker.%u", t);
-    obs::TraceSpan worker_span(tracer_, worker_label);
-    if (!engines_[t]) engines_[t] = std::make_unique<Brsmn>(n_);
-    Brsmn& engine = *engines_[t];
-    RouteOptions options;
-    options.metrics = metrics_;
-    options.tracer = tracer_;
-    options.engine = engine_;
-    options.self_check = self_check_;
-    options.faults = faults_;
-    options.plan_cache = plan_cache_;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= ids.size()) return;
-      try {
+  const RouteOptions options = worker_options();
+  obs::TraceSpan dispatch_span(tracer_, "parallel.route_groups");
+  const std::vector<WorkFailure> failures = pool_.for_each(
+      ids.size(),
+      [&](Brsmn& engine, unsigned, std::size_t i) {
         const obs::PhaseTimer route_timer(route_hist);
         results[i] = std::move(groups.route(ids[i], engine, options).result);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        failures.push_back({i, std::current_exception()});
-      }
-    }
-  };
-
-  obs::TraceSpan dispatch_span(tracer_, "parallel.route_groups");
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work, t);
-  for (auto& t : pool) t.join();
+      },
+      WorkerScope{worker_hist, tracer_});
 
   if (!failures.empty()) {
-    std::sort(failures.begin(), failures.end(),
-              [](const Failure& a, const Failure& b) {
-                return a.index < b.index;
-              });
-    bool all_contract = true;
-    std::string message = "route_groups: " + std::to_string(failures.size()) +
-                          " group(s) failed";
-    for (const Failure& f : failures) {
-      message += "; group " + std::to_string(ids[f.index]) + ": ";
-      try {
-        std::rethrow_exception(f.error);
-      } catch (const ContractViolation& e) {
-        message += e.what();
-      } catch (const std::exception& e) {
-        all_contract = false;
-        message += e.what();
-      } catch (...) {
-        all_contract = false;
-        message += "unknown error";
-      }
-    }
-    if (all_contract) throw ContractViolation(message);
-    throw std::runtime_error(message);
+    throw_aggregated("route_groups", "group", failures, [&](std::size_t i) {
+      return std::to_string(ids[i]);
+    });
   }
 
   if constexpr (obs::kEnabled) {

@@ -6,13 +6,17 @@
 // parallel. ParallelRouter keeps one Brsmn engine per worker thread,
 // alive across route_batch calls (building a Brsmn allocates every level
 // BSN, so rebuilding per batch would dominate small batches), and shards
-// each batch over them with an atomic work queue.
+// each batch over them with an atomic work queue. The slot discipline,
+// fan-out loop and failure aggregation live in api/engine_pool.hpp — the
+// layer the sharded cluster (api/cluster.hpp) composes as well; this
+// class adds batch deduplication and the parallel.* instrumentation.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "api/engine_pool.hpp"
 #include "api/group_manager.hpp"
 #include "core/brsmn.hpp"
 
@@ -106,11 +110,14 @@ class ParallelRouter {
                                         const std::vector<GroupId>& ids);
 
  private:
+  /// The RouteOptions every worker routes with under the current setters.
+  RouteOptions worker_options() const;
+
   std::size_t n_;
   unsigned threads_;
-  /// Worker-slot engines; engines_[t] is only touched by worker t during
-  /// a batch, so no lock is needed once the vector is sized.
-  std::vector<std::unique_ptr<Brsmn>> engines_;
+  /// Worker-slot engines, one Brsmn per slot (engine_pool.hpp): slot t is
+  /// only touched by worker t during a batch.
+  EnginePool<Brsmn> pool_;
   obs::MetricRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   RouteEngine engine_ = RouteEngine::Scalar;

@@ -6,6 +6,7 @@
 
 #include "api/parallel_router.hpp"
 #include "common/contracts.hpp"
+#include "core/placement.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -21,8 +22,23 @@ std::string_view outcome_name(RouteOutcome outcome) {
   return "?";
 }
 
+void validate(const RetryPolicy& policy) {
+  BRSMN_EXPECTS_MSG(policy.max_attempts_per_path >= 1,
+                    "retry policy: max_attempts_per_path must be >= 1");
+  BRSMN_EXPECTS_MSG(std::isfinite(policy.backoff_multiplier) &&
+                        policy.backoff_multiplier > 0.0,
+                    "retry policy: backoff_multiplier must be finite and > 0");
+  BRSMN_EXPECTS_MSG(
+      std::isfinite(policy.jitter) && policy.jitter >= 0.0 &&
+          policy.jitter <= 1.0,
+      "retry policy: jitter must be a fraction in [0, 1]");
+  BRSMN_EXPECTS_MSG(policy.max_backoff.count() >= 0,
+                    "retry policy: max_backoff must be non-negative");
+}
+
 std::chrono::microseconds backoff_for_attempt(const RetryPolicy& policy,
-                                              std::size_t failures) {
+                                              std::size_t failures,
+                                              std::uint64_t salt) {
   BRSMN_EXPECTS(failures >= 1);
   if (policy.initial_backoff.count() <= 0) return std::chrono::microseconds{0};
   double us = static_cast<double>(policy.initial_backoff.count());
@@ -31,16 +47,39 @@ std::chrono::microseconds backoff_for_attempt(const RetryPolicy& policy,
     us *= policy.backoff_multiplier;
   }
   us = std::min(us, cap);
+  if (policy.jitter > 0.0 && us > 0.0) {
+    // A pure hash of (seed, salt) mapped to [0, 1): reproducible, no
+    // generator state, and independent draws across salts. Jitter only
+    // shrinks the backoff, so max_backoff stays a hard ceiling.
+    const std::uint64_t h = mix64(policy.jitter_seed ^ mix64(salt));
+    const double unit =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+    us *= 1.0 - policy.jitter * unit;
+  }
   return std::chrono::microseconds{static_cast<std::int64_t>(us)};
 }
 
 ResilientRouter::ResilientRouter(std::size_t n,
                                  const ResilientOptions& options)
     : n_(n), options_(options), unrolled_(n) {
+  validate(options_.retry);
   if (options_.faults != nullptr) {
     BRSMN_EXPECTS_MSG(options_.faults->size() == n,
                       "fault plan width must match the network");
   }
+}
+
+void ResilientRouter::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void ResilientRouter::clear_stop() {
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  stop_requested_.store(false, std::memory_order_release);
 }
 
 ResilientRouter::~ResilientRouter() = default;
@@ -81,6 +120,7 @@ RouteOptions ResilientRouter::path_options(const RoutePath& path,
   ro.metrics = options_.metrics;
   ro.tracer = options_.tracer;
   ro.plan_cache = options_.plan_cache;
+  ro.heatmap = options_.heatmap;
   return ro;
 }
 
@@ -112,8 +152,19 @@ RequestOutcome ResilientRouter::run_ladder(const AttemptFn& attempt) {
     out.path = paths[p];
     for (std::size_t a = 0; a < per_path; ++a) {
       if (failures > 0) {
-        const auto backoff = backoff_for_attempt(options_.retry, failures);
-        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        const auto backoff = backoff_for_attempt(
+            options_.retry, failures,
+            backoff_ordinal_.fetch_add(1, std::memory_order_relaxed));
+        // Shutdown-aware: a request_stop() wakes the wait immediately
+        // (and short-circuits future backoffs), so teardown never blocks
+        // behind a pending sleep of up to max_backoff.
+        if (backoff.count() > 0 &&
+            !stop_requested_.load(std::memory_order_acquire)) {
+          std::unique_lock<std::mutex> lock(stop_mutex_);
+          stop_cv_.wait_for(lock, backoff, [this] {
+            return stop_requested_.load(std::memory_order_acquire);
+          });
+        }
       }
       ++out.attempts;
       try {

@@ -18,11 +18,14 @@
 // fabric instead of log n levels of BSNs).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "fault/fault_report.hpp"
 
 namespace brsmn::obs {
+class FabricHeatmap;
 class MetricRegistry;
 class Tracer;
 }  // namespace brsmn::obs
@@ -74,11 +78,33 @@ struct RetryPolicy {
   std::chrono::microseconds initial_backoff{0};
   double backoff_multiplier = 2.0;
   std::chrono::microseconds max_backoff{10000};
+  /// Multiplicative backoff jitter in [0, 1]: each computed backoff is
+  /// scaled by a factor drawn deterministically from (jitter_seed, salt)
+  /// in [1 - jitter, 1], so workers sharing a policy but seeded apart
+  /// spread their retries instead of hammering a recovering fabric in
+  /// lockstep. 0 (the default) keeps the legacy deterministic schedule.
+  double jitter = 0.0;
+  /// Seed of the jitter stream. Give each worker its own value (the
+  /// cluster derives per-worker seeds from ClusterConfig::seed); tests
+  /// deriving it from common/rng test_seed() stay reproducible under
+  /// BRSMN_TEST_SEED.
+  std::uint64_t jitter_seed = 0;
 };
 
+/// Throws common/contracts ContractViolation when the policy cannot
+/// express a sane schedule: zero attempts per path, a non-finite or
+/// non-positive backoff multiplier, jitter outside [0, 1], or a negative
+/// backoff cap. ResilientRouter validates its policy at construction.
+void validate(const RetryPolicy& policy);
+
 /// The backoff to sleep before the `failures`-th retry (failures >= 1).
+/// Deterministic in (policy, failures, salt): the jitter factor is a pure
+/// hash of (policy.jitter_seed, salt), no hidden generator state. Callers
+/// wanting successive retries to draw fresh jitter pass a new salt per
+/// retry (ResilientRouter salts with a per-router retry ordinal).
 std::chrono::microseconds backoff_for_attempt(const RetryPolicy& policy,
-                                              std::size_t failures);
+                                              std::size_t failures,
+                                              std::uint64_t salt = 0);
 
 struct ResilientOptions {
   /// Primary datapath engine; the ladder may add Scalar as fallback.
@@ -99,6 +125,11 @@ struct ResilientOptions {
   /// so the retry ladder recompiles or falls back as usual. Null: every
   /// route is cold.
   PlanCache* plan_cache = nullptr;
+  /// Fabric utilization heatmap (obs/fabric_heatmap.hpp), threaded into
+  /// every attempt's RouteOptions. Single-owner: one routing thread per
+  /// map — concurrent routers (cluster shard workers) give each worker
+  /// its own map and merge(). Null: datapaths unobserved.
+  obs::FabricHeatmap* heatmap = nullptr;
 };
 
 /// One rung of the fallback ladder.
@@ -163,6 +194,18 @@ class ResilientRouter {
   /// The fallback ladder this router walks, primary path first.
   std::vector<RoutePath> ladder() const;
 
+  /// Shutdown-aware backoff: wake any ladder currently sleeping in a
+  /// retry backoff and skip every subsequent backoff, so tearing down a
+  /// cluster of routers is never blocked behind max_backoff. Routing
+  /// semantics are otherwise unchanged — in-flight ladders still finish
+  /// their attempts (fast, since they no longer sleep). Sticky until
+  /// clear_stop(). Safe to call from any thread.
+  void request_stop();
+  void clear_stop();
+  bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One attempt on one rung: route somehow (cold, replay, patch) and
   /// return the result, throwing fault::FaultDetected on detection.
@@ -188,6 +231,13 @@ class ResilientRouter {
   std::uint64_t recovered_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t gaveup_ = 0;
+  /// Jitter salt: one fresh draw per backoff, across all ladders.
+  std::atomic<std::uint64_t> backoff_ordinal_{0};
+  /// request_stop wakes sleepers through this cv; the flag is atomic so
+  /// the no-backoff fast path never takes the mutex.
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
 };
 
 }  // namespace brsmn::api

@@ -1,0 +1,56 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace brsmn {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t placement_score(std::uint64_t key, std::size_t shard) noexcept {
+  // Mix the shard in *before* the final avalanche so adjacent shard
+  // indices do not produce correlated scores for the same key.
+  return mix64(key ^ mix64(static_cast<std::uint64_t>(shard) + 1));
+}
+
+std::size_t primary_shard(std::uint64_t key, std::size_t shards) {
+  BRSMN_EXPECTS_MSG(shards >= 1, "placement needs at least one shard");
+  std::size_t best = 0;
+  std::uint64_t best_score = placement_score(key, 0);
+  for (std::size_t s = 1; s < shards; ++s) {
+    const std::uint64_t score = placement_score(key, s);
+    if (score > best_score) {
+      best = s;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void placement_order_into(std::uint64_t key, std::size_t shards,
+                          std::vector<std::size_t>& out) {
+  BRSMN_EXPECTS_MSG(shards >= 1, "placement needs at least one shard");
+  out.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) out[s] = s;
+  std::sort(out.begin(), out.end(), [key](std::size_t a, std::size_t b) {
+    const std::uint64_t sa = placement_score(key, a);
+    const std::uint64_t sb = placement_score(key, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+}
+
+std::vector<std::size_t> placement_order(std::uint64_t key,
+                                         std::size_t shards) {
+  std::vector<std::size_t> out;
+  placement_order_into(key, shards, out);
+  return out;
+}
+
+}  // namespace brsmn

@@ -1,0 +1,50 @@
+// Deterministic shard placement by rendezvous (highest-random-weight)
+// hashing over assignment fingerprints.
+//
+// A cluster of F fabric replicas needs each assignment pinned to one
+// shard so that shard's plan cache stays hot (core/route_plan.hpp keys
+// plans by the same fingerprint), and it needs that pinning to survive a
+// shard loss with minimal churn: when a shard is quarantined, only the
+// keys it owned may move, and each must move to a *deterministic*
+// secondary so the secondary's cache warms once and stays warm.
+// Rendezvous hashing gives both properties without a ring or any shared
+// state: every (key, shard) pair gets an independent pseudo-random
+// score, and a key's preference order over shards is the descending
+// score order. Dropping a shard deletes one entry from every key's
+// order and perturbs nothing else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace brsmn {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64 -> 64 bijection. Shared
+/// by the placement scores and the retry-jitter stream
+/// (api/resilient_router.hpp) so both are reproducible from small seeds.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// The rendezvous score of `key` on `shard`: higher wins. Independent
+/// across shards by construction (the shard index is mixed in before the
+/// final avalanche).
+std::uint64_t placement_score(std::uint64_t key, std::size_t shard) noexcept;
+
+/// The shard owning `key` among `shards` replicas (the argmax score).
+/// shards must be >= 1.
+std::size_t primary_shard(std::uint64_t key, std::size_t shards);
+
+/// The full preference order of `key` over `shards` replicas: descending
+/// score, ties broken by shard index (scores are 64-bit, so ties are
+/// vanishingly rare but must still be deterministic). out[0] is the
+/// primary; out[1] the deterministic secondary a rerouting ingress falls
+/// back to; and so on. `out` is assigned in place, so a caller reusing
+/// one vector allocates only on the first call.
+void placement_order_into(std::uint64_t key, std::size_t shards,
+                          std::vector<std::size_t>& out);
+
+/// Convenience allocating form of placement_order_into.
+std::vector<std::size_t> placement_order(std::uint64_t key,
+                                         std::size_t shards);
+
+}  // namespace brsmn

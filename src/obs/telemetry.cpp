@@ -261,6 +261,19 @@ std::string TelemetrySampler::to_jsonl() const {
           counter_delta(before, s.cum, config_.patch_base_counter));
       emit("patch_ratio", base > 0.0 ? patched / base : 0.0);
     }
+    if (!config_.detected_counter.empty()) {
+      emit("fault_detected_rate",
+           static_cast<double>(
+               counter_delta(before, s.cum, config_.detected_counter)) /
+               dt);
+    }
+    if (!config_.degraded_counter.empty()) {
+      const auto degraded = static_cast<double>(
+          counter_delta(before, s.cum, config_.degraded_counter));
+      const auto base = static_cast<double>(
+          counter_delta(before, s.cum, config_.degraded_base_counter));
+      emit("degraded_ratio", base > 0.0 ? degraded / base : 0.0);
+    }
     if (!config_.backlog_gauge.empty()) {
       emit("backlog_depth",
            lookup(s.cum.gauges, config_.backlog_gauge).value_or(0.0));

@@ -63,6 +63,15 @@ struct TelemetryConfig {
   std::string patched_counter;     ///< patch-ratio numerator
   std::string patch_base_counter;  ///< patch-ratio denominator
   std::string backlog_gauge;       ///< backlog-depth series
+  /// Resilience rates, so chaos runs are gate-able by bench_diff like
+  /// any other metric: fault_detected_rate is detections/sec
+  /// (typically "fault.detected"); degraded_ratio is the fraction of
+  /// the interval's completions that were degraded —
+  /// degraded_counter / degraded_base_counter deltas (typically
+  /// "fault.degraded" over "route.routes" or "cluster.routed").
+  std::string detected_counter;       ///< fault_detected_rate numerator
+  std::string degraded_counter;       ///< degraded_ratio numerator
+  std::string degraded_base_counter;  ///< degraded_ratio denominator
 };
 
 /// One retained sample: the registry's cumulative state at a timestamp.

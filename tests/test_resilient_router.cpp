@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
@@ -73,6 +78,142 @@ TEST(BackoffForAttempt, GrowsGeometricallyAndSaturates) {
 
   RetryPolicy immediate;  // default: no backoff
   EXPECT_EQ(backoff_for_attempt(immediate, 1).count(), 0);
+}
+
+TEST(BackoffForAttempt, EdgeCases) {
+  // A huge multiplier overflows any double eventually; the cap must hold.
+  RetryPolicy explosive;
+  explosive.initial_backoff = std::chrono::microseconds{1};
+  explosive.backoff_multiplier = 1e100;
+  explosive.max_backoff = std::chrono::microseconds{5000};
+  EXPECT_EQ(backoff_for_attempt(explosive, 50).count(), 5000);
+
+  // Zero or negative initial backoff means no backoff, ever.
+  RetryPolicy zero;
+  zero.initial_backoff = std::chrono::microseconds{0};
+  EXPECT_EQ(backoff_for_attempt(zero, 7).count(), 0);
+  RetryPolicy negative;
+  negative.initial_backoff = std::chrono::microseconds{-10};
+  EXPECT_EQ(backoff_for_attempt(negative, 1).count(), 0);
+
+  // A cap below the initial backoff clamps from the first retry.
+  RetryPolicy clamped;
+  clamped.initial_backoff = std::chrono::microseconds{500};
+  clamped.max_backoff = std::chrono::microseconds{350};
+  EXPECT_EQ(backoff_for_attempt(clamped, 1).count(), 350);
+  EXPECT_EQ(backoff_for_attempt(clamped, 4).count(), 350);
+
+  // failures is 1-based; 0 is a caller bug.
+  EXPECT_THROW(backoff_for_attempt(RetryPolicy{}, 0), ContractViolation);
+}
+
+TEST(BackoffForAttempt, JitterIsBoundedDeterministicAndSaltSensitive) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds{1000};
+  policy.backoff_multiplier = 1.0;
+  policy.jitter = 0.4;
+  policy.jitter_seed = test_seed(7);
+
+  bool varied = false;
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    const auto us = backoff_for_attempt(policy, 1, salt).count();
+    // Factor drawn from (1 - jitter, 1]: jitter only ever shrinks, so
+    // max_backoff stays a hard ceiling.
+    EXPECT_GE(us, 600);
+    EXPECT_LE(us, 1000);
+    EXPECT_EQ(us, backoff_for_attempt(policy, 1, salt).count())
+        << "jitter must be a pure function of (policy, failures, salt)";
+    varied = varied || us != backoff_for_attempt(policy, 1, salt + 1).count();
+  }
+  EXPECT_TRUE(varied) << "distinct salts should draw distinct factors";
+
+  // Distinct seeds draw distinct streams (workers seeded apart spread
+  // their retries instead of thundering in lockstep).
+  RetryPolicy other = policy;
+  other.jitter_seed = policy.jitter_seed + 1;
+  bool seed_varied = false;
+  for (std::uint64_t salt = 0; salt < 16 && !seed_varied; ++salt) {
+    seed_varied = backoff_for_attempt(policy, 1, salt) !=
+                  backoff_for_attempt(other, 1, salt);
+  }
+  EXPECT_TRUE(seed_varied);
+
+  // jitter = 0 keeps the legacy deterministic schedule, salt ignored.
+  policy.jitter = 0.0;
+  EXPECT_EQ(backoff_for_attempt(policy, 1, 1).count(), 1000);
+  EXPECT_EQ(backoff_for_attempt(policy, 1, 2).count(), 1000);
+}
+
+TEST(RetryPolicyValidate, RejectsUnsatisfiablePolicies) {
+  EXPECT_NO_THROW(validate(RetryPolicy{}));
+
+  RetryPolicy no_attempts;
+  no_attempts.max_attempts_per_path = 0;
+  EXPECT_THROW(validate(no_attempts), ContractViolation);
+
+  RetryPolicy bad_multiplier;
+  bad_multiplier.backoff_multiplier = 0.0;
+  EXPECT_THROW(validate(bad_multiplier), ContractViolation);
+  bad_multiplier.backoff_multiplier =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate(bad_multiplier), ContractViolation);
+  bad_multiplier.backoff_multiplier = std::nan("");
+  EXPECT_THROW(validate(bad_multiplier), ContractViolation);
+
+  RetryPolicy bad_jitter;
+  bad_jitter.jitter = -0.1;
+  EXPECT_THROW(validate(bad_jitter), ContractViolation);
+  bad_jitter.jitter = 1.5;
+  EXPECT_THROW(validate(bad_jitter), ContractViolation);
+  bad_jitter.jitter = std::nan("");
+  EXPECT_THROW(validate(bad_jitter), ContractViolation);
+
+  RetryPolicy bad_cap;
+  bad_cap.max_backoff = std::chrono::microseconds{-1};
+  EXPECT_THROW(validate(bad_cap), ContractViolation);
+
+  // The router validates at construction, so a bad policy cannot route.
+  ResilientOptions options;
+  options.retry.jitter = 2.0;
+  EXPECT_THROW(ResilientRouter(16, options), ContractViolation);
+}
+
+TEST(ResilientRouter, RequestStopInterruptsBackoffSleep) {
+  // An unrecoverable fault under a policy whose full backoff schedule
+  // takes seconds: request_stop() must wake the pending sleep and
+  // short-circuit the remaining ones, so the route returns quickly
+  // (still Failed — stop never invents an outcome).
+  const std::size_t n = 16;
+  const MulticastAssignment a = sweep_assignment(n);
+  fault::FaultSpec f;
+  f.kind = fault::FaultKind::DeadLink;
+  f.level = 1;
+  f.index = 0;
+
+  fault::FaultInjector injector(fault::FaultPlan{n, {f}});
+  ResilientOptions options;
+  options.faults = &injector;
+  options.retry.initial_backoff = std::chrono::milliseconds{1000};
+  options.retry.max_backoff = std::chrono::milliseconds{1000};
+  ResilientRouter router(n, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    router.request_stop();
+  });
+  const RequestOutcome out = router.route(a);
+  stopper.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(out.outcome, RouteOutcome::Failed);
+  // 3 backoffs x 1s uninterrupted; generous margin for slow machines.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  EXPECT_TRUE(router.stop_requested());
+
+  // clear_stop() re-arms the backoff schedule for reuse after drain.
+  router.clear_stop();
+  EXPECT_FALSE(router.stop_requested());
 }
 
 TEST(ResilientRouter, CleanRouteDeliversOnPrimaryPath) {

@@ -274,6 +274,48 @@ TEST(TelemetrySampler, JsonlShapeAndDerivedRates) {
   EXPECT_TRUE(rollup.at("metrics").is_object());
 }
 
+TEST(TelemetrySampler, FaultAndDegradedDerivedRates) {
+  MetricRegistry registry;
+  Counter& routes = registry.counter("cl.submitted");
+  Counter& detected = registry.counter("fault.detected");
+  Counter& degraded = registry.counter("cl.delivered_degraded");
+
+  TelemetryConfig config;
+  config.source = "test";
+  config.routes_counter = "cl.submitted";
+  config.detected_counter = "fault.detected";
+  config.degraded_counter = "cl.delivered_degraded";
+  config.degraded_base_counter = "cl.submitted";
+  TelemetrySampler sampler(registry, config);
+
+  sampler.sample_now();
+  routes.add(80);
+  detected.add(6);
+  degraded.add(20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.sample_now();
+
+  const std::vector<JsonValue> docs = parse_jsonl(sampler.to_jsonl());
+  const JsonValue& second = docs[2];
+  ASSERT_EQ(second.at("type").as_string(), "sample");
+  const double dt = second.at("dt_s").as_number();
+  const JsonValue& derived = second.at("derived");
+  // fault_detected_rate * dt recovers the interval's detection delta.
+  EXPECT_NEAR(derived.at("fault_detected_rate").as_number() * dt, 6.0, 1e-6);
+  // degraded_ratio is a delta-over-delta fraction of the base counter.
+  EXPECT_NEAR(derived.at("degraded_ratio").as_number(), 0.25, 1e-12);
+
+  // A quiet interval: rate falls to zero and the ratio degenerates to 0
+  // (not NaN) when the base counter did not move.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sampler.sample_now();
+  const std::vector<JsonValue> more = parse_jsonl(sampler.to_jsonl());
+  const JsonValue& third = more[3];
+  ASSERT_EQ(third.at("type").as_string(), "sample");
+  EXPECT_EQ(third.at("derived").at("fault_detected_rate").as_number(), 0.0);
+  EXPECT_EQ(third.at("derived").at("degraded_ratio").as_number(), 0.0);
+}
+
 TEST(TelemetrySampler, HeatmapLineEmbeddedWhenAttached) {
   MetricRegistry registry;
   TelemetrySampler sampler(registry, {});

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/rng.hpp"
@@ -36,6 +37,11 @@ namespace {
 brsmn::obs::MetricRegistry* g_metrics = nullptr;   // set when --metrics-out
 brsmn::obs::Tracer* g_tracer = nullptr;            // set when --trace-out
 brsmn::obs::PhaseProfiler* g_profiler = nullptr;   // owned by main()
+/// Separate profiler fed only by the BM_Compile* families below, so the
+/// cold-compile phases (scatter / eps_divide / quasisort / datapath) get
+/// their own IPC/MPKI attribution instead of pooling with every other
+/// family's routes. Exported as perf.compile.* gauges.
+brsmn::obs::PhaseProfiler* g_compile_profiler = nullptr;
 
 brsmn::RouteOptions engine_options(brsmn::RouteEngine engine) {
   brsmn::RouteOptions options;
@@ -119,6 +125,61 @@ void register_backend_route_benches() {
         [b](benchmark::State& state) { packed_backend_bench(state, b); })
         ->RangeMultiplier(4)
         ->Range(64, 4096);
+  }
+}
+
+// The cold-compile gate families: the identical workload to
+// BM_PackedRoute / BM_PackedBackendRoute (every iteration is a full cold
+// compile — configuration sweeps plus datapath), recorded under the
+// compile.route.* / compile.<backend>.route.* prefixes and profiled by
+// the dedicated compile PhaseProfiler. The separate names let
+// BENCH_baseline.json freeze the *pre-refactor* compile cost under
+// these families while the packed.*.route.* families track the current
+// code — the CI compile gate then proves compile p50 <= 0.7x the frozen
+// reference via bench_diff's negative-threshold checks (see
+// docs/EXPERIMENTS.md). Per-backend variants are registered from main()
+// like the packed backend families.
+void compile_route_bench(benchmark::State& state,
+                         std::optional<brsmn::simd::Backend> backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  brsmn::Brsmn net(n);
+  brsmn::Rng rng(1);
+  const auto a = brsmn::random_multicast(n, 0.9, rng);
+  const std::string prefix =
+      backend.has_value()
+          ? std::string("compile.") + brsmn::simd::to_string(*backend) +
+                ".route"
+          : std::string("compile.route");
+  brsmn::RouteOptions options;
+  options.metrics = g_metrics;
+  options.tracer = g_tracer;
+  options.profiler = g_compile_profiler;
+  options.engine = brsmn::RouteEngine::Packed;
+  if (backend.has_value()) options.simd_backend = *backend;
+  options.metrics_prefix = prefix;
+  if (g_metrics != nullptr) g_metrics->reset(prefix);
+  for (auto _ : state) {
+    auto result = net.route(a, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CompileRoute(benchmark::State& state) {
+  compile_route_bench(state, std::nullopt);
+}
+BENCHMARK(BM_CompileRoute)->Arg(1024);
+
+void register_backend_compile_benches() {
+  for (const brsmn::simd::Backend b : brsmn::simd::available_backends()) {
+    const std::string name =
+        std::string("BM_CompileBackendRoute_") + brsmn::simd::to_string(b);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [b](benchmark::State& state) { compile_route_bench(state, b); })
+        ->Arg(1024);
   }
 }
 
@@ -226,19 +287,22 @@ int main(int argc, char** argv) {
   brsmn::obs::MetricRegistry registry;
   brsmn::obs::Tracer tracer;
   brsmn::obs::PhaseProfiler profiler;
+  brsmn::obs::PhaseProfiler compile_profiler;
   const auto metrics_path = brsmn::obs::consume_metrics_out_flag(argc, argv);
   const auto trace_path = brsmn::obs::consume_trace_out_flag(argc, argv);
   if (metrics_path) g_metrics = &registry;
   if (trace_path) g_tracer = &tracer;
   g_profiler = &profiler;
+  g_compile_profiler = &compile_profiler;
   const bool dump_to_stdout = brsmn::obs::claims_stdout(metrics_path) ||
                               brsmn::obs::claims_stdout(trace_path);
   std::FILE* report = dump_to_stdout ? stderr : stdout;
   std::fprintf(report,
                "Packed word-parallel kernel vs scalar reference engine.\n"
                "Metric prefixes: scalar.route.* / packed.route.* (auto "
-               "dispatch) / packed.<backend>.route.* — compare with "
-               "tools/bench_diff (docs/EXPERIMENTS.md).\n"
+               "dispatch) / packed.<backend>.route.* / compile.route.* / "
+               "compile.<backend>.route.* — compare with tools/bench_diff "
+               "(docs/EXPERIMENTS.md).\n"
                "SIMD backends on this host:");
   for (const brsmn::simd::Backend b : brsmn::simd::available_backends()) {
     std::fprintf(report, " %s", brsmn::simd::to_string(b));
@@ -246,6 +310,7 @@ int main(int argc, char** argv) {
   std::fprintf(report, " (auto -> %s)\n\n",
                brsmn::simd::to_string(brsmn::simd::ops().kind));
   register_backend_route_benches();
+  register_backend_compile_benches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (dump_to_stdout) {
@@ -260,6 +325,13 @@ int main(int argc, char** argv) {
   // degrades to a single fallback line when perf_event_open is denied.
   std::fprintf(report, "\n%s", profiler.to_table().c_str());
   if (g_metrics != nullptr) profiler.export_gauges(registry, "perf");
+  // The compile families' own attribution: where the cold-compile cycles
+  // go per phase (the scatter / eps_divide / quasisort configuration
+  // sweeps vs the datapath), unpolluted by the other families.
+  std::fprintf(report, "\ncold-compile phases (BM_Compile* families):\n%s",
+               compile_profiler.to_table().c_str());
+  if (g_metrics != nullptr)
+    compile_profiler.export_gauges(registry, "perf.compile");
   if (metrics_path) {
     if (!brsmn::obs::try_write_metrics(*metrics_path, registry)) return 1;
     std::fprintf(stderr, "metrics written to %s\n", metrics_path->c_str());

@@ -1,0 +1,40 @@
+// Shared registry for lazily-built power-of-two lookup tables.
+//
+// Several subsystems keep per-width permutation/index tables that are
+// pure functions of the width: the topology shuffle maps
+// (topology/shuffle.cpp) and the bit-reversal order of the tag-sequence
+// encoder (core/tag_sequence.cpp). Each used to carry its own
+// std::once_flag array + table array statics, so the scalar and packed
+// engines could end up building identical tables twice behind different
+// statics. This header centralizes the pattern: one registry per table
+// *kind* (identified by the builder function), one build per (kind,
+// width) per process, spans stable for the process lifetime.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace brsmn::common {
+
+/// One lazily-built table of T per power-of-two length. `Builder` is a
+/// stateless callable `void(std::size_t len, std::vector<T>& out)`; the
+/// builder type identifies the registry, so two call sites naming the
+/// same builder share one set of tables. Thread-safe (std::call_once);
+/// returned spans are valid for the process lifetime.
+template <typename T, typename Builder>
+std::span<const T> pow2_table(std::size_t len) {
+  BRSMN_EXPECTS(is_pow2(len));
+  static std::array<std::once_flag, 64> built;
+  static std::array<std::vector<T>, 64> tables;
+  const auto k = static_cast<std::size_t>(log2_exact(len));
+  std::call_once(built[k], [len, k] { Builder{}(len, tables[k]); });
+  return tables[k];
+}
+
+}  // namespace brsmn::common

@@ -37,7 +37,7 @@ std::vector<LineValue> initial_lines(const MulticastAssignment& a,
     p.source = i;
     p.copy_id = next_copy_id++;
     p.parent_id = p.copy_id;
-    p.stream = encode_sequence(dests, a.size());
+    encode_sequence_into(dests, a.size(), p.stream);
     const Tag head = p.stream.front();
     lines[i] = occupied_line(head, std::move(p));
   }

@@ -41,6 +41,7 @@ class PlanCache;
 
 namespace brsmn::pkern {
 struct ReplayWorkspace;
+struct CompileWorkspace;
 }  // namespace brsmn::pkern
 
 namespace brsmn {
@@ -258,6 +259,10 @@ class Brsmn {
   /// Lazily created by route_replay; owning it here keeps steady-state
   /// replay allocation-free.
   std::unique_ptr<pkern::ReplayWorkspace> replay_ws_;
+  /// Lazily created by packed_route / patch_route: the compile hot
+  /// path's reusable kernel + census scratch, so warm compiles allocate
+  /// nothing in the per-level loops.
+  std::unique_ptr<pkern::CompileWorkspace> compile_ws_;
 };
 
 RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,

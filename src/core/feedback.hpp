@@ -91,6 +91,9 @@ class FeedbackBrsmn {
   Rbn fabric_;
   /// Lazily created by route_replay (see Brsmn::replay_ws_).
   std::unique_ptr<pkern::ReplayWorkspace> replay_ws_;
+  /// Lazily created by packed_route / patch_route (see
+  /// Brsmn::compile_ws_).
+  std::unique_ptr<pkern::CompileWorkspace> compile_ws_;
 };
 
 RouteResult packed_route(FeedbackBrsmn& net,

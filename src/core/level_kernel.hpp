@@ -56,6 +56,13 @@ struct LevelKernel {
   /// only changes speed, never state.
   const simd::SimdOps* ops = &simd::ops();
 
+  /// Byte-per-line staging buffer for the SoA tag transposes: load_lines
+  /// encodes into it before one tag_pack call, gather decodes whole
+  /// planes into it with one tag_unpack call. Sized words_for(n)*64; the
+  /// tail bytes past n are zero and never written (the tag planes' bits
+  /// past n are zero, so unpack rewrites them with zeros).
+  std::vector<std::uint8_t> tag_bytes;
+
   LevelKernel(std::size_t n_, int m, int stages_)
       : n(n_),
         stages(stages_),
@@ -63,7 +70,8 @@ struct LevelKernel {
         state(n_, wcode + 3),
         scratch(n_, wcode + 3),
         masks(static_cast<std::size_t>(stages_)),
-        events(static_cast<std::size_t>(stages_)) {
+        events(static_cast<std::size_t>(stages_)),
+        tag_bytes(packed::words_for(n_) * packed::kWordBits, 0) {
     for (auto& mk : masks) mk.resize(packed::words_for(n_));
   }
 
@@ -77,6 +85,16 @@ struct LevelKernel {
   void reset_pass() {
     for (auto& mk : masks) mk.clear();
     for (auto& ev : events) ev.clear();
+  }
+
+  /// Reconfigure a widest-level workspace kernel (stages = m at
+  /// construction) for one level of S stages: the datapaths and
+  /// configuration sweeps run stages 1..S, the mask/event rows past S
+  /// stay cleared, and plan captures slice to the first S rows — so a
+  /// reused kernel is indistinguishable from one constructed per level.
+  void begin_level(int S) {
+    stages = S;
+    reset_pass();
   }
 };
 
@@ -112,6 +130,37 @@ struct ReplayWorkspace {
         final_t0(packed::words_for(n), 0),
         final_t1(packed::words_for(n), 0),
         final_t2(packed::words_for(n), 0) {}
+};
+
+/// Reusable compile scratch owned by the network objects, mirroring
+/// ReplayWorkspace: one widest-level kernel (begin_level reconfigures it
+/// per level) plus every per-level buffer the configuration sweeps need —
+/// the SoA tag censuses, the ε0 selection plane, the scatter type tree
+/// (flat, level j at offset 2n - n/2^(j-1)), the backward-sweep run
+/// starts, the per-block entry tallies, and the gather double buffer.
+/// First route allocates once; warm compiles reuse everything.
+struct CompileWorkspace {
+  LevelKernel kx;
+  packed::TagCensus census;   ///< scatter-entry census
+  packed::TagCensus mid;      ///< post-scatter census
+  packed::TagCensus divided;  ///< post-ε-division census
+  packed::Words eps0_sel;
+  std::vector<std::uint8_t> type;  ///< flat scatter type tree (<= 2n)
+  std::vector<std::size_t> start;
+  std::vector<std::size_t> next;
+  std::vector<std::size_t> in_zeros;
+  std::vector<std::size_t> in_ones;
+  std::vector<std::size_t> in_alphas;
+  std::vector<std::size_t> in_epses;
+  std::vector<LineValue> line_buf;        ///< gather output double buffer
+  std::vector<std::uint8_t> side_done;    ///< per-event first-copy latch
+
+  CompileWorkspace(std::size_t n, int m)
+      : kx(n, m, m), eps0_sel(packed::words_for(n), 0) {
+    type.reserve(2 * n);
+    start.reserve(n / 2);
+    next.reserve(n / 2);
+  }
 };
 
 }  // namespace brsmn::pkern

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 
 #include "common/bits.hpp"
@@ -252,16 +253,20 @@ void CountPyramid::build(std::span<const std::uint64_t> indicator,
   n_ = n;
   levels_ = log2_exact(n);
   const int in_word = std::min(levels_, 6);
-  packed_.assign(static_cast<std::size_t>(in_word), Words(wpl, 0));
+  // Resize-reuse: every word below is fully overwritten by the cascade,
+  // so rebuilding with held capacity allocates nothing.
+  packed_.resize(static_cast<std::size_t>(in_word));
   std::uint64_t* level_words[6] = {};
   for (int j = 0; j < in_word; ++j) {
+    packed_[static_cast<std::size_t>(j)].resize(wpl);
     level_words[j] = packed_[static_cast<std::size_t>(j)].data();
   }
   const simd::SimdOps& o =
       ops != nullptr ? *ops : simd::ops(simd::Backend::Portable);
   o.count_cascade(indicator.data(), level_words, in_word, wpl);
-  coarse_.clear();
-  if (levels_ > 6) {
+  if (levels_ <= 6) {
+    coarse_.clear();
+  } else {
     // Level 7 aggregates whole-word totals (the level-6 fields).
     const auto& word_totals = packed_[5];
     coarse_.resize(static_cast<std::size_t>(levels_ - 6));
@@ -296,6 +301,49 @@ std::size_t CountPyramid::count(int level, std::size_t block) const {
 }
 
 std::size_t CountPyramid::total() const { return count(levels_, 0); }
+
+void TagCensus::build(std::span<const std::uint64_t> t0,
+                      std::span<const std::uint64_t> t1,
+                      std::span<const std::uint64_t> t2, std::size_t n,
+                      const simd::SimdOps& ops) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  const std::size_t wpl = words_for(n);
+  BRSMN_EXPECTS(t0.size() == wpl && t1.size() == wpl && t2.size() == wpl);
+  n_ = n;
+  wpl_ = wpl;
+  levels_ = log2_exact(n);
+  // Resize-reuse: every entry below is fully overwritten each build.
+  alpha_.resize(wpl);
+  eps_.resize(wpl);
+  ones_.resize(wpl);
+  step_.resize(wpl);
+  ops.census_split(t0.data(), t1.data(), t2.data(), alpha_.data(), eps_.data(),
+                   ones_.data(), wpl);
+  const std::uint64_t* planes[3] = {alpha_.data(), eps_.data(), ones_.data()};
+  const std::size_t n1 = n >> 1;
+  for (int c = 0; c < 3; ++c) {
+    counts_[c].resize(n - 1);
+    std::uint32_t* flat = counts_[c].data();
+    // Level 1 (pair counts): one cascade step packs 32 two-bit pair
+    // fields per word; spill them to uint32 so every coarser level is a
+    // straight pairwise vector sum.
+    std::uint64_t* step = step_.data();
+    ops.count_cascade(planes[c], &step, 1, wpl);
+    for (std::size_t w = 0; w < wpl; ++w) {
+      const std::uint64_t fields = step_[w];
+      const std::size_t base = 32 * w;
+      const std::size_t lim = std::min<std::size_t>(32, n1 - base);
+      for (std::size_t f = 0; f < lim; ++f) {
+        flat[base + f] = static_cast<std::uint32_t>((fields >> (2 * f)) & 3u);
+      }
+    }
+    // Levels 2..log2(n): each level's counts start exactly where the
+    // finer level's end, so src and dst never overlap.
+    for (int j = 2; j <= levels_; ++j) {
+      ops.pair_sum_u32(flat + offset(j - 1), flat + offset(j), n >> j);
+    }
+  }
+}
 
 void select_prefix(std::span<const std::uint64_t> plane,
                    std::span<std::uint64_t> out, std::size_t first,
@@ -357,6 +405,11 @@ constexpr std::uint64_t kIdentityPattern[6] = {
     0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
 };
 
+/// encode() as a lookup keyed by the Tag's underlying value, so the
+/// byte-staging loops stay branch-free (Table 1: ε and ε0 both 110).
+constexpr std::uint8_t kTagEncoding[6] = {0b000, 0b001, 0b100,
+                                          0b110, 0b110, 0b111};
+
 }  // namespace
 
 void load_identity_codes(LevelKernel& kx) {
@@ -378,19 +431,20 @@ void load_identity_codes(LevelKernel& kx) {
 
 /// Transpose the level's line state into the kernel's planes: codes are
 /// the line indices, tags the Table 1 encoding (b0 = plane 0 of the tag
-/// planes). All plane bits at positions >= n stay zero.
+/// planes). All plane bits at positions >= n stay zero: the byte stage
+/// buffer's tail bytes are zero, and the zero encoding contributes no
+/// plane bits. One branch-free encode sweep plus one tag_pack transpose
+/// replaces the three conditional bit-sets per line.
 void load_lines(LevelKernel& kx, const std::vector<LineValue>& lines) {
   load_identity_codes(kx);
   const std::size_t n = kx.n;
-  auto t0 = kx.tag_plane(0);
-  auto t1 = kx.tag_plane(1);
-  auto t2 = kx.tag_plane(2);
+  const std::size_t wpl = kx.state.words_per_plane();
+  std::uint8_t* enc = kx.tag_bytes.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t enc = encode(lines[i].tag);
-    if (enc & 0b100u) pk::plane_set(t0, i, true);
-    if (enc & 0b010u) pk::plane_set(t1, i, true);
-    if (enc & 0b001u) pk::plane_set(t2, i, true);
+    enc[i] = kTagEncoding[static_cast<std::uint8_t>(lines[i].tag)];
   }
+  kx.ops->tag_pack(enc, kx.tag_plane(0).data(), kx.tag_plane(1).data(),
+                   kx.tag_plane(2).data(), wpl);
 }
 
 /// Propagate the planes through the configured scatter stages. At each
@@ -467,21 +521,19 @@ using pkern::load_lines;
 using pkern::run_scatter_datapath;
 using pkern::run_unicast_datapath;
 
-/// Decode the tag planes back into Tag values. `collapse` folds the 110
-/// pattern to plain Eps — required when materializing *scatter-pass
-/// outputs*, where 110 still means an undivided ε (the scalar engine only
-/// introduces Eps0/Eps1 during ε-division).
-std::vector<Tag> materialize_tags(const LevelKernel& kx, bool collapse) {
+/// Decode the tag planes back into Tag values (one tag_unpack transpose
+/// through the kernel's byte stage buffer instead of three bit probes
+/// per line). `collapse` folds the 110 pattern to plain Eps — required
+/// when materializing *scatter-pass outputs*, where 110 still means an
+/// undivided ε (the scalar engine only introduces Eps0/Eps1 during
+/// ε-division).
+std::vector<Tag> materialize_tags(LevelKernel& kx, bool collapse) {
   std::vector<Tag> tags(kx.n);
-  const auto t0 = kx.tag_plane(0);
-  const auto t1 = kx.tag_plane(1);
-  const auto t2 = kx.tag_plane(2);
+  const std::size_t wpl = kx.state.words_per_plane();
+  kx.ops->tag_unpack(kx.tag_plane(0).data(), kx.tag_plane(1).data(),
+                     kx.tag_plane(2).data(), kx.tag_bytes.data(), wpl);
   for (std::size_t i = 0; i < kx.n; ++i) {
-    const auto bits = static_cast<std::uint8_t>(
-        (pk::plane_get(t0, i) ? 0b100u : 0u) |
-        (pk::plane_get(t1, i) ? 0b010u : 0u) |
-        (pk::plane_get(t2, i) ? 0b001u : 0u));
-    const Tag t = decode(bits);
+    const Tag t = decode(kx.tag_bytes[i]);
     tags[i] = collapse ? collapse_eps(t) : t;
   }
   return tags;
@@ -511,29 +563,27 @@ void fill_masks(pk::StageMasks& mk, int stage, std::size_t gblock,
   }
 }
 
-struct TagCensus {
-  pk::Words alpha;
-  pk::Words eps;
-  pk::Words ones;
-  pk::CountPyramid alpha_pyr;
-  pk::CountPyramid eps_pyr;
-  pk::CountPyramid ones_pyr;
+/// Rebuild a workspace census from the kernel's current tag planes.
+void build_census(pk::TagCensus& census, const LevelKernel& kx) {
+  census.build(kx.tag_plane(0), kx.tag_plane(1), kx.tag_plane(2), kx.n,
+               *kx.ops);
+}
 
-  void build(const LevelKernel& kx) {
-    const auto t0 = kx.tag_plane(0);
-    const auto t1 = kx.tag_plane(1);
-    const auto t2 = kx.tag_plane(2);
-    const std::size_t wpl = t0.size();
-    alpha.resize(wpl);
-    eps.resize(wpl);
-    ones.resize(wpl);
-    kx.ops->census_split(t0.data(), t1.data(), t2.data(), alpha.data(),
-                         eps.data(), ones.data(), wpl);
-    alpha_pyr.build(alpha, kx.n, kx.ops);
-    eps_pyr.build(eps, kx.n, kx.ops);
-    ones_pyr.build(ones, kx.n, kx.ops);
-  }
-};
+/// Slice the workspace kernel's first S mask rows into a plan capture.
+/// The workspace kernel is sized for the widest level (m rows); rows past
+/// the level's stage count are workspace padding, kept cleared, and must
+/// not leak into the stored plan (replay and the plan tests expect
+/// exactly S rows, as a per-level kernel would produce).
+void capture_stage_masks(const LevelKernel& kx,
+                         std::vector<pk::StageMasks>& dst) {
+  dst.assign(kx.masks.begin(), kx.masks.begin() + kx.stages);
+}
+
+/// As capture_stage_masks, for the per-stage broadcast event lists.
+void capture_stage_events(const LevelKernel& kx,
+                          std::vector<std::vector<BcastEvent>>& dst) {
+  dst.assign(kx.events.begin(), kx.events.begin() + kx.stages);
+}
 
 /// Word-parallel scatter configuration over the full width: the forward
 /// phase reads per-node alpha/eps counts from the pyramids (with the
@@ -546,24 +596,34 @@ struct TagCensus {
 /// unrolled engine's Eq. (3) check.
 template <typename InstallFn>
 std::vector<ScatterNodeValue> configure_scatter_packed(
-    LevelKernel& kx, const TagCensus& census, RoutingStats* stats,
-    const ExplainSink* explain, InstallFn&& install) {
+    pkern::CompileWorkspace& ws, const pk::TagCensus& census,
+    RoutingStats* stats, const ExplainSink* explain, InstallFn&& install) {
+  LevelKernel& kx = ws.kx;
   const std::size_t n = kx.n;
   const int S = kx.stages;
 
-  std::vector<std::vector<std::uint8_t>> type(static_cast<std::size_t>(S) + 1);
-  type[0].resize(n);
+  // Flat type tree in the workspace: level j's n/2^j node types start at
+  // 2n - n/2^(j-1) (level 0 at 0), so the forward sweep is two array
+  // loads and a branchless select per node.
+  ws.type.resize(2 * n - (n >> S));
+  std::uint8_t* type = ws.type.data();
+  const auto toff = [n](int j) {
+    return j == 0 ? std::size_t{0} : 2 * n - (n >> (j - 1));
+  };
+  const auto alpha = census.alpha();
   for (std::size_t i = 0; i < n; ++i) {
-    type[0][i] = pk::plane_get(census.alpha, i) ? 1 : 0;
+    type[i] =
+        static_cast<std::uint8_t>((alpha[i / 64] >> (i % 64)) & 1u);
   }
   for (int j = 1; j <= S; ++j) {
-    auto& cur = type[static_cast<std::size_t>(j)];
-    const auto& child = type[static_cast<std::size_t>(j - 1)];
-    cur.resize(n >> j);
-    for (std::size_t b = 0; b < cur.size(); ++b) {
-      const auto na = static_cast<std::ptrdiff_t>(census.alpha_pyr.count(j, b));
-      const auto ne = static_cast<std::ptrdiff_t>(census.eps_pyr.count(j, b));
-      cur[b] = na > ne ? 1 : na < ne ? 0 : child[2 * b];
+    const std::uint8_t* child = type + toff(j - 1);
+    std::uint8_t* cur = type + toff(j);
+    for (std::size_t b = 0; b < (n >> j); ++b) {
+      const std::size_t na = census.count_alpha(j, b);
+      const std::size_t ne = census.count_eps(j, b);
+      // The scalar combine()'s tie-type propagation, branch-free: a
+      // zero-surplus node inherits its upper child's type.
+      cur[b] = na != ne ? static_cast<std::uint8_t>(na > ne) : child[2 * b];
     }
   }
   if (stats) {
@@ -573,18 +633,19 @@ std::vector<ScatterNodeValue> configure_scatter_packed(
 
   auto node_value = [&](int j, std::size_t b) -> ScatterNodeValue {
     if (j == 0) {
-      const bool a = pk::plane_get(census.alpha, b);
-      const bool e = pk::plane_get(census.eps, b);
+      const bool a = pk::plane_get(census.alpha(), b);
+      const bool e = pk::plane_get(census.eps(), b);
       return {a ? Tag::Alpha : Tag::Eps, (a || e) ? std::size_t{1} : 0};
     }
-    const std::size_t na = census.alpha_pyr.count(j, b);
-    const std::size_t ne = census.eps_pyr.count(j, b);
-    return {type[static_cast<std::size_t>(j)][b] ? Tag::Alpha : Tag::Eps,
+    const std::size_t na = census.count_alpha(j, b);
+    const std::size_t ne = census.count_eps(j, b);
+    return {type[toff(j) + b] ? Tag::Alpha : Tag::Eps,
             na >= ne ? na - ne : ne - na};
   };
 
-  std::vector<std::size_t> start(n >> S, 0);
-  std::vector<std::size_t> next;
+  std::vector<std::size_t>& start = ws.start;
+  std::vector<std::size_t>& next = ws.next;
+  start.assign(n >> S, 0);
   for (int j = S; j >= 1; --j) {
     const std::size_t np = std::size_t{1} << j;
     const std::size_t half = np / 2;
@@ -683,24 +744,26 @@ void finalize_events(LevelKernel& kx, bool bsn_block_major,
 /// hands the dummy-0 budget to the leftmost ε lines, so the first
 /// n_eps0 ε bits of each block stay ε0 (110) and the rest gain the b2 bit
 /// (ε1 = 111). Tree-op counters match the scalar sweep's closed form.
-void divide_eps_packed(LevelKernel& kx, const TagCensus& census,
-                       RoutingStats* stats) {
+void divide_eps_packed(pkern::CompileWorkspace& ws,
+                       const pk::TagCensus& census, RoutingStats* stats) {
+  LevelKernel& kx = ws.kx;
   const std::size_t n = kx.n;
   const int S = kx.stages;
   const std::size_t np = std::size_t{1} << S;
   const std::size_t wpl = kx.state.words_per_plane();
-  pk::Words eps0_sel(wpl, 0);
+  pk::Words& eps0_sel = ws.eps0_sel;
+  std::fill(eps0_sel.begin(), eps0_sel.end(), 0);
   for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-    const std::size_t n_eps = census.eps_pyr.count(S, bb);
-    const std::size_t n_one = census.ones_pyr.count(S, bb);
+    const std::size_t n_eps = census.count_eps(S, bb);
+    const std::size_t n_one = census.count_ones(S, bb);
     const std::size_t n_zero = np - n_one - n_eps;
     BRSMN_EXPECTS_MSG(n_zero <= np / 2 && n_one <= np / 2,
                       "quasisort input must have at most n/2 zeros and ones");
     const std::size_t n_eps0 = n_eps - (np / 2 - n_one);
-    pk::select_prefix(census.eps, eps0_sel, bb * np, (bb + 1) * np, n_eps0);
+    pk::select_prefix(census.eps(), eps0_sel, bb * np, (bb + 1) * np, n_eps0);
   }
   auto t2 = kx.tag_plane(2);
-  kx.ops->or_andnot(t2.data(), census.eps.data(), eps0_sel.data(), wpl);
+  kx.ops->or_andnot(t2.data(), census.eps().data(), eps0_sel.data(), wpl);
   if (stats) {
     stats->tree_fwd_ops += n - (n >> S);
     stats->tree_bwd_ops += n - (n >> S);
@@ -711,23 +774,26 @@ void divide_eps_packed(LevelKernel& kx, const TagCensus& census,
 /// sort of the b2 keys with the 1-run starting at the midpoint, each merge
 /// node solved by the shared lemma1_geometry.
 template <typename InstallFn>
-void configure_quasisort_packed(LevelKernel& kx, const TagCensus& census,
+void configure_quasisort_packed(pkern::CompileWorkspace& ws,
+                                const pk::TagCensus& census,
                                 RoutingStats* stats,
                                 const ExplainSink* explain,
                                 InstallFn&& install) {
+  LevelKernel& kx = ws.kx;
   const std::size_t n = kx.n;
   const int S = kx.stages;
   const std::size_t np = std::size_t{1} << S;
   for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-    BRSMN_EXPECTS_MSG(census.ones_pyr.count(S, bb) == np / 2,
+    BRSMN_EXPECTS_MSG(census.count_ones(S, bb) == np / 2,
                       "quasisort requires exactly n/2 (real+dummy) ones");
   }
   auto ones_at = [&](int j, std::size_t b) -> std::size_t {
-    if (j == 0) return pk::plane_get(census.ones, b) ? 1 : 0;
-    return census.ones_pyr.count(j, b);
+    if (j == 0) return pk::plane_get(census.ones(), b) ? 1 : 0;
+    return census.count_ones(j, b);
   };
-  std::vector<std::size_t> start(n >> S, np / 2);
-  std::vector<std::size_t> next;
+  std::vector<std::size_t>& start = ws.start;
+  std::vector<std::size_t>& next = ws.next;
+  start.assign(n >> S, np / 2);
   for (int j = S; j >= 1; --j) {
     const std::size_t nprime = std::size_t{1} << j;
     const std::size_t half = nprime / 2;
@@ -761,25 +827,27 @@ void configure_quasisort_packed(LevelKernel& kx, const TagCensus& census,
 /// Rebuild the level's LineValue vector from the planes after the
 /// quasisort datapath: codes below n move the corresponding input packet;
 /// event codes materialize the scalar engine's broadcast copies (0-copy on
-/// the even code) from the latched parent packet.
-std::vector<LineValue> gather_lines(LevelKernel& kx,
-                                    std::vector<LineValue>& prev) {
+/// the even code) from the latched parent packet. `lines` is replaced by
+/// the gathered state via the workspace's double buffer; the tag decode
+/// is one tag_unpack transpose instead of three bit probes per line.
+void gather_lines(pkern::CompileWorkspace& ws, std::vector<LineValue>& lines) {
+  LevelKernel& kx = ws.kx;
   const std::size_t n = kx.n;
-  std::vector<LineValue> out(n);
-  const auto t0 = kx.tag_plane(0);
-  const auto t1 = kx.tag_plane(1);
-  const auto t2 = kx.tag_plane(2);
+  std::vector<LineValue>& prev = lines;
+  std::vector<LineValue>& out = ws.line_buf;
+  out.clear();
+  out.resize(n);
+  kx.ops->tag_unpack(kx.tag_plane(0).data(), kx.tag_plane(1).data(),
+                     kx.tag_plane(2).data(), kx.tag_bytes.data(),
+                     kx.state.words_per_plane());
   // One a_0 is consumed per level, so a line splits at most once per
   // level: once both of an event's copies are materialized its parent
   // packet is dead, and the second copy can steal the parent's stream
   // instead of duplicating it.
-  std::vector<std::uint8_t> first_side_done(kx.num_events, 0);
+  std::vector<std::uint8_t>& first_side_done = ws.side_done;
+  first_side_done.assign(kx.num_events, 0);
   for (std::size_t p = 0; p < n; ++p) {
-    const auto bits = static_cast<std::uint8_t>(
-        (pk::plane_get(t0, p) ? 0b100u : 0u) |
-        (pk::plane_get(t1, p) ? 0b010u : 0u) |
-        (pk::plane_get(t2, p) ? 0b001u : 0u));
-    const Tag tag = decode(bits);
+    const Tag tag = decode(kx.tag_bytes[p]);
     if (is_empty(tag)) {
       out[p].tag = tag;
       continue;
@@ -808,7 +876,7 @@ std::vector<LineValue> gather_lines(LevelKernel& kx,
     }
     out[p] = occupied_line(tag, std::move(copy));
   }
-  return out;
+  lines.swap(out);
 }
 
 /// Pack the tag planes of the line state entering the final 2x2-switch
@@ -874,11 +942,13 @@ bool entry_planes_match(LevelKernel& kx, const PlanLevel& old) {
 /// kernel construction (load_lines) and, when compiling a plan, the
 /// PlanLevel's entry-plane capture.
 void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
-                            LevelKernel& kx, std::vector<LineValue>& lines,
+                            pkern::CompileWorkspace& ws,
+                            std::vector<LineValue>& lines,
                             std::uint64_t& next_copy_id, PlanLevel* pl,
                             RouteResult& result, const RouteOptions& options,
                             obs::RouteProbe& probe, bool checking,
                             std::uint64_t route_ord) {
+  LevelKernel& kx = ws.kx;
   const RoutingStats entry_stats = result.stats;
   const std::size_t splits_before = result.stats.broadcast_ops;
   const int S = kx.stages;
@@ -923,21 +993,25 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
     scatter_sink.record_input_tags(tags);
   }
 
-  TagCensus census;
-  std::vector<std::size_t> in_zeros(n >> S);
-  std::vector<std::size_t> in_ones(n >> S);
-  std::vector<std::size_t> in_alphas(n >> S);
-  std::vector<std::size_t> in_epses(n >> S);
+  pk::TagCensus& census = ws.census;
+  std::vector<std::size_t>& in_zeros = ws.in_zeros;
+  std::vector<std::size_t>& in_ones = ws.in_ones;
+  std::vector<std::size_t>& in_alphas = ws.in_alphas;
+  std::vector<std::size_t>& in_epses = ws.in_epses;
+  in_zeros.resize(n >> S);
+  in_ones.resize(n >> S);
+  in_alphas.resize(n >> S);
+  in_epses.resize(n >> S);
 
   // Pass 1: scatter — eliminate every alpha (paper Theorem 2).
   fault::guard(checking, n, route_ord, k, PassKind::Scatter, false, [&] {
-    census.build(kx);
+    build_census(census, kx);
 
     // The scalar Bsn's entry contracts, per BSN block in block order.
     for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-      in_alphas[bb] = census.alpha_pyr.count(S, bb);
-      in_epses[bb] = census.eps_pyr.count(S, bb);
-      in_ones[bb] = census.ones_pyr.count(S, bb);
+      in_alphas[bb] = census.count_alpha(S, bb);
+      in_epses[bb] = census.count_eps(S, bb);
+      in_ones[bb] = census.count_ones(S, bb);
       in_zeros[bb] = bsn_size - in_alphas[bb] - in_epses[bb] - in_ones[bb];
       BRSMN_EXPECTS_MSG(in_zeros[bb] + in_alphas[bb] <= bsn_size / 2,
                         "BSN input violates n0 + n_alpha <= n/2 (Eq. 2)");
@@ -957,9 +1031,10 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
     }
 
     obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::PerfScope scatter_perf(probe.profiler, probe.perf_scatter);
     obs::TraceSpan scatter_span(probe.tracer, "bsn.scatter.config");
     const std::vector<ScatterNodeValue> roots = configure_scatter_packed(
-        kx, census, &result.stats,
+        ws, census, &result.stats,
         scatter_pass != nullptr ? &scatter_sink : nullptr,
         [&](int j, std::size_t g, std::size_t first, std::size_t count,
             SwitchSetting s) {
@@ -975,16 +1050,17 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
           }
         });
     scatter_span.end();
+    scatter_perf.stop();
     scatter_timer.stop();
     for (const ScatterNodeValue& root : roots) {
       BRSMN_ENSURES_MSG(root.type == Tag::Eps || root.surplus == 0,
                         "Eq. (3) guarantees eps dominates at the BSN root");
     }
   });
-  if (pl != nullptr) pl->scatter_masks = kx.masks;
+  if (pl != nullptr) capture_stage_masks(kx, pl->scatter_masks);
   seam.apply_unrolled_packed(level, PassKind::Scatter, kx.masks);
 
-  TagCensus mid;
+  pk::TagCensus& mid = ws.mid;
   fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
     finalize_events(kx, /*bsn_block_major=*/true, next_copy_id,
                     &result.stats);
@@ -995,11 +1071,11 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
     scatter_datapath.stop();
     result.stats.switch_traversals += (n / 2) * static_cast<std::size_t>(S);
 
-    mid.build(kx);
+    build_census(mid, kx);
     for (std::size_t bb = 0; bb < (n >> S); ++bb) {
-      const std::size_t mid_alphas = mid.alpha_pyr.count(S, bb);
-      const std::size_t mid_epses = mid.eps_pyr.count(S, bb);
-      const std::size_t mid_ones = mid.ones_pyr.count(S, bb);
+      const std::size_t mid_alphas = mid.count_alpha(S, bb);
+      const std::size_t mid_epses = mid.count_eps(S, bb);
+      const std::size_t mid_ones = mid.count_ones(S, bb);
       const std::size_t mid_zeros =
           bsn_size - mid_alphas - mid_epses - mid_ones;
       BRSMN_ENSURES_MSG(mid_alphas == 0, "scatter must eliminate all alphas");
@@ -1009,7 +1085,7 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
     }
   });
   if (pl != nullptr) {
-    pl->events = kx.events;
+    capture_stage_events(kx, pl->events);
     pl->num_events = kx.num_events;
     pl->parent_codes = kx.parent_code;
     pl->post_scatter.assign(kx.state.words().begin(),
@@ -1022,9 +1098,11 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
       quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
     }
     obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::PerfScope divide_perf(probe.profiler, probe.perf_eps_divide);
     obs::TraceSpan divide_span(probe.tracer, "bsn.eps_divide");
-    divide_eps_packed(kx, mid, &result.stats);
+    divide_eps_packed(ws, mid, &result.stats);
     divide_span.end();
+    divide_perf.stop();
     divide_timer.stop();
     if (quasi_pass != nullptr) {
       quasi_sink.record_divided_tags(
@@ -1032,12 +1110,13 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
     }
 
     kx.reset_pass();
-    TagCensus divided;
-    divided.build(kx);
+    pk::TagCensus& divided = ws.divided;
+    build_census(divided, kx);
     obs::PhaseTimer quasisort_timer(probe.quasisort);
+    obs::PerfScope quasisort_perf(probe.profiler, probe.perf_quasisort);
     obs::TraceSpan quasisort_span(probe.tracer, "bsn.quasisort.config");
     configure_quasisort_packed(
-        kx, divided, &result.stats,
+        ws, divided, &result.stats,
         quasi_pass != nullptr ? &quasi_sink : nullptr,
         [&](int j, std::size_t g, std::size_t first, std::size_t count,
             SwitchSetting s) {
@@ -1054,11 +1133,12 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
           }
         });
     quasisort_span.end();
+    quasisort_perf.stop();
     quasisort_timer.stop();
   });
   if (pl != nullptr) {
     pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
-    pl->quasisort_masks = kx.masks;
+    capture_stage_masks(kx, pl->quasisort_masks);
   }
   seam.apply_unrolled_packed(level, PassKind::Quasisort, kx.masks);
 
@@ -1090,12 +1170,12 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
 
   if (checking) {
     fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
-      lines = gather_lines(kx, lines);
+      gather_lines(ws, lines);
       advance_streams(lines);
       fault::self_check_level(lines, k, route_ord);
     });
   } else {
-    lines = gather_lines(kx, lines);
+    gather_lines(ws, lines);
     advance_streams(lines);
   }
   // All BSNs of one level route concurrently: charge the level's delay
@@ -1109,11 +1189,13 @@ void compile_level_unrolled(std::vector<Bsn>& level, std::size_t n, int k,
 /// The body of one feedback level (passes 2k-1 and 2k over the physical
 /// fabric), shared with planner::patch_route like compile_level_unrolled.
 void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
-                            LevelKernel& kx, std::vector<LineValue>& lines,
+                            pkern::CompileWorkspace& ws,
+                            std::vector<LineValue>& lines,
                             std::uint64_t& next_copy_id, PlanLevel* pl,
                             RouteResult& result, const RouteOptions& options,
                             obs::RouteProbe& probe, bool checking,
                             std::uint64_t route_ord) {
+  LevelKernel& kx = ws.kx;
   const RoutingStats entry_stats = result.stats;
   const std::size_t splits_before = result.stats.broadcast_ops;
   const int top_stage = kx.stages;  // level-k BSN size is 2^top_stage
@@ -1156,12 +1238,12 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
       for (std::size_t i = 0; i < n; ++i) tags[i] = lines[i].tag;
       scatter_sink.record_input_tags(tags);
     }
-    TagCensus census;
-    census.build(kx);
+    build_census(ws.census, kx);
     obs::PhaseTimer scatter_timer(probe.scatter);
+    obs::PerfScope scatter_perf(probe.profiler, probe.perf_scatter);
     obs::TraceSpan scatter_span(probe.tracer, "fb.scatter.config");
     configure_scatter_packed(
-        kx, census, &result.stats,
+        ws, ws.census, &result.stats,
         scatter_sink.pass != nullptr ? &scatter_sink : nullptr,
         [&](int j, std::size_t g, std::size_t first, std::size_t count,
             SwitchSetting s) {
@@ -1174,7 +1256,7 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
           }
         });
   });
-  if (pl != nullptr) pl->scatter_masks = kx.masks;
+  if (pl != nullptr) capture_stage_masks(kx, pl->scatter_masks);
   seam.apply_full_packed(fabric, PassKind::Scatter, kx.masks);
   fault::guard(checking, n, route_ord, k, PassKind::Scatter, true, [&] {
     finalize_events(kx, /*bsn_block_major=*/false, next_copy_id,
@@ -1186,7 +1268,7 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
     scatter_datapath.stop();
   });
   if (pl != nullptr) {
-    pl->events = kx.events;
+    capture_stage_events(kx, pl->events);
     pl->num_events = kx.num_events;
     pl->parent_codes = kx.parent_code;
     pl->post_scatter.assign(kx.state.words().begin(),
@@ -1205,26 +1287,27 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
   fault::guard(checking, n, route_ord, k, PassKind::Quasisort, false, [&] {
     fabric.reset();
     kx.reset_pass();
-    TagCensus mid;
-    mid.build(kx);
+    build_census(ws.mid, kx);
     if (quasi_sink.pass != nullptr) {
       quasi_sink.record_input_tags(materialize_tags(kx, /*collapse=*/true));
     }
     obs::TraceSpan quasi_config_span(probe.tracer, "fb.quasisort.config");
     obs::PhaseTimer divide_timer(probe.eps_divide);
+    obs::PerfScope divide_perf(probe.profiler, probe.perf_eps_divide);
     obs::TraceSpan divide_span(probe.tracer, "fb.eps_divide");
-    divide_eps_packed(kx, mid, &result.stats);
+    divide_eps_packed(ws, ws.mid, &result.stats);
     divide_span.end();
+    divide_perf.stop();
     divide_timer.stop();
     if (quasi_sink.pass != nullptr) {
       quasi_sink.record_divided_tags(
           materialize_tags(kx, /*collapse=*/false));
     }
-    TagCensus divided;
-    divided.build(kx);
+    build_census(ws.divided, kx);
     obs::PhaseTimer quasisort_timer(probe.quasisort);
+    obs::PerfScope quasisort_perf(probe.profiler, probe.perf_quasisort);
     configure_quasisort_packed(
-        kx, divided, &result.stats,
+        ws, ws.divided, &result.stats,
         quasi_sink.pass != nullptr ? &quasi_sink : nullptr,
         [&](int j, std::size_t g, std::size_t first, std::size_t count,
             SwitchSetting s) {
@@ -1240,7 +1323,7 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
   });
   if (pl != nullptr) {
     pl->divided_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
-    pl->quasisort_masks = kx.masks;
+    capture_stage_masks(kx, pl->quasisort_masks);
   }
   seam.apply_full_packed(fabric, PassKind::Quasisort, kx.masks);
   fault::guard(checking, n, route_ord, k, PassKind::Quasisort, true, [&] {
@@ -1262,12 +1345,12 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
 
   if (checking) {
     fault::guard(true, n, route_ord, k, std::nullopt, true, [&] {
-      lines = gather_lines(kx, lines);
+      gather_lines(ws, lines);
       advance_streams(lines);
       fault::self_check_level(lines, k, route_ord);
     });
   } else {
-    lines = gather_lines(kx, lines);
+    gather_lines(ws, lines);
     advance_streams(lines);
   }
   result.broadcasts_per_level.push_back(result.stats.broadcast_ops -
@@ -1283,9 +1366,11 @@ void compile_level_feedback(Rbn& fabric, std::size_t n, int m, int k,
 /// exactly the events a cold compile of the new assignment would.
 void reuse_level_state(const PlanLevel& old,
                        const RouteExplanation* base_explanation, std::size_t n,
-                       int k, LevelKernel& kx, std::vector<LineValue>& lines,
+                       int k, pkern::CompileWorkspace& ws,
+                       std::vector<LineValue>& lines,
                        std::uint64_t& next_copy_id, RouteResult& result,
                        const RouteOptions& options, bool checking) {
+  LevelKernel& kx = ws.kx;
   BRSMN_EXPECTS(old.post_quasisort.size() == kx.state.words().size());
   std::copy(old.post_quasisort.begin(), old.post_quasisort.end(),
             kx.state.words().begin());
@@ -1303,12 +1388,12 @@ void reuse_level_state(const PlanLevel& old,
   }
   if (checking) {
     fault::guard(true, n, 0, k, std::nullopt, true, [&] {
-      lines = gather_lines(kx, lines);
+      gather_lines(ws, lines);
       advance_streams(lines);
       fault::self_check_level(lines, k, 0);
     });
   } else {
-    lines = gather_lines(kx, lines);
+    gather_lines(ws, lines);
     advance_streams(lines);
   }
   result.stats += old.stats_delta;
@@ -1321,12 +1406,12 @@ void reuse_level_state(const PlanLevel& old,
 /// matches a cold compile's grids), then restore the line state.
 void reuse_level_unrolled(std::vector<Bsn>& level, const PlanLevel& old,
                           const RouteExplanation* base_explanation,
-                          std::size_t n, int k, LevelKernel& kx,
+                          std::size_t n, int k, pkern::CompileWorkspace& ws,
                           std::vector<LineValue>& lines,
                           std::uint64_t& next_copy_id, RouteResult& result,
                           const RouteOptions& options, obs::RouteProbe& probe,
                           bool checking) {
-  const int S = kx.stages;
+  const int S = ws.kx.stages;
   char level_label[24];
   std::snprintf(level_label, sizeof level_label, "level.%d", k);
   obs::TraceSpan level_span(probe.tracer, level_label);
@@ -1345,7 +1430,7 @@ void reuse_level_unrolled(std::vector<Bsn>& level, const PlanLevel& old,
           j, qrow.subspan(bb * bsn_row, bsn_row));
     }
   }
-  reuse_level_state(old, base_explanation, n, k, kx, lines, next_copy_id,
+  reuse_level_state(old, base_explanation, n, k, ws, lines, next_copy_id,
                     result, options, checking);
 }
 
@@ -1354,7 +1439,7 @@ void reuse_level_unrolled(std::vector<Bsn>& level, const PlanLevel& old,
 /// fabric ends each level exactly as a cold compile leaves it.
 void reuse_level_feedback(Rbn& fabric, const PlanLevel& old,
                           const RouteExplanation* base_explanation,
-                          std::size_t n, int k, LevelKernel& kx,
+                          std::size_t n, int k, pkern::CompileWorkspace& ws,
                           std::vector<LineValue>& lines,
                           std::uint64_t& next_copy_id, RouteResult& result,
                           const RouteOptions& options, obs::RouteProbe& probe,
@@ -1370,7 +1455,7 @@ void reuse_level_feedback(Rbn& fabric, const PlanLevel& old,
   for (std::size_t j = 0; j < old.quasisort_settings.size(); ++j) {
     fabric.install_stage(static_cast<int>(j + 1), old.quasisort_settings[j]);
   }
-  reuse_level_state(old, base_explanation, n, k, kx, lines, next_copy_id,
+  reuse_level_state(old, base_explanation, n, k, ws, lines, next_copy_id,
                     result, options, checking);
 }
 
@@ -1427,15 +1512,24 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
 
+  // Per-network compile workspace: the widest-level kernel plus every
+  // census/configuration buffer, allocated on the first route and reused
+  // by every later compile and patch.
+  if (net.compile_ws_ == nullptr) {
+    net.compile_ws_ = std::make_unique<pkern::CompileWorkspace>(n, m);
+  }
+  pkern::CompileWorkspace& ws = *net.compile_ws_;
+  pkern::LevelKernel& kx = ws.kx;
+  kx.ops = &simd::ops(options.simd_backend);
+  kx.heat = heatmap;
+
   for (int k = 1; k <= m - 1; ++k) {
     if (options.capture_levels) result.level_inputs.push_back(lines);
     fault::apply_dead_lines(options.faults, route_ord, k,
                             fault::ImplKind::Unrolled, RouteEngine::Packed,
                             lines, options.fault_activity);
     const int S = log2_exact(n >> (k - 1));
-    LevelKernel kx(n, m, S);
-    kx.ops = &simd::ops(options.simd_backend);
-    kx.heat = heatmap;
+    kx.begin_level(S);
     kx.heat_level = k;
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
@@ -1447,7 +1541,7 @@ RouteResult packed_route(Brsmn& net, const MulticastAssignment& assignment,
       pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
     }
     compile_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)], n, k,
-                           kx, lines, next_copy_id, pl, result, options,
+                           ws, lines, next_copy_id, pl, result, options,
                            probe, checking, route_ord);
   }
 
@@ -1546,15 +1640,22 @@ RouteResult packed_route(FeedbackBrsmn& net,
   std::uint64_t next_copy_id = 1;
   std::vector<LineValue> lines = initial_lines(assignment, next_copy_id);
 
+  // See the unrolled driver: per-network workspace, reused every route.
+  if (net.compile_ws_ == nullptr) {
+    net.compile_ws_ = std::make_unique<pkern::CompileWorkspace>(n, m);
+  }
+  pkern::CompileWorkspace& ws = *net.compile_ws_;
+  pkern::LevelKernel& kx = ws.kx;
+  kx.ops = &simd::ops(options.simd_backend);
+  kx.heat = heatmap;
+
   for (int k = 1; k <= m - 1; ++k) {
     if (options.capture_levels) result.level_inputs.push_back(lines);
     fault::apply_dead_lines(options.faults, route_ord, k,
                             fault::ImplKind::Feedback, RouteEngine::Packed,
                             lines, options.fault_activity);
     const int top_stage = m - k + 1;  // level-k BSN size is 2^top_stage
-    LevelKernel kx(n, m, top_stage);
-    kx.ops = &simd::ops(options.simd_backend);
-    kx.heat = heatmap;
+    kx.begin_level(top_stage);
     kx.heat_level = k;
     load_lines(kx, lines);
     PlanLevel* pl = nullptr;
@@ -1565,7 +1666,7 @@ RouteResult packed_route(FeedbackBrsmn& net,
       pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
       pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
     }
-    compile_level_feedback(net.fabric_, n, m, k, kx, lines, next_copy_id, pl,
+    compile_level_feedback(net.fabric_, n, m, k, ws, lines, next_copy_id, pl,
                            result, options, probe, checking, route_ord);
   }
 
@@ -1626,8 +1727,8 @@ namespace {
 template <typename ReuseFn, typename CompileFn>
 planner::PatchOutcome patch_route_core(
     std::size_t n, int m, fault::ImplKind impl,
-    const MulticastAssignment& assignment, const RoutePlan& base,
-    const RouteOptions& options, RoutePlan& out,
+    pkern::CompileWorkspace& ws, const MulticastAssignment& assignment,
+    const RoutePlan& base, const RouteOptions& options, RoutePlan& out,
     const planner::PatchConfig& config, ReuseFn&& reuse,
     CompileFn&& compile) {
   BRSMN_EXPECTS_MSG(options.faults == nullptr,
@@ -1692,14 +1793,16 @@ planner::PatchOutcome patch_route_core(
   const double budget =
       config.max_dirty_fraction * static_cast<double>(m - 1);
 
+  pkern::LevelKernel& kx = ws.kx;
+  kx.ops = &simd::ops(options.simd_backend);
+  // Reused levels restore stored checkpoints without re-running the
+  // datapath, so only recompiled levels (and the always-fresh final
+  // level) accumulate heatmap activity on the patch path.
+  kx.heat = heatmap;
+
   for (int k = 1; k <= m - 1; ++k) {
     const int stages = m - k + 1;  // both impls: level-k BSN size 2^(m-k+1)
-    LevelKernel kx(n, m, stages);
-    kx.ops = &simd::ops(options.simd_backend);
-    // Reused levels restore stored checkpoints without re-running the
-    // datapath, so only recompiled levels (and the always-fresh final
-    // level) accumulate heatmap activity on the patch path.
-    kx.heat = heatmap;
+    kx.begin_level(stages);
     kx.heat_level = k;
     load_lines(kx, lines);
     const PlanLevel& old = base.levels[static_cast<std::size_t>(k - 1)];
@@ -1713,14 +1816,14 @@ planner::PatchOutcome patch_route_core(
     PlanLevel* pl = &out.levels.emplace_back();
     if (clean) {
       *pl = old;
-      reuse(k, old, kx, lines, next_copy_id, result, probe, checking);
+      reuse(k, old, ws, lines, next_copy_id, result, probe, checking);
       ++outcome.levels_reused;
     } else {
       pl->stages = stages;
       pl->entry_t0.assign(kx.tag_plane(0).begin(), kx.tag_plane(0).end());
       pl->entry_t1.assign(kx.tag_plane(1).begin(), kx.tag_plane(1).end());
       pl->entry_t2.assign(kx.tag_plane(2).begin(), kx.tag_plane(2).end());
-      compile(k, kx, lines, next_copy_id, pl, result, probe, checking);
+      compile(k, ws, lines, next_copy_id, pl, result, probe, checking);
       ++outcome.levels_recompiled;
     }
   }
@@ -1772,21 +1875,25 @@ PatchOutcome patch_route(Brsmn& net, const MulticastAssignment& assignment,
                          RoutePlan& out, const PatchConfig& config) {
   const RouteExplanation* base_expl =
       base.explanation.has_value() ? &*base.explanation : nullptr;
+  if (net.compile_ws_ == nullptr) {
+    net.compile_ws_ =
+        std::make_unique<pkern::CompileWorkspace>(net.n_, net.m_);
+  }
   return patch_route_core(
-      net.n_, net.m_, fault::ImplKind::Unrolled, assignment, base, options,
-      out, config,
-      [&](int k, const PlanLevel& old, LevelKernel& kx,
+      net.n_, net.m_, fault::ImplKind::Unrolled, *net.compile_ws_,
+      assignment, base, options, out, config,
+      [&](int k, const PlanLevel& old, pkern::CompileWorkspace& ws,
           std::vector<LineValue>& lines, std::uint64_t& next_copy_id,
           RouteResult& result, obs::RouteProbe& probe, bool checking) {
         reuse_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)],
-                             old, base_expl, net.n_, k, kx, lines,
+                             old, base_expl, net.n_, k, ws, lines,
                              next_copy_id, result, options, probe, checking);
       },
-      [&](int k, LevelKernel& kx, std::vector<LineValue>& lines,
+      [&](int k, pkern::CompileWorkspace& ws, std::vector<LineValue>& lines,
           std::uint64_t& next_copy_id, PlanLevel* pl, RouteResult& result,
           obs::RouteProbe& probe, bool checking) {
         compile_level_unrolled(net.levels_[static_cast<std::size_t>(k - 1)],
-                               net.n_, k, kx, lines, next_copy_id, pl, result,
+                               net.n_, k, ws, lines, next_copy_id, pl, result,
                                options, probe, checking, /*route_ord=*/0);
       });
 }
@@ -1797,20 +1904,24 @@ PatchOutcome patch_route(FeedbackBrsmn& net,
                          RoutePlan& out, const PatchConfig& config) {
   const RouteExplanation* base_expl =
       base.explanation.has_value() ? &*base.explanation : nullptr;
+  if (net.compile_ws_ == nullptr) {
+    net.compile_ws_ = std::make_unique<pkern::CompileWorkspace>(
+        net.size(), net.levels());
+  }
   return patch_route_core(
-      net.size(), net.levels(), fault::ImplKind::Feedback, assignment, base,
-      options, out, config,
-      [&](int k, const PlanLevel& old, LevelKernel& kx,
+      net.size(), net.levels(), fault::ImplKind::Feedback, *net.compile_ws_,
+      assignment, base, options, out, config,
+      [&](int k, const PlanLevel& old, pkern::CompileWorkspace& ws,
           std::vector<LineValue>& lines, std::uint64_t& next_copy_id,
           RouteResult& result, obs::RouteProbe& probe, bool checking) {
-        reuse_level_feedback(net.fabric_, old, base_expl, net.size(), k, kx,
+        reuse_level_feedback(net.fabric_, old, base_expl, net.size(), k, ws,
                              lines, next_copy_id, result, options, probe,
                              checking);
       },
-      [&](int k, LevelKernel& kx, std::vector<LineValue>& lines,
+      [&](int k, pkern::CompileWorkspace& ws, std::vector<LineValue>& lines,
           std::uint64_t& next_copy_id, PlanLevel* pl, RouteResult& result,
           obs::RouteProbe& probe, bool checking) {
-        compile_level_feedback(net.fabric_, net.size(), net.levels(), k, kx,
+        compile_level_feedback(net.fabric_, net.size(), net.levels(), k, ws,
                                lines, next_copy_id, pl, result, options,
                                probe, checking, /*route_ord=*/0);
       });

@@ -214,6 +214,62 @@ class CountPyramid {
   std::vector<std::vector<std::uint32_t>> coarse_;
 };
 
+/// Structure-of-arrays tag census: the three class indicator planes
+/// (alpha = t0 & ~t1, eps = t0 & t1, ones = t2) plus flat per-class
+/// count arrays covering every tree level at once. Where CountPyramid
+/// answers one (level, block) query from bit-field extraction, the
+/// census stores all n-1 block counts per class as contiguous uint32
+/// values — level j's n/2^j counts start at offset n - n/2^(j-1) — so
+/// the scatter/quasisort configuration sweeps read their counts as
+/// plain array loads with no shifting or masking. Levels above the
+/// in-word cascade are built by the backend's pair_sum_u32 kernel, one
+/// whole level per call. All buffers are reused across build() calls
+/// (zero steady-state allocations in the compile hot path).
+class TagCensus {
+ public:
+  /// Build from the three tag planes (words_for(n) logical words each;
+  /// bits past n must be zero); n a power of two >= 2.
+  void build(std::span<const std::uint64_t> t0,
+             std::span<const std::uint64_t> t1,
+             std::span<const std::uint64_t> t2, std::size_t n,
+             const simd::SimdOps& ops);
+
+  /// The class indicator planes (words_for(n) words, valid until the
+  /// next build).
+  std::span<const std::uint64_t> alpha() const { return {alpha_.data(), wpl_}; }
+  std::span<const std::uint64_t> eps() const { return {eps_.data(), wpl_}; }
+  std::span<const std::uint64_t> ones() const { return {ones_.data(), wpl_}; }
+
+  /// Number of class members among lines [block*2^level,
+  /// (block+1)*2^level), for 1 <= level <= log2(n).
+  std::size_t count_alpha(int level, std::size_t block) const {
+    return counts_[0][offset(level) + block];
+  }
+  std::size_t count_eps(int level, std::size_t block) const {
+    return counts_[1][offset(level) + block];
+  }
+  std::size_t count_ones(int level, std::size_t block) const {
+    return counts_[2][offset(level) + block];
+  }
+
+ private:
+  /// Start of level j's counts in the flat per-class arrays: levels are
+  /// stored contiguously coarsening upward, so level j begins after the
+  /// n/2 + n/4 + ... + n/2^(j-1) = n - n/2^(j-1) finer counts.
+  std::size_t offset(int level) const {
+    return n_ - (n_ >> (level - 1));
+  }
+
+  std::size_t n_ = 0;
+  std::size_t wpl_ = 0;
+  int levels_ = 0;
+  Words alpha_;
+  Words eps_;
+  Words ones_;
+  Words step_;  ///< one-level cascade scratch (pair fields, 2 bits each)
+  std::vector<std::uint32_t> counts_[3];  ///< flat counts, n-1 per class
+};
+
 /// Select the first `k` set bits (in line order) of `plane` within
 /// [first, last) and OR them into `out` (same word count as plane).
 /// Precondition: k <= popcount of the range.

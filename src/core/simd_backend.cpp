@@ -1,18 +1,25 @@
 // Backend implementations for the packed kernel's word loops.
 //
 // Every backend computes exactly the word recurrences documented on
-// SimdOps — the vector bodies are plain lane-wise and/or/shift/add, so
-// there is no rounding, ordering, or carry behaviour to diverge on; the
-// differential harness (tests/test_simd_differential.cpp) holds them to
-// bit-identity anyway. The x86 bodies use GCC/Clang function
-// multiversioning (`__attribute__((target(...)))`) so no global
-// architecture flags are needed and the portable build keeps running on
-// CPUs without the extensions; dispatch happens once per route through
-// ops().
+// SimdOps — the vector bodies are plain lane-wise and/or/shift/add plus
+// byte<->plane transposes, so there is no rounding, ordering, or carry
+// behaviour to diverge on; the differential harness
+// (tests/test_simd_differential.cpp) holds them to bit-identity anyway.
+// The x86 bodies use GCC/Clang function multiversioning
+// (`__attribute__((target(...)))`) so no global architecture flags are
+// needed and the portable build keeps running on CPUs without the
+// extensions; dispatch happens once per route through ops().
+//
+// The stage kernels are cache-blocked: plane storage is padded to
+// kPlaneStrideWords (8 words = one 512-bit tile = one cache line), and
+// the loops walk tile-outer / plane-inner so a mask tile is loaded once
+// and applied to the matching tile of every plane before moving on.
 #include "core/simd_backend.hpp"
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__x86_64__) || defined(_M_X64)
 #define BRSMN_SIMD_X86 1
@@ -33,19 +40,43 @@ namespace {
 
 using u64 = std::uint64_t;
 
+/// The three word regions of an offset stage within one plane row
+/// (offset <= wpl/2 — pair distance is at most n/2 lines): words
+/// [0, offset) read only the +offset partner, [offset, wpl - offset)
+/// both partners, [wpl - offset, wpl) only the -offset partner. Shared
+/// by every backend so the region bounds — and therefore the words each
+/// recurrence touches — cannot drift between them.
+struct OffsetRegion {
+  std::size_t lo, hi;
+  bool up, down;
+};
+
+std::array<OffsetRegion, 3> offset_regions(std::size_t wpl,
+                                           std::size_t offset) {
+  return {{{0, offset, true, false},
+           {offset, wpl - offset, true, true},
+           {wpl - offset, wpl, false, true}}};
+}
+
 // --- portable SWAR --------------------------------------------------------
 
 void stage_shift_portable(const u64* in, u64* out, const u64* su,
                           const u64* sl, std::size_t planes,
                           std::size_t stride, unsigned d) {
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    for (std::size_t w = 0; w < stride; ++w) {
-      const u64 x = ip[w];
-      const u64 u = su[w];
-      const u64 l = sl[w];
-      op[w] = (x & ~(u | l)) | ((x >> d) & u) | ((x << d) & l);
+  // stride is always a whole number of 8-word tiles; tile-outer /
+  // plane-inner keeps one mask tile hot across all planes.
+  for (std::size_t t = 0; t < stride; t += kPlaneStrideWords) {
+    const u64* ut = su + t;
+    const u64* lt = sl + t;
+    for (std::size_t p = 0; p < planes; ++p) {
+      const u64* ip = in + p * stride + t;
+      u64* op = out + p * stride + t;
+      for (std::size_t w = 0; w < kPlaneStrideWords; ++w) {
+        const u64 x = ip[w];
+        const u64 u = ut[w];
+        const u64 l = lt[w];
+        op[w] = (x & ~(u | l)) | ((x >> d) & u) | ((x << d) & l);
+      }
     }
   }
 }
@@ -54,19 +85,20 @@ void stage_offset_portable(const u64* in, u64* out, const u64* su,
                            const u64* sl, std::size_t planes,
                            std::size_t stride, std::size_t wpl,
                            std::size_t offset) {
-  // offset <= wpl/2: pair distance is at most n/2 lines = wpl/2 words.
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    for (std::size_t w = 0; w < offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
-    }
-    for (std::size_t w = offset; w < wpl - offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
-              (ip[w - offset] & sl[w]);
-    }
-    for (std::size_t w = wpl - offset; w < wpl; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+  // Column-outer / plane-inner per region: each mask word is loaded
+  // once per column instead of once per plane.
+  for (const OffsetRegion& r : offset_regions(wpl, offset)) {
+    for (std::size_t w = r.lo; w < r.hi; ++w) {
+      const u64 u = su[w];
+      const u64 l = sl[w];
+      const u64 nk = ~(u | l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        u64 v = ip[w] & nk;
+        if (r.up) v |= ip[w + offset] & u;
+        if (r.down) v |= ip[w - offset] & l;
+        out[p * stride + w] = v;
+      }
     }
   }
 }
@@ -114,7 +146,68 @@ void count_cascade_portable(const u64* in, u64* const* levels, int nlevels,
   count_cascade_portable(in + w, shifted, nlevels, words - w);
 }
 
-// --- x86: AVX2 (4 words / op) and AVX-512 F (8 words / op) ----------------
+constexpr u64 kLsbBytes = 0x0101010101010101ull;
+
+/// Gather the least-significant bit of each of the 8 bytes of x into the
+/// low 8 bits of the result (bit i <- byte i), the classic SWAR
+/// multiply-gather: byte i's LSB sits at position 8i, the multiplier bit
+/// at 56 - 7i lifts it to 56 + i, and no two (byte, multiplier-bit)
+/// products collide, so the top byte is exactly the gathered mask.
+u64 gather_byte_lsb(u64 x) {
+  return ((x & kLsbBytes) * 0x0102040810204080ull) >> 56;
+}
+
+/// Spread the low 8 bits of b to the least-significant bit of each of 8
+/// bytes (byte i <- bit i): replicate b into every byte (no carries — b
+/// fits a byte), keep bit i in byte i, then fold each byte's single bit
+/// down to its LSB.
+u64 spread_byte_lsb(unsigned b) {
+  u64 x = (static_cast<u64>(b) * kLsbBytes) & 0x8040201008040201ull;
+  x |= x >> 4;
+  x |= x >> 2;
+  x |= x >> 1;
+  return x & kLsbBytes;
+}
+
+void tag_pack_portable(const std::uint8_t* enc, u64* t0, u64* t1, u64* t2,
+                       std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    u64 r0 = 0, r1 = 0, r2 = 0;
+    for (unsigned c = 0; c < 8; ++c) {
+      u64 x;
+      std::memcpy(&x, enc + 64 * w + 8 * c, sizeof x);
+      r2 |= gather_byte_lsb(x) << (8 * c);
+      r1 |= gather_byte_lsb(x >> 1) << (8 * c);
+      r0 |= gather_byte_lsb(x >> 2) << (8 * c);
+    }
+    t0[w] = r0;
+    t1[w] = r1;
+    t2[w] = r2;
+  }
+}
+
+void tag_unpack_portable(const u64* t0, const u64* t1, const u64* t2,
+                         std::uint8_t* enc, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const u64 r0 = t0[w];
+    const u64 r1 = t1[w];
+    const u64 r2 = t2[w];
+    for (unsigned c = 0; c < 8; ++c) {
+      const u64 chunk =
+          (spread_byte_lsb((r0 >> (8 * c)) & 0xff) << 2) |
+          (spread_byte_lsb((r1 >> (8 * c)) & 0xff) << 1) |
+          spread_byte_lsb((r2 >> (8 * c)) & 0xff);
+      std::memcpy(enc + 64 * w + 8 * c, &chunk, sizeof chunk);
+    }
+  }
+}
+
+void pair_sum_u32_portable(const std::uint32_t* in, std::uint32_t* out,
+                           std::size_t pairs) {
+  for (std::size_t i = 0; i < pairs; ++i) out[i] = in[2 * i] + in[2 * i + 1];
+}
+
+// --- x86: AVX2 (4 words / op) and AVX-512 F+BW (8 words / op) -------------
 
 #if BRSMN_SIMD_X86
 
@@ -132,21 +225,34 @@ __attribute__((target("avx2"))) void stage_shift_avx2(
     const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
     std::size_t stride, unsigned d) {
   const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(d));
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    for (std::size_t w = 0; w < stride; w += 4) {
-      const __m256i x =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
-      const __m256i u =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
-      const __m256i l =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
-      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
-      const __m256i up = _mm256_and_si256(_mm256_srl_epi64(x, cnt), u);
-      const __m256i lo = _mm256_and_si256(_mm256_sll_epi64(x, cnt), l);
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
-                          _mm256_or_si256(keep, _mm256_or_si256(up, lo)));
+  for (std::size_t t = 0; t < stride; t += kPlaneStrideWords) {
+    const __m256i u0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + t));
+    const __m256i u1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + t + 4));
+    const __m256i l0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + t));
+    const __m256i l1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + t + 4));
+    const __m256i nk0 = _mm256_or_si256(u0, l0);
+    const __m256i nk1 = _mm256_or_si256(u1, l1);
+    for (std::size_t p = 0; p < planes; ++p) {
+      const u64* ip = in + p * stride + t;
+      u64* op = out + p * stride + t;
+      const __m256i x0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip));
+      const __m256i x1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + 4));
+      const __m256i r0 = _mm256_or_si256(
+          _mm256_andnot_si256(nk0, x0),
+          _mm256_or_si256(_mm256_and_si256(_mm256_srl_epi64(x0, cnt), u0),
+                          _mm256_and_si256(_mm256_sll_epi64(x0, cnt), l0)));
+      const __m256i r1 = _mm256_or_si256(
+          _mm256_andnot_si256(nk1, x1),
+          _mm256_or_si256(_mm256_and_si256(_mm256_srl_epi64(x1, cnt), u1),
+                          _mm256_and_si256(_mm256_sll_epi64(x1, cnt), l1)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op), r0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + 4), r1);
     }
   }
 }
@@ -154,64 +260,47 @@ __attribute__((target("avx2"))) void stage_shift_avx2(
 __attribute__((target("avx2"))) void stage_offset_avx2(
     const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
     std::size_t stride, std::size_t wpl, std::size_t offset) {
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    std::size_t w = 0;
-    for (; w + 4 <= offset; w += 4) {
-      const __m256i x =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
+  for (const OffsetRegion& r : offset_regions(wpl, offset)) {
+    std::size_t w = r.lo;
+    for (; w + 4 <= r.hi; w += 4) {
       const __m256i u =
           _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
       const __m256i l =
           _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
-      const __m256i part = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(ip + w + offset));
-      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
-                          _mm256_or_si256(keep, _mm256_and_si256(part, u)));
+      const __m256i nk = _mm256_or_si256(u, l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        __m256i acc = _mm256_andnot_si256(
+            nk, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w)));
+        if (r.up) {
+          acc = _mm256_or_si256(
+              acc, _mm256_and_si256(
+                       _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                           ip + w + offset)),
+                       u));
+        }
+        if (r.down) {
+          acc = _mm256_or_si256(
+              acc, _mm256_and_si256(
+                       _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                           ip + w - offset)),
+                       l));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + p * stride + w),
+                            acc);
+      }
     }
-    for (; w < offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
-    }
-    for (; w + 4 <= wpl - offset; w += 4) {
-      const __m256i x =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
-      const __m256i u =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
-      const __m256i l =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
-      const __m256i up = _mm256_and_si256(
-          _mm256_loadu_si256(
-              reinterpret_cast<const __m256i*>(ip + w + offset)),
-          u);
-      const __m256i lo = _mm256_and_si256(
-          _mm256_loadu_si256(
-              reinterpret_cast<const __m256i*>(ip + w - offset)),
-          l);
-      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
-                          _mm256_or_si256(keep, _mm256_or_si256(up, lo)));
-    }
-    for (; w < wpl - offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
-              (ip[w - offset] & sl[w]);
-    }
-    for (; w + 4 <= wpl; w += 4) {
-      const __m256i x =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ip + w));
-      const __m256i u =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(su + w));
-      const __m256i l =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sl + w));
-      const __m256i part = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(ip + w - offset));
-      const __m256i keep = _mm256_andnot_si256(_mm256_or_si256(u, l), x);
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(op + w),
-                          _mm256_or_si256(keep, _mm256_and_si256(part, l)));
-    }
-    for (; w < wpl; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    for (; w < r.hi; ++w) {
+      const u64 u = su[w];
+      const u64 l = sl[w];
+      const u64 nk = ~(u | l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        u64 v = ip[w] & nk;
+        if (r.up) v |= ip[w + offset] & u;
+        if (r.down) v |= ip[w - offset] & l;
+        out[p * stride + w] = v;
+      }
     }
   }
 }
@@ -275,21 +364,112 @@ __attribute__((target("avx2"))) void count_cascade_avx2(
   if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
 }
 
+// tag_pack via pmovmskb: shifting the 16-bit lanes left by 7-k moves bit
+// k of each byte to that byte's MSB (bit 8+k of the lane lands on the
+// upper byte's MSB likewise), so one movemask per encoded bit per
+// 32-byte half yields the plane words directly.
+__attribute__((target("avx2"))) void tag_pack_avx2(const std::uint8_t* enc,
+                                                   u64* t0, u64* t1, u64* t2,
+                                                   std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(enc + 64 * w));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(enc + 64 * w + 32));
+    const auto m2l = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(lo, 7)));
+    const auto m2h = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(hi, 7)));
+    const auto m1l = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(lo, 6)));
+    const auto m1h = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(hi, 6)));
+    const auto m0l = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(lo, 5)));
+    const auto m0h = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(hi, 5)));
+    t0[w] = m0l | (static_cast<u64>(m0h) << 32);
+    t1[w] = m1l | (static_cast<u64>(m1h) << 32);
+    t2[w] = m2l | (static_cast<u64>(m2h) << 32);
+  }
+}
+
+// tag_unpack: broadcast the 32-bit mask, shuffle each mask byte across
+// its 8 output bytes, compare against the per-byte bit selector to turn
+// mask bits into 0xFF lanes, then merge the three planes' lanes under
+// their encoding weights 4/2/1.
+__attribute__((target("avx2"))) void tag_unpack_avx2(
+    const u64* t0, const u64* t1, const u64* t2, std::uint8_t* enc,
+    std::size_t words) {
+  const __m256i byte_sel = _mm256_setr_epi8(
+      0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+      2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+  const __m256i bit_sel =
+      _mm256_set1_epi64x(static_cast<long long>(0x8040201008040201ull));
+  for (std::size_t w = 0; w < words; ++w) {
+    for (unsigned h = 0; h < 2; ++h) {
+      const __m256i e0 = _mm256_cmpeq_epi8(
+          _mm256_and_si256(
+              _mm256_shuffle_epi8(_mm256_set1_epi32(static_cast<int>(
+                                      t0[w] >> (32 * h))),
+                                  byte_sel),
+              bit_sel),
+          bit_sel);
+      const __m256i e1 = _mm256_cmpeq_epi8(
+          _mm256_and_si256(
+              _mm256_shuffle_epi8(_mm256_set1_epi32(static_cast<int>(
+                                      t1[w] >> (32 * h))),
+                                  byte_sel),
+              bit_sel),
+          bit_sel);
+      const __m256i e2 = _mm256_cmpeq_epi8(
+          _mm256_and_si256(
+              _mm256_shuffle_epi8(_mm256_set1_epi32(static_cast<int>(
+                                      t2[w] >> (32 * h))),
+                                  byte_sel),
+              bit_sel),
+          bit_sel);
+      const __m256i bytes = _mm256_or_si256(
+          _mm256_or_si256(_mm256_and_si256(e0, _mm256_set1_epi8(4)),
+                          _mm256_and_si256(e1, _mm256_set1_epi8(2))),
+          _mm256_and_si256(e2, _mm256_set1_epi8(1)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(enc + 64 * w + 32 * h), bytes);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void pair_sum_u32_avx2(
+    const std::uint32_t* in, std::uint32_t* out, std::size_t pairs) {
+  std::size_t i = 0;
+  for (; i + 8 <= pairs; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 2 * i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(in + 2 * i + 8));
+    // hadd interleaves the two sources' 128-bit lanes; the 64-bit
+    // permute 0,2,1,3 restores pair order.
+    const __m256i s = _mm256_permute4x64_epi64(_mm256_hadd_epi32(a, b),
+                                               _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), s);
+  }
+  for (; i < pairs; ++i) out[i] = in[2 * i] + in[2 * i + 1];
+}
+
 __attribute__((target("avx512f"))) void stage_shift_avx512(
     const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
     std::size_t stride, unsigned d) {
   const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(d));
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    for (std::size_t w = 0; w < stride; w += 8) {
-      const __m512i x = _mm512_loadu_si512(ip + w);
-      const __m512i u = _mm512_loadu_si512(su + w);
-      const __m512i l = _mm512_loadu_si512(sl + w);
-      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
+  for (std::size_t t = 0; t < stride; t += kPlaneStrideWords) {
+    const __m512i u = _mm512_loadu_si512(su + t);
+    const __m512i l = _mm512_loadu_si512(sl + t);
+    const __m512i nk = _mm512_or_epi64(u, l);
+    for (std::size_t p = 0; p < planes; ++p) {
+      const __m512i x = _mm512_loadu_si512(in + p * stride + t);
+      const __m512i keep = _mm512_andnot_epi64(nk, x);
       const __m512i up = _mm512_and_epi64(_mm512_srl_epi64(x, cnt), u);
       const __m512i lo = _mm512_and_epi64(_mm512_sll_epi64(x, cnt), l);
-      _mm512_storeu_si512(op + w,
+      _mm512_storeu_si512(out + p * stride + t,
                           _mm512_or_epi64(keep, _mm512_or_epi64(up, lo)));
     }
   }
@@ -298,49 +478,39 @@ __attribute__((target("avx512f"))) void stage_shift_avx512(
 __attribute__((target("avx512f"))) void stage_offset_avx512(
     const u64* in, u64* out, const u64* su, const u64* sl, std::size_t planes,
     std::size_t stride, std::size_t wpl, std::size_t offset) {
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    std::size_t w = 0;
-    for (; w + 8 <= offset; w += 8) {
-      const __m512i x = _mm512_loadu_si512(ip + w);
+  for (const OffsetRegion& r : offset_regions(wpl, offset)) {
+    std::size_t w = r.lo;
+    for (; w + 8 <= r.hi; w += 8) {
       const __m512i u = _mm512_loadu_si512(su + w);
       const __m512i l = _mm512_loadu_si512(sl + w);
-      const __m512i part = _mm512_loadu_si512(ip + w + offset);
-      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
-      _mm512_storeu_si512(op + w,
-                          _mm512_or_epi64(keep, _mm512_and_epi64(part, u)));
+      const __m512i nk = _mm512_or_epi64(u, l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        __m512i acc = _mm512_andnot_epi64(nk, _mm512_loadu_si512(ip + w));
+        if (r.up) {
+          acc = _mm512_or_epi64(
+              acc,
+              _mm512_and_epi64(_mm512_loadu_si512(ip + w + offset), u));
+        }
+        if (r.down) {
+          acc = _mm512_or_epi64(
+              acc,
+              _mm512_and_epi64(_mm512_loadu_si512(ip + w - offset), l));
+        }
+        _mm512_storeu_si512(out + p * stride + w, acc);
+      }
     }
-    for (; w < offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
-    }
-    for (; w + 8 <= wpl - offset; w += 8) {
-      const __m512i x = _mm512_loadu_si512(ip + w);
-      const __m512i u = _mm512_loadu_si512(su + w);
-      const __m512i l = _mm512_loadu_si512(sl + w);
-      const __m512i up =
-          _mm512_and_epi64(_mm512_loadu_si512(ip + w + offset), u);
-      const __m512i lo =
-          _mm512_and_epi64(_mm512_loadu_si512(ip + w - offset), l);
-      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
-      _mm512_storeu_si512(op + w,
-                          _mm512_or_epi64(keep, _mm512_or_epi64(up, lo)));
-    }
-    for (; w < wpl - offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
-              (ip[w - offset] & sl[w]);
-    }
-    for (; w + 8 <= wpl; w += 8) {
-      const __m512i x = _mm512_loadu_si512(ip + w);
-      const __m512i u = _mm512_loadu_si512(su + w);
-      const __m512i l = _mm512_loadu_si512(sl + w);
-      const __m512i part = _mm512_loadu_si512(ip + w - offset);
-      const __m512i keep = _mm512_andnot_epi64(_mm512_or_epi64(u, l), x);
-      _mm512_storeu_si512(op + w,
-                          _mm512_or_epi64(keep, _mm512_and_epi64(part, l)));
-    }
-    for (; w < wpl; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    for (; w < r.hi; ++w) {
+      const u64 u = su[w];
+      const u64 l = sl[w];
+      const u64 nk = ~(u | l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        u64 v = ip[w] & nk;
+        if (r.up) v |= ip[w + offset] & u;
+        if (r.down) v |= ip[w - offset] & l;
+        out[p * stride + w] = v;
+      }
     }
   }
 }
@@ -396,6 +566,49 @@ __attribute__((target("avx512f"))) void count_cascade_avx512(
   if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
 }
 
+// The byte<->plane transposes need AVX-512 BW's per-byte mask ops; every
+// AVX-512 CPU with F except first-gen Xeon Phi has BW, and available()
+// probes for both before this backend is ever selected.
+__attribute__((target("avx512f,avx512bw"))) void tag_pack_avx512(
+    const std::uint8_t* enc, u64* t0, u64* t1, u64* t2, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const __m512i v = _mm512_loadu_si512(enc + 64 * w);
+    t0[w] = _mm512_test_epi8_mask(v, _mm512_set1_epi8(4));
+    t1[w] = _mm512_test_epi8_mask(v, _mm512_set1_epi8(2));
+    t2[w] = _mm512_test_epi8_mask(v, _mm512_set1_epi8(1));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void tag_unpack_avx512(
+    const u64* t0, const u64* t1, const u64* t2, std::uint8_t* enc,
+    std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const __m512i bytes = _mm512_or_epi64(
+        _mm512_or_epi64(
+            _mm512_maskz_set1_epi8(static_cast<__mmask64>(t0[w]), 4),
+            _mm512_maskz_set1_epi8(static_cast<__mmask64>(t1[w]), 2)),
+        _mm512_maskz_set1_epi8(static_cast<__mmask64>(t2[w]), 1));
+    _mm512_storeu_si512(enc + 64 * w, bytes);
+  }
+}
+
+__attribute__((target("avx512f"))) void pair_sum_u32_avx512(
+    const std::uint32_t* in, std::uint32_t* out, std::size_t pairs) {
+  const __m512i idx_even = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16,
+                                             18, 20, 22, 24, 26, 28, 30);
+  const __m512i idx_odd = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17,
+                                            19, 21, 23, 25, 27, 29, 31);
+  std::size_t i = 0;
+  for (; i + 16 <= pairs; i += 16) {
+    const __m512i a = _mm512_loadu_si512(in + 2 * i);
+    const __m512i b = _mm512_loadu_si512(in + 2 * i + 16);
+    const __m512i even = _mm512_permutex2var_epi32(a, idx_even, b);
+    const __m512i odd = _mm512_permutex2var_epi32(a, idx_odd, b);
+    _mm512_storeu_si512(out + i, _mm512_add_epi32(even, odd));
+  }
+  for (; i < pairs; ++i) out[i] = in[2 * i] + in[2 * i + 1];
+}
+
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
@@ -410,17 +623,23 @@ void stage_shift_neon(const u64* in, u64* out, const u64* su, const u64* sl,
                       std::size_t planes, std::size_t stride, unsigned d) {
   const int64x2_t right = vdupq_n_s64(-static_cast<std::int64_t>(d));
   const int64x2_t left = vdupq_n_s64(static_cast<std::int64_t>(d));
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    for (std::size_t w = 0; w < stride; w += 2) {
-      const uint64x2_t x = vld1q_u64(ip + w);
-      const uint64x2_t u = vld1q_u64(su + w);
-      const uint64x2_t l = vld1q_u64(sl + w);
-      const uint64x2_t keep = vbicq_u64(x, vorrq_u64(u, l));
-      const uint64x2_t up = vandq_u64(vshlq_u64(x, right), u);
-      const uint64x2_t lo = vandq_u64(vshlq_u64(x, left), l);
-      vst1q_u64(op + w, vorrq_u64(keep, vorrq_u64(up, lo)));
+  for (std::size_t t = 0; t < stride; t += kPlaneStrideWords) {
+    uint64x2_t u[4];
+    uint64x2_t l[4];
+    for (std::size_t q = 0; q < 4; ++q) {
+      u[q] = vld1q_u64(su + t + 2 * q);
+      l[q] = vld1q_u64(sl + t + 2 * q);
+    }
+    for (std::size_t p = 0; p < planes; ++p) {
+      const u64* ip = in + p * stride + t;
+      u64* op = out + p * stride + t;
+      for (std::size_t q = 0; q < 4; ++q) {
+        const uint64x2_t x = vld1q_u64(ip + 2 * q);
+        const uint64x2_t keep = vbicq_u64(x, vorrq_u64(u[q], l[q]));
+        const uint64x2_t up = vandq_u64(vshlq_u64(x, right), u[q]);
+        const uint64x2_t lo = vandq_u64(vshlq_u64(x, left), l[q]);
+        vst1q_u64(op + 2 * q, vorrq_u64(keep, vorrq_u64(up, lo)));
+      }
     }
   }
 }
@@ -428,44 +647,35 @@ void stage_shift_neon(const u64* in, u64* out, const u64* su, const u64* sl,
 void stage_offset_neon(const u64* in, u64* out, const u64* su, const u64* sl,
                        std::size_t planes, std::size_t stride, std::size_t wpl,
                        std::size_t offset) {
-  for (std::size_t p = 0; p < planes; ++p) {
-    const u64* ip = in + p * stride;
-    u64* op = out + p * stride;
-    std::size_t w = 0;
-    for (; w + 2 <= offset; w += 2) {
-      const uint64x2_t x = vld1q_u64(ip + w);
+  for (const OffsetRegion& r : offset_regions(wpl, offset)) {
+    std::size_t w = r.lo;
+    for (; w + 2 <= r.hi; w += 2) {
       const uint64x2_t u = vld1q_u64(su + w);
       const uint64x2_t l = vld1q_u64(sl + w);
-      const uint64x2_t part = vld1q_u64(ip + w + offset);
-      vst1q_u64(op + w,
-                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vandq_u64(part, u)));
+      const uint64x2_t nk = vorrq_u64(u, l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        uint64x2_t acc = vbicq_u64(vld1q_u64(ip + w), nk);
+        if (r.up) {
+          acc = vorrq_u64(acc, vandq_u64(vld1q_u64(ip + w + offset), u));
+        }
+        if (r.down) {
+          acc = vorrq_u64(acc, vandq_u64(vld1q_u64(ip + w - offset), l));
+        }
+        vst1q_u64(out + p * stride + w, acc);
+      }
     }
-    for (; w < offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]);
-    }
-    for (; w + 2 <= wpl - offset; w += 2) {
-      const uint64x2_t x = vld1q_u64(ip + w);
-      const uint64x2_t u = vld1q_u64(su + w);
-      const uint64x2_t l = vld1q_u64(sl + w);
-      const uint64x2_t up = vandq_u64(vld1q_u64(ip + w + offset), u);
-      const uint64x2_t lo = vandq_u64(vld1q_u64(ip + w - offset), l);
-      vst1q_u64(op + w,
-                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vorrq_u64(up, lo)));
-    }
-    for (; w < wpl - offset; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w + offset] & su[w]) |
-              (ip[w - offset] & sl[w]);
-    }
-    for (; w + 2 <= wpl; w += 2) {
-      const uint64x2_t x = vld1q_u64(ip + w);
-      const uint64x2_t u = vld1q_u64(su + w);
-      const uint64x2_t l = vld1q_u64(sl + w);
-      const uint64x2_t part = vld1q_u64(ip + w - offset);
-      vst1q_u64(op + w,
-                vorrq_u64(vbicq_u64(x, vorrq_u64(u, l)), vandq_u64(part, l)));
-    }
-    for (; w < wpl; ++w) {
-      op[w] = (ip[w] & ~(su[w] | sl[w])) | (ip[w - offset] & sl[w]);
+    for (; w < r.hi; ++w) {
+      const u64 u = su[w];
+      const u64 l = sl[w];
+      const u64 nk = ~(u | l);
+      for (std::size_t p = 0; p < planes; ++p) {
+        const u64* ip = in + p * stride;
+        u64 v = ip[w] & nk;
+        if (r.up) v |= ip[w + offset] & u;
+        if (r.down) v |= ip[w - offset] & l;
+        out[p * stride + w] = v;
+      }
     }
   }
 }
@@ -513,6 +723,69 @@ void count_cascade_neon(const u64* in, u64* const* levels, int nlevels,
   if (w < words) count_cascade_tail(in, levels, nlevels, w, words);
 }
 
+constexpr std::uint8_t kNeonBitSel[16] = {1, 2, 4, 8, 16, 32, 64, 128,
+                                          1, 2, 4, 8, 16, 32, 64, 128};
+
+/// Movemask of a 0x00/0xFF byte vector: keep each lane's selector bit,
+/// then three pairwise adds fold 16 lanes to the two mask bytes.
+std::uint16_t neon_movemask_u8(uint8x16_t hit) {
+  const uint8x16_t bits = vandq_u8(hit, vld1q_u8(kNeonBitSel));
+  uint8x8_t s = vpadd_u8(vget_low_u8(bits), vget_high_u8(bits));
+  s = vpadd_u8(s, s);
+  s = vpadd_u8(s, s);
+  return vget_lane_u16(vreinterpret_u16_u8(s), 0);
+}
+
+void tag_pack_neon(const std::uint8_t* enc, u64* t0, u64* t1, u64* t2,
+                   std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    u64 r0 = 0, r1 = 0, r2 = 0;
+    for (unsigned c = 0; c < 4; ++c) {
+      const uint8x16_t v = vld1q_u8(enc + 64 * w + 16 * c);
+      r0 |= static_cast<u64>(neon_movemask_u8(vtstq_u8(v, vdupq_n_u8(4))))
+            << (16 * c);
+      r1 |= static_cast<u64>(neon_movemask_u8(vtstq_u8(v, vdupq_n_u8(2))))
+            << (16 * c);
+      r2 |= static_cast<u64>(neon_movemask_u8(vtstq_u8(v, vdupq_n_u8(1))))
+            << (16 * c);
+    }
+    t0[w] = r0;
+    t1[w] = r1;
+    t2[w] = r2;
+  }
+}
+
+/// Expand bits [16c, 16c + 16) of a plane word to 0x00/0xFF bytes.
+uint8x16_t neon_mask_bytes(u64 word, unsigned c) {
+  const uint8x16_t rep = vcombine_u8(
+      vdup_n_u8(static_cast<std::uint8_t>(word >> (16 * c))),
+      vdup_n_u8(static_cast<std::uint8_t>(word >> (16 * c + 8))));
+  return vtstq_u8(rep, vld1q_u8(kNeonBitSel));
+}
+
+void tag_unpack_neon(const u64* t0, const u64* t1, const u64* t2,
+                     std::uint8_t* enc, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    for (unsigned c = 0; c < 4; ++c) {
+      const uint8x16_t bytes = vorrq_u8(
+          vorrq_u8(vandq_u8(neon_mask_bytes(t0[w], c), vdupq_n_u8(4)),
+                   vandq_u8(neon_mask_bytes(t1[w], c), vdupq_n_u8(2))),
+          vandq_u8(neon_mask_bytes(t2[w], c), vdupq_n_u8(1)));
+      vst1q_u8(enc + 64 * w + 16 * c, bytes);
+    }
+  }
+}
+
+void pair_sum_u32_neon(const std::uint32_t* in, std::uint32_t* out,
+                       std::size_t pairs) {
+  std::size_t i = 0;
+  for (; i + 4 <= pairs; i += 4) {
+    const uint32x4x2_t v = vld2q_u32(in + 2 * i);
+    vst1q_u32(out + i, vaddq_u32(v.val[0], v.val[1]));
+  }
+  for (; i < pairs; ++i) out[i] = in[2 * i] + in[2 * i + 1];
+}
+
 #endif  // BRSMN_SIMD_NEON
 
 // --- dispatch tables ------------------------------------------------------
@@ -521,7 +794,8 @@ constexpr SimdOps kPortableOps = {
     Backend::Portable,      "portable",
     stage_shift_portable,   stage_offset_portable,
     census_split_portable,  or_andnot_portable,
-    count_cascade_portable,
+    count_cascade_portable, tag_pack_portable,
+    tag_unpack_portable,    pair_sum_u32_portable,
 };
 
 #if BRSMN_SIMD_X86
@@ -529,13 +803,15 @@ constexpr SimdOps kAvx2Ops = {
     Backend::Avx2,      "avx2",
     stage_shift_avx2,   stage_offset_avx2,
     census_split_avx2,  or_andnot_avx2,
-    count_cascade_avx2,
+    count_cascade_avx2, tag_pack_avx2,
+    tag_unpack_avx2,    pair_sum_u32_avx2,
 };
 constexpr SimdOps kAvx512Ops = {
     Backend::Avx512,      "avx512",
     stage_shift_avx512,   stage_offset_avx512,
     census_split_avx512,  or_andnot_avx512,
-    count_cascade_avx512,
+    count_cascade_avx512, tag_pack_avx512,
+    tag_unpack_avx512,    pair_sum_u32_avx512,
 };
 #endif
 
@@ -544,7 +820,8 @@ constexpr SimdOps kNeonOps = {
     Backend::Neon,      "neon",
     stage_shift_neon,   stage_offset_neon,
     census_split_neon,  or_andnot_neon,
-    count_cascade_neon,
+    count_cascade_neon, tag_pack_neon,
+    tag_unpack_neon,    pair_sum_u32_neon,
 };
 #endif
 
@@ -569,7 +846,13 @@ bool available(Backend b) noexcept {
   if (!compiled(b)) return false;
 #if BRSMN_SIMD_X86
   if (b == Backend::Avx2) return __builtin_cpu_supports("avx2") != 0;
-  if (b == Backend::Avx512) return __builtin_cpu_supports("avx512f") != 0;
+  if (b == Backend::Avx512) {
+    // F for the 512-bit word loops, BW for the per-byte tag transposes
+    // (tag_pack/tag_unpack). Only first-gen Xeon Phi has F without BW;
+    // it degrades to AVX2.
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512bw") != 0;
+  }
 #endif
   return true;  // Portable always; NEON is baseline on aarch64.
 }

@@ -35,7 +35,8 @@ enum class Backend : std::uint8_t {
   Portable,
   /// 256-bit planes, 4 switch columns per instruction (x86 AVX2).
   Avx2,
-  /// 512-bit planes, 8 switch columns per instruction (x86 AVX-512 F).
+  /// 512-bit planes, 8 switch columns per instruction (x86 AVX-512
+  /// F+BW — BW for the per-byte tag transposes).
   Avx512,
   /// 128-bit planes, 2 switch columns per instruction (aarch64).
   Neon,
@@ -91,6 +92,31 @@ struct SimdOps {
   void (*count_cascade)(const std::uint64_t* in,
                         std::uint64_t* const* levels, int nlevels,
                         std::size_t words);
+
+  /// Transpose byte-encoded tags into the three tag bit-planes (the
+  /// branch-free structure-of-arrays load of the compile path): for each
+  /// of `words` output words, 64 input bytes carrying the 3-bit Table 1
+  /// encoding b0 b1 b2 produce one word per plane —
+  ///   bit i of t0[w] = (enc[64w+i] >> 2) & 1   (b0)
+  ///   bit i of t1[w] = (enc[64w+i] >> 1) & 1   (b1)
+  ///   bit i of t2[w] = enc[64w+i] & 1          (b2)
+  /// enc must hold 64*words bytes (pad the tail with zero bytes — the
+  /// zero encoding contributes no plane bits).
+  void (*tag_pack)(const std::uint8_t* enc, std::uint64_t* t0,
+                   std::uint64_t* t1, std::uint64_t* t2, std::size_t words);
+
+  /// Inverse of tag_pack: gather the three planes back into one byte per
+  /// line, enc[64w+i] = b0 b1 b2. Used to decode whole tag planes at
+  /// once instead of three bit-probes per line.
+  void (*tag_unpack)(const std::uint64_t* t0, const std::uint64_t* t1,
+                     const std::uint64_t* t2, std::uint8_t* enc,
+                     std::size_t words);
+
+  /// Pairwise u32 reduction: out[i] = in[2i] + in[2i+1] for i < pairs.
+  /// The census count planes build every pyramid level above the in-word
+  /// cascade with this (structure-of-arrays counts, one level per call).
+  void (*pair_sum_u32)(const std::uint32_t* in, std::uint32_t* out,
+                       std::size_t pairs);
 };
 
 /// Whether this binary carries code for `b` (compile-time: arch +

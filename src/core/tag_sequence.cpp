@@ -1,25 +1,24 @@
 #include "core/tag_sequence.hpp"
 
-#include <array>
-#include <mutex>
+#include <algorithm>
+#include <functional>
 #include <sstream>
 
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
+#include "common/table_registry.hpp"
 
 namespace brsmn {
 
-std::span<const std::size_t> bit_reversal_table(std::size_t len) {
-  BRSMN_EXPECTS(is_pow2(len));
-  static std::array<std::once_flag, 64> built;
-  static std::array<std::vector<std::size_t>, 64> tables;
-  const auto k = static_cast<std::size_t>(log2_exact(len));
-  std::call_once(built[k], [len, k] {
-    std::vector<std::size_t>& table = tables[k];
+namespace {
+
+/// Builder for the shared table registry (common/table_registry.hpp):
+/// walk the bit-reversal permutation incrementally (add 1 from the top
+/// bit down with carry), O(1) amortized per element instead of
+/// re-reversing each index.
+struct BitReversalBuilder {
+  void operator()(std::size_t len, std::vector<std::size_t>& table) const {
     table.resize(len);
-    // Walk the bit-reversal permutation incrementally (add 1 from the
-    // top bit down with carry): O(1) amortized per element instead of
-    // re-reversing each index.
     std::size_t r = 0;
     for (std::size_t p = 0; p < len; ++p) {
       table[p] = r;
@@ -30,8 +29,13 @@ std::span<const std::size_t> bit_reversal_table(std::size_t len) {
       }
       r |= bit;
     }
-  });
-  return tables[k];
+  }
+};
+
+}  // namespace
+
+std::span<const std::size_t> bit_reversal_table(std::size_t len) {
+  return common::pow2_table<std::size_t, BitReversalBuilder>(len);
 }
 
 std::vector<Tag> order_level(std::span<const Tag> level) {
@@ -63,6 +67,57 @@ std::vector<Tag> encode_sequence(const TagTree& tree) {
 std::vector<Tag> encode_sequence(std::span<const std::size_t> dests,
                                  std::size_t n) {
   return encode_sequence(TagTree(dests, n));
+}
+
+namespace {
+
+/// Shared state of the occupied-subtree descent of encode_sequence_into.
+struct SparseEncoder {
+  std::span<const std::size_t> dests;
+  std::span<Tag> seq;
+  int m = 0;
+
+  /// Emit the tag of the node at (1-based) `level` and in-level position
+  /// `pos`, whose destinations are dests[lo, hi) (non-empty), then
+  /// descend into the non-empty children. Tag semantics match
+  /// TagTree: α when both address halves are populated, 0/1 when only
+  /// the upper/lower half is; the node's sequence slot is the
+  /// bit-reversed position within its level (Eq. 11), and level
+  /// `level`'s slots start at 2^(level-1) - 1 (Eq. 12).
+  void visit(int level, std::size_t pos, std::size_t lo, std::size_t hi) {
+    const std::size_t width = std::size_t{1} << (level - 1);
+    // Addresses covered: [pos * blk, (pos + 1) * blk), blk = n / width.
+    const std::size_t blk = (std::size_t{1} << m) / width;
+    const std::size_t mid_addr = pos * blk + blk / 2;
+    const std::size_t split = static_cast<std::size_t>(
+        std::lower_bound(dests.begin() + static_cast<std::ptrdiff_t>(lo),
+                         dests.begin() + static_cast<std::ptrdiff_t>(hi),
+                         mid_addr) -
+        dests.begin());
+    const bool left = split > lo;
+    const bool right = split < hi;
+    seq[(width - 1) + bit_reversal_table(width)[pos]] =
+        left && right ? Tag::Alpha : left ? Tag::Zero : Tag::One;
+    if (level == m) return;
+    if (left) visit(level + 1, 2 * pos, lo, split);
+    if (right) visit(level + 1, 2 * pos + 1, split, hi);
+  }
+};
+
+}  // namespace
+
+void encode_sequence_into(std::span<const std::size_t> dests, std::size_t n,
+                          std::vector<Tag>& out) {
+  BRSMN_EXPECTS(is_pow2(n) && n >= 2);
+  out.assign(n - 1, Tag::Eps);
+  if (dests.empty()) return;
+  BRSMN_EXPECTS_MSG(dests.back() < n, "destination out of range");
+  BRSMN_EXPECTS_MSG(
+      std::adjacent_find(dests.begin(), dests.end(),
+                         std::greater_equal<std::size_t>{}) == dests.end(),
+      "destinations must be sorted ascending and unique");
+  SparseEncoder enc{dests, out, log2_exact(n)};
+  enc.visit(1, 0, 0, dests.size());
 }
 
 std::vector<Tag> split_stream(std::span<const Tag> rest, Tag branch) {

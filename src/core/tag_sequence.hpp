@@ -39,6 +39,17 @@ std::vector<Tag> encode_sequence(const TagTree& tree);
 std::vector<Tag> encode_sequence(std::span<const std::size_t> dests,
                                  std::size_t n);
 
+/// encode_sequence without materializing a TagTree: writes the n-1 tags
+/// of the destination set's sequence directly into `out` (resized to
+/// n-1), visiting only the occupied subtree — O(|dests| log n) work past
+/// the ε-fill instead of the tree's O(n) node sweep. `dests` must be
+/// sorted ascending and unique (MulticastAssignment::destinations
+/// guarantees this). Bit-identical to encode_sequence(TagTree(dests, n));
+/// this is the cold-compile path of initial_lines, which encodes one
+/// sequence per source line of every route.
+void encode_sequence_into(std::span<const std::size_t> dests, std::size_t n,
+                          std::vector<Tag>& out);
+
 /// Split the remainder of a sequence (everything after the consumed a_0)
 /// for the branch a packet takes: Tag::Zero selects the left-subtree
 /// subsequence (even remaining positions), Tag::One the right (odd).

@@ -77,7 +77,7 @@ RegressionCheck parse_check(const std::string& selector,
     char* end = nullptr;
     check.max_regression = std::strtod(threshold.c_str(), &end);
     BRSMN_EXPECTS_MSG(end != nullptr && *end == '\0' && !threshold.empty() &&
-                          check.max_regression >= 0.0,
+                          check.max_regression > -1.0,
                       "malformed @threshold in regression selector");
     rest = rest.substr(0, at);
   }

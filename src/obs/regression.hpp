@@ -18,8 +18,11 @@ namespace brsmn::obs {
 /// One gated statistic. `metric` names a histogram (stat in {count, sum,
 /// min, max, mean, p50, p99}) or, with stat empty, a counter or gauge.
 /// `max_regression` is the tolerated relative increase: 0.25 passes any
-/// current value up to 1.25x the baseline. Lower-is-worse metrics are out
-/// of scope — every gated statistic here is a cost (time, traversals).
+/// current value up to 1.25x the baseline. Negative thresholds (> -1.0)
+/// mandate an improvement: -0.3 fails any current value above 0.7x the
+/// baseline — the shape of a CI gate that pins an optimization against
+/// the pre-change cost. Lower-is-worse metrics are out of scope — every
+/// gated statistic here is a cost (time, traversals).
 ///
 /// A metric of the form "A/B" is a ratio check: A and B are resolved
 /// separately in each document (both with `stat` when given) and the

@@ -1,8 +1,8 @@
 #include "topology/shuffle.hpp"
 
-#include <array>
-#include <mutex>
 #include <vector>
+
+#include "common/table_registry.hpp"
 
 namespace brsmn::topo {
 
@@ -13,31 +13,26 @@ static_assert(exchange(6) == 7);
 
 namespace {
 
-/// One lazily-built permutation table per power-of-two width, built at
-/// most once per process (std::call_once) and never freed, so the spans
-/// handed out stay valid for the process lifetime.
+/// Permutation-table builders for the shared registry
+/// (common/table_registry.hpp): one table kind per permutation, built at
+/// most once per process and never freed, so the spans handed out stay
+/// valid for the process lifetime and every engine reads the same table.
 template <std::size_t (*Perm)(std::size_t, std::size_t)>
-std::span<const std::size_t> cached_map(std::size_t n) {
-  BRSMN_EXPECTS(is_pow2(n));
-  static std::array<std::once_flag, 64> built;
-  static std::array<std::vector<std::size_t>, 64> tables;
-  const auto k = static_cast<std::size_t>(log2_exact(n));
-  std::call_once(built[k], [n, k] {
-    std::vector<std::size_t>& table = tables[k];
+struct PermBuilder {
+  void operator()(std::size_t n, std::vector<std::size_t>& table) const {
     table.resize(n);
     for (std::size_t a = 0; a < n; ++a) table[a] = Perm(a, n);
-  });
-  return tables[k];
-}
+  }
+};
 
 }  // namespace
 
 std::span<const std::size_t> shuffle_map(std::size_t n) {
-  return cached_map<&shuffle>(n);
+  return common::pow2_table<std::size_t, PermBuilder<&shuffle>>(n);
 }
 
 std::span<const std::size_t> unshuffle_map(std::size_t n) {
-  return cached_map<&unshuffle>(n);
+  return common::pow2_table<std::size_t, PermBuilder<&unshuffle>>(n);
 }
 
 }  // namespace brsmn::topo

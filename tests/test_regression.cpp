@@ -42,6 +42,26 @@ TEST(ParseCheck, RejectsMalformedSelectors) {
   EXPECT_THROW(parse_check("a.b:p42", 0.25), ContractViolation);
   EXPECT_THROW(parse_check("a.b:p50@junk", 0.25), ContractViolation);
   EXPECT_THROW(parse_check("a.b@-1", 0.25), ContractViolation);
+  EXPECT_THROW(parse_check("a.b@-1.5", 0.25), ContractViolation);
+}
+
+TEST(ParseCheck, NegativeThresholdMandatesImprovement) {
+  const RegressionCheck check = parse_check("a.b:p50@-0.3", 0.25);
+  EXPECT_DOUBLE_EQ(check.max_regression, -0.3);
+}
+
+TEST(DiffMetrics, NegativeThresholdGatesMissingImprovement) {
+  // @-0.3: the current value must land at or below 0.7x the baseline.
+  const RegressionCheck checks[] = {
+      parse_check("route.phase.total_ns:p50@-0.3", 0.25),
+  };
+  const RegressionReport improved =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(650.0), checks);
+  EXPECT_FALSE(improved.any_regressed());
+  const RegressionReport insufficient =
+      diff_metrics(metrics_doc(1000.0), metrics_doc(800.0), checks);
+  EXPECT_TRUE(insufficient.any_regressed());
+  EXPECT_NEAR(insufficient.outcomes[0].change, -0.2, 1e-9);
 }
 
 TEST(DiffMetrics, WithinThresholdPasses) {

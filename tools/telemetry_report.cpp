@@ -1,7 +1,9 @@
 // Render a telemetry JSONL stream (obs/telemetry.hpp) for humans:
 // derived-rate time series with ASCII sparklines, the fabric utilization
 // heatmap as a per-(level, pass, stage) intensity grid, and the final
-// rollup summary.
+// rollup summary — including the compile-vs-replay phase split pooled
+// from the rollup's embedded phase histograms (time spent in the
+// configuration sweeps vs serving already-compiled plans).
 //
 //   bench_group_churn --telemetry-out=- | telemetry_report
 //   telemetry_report telemetry.jsonl [--width=64] [--csv]
@@ -54,6 +56,16 @@ struct Report {
   double samples = 0.0;
   double dropped = 0.0;
   double duration_s = 0.0;
+
+  /// Compile-vs-replay attribution pooled from the rollup's embedded
+  /// metrics: the configuration sweeps (scatter / eps_divide / quasisort
+  /// histogram sums across every prefix) are time spent *compiling*
+  /// routes; replay_ns sums are time spent serving already-compiled
+  /// plans.
+  double compile_scatter_ns = 0.0;
+  double compile_eps_divide_ns = 0.0;
+  double compile_quasisort_ns = 0.0;
+  double replay_ns = 0.0;
 };
 
 /// The intensity ramp used by the heatmap grid, dark to bright.
@@ -107,6 +119,28 @@ void ingest_line(const JsonValue& doc, Report& r) {
     r.samples = doc.at("samples").as_number();
     r.dropped = doc.at("dropped").as_number();
     r.duration_s = doc.at("duration_s").as_number();
+    if (doc.contains("metrics") && doc.at("metrics").is_object() &&
+        doc.at("metrics").contains("histograms")) {
+      auto ends_with = [](const std::string& name, const char* suffix) {
+        const std::size_t len = std::strlen(suffix);
+        return name.size() >= len &&
+               name.compare(name.size() - len, len, suffix) == 0;
+      };
+      for (const auto& [name, hist] :
+           doc.at("metrics").at("histograms").as_object()) {
+        if (!hist.is_object() || !hist.contains("sum")) continue;
+        const double sum = hist.at("sum").as_number();
+        if (ends_with(name, ".phase.scatter_ns")) {
+          r.compile_scatter_ns += sum;
+        } else if (ends_with(name, ".phase.eps_divide_ns")) {
+          r.compile_eps_divide_ns += sum;
+        } else if (ends_with(name, ".phase.quasisort_ns")) {
+          r.compile_quasisort_ns += sum;
+        } else if (ends_with(name, ".phase.replay_ns")) {
+          r.replay_ns += sum;
+        }
+      }
+    }
   }
 }
 
@@ -289,6 +323,21 @@ int main(int argc, char** argv) {
   if (report.have_rollup) {
     std::printf("\nrollup: %.0f samples (%.0f dropped), %.3f s\n",
                 report.samples, report.dropped, report.duration_s);
+    const double compile_ns = report.compile_scatter_ns +
+                              report.compile_eps_divide_ns +
+                              report.compile_quasisort_ns;
+    const double attributed = compile_ns + report.replay_ns;
+    if (attributed > 0.0) {
+      std::printf(
+          "  phase split: compile %.2f ms (scatter %.2f / eps_divide %.2f "
+          "/ quasisort %.2f), replay %.2f ms — %.0f%% compile / %.0f%% "
+          "replay\n",
+          compile_ns / 1e6, report.compile_scatter_ns / 1e6,
+          report.compile_eps_divide_ns / 1e6,
+          report.compile_quasisort_ns / 1e6, report.replay_ns / 1e6,
+          100.0 * compile_ns / attributed,
+          100.0 * report.replay_ns / attributed);
+    }
   }
   return 0;
 }
